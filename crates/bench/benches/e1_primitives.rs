@@ -1,0 +1,66 @@
+//! E1 — the paper's Section 2 cost model: "DCAS is a relatively
+//! expensive operation, that is, has longer latency than traditional CAS,
+//! which in turn has longer latency than either a read or a write. We
+//! assume this is true even when operations are executed sequentially."
+//!
+//! Measures uncontended latency of read / write / CAS (native) and of
+//! load / store / DCAS under each software emulation strategy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcas::{DcasStrategy, DcasWord, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+use std::hint::black_box;
+
+fn native(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1/native");
+    let cell = AtomicU64::new(0);
+    g.bench_function("read", |b| b.iter(|| black_box(cell.load(Ordering::SeqCst))));
+    g.bench_function("write", |b| {
+        b.iter(|| cell.store(black_box(4), Ordering::SeqCst))
+    });
+    g.bench_function("cas", |b| {
+        b.iter(|| {
+            let cur = cell.load(Ordering::Relaxed);
+            let _ = black_box(cell.compare_exchange(cur, cur ^ 4, Ordering::SeqCst, Ordering::SeqCst));
+        })
+    });
+    g.finish();
+}
+
+fn strategy<S: DcasStrategy>(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("e1/{}", S::NAME));
+    let s = S::default();
+    let a = DcasWord::new(0);
+    let b_word = DcasWord::new(4);
+    g.bench_function("load", |b| b.iter(|| black_box(s.load(&a))));
+    g.bench_function("store", |b| b.iter(|| s.store(&a, black_box(8))));
+    s.store(&a, 0);
+    g.bench_function("dcas_success", |b| {
+        b.iter(|| {
+            // Identity DCAS: always succeeds, never drifts.
+            black_box(s.dcas(&a, &b_word, 0, 4, 0, 4))
+        })
+    });
+    g.bench_function("dcas_failure", |b| {
+        b.iter(|| black_box(s.dcas(&a, &b_word, 60, 64, 0, 4)))
+    });
+    g.bench_function("dcas_strong_failure", |b| {
+        b.iter(|| {
+            let (mut o1, mut o2) = (60, 64);
+            black_box(s.dcas_strong(&a, &b_word, &mut o1, &mut o2, 0, 4))
+        })
+    });
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    native(c);
+    strategy::<GlobalLock>(c);
+    strategy::<GlobalSeqLock>(c);
+    strategy::<StripedLock>(c);
+    strategy::<HarrisMcas>(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E2 — "uninterrupted concurrent access to both ends of the deque"
+//! (Abstract, Section 1.2): two-end throughput as the thread count grows,
+//! for both paper algorithms and the lock-based baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::HarrisMcas;
+use dcas_baselines::{MutexDeque, SpinDeque};
+use dcas_bench::two_end_phase;
+use dcas_deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, ListDeque};
+
+const OPS: u64 = 4_000;
+
+fn bench_impl<D: ConcurrentDeque<u64>>(
+    c: &mut Criterion,
+    name: &str,
+    mk: impl Fn() -> D,
+) {
+    let mut g = c.benchmark_group("e2/two_ends");
+    g.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let d = mk();
+                    total += two_end_phase(&d, threads, OPS);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_impl(c, "array-dcas", || ArrayDeque::<u64, HarrisMcas>::new(1 << 16));
+    bench_impl(c, "list-dcas", ListDeque::<u64, HarrisMcas>::new);
+    bench_impl(c, "list-dummy-dcas", DummyListDeque::<u64, HarrisMcas>::new);
+    bench_impl(c, "mutex", MutexDeque::<u64>::new);
+    bench_impl(c, "spinlock", SpinDeque::<u64>::new);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

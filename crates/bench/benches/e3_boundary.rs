@@ -1,0 +1,54 @@
+//! E3 — the cost of *correct* boundary handling: workloads that keep the
+//! deque hovering at empty (and, for bounded deques, at full), so almost
+//! every operation runs the empty/full detection logic the paper
+//! contributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::HarrisMcas;
+use dcas_baselines::MutexDeque;
+use dcas_bench::boundary_phase;
+use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque};
+
+const OPS: u64 = 4_000;
+
+fn bench_impl<D: ConcurrentDeque<u64>>(
+    c: &mut Criterion,
+    group: &str,
+    name: &str,
+    mk: impl Fn() -> D,
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for threads in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let d = mk();
+                    total += boundary_phase(&d, threads, OPS);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    // Near-empty: unbounded/huge deques that oscillate around zero items.
+    bench_impl(c, "e3/near_empty", "array-dcas", || {
+        ArrayDeque::<u64, HarrisMcas>::new(1 << 12)
+    });
+    bench_impl(c, "e3/near_empty", "list-dcas", ListDeque::<u64, HarrisMcas>::new);
+    bench_impl(c, "e3/near_empty", "mutex", MutexDeque::<u64>::new);
+
+    // Near-full: a capacity-2 array deque; pushes bounce off "full"
+    // constantly.
+    bench_impl(c, "e3/near_full", "array-dcas-cap2", || {
+        ArrayDeque::<u64, HarrisMcas>::new(2)
+    });
+    bench_impl(c, "e3/near_full", "mutex-cap2", || MutexDeque::<u64>::bounded(2));
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

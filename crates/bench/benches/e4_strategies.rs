@@ -1,0 +1,50 @@
+//! E4 — the DCAS emulation choice: the same deque algorithm under each of
+//! the four software DCAS strategies, sequentially and contended. This is
+//! the experiment the paper could not run ("without detailed knowledge of
+//! the implementation of a particular system supporting DCAS, we cannot
+//! quantify this comparison") — we quantify it for software emulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::{DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+use dcas_bench::{sequential_churn, two_end_phase};
+use dcas_deque::ListDeque;
+
+const OPS: u64 = 4_000;
+
+fn strategy<S: DcasStrategy>(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4/strategies");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new(S::NAME, "sequential"), |b| {
+        let d: ListDeque<u64, S> = ListDeque::new();
+        b.iter(|| sequential_churn(&d, 1_000));
+    });
+
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new(S::NAME, format!("contended_{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let d: ListDeque<u64, S> = ListDeque::new();
+                        total += two_end_phase(&d, threads, OPS);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    strategy::<GlobalLock>(c);
+    strategy::<GlobalSeqLock>(c);
+    strategy::<StripedLock>(c);
+    strategy::<HarrisMcas>(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

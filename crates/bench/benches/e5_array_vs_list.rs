@@ -1,0 +1,48 @@
+//! E5 — array vs linked-list representation: the static-allocation array
+//! deque against the dynamically-allocating list deques (the per-pop
+//! allocation overhead is what later motivated the "Hat Trick" bulk
+//! allocation work the paper cites as \[24\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::{GlobalSeqLock, HarrisMcas};
+use dcas_bench::{sequential_churn, two_end_phase};
+use dcas_deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, LfrcListDeque, ListDeque};
+
+const OPS: u64 = 4_000;
+
+fn bench_impl<D: ConcurrentDeque<u64>>(c: &mut Criterion, name: &str, mk: impl Fn() -> D) {
+    let mut g = c.benchmark_group("e5/array_vs_list");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new(name, "sequential"), |b| {
+        let d = mk();
+        b.iter(|| sequential_churn(&d, 1_000));
+    });
+    g.bench_function(BenchmarkId::new(name, "contended_4"), |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let d = mk();
+                total += two_end_phase(&d, 4, OPS);
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    // Lock-free strategy (allocation cost of descriptors included).
+    bench_impl(c, "array/mcas", || ArrayDeque::<u64, HarrisMcas>::new(1 << 12));
+    bench_impl(c, "list/mcas", ListDeque::<u64, HarrisMcas>::new);
+    bench_impl(c, "list-dummy/mcas", DummyListDeque::<u64, HarrisMcas>::new);
+    bench_impl(c, "list-lfrc/mcas", LfrcListDeque::<u64, HarrisMcas>::new);
+    // Blocking strategy (isolates node allocation from descriptor
+    // allocation).
+    bench_impl(c, "array/seqlock", || ArrayDeque::<u64, GlobalSeqLock>::new(1 << 12));
+    bench_impl(c, "list/seqlock", ListDeque::<u64, GlobalSeqLock>::new);
+    bench_impl(c, "list-dummy/seqlock", DummyListDeque::<u64, GlobalSeqLock>::new);
+    bench_impl(c, "list-lfrc/seqlock", LfrcListDeque::<u64, GlobalSeqLock>::new);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

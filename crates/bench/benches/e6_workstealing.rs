@@ -1,0 +1,55 @@
+//! E6 — the motivating application (Section 1: deques are "currently
+//! used in load balancing algorithms [4]"): a fork-join tree on the
+//! work-stealing scheduler, per deque implementation, including the
+//! CAS-only Arora–Blumofe–Plaxton baseline the paper cites.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas_workstealing::{
+    AbpWorkDeque, ArrayWorkDeque, DynDeque, ListWorkDeque, MutexWorkDeque, Scheduler, WorkDeque,
+    WorkerHandle,
+};
+
+fn spawn_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, leaves: Arc<AtomicU64>) {
+    if depth == 0 {
+        leaves.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let l = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, l));
+    let r = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, r));
+}
+
+fn bench_deque<D: WorkDeque>(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6/workstealing");
+    g.sample_size(10);
+    for workers in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new(D::name(), workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let leaves = Arc::new(AtomicU64::new(0));
+                    let sched: Scheduler<D> = Scheduler::with_capacity(workers, 1 << 14);
+                    let l = leaves.clone();
+                    sched.run(move |w| spawn_tree(w, 11, l));
+                    assert_eq!(leaves.load(Ordering::SeqCst), 1 << 11);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_deque::<AbpWorkDeque>(c);
+    bench_deque::<ArrayWorkDeque>(c);
+    bench_deque::<ListWorkDeque>(c);
+    bench_deque::<MutexWorkDeque>(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

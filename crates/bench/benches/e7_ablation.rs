@@ -1,0 +1,76 @@
+//! E7 — the ablation the paper explicitly defers: "While both of these
+//! code fragments may avoid overhead in some cases, there is also
+//! overhead associated with including them. Experimentation would be
+//! required to determine whether either or both of these code fragments
+//! should be included for a specific application and system context."
+//! (Section 3.)
+//!
+//! The two fragments of the array algorithm:
+//!  * line 7 — re-read the index before the boundary-confirming DCAS;
+//!  * lines 17-18 — use the strong DCAS's atomic failure view to report
+//!    empty/full without retrying.
+//!
+//! We sweep all four on/off combinations across three contention regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::GlobalSeqLock;
+use dcas_bench::{boundary_phase, sequential_churn, two_end_phase};
+use dcas_deque::array::{ArrayConfig, ArrayDeque};
+
+const OPS: u64 = 4_000;
+
+fn config_name(cfg: ArrayConfig) -> String {
+    format!(
+        "line7={}/lines17-18={}",
+        if cfg.revalidate_index { "on" } else { "off" },
+        if cfg.strong_failure_check { "on" } else { "off" }
+    )
+}
+
+fn all(c: &mut Criterion) {
+    let configs = [
+        ArrayConfig { revalidate_index: true, strong_failure_check: true },
+        ArrayConfig { revalidate_index: true, strong_failure_check: false },
+        ArrayConfig { revalidate_index: false, strong_failure_check: true },
+        ArrayConfig { revalidate_index: false, strong_failure_check: false },
+    ];
+
+    let mut g = c.benchmark_group("e7/ablation");
+    g.sample_size(10);
+    for cfg in configs {
+        let name = config_name(cfg);
+        // Regime 1: uncontended sequential churn (fragments are pure
+        // overhead here — no competition to detect).
+        g.bench_function(BenchmarkId::new(&name, "sequential"), |b| {
+            let d: ArrayDeque<u64, GlobalSeqLock> = ArrayDeque::with_config(1 << 12, cfg);
+            b.iter(|| sequential_churn(&d, 1_000));
+        });
+        // Regime 2: two-end contention on a roomy deque.
+        g.bench_function(BenchmarkId::new(&name, "contended"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let d: ArrayDeque<u64, GlobalSeqLock> = ArrayDeque::with_config(1 << 12, cfg);
+                    total += two_end_phase(&d, 4, OPS);
+                }
+                total
+            });
+        });
+        // Regime 3: boundary storm (the fragments' target scenario:
+        // frequent empty detections, many stolen items).
+        g.bench_function(BenchmarkId::new(&name, "boundary"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let d: ArrayDeque<u64, GlobalSeqLock> = ArrayDeque::with_config(2, cfg);
+                    total += boundary_phase(&d, 4, OPS);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E9 — DCAS latency sensitivity: the question the paper leaves open.
+//!
+//! Section 6: "it seems very likely that our DCAS-based algorithms would
+//! perform much better [than CAS-only alternatives]. (Of course, without
+//! detailed knowledge of the implementation of a particular system
+//! supporting DCAS, we cannot quantify this comparison.)"
+//!
+//! We quantify it parametrically: wrap the cheapest blocking emulation in
+//! a spin-delay model and sweep the assumed DCAS latency, comparing
+//! deque throughput against the mutex baseline at each point. The
+//! crossover shows how cheap hardware DCAS would need to be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcas::{Delayed, GlobalSeqLock};
+use dcas_baselines::MutexDeque;
+use dcas_bench::two_end_phase;
+use dcas_deque::{ConcurrentDeque, ListDeque};
+
+const OPS: u64 = 3_000;
+const THREADS: usize = 4;
+
+fn bench_point<D: ConcurrentDeque<u64>>(c: &mut Criterion, name: &str, mk: impl Fn() -> D) {
+    let mut g = c.benchmark_group("e9/latency_model");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new(name, THREADS), |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let d = mk();
+                total += two_end_phase(&d, THREADS, OPS);
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_point(c, "mutex-baseline", MutexDeque::<u64>::new);
+    bench_point(c, "list/dcas-spin-0", ListDeque::<u64, Delayed<GlobalSeqLock, 0>>::new);
+    bench_point(c, "list/dcas-spin-16", ListDeque::<u64, Delayed<GlobalSeqLock, 16>>::new);
+    bench_point(c, "list/dcas-spin-64", ListDeque::<u64, Delayed<GlobalSeqLock, 64>>::new);
+    bench_point(c, "list/dcas-spin-256", ListDeque::<u64, Delayed<GlobalSeqLock, 256>>::new);
+    bench_point(c, "list/dcas-spin-1024", ListDeque::<u64, Delayed<GlobalSeqLock, 1024>>::new);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,530 @@
+//! The array-based bounded deque of Section 3 of the paper.
+//!
+//! The deque lives in a circular array `S[0..length_S-1]` indexed by two
+//! counters `L` and `R` that point at the next free cell on each side.
+//! Initially `(L + 1) mod length_S == R`; as values are pushed and popped
+//! the two indices chase each other around the ring and may "cross"
+//! (Figure 8). The paper's key observation is that a processor never needs
+//! an atomic view of *both* indices: the deque's emptiness or fullness is
+//! determined by one index together with the content of the cell adjacent
+//! to it, which is exactly what one DCAS can examine.
+//!
+//! * `pushRight` inserts at `S[R]` and advances `R` (Figure 3);
+//!   `popRight` removes from `S[R-1]` and retreats `R` (Figure 2);
+//!   the left-side operations are the mirror images (Figures 30, 31).
+//! * The deque is **empty** when the cell being popped is null, and
+//!   **full** when the cell being pushed into is non-null; either
+//!   condition is *confirmed* by an identity DCAS that checks, at a single
+//!   instant, that the index hasn't moved and the cell still has the
+//!   boundary content (lines 8–10 of Figures 2/3).
+//!
+//! Two optional code fragments from the paper are exposed as
+//! [`ArrayConfig`] knobs because the paper itself says "experimentation
+//! would be required to determine whether either or both of these code
+//! fragments should be included" — bench `e7_ablation` runs that
+//! experiment:
+//!
+//! * line 7 (re-read the index before attempting the boundary-confirming
+//!   DCAS), and
+//! * lines 17–18 (use the *strong* DCAS that returns an atomic view on
+//!   failure, to detect "the deque became empty/full under me" without
+//!   retrying).
+
+// The nested `if` structure deliberately mirrors the paper's line-numbered
+// listings (line 7 gates lines 8-10); do not collapse it.
+#![allow(clippy::collapsible_if, clippy::collapsible_else_if)]
+
+use std::marker::PhantomData;
+
+use crossbeam_utils::CachePadded;
+use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+
+use crate::reserved::NULL;
+use crate::value::{Boxed, WordValue};
+use crate::{ConcurrentDeque, Full};
+
+#[cfg(test)]
+mod tests;
+
+/// Toggles for the paper's two optional optimizations (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Line 7 of Figures 2/3 (and the mirrored lines of Figures 30/31):
+    /// re-read the end index and skip the boundary-confirming DCAS if it
+    /// moved, on the assumption that "a null value is read because another
+    /// processor stole the item, and not because the deque is really
+    /// empty".
+    pub revalidate_index: bool,
+    /// Lines 17–18 of Figures 2/3: perform the main DCAS in its strong
+    /// form and use the returned atomic view to report `empty`/`full`
+    /// immediately instead of retrying the loop. Requires (and is only
+    /// exercised with) a strategy for which the strong form exists; on
+    /// strategies without [`DcasStrategy::HAS_CHEAP_STRONG`] it still
+    /// works but costs extra.
+    pub strong_failure_check: bool,
+}
+
+impl Default for ArrayConfig {
+    /// The paper's published code includes both fragments.
+    fn default() -> Self {
+        ArrayConfig { revalidate_index: true, strong_failure_check: true }
+    }
+}
+
+impl ArrayConfig {
+    /// Configuration with both optional fragments removed; per the paper,
+    /// "the algorithm would still be correct if line 7, and/or lines 17
+    /// and 18, were deleted", and this variant needs only the weak DCAS.
+    pub fn minimal() -> Self {
+        ArrayConfig { revalidate_index: false, strong_failure_check: false }
+    }
+}
+
+/// A quiescent snapshot of the implementation state, for diagnostics and
+/// for the figure-reproduction tests. Only meaningful while no operations
+/// are in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// Current value of the left index `L`.
+    pub l: usize,
+    /// Current value of the right index `R`.
+    pub r: usize,
+    /// For each cell, whether it currently holds a value.
+    pub occupied: Vec<bool>,
+}
+
+/// Word-level array deque: the paper's algorithm verbatim, storing
+/// [`WordValue`]-encoded values. Use [`ArrayDeque`] for an arbitrary
+/// element type.
+pub struct RawArrayDeque<V: WordValue, S: DcasStrategy> {
+    strategy: S,
+    config: ArrayConfig,
+    /// The right index `R` (stored shifted left by two to satisfy the DCAS
+    /// payload contract).
+    r: CachePadded<DcasWord>,
+    /// The left index `L`.
+    l: CachePadded<DcasWord>,
+    /// The circular array `S[0..length_S-1]`.
+    slots: Box<[DcasWord]>,
+    _marker: PhantomData<fn(V) -> V>,
+}
+
+#[inline]
+fn enc_idx(i: usize) -> u64 {
+    (i as u64) << 2
+}
+
+#[inline]
+fn dec_idx(w: u64) -> usize {
+    (w >> 2) as usize
+}
+
+impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
+    /// Creates a deque with capacity `length` (the paper's
+    /// `make_deque(length_S)`), using a default-constructed strategy and
+    /// the paper's published configuration — except that the lines-17-18
+    /// fragment (which needs the strong DCAS form) is enabled only when
+    /// the strategy provides it cheaply ([`DcasStrategy::HAS_CHEAP_STRONG`]),
+    /// per the paper's own advice that the fragment is an optional
+    /// optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` (the specification requires
+    /// `length_S >= 1`) or if `length` exceeds `u32::MAX` cells.
+    pub fn new(length: usize) -> Self {
+        Self::with_config(
+            length,
+            ArrayConfig { revalidate_index: true, strong_failure_check: S::HAS_CHEAP_STRONG },
+        )
+    }
+
+    /// Creates a deque with an explicit optimization configuration.
+    pub fn with_config(length: usize, config: ArrayConfig) -> Self {
+        assert!(length >= 1, "make_deque requires length_S >= 1");
+        assert!(length <= u32::MAX as usize, "deque too large");
+        let slots = (0..length).map(|_| DcasWord::new(NULL)).collect();
+        RawArrayDeque {
+            strategy: S::default(),
+            config,
+            // Initially L == 0 and R == 1 mod length_S.
+            r: CachePadded::new(DcasWord::new(enc_idx(1 % length))),
+            l: CachePadded::new(DcasWord::new(enc_idx(0))),
+            slots,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The DCAS strategy instance (for inspecting [`dcas::Counting`]
+    /// statistics).
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    #[inline]
+    fn add1(&self, i: usize) -> usize {
+        (i + 1) % self.slots.len()
+    }
+
+    #[inline]
+    fn sub1(&self, i: usize) -> usize {
+        (i + self.slots.len() - 1) % self.slots.len()
+    }
+
+    /// `popRight` — Figure 2.
+    pub fn pop_right(&self) -> Option<V> {
+        loop {
+            let old_r = dec_idx(self.strategy.load(&self.r)); // line 3
+            let new_r = self.sub1(old_r); // line 4
+            let old_s = self.strategy.load(&self.slots[new_r]); // line 5
+            if old_s == NULL {
+                // Lines 6-11: the deque may be empty; confirm with an
+                // identity DCAS giving an instantaneous view of R and
+                // S[R-1].
+                if !self.config.revalidate_index
+                    || dec_idx(self.strategy.load(&self.r)) == old_r
+                {
+                    if self.strategy.dcas(
+                        &self.r,
+                        &self.slots[new_r],
+                        enc_idx(old_r),
+                        NULL,
+                        enc_idx(old_r),
+                        NULL,
+                    ) {
+                        return None; // "empty"
+                    }
+                }
+            } else if self.config.strong_failure_check {
+                // Lines 12-19 with the strong DCAS of Figure 1.
+                let save_r = old_r; // line 13
+                let mut o1 = enc_idx(old_r);
+                let mut o2 = old_s;
+                if self.strategy.dcas_strong(
+                    &self.r,
+                    &self.slots[new_r],
+                    &mut o1,
+                    &mut o2,
+                    enc_idx(new_r),
+                    NULL,
+                ) {
+                    // SAFETY: the successful DCAS moved the encoded value
+                    // out of the slot; we are its unique owner.
+                    return Some(unsafe { V::decode(old_s) });
+                } else if dec_idx(o1) == save_r {
+                    // Line 17: R did not move, so the slot changed.
+                    if o2 == NULL {
+                        // Line 18: a competing popLeft stole the last
+                        // item (Figure 6); the deque was empty at the
+                        // DCAS's instant.
+                        return None;
+                    }
+                }
+            } else {
+                // The weak-DCAS variant: on failure, just retry the loop.
+                if self.strategy.dcas(
+                    &self.r,
+                    &self.slots[new_r],
+                    enc_idx(old_r),
+                    old_s,
+                    enc_idx(new_r),
+                    NULL,
+                ) {
+                    // SAFETY: as above.
+                    return Some(unsafe { V::decode(old_s) });
+                }
+            }
+        }
+    }
+
+    /// `pushRight` — Figure 3.
+    pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
+        let val = v.encode();
+        loop {
+            let old_r = dec_idx(self.strategy.load(&self.r)); // line 3
+            let new_r = self.add1(old_r); // line 4
+            let old_s = self.strategy.load(&self.slots[old_r]); // line 5
+            if old_s != NULL {
+                // Lines 6-11: the deque may be full; confirm atomically.
+                if !self.config.revalidate_index
+                    || dec_idx(self.strategy.load(&self.r)) == old_r
+                {
+                    if self.strategy.dcas(
+                        &self.r,
+                        &self.slots[old_r],
+                        enc_idx(old_r),
+                        old_s,
+                        enc_idx(old_r),
+                        old_s,
+                    ) {
+                        // SAFETY: `val` was produced by `encode` above and
+                        // has not been consumed.
+                        return Err(Full(unsafe { V::decode(val) })); // "full"
+                    }
+                }
+            } else if self.config.strong_failure_check {
+                let save_r = old_r; // line 13
+                let mut o1 = enc_idx(old_r);
+                let mut o2 = NULL;
+                if self.strategy.dcas_strong(
+                    &self.r,
+                    &self.slots[old_r],
+                    &mut o1,
+                    &mut o2,
+                    enc_idx(new_r),
+                    val,
+                ) {
+                    return Ok(()); // "okay"
+                } else if dec_idx(o1) == save_r {
+                    // Lines 17-18: R unchanged, so the cell turned
+                    // non-null: the deque is full. (Unlike pop, any
+                    // non-null content means full.)
+                    // SAFETY: as above.
+                    return Err(Full(unsafe { V::decode(val) }));
+                }
+            } else {
+                if self.strategy.dcas(
+                    &self.r,
+                    &self.slots[old_r],
+                    enc_idx(old_r),
+                    NULL,
+                    enc_idx(new_r),
+                    val,
+                ) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// `popLeft` — Figure 30 (mirror image of `popRight`).
+    pub fn pop_left(&self) -> Option<V> {
+        loop {
+            let old_l = dec_idx(self.strategy.load(&self.l)); // line 3
+            let new_l = self.add1(old_l); // line 4
+            let old_s = self.strategy.load(&self.slots[new_l]); // line 5
+            if old_s == NULL {
+                if !self.config.revalidate_index
+                    || dec_idx(self.strategy.load(&self.l)) == old_l
+                {
+                    if self.strategy.dcas(
+                        &self.l,
+                        &self.slots[new_l],
+                        enc_idx(old_l),
+                        NULL,
+                        enc_idx(old_l),
+                        NULL,
+                    ) {
+                        return None;
+                    }
+                }
+            } else if self.config.strong_failure_check {
+                let save_l = old_l;
+                let mut o1 = enc_idx(old_l);
+                let mut o2 = old_s;
+                if self.strategy.dcas_strong(
+                    &self.l,
+                    &self.slots[new_l],
+                    &mut o1,
+                    &mut o2,
+                    enc_idx(new_l),
+                    NULL,
+                ) {
+                    // SAFETY: as in `pop_right`.
+                    return Some(unsafe { V::decode(old_s) });
+                } else if dec_idx(o1) == save_l {
+                    if o2 == NULL {
+                        return None;
+                    }
+                }
+            } else {
+                if self.strategy.dcas(
+                    &self.l,
+                    &self.slots[new_l],
+                    enc_idx(old_l),
+                    old_s,
+                    enc_idx(new_l),
+                    NULL,
+                ) {
+                    // SAFETY: as in `pop_right`.
+                    return Some(unsafe { V::decode(old_s) });
+                }
+            }
+        }
+    }
+
+    /// `pushLeft` — Figure 31 (mirror image of `pushRight`).
+    pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
+        let val = v.encode();
+        loop {
+            let old_l = dec_idx(self.strategy.load(&self.l)); // line 3
+            let new_l = self.sub1(old_l); // line 4
+            let old_s = self.strategy.load(&self.slots[old_l]); // line 5
+            if old_s != NULL {
+                if !self.config.revalidate_index
+                    || dec_idx(self.strategy.load(&self.l)) == old_l
+                {
+                    if self.strategy.dcas(
+                        &self.l,
+                        &self.slots[old_l],
+                        enc_idx(old_l),
+                        old_s,
+                        enc_idx(old_l),
+                        old_s,
+                    ) {
+                        // SAFETY: as in `push_right`.
+                        return Err(Full(unsafe { V::decode(val) }));
+                    }
+                }
+            } else if self.config.strong_failure_check {
+                let save_l = old_l;
+                let mut o1 = enc_idx(old_l);
+                let mut o2 = NULL;
+                if self.strategy.dcas_strong(
+                    &self.l,
+                    &self.slots[old_l],
+                    &mut o1,
+                    &mut o2,
+                    enc_idx(new_l),
+                    val,
+                ) {
+                    return Ok(());
+                } else if dec_idx(o1) == save_l {
+                    // SAFETY: as in `push_right`.
+                    return Err(Full(unsafe { V::decode(val) }));
+                }
+            } else {
+                if self.strategy.dcas(
+                    &self.l,
+                    &self.slots[old_l],
+                    enc_idx(old_l),
+                    NULL,
+                    enc_idx(new_l),
+                    val,
+                ) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Snapshot of `(L, R, occupancy)` for diagnostics and the
+    /// figure-reproduction tests. Only meaningful in quiescence (no
+    /// concurrent operations).
+    pub fn layout(&self) -> ArrayLayout {
+        ArrayLayout {
+            l: dec_idx(self.strategy.load(&self.l)),
+            r: dec_idx(self.strategy.load(&self.r)),
+            occupied: self
+                .slots
+                .iter()
+                .map(|s| self.strategy.load(s) != NULL)
+                .collect(),
+        }
+    }
+
+    /// Number of occupied cells, by scanning. Quiescent diagnostic only.
+    pub fn len_quiescent(&self) -> usize {
+        self.layout().occupied.iter().filter(|&&o| o).count()
+    }
+}
+
+impl<V: WordValue, S: DcasStrategy> Drop for RawArrayDeque<V, S> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut() {
+            let w = slot.unsync_load();
+            if w != NULL {
+                // SAFETY: `&mut self` means no operation is in flight, so
+                // the slot holds an unconsumed encoded value.
+                unsafe { V::drop_encoded(w) };
+            }
+        }
+    }
+}
+
+/// The array-based bounded deque of the paper's Section 3, for arbitrary
+/// element types `T` (heap-boxed per element) and any DCAS strategy `S`
+/// (lock-free [`HarrisMcas`] by default).
+///
+/// See the [module documentation](self) for the algorithm, and
+/// [`RawArrayDeque`] for the word-level API used by benches.
+pub struct ArrayDeque<T: Send, S: DcasStrategy = HarrisMcas> {
+    raw: RawArrayDeque<Boxed<T>, S>,
+}
+
+impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
+    /// Creates a deque with capacity `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0`.
+    pub fn new(length: usize) -> Self {
+        ArrayDeque { raw: RawArrayDeque::new(length) }
+    }
+
+    /// Creates a deque with an explicit optimization configuration.
+    pub fn with_config(length: usize, config: ArrayConfig) -> Self {
+        ArrayDeque { raw: RawArrayDeque::with_config(length, config) }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    /// Appends `v` at the right end; `Err(Full(v))` if the deque is full.
+    pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
+        self.raw
+            .push_right(Boxed::new(v))
+            .map_err(|Full(b)| Full(b.into_inner()))
+    }
+
+    /// Appends `v` at the left end; `Err(Full(v))` if the deque is full.
+    pub fn push_left(&self, v: T) -> Result<(), Full<T>> {
+        self.raw
+            .push_left(Boxed::new(v))
+            .map_err(|Full(b)| Full(b.into_inner()))
+    }
+
+    /// Removes and returns the rightmost value, or `None` if empty.
+    pub fn pop_right(&self) -> Option<T> {
+        self.raw.pop_right().map(Boxed::into_inner)
+    }
+
+    /// Removes and returns the leftmost value, or `None` if empty.
+    pub fn pop_left(&self) -> Option<T> {
+        self.raw.pop_left().map(Boxed::into_inner)
+    }
+
+    /// Quiescent layout snapshot (see [`RawArrayDeque::layout`]).
+    pub fn layout(&self) -> ArrayLayout {
+        self.raw.layout()
+    }
+}
+
+impl<T: Send, S: DcasStrategy> ConcurrentDeque<T> for ArrayDeque<T, S> {
+    fn push_right(&self, v: T) -> Result<(), Full<T>> {
+        ArrayDeque::push_right(self, v)
+    }
+
+    fn push_left(&self, v: T) -> Result<(), Full<T>> {
+        ArrayDeque::push_left(self, v)
+    }
+
+    fn pop_right(&self) -> Option<T> {
+        ArrayDeque::pop_right(self)
+    }
+
+    fn pop_left(&self) -> Option<T> {
+        ArrayDeque::pop_left(self)
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "array-dcas"
+    }
+}

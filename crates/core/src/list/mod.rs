@@ -1,0 +1,610 @@
+//! The linked-list-based unbounded deque of Section 4 of the paper —
+//! the first non-blocking unbounded-memory deque.
+//!
+//! The deque is a doubly-linked list between two fixed *sentinel* nodes
+//! `SL` and `SR` whose value fields hold the distinguished `sentL` /
+//! `sentR` constants. The central idea is to **split pop into two atomic
+//! steps**:
+//!
+//! 1. *logical deletion* — one DCAS simultaneously swaps the victim's
+//!    value to `null` and sets a **deleted bit** packed into the
+//!    sentinel's inward pointer (Figure 12);
+//! 2. *physical deletion* — a later DCAS splices the null node out of the
+//!    list and clears the bit (Figure 15), performed by whichever
+//!    operation on that side encounters the set bit (`deleteRight` /
+//!    `deleteLeft`, Figures 17/34).
+//!
+//! If a processor is suspended between the two steps, any other processor
+//! can complete (or work around) the physical deletion, which is what
+//! makes the algorithm non-blocking. The subtle case is a deque holding
+//! exactly two logically-deleted nodes with a `deleteLeft` and a
+//! `deleteRight` racing (Figure 16): both attempt DCASes that overlap on
+//! a sentinel pointer, so exactly one wins, and the paper's proof (and our
+//! model checker) shows either outcome leaves a consistent list.
+//!
+//! The cost of splitting is one extra DCAS per pop; the benefit is that
+//! no operation ever needs to synchronize on *both* sentinel pointers at
+//! once, so the two ends don't interfere while the deque is non-empty.
+//!
+//! # Memory reclamation
+//!
+//! The paper assumes a garbage collector (its computation model is
+//! Lisp/Java). We substitute `crossbeam-epoch`: every operation runs
+//! pinned, and the thread whose DCAS physically splices a node out
+//! retires it; the node is freed only after every operation that might
+//! still hold a reference has finished. This preserves the property the
+//! algorithms need from GC — a node is never recycled while a processor
+//! can reach it — and therefore rules out ABA on node pointers.
+//!
+//! # Corrected typos
+//!
+//! The paper's Figure 32 line 4 reads `oldL.ptr->value` where symmetry
+//! with Figure 11 requires `oldR.ptr->value`, and Figure 33 line 10 reads
+//! `newR.ptr->L.ptr = SR` where the left-side push must write `SL`. Both
+//! are corrected here (see DESIGN.md).
+
+use std::marker::PhantomData;
+
+use crossbeam_epoch::{self as epoch, Guard};
+use crossbeam_utils::CachePadded;
+use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+
+use crate::reserved::{NULL, SENTL, SENTR};
+use crate::value::{Boxed, WordValue};
+use crate::{ConcurrentDeque, Full};
+
+#[cfg(test)]
+mod tests;
+
+/// A list node: two pointer words and a value word (the paper's `node`
+/// typedef). 16-byte alignment keeps the low four bits of node addresses
+/// clear for the substrate tag bits and the deleted flag.
+#[repr(align(16))]
+struct Node {
+    /// Left pointer word (`ptr | deleted-bit`).
+    l: DcasWord,
+    /// Right pointer word.
+    r: DcasWord,
+    /// `NULL`, `SENTL`, `SENTR`, or an encoded user value.
+    value: DcasWord,
+}
+
+impl Node {
+    fn new_blank() -> Node {
+        Node {
+            l: DcasWord::new(0),
+            r: DcasWord::new(0),
+            value: DcasWord::new(NULL),
+        }
+    }
+}
+
+/// Bit 2 of a pointer word marks the pointed-to node as logically deleted
+/// (bits 0–1 are reserved for the DCAS substrate).
+const DELETED_BIT: u64 = 0b100;
+
+/// Packs the paper's `pointer` struct (`node *ptr; boolean deleted`) into
+/// one word.
+#[inline]
+fn pack(ptr: *const Node, deleted: bool) -> u64 {
+    let p = ptr as u64;
+    debug_assert_eq!(p & 0xF, 0, "node pointers must be 16-byte aligned");
+    p | if deleted { DELETED_BIT } else { 0 }
+}
+
+#[inline]
+fn ptr_of(w: u64) -> *const Node {
+    (w & !0xF) as *const Node
+}
+
+#[inline]
+fn deleted_of(w: u64) -> bool {
+    w & DELETED_BIT != 0
+}
+
+/// Quiescent snapshot of the list structure, for diagnostics and the
+/// Figure 9/12/14/15 reproduction tests. Only meaningful while no
+/// operations are in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListLayout {
+    /// Value words of the interior (non-sentinel) nodes, left to right;
+    /// `None` represents the `null` value of a logically deleted node.
+    pub cells: Vec<Option<u64>>,
+    /// The deleted bit of the left sentinel's right pointer.
+    pub left_deleted: bool,
+    /// The deleted bit of the right sentinel's left pointer.
+    pub right_deleted: bool,
+}
+
+impl ListLayout {
+    /// Number of interior nodes still physically linked.
+    pub fn linked_nodes(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of live (non-deleted) values.
+    pub fn live_values(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Word-level linked-list deque: the paper's algorithm verbatim, storing
+/// [`WordValue`]-encoded values. Use [`ListDeque`] for arbitrary element
+/// types.
+pub struct RawListDeque<V: WordValue, S: DcasStrategy> {
+    strategy: S,
+    /// Left sentinel (`SL`), at a fixed address for the deque's lifetime.
+    sl: Box<CachePadded<Node>>,
+    /// Right sentinel (`SR`).
+    sr: Box<CachePadded<Node>>,
+    _marker: PhantomData<fn(V) -> V>,
+}
+
+// SAFETY: the deque is a shared concurrent structure; all shared-word
+// accesses go through the `DcasStrategy`, values are transferred between
+// threads (hence `V: Send`, implied by `WordValue`), and the raw node
+// pointers are managed by epoch reclamation.
+unsafe impl<V: WordValue, S: DcasStrategy> Send for RawListDeque<V, S> {}
+unsafe impl<V: WordValue, S: DcasStrategy> Sync for RawListDeque<V, S> {}
+
+impl<V: WordValue, S: DcasStrategy> Default for RawListDeque<V, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
+    /// Creates an empty deque (the paper's `make_deque` without a length:
+    /// unbounded).
+    pub fn new() -> Self {
+        let sl = Box::new(CachePadded::new(Node::new_blank()));
+        let sr = Box::new(CachePadded::new(Node::new_blank()));
+        let slp: *const Node = &**sl as *const Node;
+        let srp: *const Node = &**sr as *const Node;
+        // Initially SR->L == SL and SL->R == SR (Figure 9, top); the
+        // sentinels' outward pointers are never used.
+        sl.value.init_store(SENTL);
+        sr.value.init_store(SENTR);
+        sl.r.init_store(pack(srp, false));
+        sr.l.init_store(pack(slp, false));
+        RawListDeque { strategy: S::default(), sl, sr, _marker: PhantomData }
+    }
+
+    #[inline]
+    fn slp(&self) -> *const Node {
+        &**self.sl as *const Node
+    }
+
+    #[inline]
+    fn srp(&self) -> *const Node {
+        &**self.sr as *const Node
+    }
+
+    /// The DCAS strategy instance (for [`dcas::Counting`] statistics).
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Retires a spliced-out node to the epoch collector.
+    ///
+    /// # Safety
+    ///
+    /// `node` must have been allocated by this deque's push path and must
+    /// have just been physically unlinked by a successful DCAS performed
+    /// by the calling thread (so it is retired exactly once).
+    unsafe fn retire(&self, node: *const Node, guard: &Guard) {
+        let node = node as *mut Node;
+        // SAFETY: the node is unreachable from the list, so no new
+        // operation can find it; operations that already hold a reference
+        // are pinned with guards at least as old as `guard`.
+        unsafe {
+            guard.defer_unchecked(move || drop(Box::from_raw(node)));
+        }
+    }
+
+    /// `popRight` — Figure 11.
+    pub fn pop_right(&self) -> Option<V> {
+        let guard = epoch::pin();
+        loop {
+            let old_l = self.strategy.load(&self.sr.l); // line 3
+            let olp = ptr_of(old_l);
+            // SAFETY: `olp` was linked at line 3 and we are pinned, so the
+            // node cannot have been freed.
+            let v = self.strategy.load(unsafe { &(*olp).value }); // line 4
+            if v == SENTL {
+                return None; // line 5: "empty"
+            }
+            if deleted_of(old_l) {
+                self.delete_right(&guard); // lines 6-7
+            } else if v == NULL {
+                // Lines 8-12: the node was deleted by a popLeft; the deque
+                // is empty if nothing changed — confirm with an identity
+                // DCAS over (SR->L, node value).
+                // SAFETY: as above.
+                if self.strategy.dcas(
+                    &self.sr.l,
+                    unsafe { &(*olp).value },
+                    old_l,
+                    v,
+                    old_l,
+                    v,
+                ) {
+                    return None;
+                }
+            } else {
+                // Lines 13-19: logically delete — swap the value to null
+                // and set the deleted bit in SR->L, in one DCAS
+                // (Figure 12).
+                let new_l = pack(olp, true);
+                // SAFETY: as above.
+                if self.strategy.dcas(
+                    &self.sr.l,
+                    unsafe { &(*olp).value },
+                    old_l,
+                    v,
+                    new_l,
+                    NULL,
+                ) {
+                    // SAFETY: the successful DCAS moved the encoded value
+                    // out of the node; we are its unique owner.
+                    return Some(unsafe { V::decode(v) });
+                }
+            }
+        }
+    }
+
+    /// `pushRight` — Figure 13.
+    pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
+        let guard = epoch::pin();
+        // Lines 2-4: allocate the new node. (The paper returns "full" if
+        // the allocator fails; Rust's global allocator aborts instead, so
+        // the push path never reports full — matching the unbounded deque
+        // specification of Section 2.2.)
+        let node = Box::into_raw(Box::new(Node::new_blank()));
+        let val = v.encode();
+        loop {
+            let old_l = self.strategy.load(&self.sr.l); // line 6
+            if deleted_of(old_l) {
+                self.delete_right(&guard); // lines 7-8
+            } else {
+                let olp = ptr_of(old_l);
+                // Lines 10-13: initialize the unpublished node. These are
+                // plain stores; the publishing DCAS below provides the
+                // release edge.
+                // SAFETY: `node` is not yet published, we have exclusive
+                // access.
+                unsafe {
+                    (*node).r.init_store(pack(self.srp(), false));
+                    (*node).l.init_store(old_l);
+                    (*node).value.init_store(val);
+                }
+                let old_lr = pack(self.srp(), false); // lines 14-15
+                // Lines 16-18: splice in by redirecting SR->L and the old
+                // neighbor's R pointer to the new node (Figure 14).
+                // SAFETY: `olp` reachable at line 6, pinned.
+                if self.strategy.dcas(
+                    &self.sr.l,
+                    unsafe { &(*olp).r },
+                    old_l,
+                    old_lr,
+                    pack(node, false),
+                    pack(node, false),
+                ) {
+                    return Ok(()); // "okay"
+                }
+            }
+        }
+    }
+
+    /// `deleteRight` — Figure 17: completes a pending physical deletion on
+    /// the right-hand side.
+    fn delete_right(&self, guard: &Guard) {
+        loop {
+            let old_l = self.strategy.load(&self.sr.l); // line 3
+            if !deleted_of(old_l) {
+                return; // line 4: someone else finished the deletion
+            }
+            let olp = ptr_of(old_l);
+            // SAFETY (this and subsequent derefs): nodes reachable from a
+            // sentinel while we are pinned are not freed; see module docs.
+            let old_ll = ptr_of(self.strategy.load(unsafe { &(*olp).l })); // line 5
+            let v = self.strategy.load(unsafe { &(*old_ll).value }); // line 6
+            if v != NULL {
+                // Lines 6-14: the left neighbor is live (or is the left
+                // sentinel); splice out the null node by pointing SR and
+                // that neighbor at each other (Figure 15).
+                let old_llr = self.strategy.load(unsafe { &(*old_ll).r }); // line 7
+                if olp == ptr_of(old_llr) {
+                    // lines 8-13
+                    let new_r = pack(self.srp(), false);
+                    if self.strategy.dcas(
+                        &self.sr.l,
+                        unsafe { &(*old_ll).r },
+                        old_l,
+                        old_llr,
+                        pack(old_ll, false),
+                        new_r,
+                    ) {
+                        // SAFETY: our DCAS unlinked `olp`.
+                        unsafe { self.retire(olp, guard) };
+                        return;
+                    }
+                }
+            } else {
+                // Lines 16-26: two null items — both remaining nodes are
+                // logically deleted. Point the sentinels at each other,
+                // racing any concurrent deleteLeft (Figure 16).
+                let old_r = self.strategy.load(&self.sl.r); // line 17
+                if deleted_of(old_r) {
+                    // line 18
+                    let new_l = pack(self.slp(), false);
+                    let new_r = pack(self.srp(), false);
+                    if self.strategy.dcas(
+                        &self.sr.l,
+                        &self.sl.r,
+                        old_l,
+                        old_r,
+                        new_l,
+                        new_r,
+                    ) {
+                        // SAFETY: our DCAS unlinked both null nodes.
+                        unsafe {
+                            self.retire(olp, guard);
+                            self.retire(ptr_of(old_r), guard);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `popLeft` — Figure 32 (with the paper's line-4 typo corrected).
+    pub fn pop_left(&self) -> Option<V> {
+        let guard = epoch::pin();
+        loop {
+            let old_r = self.strategy.load(&self.sl.r); // line 3
+            let orp = ptr_of(old_r);
+            // SAFETY: as in `pop_right`.
+            let v = self.strategy.load(unsafe { &(*orp).value }); // line 4 (corrected)
+            if v == SENTR {
+                return None; // line 5
+            }
+            if deleted_of(old_r) {
+                self.delete_left(&guard); // lines 6-7
+            } else if v == NULL {
+                // SAFETY: as above.
+                if self.strategy.dcas(
+                    &self.sl.r,
+                    unsafe { &(*orp).value },
+                    old_r,
+                    v,
+                    old_r,
+                    v,
+                ) {
+                    return None;
+                }
+            } else {
+                let new_r = pack(orp, true);
+                // SAFETY: as above.
+                if self.strategy.dcas(
+                    &self.sl.r,
+                    unsafe { &(*orp).value },
+                    old_r,
+                    v,
+                    new_r,
+                    NULL,
+                ) {
+                    // SAFETY: unique ownership via successful DCAS.
+                    return Some(unsafe { V::decode(v) });
+                }
+            }
+        }
+    }
+
+    /// `pushLeft` — Figure 33 (with the paper's line-10 typo corrected:
+    /// the new node's left pointer aims at `SL`, not `SR`).
+    pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
+        let guard = epoch::pin();
+        let node = Box::into_raw(Box::new(Node::new_blank()));
+        let val = v.encode();
+        loop {
+            let old_r = self.strategy.load(&self.sl.r); // line 6
+            if deleted_of(old_r) {
+                self.delete_left(&guard); // lines 7-8
+            } else {
+                let orp = ptr_of(old_r);
+                // SAFETY: unpublished node, exclusive access.
+                unsafe {
+                    (*node).l.init_store(pack(self.slp(), false)); // corrected
+                    (*node).r.init_store(old_r);
+                    (*node).value.init_store(val);
+                }
+                let old_rl = pack(self.slp(), false);
+                // SAFETY: `orp` reachable at line 6, pinned.
+                if self.strategy.dcas(
+                    &self.sl.r,
+                    unsafe { &(*orp).l },
+                    old_r,
+                    old_rl,
+                    pack(node, false),
+                    pack(node, false),
+                ) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// `deleteLeft` — Figure 34.
+    fn delete_left(&self, guard: &Guard) {
+        loop {
+            let old_r = self.strategy.load(&self.sl.r); // line 3
+            if !deleted_of(old_r) {
+                return; // line 4
+            }
+            let orp = ptr_of(old_r);
+            // SAFETY: as in `delete_right`.
+            let old_rr = ptr_of(self.strategy.load(unsafe { &(*orp).r })); // line 5
+            let v = self.strategy.load(unsafe { &(*old_rr).value }); // line 6
+            if v != NULL {
+                let old_rrl = self.strategy.load(unsafe { &(*old_rr).l }); // line 7
+                if orp == ptr_of(old_rrl) {
+                    // lines 8-14
+                    let new_l = pack(self.slp(), false);
+                    if self.strategy.dcas(
+                        &self.sl.r,
+                        unsafe { &(*old_rr).l },
+                        old_r,
+                        old_rrl,
+                        pack(old_rr, false),
+                        new_l,
+                    ) {
+                        // SAFETY: our DCAS unlinked `orp`.
+                        unsafe { self.retire(orp, guard) };
+                        return;
+                    }
+                }
+            } else {
+                // Lines 16-26: two null items.
+                let old_l = self.strategy.load(&self.sr.l); // line 17
+                if deleted_of(old_l) {
+                    // line 22
+                    let new_r = pack(self.srp(), false);
+                    let new_l = pack(self.slp(), false);
+                    if self.strategy.dcas(
+                        &self.sl.r,
+                        &self.sr.l,
+                        old_r,
+                        old_l,
+                        new_r,
+                        new_l,
+                    ) {
+                        // SAFETY: our DCAS unlinked both null nodes.
+                        unsafe {
+                            self.retire(orp, guard);
+                            self.retire(ptr_of(old_l), guard);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quiescent snapshot of the list structure (see [`ListLayout`]).
+    pub fn layout(&self) -> ListLayout {
+        let _guard = epoch::pin();
+        let mut cells = Vec::new();
+        let mut cur = ptr_of(self.strategy.load(&self.sl.r));
+        while cur != self.srp() {
+            // SAFETY: quiescent per the method contract; nodes linked from
+            // SL are alive.
+            let v = self.strategy.load(unsafe { &(*cur).value });
+            cells.push((v != NULL).then_some(v));
+            cur = ptr_of(self.strategy.load(unsafe { &(*cur).r }));
+        }
+        ListLayout {
+            cells,
+            left_deleted: deleted_of(self.strategy.load(&self.sl.r)),
+            right_deleted: deleted_of(self.strategy.load(&self.sr.l)),
+        }
+    }
+}
+
+impl<V: WordValue, S: DcasStrategy> Drop for RawListDeque<V, S> {
+    fn drop(&mut self) {
+        // Exclusive access: no operation in flight, no descriptors
+        // installed. Walk the physical list, freeing interior nodes and
+        // any unconsumed values. Nodes already retired to the epoch
+        // collector are no longer linked and are freed by their deferred
+        // destructors.
+        // SAFETY: quiescence per `&mut self`.
+        unsafe {
+            let mut cur = ptr_of(self.sl.r.unsync_load_shared());
+            while cur != self.srp() {
+                let node = cur as *mut Node;
+                let v = (*node).value.unsync_load_shared();
+                if v != NULL {
+                    V::drop_encoded(v);
+                }
+                cur = ptr_of((*node).r.unsync_load_shared());
+                drop(Box::from_raw(node));
+            }
+        }
+    }
+}
+
+/// The linked-list-based unbounded deque of the paper's Section 4, for
+/// arbitrary element types `T` (heap-boxed per element) and any DCAS
+/// strategy `S` (lock-free [`HarrisMcas`] by default).
+///
+/// See the [module documentation](self) for the algorithm and
+/// [`RawListDeque`] for the word-level API used by benches.
+pub struct ListDeque<T: Send, S: DcasStrategy = HarrisMcas> {
+    raw: RawListDeque<Boxed<T>, S>,
+}
+
+impl<T: Send, S: DcasStrategy> Default for ListDeque<T, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        ListDeque { raw: RawListDeque::new() }
+    }
+
+    /// Appends `v` at the right end. Never fails (the deque is unbounded).
+    pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
+        self.raw
+            .push_right(Boxed::new(v))
+            .map_err(|Full(b)| Full(b.into_inner()))
+    }
+
+    /// Appends `v` at the left end. Never fails.
+    pub fn push_left(&self, v: T) -> Result<(), Full<T>> {
+        self.raw
+            .push_left(Boxed::new(v))
+            .map_err(|Full(b)| Full(b.into_inner()))
+    }
+
+    /// Removes and returns the rightmost value, or `None` if empty.
+    pub fn pop_right(&self) -> Option<T> {
+        self.raw.pop_right().map(Boxed::into_inner)
+    }
+
+    /// Removes and returns the leftmost value, or `None` if empty.
+    pub fn pop_left(&self) -> Option<T> {
+        self.raw.pop_left().map(Boxed::into_inner)
+    }
+
+    /// Quiescent layout snapshot (see [`RawListDeque::layout`]).
+    pub fn layout(&self) -> ListLayout {
+        self.raw.layout()
+    }
+}
+
+impl<T: Send, S: DcasStrategy> ConcurrentDeque<T> for ListDeque<T, S> {
+    fn push_right(&self, v: T) -> Result<(), Full<T>> {
+        ListDeque::push_right(self, v)
+    }
+
+    fn push_left(&self, v: T) -> Result<(), Full<T>> {
+        ListDeque::push_left(self, v)
+    }
+
+    fn pop_right(&self) -> Option<T> {
+        ListDeque::pop_right(self)
+    }
+
+    fn pop_left(&self) -> Option<T> {
+        ListDeque::pop_left(self)
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "list-dcas"
+    }
+}

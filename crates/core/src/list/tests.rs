@@ -1,0 +1,408 @@
+//! Unit and figure-reproduction tests for the linked-list deque.
+
+use dcas::{Counting, DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+
+use super::{ListDeque, RawListDeque};
+
+fn for_all_strategies(f: impl Fn(Box<dyn Fn() -> Box<dyn DynDeque>>)) {
+    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
+}
+
+trait DynDeque {
+    fn push_right(&self, v: u32);
+    fn push_left(&self, v: u32);
+    fn pop_right(&self) -> Option<u32>;
+    fn pop_left(&self) -> Option<u32>;
+}
+
+impl<S: DcasStrategy> DynDeque for RawListDeque<u32, S> {
+    fn push_right(&self, v: u32) {
+        RawListDeque::push_right(self, v).unwrap();
+    }
+    fn push_left(&self, v: u32) {
+        RawListDeque::push_left(self, v).unwrap();
+    }
+    fn pop_right(&self) -> Option<u32> {
+        RawListDeque::pop_right(self)
+    }
+    fn pop_left(&self) -> Option<u32> {
+        RawListDeque::pop_left(self)
+    }
+}
+
+#[test]
+fn paper_running_example() {
+    for_all_strategies(|mk| {
+        let d = mk();
+        d.push_right(1);
+        d.push_left(2);
+        d.push_right(3);
+        assert_eq!(d.pop_left(), Some(2));
+        assert_eq!(d.pop_left(), Some(1));
+        assert_eq!(d.pop_left(), Some(3));
+        assert_eq!(d.pop_left(), None);
+    });
+}
+
+#[test]
+fn fig9_initial_empty_deque() {
+    // Figure 9 (top): SR->L == SL, SL->R == SR, no interior nodes, both
+    // deleted bits false.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![]);
+    assert!(!lay.left_deleted);
+    assert!(!lay.right_deleted);
+    assert_eq!(d.pop_left(), None);
+    assert_eq!(d.pop_right(), None);
+}
+
+#[test]
+fn fig9_empty_with_right_deleted_cell() {
+    // Figure 9 (second): one logically deleted node remains linked with
+    // the right sentinel's deleted bit set — reached by popping the only
+    // element from the right (physical deletion is deferred to the next
+    // right-side operation).
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_right(7).unwrap();
+    assert_eq!(d.pop_right(), Some(7));
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![None]);
+    assert!(lay.right_deleted);
+    assert!(!lay.left_deleted);
+    // The deque is empty for both ends despite the lingering node.
+    assert_eq!(d.pop_left(), None);
+    assert_eq!(d.pop_right(), None);
+}
+
+#[test]
+fn fig9_empty_with_left_deleted_cell() {
+    // Figure 9 (third): mirror image via popLeft.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_left(7).unwrap();
+    assert_eq!(d.pop_left(), Some(7));
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![None]);
+    assert!(lay.left_deleted);
+    assert!(!lay.right_deleted);
+    assert_eq!(d.pop_right(), None);
+}
+
+#[test]
+fn fig9_empty_with_two_deleted_cells() {
+    // Figure 9 (bottom): two logically deleted nodes, both sentinel
+    // deleted bits set — one pop from each side of a two-element deque.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_left(1).unwrap();
+    d.push_right(2).unwrap();
+    assert_eq!(d.pop_right(), Some(2));
+    assert_eq!(d.pop_left(), Some(1));
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![None, None]);
+    assert!(lay.left_deleted);
+    assert!(lay.right_deleted);
+    // Any subsequent operation completes the physical deletions.
+    assert_eq!(d.pop_right(), None);
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![]);
+    assert!(!lay.left_deleted);
+    assert!(!lay.right_deleted);
+}
+
+#[test]
+fn fig12_pop_right_marks_node() {
+    // Figure 12: popRight nulls the value and sets SR's deleted bit; the
+    // node stays physically linked.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_right(10).unwrap();
+    d.push_right(11).unwrap();
+    assert_eq!(d.pop_right(), Some(11));
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![Some(10u32.encode_for_test()), None]);
+    assert!(lay.right_deleted);
+}
+
+#[test]
+fn fig14_push_right_appends_before_sentinel() {
+    // Figure 14: pushRight splices the new node between the old rightmost
+    // node and SR.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_right(1).unwrap();
+    let before = d.layout();
+    assert_eq!(before.cells.len(), 1);
+    d.push_right(2).unwrap();
+    let after = d.layout();
+    assert_eq!(after.cells.len(), 2);
+    assert_eq!(after.cells[0], before.cells[0]);
+    assert_eq!(after.cells[1], Some(2u32.encode_for_test()));
+}
+
+#[test]
+fn fig15_delete_right_splices_null_node() {
+    // Figure 15: after a popRight leaves a null node, the next right-side
+    // operation physically deletes it.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_right(1).unwrap();
+    d.push_right(2).unwrap();
+    assert_eq!(d.pop_right(), Some(2));
+    assert_eq!(d.layout().cells.len(), 2); // null node lingers
+    assert!(d.layout().right_deleted);
+    // The next pushRight first completes the deletion, then appends.
+    d.push_right(3).unwrap();
+    let lay = d.layout();
+    assert_eq!(lay.cells.len(), 2);
+    assert_eq!(lay.cells[0], Some(1u32.encode_for_test()));
+    assert_eq!(lay.cells[1], Some(3u32.encode_for_test()));
+    assert!(!lay.right_deleted);
+}
+
+/// Helper so tests can state expected encoded cell words readably.
+trait EncodeForTest {
+    fn encode_for_test(self) -> u64;
+}
+
+impl EncodeForTest for u32 {
+    fn encode_for_test(self) -> u64 {
+        use crate::value::WordValue;
+        self.encode()
+    }
+}
+
+#[test]
+fn pop_on_deleted_side_first_completes_deletion() {
+    // popRight must work when SR's deleted bit is set and more values
+    // remain.
+    let d = RawListDeque::<u32, GlobalSeqLock>::new();
+    d.push_right(1).unwrap();
+    d.push_right(2).unwrap();
+    d.push_right(3).unwrap();
+    assert_eq!(d.pop_right(), Some(3)); // leaves deleted bit set
+    assert_eq!(d.pop_right(), Some(2)); // completes deletion, pops again
+    assert_eq!(d.pop_right(), Some(1));
+    assert_eq!(d.pop_right(), None);
+}
+
+#[test]
+fn single_element_popped_from_far_side() {
+    // A node marked by popRight is observed as null by popLeft, which
+    // must report empty (the identity-DCAS path, lines 8-12 of Fig 32).
+    for_all_strategies(|mk| {
+        let d = mk();
+        d.push_right(9);
+        assert_eq!(d.pop_right(), Some(9));
+        assert_eq!(d.pop_left(), None);
+        assert_eq!(d.pop_left(), None);
+    });
+}
+
+#[test]
+fn lifo_from_each_end() {
+    for_all_strategies(|mk| {
+        let d = mk();
+        for i in 0..50 {
+            d.push_right(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(d.pop_right(), Some(i));
+        }
+        for i in 0..50 {
+            d.push_left(i);
+        }
+        for i in (0..50).rev() {
+            assert_eq!(d.pop_left(), Some(i));
+        }
+    });
+}
+
+#[test]
+fn fifo_across_ends() {
+    for_all_strategies(|mk| {
+        let d = mk();
+        for i in 0..50 {
+            d.push_right(i);
+        }
+        for i in 0..50 {
+            assert_eq!(d.pop_left(), Some(i));
+        }
+        for i in 0..50 {
+            d.push_left(i);
+        }
+        for i in 0..50 {
+            assert_eq!(d.pop_right(), Some(i));
+        }
+        assert_eq!(d.pop_right(), None);
+        assert_eq!(d.pop_left(), None);
+    });
+}
+
+#[test]
+fn alternating_push_pop_both_sides() {
+    for_all_strategies(|mk| {
+        let d = mk();
+        for round in 0..20 {
+            d.push_left(round * 2);
+            d.push_right(round * 2 + 1);
+            assert_eq!(d.pop_left(), Some(round * 2));
+            assert_eq!(d.pop_right(), Some(round * 2 + 1));
+            assert_eq!(d.pop_right(), None);
+        }
+    });
+}
+
+#[test]
+fn extra_dcas_per_pop_claim() {
+    // Section 1.2: "The cost of this splitting technique is an extra DCAS
+    // per pop operation." An uncontended push costs one DCAS; a pop costs
+    // one DCAS now plus one deferred deleteRight DCAS in the next
+    // same-side operation.
+    let d = RawListDeque::<u32, Counting<GlobalLock>>::new();
+    d.push_right(1).unwrap(); // 1 DCAS
+    assert_eq!(d.strategy().stats().dcas_attempts, 1);
+    assert_eq!(d.pop_right(), Some(1)); // 1 DCAS (logical delete)
+    assert_eq!(d.strategy().stats().dcas_attempts, 2);
+    d.push_right(2).unwrap(); // deleteRight (1) + push (1)
+    let s = d.strategy().stats();
+    assert_eq!(s.dcas_attempts, 4);
+    assert_eq!(s.dcas_successes, 4);
+}
+
+#[test]
+fn typed_deque_with_strings() {
+    let d: ListDeque<String> = ListDeque::new();
+    d.push_right("b".into()).unwrap();
+    d.push_left("a".into()).unwrap();
+    d.push_right("c".into()).unwrap();
+    assert_eq!(d.pop_left().as_deref(), Some("a"));
+    assert_eq!(d.pop_right().as_deref(), Some("c"));
+    assert_eq!(d.pop_right().as_deref(), Some("b"));
+    assert_eq!(d.pop_right(), None);
+}
+
+#[test]
+fn drop_releases_remaining_values_and_nodes() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    #[derive(Debug)]
+    struct Probe;
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    {
+        let d: ListDeque<Probe, GlobalLock> = ListDeque::new();
+        for _ in 0..6 {
+            d.push_right(Probe).unwrap();
+        }
+        drop(d.pop_left().unwrap());
+        drop(d.pop_right().unwrap());
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+        // 4 values remain, plus two lingering null nodes.
+    }
+    assert_eq!(DROPS.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn drop_with_pending_deleted_nodes() {
+    // Dropping while deleted bits are set must not double-free.
+    let d = RawListDeque::<u32, GlobalLock>::new();
+    d.push_left(1).unwrap();
+    d.push_right(2).unwrap();
+    assert_eq!(d.pop_left(), Some(1));
+    assert_eq!(d.pop_right(), Some(2));
+    let lay = d.layout();
+    assert_eq!(lay.cells, vec![None, None]);
+    drop(d);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        PushRight(u32),
+        PushLeft(u32),
+        PopRight,
+        PopLeft,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..1000).prop_map(Op::PushRight),
+            (0u32..1000).prop_map(Op::PushLeft),
+            Just(Op::PopRight),
+            Just(Op::PopLeft),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_vecdeque_model(
+            ops in proptest::collection::vec(op_strategy(), 0..300),
+        ) {
+            let d = RawListDeque::<u32, GlobalSeqLock>::new();
+            let mut model: VecDeque<u32> = VecDeque::new();
+            for op in &ops {
+                match *op {
+                    Op::PushRight(v) => {
+                        d.push_right(v).unwrap();
+                        model.push_back(v);
+                    }
+                    Op::PushLeft(v) => {
+                        d.push_left(v).unwrap();
+                        model.push_front(v);
+                    }
+                    Op::PopRight => prop_assert_eq!(d.pop_right(), model.pop_back()),
+                    Op::PopLeft => prop_assert_eq!(d.pop_left(), model.pop_front()),
+                }
+            }
+            prop_assert_eq!(d.layout().live_values(), model.len());
+        }
+
+        #[test]
+        fn structural_invariants_hold(
+            ops in proptest::collection::vec(op_strategy(), 0..150),
+        ) {
+            // Sequential slice of the representation invariant of
+            // Figures 24-25: at most one null node per side, null nodes
+            // are adjacent to their sentinel, and a null node on a side
+            // implies that side's deleted bit... except transiently when
+            // the opposite side's pop created it (checked loosely: nulls
+            // only ever at the extremities).
+            let d = RawListDeque::<u32, GlobalLock>::new();
+            for op in &ops {
+                match *op {
+                    Op::PushRight(v) => { d.push_right(v).unwrap(); }
+                    Op::PushLeft(v) => { d.push_left(v).unwrap(); }
+                    Op::PopRight => { d.pop_right(); }
+                    Op::PopLeft => { d.pop_left(); }
+                }
+                let lay = d.layout();
+                let n = lay.cells.len();
+                let nulls = lay.cells.iter().filter(|c| c.is_none()).count();
+                prop_assert!(nulls <= 2, "more than two null nodes: {:?}", lay);
+                for (i, c) in lay.cells.iter().enumerate() {
+                    if c.is_none() {
+                        prop_assert!(
+                            i == 0 || i == n - 1,
+                            "interior null node at {} in {:?}", i, lay
+                        );
+                    }
+                }
+                // A set deleted bit points at a null node.
+                if lay.right_deleted {
+                    prop_assert_eq!(lay.cells.last().copied(), Some(None));
+                }
+                if lay.left_deleted {
+                    prop_assert_eq!(lay.cells.first().copied(), Some(None));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! A type-stable node pool for the LFRC deque.
+//!
+//! Lock-free reference counting requires that a node's memory remain
+//! valid (as a `Node`) even after the node is logically freed: a slow
+//! thread may still perform the `DCAS(ptr_slot, &node.rc, ...)` of
+//! `LFRCLoad` against it, and that DCAS must be able to *read* the count
+//! word — it will simply fail if the pointer slot no longer targets the
+//! node. The pool therefore never returns memory to the allocator while
+//! the deque is alive: freed nodes go to a freelist and are reused only
+//! as nodes.
+//!
+//! (This matches the PODC 2001 LFRC paper's assumption, and echoes the
+//! original paper's footnote 2: "the problem of implementing a
+//! non-blocking storage allocator is not addressed in this paper". The
+//! freelist is mutex-protected for simplicity; allocation is not the
+//! algorithm under study.)
+
+use parking_lot::Mutex;
+
+use super::Node;
+
+const CHUNK: usize = 64;
+
+pub(super) struct NodePool {
+    /// Owning storage; boxed slices never move, so node addresses are
+    /// stable for the pool's lifetime.
+    chunks: Mutex<Vec<Box<[Node]>>>,
+    free: Mutex<Vec<*mut Node>>,
+}
+
+// SAFETY: the raw pointers refer to memory owned by `chunks`; access
+// discipline is enforced by the reference-counting protocol above.
+unsafe impl Send for NodePool {}
+unsafe impl Sync for NodePool {}
+
+impl NodePool {
+    pub(super) fn new() -> Self {
+        NodePool { chunks: Mutex::new(Vec::new()), free: Mutex::new(Vec::new()) }
+    }
+
+    /// Takes a node from the freelist, growing the pool by a chunk when
+    /// empty. Field contents are unspecified; the caller reinitializes.
+    pub(super) fn alloc(&self) -> *mut Node {
+        if let Some(n) = self.free.lock().pop() {
+            return n;
+        }
+        let chunk: Box<[Node]> = (0..CHUNK).map(|_| Node::new_blank()).collect();
+        let base = chunk.as_ptr() as *mut Node;
+        {
+            let mut chunks = self.chunks.lock();
+            let mut free = self.free.lock();
+            for i in 1..CHUNK {
+                // SAFETY: in-bounds within the chunk we just allocated.
+                free.push(unsafe { base.add(i) });
+            }
+            chunks.push(chunk);
+        }
+        base
+    }
+
+    /// Returns a node whose reference count reached zero.
+    ///
+    /// # Safety
+    ///
+    /// `n` must come from this pool's `alloc` and be unreachable (rc 0).
+    pub(super) unsafe fn dealloc(&self, n: *mut Node) {
+        self.free.lock().push(n);
+    }
+
+    /// Number of nodes currently on the freelist (diagnostics).
+    pub(super) fn free_count(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Total nodes ever allocated (diagnostics).
+    pub(super) fn total_count(&self) -> usize {
+        self.chunks.lock().len() * CHUNK
+    }
+}

@@ -1,0 +1,162 @@
+//! Encodings of user values into DCAS payload words.
+//!
+//! The paper's deques store abstract values from a set `val` in single
+//! memory words, with a handful of distinguished non-`val` constants:
+//! `null` (both algorithms) and `sentL`/`sentR` (the linked-list
+//! algorithm). This module defines the encoding contract and two concrete
+//! encodings:
+//!
+//! * [`Boxed<T>`] — heap-boxes an arbitrary `T` and stores the (16-byte
+//!   aligned) pointer; the general-purpose encoding behind the typed deque
+//!   APIs.
+//! * `u32` — stored inline with a shift-and-offset; the zero-allocation
+//!   encoding used by benchmarks and stress tests.
+
+use crate::reserved;
+
+/// A value that can be stored directly in a [`DcasWord`](dcas::DcasWord)
+/// inside a deque slot or node value field.
+///
+/// # Safety
+///
+/// Implementations must guarantee that [`encode`](WordValue::encode)
+/// returns a word that
+///
+/// * satisfies the DCAS payload contract (low two bits clear),
+/// * is **at least [`reserved::MIN_VALUE`]**, so it is distinct from the
+///   deque-internal constants `NULL` (0), `SENTL` (4) and `SENTR` (8), and
+/// * round-trips: `decode(encode(v))` yields a value equivalent to `v`,
+///   and distinct live values encode to distinct words.
+///
+/// `decode` and `drop_encoded` take logical ownership of the encoded word;
+/// each encoded word must be consumed exactly once by one of them.
+pub unsafe trait WordValue: Send + Sized {
+    /// Consumes the value, producing its word encoding.
+    fn encode(self) -> u64;
+
+    /// Reconstitutes a value from its encoding, taking ownership.
+    ///
+    /// # Safety
+    ///
+    /// `w` must be a word previously produced by [`encode`](Self::encode)
+    /// on this type and not yet consumed.
+    unsafe fn decode(w: u64) -> Self;
+
+    /// Releases the resources of an encoded word without reconstituting
+    /// the value (used when a deque containing values is dropped).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`decode`](Self::decode).
+    unsafe fn drop_encoded(w: u64) {
+        // SAFETY: forwarded caller contract.
+        drop(unsafe { Self::decode(w) });
+    }
+}
+
+/// Force 16-byte alignment so that boxed-value pointers leave the low four
+/// bits clear (two for the DCAS substrate, one for the deleted flag, one
+/// spare).
+#[repr(align(16))]
+struct Align16<T>(T);
+
+/// Heap-boxed encoding of an arbitrary `T`.
+///
+/// `Boxed<T>` is how the typed deque APIs ([`ArrayDeque`](crate::ArrayDeque),
+/// [`ListDeque`](crate::ListDeque)) store arbitrary element types: `push`
+/// allocates one box, `pop` frees it. This mirrors the paper's model, in
+/// which values are machine words and anything larger lives behind a
+/// pointer managed by the garbage-collected host (Lisp / Java).
+pub struct Boxed<T>(Box<Align16<T>>);
+
+impl<T> Boxed<T> {
+    /// Boxes `v`.
+    pub fn new(v: T) -> Self {
+        Boxed(Box::new(Align16(v)))
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.0 .0
+    }
+}
+
+// SAFETY: `Box` pointers are non-null, unique, and 16-byte aligned thanks
+// to `Align16`, hence >= MIN_VALUE and payload-valid; decode/encode
+// round-trip through `Box::into_raw`/`Box::from_raw`.
+unsafe impl<T: Send> WordValue for Boxed<T> {
+    fn encode(self) -> u64 {
+        let w = Box::into_raw(self.0) as u64;
+        debug_assert!(w >= reserved::MIN_VALUE && w.is_multiple_of(16));
+        w
+    }
+
+    unsafe fn decode(w: u64) -> Self {
+        debug_assert!(w >= reserved::MIN_VALUE);
+        // SAFETY: `w` came from `Box::into_raw` in `encode` (caller
+        // contract) and ownership is transferred exactly once.
+        Boxed(unsafe { Box::from_raw(w as *mut Align16<T>) })
+    }
+}
+
+// SAFETY: the affine map `v * 4 + MIN_VALUE` is injective, keeps the low
+// two bits clear, and its range starts at MIN_VALUE.
+unsafe impl WordValue for u32 {
+    fn encode(self) -> u64 {
+        (self as u64) * 4 + reserved::MIN_VALUE
+    }
+
+    unsafe fn decode(w: u64) -> Self {
+        debug_assert!(w >= reserved::MIN_VALUE && w.is_multiple_of(4));
+        ((w - reserved::MIN_VALUE) / 4) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        for v in [0u32, 1, 2, 3, 1000, u32::MAX] {
+            let w = v.encode();
+            assert!(w >= reserved::MIN_VALUE);
+            assert_eq!(w % 4, 0);
+            assert_eq!(unsafe { u32::decode(w) }, v);
+        }
+    }
+
+    #[test]
+    fn u32_distinct_values_distinct_words() {
+        assert_ne!(0u32.encode(), 1u32.encode());
+        assert_ne!(0u32.encode(), reserved::NULL);
+        assert_ne!(0u32.encode(), reserved::SENTL);
+        assert_ne!(0u32.encode(), reserved::SENTR);
+    }
+
+    #[test]
+    fn boxed_roundtrip() {
+        let b = Boxed::new(String::from("hello"));
+        let w = b.encode();
+        assert!(w >= reserved::MIN_VALUE);
+        assert_eq!(w % 16, 0);
+        let back = unsafe { Boxed::<String>::decode(w) };
+        assert_eq!(back.into_inner(), "hello");
+    }
+
+    #[test]
+    fn boxed_drop_encoded_releases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let w = Boxed::new(Probe).encode();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        unsafe { Boxed::<Probe>::drop_encoded(w) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! A latency-model wrapper: simulate hardware DCAS of varying cost.
+//!
+//! The paper's Section 2 assumes "DCAS is a relatively expensive
+//! operation, that is, has longer latency than traditional CAS, which in
+//! turn has longer latency than either a read or a write" — but, absent
+//! hardware, nobody knows *how much* more expensive. [`Delayed`] wraps a
+//! strategy and adds a configurable spin delay to every DCAS (and,
+//! optionally, every load), letting benches sweep the assumed DCAS
+//! latency and answer the question the paper leaves open: *how cheap
+//! would hardware DCAS have to be for the DCAS deques to win?* (Bench
+//! `e9_latency_model`.)
+
+use crate::{DcasStrategy, DcasWord};
+
+/// Wraps `S`, spinning `DCAS_SPIN` iterations around every DCAS and
+/// `LOAD_SPIN` around every load/store. Spin iterations are
+/// `std::hint::spin_loop` pause cycles — a stable, frequency-independent
+/// unit of artificial latency.
+#[derive(Default)]
+pub struct Delayed<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32 = 0> {
+    inner: S,
+}
+
+impl<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32>
+    Delayed<S, DCAS_SPIN, LOAD_SPIN>
+{
+    /// Creates a delayed wrapper around a default-constructed `S`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn spin(n: u32) {
+        for _ in 0..n {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32> DcasStrategy
+    for Delayed<S, DCAS_SPIN, LOAD_SPIN>
+{
+    const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
+    const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
+    const NAME: &'static str = "delayed";
+
+    fn load(&self, w: &DcasWord) -> u64 {
+        Self::spin(LOAD_SPIN);
+        self.inner.load(w)
+    }
+
+    fn store(&self, w: &DcasWord, v: u64) {
+        Self::spin(LOAD_SPIN);
+        self.inner.store(w, v)
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        Self::spin(DCAS_SPIN / 2);
+        self.inner.cas(w, old, new)
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        Self::spin(DCAS_SPIN);
+        self.inner.dcas(a1, a2, o1, o2, n1, n2)
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        Self::spin(DCAS_SPIN);
+        self.inner.dcas_strong(a1, a2, o1, o2, n1, n2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalSeqLock;
+
+    #[test]
+    fn semantics_are_transparent() {
+        let s: Delayed<GlobalSeqLock, 16, 2> = Delayed::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+        assert!(s.cas(&a, 8, 16));
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 4));
+        assert_eq!((o1, o2), (16, 12));
+        s.store(&a, 0);
+        assert_eq!(s.load(&a), 0);
+    }
+
+    #[test]
+    fn delay_is_measurable() {
+        // Coarse sanity check: 100k heavily-delayed DCASes take visibly
+        // longer than undelayed ones.
+        let fast: Delayed<GlobalSeqLock, 0> = Delayed::new();
+        let slow: Delayed<GlobalSeqLock, 2048> = Delayed::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(0);
+        let time = |s: &dyn Fn() -> bool| {
+            let t = std::time::Instant::now();
+            for _ in 0..20_000 {
+                let _ = s();
+            }
+            t.elapsed()
+        };
+        let tf = time(&|| fast.dcas(&a, &b, 0, 0, 0, 0));
+        let ts = time(&|| slow.dcas(&a, &b, 0, 0, 0, 0));
+        assert!(ts > tf, "delay had no effect: fast={tf:?} slow={ts:?}");
+    }
+}

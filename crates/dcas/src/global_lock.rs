@@ -1,0 +1,146 @@
+//! The simplest blocking DCAS emulation: one global mutex.
+
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use crate::strategy::validate_args;
+use crate::{DcasStrategy, DcasWord};
+
+/// Blocking DCAS emulation that serializes every operation on a single
+/// process-wide mutex.
+///
+/// This corresponds to the "blocking software emulation" the paper cites as
+/// its reference \[2\] (Agesen & Cartwright, *Platform independent double
+/// compare and swap operation*). It is the correctness baseline: trivially
+/// linearizable, trivially *not* lock-free, and maximally contended. Loads
+/// also take the lock, so a `GlobalLock` DCAS behaves as a single
+/// indivisible action with respect to every other access.
+#[derive(Default)]
+pub struct GlobalLock {
+    lock: Mutex<()>,
+}
+
+impl GlobalLock {
+    /// Creates a fresh emulation instance (each instance has its own lock).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DcasStrategy for GlobalLock {
+    const IS_LOCK_FREE: bool = false;
+    const HAS_CHEAP_STRONG: bool = true;
+    const NAME: &'static str = "global-lock";
+
+    #[inline]
+    fn load(&self, w: &DcasWord) -> u64 {
+        let _g = self.lock.lock();
+        w.raw_load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn store(&self, w: &DcasWord, v: u64) {
+        debug_assert!(crate::is_valid_payload(v));
+        let _g = self.lock.lock();
+        w.raw_store(v, Ordering::SeqCst);
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
+        let _g = self.lock.lock();
+        if w.raw_load(Ordering::SeqCst) == old {
+            w.raw_store(new, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        validate_args(a1, a2, &[o1, o2, n1, n2]);
+        let _g = self.lock.lock();
+        if a1.raw_load(Ordering::SeqCst) == o1 && a2.raw_load(Ordering::SeqCst) == o2 {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        validate_args(a1, a2, &[*o1, *o2, n1, n2]);
+        let _g = self.lock.lock();
+        let v1 = a1.raw_load(Ordering::SeqCst);
+        let v2 = a2.raw_load(Ordering::SeqCst);
+        if v1 == *o1 && v2 == *o2 {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+            true
+        } else {
+            *o1 = v1;
+            *o2 = v2;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_success_and_failure() {
+        let s = GlobalLock::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert_eq!(s.load(&a), 8);
+        assert_eq!(s.load(&b), 12);
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+    }
+
+    #[test]
+    fn strong_form_returns_view_on_failure() {
+        let s = GlobalLock::new();
+        let a = DcasWord::new(8);
+        let b = DcasWord::new(12);
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 16, 20));
+        assert_eq!((o1, o2), (8, 12));
+        // With the corrected view the retry succeeds.
+        assert!(s.dcas_strong(&a, &b, &mut o1, &mut o2, 16, 20));
+        assert_eq!((s.load(&a), s.load(&b)), (16, 20));
+    }
+
+    #[test]
+    fn partial_match_is_failure() {
+        let s = GlobalLock::new();
+        let a = DcasWord::new(4);
+        let b = DcasWord::new(8);
+        // First word matches, second does not: nothing is written.
+        assert!(!s.dcas(&a, &b, 4, 12, 0, 0));
+        assert_eq!((s.load(&a), s.load(&b)), (4, 8));
+        // Second matches, first does not.
+        assert!(!s.dcas(&a, &b, 8, 8, 0, 0));
+        assert_eq!((s.load(&a), s.load(&b)), (4, 8));
+    }
+
+    #[test]
+    fn store_then_load() {
+        let s = GlobalLock::new();
+        let a = DcasWord::new(0);
+        s.store(&a, 1 << 20);
+        assert_eq!(s.load(&a), 1 << 20);
+    }
+}

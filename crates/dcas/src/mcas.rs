@@ -1,0 +1,488 @@
+//! Lock-free DCAS emulation from single-word CAS.
+//!
+//! This module implements the restricted double-compare single-swap
+//! (RDCSS) and a two-entry multi-word CAS (CASN) in the style of Harris,
+//! Fraser & Pratt, *A Practical Multi-Word Compare-and-Swap Operation*
+//! (DISC 2002) — the "non-blocking software emulation" family the paper
+//! cites as references \[8, 30\]. With this strategy the deque algorithms
+//! built on top are non-blocking end-to-end.
+//!
+//! # How it works
+//!
+//! A DCAS allocates a *descriptor* recording both (address, old, new)
+//! entries plus a status word (`UNDECIDED` → `SUCCEEDED`/`FAILED`).
+//!
+//! * **Phase 1** installs a tagged pointer to the descriptor into each
+//!   target word (in ascending address order, to bound mutual helping)
+//!   using RDCSS, which atomically refuses the installation once the
+//!   status has been decided.
+//! * The status is then decided with a single CAS.
+//! * **Phase 2** replaces each tagged pointer by the new value (on
+//!   success) or the old value (on failure).
+//!
+//! Any thread that encounters a tagged word *helps* the operation it
+//! belongs to before retrying its own, which is what makes the emulation
+//! lock-free: a stalled thread's operation is finished by whoever trips
+//! over it.
+//!
+//! # Tagging and reclamation
+//!
+//! The two reserved low bits of every [`DcasWord`] distinguish payloads
+//! (`00`) from RDCSS descriptors (`01`) and DCAS descriptors (`10`).
+//! Descriptors are reclaimed with `crossbeam-epoch`: every public
+//! operation runs inside one pinned epoch guard, and the descriptor is
+//! retired by its owner after phase 2. Transient re-installations by slow
+//! helpers are safe because a helper only acts within a pinned section
+//! whose guard predates the owner's retirement, so the epoch cannot
+//! advance far enough to free a descriptor while any thread can still
+//! observe a tagged pointer to it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch as epoch;
+
+use crate::strategy::validate_args;
+use crate::{DcasStrategy, DcasWord};
+
+const TAG_MASK: u64 = 0b11;
+const RDCSS_TAG: u64 = 0b01;
+const DCAS_TAG: u64 = 0b10;
+
+const UNDECIDED: u64 = 0;
+const SUCCEEDED: u64 = 1;
+const FAILED: u64 = 2;
+
+#[inline]
+fn is_rdcss(v: u64) -> bool {
+    v & TAG_MASK == RDCSS_TAG
+}
+
+#[inline]
+fn is_dcas(v: u64) -> bool {
+    v & TAG_MASK == DCAS_TAG
+}
+
+/// One target word of a DCAS, together with a back-pointer to its
+/// descriptor. A tagged pointer to an `Entry` doubles as the RDCSS
+/// descriptor for installing the parent into `addr`: all RDCSS fields
+/// (control address = parent status, expected control = `UNDECIDED`,
+/// new value = tagged parent) are derivable from it and immutable.
+struct Entry {
+    parent: *const DcasDescriptor,
+    addr: *const DcasWord,
+    old: u64,
+    new: u64,
+}
+
+/// A two-entry CASN descriptor. Entries are sorted by target address.
+#[repr(align(8))]
+struct DcasDescriptor {
+    status: AtomicU64,
+    entries: [Entry; 2],
+}
+
+// The raw pointers inside a descriptor refer to (a) the descriptor itself
+// and (b) `DcasWord`s that the caller guarantees outlive the operation;
+// descriptors are shared across helping threads by design.
+unsafe impl Send for DcasDescriptor {}
+unsafe impl Sync for DcasDescriptor {}
+
+#[inline]
+fn tagged_entry(e: &Entry) -> u64 {
+    e as *const Entry as u64 | RDCSS_TAG
+}
+
+#[inline]
+fn tagged_desc(d: *const DcasDescriptor) -> u64 {
+    d as u64 | DCAS_TAG
+}
+
+/// Lock-free DCAS emulation (RDCSS + two-entry CASN).
+///
+/// See the module-level documentation for the protocol. All public
+/// operations are lock-free; `dcas` performs one heap allocation per
+/// invocation that reaches the descriptor-installation slow path (a
+/// mismatch detected by a preliminary atomic read fails without
+/// allocating).
+#[derive(Default)]
+pub struct HarrisMcas {
+    _private: (),
+}
+
+impl HarrisMcas {
+    /// Creates a fresh emulation instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completes (or reverts) a pending RDCSS installation.
+    ///
+    /// # Safety
+    ///
+    /// `e` must have been obtained from a tagged word read while the
+    /// current thread was continuously pinned.
+    unsafe fn rdcss_complete(&self, e: &Entry) {
+        // SAFETY: the parent descriptor is alive for as long as any tagged
+        // pointer to one of its entries can be observed (epoch argument in
+        // the module docs).
+        let d = unsafe { &*e.parent };
+        let new = if d.status.load(Ordering::SeqCst) == UNDECIDED {
+            tagged_desc(e.parent)
+        } else {
+            e.old
+        };
+        // SAFETY: `addr` outlives the operation per the caller contract of
+        // `dcas`.
+        let w = unsafe { &*e.addr };
+        let _ = w.raw_compare_exchange(tagged_entry(e), new, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Attempts to install `tagged_desc(e.parent)` into `*e.addr` iff the
+    /// word holds `e.old` and the parent status is still `UNDECIDED`.
+    ///
+    /// Returns `e.old` if the installation took place (possibly already
+    /// reverted because the status was decided), or the conflicting value
+    /// otherwise. Never returns an RDCSS-tagged value.
+    ///
+    /// # Safety
+    ///
+    /// Same as [`Self::rdcss_complete`]; additionally the current thread
+    /// must be pinned.
+    unsafe fn rdcss(&self, e: &Entry) -> u64 {
+        // SAFETY: per caller contract.
+        let w = unsafe { &*e.addr };
+        loop {
+            match w.raw_compare_exchange(e.old, tagged_entry(e), Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    // SAFETY: `e` observed tagged in memory under our pin.
+                    unsafe { self.rdcss_complete(e) };
+                    return e.old;
+                }
+                Err(seen) if is_rdcss(seen) => {
+                    // Help the conflicting RDCSS finish, then retry ours.
+                    // SAFETY: `seen` was read under our pin.
+                    let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
+                    unsafe { self.rdcss_complete(other) };
+                }
+                Err(seen) => return seen,
+            }
+        }
+    }
+
+    /// Drives descriptor `d` to completion (both phases). Returns whether
+    /// the DCAS succeeded. Reentrant: called both by the owner and by
+    /// helpers.
+    ///
+    /// # Safety
+    ///
+    /// The current thread must be pinned and `d` must be alive (obtained
+    /// either from the owner or from a tagged word read under the pin).
+    unsafe fn casn_help(&self, d: &DcasDescriptor) -> bool {
+        if d.status.load(Ordering::SeqCst) == UNDECIDED {
+            let me = tagged_desc(d as *const DcasDescriptor);
+            let mut status = SUCCEEDED;
+            'install: for e in &d.entries {
+                loop {
+                    // SAFETY: pinned, d alive.
+                    let val = unsafe { self.rdcss(e) };
+                    if val == me || val == e.old {
+                        // Our descriptor is (or was, before the status got
+                        // decided) installed in this word.
+                        break;
+                    }
+                    if is_dcas(val) {
+                        // A different DCAS holds this word: help it first.
+                        // SAFETY: `val` read under our pin.
+                        let other = unsafe { &*((val & !TAG_MASK) as *const DcasDescriptor) };
+                        unsafe { self.casn_help(other) };
+                        continue;
+                    }
+                    status = FAILED;
+                    break 'install;
+                }
+            }
+            let _ = d
+                .status
+                .compare_exchange(UNDECIDED, status, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        let succeeded = d.status.load(Ordering::SeqCst) == SUCCEEDED;
+        let me = tagged_desc(d as *const DcasDescriptor);
+        for e in &d.entries {
+            let resolved = if succeeded { e.new } else { e.old };
+            // SAFETY: `addr` outlives the operation.
+            let w = unsafe { &*e.addr };
+            let _ = w.raw_compare_exchange(me, resolved, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        succeeded
+    }
+
+    /// Descriptor-aware atomic read. Helps any operation found in-flight
+    /// at `w` until a plain payload value is visible.
+    ///
+    /// # Safety
+    ///
+    /// The current thread must be pinned.
+    unsafe fn read(&self, w: &DcasWord) -> u64 {
+        loop {
+            let v = w.raw_load(Ordering::SeqCst);
+            if is_rdcss(v) {
+                // SAFETY: `v` read under our pin.
+                let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
+                unsafe { self.rdcss_complete(e) };
+            } else if is_dcas(v) {
+                // SAFETY: `v` read under our pin.
+                let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
+                unsafe { self.casn_help(d) };
+            } else {
+                return v;
+            }
+        }
+    }
+}
+
+impl DcasStrategy for HarrisMcas {
+    const IS_LOCK_FREE: bool = true;
+    const HAS_CHEAP_STRONG: bool = false;
+    const NAME: &'static str = "harris-mcas";
+
+    #[inline]
+    fn load(&self, w: &DcasWord) -> u64 {
+        let _guard = epoch::pin();
+        // SAFETY: pinned for the duration of the read.
+        unsafe { self.read(w) }
+    }
+
+    fn store(&self, w: &DcasWord, v: u64) {
+        debug_assert!(crate::is_valid_payload(v));
+        let _guard = epoch::pin();
+        loop {
+            // SAFETY: pinned.
+            let cur = unsafe { self.read(w) };
+            if w.raw_compare_exchange(cur, v, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
+        let _guard = epoch::pin();
+        loop {
+            match w.raw_compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(seen) if is_rdcss(seen) => {
+                    // SAFETY: `seen` read under our pin.
+                    let e = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
+                    unsafe { self.rdcss_complete(e) };
+                }
+                Err(seen) if is_dcas(seen) => {
+                    // SAFETY: `seen` read under our pin.
+                    let d = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
+                    unsafe { self.casn_help(d) };
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        validate_args(a1, a2, &[o1, o2, n1, n2]);
+        let guard = epoch::pin();
+
+        // Fast path: a preliminary atomic read that observes a mismatch is
+        // a legal linearization of a failed DCAS and avoids allocating.
+        // SAFETY: pinned.
+        if unsafe { self.read(a1) } != o1 || unsafe { self.read(a2) } != o2 {
+            return false;
+        }
+
+        // Entries sorted by address so concurrent DCAS operations help one
+        // another in a consistent order.
+        let ((w1, ov1, nv1), (w2, ov2, nv2)) = if a1.addr() < a2.addr() {
+            ((a1, o1, n1), (a2, o2, n2))
+        } else {
+            ((a2, o2, n2), (a1, o1, n1))
+        };
+        let d = Box::into_raw(Box::new(DcasDescriptor {
+            status: AtomicU64::new(UNDECIDED),
+            entries: [
+                Entry { parent: std::ptr::null(), addr: w1, old: ov1, new: nv1 },
+                Entry { parent: std::ptr::null(), addr: w2, old: ov2, new: nv2 },
+            ],
+        }));
+        // Fix up the self-referential parent pointers.
+        // SAFETY: `d` is uniquely owned until `casn_help` publishes it.
+        unsafe {
+            (*d).entries[0].parent = d;
+            (*d).entries[1].parent = d;
+        }
+
+        // SAFETY: pinned; `d` alive (owned by us until retirement below).
+        let ok = unsafe { self.casn_help(&*d) };
+
+        // Retire the descriptor. Helpers that can still observe a tagged
+        // pointer to it hold guards that predate this retirement.
+        // SAFETY: `d` was allocated by `Box::new` above and is retired
+        // exactly once (only the owner executes this line).
+        unsafe {
+            guard.defer_unchecked(move || drop(Box::from_raw(d)));
+        }
+        ok
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        // The paper's own trick (Figure 2, lines 8-9): an identity DCAS
+        // that succeeds yields an atomic snapshot of the pair. On failure
+        // of the real DCAS we loop snapshotting until we either obtain a
+        // consistent view to report or discover the expected values are
+        // back (in which case the outer swap is retried). Lock-free: every
+        // inner retry is caused by another operation's successful DCAS.
+        loop {
+            if self.dcas(a1, a2, *o1, *o2, n1, n2) {
+                return true;
+            }
+            loop {
+                let v1 = self.load(a1);
+                let v2 = self.load(a2);
+                if v1 == *o1 && v2 == *o2 {
+                    // The expected pair is observable again; retry the swap.
+                    break;
+                }
+                if self.dcas(a1, a2, v1, v2, v1, v2) {
+                    *o1 = v1;
+                    *o2 = v2;
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_success_and_failure() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+    }
+
+    #[test]
+    fn identity_dcas_succeeds_and_changes_nothing() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(40);
+        let b = DcasWord::new(80);
+        assert!(s.dcas(&a, &b, 40, 80, 40, 80));
+        assert_eq!((s.load(&a), s.load(&b)), (40, 80));
+    }
+
+    #[test]
+    fn address_order_is_input_order_independent() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(0);
+        assert!(s.dcas(&b, &a, 0, 0, 4, 8));
+        assert_eq!((s.load(&b), s.load(&a)), (4, 8));
+    }
+
+    #[test]
+    fn strong_form_snapshot_on_failure() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(100);
+        let b = DcasWord::new(200);
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 4));
+        assert_eq!((o1, o2), (100, 200));
+        assert!(s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 8));
+        assert_eq!((s.load(&a), s.load(&b)), (4, 8));
+    }
+
+    #[test]
+    fn store_clobbers_any_value() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(4);
+        s.store(&a, 12);
+        assert_eq!(s.load(&a), 12);
+    }
+
+    #[test]
+    fn concurrent_counters_preserve_sum() {
+        // Two words whose sum is invariant under transfer DCASes; a torn
+        // or non-atomic DCAS would break conservation.
+        let s = Arc::new(HarrisMcas::new());
+        let words = Arc::new((DcasWord::new(1 << 20), DcasWord::new(1 << 20)));
+        let total = (1u64 << 20) * 2;
+        let mut handles = vec![];
+        for t in 0..8 {
+            let (s, words) = (s.clone(), words.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    loop {
+                        let v1 = s.load(&words.0);
+                        let v2 = s.load(&words.1);
+                        let delta = 4 * ((i + t) % 64);
+                        if v1 < delta {
+                            break;
+                        }
+                        if s.dcas(&words.0, &words.1, v1, v2, v1 - delta, v2 + delta) {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.load(&words.0) + s.load(&words.1), total);
+    }
+
+    #[test]
+    fn overlapping_pairs_stress() {
+        // Three words, threads DCAS random adjacent pairs; checks the sum
+        // invariant across overlapping DCAS pairs (the helping path).
+        let s = Arc::new(HarrisMcas::new());
+        let words: Arc<Vec<DcasWord>> =
+            Arc::new((0..3).map(|_| DcasWord::new(1 << 16)).collect());
+        let total = (1u64 << 16) * 3;
+        let mut handles = vec![];
+        for t in 0..6u64 {
+            let (s, words) = (s.clone(), words.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut x = t + 1;
+                for _ in 0..30_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let i = (x >> 33) as usize % 2; // pair (i, i+1): overlaps on word 1
+                    let v1 = s.load(&words[i]);
+                    let v2 = s.load(&words[i + 1]);
+                    if v1 >= 4 {
+                        let _ = s.dcas(&words[i], &words[i + 1], v1, v2, v1 - 4, v2 + 4);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sum: u64 = (0..3).map(|i| s.load(&words[i])).sum();
+        assert_eq!(sum, total);
+    }
+}

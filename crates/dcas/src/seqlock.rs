@@ -1,0 +1,198 @@
+//! A sequence-lock DCAS emulation: serialized writers, optimistic readers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::strategy::validate_args;
+use crate::{DcasStrategy, DcasWord};
+
+/// Blocking DCAS emulation built on a single global sequence word.
+///
+/// Writers (DCAS and `store`) spin to move the sequence from even to odd,
+/// perform their writes, and release by bumping it back to even. Readers
+/// never write shared state: they sample the sequence, read the word, and
+/// retry if the sequence moved or was odd. Compared with [`GlobalLock`],
+/// loads are wait-free in the absence of writers and never contend with
+/// each other.
+///
+/// This is still a *blocking* emulation (a writer stalled inside its
+/// critical section blocks everyone), but it is the natural software
+/// approximation of "DCAS as a short hardware transaction", and it is the
+/// fastest of the blocking strategies under read-heavy workloads.
+///
+/// [`GlobalLock`]: crate::GlobalLock
+#[derive(Default)]
+pub struct GlobalSeqLock {
+    seq: AtomicU64,
+}
+
+impl GlobalSeqLock {
+    /// Creates a fresh emulation instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spins until the sequence word is even and we have moved it to odd.
+    #[inline]
+    fn acquire(&self) -> u64 {
+        loop {
+            let s = self.seq.load(Ordering::Acquire);
+            if s.is_multiple_of(2)
+                && self
+                    .seq
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return s;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn release(&self, s: u64) {
+        self.seq.store(s + 2, Ordering::Release);
+    }
+}
+
+impl DcasStrategy for GlobalSeqLock {
+    const IS_LOCK_FREE: bool = false;
+    const HAS_CHEAP_STRONG: bool = true;
+    const NAME: &'static str = "global-seqlock";
+
+    #[inline]
+    fn load(&self, w: &DcasWord) -> u64 {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1.is_multiple_of(2) {
+                let v = w.raw_load(Ordering::Acquire);
+                if self.seq.load(Ordering::Acquire) == s1 {
+                    return v;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn store(&self, w: &DcasWord, v: u64) {
+        debug_assert!(crate::is_valid_payload(v));
+        let s = self.acquire();
+        w.raw_store(v, Ordering::SeqCst);
+        self.release(s);
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
+        let s = self.acquire();
+        let ok = w.raw_load(Ordering::SeqCst) == old;
+        if ok {
+            w.raw_store(new, Ordering::SeqCst);
+        }
+        self.release(s);
+        ok
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        validate_args(a1, a2, &[o1, o2, n1, n2]);
+        let s = self.acquire();
+        let ok = a1.raw_load(Ordering::SeqCst) == o1 && a2.raw_load(Ordering::SeqCst) == o2;
+        if ok {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+        }
+        self.release(s);
+        ok
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        validate_args(a1, a2, &[*o1, *o2, n1, n2]);
+        let s = self.acquire();
+        let v1 = a1.raw_load(Ordering::SeqCst);
+        let v2 = a2.raw_load(Ordering::SeqCst);
+        let ok = v1 == *o1 && v2 == *o2;
+        if ok {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+        } else {
+            *o1 = v1;
+            *o2 = v2;
+        }
+        self.release(s);
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_success_and_failure() {
+        let s = GlobalSeqLock::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+    }
+
+    #[test]
+    fn strong_form_snapshot() {
+        let s = GlobalSeqLock::new();
+        let a = DcasWord::new(100);
+        let b = DcasWord::new(200);
+        let (mut o1, mut o2) = (4, 8);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 0, 0));
+        assert_eq!((o1, o2), (100, 200));
+    }
+
+    #[test]
+    fn sequence_stays_even_after_ops() {
+        let s = GlobalSeqLock::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(0);
+        let _ = s.dcas(&a, &b, 0, 0, 4, 4);
+        let _ = s.dcas(&a, &b, 0, 0, 4, 4); // fails
+        s.store(&a, 0);
+        assert_eq!(s.seq.load(Ordering::SeqCst) % 2, 0);
+    }
+
+    #[test]
+    fn readers_see_consistent_pairs_under_writers() {
+        // Two words are always updated together to equal values; a torn
+        // read protocol would let a reader observe a mismatched pair.
+        use std::sync::Arc;
+        let s = Arc::new(GlobalSeqLock::new());
+        let words = Arc::new((DcasWord::new(0), DcasWord::new(0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let writer = {
+            let (s, words, stop) = (s.clone(), words.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let nv = v + 4;
+                    assert!(s.dcas(&words.0, &words.1, v, v, nv, nv));
+                    v = nv;
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            // Each individually-atomic load pair: since both words always
+            // hold the same value, the *second* load can only be >= first.
+            let v1 = s.load(&words.0);
+            let v2 = s.load(&words.1);
+            assert!(v2 >= v1, "reader observed time going backwards: {v1} then {v2}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! The strategy trait every DCAS emulation implements.
+
+use crate::DcasWord;
+
+/// A software (or, hypothetically, hardware) implementation of DCAS.
+///
+/// A strategy instance owns whatever auxiliary state its emulation needs
+/// (locks, sequence words, an epoch collector). A data structure built on
+/// DCAS holds one strategy instance and routes **every** access to its
+/// shared words through it — including plain loads and stores — because
+/// lock-free emulations may leave tagged descriptor pointers in words
+/// mid-operation, and blocking emulations may require reads to synchronize
+/// with in-flight writers.
+///
+/// # Semantics (Figure 1 of the paper)
+///
+/// `dcas(a1, a2, o1, o2, n1, n2)` atomically performs
+///
+/// ```text
+/// if *a1 == o1 && *a2 == o2 { *a1 = n1; *a2 = n2; true } else { false }
+/// ```
+///
+/// `dcas_strong` is the second form of Figure 1: on failure it stores the
+/// values of `*a1`/`*a2` — read atomically as a pair, at the linearization
+/// point of the failed DCAS — through the `o1`/`o2` slots.
+///
+/// # Contract
+///
+/// * `a1` and `a2` must be **distinct** words. Implementations
+///   `debug_assert` this.
+/// * All payload values must satisfy [`is_valid_payload`](crate::is_valid_payload).
+/// * All operations are linearizable: every `load`, `store`, `dcas` and
+///   `dcas_strong` appears to take effect atomically at some instant
+///   between invocation and response.
+pub trait DcasStrategy: Send + Sync + Default + 'static {
+    /// `true` if the emulation is non-blocking (a stalled thread cannot
+    /// prevent others from completing operations).
+    const IS_LOCK_FREE: bool;
+
+    /// `true` if [`dcas_strong`](Self::dcas_strong) costs essentially the
+    /// same as [`dcas`](Self::dcas). Clients use this to gate optimizations
+    /// that the paper says need only the strong form (array deque, Figure 2
+    /// lines 17–18).
+    const HAS_CHEAP_STRONG: bool;
+
+    /// Short human-readable name, used by benches and test output.
+    const NAME: &'static str;
+
+    /// Atomically reads `w`.
+    fn load(&self, w: &DcasWord) -> u64;
+
+    /// Atomically writes `v` to `w`.
+    ///
+    /// Unconditional stores are intended for initialization and teardown
+    /// paths; the deque algorithms themselves mutate shared words only via
+    /// DCAS.
+    fn store(&self, w: &DcasWord, v: u64);
+
+    /// Single-word compare-and-swap, protocol-aware (a lock-free
+    /// emulation helps any in-flight DCAS at `w` before deciding).
+    ///
+    /// Not used by the paper's deque algorithms themselves — they
+    /// synchronize exclusively through DCAS — but needed by clients such
+    /// as the lock-free reference-counting transformation, whose
+    /// count adjustments are single-word CASes.
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool;
+
+    /// The weak DCAS of Figure 1: returns whether the double comparison
+    /// succeeded (and hence whether the two writes occurred).
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool;
+
+    /// The strong DCAS of Figure 1: like [`dcas`](Self::dcas), but on
+    /// failure stores an atomic snapshot of the two locations through
+    /// `o1`/`o2`.
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool;
+}
+
+/// Debug-mode validation shared by strategy implementations.
+#[inline]
+pub(crate) fn validate_args(a1: &DcasWord, a2: &DcasWord, vals: &[u64]) {
+    debug_assert_ne!(
+        a1.addr(),
+        a2.addr(),
+        "DCAS requires two distinct memory words"
+    );
+    for &v in vals {
+        debug_assert!(
+            crate::is_valid_payload(v),
+            "DCAS payload {v:#x} has reserved low bits set"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Striped-lock DCAS emulation: disjoint pairs proceed in parallel.
+
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use crate::strategy::validate_args;
+use crate::{DcasStrategy, DcasWord};
+
+/// Number of lock stripes. A power of two so the address hash is a mask.
+const STRIPES: usize = 64;
+
+/// Blocking DCAS emulation that hashes each word's address to one of 64
+/// stripe mutexes and acquires the (one or two) stripes covering a DCAS
+/// in ascending index order.
+///
+/// Ordered acquisition makes the emulation deadlock-free; hashing distinct
+/// addresses to distinct stripes lets DCAS operations on disjoint parts of
+/// a structure (e.g. the two ends of a long deque) run concurrently, which
+/// is exactly the concurrency the paper's algorithms are designed to
+/// exploit. Loads and stores lock the single stripe of their word so that
+/// they serialize against in-flight DCAS writes.
+pub struct StripedLock {
+    stripes: Box<[Mutex<()>; STRIPES]>,
+}
+
+impl Default for StripedLock {
+    fn default() -> Self {
+        StripedLock {
+            stripes: Box::new([const { Mutex::new(()) }; STRIPES]),
+        }
+    }
+}
+
+impl StripedLock {
+    /// Creates a fresh emulation instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn stripe_of(w: &DcasWord) -> usize {
+        // Fibonacci hashing of the word address; words are 8-byte aligned
+        // so we discard the low 3 bits first.
+        let a = (w.addr() >> 3) as u64;
+        (a.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (STRIPES - 1)
+    }
+}
+
+impl DcasStrategy for StripedLock {
+    const IS_LOCK_FREE: bool = false;
+    const HAS_CHEAP_STRONG: bool = true;
+    const NAME: &'static str = "striped-lock";
+
+    #[inline]
+    fn load(&self, w: &DcasWord) -> u64 {
+        let _g = self.stripes[Self::stripe_of(w)].lock();
+        w.raw_load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn store(&self, w: &DcasWord, v: u64) {
+        debug_assert!(crate::is_valid_payload(v));
+        let _g = self.stripes[Self::stripe_of(w)].lock();
+        w.raw_store(v, Ordering::SeqCst);
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
+        let _g = self.stripes[Self::stripe_of(w)].lock();
+        if w.raw_load(Ordering::SeqCst) == old {
+            w.raw_store(new, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        validate_args(a1, a2, &[o1, o2, n1, n2]);
+        let (s1, s2) = (Self::stripe_of(a1), Self::stripe_of(a2));
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let _g1 = self.stripes[lo].lock();
+        let _g2 = (lo != hi).then(|| self.stripes[hi].lock());
+        if a1.raw_load(Ordering::SeqCst) == o1 && a2.raw_load(Ordering::SeqCst) == o2 {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        validate_args(a1, a2, &[*o1, *o2, n1, n2]);
+        let (s1, s2) = (Self::stripe_of(a1), Self::stripe_of(a2));
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let _g1 = self.stripes[lo].lock();
+        let _g2 = (lo != hi).then(|| self.stripes[hi].lock());
+        let v1 = a1.raw_load(Ordering::SeqCst);
+        let v2 = a2.raw_load(Ordering::SeqCst);
+        if v1 == *o1 && v2 == *o2 {
+            a1.raw_store(n1, Ordering::SeqCst);
+            a2.raw_store(n2, Ordering::SeqCst);
+            true
+        } else {
+            *o1 = v1;
+            *o2 = v2;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_success_and_failure() {
+        let s = StripedLock::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+    }
+
+    #[test]
+    fn same_stripe_pair_works() {
+        // Force the same-stripe path by DCAS-ing a word against itself
+        // being illegal, use many words and find two mapping to one stripe.
+        let words: Vec<DcasWord> = (0..512).map(|_| DcasWord::new(0)).collect();
+        let s = StripedLock::new();
+        let mut by_stripe: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (i, w) in words.iter().enumerate() {
+            by_stripe.entry(StripedLock::stripe_of(w)).or_default().push(i);
+        }
+        let (_, idxs) = by_stripe.iter().find(|(_, v)| v.len() >= 2).expect("collision");
+        let (i, j) = (idxs[0], idxs[1]);
+        assert!(s.dcas(&words[i], &words[j], 0, 0, 4, 8));
+        assert_eq!((s.load(&words[i]), s.load(&words[j])), (4, 8));
+    }
+
+    #[test]
+    fn strong_form_snapshot() {
+        let s = StripedLock::new();
+        let a = DcasWord::new(400);
+        let b = DcasWord::new(800);
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 4));
+        assert_eq!((o1, o2), (400, 800));
+    }
+
+    #[test]
+    fn disjoint_pairs_no_deadlock_under_contention() {
+        use std::sync::Arc;
+        let s = Arc::new(StripedLock::new());
+        let words: Arc<Vec<DcasWord>> = Arc::new((0..128).map(|_| DcasWord::new(0)).collect());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let (s, words) = (s.clone(), words.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut x = t;
+                for k in 0..20_000usize {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let i = (x as usize >> 5) % words.len();
+                    let j = (x as usize >> 13) % words.len();
+                    if i == j {
+                        continue;
+                    }
+                    let o1 = s.load(&words[i]);
+                    let o2 = s.load(&words[j]);
+                    let _ = s.dcas(&words[i], &words[j], o1, o2, (k as u64 & !3) + 4, 4);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Instrumentation wrappers around any [`DcasStrategy`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{DcasStrategy, DcasWord};
+
+/// Operation counters collected by [`Counting`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DcasStats {
+    /// Number of `load` calls.
+    pub loads: u64,
+    /// Number of `store` calls.
+    pub stores: u64,
+    /// Number of single-word CAS calls.
+    pub cas_attempts: u64,
+    /// Number of DCAS attempts (weak and strong).
+    pub dcas_attempts: u64,
+    /// Number of DCAS attempts that succeeded.
+    pub dcas_successes: u64,
+}
+
+impl DcasStats {
+    /// Failed attempts (attempts − successes).
+    pub fn dcas_failures(&self) -> u64 {
+        self.dcas_attempts - self.dcas_successes
+    }
+}
+
+/// Wraps a strategy and counts every operation.
+///
+/// Useful for measuring algorithmic work independent of wall-clock noise:
+/// e.g. the paper's claim that the linked-list algorithm costs "an extra
+/// DCAS per pop operation" is validated by counting DCASes per completed
+/// deque operation.
+#[derive(Default)]
+pub struct Counting<S: DcasStrategy> {
+    inner: S,
+    loads: AtomicU64,
+    stores: AtomicU64,
+    cas_attempts: AtomicU64,
+    dcas_attempts: AtomicU64,
+    dcas_successes: AtomicU64,
+}
+
+impl<S: DcasStrategy> Counting<S> {
+    /// Creates a counting wrapper around a default-constructed `S`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> DcasStats {
+        DcasStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
+            dcas_attempts: self.dcas_attempts.load(Ordering::Relaxed),
+            dcas_successes: self.dcas_successes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.loads.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+        self.cas_attempts.store(0, Ordering::Relaxed);
+        self.dcas_attempts.store(0, Ordering::Relaxed);
+        self.dcas_successes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<S: DcasStrategy> DcasStrategy for Counting<S> {
+    const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
+    const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
+    const NAME: &'static str = S::NAME;
+
+    fn load(&self, w: &DcasWord) -> u64 {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.inner.load(w)
+    }
+
+    fn store(&self, w: &DcasWord, v: u64) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.inner.store(w, v)
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        self.cas_attempts.fetch_add(1, Ordering::Relaxed);
+        self.inner.cas(w, old, new)
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        self.dcas_attempts.fetch_add(1, Ordering::Relaxed);
+        let ok = self.inner.dcas(a1, a2, o1, o2, n1, n2);
+        if ok {
+            self.dcas_successes.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        self.dcas_attempts.fetch_add(1, Ordering::Relaxed);
+        let ok = self.inner.dcas_strong(a1, a2, o1, o2, n1, n2);
+        if ok {
+            self.dcas_successes.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// Wraps a strategy and yields the OS scheduler around every DCAS.
+///
+/// Stress-testing aid: widens race windows so that interleavings which are
+/// rare on an idle machine (e.g. a thread suspended between the logical and
+/// physical deletion steps of the linked-list deque) occur frequently.
+#[derive(Default)]
+pub struct Yielding<S: DcasStrategy> {
+    inner: S,
+}
+
+impl<S: DcasStrategy> Yielding<S> {
+    /// Creates a yielding wrapper around a default-constructed `S`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<S: DcasStrategy> DcasStrategy for Yielding<S> {
+    const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
+    const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
+    const NAME: &'static str = S::NAME;
+
+    fn load(&self, w: &DcasWord) -> u64 {
+        self.inner.load(w)
+    }
+
+    fn store(&self, w: &DcasWord, v: u64) {
+        self.inner.store(w, v)
+    }
+
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        std::thread::yield_now();
+        self.inner.cas(w, old, new)
+    }
+
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        std::thread::yield_now();
+        let ok = self.inner.dcas(a1, a2, o1, o2, n1, n2);
+        std::thread::yield_now();
+        ok
+    }
+
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        std::thread::yield_now();
+        let ok = self.inner.dcas_strong(a1, a2, o1, o2, n1, n2);
+        std::thread::yield_now();
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalLock;
+
+    #[test]
+    fn counting_counts() {
+        let s: Counting<GlobalLock> = Counting::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(0);
+        let _ = s.load(&a);
+        s.store(&a, 4);
+        assert!(s.dcas(&a, &b, 4, 0, 8, 4));
+        assert!(!s.dcas(&a, &b, 4, 0, 8, 4));
+        let st = s.stats();
+        assert_eq!(st.loads, 1);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.dcas_attempts, 2);
+        assert_eq!(st.dcas_successes, 1);
+        assert_eq!(st.dcas_failures(), 1);
+        s.reset();
+        assert_eq!(s.stats(), DcasStats::default());
+    }
+
+    #[test]
+    fn yielding_is_transparent() {
+        let s: Yielding<GlobalLock> = Yielding::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(0);
+        assert!(s.dcas(&a, &b, 0, 0, 4, 8));
+        assert_eq!((s.load(&a), s.load(&b)), (4, 8));
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 12, 12));
+        assert_eq!((o1, o2), (4, 8));
+    }
+}

@@ -1,0 +1,306 @@
+//! Randomized concurrent stress driver with linearizability checking.
+//!
+//! Runs many short *rounds*. In each round, `threads` workers hammer the
+//! deque with a randomized mix of operations while recording a history;
+//! after the workers join, the driver drains the deque sequentially
+//! (appending the drain operations to the history) and asks the
+//! [checker](crate::checker) whether the complete round history is
+//! linearizable from the empty deque. Keeping rounds small keeps the
+//! checker fast while still exercising heavily contended interleavings —
+//! especially the empty/full boundary cases that are the paper's whole
+//! point.
+
+use std::sync::Barrier;
+
+use dcas_deque::ConcurrentDeque;
+
+use crate::checker::check_linearizable;
+use crate::history::Recorder;
+use crate::spec::{DequeOp, DequeRet, SeqDeque};
+
+/// Stress-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Worker threads per round.
+    pub threads: usize,
+    /// Operations per worker per round.
+    pub ops_per_thread: usize,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Capacity of the sequential spec (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Percentage (0–100) of operations that are pushes.
+    pub push_bias: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            threads: 4,
+            ops_per_thread: 6,
+            rounds: 200,
+            capacity: None,
+            push_bias: 50,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Outcome of a stress run.
+#[derive(Debug)]
+pub struct StressReport {
+    /// Rounds executed (== rounds configured on success).
+    pub rounds: usize,
+    /// Total operations checked across all rounds.
+    pub total_ops: usize,
+}
+
+#[inline]
+fn next_rand(x: &mut u64) -> u64 {
+    // SplitMix64: deterministic, seedable, dependency-free.
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the stress workload against `deque` and checks every round's
+/// history for linearizability.
+///
+/// Values pushed are unique across the whole run, which makes violations
+/// (lost, duplicated, or reordered elements) maximally visible to the
+/// checker.
+///
+/// # Errors
+///
+/// Returns a description of the first non-linearizable round found.
+pub fn stress_and_check<D: ConcurrentDeque<u64>>(
+    deque: &D,
+    config: StressConfig,
+) -> Result<StressReport, String> {
+    let mut total_ops = 0usize;
+    for round in 0..config.rounds {
+        let recorder = Recorder::new();
+        let barrier = Barrier::new(config.threads);
+        let logs = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..config.threads {
+                let recorder = &recorder;
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    let mut log = recorder.thread(t);
+                    let mut rng = config
+                        .seed
+                        .wrapping_add(round as u64)
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add(t as u64);
+                    barrier.wait();
+                    for i in 0..config.ops_per_thread {
+                        let value =
+                            (round * config.threads * config.ops_per_thread
+                                + t * config.ops_per_thread
+                                + i) as u64;
+                        let r = next_rand(&mut rng);
+                        let is_push = (r % 100) < config.push_bias as u64;
+                        let is_right = (r >> 32).is_multiple_of(2);
+                        match (is_push, is_right) {
+                            (true, true) => {
+                                log.invoke(DequeOp::PushRight(value));
+                                let ret = match deque.push_right(value) {
+                                    Ok(()) => DequeRet::Okay,
+                                    Err(_) => DequeRet::Full,
+                                };
+                                log.respond(ret);
+                            }
+                            (true, false) => {
+                                log.invoke(DequeOp::PushLeft(value));
+                                let ret = match deque.push_left(value) {
+                                    Ok(()) => DequeRet::Okay,
+                                    Err(_) => DequeRet::Full,
+                                };
+                                log.respond(ret);
+                            }
+                            (false, true) => {
+                                log.invoke(DequeOp::PopRight);
+                                let ret = match deque.pop_right() {
+                                    Some(v) => DequeRet::Value(v),
+                                    None => DequeRet::Empty,
+                                };
+                                log.respond(ret);
+                            }
+                            (false, false) => {
+                                log.invoke(DequeOp::PopLeft);
+                                let ret = match deque.pop_left() {
+                                    Some(v) => DequeRet::Value(v),
+                                    None => DequeRet::Empty,
+                                };
+                                log.respond(ret);
+                            }
+                        }
+                    }
+                    log
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        // Drain sequentially so the round history pins down the final
+        // abstract state; recorded like any other operations.
+        let mut drain_log = recorder.thread(config.threads);
+        loop {
+            drain_log.invoke(DequeOp::PopLeft);
+            match deque.pop_left() {
+                Some(v) => drain_log.respond(DequeRet::Value(v)),
+                None => {
+                    drain_log.respond(DequeRet::Empty);
+                    break;
+                }
+            }
+        }
+
+        let mut all_logs = logs;
+        all_logs.push(drain_log);
+        let history = recorder.finish(all_logs);
+        let ops = history.completed();
+        total_ops += ops.len();
+
+        let initial = match config.capacity {
+            Some(c) => SeqDeque::bounded(c),
+            None => SeqDeque::unbounded(),
+        };
+        if let Err(v) = check_linearizable(initial, &ops) {
+            return Err(format!(
+                "round {round}: history of {} ops on `{}` is NOT linearizable \
+                 (deepest prefix {:?});\nops: {:#?}",
+                ops.len(),
+                deque.impl_name(),
+                v.deepest_prefix,
+                ops
+            ));
+        }
+    }
+    Ok(StressReport { rounds: config.rounds, total_ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcas_deque::Full;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A trivially correct deque: VecDeque under a mutex.
+    struct Locked {
+        cap: Option<usize>,
+        inner: Mutex<VecDeque<u64>>,
+    }
+
+    impl ConcurrentDeque<u64> for Locked {
+        fn push_right(&self, v: u64) -> Result<(), Full<u64>> {
+            let mut g = self.inner.lock().unwrap();
+            if self.cap.is_some_and(|c| g.len() == c) {
+                return Err(Full(v));
+            }
+            g.push_back(v);
+            Ok(())
+        }
+        fn push_left(&self, v: u64) -> Result<(), Full<u64>> {
+            let mut g = self.inner.lock().unwrap();
+            if self.cap.is_some_and(|c| g.len() == c) {
+                return Err(Full(v));
+            }
+            g.push_front(v);
+            Ok(())
+        }
+        fn pop_right(&self) -> Option<u64> {
+            self.inner.lock().unwrap().pop_back()
+        }
+        fn pop_left(&self) -> Option<u64> {
+            self.inner.lock().unwrap().pop_front()
+        }
+        fn impl_name(&self) -> &'static str {
+            "locked-reference"
+        }
+    }
+
+    /// A deliberately broken deque: pop_right occasionally returns a
+    /// stale duplicate.
+    struct Broken {
+        inner: Locked,
+        last: Mutex<Option<u64>>,
+        hits: Mutex<u32>,
+    }
+
+    impl ConcurrentDeque<u64> for Broken {
+        fn push_right(&self, v: u64) -> Result<(), Full<u64>> {
+            self.inner.push_right(v)
+        }
+        fn push_left(&self, v: u64) -> Result<(), Full<u64>> {
+            self.inner.push_left(v)
+        }
+        fn pop_right(&self) -> Option<u64> {
+            let mut hits = self.hits.lock().unwrap();
+            *hits += 1;
+            if hits.is_multiple_of(5) {
+                if let Some(stale) = *self.last.lock().unwrap() {
+                    return Some(stale); // duplicate!
+                }
+            }
+            let v = self.inner.pop_right();
+            if let Some(v) = v {
+                *self.last.lock().unwrap() = Some(v);
+            }
+            v
+        }
+        fn pop_left(&self) -> Option<u64> {
+            self.inner.pop_left()
+        }
+        fn impl_name(&self) -> &'static str {
+            "broken-duplicating"
+        }
+    }
+
+    #[test]
+    fn locked_reference_passes() {
+        let d = Locked { cap: None, inner: Mutex::new(VecDeque::new()) };
+        let report = stress_and_check(
+            &d,
+            StressConfig { rounds: 50, ..StressConfig::default() },
+        )
+        .expect("reference deque must be linearizable");
+        assert_eq!(report.rounds, 50);
+        assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn locked_reference_bounded_passes() {
+        let d = Locked { cap: Some(3), inner: Mutex::new(VecDeque::new()) };
+        stress_and_check(
+            &d,
+            StressConfig {
+                rounds: 50,
+                capacity: Some(3),
+                push_bias: 70,
+                ..StressConfig::default()
+            },
+        )
+        .expect("bounded reference deque must be linearizable");
+    }
+
+    #[test]
+    fn broken_deque_is_caught() {
+        let d = Broken {
+            inner: Locked { cap: None, inner: Mutex::new(VecDeque::new()) },
+            last: Mutex::new(None),
+            hits: Mutex::new(0),
+        };
+        let res = stress_and_check(
+            &d,
+            StressConfig { rounds: 100, push_bias: 60, ..StressConfig::default() },
+        );
+        assert!(res.is_err(), "duplicating deque must fail the checker");
+    }
+}

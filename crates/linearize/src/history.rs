@@ -1,0 +1,220 @@
+//! Concurrent history recording (the "histories" of the paper's
+//! Section 2).
+//!
+//! A history is a sequence of invocations and responses; it induces the
+//! real-time partial order under which operation A precedes B iff A's
+//! response occurs before B's invocation. The recorder issues timestamps
+//! from one global atomic counter, taking the invocation stamp *before*
+//! calling into the implementation and the response stamp *after* it
+//! returns. This is conservative: the recorded interval contains the
+//! operation's true duration, so any linearization of the recorded history
+//! respects the true real-time order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::spec::{DequeOp, DequeRet};
+
+/// What happened at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An operation was invoked.
+    Invoke(DequeOp),
+    /// The matching operation returned.
+    Respond(DequeRet),
+}
+
+/// One timestamped event in a history.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Global timestamp (unique, totally ordered).
+    pub ts: u64,
+    /// Recording thread.
+    pub thread: usize,
+    /// Invocation or response.
+    pub kind: EventKind,
+}
+
+/// A completed operation extracted from a history: its real-time interval
+/// and its observable behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct Completed {
+    /// Timestamp taken immediately before invocation.
+    pub invoke_ts: u64,
+    /// Timestamp taken immediately after response.
+    pub respond_ts: u64,
+    /// The operation.
+    pub op: DequeOp,
+    /// Its response.
+    pub ret: DequeRet,
+}
+
+/// A recorded history: per-thread event logs merged on demand.
+#[derive(Debug, Default)]
+pub struct History {
+    per_thread: Vec<Vec<Event>>,
+}
+
+impl History {
+    /// Extracts the completed operations. Every invocation must have a
+    /// matching response in program order on its thread (threads joined
+    /// before extraction guarantee this).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed log (unmatched invocation/response).
+    pub fn completed(&self) -> Vec<Completed> {
+        let mut out = Vec::new();
+        for events in &self.per_thread {
+            let mut chunks = events.chunks_exact(2);
+            for pair in &mut chunks {
+                match (pair[0].kind, pair[1].kind) {
+                    (EventKind::Invoke(op), EventKind::Respond(ret)) => out.push(Completed {
+                        invoke_ts: pair[0].ts,
+                        respond_ts: pair[1].ts,
+                        op,
+                        ret,
+                    }),
+                    other => panic!("malformed history pair: {other:?}"),
+                }
+            }
+            assert!(
+                chunks.remainder().is_empty(),
+                "history has a pending operation; join threads before checking"
+            );
+        }
+        out.sort_by_key(|c| c.invoke_ts);
+        out
+    }
+
+    /// Total number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.per_thread.iter().map(Vec::len).sum()
+    }
+}
+
+/// Issues globally-ordered timestamps and collects per-thread logs.
+///
+/// Usage: create one `Recorder`, hand one [`ThreadRecorder`] to each
+/// worker via [`Recorder::thread`], and call [`Recorder::finish`] after
+/// joining the workers.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    clock: AtomicU64,
+}
+
+impl Recorder {
+    /// Creates a recorder with its clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the log handle for one worker thread.
+    pub fn thread(&self, thread: usize) -> ThreadRecorder<'_> {
+        ThreadRecorder { clock: &self.clock, thread, events: Vec::new() }
+    }
+
+    /// Merges the finished per-thread logs into a [`History`].
+    pub fn finish(&self, logs: Vec<ThreadRecorder<'_>>) -> History {
+        History { per_thread: logs.into_iter().map(|l| l.events).collect() }
+    }
+}
+
+/// Per-thread event log; cheap to record into (one atomic increment and a
+/// `Vec::push` per event).
+#[derive(Debug)]
+pub struct ThreadRecorder<'a> {
+    clock: &'a AtomicU64,
+    thread: usize,
+    events: Vec<Event>,
+}
+
+impl ThreadRecorder<'_> {
+    #[inline]
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Records an invocation; call immediately **before** invoking the
+    /// operation on the implementation.
+    #[inline]
+    pub fn invoke(&mut self, op: DequeOp) {
+        let ts = self.stamp();
+        self.events.push(Event { ts, thread: self.thread, kind: EventKind::Invoke(op) });
+    }
+
+    /// Records a response; call immediately **after** the operation
+    /// returns.
+    #[inline]
+    pub fn respond(&mut self, ret: DequeRet) {
+        let ts = self.stamp();
+        self.events.push(Event { ts, thread: self.thread, kind: EventKind::Respond(ret) });
+    }
+
+    /// Convenience: records `invoke`, runs `f`, records its response.
+    #[inline]
+    pub fn record<F: FnOnce() -> DequeRet>(&mut self, op: DequeOp, f: F) -> DequeRet {
+        self.invoke(op);
+        let ret = f();
+        self.respond(ret);
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_extract() {
+        let rec = Recorder::new();
+        let mut t0 = rec.thread(0);
+        let mut t1 = rec.thread(1);
+        t0.record(DequeOp::PushRight(1), || DequeRet::Okay);
+        t1.record(DequeOp::PopLeft, || DequeRet::Value(1));
+        t0.record(DequeOp::PopLeft, || DequeRet::Empty);
+        let h = rec.finish(vec![t0, t1]);
+        assert_eq!(h.event_count(), 6);
+        let ops = h.completed();
+        assert_eq!(ops.len(), 3);
+        for c in &ops {
+            assert!(c.invoke_ts < c.respond_ts);
+        }
+        // Sequentially recorded, so intervals are disjoint and ordered.
+        assert!(ops[0].respond_ts < ops[1].invoke_ts);
+        assert!(ops[1].respond_ts < ops[2].invoke_ts);
+    }
+
+    #[test]
+    fn concurrent_stamps_are_unique() {
+        use std::sync::Arc;
+        let rec = Arc::new(Recorder::new());
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let rec = &rec;
+                handles.push(s.spawn(move || {
+                    let mut log = rec.thread(t);
+                    for i in 0..1000 {
+                        log.record(DequeOp::PushRight(i), || DequeRet::Okay);
+                    }
+                    log.events.iter().map(|e| e.ts).collect::<Vec<_>>()
+                }));
+            }
+            let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            let n = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), n);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "pending operation")]
+    fn pending_operation_detected() {
+        let rec = Recorder::new();
+        let mut t0 = rec.thread(0);
+        t0.invoke(DequeOp::PopLeft);
+        let h = rec.finish(vec![t0]);
+        let _ = h.completed();
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-validation of the Wing & Gong checker against a brute-force
+//! reference.
+//!
+//! The checker is itself load-bearing for this reproduction (it is the
+//! runtime half of the Theorem 3.1/4.1 validation), so we verify it
+//! against an independent implementation: enumerate *all* permutations of
+//! a small history, filter those consistent with the real-time order, and
+//! replay each against the sequential specification.
+
+use dcas_linearize::history::Completed;
+use dcas_linearize::{check_linearizable, DequeOp, DequeRet, SeqDeque};
+use proptest::prelude::*;
+
+/// Brute force: does any real-time-respecting permutation replay legally?
+fn brute_force(initial: &SeqDeque, ops: &[Completed]) -> bool {
+    fn recurse(state: &SeqDeque, remaining: &mut Vec<usize>, ops: &[Completed]) -> bool {
+        if remaining.is_empty() {
+            return true;
+        }
+        let min_resp = remaining.iter().map(|&i| ops[i].respond_ts).min().unwrap();
+        for k in 0..remaining.len() {
+            let i = remaining[k];
+            if ops[i].invoke_ts > min_resp {
+                continue;
+            }
+            let (ret, next) = state.peek_apply(ops[i].op);
+            if ret != ops[i].ret {
+                continue;
+            }
+            remaining.swap_remove(k);
+            if recurse(&next, remaining, ops) {
+                return true;
+            }
+            remaining.push(i);
+            let last = remaining.len() - 1;
+            remaining.swap(k, last);
+        }
+        false
+    }
+    let mut idx: Vec<usize> = (0..ops.len()).collect();
+    recurse(initial, &mut idx, ops)
+}
+
+fn arb_history(max_ops: usize) -> impl Strategy<Value = Vec<Completed>> {
+    // Random ops with random (possibly overlapping) intervals and random
+    // claimed return values — most are non-linearizable, some are.
+    let op = prop_oneof![
+        (0u64..4).prop_map(DequeOp::PushRight),
+        (0u64..4).prop_map(DequeOp::PushLeft),
+        Just(DequeOp::PopRight),
+        Just(DequeOp::PopLeft),
+    ];
+    let ret = prop_oneof![
+        Just(DequeRet::Okay),
+        Just(DequeRet::Full),
+        Just(DequeRet::Empty),
+        (0u64..4).prop_map(DequeRet::Value),
+    ];
+    proptest::collection::vec((op, ret, 0u64..12, 1u64..6), 0..max_ops).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (op, ret, start, dur))| Completed {
+                // Unique, ordered timestamps per op with overlap allowed.
+                invoke_ts: start * 100 + i as u64,
+                respond_ts: (start + dur) * 100 + i as u64 + 50,
+                op,
+                ret,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn checker_agrees_with_brute_force_unbounded(ops in arb_history(6)) {
+        let expect = brute_force(&SeqDeque::unbounded(), &ops);
+        let got = check_linearizable(SeqDeque::unbounded(), &ops).is_ok();
+        prop_assert_eq!(got, expect, "checker disagrees on {:?}", ops);
+    }
+
+    #[test]
+    fn checker_agrees_with_brute_force_bounded(ops in arb_history(6), cap in 1usize..3) {
+        let expect = brute_force(&SeqDeque::bounded(cap), &ops);
+        let got = check_linearizable(SeqDeque::bounded(cap), &ops).is_ok();
+        prop_assert_eq!(got, expect, "checker disagrees (cap {}) on {:?}", cap, ops);
+    }
+}
+
+#[test]
+fn sanity_brute_force_examples() {
+    let ops = vec![
+        Completed { invoke_ts: 0, respond_ts: 1, op: DequeOp::PushRight(1), ret: DequeRet::Okay },
+        Completed { invoke_ts: 2, respond_ts: 3, op: DequeOp::PopLeft, ret: DequeRet::Value(1) },
+    ];
+    assert!(brute_force(&SeqDeque::unbounded(), &ops));
+    let ops = vec![
+        Completed { invoke_ts: 0, respond_ts: 1, op: DequeOp::PopLeft, ret: DequeRet::Value(1) },
+        Completed { invoke_ts: 2, respond_ts: 3, op: DequeOp::PushRight(1), ret: DequeRet::Okay },
+    ];
+    assert!(!brute_force(&SeqDeque::unbounded(), &ops));
+}

@@ -1,0 +1,748 @@
+//! The exhaustive interleaving explorer.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use dcas_linearize::{DequeOp, DequeRet, SeqDeque};
+
+/// What a single atomic step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The step is not a linearization point; it must leave the abstract
+    /// deque value unchanged.
+    Internal,
+    /// The step is the linearization point of the given operation with
+    /// the given response; the abstract value must transition accordingly.
+    Linearize(DequeOp, DequeRet),
+}
+
+/// A system of threads over shared state, stepped at the granularity of
+/// individual shared-memory accesses (the paper's atomic machine
+/// operations: reads and DCASes).
+pub trait System {
+    /// Shared-memory state (plus any auxiliary modeling state).
+    type Shared: Clone + Eq + Hash + Debug;
+    /// Per-thread control state: program counter, registers, remaining
+    /// operation script.
+    type Local: Clone + Eq + Hash + Debug;
+
+    /// The initial shared state.
+    fn initial_shared(&self) -> Self::Shared;
+
+    /// One initial local state per thread.
+    fn initial_locals(&self) -> Vec<Self::Local>;
+
+    /// Executes one atomic step of the thread owning `local`. Returns
+    /// `None` iff the thread has completed its entire script (in which
+    /// case neither state may be modified).
+    fn step(&self, shared: &mut Self::Shared, local: &mut Self::Local) -> Option<StepEvent>;
+
+    /// The representation invariant `R` (Figures 18 / 24-25).
+    fn rep_invariant(&self, shared: &Self::Shared) -> Result<(), String>;
+
+    /// The abstraction function `A` (Figures 19-20): the abstract deque
+    /// value represented by `shared`. Only called on states satisfying
+    /// `R`.
+    fn abstraction(&self, shared: &Self::Shared) -> Vec<u64>;
+
+    /// Capacity of the abstract deque (`None` = unbounded), used to apply
+    /// the sequential specification at linearization points.
+    fn capacity(&self) -> Option<usize>;
+}
+
+/// Explorer limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Abort (fail) if more than this many distinct states are reached.
+    pub max_states: usize,
+    /// Record the state graph for [lock-freedom
+    /// checking](crate::progress::check_lockfree).
+    pub track_graph: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { max_states: 20_000_000, track_graph: false }
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Debug)]
+pub struct Report<Sh> {
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Number of transitions taken.
+    pub transitions: usize,
+    /// Number of linearization points checked.
+    pub linearizations: usize,
+    /// Distinct abstract deque values observed in terminal states (all
+    /// threads done).
+    pub final_abstracts: Vec<Vec<u64>>,
+    /// Terminal shared states (deduplicated).
+    pub final_shared: Vec<Sh>,
+    /// State graph edges `(from, to, completing)` when
+    /// [`ExploreConfig::track_graph`] is set; indices into the visit
+    /// order.
+    pub graph: Vec<(usize, usize, bool)>,
+}
+
+/// Exhaustive DFS over all interleavings of a [`System`].
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::new(ExploreConfig::default())
+    }
+}
+
+impl Explorer {
+    /// Creates an explorer with the given limits.
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// Explores every reachable interleaving of `sys`, checking the
+    /// paper's proof obligations at every transition. `observer` is
+    /// called once per distinct reachable shared state (for reachability
+    /// assertions such as the Figure 6 / Figure 16 scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first proof-obligation violation
+    /// encountered (invariant breakage, abstract-value drift on an
+    /// internal step, or an illegal linearization).
+    pub fn explore<S: System>(
+        &self,
+        sys: &S,
+        observer: impl FnMut(&S::Shared),
+    ) -> Result<Report<S::Shared>, String> {
+        self.explore_full(sys, observer, |_, _, _| {})
+    }
+
+    /// Like [`explore`](Self::explore), additionally reporting every
+    /// linearization event as `(thread, op, return)` — used by the
+    /// figure-reproduction tests to assert that specific outcomes (e.g.
+    /// both winners of the Figure 16 race) are reachable.
+    pub fn explore_full<S: System>(
+        &self,
+        sys: &S,
+        mut observer: impl FnMut(&S::Shared),
+        mut event_observer: impl FnMut(usize, DequeOp, DequeRet),
+    ) -> Result<Report<S::Shared>, String> {
+        type StateKey<S> = (<S as System>::Shared, Vec<<S as System>::Local>);
+
+        let shared0 = sys.initial_shared();
+        sys.rep_invariant(&shared0)
+            .map_err(|e| format!("initial state violates R: {e}"))?;
+        let locals0 = sys.initial_locals();
+
+        let mut ids: HashMap<StateKey<S>, usize> = HashMap::new();
+        // parents[id] = (predecessor id, thread that stepped); used to
+        // reconstruct a replayable schedule when a violation is found.
+        let mut parents: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX)];
+        let schedule_to = |parents: &Vec<(usize, usize)>, mut id: usize, last_tid: usize| {
+            let mut sched = vec![last_tid];
+            while parents[id].0 != usize::MAX {
+                sched.push(parents[id].1);
+                id = parents[id].0;
+            }
+            sched.reverse();
+            sched
+        };
+        let mut stack: Vec<StateKey<S>> = Vec::new();
+        let mut graph: Vec<(usize, usize, bool)> = Vec::new();
+        let mut final_abstracts: Vec<Vec<u64>> = Vec::new();
+        let mut final_shared: Vec<S::Shared> = Vec::new();
+        let mut transitions = 0usize;
+        let mut linearizations = 0usize;
+
+        observer(&shared0);
+        ids.insert((shared0.clone(), locals0.clone()), 0);
+        stack.push((shared0, locals0));
+
+        while let Some((shared, locals)) = stack.pop() {
+            let from_id = ids[&(shared.clone(), locals.clone())];
+            let abs_before = sys.abstraction(&shared);
+            let mut any_step = false;
+
+            for tid in 0..locals.len() {
+                let mut new_shared = shared.clone();
+                let mut new_locals = locals.clone();
+                let event = sys.step(&mut new_shared, &mut new_locals[tid]);
+                let Some(event) = event else { continue };
+                any_step = true;
+                transitions += 1;
+
+                // Proof obligation 1: R is preserved (RepInvPreserved).
+                sys.rep_invariant(&new_shared).map_err(|e| {
+                    format!(
+                        "R violated after a step of thread {tid}: {e}\n\
+                         pre-state: {shared:?}\npost-state: {new_shared:?}\n\
+                         local: {:?}\nschedule: {:?}",
+                        locals[tid],
+                        schedule_to(&parents, from_id, tid)
+                    )
+                })?;
+
+                let abs_after = sys.abstraction(&new_shared);
+                match event {
+                    StepEvent::Internal => {
+                        // Proof obligation 2: internal steps preserve A
+                        // (AbsValPreserved).
+                        if abs_after != abs_before {
+                            return Err(format!(
+                                "internal step of thread {tid} changed the abstract \
+                                 value {abs_before:?} -> {abs_after:?}\n\
+                                 pre-state: {shared:?}\npost-state: {new_shared:?}\n\
+                                 local: {:?}\nschedule: {:?}",
+                                locals[tid],
+                                schedule_to(&parents, from_id, tid)
+                            ));
+                        }
+                    }
+                    StepEvent::Linearize(op, ret) => {
+                        // Proof obligation 3: the abstract transition and
+                        // return value match the sequential specification
+                        // (ProperTransition).
+                        linearizations += 1;
+                        event_observer(tid, op, ret);
+                        let mut spec = match sys.capacity() {
+                            Some(c) => SeqDeque::bounded(c),
+                            None => SeqDeque::unbounded(),
+                        };
+                        for &v in &abs_before {
+                            spec.apply(DequeOp::PushRight(v));
+                        }
+                        let expect_ret = spec.apply(op);
+                        let expect_abs: Vec<u64> = spec.items().collect();
+                        if expect_ret != ret || expect_abs != abs_after {
+                            return Err(format!(
+                                "illegal linearization by thread {tid}: {op:?} returned \
+                                 {ret:?}, abstract {abs_before:?} -> {abs_after:?}; the \
+                                 spec requires return {expect_ret:?} and abstract \
+                                 {expect_abs:?}\npre-state: {shared:?}\n\
+                                 post-state: {new_shared:?}\nlocal: {:?}\nschedule: {:?}",
+                                locals[tid],
+                                schedule_to(&parents, from_id, tid)
+                            ));
+                        }
+                    }
+                }
+
+                let key = (new_shared, new_locals);
+                let next_id = ids.len();
+                let to_id = match ids.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        if ids.len() >= self.config.max_states {
+                            return Err(format!(
+                                "state-space limit of {} exceeded",
+                                self.config.max_states
+                            ));
+                        }
+                        observer(&key.0);
+                        ids.insert(key.clone(), next_id);
+                        parents.push((from_id, tid));
+                        stack.push(key);
+                        next_id
+                    }
+                };
+                if self.config.track_graph {
+                    graph.push((from_id, to_id, matches!(event, StepEvent::Linearize(..))));
+                }
+            }
+
+            if !any_step {
+                // Terminal state: all threads finished their scripts.
+                if !final_abstracts.contains(&abs_before) {
+                    final_abstracts.push(abs_before);
+                }
+                if !final_shared.contains(&shared) {
+                    final_shared.push(shared);
+                }
+            }
+        }
+
+        Ok(Report {
+            states: ids.len(),
+            transitions,
+            linearizations,
+            final_abstracts,
+            final_shared,
+            graph,
+        })
+    }
+}
+
+/// Result of a history-mode exploration.
+#[derive(Debug)]
+pub struct HistoryReport {
+    /// Complete execution paths enumerated (each checked).
+    pub paths: usize,
+    /// Total operations checked across all paths.
+    pub operations: usize,
+}
+
+impl Explorer {
+    /// History-mode exploration: enumerate **every execution path** (no
+    /// state deduplication — paths, not states) of a bounded
+    /// configuration, record each path's complete history of operations,
+    /// and check it with the Wing & Gong oracle against the sequential
+    /// deque specification.
+    ///
+    /// Unlike [`explore`](Self::explore), this mode does *not* verify the
+    /// machine's claimed linearization placements or invariants — it only
+    /// uses each `Linearize` event as the operation's (response, return
+    /// value) record. That makes it suitable for algorithms whose
+    /// linearization points are not statically assigned (e.g. the
+    /// Arora–Blumofe–Plaxton deque, whose `popBottom` linearizes at
+    /// different instructions depending on the race outcome), and an
+    /// independent cross-check for the machines that do assign them.
+    /// Using the emission step as the response endpoint is sound (never
+    /// produces spurious violations) because every machine emits the
+    /// event at or after the operation's true linearization point and
+    /// before its true response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-linearizable path, or a
+    /// limit error if more than `max_paths` complete paths exist.
+    pub fn explore_histories<S: System>(
+        &self,
+        sys: &S,
+        max_paths: usize,
+    ) -> Result<HistoryReport, String> {
+
+        let shared0 = sys.initial_shared();
+        let locals0 = sys.initial_locals();
+
+        let mut paths = 0usize;
+        let mut operations = 0usize;
+
+        // Explicit DFS over paths: each frame owns its state snapshot and
+        // history so far.
+        struct Frame<Sh, Lo> {
+            shared: Sh,
+            locals: Vec<Lo>,
+            step_idx: u64,
+            // Per-thread: step at which the current op was invoked.
+            invoked_at: Vec<Option<u64>>,
+            history: Vec<dcas_linearize::history::Completed>,
+            next_tid: usize,
+        }
+        let n = locals0.len();
+        let mut stack = vec![Frame {
+            shared: shared0,
+            locals: locals0,
+            step_idx: 0,
+            invoked_at: vec![None; n],
+            history: Vec::new(),
+            next_tid: 0,
+        }];
+
+        while let Some(frame) = stack.last_mut() {
+            // Find the next thread (from next_tid) with an enabled step.
+            let mut stepped = false;
+            while frame.next_tid < n {
+                let tid = frame.next_tid;
+                frame.next_tid += 1;
+                let mut new_shared = frame.shared.clone();
+                let mut new_locals = frame.locals.clone();
+                let Some(event) = sys.step(&mut new_shared, &mut new_locals[tid]) else {
+                    continue;
+                };
+                let mut invoked_at = frame.invoked_at.clone();
+                let mut history = frame.history.clone();
+                let step_idx = frame.step_idx + 1;
+                if invoked_at[tid].is_none() {
+                    invoked_at[tid] = Some(step_idx);
+                }
+                if let StepEvent::Linearize(op, ret) = event {
+                    history.push(dcas_linearize::history::Completed {
+                        invoke_ts: invoked_at[tid].unwrap(),
+                        respond_ts: step_idx,
+                        op,
+                        ret,
+                    });
+                    invoked_at[tid] = None;
+                }
+                stack.push(Frame {
+                    shared: new_shared,
+                    locals: new_locals,
+                    step_idx,
+                    invoked_at,
+                    history,
+                    next_tid: 0,
+                });
+                stepped = true;
+                break;
+            }
+            if stepped {
+                continue;
+            }
+            // No thread could step from this frame: if it was freshly
+            // entered (next_tid just exhausted with no children ever
+            // pushed), it is terminal iff all threads are done. We detect
+            // "terminal" by attempting all threads above; a frame with no
+            // enabled step is terminal by definition of step().
+            let frame = stack.pop().expect("frame present");
+            if frame.next_tid >= n {
+                // Check whether this frame was a leaf (no thread enabled)
+                // — frames that spawned children also reach next_tid == n
+                // eventually, so only count/check when every thread is
+                // actually finished.
+                let all_done = (0..n).all(|tid| {
+                    let mut s = frame.shared.clone();
+                    let mut l = frame.locals.clone();
+                    sys.step(&mut s, &mut l[tid]).is_none()
+                });
+                if all_done {
+                    paths += 1;
+                    operations += frame.history.len();
+                    if paths > max_paths {
+                        return Err(format!("more than {max_paths} paths"));
+                    }
+                    let mut initial = match sys.capacity() {
+                        Some(c) => SeqDeque::bounded(c),
+                        None => SeqDeque::unbounded(),
+                    };
+                    for v in sys.abstraction(&sys.initial_shared()) {
+                        initial.apply(DequeOp::PushRight(v));
+                    }
+                    if let Err(v) =
+                        dcas_linearize::check_linearizable(initial, &frame.history)
+                    {
+                        return Err(format!(
+                            "non-linearizable path (deepest prefix {:?}):\n{:#?}",
+                            v.deepest_prefix, frame.history
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(HistoryReport { paths, operations })
+    }
+}
+
+/// Result of a random-walk campaign.
+#[derive(Debug)]
+pub struct WalkReport {
+    /// Walks completed.
+    pub walks: u64,
+    /// Total transitions taken (and checked).
+    pub transitions: u64,
+    /// Total linearization points checked.
+    pub linearizations: u64,
+}
+
+impl Explorer {
+    /// Randomized exploration for configurations too large to exhaust:
+    /// runs `walks` complete executions under a uniformly random
+    /// scheduler, checking the same per-transition proof obligations as
+    /// [`explore`](Self::explore). Deterministic given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first proof-obligation violation found.
+    pub fn random_walks<S: System>(
+        &self,
+        sys: &S,
+        walks: u64,
+        seed: u64,
+    ) -> Result<WalkReport, String> {
+        let mut transitions = 0u64;
+        let mut linearizations = 0u64;
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+
+        for walk in 0..walks {
+            let mut shared = sys.initial_shared();
+            sys.rep_invariant(&shared)
+                .map_err(|e| format!("initial state violates R: {e}"))?;
+            let mut locals = sys.initial_locals();
+            let mut live: Vec<usize> = (0..locals.len()).collect();
+
+            while !live.is_empty() {
+                let pick = (next() as usize) % live.len();
+                let tid = live[pick];
+                let abs_before = sys.abstraction(&shared);
+                let event = sys.step(&mut shared, &mut locals[tid]);
+                let Some(event) = event else {
+                    live.swap_remove(pick);
+                    continue;
+                };
+                transitions += 1;
+                sys.rep_invariant(&shared).map_err(|e| {
+                    format!("walk {walk}: R violated after a step of thread {tid}: {e}")
+                })?;
+                let abs_after = sys.abstraction(&shared);
+                match event {
+                    StepEvent::Internal => {
+                        if abs_after != abs_before {
+                            return Err(format!(
+                                "walk {walk}: internal step of thread {tid} changed the \
+                                 abstract value {abs_before:?} -> {abs_after:?}"
+                            ));
+                        }
+                    }
+                    StepEvent::Linearize(op, ret) => {
+                        linearizations += 1;
+                        let mut spec = match sys.capacity() {
+                            Some(c) => SeqDeque::bounded(c),
+                            None => SeqDeque::unbounded(),
+                        };
+                        for &v in &abs_before {
+                            spec.apply(DequeOp::PushRight(v));
+                        }
+                        let expect_ret = spec.apply(op);
+                        let expect_abs: Vec<u64> = spec.items().collect();
+                        if expect_ret != ret || expect_abs != abs_after {
+                            return Err(format!(
+                                "walk {walk}: illegal linearization by thread {tid}: \
+                                 {op:?} returned {ret:?}, abstract {abs_before:?} -> \
+                                 {abs_after:?}; spec requires {expect_ret:?} / \
+                                 {expect_abs:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(WalkReport { walks, transitions, linearizations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy system: two threads atomically increment a shared counter
+    /// once each (each increment modeled as a single atomic "push" of its
+    /// value). Verifies the explorer's bookkeeping on a trivial example.
+    struct Toy;
+
+    impl System for Toy {
+        type Shared = Vec<u64>;
+        type Local = Option<u64>;
+
+        fn initial_shared(&self) -> Vec<u64> {
+            vec![]
+        }
+
+        fn initial_locals(&self) -> Vec<Option<u64>> {
+            vec![Some(1), Some(2)]
+        }
+
+        fn step(&self, shared: &mut Vec<u64>, local: &mut Option<u64>) -> Option<StepEvent> {
+            let v = (*local)?;
+            shared.push(v);
+            *local = None;
+            Some(StepEvent::Linearize(DequeOp::PushRight(v), DequeRet::Okay))
+        }
+
+        fn rep_invariant(&self, _shared: &Vec<u64>) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn abstraction(&self, shared: &Vec<u64>) -> Vec<u64> {
+            shared.clone()
+        }
+
+        fn capacity(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    #[test]
+    fn toy_system_explores_both_orders() {
+        let mut seen = Vec::new();
+        let report = Explorer::default()
+            .explore(&Toy, |s| seen.push(s.clone()))
+            .unwrap();
+        // States: [], [1], [2], [1,2], [2,1] = 5
+        assert_eq!(report.states, 5);
+        assert_eq!(report.transitions, 4);
+        assert_eq!(report.linearizations, 4);
+        let mut finals = report.final_abstracts.clone();
+        finals.sort();
+        assert_eq!(finals, vec![vec![1, 2], vec![2, 1]]);
+        assert!(seen.contains(&vec![1]));
+        assert!(seen.contains(&vec![2]));
+    }
+
+    /// A broken system: the second thread's push drops the first value.
+    struct Lossy;
+
+    impl System for Lossy {
+        type Shared = Vec<u64>;
+        type Local = Option<u64>;
+
+        fn initial_shared(&self) -> Vec<u64> {
+            vec![]
+        }
+
+        fn initial_locals(&self) -> Vec<Option<u64>> {
+            vec![Some(1), Some(2)]
+        }
+
+        fn step(&self, shared: &mut Vec<u64>, local: &mut Option<u64>) -> Option<StepEvent> {
+            let v = (*local)?;
+            if v == 2 {
+                shared.clear(); // loses previously pushed values
+            }
+            shared.push(v);
+            *local = None;
+            Some(StepEvent::Linearize(DequeOp::PushRight(v), DequeRet::Okay))
+        }
+
+        fn rep_invariant(&self, _shared: &Vec<u64>) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn abstraction(&self, shared: &Vec<u64>) -> Vec<u64> {
+            shared.clone()
+        }
+
+        fn capacity(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    #[test]
+    fn lossy_system_is_caught() {
+        let err = Explorer::default().explore(&Lossy, |_| {}).unwrap_err();
+        assert!(err.contains("illegal linearization"), "unexpected error: {err}");
+    }
+
+    /// A system whose internal step mutates the abstract value.
+    struct Drifty;
+
+    impl System for Drifty {
+        type Shared = Vec<u64>;
+        type Local = u8;
+
+        fn initial_shared(&self) -> Vec<u64> {
+            vec![7]
+        }
+
+        fn initial_locals(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn step(&self, shared: &mut Vec<u64>, local: &mut u8) -> Option<StepEvent> {
+            if *local == 1 {
+                return None;
+            }
+            *local = 1;
+            shared.push(9); // "helper" step that illegally changes A
+            Some(StepEvent::Internal)
+        }
+
+        fn rep_invariant(&self, _shared: &Vec<u64>) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn abstraction(&self, shared: &Vec<u64>) -> Vec<u64> {
+            shared.clone()
+        }
+
+        fn capacity(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    #[test]
+    fn abstract_drift_is_caught() {
+        let err = Explorer::default().explore(&Drifty, |_| {}).unwrap_err();
+        assert!(err.contains("changed the abstract value"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn history_mode_checks_all_paths() {
+        let report = Explorer::default().explore_histories(&Toy, 1_000).unwrap();
+        // Two threads, one 1-step op each: two interleavings.
+        assert_eq!(report.paths, 2);
+        assert_eq!(report.operations, 4);
+    }
+
+    #[test]
+    fn history_mode_accepts_lossy_system_with_unobservable_loss() {
+        // Lossy drops a value, but no operation's *return* exposes it, so
+        // the history itself is linearizable: history mode is strictly
+        // weaker than state-transition checking here — by design.
+        Explorer::default().explore_histories(&Lossy, 1_000).unwrap();
+    }
+
+    /// Two sequential ops whose returns contradict any linearization:
+    /// a push, then a pop that claims "empty".
+    struct Contradictory;
+
+    impl System for Contradictory {
+        type Shared = Vec<u64>;
+        type Local = u8;
+
+        fn initial_shared(&self) -> Vec<u64> {
+            vec![]
+        }
+
+        fn initial_locals(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn step(&self, shared: &mut Vec<u64>, local: &mut u8) -> Option<StepEvent> {
+            match *local {
+                0 => {
+                    *local = 1;
+                    shared.push(1);
+                    Some(StepEvent::Linearize(DequeOp::PushRight(1), DequeRet::Okay))
+                }
+                1 => {
+                    *local = 2;
+                    // Claims empty although the value is still there.
+                    Some(StepEvent::Linearize(DequeOp::PopLeft, DequeRet::Empty))
+                }
+                _ => None,
+            }
+        }
+
+        fn rep_invariant(&self, _shared: &Vec<u64>) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn abstraction(&self, shared: &Vec<u64>) -> Vec<u64> {
+            shared.clone()
+        }
+
+        fn capacity(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    #[test]
+    fn history_mode_catches_contradictory_returns() {
+        let err = Explorer::default().explore_histories(&Contradictory, 1_000).unwrap_err();
+        assert!(err.contains("non-linearizable"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn random_walks_cover_and_check() {
+        let report = Explorer::default().random_walks(&Toy, 50, 0xABCD).unwrap();
+        assert_eq!(report.walks, 50);
+        assert_eq!(report.transitions, 100);
+        assert_eq!(report.linearizations, 100);
+    }
+
+    #[test]
+    fn random_walks_catch_lossy_system() {
+        let err = Explorer::default().random_walks(&Lossy, 50, 7).unwrap_err();
+        assert!(err.contains("illegal linearization"), "unexpected: {err}");
+    }
+}

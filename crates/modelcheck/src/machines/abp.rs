@@ -1,0 +1,327 @@
+//! Step machine for the Arora–Blumofe–Plaxton deque (`dcas-baselines`'s
+//! `AbpDeque`, the paper's reference \[4\]).
+//!
+//! Unlike the DCAS machines, ABP's linearization points are not fixed
+//! instructions — `popBottom` linearizes at different places depending on
+//! how its race with the thieves resolves — so this machine is verified
+//! through the explorer's **history mode**
+//! ([`Explorer::explore_histories`](crate::Explorer::explore_histories)):
+//! every execution path's complete history is checked for linearizability
+//! against the sequential deque specification, with
+//! `pushBottom = pushRight`, `popBottom = popRight`, `steal = popLeft`.
+//! The `Linearize` events only *report* each operation's return value, at
+//! a step that is always at-or-after the true linearization point and
+//! before the response (sound for history checking).
+//!
+//! Thread 0 is the owner (its script may contain `PushRight`/`PopRight`);
+//! all other threads are thieves (`PopLeft` only). An aborted steal
+//! retries until it obtains a value or observes empty, mirroring how a
+//! scheduler uses the primitive.
+
+use dcas_linearize::{DequeOp, DequeRet};
+
+use crate::explore::{StepEvent, System};
+
+/// Shared state: the deck plus `bot` and the `(tag, top)` age word.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AbpShared {
+    /// The task array.
+    pub deck: Vec<u64>,
+    /// Next free bottom slot (owner-written only).
+    pub bot: usize,
+    /// Age: ABA tag.
+    pub tag: u32,
+    /// Age: top index.
+    pub top: usize,
+}
+
+/// Program counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    Start,
+    /// pushBottom: the deck write happened; advance bot (publication).
+    PushAdvance { v: u64 },
+    /// popBottom: bot already decremented to `b`; read deck[b].
+    PopReadDeck { b: usize },
+    /// popBottom: read the age and branch.
+    PopReadAge { b: usize, v: u64 },
+    /// popBottom: bot reset to 0; attempt the age CAS / overwrite.
+    PopCasAge { b: usize, v: u64, old_tag: u32, old_top: usize },
+    /// popBottom: failed the race; overwrite age and report empty.
+    PopSetAge { old_tag: u32 },
+    /// steal: age read; read bot.
+    StealReadBot { old_tag: u32, old_top: usize },
+    /// steal: read deck[top].
+    StealReadDeck { old_tag: u32, old_top: usize },
+    /// steal: the claiming CAS.
+    StealCas { old_tag: u32, old_top: usize, v: u64 },
+}
+
+/// Per-thread control state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AbpLocal {
+    tid: usize,
+    op_idx: usize,
+    pc: Pc,
+}
+
+/// The ABP machine.
+pub struct AbpMachine {
+    /// Deck capacity.
+    pub capacity: usize,
+    /// Thread 0: owner script; threads 1..: thief scripts (PopLeft only).
+    pub scripts: Vec<Vec<DequeOp>>,
+    /// Values present initially (owner pushes before the run).
+    pub initial_items: Vec<u64>,
+}
+
+impl AbpMachine {
+    /// Builds a machine; validates the owner/thief role split.
+    pub fn new(capacity: usize, scripts: Vec<Vec<DequeOp>>) -> Self {
+        for (tid, script) in scripts.iter().enumerate() {
+            for op in script {
+                match op {
+                    DequeOp::PushRight(_) | DequeOp::PopRight => {
+                        assert_eq!(tid, 0, "only thread 0 (the owner) may use the bottom end");
+                    }
+                    DequeOp::PopLeft => {
+                        assert_ne!(tid, 0, "thieves are threads 1.. (owner uses popRight)");
+                    }
+                    DequeOp::PushLeft(_) => panic!("ABP has no pushLeft"),
+                }
+            }
+        }
+        AbpMachine { capacity, scripts, initial_items: Vec::new() }
+    }
+
+    /// Adds initial content.
+    pub fn with_initial(mut self, items: Vec<u64>) -> Self {
+        assert!(items.len() <= self.capacity);
+        self.initial_items = items;
+        self
+    }
+}
+
+impl System for AbpMachine {
+    type Shared = AbpShared;
+    type Local = AbpLocal;
+
+    fn initial_shared(&self) -> AbpShared {
+        let mut deck = vec![0; self.capacity];
+        for (i, &v) in self.initial_items.iter().enumerate() {
+            deck[i] = v;
+        }
+        AbpShared { deck, bot: self.initial_items.len(), tag: 0, top: 0 }
+    }
+
+    fn initial_locals(&self) -> Vec<AbpLocal> {
+        (0..self.scripts.len())
+            .map(|tid| AbpLocal { tid, op_idx: 0, pc: Pc::Start })
+            .collect()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn step(&self, sh: &mut AbpShared, local: &mut AbpLocal) -> Option<StepEvent> {
+        let op = *self.scripts[local.tid].get(local.op_idx)?;
+
+        let finish = |local: &mut AbpLocal, ret: DequeRet| {
+            local.op_idx += 1;
+            local.pc = Pc::Start;
+            StepEvent::Linearize(op, ret)
+        };
+
+        Some(match std::mem::replace(&mut local.pc, Pc::Start) {
+            Pc::Start => match op {
+                DequeOp::PushRight(v) => {
+                    // Owner: write the slot (bot is owner-local knowledge;
+                    // folding its read here is sound because only the
+                    // owner writes it).
+                    assert!(sh.bot < self.capacity, "model deck overflow");
+                    sh.deck[sh.bot] = v;
+                    local.pc = Pc::PushAdvance { v };
+                    StepEvent::Internal
+                }
+                DequeOp::PopRight => {
+                    if sh.bot == 0 {
+                        return Some(finish(local, DequeRet::Empty));
+                    }
+                    // localBot-- ; bot = localBot (owner-only variable:
+                    // read-modify-write is one step for everyone else).
+                    sh.bot -= 1;
+                    local.pc = Pc::PopReadDeck { b: sh.bot };
+                    StepEvent::Internal
+                }
+                DequeOp::PopLeft => {
+                    local.pc = Pc::StealReadBot { old_tag: sh.tag, old_top: sh.top };
+                    StepEvent::Internal
+                }
+                DequeOp::PushLeft(_) => unreachable!(),
+            },
+
+            Pc::PushAdvance { v: _ } => {
+                sh.bot += 1;
+                finish(local, DequeRet::Okay)
+            }
+
+            Pc::PopReadDeck { b } => {
+                let v = sh.deck[b];
+                local.pc = Pc::PopReadAge { b, v };
+                StepEvent::Internal
+            }
+
+            Pc::PopReadAge { b, v } => {
+                if b > sh.top {
+                    // Secure: no thief can reach b anymore.
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    let (old_tag, old_top) = (sh.tag, sh.top);
+                    sh.bot = 0;
+                    local.pc = Pc::PopCasAge { b, v, old_tag, old_top };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::PopCasAge { b, v, old_tag, old_top } => {
+                if b == old_top && sh.tag == old_tag && sh.top == old_top {
+                    // Won the race for the last element.
+                    sh.tag = old_tag.wrapping_add(1);
+                    sh.top = 0;
+                    finish(local, DequeRet::Value(v))
+                } else if b == old_top {
+                    // Lost the CAS: a thief took it; reset and report
+                    // empty.
+                    local.pc = Pc::PopSetAge { old_tag };
+                    StepEvent::Internal
+                } else {
+                    // b < old_top: the element was already stolen.
+                    local.pc = Pc::PopSetAge { old_tag };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::PopSetAge { old_tag } => {
+                sh.tag = old_tag.wrapping_add(1);
+                sh.top = 0;
+                finish(local, DequeRet::Empty)
+            }
+
+            Pc::StealReadBot { old_tag, old_top } => {
+                if sh.bot <= old_top {
+                    finish(local, DequeRet::Empty)
+                } else {
+                    local.pc = Pc::StealReadDeck { old_tag, old_top };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::StealReadDeck { old_tag, old_top } => {
+                let v = sh.deck[old_top];
+                local.pc = Pc::StealCas { old_tag, old_top, v };
+                StepEvent::Internal
+            }
+
+            Pc::StealCas { old_tag, old_top, v } => {
+                if sh.tag == old_tag && sh.top == old_top {
+                    sh.top = old_top + 1;
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    // Abort: retry the steal from scratch.
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+        })
+    }
+
+    /// Minimal sanity only: history mode does not use linearization-point
+    /// obligations, and ABP's representation has no simple per-state
+    /// characterization of the abstract deque (that is exactly why it is
+    /// checked through histories).
+    fn rep_invariant(&self, sh: &AbpShared) -> Result<(), String> {
+        if sh.bot > self.capacity || sh.top > self.capacity {
+            return Err(format!("indices out of range: bot={} top={}", sh.bot, sh.top));
+        }
+        Ok(())
+    }
+
+    fn abstraction(&self, sh: &AbpShared) -> Vec<u64> {
+        sh.deck[sh.top.min(sh.bot)..sh.bot].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn owner_only_sequential() {
+        let m = AbpMachine::new(
+            8,
+            vec![vec![
+                DequeOp::PushRight(5),
+                DequeOp::PushRight(6),
+                DequeOp::PopRight,
+                DequeOp::PopRight,
+                DequeOp::PopRight,
+            ]],
+        );
+        let report = Explorer::default().explore_histories(&m, 10).unwrap();
+        assert_eq!(report.paths, 1);
+        assert_eq!(report.operations, 5);
+    }
+
+    #[test]
+    fn owner_vs_one_thief_race_for_last() {
+        // The classic corner: one element, owner pops bottom while a
+        // thief steals. Every path must be linearizable.
+        let m = AbpMachine::new(4, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+            .with_initial(vec![7]);
+        let report = Explorer::default().explore_histories(&m, 100_000).unwrap();
+        assert!(report.paths > 5, "expected several interleavings, got {}", report.paths);
+    }
+
+    #[test]
+    fn push_pop_steal_interleavings() {
+        let m = AbpMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PushRight(5), DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+            ],
+        );
+        Explorer::default().explore_histories(&m, 1_000_000).unwrap();
+    }
+
+    #[test]
+    fn two_thieves_and_owner() {
+        let m = AbpMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+                vec![DequeOp::PopLeft],
+            ],
+        )
+        .with_initial(vec![5, 6]);
+        Explorer::default().explore_histories(&m, 5_000_000).unwrap();
+    }
+
+    #[test]
+    fn reset_epoch_reuse() {
+        // Drain to empty (tag bump), then push and take again: the tag
+        // must protect against ABA across the reset.
+        let m = AbpMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PopRight, DequeOp::PushRight(8), DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+            ],
+        )
+        .with_initial(vec![7]);
+        Explorer::default().explore_histories(&m, 5_000_000).unwrap();
+    }
+}

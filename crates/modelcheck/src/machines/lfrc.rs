@@ -1,0 +1,837 @@
+//! Step machine for the **LFRC (GC-free) list deque** — an exhaustive
+//! audit of the reference-counting transformation in
+//! `dcas-deque::list_lfrc`.
+//!
+//! # What is modeled, and at what granularity
+//!
+//! The LFRC primitives are modeled at *primitive* granularity rather than
+//! word granularity:
+//!
+//! * `load_ptr` (LFRCLoad) is one atomic step. This is a sound
+//!   abstraction: the implementation's `DCAS(slot, &target.rc, w, rc, w,
+//!   rc+1)` succeeds only when the slot is unchanged, so a successful
+//!   `load_ptr` is observationally an atomic "read slot + increment its
+//!   target's count", and failures are pure internal retries.
+//! * `add_ref` / `release` are one atomic step each (single-word CAS
+//!   loops whose failures have no external effect). A `release` that
+//!   drops the last reference performs the reclamation cascade within
+//!   the step — the cascade only touches nodes that have no other
+//!   references, so no interleaving is hidden.
+//! * The algorithm's DCASes are one step each, as in the other machines.
+//!
+//! # The audited invariant
+//!
+//! The machine tracks a **ghost count** per node: every step that
+//! acquires or drops a *local* reference also updates the ghost, so the
+//! representation invariant can check, in every reachable state,
+//!
+//! ```text
+//! rc(n) == #{ live pointer slots targeting n } + ghost_local_refs(n)
+//! ```
+//!
+//! exactly — plus: `Freed ⇒ rc == 0`, freed exactly once, values only
+//! dying on null nodes, and no dead two-node cycle surviving (the
+//! explicit cycle-break is modeled too). Any accounting slip — a missed
+//! increment, a double release, a leak, a premature free — fails the
+//! invariant at the first state where it occurs, with a replayable
+//! schedule.
+
+use std::collections::HashMap;
+
+use dcas_linearize::{DequeOp, DequeRet};
+
+use crate::explore::{StepEvent, System};
+
+use super::array::Side;
+
+const SL: usize = 0;
+const SR: usize = 1;
+const SENTL_VAL: u64 = 1;
+const SENTR_VAL: u64 = 2;
+
+/// Pointer word: (node index, deleted bit).
+pub type PtrW = (usize, bool);
+
+/// Node lifecycle in the type-stable pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Life {
+    /// Owned by its future push op; untouched.
+    Unallocated,
+    /// Allocated (published or about to be).
+    Live,
+    /// Count reached zero; recycled to the pool. Fields cleared.
+    Freed,
+}
+
+/// One modeled node, with its reference count and the ghost tally of
+/// local references (updated in lockstep by the machine itself).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeL {
+    /// Left pointer word.
+    pub l: PtrW,
+    /// Right pointer word.
+    pub r: PtrW,
+    /// Value word (0 null, 1 sentL, 2 sentR, >= 3 user).
+    pub value: u64,
+    /// The implementation-visible reference count.
+    pub rc: u32,
+    /// Ghost: local references currently held by in-flight operations.
+    pub ghost_local: u32,
+    /// Lifecycle.
+    pub life: Life,
+}
+
+/// Shared state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LfrcShared {
+    /// Arena: 0 = SL, 1 = SR, then initial items, then per-push slots.
+    pub nodes: Vec<NodeL>,
+}
+
+impl LfrcShared {
+    /// The interior chain.
+    pub fn chain(&self) -> Result<Vec<usize>, String> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[SL].r.0;
+        let mut hops = 0;
+        while cur != SR {
+            if cur == SL || hops > self.nodes.len() {
+                return Err("malformed chain".into());
+            }
+            out.push(cur);
+            cur = self.nodes[cur].r.0;
+            hops += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// Program counters; each variant names the LFRC-transformed step it
+/// models. Words held in registers carry counted local references that
+/// the machine releases (and un-ghosts) on every exit path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    Start,
+    /// Pop: the pointer read observed the opposite sentinel and already
+    /// linearized "empty"; verify the stability claim and retire the op.
+    PopSentinelConfirm { w: PtrW },
+    PopReadVal { w: PtrW },
+    PopEmptyDcas { w: PtrW },
+    PopMarkDcas { w: PtrW, v: u64 },
+    PushPrepare { w: PtrW },
+    PushDcas { w: PtrW },
+    DelReadSent,
+    DelReadNbr { w: PtrW },
+    DelReadNbrVal { w: PtrW, nbr_w: PtrW },
+    DelReadNbrInward { w: PtrW, nbr_w: PtrW },
+    DelSpliceDcas { w: PtrW, nbr_w: PtrW, nbr_inward: PtrW },
+    DelReadOtherSent { w: PtrW, nbr_w: PtrW },
+    DelTwoNullDcas { w: PtrW, nbr_w: PtrW, ow: PtrW },
+}
+
+/// Per-thread control state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LfrcLocal {
+    tid: usize,
+    op_idx: usize,
+    pc: Pc,
+    /// Whether this thread's pending push has taken its creator ref yet.
+    push_initialized: bool,
+}
+
+/// The LFRC deque step machine.
+pub struct LfrcMachine {
+    /// Per-thread operation scripts.
+    pub scripts: Vec<Vec<DequeOp>>,
+    /// Values present initially.
+    pub initial_items: Vec<u64>,
+    /// Disable the two-null cycle break to demonstrate (in the negative
+    /// tests) the dead-cycle leak that plain reference counting cannot
+    /// collect.
+    pub break_cycle_enabled: bool,
+    node_for_push: HashMap<(usize, usize), usize>,
+    total_nodes: usize,
+}
+
+impl LfrcMachine {
+    /// Builds a machine (push values `>= 3`).
+    pub fn new(scripts: Vec<Vec<DequeOp>>) -> Self {
+        Self::with_initial(scripts, Vec::new())
+    }
+
+    /// Builds a machine with initial content.
+    pub fn with_initial(scripts: Vec<Vec<DequeOp>>, initial_items: Vec<u64>) -> Self {
+        let mut node_for_push = HashMap::new();
+        let mut next = 2 + initial_items.len();
+        for (tid, script) in scripts.iter().enumerate() {
+            for (op_idx, op) in script.iter().enumerate() {
+                if let DequeOp::PushRight(v) | DequeOp::PushLeft(v) = op {
+                    assert!(*v >= 3);
+                    node_for_push.insert((tid, op_idx), next);
+                    next += 1;
+                }
+            }
+        }
+        LfrcMachine { scripts, initial_items, break_cycle_enabled: true, node_for_push, total_nodes: next }
+    }
+
+    fn side_of(op: DequeOp) -> Side {
+        match op {
+            DequeOp::PushRight(_) | DequeOp::PopRight => Side::Right,
+            DequeOp::PushLeft(_) | DequeOp::PopLeft => Side::Left,
+        }
+    }
+
+    fn sent(side: Side) -> usize {
+        match side {
+            Side::Right => SR,
+            Side::Left => SL,
+        }
+    }
+
+    fn other_sent(side: Side) -> usize {
+        match side {
+            Side::Right => SL,
+            Side::Left => SR,
+        }
+    }
+
+    fn sent_inward(sh: &LfrcShared, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[SR].l,
+            Side::Left => sh.nodes[SL].r,
+        }
+    }
+
+    fn set_sent_inward(sh: &mut LfrcShared, side: Side, w: PtrW) {
+        match side {
+            Side::Right => sh.nodes[SR].l = w,
+            Side::Left => sh.nodes[SL].r = w,
+        }
+    }
+
+    fn outward(sh: &LfrcShared, n: usize, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[n].l,
+            Side::Left => sh.nodes[n].r,
+        }
+    }
+
+    fn inward(sh: &LfrcShared, n: usize, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[n].r,
+            Side::Left => sh.nodes[n].l,
+        }
+    }
+
+    fn set_inward(sh: &mut LfrcShared, n: usize, side: Side, w: PtrW) {
+        match side {
+            Side::Right => sh.nodes[n].r = w,
+            Side::Left => sh.nodes[n].l = w,
+        }
+    }
+
+    fn is_sentinel(n: usize) -> bool {
+        n == SL || n == SR
+    }
+
+    /// Acquire one local reference (LFRCLoad's increment / addToRC) and
+    /// record it in the ghost.
+    fn acquire_local(sh: &mut LfrcShared, n: usize) {
+        if Self::is_sentinel(n) {
+            return;
+        }
+        assert_eq!(sh.nodes[n].life, Life::Live, "acquiring a ref to node {n} that is {:?}", sh.nodes[n].life);
+        sh.nodes[n].rc += 1;
+        sh.nodes[n].ghost_local += 1;
+    }
+
+    /// Drop one local reference; reclaim on zero. A dying node's
+    /// outgoing links are *slot* references and cascade as such.
+    fn release_local(sh: &mut LfrcShared, w: PtrW) {
+        let n = w.0;
+        if Self::is_sentinel(n) {
+            return;
+        }
+        assert!(sh.nodes[n].rc >= 1, "rc underflow on node {n}");
+        assert!(sh.nodes[n].ghost_local >= 1, "ghost underflow on node {n}");
+        sh.nodes[n].rc -= 1;
+        sh.nodes[n].ghost_local -= 1;
+        if sh.nodes[n].rc == 0 {
+            let mut children = Vec::new();
+            Self::reclaim(sh, n, &mut children);
+            Self::cascade_slot_releases(sh, children);
+        }
+    }
+
+    /// Drop one *slot* reference (an overwritten pointer slot's count).
+    fn release_slot(sh: &mut LfrcShared, n: usize) {
+        Self::cascade_slot_releases(sh, vec![n]);
+    }
+
+    /// Releases a batch of slot references, reclaiming and cascading.
+    fn cascade_slot_releases(sh: &mut LfrcShared, seed: Vec<usize>) {
+        let mut stack = seed;
+        while let Some(c) = stack.pop() {
+            if Self::is_sentinel(c) {
+                continue;
+            }
+            assert!(sh.nodes[c].rc >= 1, "slot rc underflow on node {c}");
+            sh.nodes[c].rc -= 1;
+            if sh.nodes[c].rc == 0 {
+                Self::reclaim(sh, c, &mut stack);
+            }
+        }
+    }
+
+    fn reclaim(sh: &mut LfrcShared, n: usize, children: &mut Vec<usize>) {
+        assert_eq!(sh.nodes[n].ghost_local, 0, "node {n} freed while locals outstanding");
+        assert_eq!(sh.nodes[n].value, 0, "node {n} freed holding a value");
+        assert_eq!(sh.nodes[n].life, Life::Live, "double free of node {n}");
+        children.push(sh.nodes[n].l.0);
+        children.push(sh.nodes[n].r.0);
+        sh.nodes[n].life = Life::Freed;
+        sh.nodes[n].l = (SL, false);
+        sh.nodes[n].r = (SL, false);
+    }
+
+    /// The post-double-splice cycle break (mirrors
+    /// `RawLfrcListDeque::break_cycle`).
+    fn break_cycle(sh: &mut LfrcShared, right: usize, left: usize) {
+        if sh.nodes[right].l.0 == left {
+            sh.nodes[right].l = (SL, false);
+            Self::release_slot(sh, left);
+        }
+        if sh.nodes[left].r.0 == right {
+            sh.nodes[left].r = (SR, false);
+            Self::release_slot(sh, right);
+        }
+    }
+}
+
+impl System for LfrcMachine {
+    type Shared = LfrcShared;
+    type Local = LfrcLocal;
+
+    fn initial_shared(&self) -> LfrcShared {
+        let blank = NodeL {
+            l: (SL, false),
+            r: (SL, false),
+            value: 0,
+            rc: 0,
+            ghost_local: 0,
+            life: Life::Unallocated,
+        };
+        let mut nodes = vec![blank.clone(); self.total_nodes];
+        nodes[SL] = NodeL {
+            l: (SL, false),
+            r: (SR, false),
+            value: SENTL_VAL,
+            rc: 0,
+            ghost_local: 0,
+            life: Life::Live,
+        };
+        nodes[SR] = NodeL {
+            l: (SL, false),
+            r: (SR, false),
+            value: SENTR_VAL,
+            rc: 0,
+            ghost_local: 0,
+            life: Life::Live,
+        };
+        let k = self.initial_items.len();
+        for (i, &v) in self.initial_items.iter().enumerate() {
+            let id = 2 + i;
+            let left = if i == 0 { SL } else { id - 1 };
+            let right = if i == k - 1 { SR } else { id + 1 };
+            // Slot references: one from each neighbor's link (sentinel
+            // slots included — slot refs are counted regardless of who
+            // holds the slot; only *sentinel targets* are uncounted).
+            nodes[id] = NodeL {
+                l: (left, false),
+                r: (right, false),
+                value: v,
+                rc: 2,
+                ghost_local: 0,
+                life: Life::Live,
+            };
+        }
+        if k > 0 {
+            nodes[SL].r = (2, false);
+            nodes[SR].l = (2 + k - 1, false);
+        }
+        LfrcShared { nodes }
+    }
+
+    fn initial_locals(&self) -> Vec<LfrcLocal> {
+        (0..self.scripts.len())
+            .map(|tid| LfrcLocal { tid, op_idx: 0, pc: Pc::Start, push_initialized: false })
+            .collect()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn step(&self, sh: &mut LfrcShared, local: &mut LfrcLocal) -> Option<StepEvent> {
+        let op = *self.scripts[local.tid].get(local.op_idx)?;
+        let side = Self::side_of(op);
+        let is_pop = matches!(op, DequeOp::PopRight | DequeOp::PopLeft);
+        let sent = Self::sent(side);
+        let other = Self::other_sent(side);
+
+        let finish = |local: &mut LfrcLocal, ret: DequeRet| {
+            local.op_idx += 1;
+            local.pc = Pc::Start;
+            local.push_initialized = false;
+            StepEvent::Linearize(op, ret)
+        };
+
+        Some(match std::mem::replace(&mut local.pc, Pc::Start) {
+            // load_ptr of the sentinel inward word: atomic read+acquire.
+            Pc::Start => {
+                let w = Self::sent_inward(sh, side);
+                Self::acquire_local(sh, w.0);
+                if is_pop && w.0 == other && !w.1 {
+                    // The pointer read observing the opposite sentinel is
+                    // the linearization point of the empty pop (the same
+                    // Section 5.2 argument as the published algorithm).
+                    local.pc = Pc::PopSentinelConfirm { w };
+                    StepEvent::Linearize(op, DequeRet::Empty)
+                } else {
+                    local.pc =
+                        if is_pop { Pc::PopReadVal { w } } else { Pc::PushPrepare { w } };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::PopSentinelConfirm { w } => {
+                let v = sh.nodes[w.0].value;
+                let expect = if side == Side::Right { SENTL_VAL } else { SENTR_VAL };
+                assert_eq!(v, expect, "sentinel-stability claim violated in the LFRC variant");
+                Self::release_local(sh, w);
+                local.op_idx += 1;
+                local.pc = Pc::Start;
+                local.push_initialized = false;
+                StepEvent::Internal
+            }
+
+            Pc::PopReadVal { w } => {
+                let v = sh.nodes[w.0].value;
+                assert_ne!(
+                    v,
+                    if side == Side::Right { SENTL_VAL } else { SENTR_VAL },
+                    "non-sentinel pointer led to a sentinel value"
+                );
+                if w.1 {
+                    // Deleted: run the delete subroutine, then retry.
+                    Self::release_local(sh, w);
+                    local.pc = Pc::DelReadSent;
+                    StepEvent::Internal
+                } else if v == 0 {
+                    local.pc = Pc::PopEmptyDcas { w };
+                    StepEvent::Internal
+                } else {
+                    local.pc = Pc::PopMarkDcas { w, v };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::PopEmptyDcas { w } => {
+                let ok = Self::sent_inward(sh, side) == w && sh.nodes[w.0].value == 0;
+                Self::release_local(sh, w);
+                if ok {
+                    finish(local, DequeRet::Empty)
+                } else {
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::PopMarkDcas { w, v } => {
+                if Self::sent_inward(sh, side) == w && sh.nodes[w.0].value == v {
+                    // Pointer target unchanged; only the bit flips. No
+                    // count adjustments.
+                    Self::set_sent_inward(sh, side, (w.0, true));
+                    sh.nodes[w.0].value = 0;
+                    Self::release_local(sh, w);
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    Self::release_local(sh, w);
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            // Push: after the sentinel load, check deleted and stage the
+            // node (creator ref + field init folded into the DCAS step's
+            // predecessor, as unpublished-node writes are local).
+            Pc::PushPrepare { w } => {
+                if w.1 {
+                    Self::release_local(sh, w);
+                    local.pc = Pc::DelReadSent;
+                } else {
+                    local.pc = Pc::PushDcas { w };
+                }
+                StepEvent::Internal
+            }
+
+            Pc::PushDcas { w } => {
+                let v = match op {
+                    DequeOp::PushRight(v) | DequeOp::PushLeft(v) => v,
+                    _ => unreachable!(),
+                };
+                let node = self.node_for_push[&(local.tid, local.op_idx)];
+                // Stage the node on first arrival: creator's local ref.
+                if !local.push_initialized {
+                    assert_eq!(sh.nodes[node].life, Life::Unallocated);
+                    sh.nodes[node].life = Life::Live;
+                    sh.nodes[node].rc = 1;
+                    sh.nodes[node].ghost_local = 1;
+                    local.push_initialized = true;
+                }
+                if Self::sent_inward(sh, side) == w && Self::inward(sh, w.0, side) == (sent, false)
+                {
+                    // Initialize fields (unpublished), pre-count the two
+                    // slot refs to the node and one to w.0 (node's
+                    // outward link), then the DCAS resolves them into
+                    // real slots.
+                    sh.nodes[node].value = v;
+                    match side {
+                        Side::Right => {
+                            sh.nodes[node].l = w;
+                            sh.nodes[node].r = (SR, false);
+                        }
+                        Side::Left => {
+                            sh.nodes[node].r = w;
+                            sh.nodes[node].l = (SL, false);
+                        }
+                    }
+                    // Two new slots target `node`.
+                    sh.nodes[node].rc += 2;
+                    // node's outward link is a new slot targeting w.0.
+                    if !Self::is_sentinel(w.0) {
+                        sh.nodes[w.0].rc += 1;
+                    }
+                    Self::set_sent_inward(sh, side, (node, false));
+                    Self::set_inward(sh, w.0, side, (node, false));
+                    // Overwritten: the sentinel's slot ref to w.0.
+                    Self::release_slot(sh, w.0);
+                    // Creator's local ref.
+                    sh.nodes[node].rc -= 1;
+                    sh.nodes[node].ghost_local -= 1;
+                    Self::release_local(sh, w);
+                    finish(local, DequeRet::Okay)
+                } else {
+                    Self::release_local(sh, w);
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::DelReadSent => {
+                let w = Self::sent_inward(sh, side);
+                if !w.1 {
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                } else {
+                    Self::acquire_local(sh, w.0);
+                    local.pc = Pc::DelReadNbr { w };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::DelReadNbr { w } => {
+                let nbr_w = Self::outward(sh, w.0, side);
+                Self::acquire_local(sh, nbr_w.0);
+                local.pc = Pc::DelReadNbrVal { w, nbr_w };
+                StepEvent::Internal
+            }
+
+            Pc::DelReadNbrVal { w, nbr_w } => {
+                let v = sh.nodes[nbr_w.0].value;
+                local.pc = if v != 0 || Self::is_sentinel(nbr_w.0) {
+                    Pc::DelReadNbrInward { w, nbr_w }
+                } else {
+                    Pc::DelReadOtherSent { w, nbr_w }
+                };
+                StepEvent::Internal
+            }
+
+            Pc::DelReadNbrInward { w, nbr_w } => {
+                let nbr_inward = Self::inward(sh, nbr_w.0, side);
+                Self::acquire_local(sh, nbr_inward.0);
+                local.pc = if nbr_inward.0 == w.0 {
+                    Pc::DelSpliceDcas { w, nbr_w, nbr_inward }
+                } else {
+                    Self::release_local(sh, nbr_inward);
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    Pc::DelReadSent
+                };
+                StepEvent::Internal
+            }
+
+            Pc::DelSpliceDcas { w, nbr_w, nbr_inward } => {
+                if Self::sent_inward(sh, side) == w
+                    && Self::inward(sh, nbr_w.0, side) == nbr_inward
+                {
+                    // New slot: sentinel -> nbr.
+                    if !Self::is_sentinel(nbr_w.0) {
+                        sh.nodes[nbr_w.0].rc += 1;
+                    }
+                    Self::set_sent_inward(sh, side, (nbr_w.0, false));
+                    Self::set_inward(sh, nbr_w.0, side, (sent, false));
+                    // Overwritten slots both targeted w.0.
+                    Self::release_slot(sh, w.0);
+                    Self::release_slot(sh, w.0);
+                    Self::release_local(sh, nbr_inward); // t == w.0
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    local.pc = Pc::Start;
+                } else {
+                    Self::release_local(sh, nbr_inward);
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    local.pc = Pc::DelReadSent;
+                }
+                StepEvent::Internal
+            }
+
+            Pc::DelReadOtherSent { w, nbr_w } => {
+                let other_side = if side == Side::Right { Side::Left } else { Side::Right };
+                let ow = Self::sent_inward(sh, other_side);
+                Self::acquire_local(sh, ow.0);
+                local.pc = if ow.1 {
+                    Pc::DelTwoNullDcas { w, nbr_w, ow }
+                } else {
+                    Self::release_local(sh, ow);
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    Pc::DelReadSent
+                };
+                StepEvent::Internal
+            }
+
+            Pc::DelTwoNullDcas { w, nbr_w, ow } => {
+                let other_side = if side == Side::Right { Side::Left } else { Side::Right };
+                if Self::sent_inward(sh, side) == w && Self::sent_inward(sh, other_side) == ow {
+                    Self::set_sent_inward(sh, side, (other, false));
+                    Self::set_sent_inward(sh, other_side, (sent, false));
+                    // Break the two-node dead cycle, as the
+                    // implementation does.
+                    if self.break_cycle_enabled {
+                        let (right, left) =
+                            if side == Side::Right { (w.0, ow.0) } else { (ow.0, w.0) };
+                        Self::break_cycle(sh, right, left);
+                    }
+                    // Overwritten sentinel slots.
+                    Self::release_slot(sh, w.0);
+                    Self::release_slot(sh, ow.0);
+                    Self::release_local(sh, ow);
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    local.pc = Pc::Start;
+                } else {
+                    Self::release_local(sh, ow);
+                    Self::release_local(sh, nbr_w);
+                    Self::release_local(sh, w);
+                    local.pc = Pc::DelReadSent;
+                }
+                StepEvent::Internal
+            }
+        })
+    }
+
+    /// The audited invariant: exact reference-count accounting, plus the
+    /// structural invariant of the underlying algorithm.
+    fn rep_invariant(&self, sh: &LfrcShared) -> Result<(), String> {
+        // Count slot references per node: sentinel inward words + link
+        // fields of live non-sentinel nodes.
+        let mut slot_refs = vec![0u32; sh.nodes.len()];
+        let mut count_slot = |w: PtrW| {
+            if !Self::is_sentinel(w.0) {
+                slot_refs[w.0] += 1;
+            }
+        };
+        count_slot(sh.nodes[SL].r);
+        count_slot(sh.nodes[SR].l);
+        for (id, n) in sh.nodes.iter().enumerate().skip(2) {
+            if n.life == Life::Live {
+                if !Self::is_sentinel(n.l.0) {
+                    slot_refs[n.l.0] += 1;
+                }
+                if !Self::is_sentinel(n.r.0) {
+                    slot_refs[n.r.0] += 1;
+                }
+            }
+            let _ = id;
+        }
+
+        for (id, n) in sh.nodes.iter().enumerate().skip(2) {
+            match n.life {
+                Life::Unallocated => {
+                    if n.rc != 0 || n.ghost_local != 0 {
+                        return Err(format!("unallocated node {id} has counts: {n:?}"));
+                    }
+                }
+                Life::Freed => {
+                    if n.rc != 0 {
+                        return Err(format!("freed node {id} has rc {}", n.rc));
+                    }
+                    if n.ghost_local != 0 {
+                        return Err(format!("freed node {id} has outstanding locals"));
+                    }
+                    if slot_refs[id] != 0 {
+                        return Err(format!("freed node {id} still targeted by a slot"));
+                    }
+                }
+                Life::Live => {
+                    let expect = slot_refs[id] + n.ghost_local;
+                    if n.rc != expect {
+                        return Err(format!(
+                            "COUNT AUDIT FAILED on node {id}: rc={} but slots={} + \
+                             locals={} (nodes: {:?})",
+                            n.rc, slot_refs[id], n.ghost_local, sh.nodes
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Structural invariant of the chain (as in the bit-variant
+        // machine, minus interior-pointer strictness relaxed to what the
+        // LFRC variant maintains — which is the same).
+        let chain = sh.chain()?;
+        for (i, &id) in chain.iter().enumerate() {
+            let node = &sh.nodes[id];
+            if node.life != Life::Live {
+                return Err(format!("chain node {id} is {:?}", node.life));
+            }
+            let left_expect = if i == 0 { SL } else { chain[i - 1] };
+            let right_expect = if i == chain.len() - 1 { SR } else { chain[i + 1] };
+            if node.l != (left_expect, false) || node.r != (right_expect, false) {
+                return Err(format!("node {id} links inconsistent"));
+            }
+            if node.value == SENTL_VAL || node.value == SENTR_VAL {
+                return Err(format!("interior node {id} holds a sentinel value"));
+            }
+        }
+        let sr_l = sh.nodes[SR].l;
+        let sl_r = sh.nodes[SL].r;
+        let rightmost = chain.last().copied().unwrap_or(SL);
+        let leftmost = chain.first().copied().unwrap_or(SR);
+        if sr_l.0 != rightmost || sl_r.0 != leftmost {
+            return Err("sentinel words do not close the chain".into());
+        }
+        if sr_l.1 && (chain.is_empty() || sh.nodes[rightmost].value != 0) {
+            return Err("right deleted bit inconsistent".into());
+        }
+        if sl_r.1 && (chain.is_empty() || sh.nodes[leftmost].value != 0) {
+            return Err("left deleted bit inconsistent".into());
+        }
+        for (i, &id) in chain.iter().enumerate() {
+            if sh.nodes[id].value == 0 {
+                let first_ok = i == 0 && sl_r.1;
+                let last_ok = i == chain.len() - 1 && sr_l.1;
+                if !first_ok && !last_ok {
+                    return Err(format!("null node {id} without adjacent deleted mark"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn abstraction(&self, sh: &LfrcShared) -> Vec<u64> {
+        sh.chain()
+            .expect("abstraction on state violating R")
+            .into_iter()
+            .map(|id| sh.nodes[id].value)
+            .filter(|&v| v != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn sequential_ops_and_full_recycling() {
+        let m = LfrcMachine::new(vec![vec![
+            DequeOp::PushRight(5),
+            DequeOp::PushLeft(6),
+            DequeOp::PopRight,
+            DequeOp::PopLeft,
+            DequeOp::PopRight,
+            DequeOp::PopLeft,
+        ]]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![]]);
+        for sh in &report.final_shared {
+            for (id, n) in sh.nodes.iter().enumerate().skip(2) {
+                assert_eq!(n.life, Life::Freed, "node {id} not recycled: {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_null_cycle_fully_reclaimed() {
+        // The dead-cycle scenario: one pop from each side, then a
+        // cleanup op. Terminal states must show both nodes Freed (the
+        // audit invariant would already have caught any leak mid-way).
+        let m = LfrcMachine::with_initial(
+            vec![
+                vec![DequeOp::PopRight, DequeOp::PopRight],
+                vec![DequeOp::PopLeft, DequeOp::PopLeft],
+            ],
+            vec![5, 6],
+        );
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![]]);
+        // In every terminal state, all interior nodes whose physical
+        // delete completed are Freed with zero counts; at worst a node is
+        // still linked (logically deleted) awaiting cleanup.
+        for sh in &report.final_shared {
+            for n in sh.nodes.iter().skip(2) {
+                match n.life {
+                    Life::Freed => assert_eq!(n.rc, 0),
+                    Life::Live => assert_eq!(n.value, 0, "live terminal node must be null"),
+                    Life::Unallocated => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_push_pop_audit() {
+        let m = LfrcMachine::new(vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopLeft],
+            vec![DequeOp::PushLeft(6), DequeOp::PopRight],
+        ]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert!(report.states > 30);
+    }
+
+    #[test]
+    fn steal_race_audit() {
+        let m = LfrcMachine::with_initial(
+            vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+            vec![7],
+        );
+        Explorer::default().explore(&m, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn random_walks_audit_larger_config() {
+        let m = LfrcMachine::with_initial(
+            vec![
+                vec![DequeOp::PushRight(10), DequeOp::PopLeft, DequeOp::PopRight],
+                vec![DequeOp::PopRight, DequeOp::PushLeft(20), DequeOp::PopLeft],
+            ],
+            vec![5, 6],
+        );
+        Explorer::default().random_walks(&m, 2_000, 0x1F2C).unwrap();
+    }
+}

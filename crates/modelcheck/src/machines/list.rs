@@ -1,0 +1,713 @@
+//! Step machine for the linked-list deque (Figures 11, 13, 17, 32, 33,
+//! 34).
+//!
+//! # Modeling choices
+//!
+//! * Nodes live in a fixed arena: index 0 is `SL`, index 1 is `SR`,
+//!   index `2..2+k` hold the initial items, and each push operation of
+//!   each thread owns one **preassigned** arena slot. Preassignment makes
+//!   node identity deterministic across interleavings, which keeps the
+//!   visited-state deduplication effective.
+//! * Pointer words are `(node index, deleted bit)` pairs; values are
+//!   `0 = null`, `1 = sentL`, `2 = sentR`, `>= 3` = user values.
+//! * Physical deletion marks a node `Freed` but **retains its fields**:
+//!   this is precisely the garbage-collection semantics the paper assumes
+//!   (a processor that still holds a reference can keep reading a node
+//!   that has been unlinked; the memory is not recycled). Freed nodes are
+//!   never reused, so there is no ABA on node identity — again matching
+//!   the GC assumption.
+//! * The linearization point of a pop that returns "empty" after seeing
+//!   the opposite sentinel (line 5 of Figures 11/32) is the **read at
+//!   line 3**, exactly as assigned in Section 5.2; the machine then
+//!   *verifies* the paper's supporting claim — that the value read at
+//!   line 4 is necessarily the sentinel value — instead of assuming it.
+
+use std::collections::HashMap;
+
+use dcas_linearize::{DequeOp, DequeRet};
+
+use crate::explore::{StepEvent, System};
+
+use super::array::Side;
+
+/// A pointer word: (arena index, deleted bit).
+pub type PtrW = (usize, bool);
+
+/// Allocation state of an arena slot (models the GC'd heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Not yet allocated by its owning push.
+    Unallocated,
+    /// Linked (or at least published) in the structure.
+    Live,
+    /// Physically deleted; fields frozen, never reused.
+    Freed,
+}
+
+/// One modeled node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeM {
+    /// Left pointer word.
+    pub l: PtrW,
+    /// Right pointer word.
+    pub r: PtrW,
+    /// Value word (0 null, 1 sentL, 2 sentR, >= 3 user).
+    pub value: u64,
+    /// Heap state.
+    pub state: NodeState,
+}
+
+const SL: usize = 0;
+const SR: usize = 1;
+const SENTL_VAL: u64 = 1;
+const SENTR_VAL: u64 = 2;
+
+/// Shared state: the node arena (sentinels included).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ListShared {
+    /// The arena; indices are the model's pointers.
+    pub nodes: Vec<NodeM>,
+}
+
+impl ListShared {
+    /// The interior chain (node indices) from left to right, if
+    /// well-formed.
+    pub fn chain(&self) -> Result<Vec<usize>, String> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[SL].r.0;
+        let mut hops = 0;
+        while cur != SR {
+            if cur == SL {
+                return Err("chain loops back to SL".into());
+            }
+            if hops > self.nodes.len() {
+                return Err("chain does not terminate".into());
+            }
+            out.push(cur);
+            cur = self.nodes[cur].r.0;
+            hops += 1;
+        }
+        Ok(out)
+    }
+
+    /// The deleted bit of the right sentinel's inward pointer.
+    pub fn right_deleted(&self) -> bool {
+        self.nodes[SR].l.1
+    }
+
+    /// The deleted bit of the left sentinel's inward pointer.
+    pub fn left_deleted(&self) -> bool {
+        self.nodes[SL].r.1
+    }
+}
+
+/// Program counters (registers inline), shared by both sides; the side is
+/// recovered from the current operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Op loop head: read the operating sentinel's inward pointer
+    /// (pop line 3 / push line 6 / nothing pending).
+    Start,
+    /// Pop line 4 after the line-3 read already linearized "empty":
+    /// verify the stability claim and return.
+    PopSentinelConfirm { old_p: PtrW },
+    /// Pop line 4: read the victim's value.
+    PopReadVal { old_p: PtrW },
+    /// Pop lines 9-11: identity DCAS confirming emptiness.
+    PopEmptyDcas { old_p: PtrW },
+    /// Pop lines 14-18: the logical-deletion DCAS.
+    PopMarkDcas { old_p: PtrW, v: u64 },
+    /// Push lines 10-18: initialize the unpublished node and attempt the
+    /// splice-in DCAS.
+    PushDcas { old_p: PtrW },
+    /// Delete line 3: (re)read the sentinel inward pointer.
+    DelReadSent,
+    /// Delete line 5: read the victim's outward pointer.
+    DelReadNbr { old_p: PtrW },
+    /// Delete line 6: read the neighbor's value.
+    DelReadNbrVal { old_p: PtrW, nbr: usize },
+    /// Delete lines 7-8: read the neighbor's inward pointer and compare.
+    DelReadNbrInward { old_p: PtrW, nbr: usize },
+    /// Delete lines 9-13: the splice-out DCAS.
+    DelSpliceDcas { old_p: PtrW, nbr: usize, nbr_inward: PtrW },
+    /// Delete line 17(-18/22): read the *other* sentinel's inward pointer.
+    DelReadOtherSent { old_p: PtrW },
+    /// Delete lines 19-25: the two-null double-splice DCAS (Figure 16).
+    DelTwoNullDcas { old_p: PtrW, other: PtrW },
+}
+
+/// Per-thread control state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ListLocal {
+    tid: usize,
+    op_idx: usize,
+    pc: Pc,
+}
+
+/// The linked-list deque step machine.
+pub struct ListMachine {
+    /// Per-thread operation scripts.
+    pub scripts: Vec<Vec<DequeOp>>,
+    /// Values present initially.
+    pub initial_items: Vec<u64>,
+    /// Arena slot owned by each push op.
+    node_for_push: HashMap<(usize, usize), usize>,
+    total_nodes: usize,
+}
+
+impl ListMachine {
+    /// Builds a machine for the given scripts (all push values must be
+    /// `>= 3` and, for meaningful checking, distinct).
+    pub fn new(scripts: Vec<Vec<DequeOp>>) -> Self {
+        Self::with_initial(scripts, Vec::new())
+    }
+
+    /// Builds a machine with initial deque content.
+    pub fn with_initial(scripts: Vec<Vec<DequeOp>>, initial_items: Vec<u64>) -> Self {
+        let mut node_for_push = HashMap::new();
+        let mut next = 2 + initial_items.len();
+        for (tid, script) in scripts.iter().enumerate() {
+            for (op_idx, op) in script.iter().enumerate() {
+                match op {
+                    DequeOp::PushRight(v) | DequeOp::PushLeft(v) => {
+                        assert!(*v >= 3, "push values must be >= 3 in the model");
+                        node_for_push.insert((tid, op_idx), next);
+                        next += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for v in &initial_items {
+            assert!(*v >= 3);
+        }
+        ListMachine { scripts, initial_items, node_for_push, total_nodes: next }
+    }
+
+    fn side_of(op: DequeOp) -> Side {
+        match op {
+            DequeOp::PushRight(_) | DequeOp::PopRight => Side::Right,
+            DequeOp::PushLeft(_) | DequeOp::PopLeft => Side::Left,
+        }
+    }
+
+    /// The sentinel a `side` operation works at (`SR` for right ops).
+    fn sent(side: Side) -> usize {
+        match side {
+            Side::Right => SR,
+            Side::Left => SL,
+        }
+    }
+
+    fn other_sent(side: Side) -> usize {
+        match side {
+            Side::Right => SL,
+            Side::Left => SR,
+        }
+    }
+
+    /// Reads the operating sentinel's inward pointer (`SR->L` / `SL->R`).
+    fn sent_inward(sh: &ListShared, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[SR].l,
+            Side::Left => sh.nodes[SL].r,
+        }
+    }
+
+    fn set_sent_inward(sh: &mut ListShared, side: Side, w: PtrW) {
+        match side {
+            Side::Right => sh.nodes[SR].l = w,
+            Side::Left => sh.nodes[SL].r = w,
+        }
+    }
+
+    /// A node's pointer *away from* the operating sentinel (the victim's
+    /// left pointer for a right-side delete).
+    fn outward(sh: &ListShared, node: usize, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[node].l,
+            Side::Left => sh.nodes[node].r,
+        }
+    }
+
+    /// A node's pointer *toward* the operating sentinel.
+    fn inward(sh: &ListShared, node: usize, side: Side) -> PtrW {
+        match side {
+            Side::Right => sh.nodes[node].r,
+            Side::Left => sh.nodes[node].l,
+        }
+    }
+
+    fn set_inward(sh: &mut ListShared, node: usize, side: Side, w: PtrW) {
+        match side {
+            Side::Right => sh.nodes[node].r = w,
+            Side::Left => sh.nodes[node].l = w,
+        }
+    }
+}
+
+impl System for ListMachine {
+    type Shared = ListShared;
+    type Local = ListLocal;
+
+    fn initial_shared(&self) -> ListShared {
+        let blank = NodeM { l: (0, false), r: (0, false), value: 0, state: NodeState::Unallocated };
+        let mut nodes = vec![blank; self.total_nodes];
+        nodes[SL] = NodeM {
+            l: (SL, false), // unused, per the paper
+            r: (SR, false),
+            value: SENTL_VAL,
+            state: NodeState::Live,
+        };
+        nodes[SR] = NodeM {
+            l: (SL, false),
+            r: (SR, false), // unused
+            value: SENTR_VAL,
+            state: NodeState::Live,
+        };
+        // Wire the initial chain SL <-> 2 <-> 3 <-> ... <-> SR.
+        let k = self.initial_items.len();
+        for (i, &v) in self.initial_items.iter().enumerate() {
+            let id = 2 + i;
+            let left = if i == 0 { SL } else { id - 1 };
+            let right = if i == k - 1 { SR } else { id + 1 };
+            nodes[id] = NodeM {
+                l: (left, false),
+                r: (right, false),
+                value: v,
+                state: NodeState::Live,
+            };
+        }
+        if k > 0 {
+            nodes[SL].r = (2, false);
+            nodes[SR].l = (2 + k - 1, false);
+        }
+        ListShared { nodes }
+    }
+
+    fn initial_locals(&self) -> Vec<ListLocal> {
+        (0..self.scripts.len())
+            .map(|tid| ListLocal { tid, op_idx: 0, pc: Pc::Start })
+            .collect()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn step(&self, sh: &mut ListShared, local: &mut ListLocal) -> Option<StepEvent> {
+        let op = *self.scripts[local.tid].get(local.op_idx)?;
+        let side = Self::side_of(op);
+        let is_pop = matches!(op, DequeOp::PopRight | DequeOp::PopLeft);
+        let sent = Self::sent(side);
+        let other = Self::other_sent(side);
+
+        let finish = |local: &mut ListLocal, ret: DequeRet| {
+            local.op_idx += 1;
+            local.pc = Pc::Start;
+            StepEvent::Linearize(op, ret)
+        };
+
+        Some(match std::mem::replace(&mut local.pc, Pc::Start) {
+            // Pop line 3 / push line 6: read the sentinel inward pointer.
+            Pc::Start => {
+                let old_p = Self::sent_inward(sh, side);
+                if is_pop {
+                    if old_p.0 == other && !old_p.1 {
+                        // The read that observes "sentinel points to
+                        // sentinel" is the linearization point of the
+                        // empty pop (Section 5.2, Figure 28).
+                        local.pc = Pc::PopSentinelConfirm { old_p };
+                        StepEvent::Linearize(op, DequeRet::Empty)
+                    } else {
+                        local.pc = Pc::PopReadVal { old_p };
+                        StepEvent::Internal
+                    }
+                } else if old_p.1 {
+                    // Push line 7: complete the pending deletion first.
+                    local.pc = Pc::DelReadSent;
+                    StepEvent::Internal
+                } else {
+                    local.pc = Pc::PushDcas { old_p };
+                    StepEvent::Internal
+                }
+            }
+
+            // Pop line 4, on the already-linearized empty path: the paper
+            // argues the value must still be the (stable) sentinel value.
+            Pc::PopSentinelConfirm { old_p } => {
+                let v = sh.nodes[old_p.0].value;
+                let expect = if side == Side::Right { SENTL_VAL } else { SENTR_VAL };
+                assert_eq!(
+                    v, expect,
+                    "paper's sentinel-stability claim violated: the value read at \
+                     line 4 after observing the opposite sentinel at line 3 was {v}"
+                );
+                local.op_idx += 1;
+                local.pc = Pc::Start;
+                StepEvent::Internal
+            }
+
+            // Pop line 4: read the victim's value.
+            Pc::PopReadVal { old_p } => {
+                let v = sh.nodes[old_p.0].value;
+                assert_ne!(v, if side == Side::Right { SENTL_VAL } else { SENTR_VAL },
+                    "non-sentinel pointer led to a sentinel value");
+                if old_p.1 {
+                    // Line 6: pending deletion on this side.
+                    local.pc = Pc::DelReadSent;
+                } else if v == 0 {
+                    local.pc = Pc::PopEmptyDcas { old_p };
+                } else {
+                    local.pc = Pc::PopMarkDcas { old_p, v };
+                }
+                StepEvent::Internal
+            }
+
+            // Pop lines 9-11: identity DCAS on (sentinel word, value).
+            Pc::PopEmptyDcas { old_p } => {
+                if Self::sent_inward(sh, side) == old_p && sh.nodes[old_p.0].value == 0 {
+                    finish(local, DequeRet::Empty)
+                } else {
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            // Pop lines 14-18: the logical deletion (Figure 12).
+            Pc::PopMarkDcas { old_p, v } => {
+                if Self::sent_inward(sh, side) == old_p && sh.nodes[old_p.0].value == v {
+                    Self::set_sent_inward(sh, side, (old_p.0, true));
+                    sh.nodes[old_p.0].value = 0;
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            // Push lines 10-18: initialize the unpublished node (local
+            // writes, folded into this step per the paper's footnote 7)
+            // and attempt the two-pointer splice-in (Figure 14).
+            Pc::PushDcas { old_p } => {
+                let v = match op {
+                    DequeOp::PushRight(v) | DequeOp::PushLeft(v) => v,
+                    _ => unreachable!(),
+                };
+                let node = self.node_for_push[&(local.tid, local.op_idx)];
+                if Self::sent_inward(sh, side) == old_p
+                    && Self::inward(sh, old_p.0, side) == (sent, false)
+                {
+                    debug_assert_eq!(sh.nodes[node].state, NodeState::Unallocated);
+                    sh.nodes[node].value = v;
+                    sh.nodes[node].state = NodeState::Live;
+                    match side {
+                        Side::Right => {
+                            sh.nodes[node].l = old_p;
+                            sh.nodes[node].r = (SR, false);
+                        }
+                        Side::Left => {
+                            sh.nodes[node].r = old_p;
+                            sh.nodes[node].l = (SL, false);
+                        }
+                    }
+                    Self::set_sent_inward(sh, side, (node, false));
+                    Self::set_inward(sh, old_p.0, side, (node, false));
+                    finish(local, DequeRet::Okay)
+                } else {
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+
+            // Delete line 3.
+            Pc::DelReadSent => {
+                let old_p = Self::sent_inward(sh, side);
+                local.pc = if !old_p.1 {
+                    Pc::Start // line 4: deletion already completed
+                } else {
+                    Pc::DelReadNbr { old_p }
+                };
+                StepEvent::Internal
+            }
+
+            // Delete line 5: read the victim's outward pointer. (The
+            // victim may already be Freed — reading its frozen fields is
+            // exactly what the GC assumption permits.)
+            Pc::DelReadNbr { old_p } => {
+                let nbr = Self::outward(sh, old_p.0, side).0;
+                local.pc = Pc::DelReadNbrVal { old_p, nbr };
+                StepEvent::Internal
+            }
+
+            // Delete line 6.
+            Pc::DelReadNbrVal { old_p, nbr } => {
+                let v = sh.nodes[nbr].value;
+                local.pc = if v != 0 {
+                    Pc::DelReadNbrInward { old_p, nbr }
+                } else {
+                    Pc::DelReadOtherSent { old_p }
+                };
+                StepEvent::Internal
+            }
+
+            // Delete lines 7-8.
+            Pc::DelReadNbrInward { old_p, nbr } => {
+                let nbr_inward = Self::inward(sh, nbr, side);
+                local.pc = if nbr_inward.0 == old_p.0 {
+                    Pc::DelSpliceDcas { old_p, nbr, nbr_inward }
+                } else {
+                    Pc::DelReadSent
+                };
+                StepEvent::Internal
+            }
+
+            // Delete lines 9-13: splice the null node out (Figure 15).
+            // Not a linearization point: the explorer checks A unchanged
+            // (the paper's Figure 29 verification condition).
+            Pc::DelSpliceDcas { old_p, nbr, nbr_inward } => {
+                if Self::sent_inward(sh, side) == old_p
+                    && Self::inward(sh, nbr, side) == nbr_inward
+                {
+                    Self::set_sent_inward(sh, side, (nbr, false));
+                    Self::set_inward(sh, nbr, side, (sent, false));
+                    sh.nodes[old_p.0].state = NodeState::Freed;
+                    local.pc = Pc::Start;
+                } else {
+                    local.pc = Pc::DelReadSent;
+                }
+                StepEvent::Internal
+            }
+
+            // Delete line 17 (+ the deleted-bit test).
+            Pc::DelReadOtherSent { old_p } => {
+                let other_w = Self::sent_inward(
+                    sh,
+                    if side == Side::Right { Side::Left } else { Side::Right },
+                );
+                local.pc = if other_w.1 {
+                    Pc::DelTwoNullDcas { old_p, other: other_w }
+                } else {
+                    Pc::DelReadSent
+                };
+                StepEvent::Internal
+            }
+
+            // Delete lines 19-25: both remaining nodes are null; point the
+            // sentinels at each other (the Figure 16 race).
+            Pc::DelTwoNullDcas { old_p, other: other_w } => {
+                let other_side = if side == Side::Right { Side::Left } else { Side::Right };
+                if Self::sent_inward(sh, side) == old_p
+                    && Self::sent_inward(sh, other_side) == other_w
+                {
+                    Self::set_sent_inward(sh, side, (other, false));
+                    Self::set_sent_inward(sh, other_side, (sent, false));
+                    assert_ne!(old_p.0, other_w.0, "two-null splice on a single node");
+                    sh.nodes[old_p.0].state = NodeState::Freed;
+                    sh.nodes[other_w.0].state = NodeState::Freed;
+                    local.pc = Pc::Start;
+                } else {
+                    local.pc = Pc::DelReadSent;
+                }
+                StepEvent::Internal
+            }
+        })
+    }
+
+    /// The representation invariant of Figures 24-25, recast over the
+    /// arena model.
+    fn rep_invariant(&self, sh: &ListShared) -> Result<(), String> {
+        // Sentinels are fixed and hold their distinguished values.
+        if sh.nodes[SL].value != SENTL_VAL || sh.nodes[SR].value != SENTR_VAL {
+            return Err("LeftSent/RightSent: sentinel values corrupted".into());
+        }
+        if sh.nodes[SL].state != NodeState::Live || sh.nodes[SR].state != NodeState::Live {
+            return Err("sentinels must stay live".into());
+        }
+
+        // The chain is finite and acyclic (DistinctNodes / SeqLength).
+        let chain = sh.chain()?;
+
+        // Interior nodes are live; doubly-linked pointers agree
+        // (RightPointers / LeftPointers); no deleted bits on interior
+        // words.
+        for (i, &id) in chain.iter().enumerate() {
+            let node = &sh.nodes[id];
+            if node.state != NodeState::Live {
+                return Err(format!("chain node {id} is {:?}", node.state));
+            }
+            let left_expect = if i == 0 { SL } else { chain[i - 1] };
+            let right_expect = if i == chain.len() - 1 { SR } else { chain[i + 1] };
+            if node.l != (left_expect, false) {
+                return Err(format!(
+                    "LeftPointers: node {id} has l={:?}, expected ({left_expect}, false)",
+                    node.l
+                ));
+            }
+            if node.r != (right_expect, false) {
+                return Err(format!(
+                    "RightPointers: node {id} has r={:?}, expected ({right_expect}, false)",
+                    node.r
+                ));
+            }
+            // Interior values are null or real (never sentinels).
+            if node.value == SENTL_VAL || node.value == SENTR_VAL {
+                return Err(format!("interior node {id} holds a sentinel value"));
+            }
+        }
+
+        // Sentinel inward words close the chain.
+        let sr_l = sh.nodes[SR].l;
+        let sl_r = sh.nodes[SL].r;
+        let rightmost = chain.last().copied().unwrap_or(SL);
+        let leftmost = chain.first().copied().unwrap_or(SR);
+        if sr_l.0 != rightmost {
+            return Err(format!("SR->L points to {} but rightmost is {rightmost}", sr_l.0));
+        }
+        if sl_r.0 != leftmost {
+            return Err(format!("SL->R points to {} but leftmost is {leftmost}", sl_r.0));
+        }
+
+        // Deleted bits imply an adjacent null node (and vice versa):
+        // the four NonDelNonSentNodesHaveRealVals conjuncts of Figure 25.
+        if sr_l.1 {
+            if chain.is_empty() {
+                return Err("SR->L deleted but the chain is empty".into());
+            }
+            if sh.nodes[rightmost].value != 0 {
+                return Err("SR->L deleted but the rightmost node is non-null".into());
+            }
+        }
+        if sl_r.1 {
+            if chain.is_empty() {
+                return Err("SL->R deleted but the chain is empty".into());
+            }
+            if sh.nodes[leftmost].value != 0 {
+                return Err("SL->R deleted but the leftmost node is non-null".into());
+            }
+        }
+        for (i, &id) in chain.iter().enumerate() {
+            if sh.nodes[id].value == 0 {
+                let first_ok = i == 0 && sl_r.1;
+                let last_ok = i == chain.len() - 1 && sr_l.1;
+                if !first_ok && !last_ok {
+                    return Err(format!(
+                        "null node {id} is not adjacent to a deleted-marked sentinel \
+                         (chain {chain:?}, sl_r={sl_r:?}, sr_l={sr_l:?})"
+                    ));
+                }
+            }
+        }
+
+        // Freed and unallocated nodes are outside the chain and hold no
+        // live value.
+        for (id, node) in sh.nodes.iter().enumerate().skip(2) {
+            match node.state {
+                NodeState::Unallocated => {
+                    if node.value != 0 {
+                        return Err(format!("unallocated node {id} has a value"));
+                    }
+                }
+                NodeState::Freed => {
+                    if chain.contains(&id) {
+                        return Err(format!("freed node {id} is still linked"));
+                    }
+                    if node.value != 0 {
+                        return Err(format!(
+                            "freed node {id} still holds value {} (only null nodes are \
+                             physically deleted)",
+                            node.value
+                        ));
+                    }
+                }
+                NodeState::Live => {
+                    if !chain.contains(&id) {
+                        return Err(format!("live node {id} is not linked"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The abstraction function: the non-null interior values, left to
+    /// right.
+    fn abstraction(&self, sh: &ListShared) -> Vec<u64> {
+        sh.chain()
+            .expect("abstraction called on state violating R")
+            .into_iter()
+            .map(|id| sh.nodes[id].value)
+            .filter(|&v| v != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn sequential_ops() {
+        let m = ListMachine::new(vec![vec![
+            DequeOp::PushRight(5),
+            DequeOp::PushLeft(6),
+            DequeOp::PopRight,
+            DequeOp::PopRight,
+            DequeOp::PopRight,
+            DequeOp::PopLeft,
+        ]]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![]]);
+        assert_eq!(report.linearizations, 6);
+    }
+
+    #[test]
+    fn initial_items_abstraction() {
+        let m = ListMachine::with_initial(vec![], vec![7, 8, 9]);
+        let sh = m.initial_shared();
+        m.rep_invariant(&sh).unwrap();
+        assert_eq!(m.abstraction(&sh), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn two_thread_opposite_pushes() {
+        let m = ListMachine::new(vec![vec![DequeOp::PushRight(5)], vec![DequeOp::PushLeft(6)]]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![6, 5]]);
+    }
+
+    #[test]
+    fn pop_after_remote_mark_sees_empty() {
+        // Push then pop right leaves a right-deleted null node; a popLeft
+        // script must linearize Empty through the identity DCAS.
+        let m = ListMachine::new(vec![vec![
+            DequeOp::PushRight(5),
+            DequeOp::PopRight,
+            DequeOp::PopLeft,
+        ]]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![]]);
+    }
+
+    #[test]
+    fn two_null_cleanup_runs() {
+        // One element popped from each side leaves two nulls; the next op
+        // must double-splice (sequentially deterministic).
+        let m = ListMachine::new(vec![vec![
+            DequeOp::PushLeft(5),
+            DequeOp::PushRight(6),
+            DequeOp::PopRight,
+            DequeOp::PopLeft,
+            DequeOp::PopRight,
+        ]]);
+        let report = Explorer::default().explore(&m, |_| {}).unwrap();
+        assert_eq!(report.final_abstracts, vec![vec![]]);
+        // All four non-sentinel nodes end up freed.
+        for sh in &report.final_shared {
+            for node in sh.nodes.iter().skip(2) {
+                assert_eq!(node.state, NodeState::Freed);
+            }
+        }
+    }
+}

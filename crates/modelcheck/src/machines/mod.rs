@@ -1,0 +1,23 @@
+//! Step-machine encodings of the paper's algorithms.
+//!
+//! Each machine re-expresses one algorithm with explicit program counters
+//! at the granularity of **shared-memory accesses**: every atomic read of
+//! a shared word and every DCAS is one step (local computation rides along
+//! with the access that feeds it, exactly as in the paper's model, where
+//! only `Read`, `Write` and `DCAS` are machine operations). Program
+//! counters are named after the line numbers of the paper's figures so
+//! the encodings can be audited against the listings.
+
+pub mod abp;
+pub mod array;
+pub mod dummy;
+pub mod greenwald;
+pub mod lfrc;
+pub mod list;
+
+pub use abp::AbpMachine;
+pub use array::{ArrayMachine, Side};
+pub use dummy::DummyMachine;
+pub use greenwald::GreenwaldMachine;
+pub use lfrc::LfrcMachine;
+pub use list::ListMachine;

@@ -1,0 +1,124 @@
+//! Lock-freedom (non-blocking progress) checking on the explored state
+//! graph.
+//!
+//! Section 5.2 of the paper argues lock-freedom by contradiction: assume
+//! an infinite execution with only finitely many completed operations,
+//! and show the representation invariant makes that impossible. On the
+//! finite state graph of a bounded configuration, the same property is
+//! decidable exactly: the algorithm is non-blocking for that
+//! configuration iff there is **no reachable cycle consisting solely of
+//! non-completing transitions**. If such a cycle existed, an adversarial
+//! scheduler could drive the system around it forever — threads taking
+//! infinitely many steps while no operation ever completes, which is
+//! precisely what the non-blocking definition of Section 2 forbids.
+//!
+//! (A *blocking* algorithm, e.g. one protected by a lock our model
+//! includes as shared state, exhibits such a cycle the moment one thread
+//! can spin while the lock holder is starved.)
+
+/// Searches the `(from, to, completing)` edge list for a cycle that never
+/// completes an operation.
+///
+/// Returns `Ok(())` if none exists (the configuration is non-blocking) or
+/// `Err(cycle)` with a witness path of state indices.
+pub fn check_lockfree(edges: &[(usize, usize, bool)]) -> Result<(), Vec<usize>> {
+    let n = edges
+        .iter()
+        .map(|&(a, b, _)| a.max(b) + 1)
+        .max()
+        .unwrap_or(0);
+    // Adjacency over non-completing edges only.
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b, completing) in edges {
+        if !completing {
+            adj[a].push(b);
+        }
+    }
+    // Iterative three-color DFS for cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index).
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < adj[u].len() {
+                let v = adj[u][*i];
+                *i += 1;
+                match color[v] {
+                    Color::White => {
+                        color[v] = Color::Gray;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        // Found a non-completing cycle; reconstruct it.
+                        let mut cycle = vec![v, u];
+                        let mut w = u;
+                        while w != v && parent[w] != usize::MAX {
+                            w = parent[w];
+                            cycle.push(w);
+                        }
+                        cycle.reverse();
+                        return Err(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_fine() {
+        assert!(check_lockfree(&[]).is_ok());
+    }
+
+    #[test]
+    fn dag_of_internal_steps_is_fine() {
+        assert!(check_lockfree(&[(0, 1, false), (1, 2, false), (0, 2, false)]).is_ok());
+    }
+
+    #[test]
+    fn cycle_broken_by_completion_is_fine() {
+        // 0 -> 1 -> 2 -> 0, but the closing edge completes an operation:
+        // any infinite run around the loop completes infinitely often.
+        assert!(check_lockfree(&[(0, 1, false), (1, 2, false), (2, 0, true)]).is_ok());
+    }
+
+    #[test]
+    fn pure_retry_cycle_is_caught() {
+        let err = check_lockfree(&[(0, 1, false), (1, 0, false)]).unwrap_err();
+        assert!(err.len() >= 2);
+    }
+
+    #[test]
+    fn unreachable_from_zero_still_checked() {
+        assert!(check_lockfree(&[(5, 6, false), (6, 5, false)]).is_err());
+    }
+
+    #[test]
+    fn parallel_completing_edge_does_not_mask() {
+        // Two edges 1->0: one completing, one not. The non-completing one
+        // still closes a livelock cycle.
+        assert!(check_lockfree(&[(0, 1, false), (1, 0, true), (1, 0, false)]).is_err());
+    }
+}

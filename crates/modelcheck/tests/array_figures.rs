@@ -1,0 +1,275 @@
+//! Exhaustive model checking of the array-based deque (Theorem 3.1) and
+//! reproduction of the paper's Figure 6 contention scenario.
+
+use dcas_linearize::{DequeOp, DequeRet};
+use dcas_modelcheck::machines::ArrayMachine;
+use dcas_modelcheck::{check_lockfree, ExploreConfig, Explorer};
+
+fn explore_ok(m: &ArrayMachine) -> dcas_modelcheck::Report<dcas_modelcheck::machines::array::ArrayShared> {
+    Explorer::default()
+        .explore(m, |_| {})
+        .expect("proof obligations must hold on every reachable state")
+}
+
+#[test]
+fn fig6_pop_right_contending_with_pop_left() {
+    // Figure 6: a popRight races a popLeft for the single element; the
+    // popLeft "steals" it and the popRight must report empty. Exhaustive
+    // exploration must find executions with each winner, including the
+    // case where the loser detects the steal through the strong-DCAS
+    // failure view (lines 17-18).
+    let m = ArrayMachine::new(3, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+        .with_initial(vec![7]);
+    let mut outcomes = Vec::new();
+    Explorer::default()
+        .explore_full(
+            &m,
+            |_| {},
+            |tid, op, ret| {
+                if !outcomes.contains(&(tid, op, ret)) {
+                    outcomes.push((tid, op, ret));
+                }
+            },
+        )
+        .unwrap();
+    // Right wins in some executions, left in others; the loser gets
+    // "empty".
+    assert!(outcomes.contains(&(0, DequeOp::PopRight, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(0, DequeOp::PopRight, DequeRet::Empty)));
+    assert!(outcomes.contains(&(1, DequeOp::PopLeft, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(1, DequeOp::PopLeft, DequeRet::Empty)));
+}
+
+#[test]
+fn fig6_scenario_all_configs() {
+    // The same race must verify under all four optimization configs.
+    for revalidate in [false, true] {
+        for strong in [false, true] {
+            let mut m =
+                ArrayMachine::new(3, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+                    .with_initial(vec![7]);
+            m.revalidate_index = revalidate;
+            m.strong_failure_check = strong;
+            let report = explore_ok(&m);
+            assert_eq!(report.final_abstracts, vec![Vec::<u64>::new()]);
+        }
+    }
+}
+
+#[test]
+fn push_race_for_last_free_cell() {
+    // Two pushes race for the single free cell of an almost-full deque;
+    // one succeeds, the other must report full.
+    let m = ArrayMachine::new(
+        3,
+        vec![vec![DequeOp::PushRight(8)], vec![DequeOp::PushLeft(9)]],
+    )
+    .with_initial(vec![5, 6]);
+    let mut outcomes = Vec::new();
+    Explorer::default()
+        .explore_full(&m, |_| {}, |tid, _, ret| {
+            if !outcomes.contains(&(tid, ret)) {
+                outcomes.push((tid, ret));
+            }
+        })
+        .unwrap();
+    assert!(outcomes.contains(&(0, DequeRet::Okay)));
+    assert!(outcomes.contains(&(0, DequeRet::Full)));
+    assert!(outcomes.contains(&(1, DequeRet::Okay)));
+    assert!(outcomes.contains(&(1, DequeRet::Full)));
+}
+
+#[test]
+fn theorem_3_1_two_threads_mixed_ops() {
+    // Theorem 3.1 on a bounded configuration: every interleaving of two
+    // threads doing mixed push/pop at both ends of a small deque
+    // satisfies R, keeps A consistent, and linearizes correctly.
+    let m = ArrayMachine::new(
+        2,
+        vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopLeft],
+            vec![DequeOp::PushLeft(6), DequeOp::PopRight],
+        ],
+    );
+    let report = explore_ok(&m);
+    assert!(report.states > 30, "expected a nontrivial state space, got {}", report.states);
+    // Conservation: every terminal abstract state holds a subset of the
+    // pushed values.
+    for f in &report.final_abstracts {
+        for v in f {
+            assert!([5, 6].contains(v));
+        }
+    }
+}
+
+#[test]
+fn theorem_3_1_three_threads_capacity_one() {
+    // Capacity 1 maximizes boundary churn: every op hits empty or full.
+    let m = ArrayMachine::new(
+        1,
+        vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopRight],
+            vec![DequeOp::PushLeft(6), DequeOp::PopLeft],
+            vec![DequeOp::PopRight],
+        ],
+    );
+    let report = explore_ok(&m);
+    assert!(report.linearizations > 0);
+}
+
+#[test]
+fn theorem_3_1_wraparound_configuration() {
+    // Start with the segment about to wrap (Figure 8 geometry) and hammer
+    // both ends.
+    let m = ArrayMachine::new(
+        3,
+        vec![
+            vec![DequeOp::PushRight(8), DequeOp::PopLeft],
+            vec![DequeOp::PushLeft(9), DequeOp::PopRight],
+        ],
+    )
+    .with_initial(vec![5, 6]);
+    explore_ok(&m);
+}
+
+#[test]
+fn theorem_3_1_minimal_config_weak_dcas_only() {
+    // The paper: deleting line 7 and lines 17-18 leaves a correct
+    // algorithm needing only the weak DCAS.
+    let m = ArrayMachine::new(
+        2,
+        vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopLeft],
+            vec![DequeOp::PushLeft(6), DequeOp::PopRight],
+        ],
+    )
+    .minimal();
+    explore_ok(&m);
+}
+
+#[test]
+fn lock_freedom_of_array_configurations() {
+    // Section 5.1's progress argument, mechanized: the reachable state
+    // graph has no cycle of non-completing transitions.
+    let configs: Vec<ArrayMachine> = vec![
+        ArrayMachine::new(2, vec![vec![DequeOp::PushRight(5)], vec![DequeOp::PushRight(6)]]),
+        ArrayMachine::new(
+            2,
+            vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        )
+        .with_initial(vec![7]),
+        ArrayMachine::new(
+            2,
+            vec![
+                vec![DequeOp::PushRight(5), DequeOp::PopLeft],
+                vec![DequeOp::PushLeft(6), DequeOp::PopRight],
+            ],
+        ),
+    ];
+    for m in &configs {
+        let report = Explorer::new(ExploreConfig { track_graph: true, ..Default::default() })
+            .explore(m, |_| {})
+            .unwrap();
+        check_lockfree(&report.graph).unwrap_or_else(|cycle| {
+            panic!("livelock cycle found: {cycle:?}");
+        });
+    }
+}
+
+#[test]
+fn unsound_empty_check_is_refuted() {
+    // Removing the boundary-confirming DCAS (the paper's key mechanism)
+    // yields an algorithm the explorer refutes: thread 0's popRight can
+    // report "empty" although the deque held a value throughout its
+    // execution.
+    let mut m = ArrayMachine::new(
+        3,
+        vec![
+            vec![DequeOp::PopRight],
+            vec![DequeOp::PushLeft(9), DequeOp::PopRight],
+        ],
+    )
+    .with_initial(vec![7]);
+    m.naive_empty_check = true;
+    let err = Explorer::default().explore(&m, |_| {}).unwrap_err();
+    assert!(
+        err.contains("illegal linearization"),
+        "expected a linearizability refutation, got: {err}"
+    );
+}
+
+#[test]
+fn exhaustive_small_configuration_sweep() {
+    // A broader sweep of tiny configurations; each explores every
+    // interleaving and checks all proof obligations.
+    let vals = |k: u64| 5 + k;
+    for cap in 1..=3usize {
+        for initial in 0..=cap.min(2) {
+            let scripts = vec![
+                vec![DequeOp::PushRight(vals(10)), DequeOp::PopLeft],
+                vec![DequeOp::PopRight, DequeOp::PushLeft(vals(20))],
+            ];
+            let m = ArrayMachine::new(cap, scripts)
+                .with_initial((0..initial as u64).map(vals).collect());
+            explore_ok(&m);
+        }
+    }
+}
+
+#[test]
+fn random_walks_on_larger_configurations() {
+    // Configurations beyond exhaustive reach: randomized schedules still
+    // check every proof obligation on every transition taken.
+    let m = ArrayMachine::new(
+        4,
+        vec![
+            vec![
+                DequeOp::PushRight(10),
+                DequeOp::PushRight(11),
+                DequeOp::PopLeft,
+                DequeOp::PopRight,
+            ],
+            vec![
+                DequeOp::PushLeft(20),
+                DequeOp::PopRight,
+                DequeOp::PushLeft(21),
+                DequeOp::PopLeft,
+            ],
+            vec![DequeOp::PopRight, DequeOp::PushRight(30), DequeOp::PopLeft],
+        ],
+    );
+    let report = Explorer::default().random_walks(&m, 3_000, 0xFEED).unwrap();
+    assert_eq!(report.walks, 3_000);
+    assert!(report.linearizations >= 3_000 * 11);
+}
+
+#[test]
+fn theorem_3_1_three_threads_mixed_two_ops() {
+    let m = ArrayMachine::new(
+        3,
+        vec![
+            vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+            vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+            vec![DequeOp::PopLeft, DequeOp::PopRight],
+        ],
+    )
+    .with_initial(vec![5, 6]);
+    let report = explore_ok(&m);
+    assert!(report.states > 1_000, "state space too small: {}", report.states);
+}
+
+#[test]
+fn theorem_3_1_four_threads_one_op_each() {
+    // Four single-op threads: the widest simultaneous contention window.
+    let m = ArrayMachine::new(
+        3,
+        vec![
+            vec![DequeOp::PopRight],
+            vec![DequeOp::PopLeft],
+            vec![DequeOp::PushRight(10)],
+            vec![DequeOp::PushLeft(20)],
+        ],
+    )
+    .with_initial(vec![5]);
+    explore_ok(&m);
+}

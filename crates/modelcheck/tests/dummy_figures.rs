@@ -1,0 +1,140 @@
+//! Exhaustive model checking of the dummy-node variant (footnote 4 /
+//! Figure 10) — our interpretation of the paper's sketch, verified under
+//! the same proof obligations as the published algorithms.
+
+use dcas_linearize::{DequeOp, DequeRet};
+use dcas_modelcheck::machines::dummy::DummyShared;
+use dcas_modelcheck::machines::DummyMachine;
+use dcas_modelcheck::{check_lockfree, ExploreConfig, Explorer};
+
+fn explore_ok(m: &DummyMachine) -> dcas_modelcheck::Report<DummyShared> {
+    Explorer::default()
+        .explore(m, |_| {})
+        .expect("proof obligations must hold on every reachable state")
+}
+
+#[test]
+fn steal_of_last_element() {
+    let m = DummyMachine::with_initial(
+        vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        vec![7],
+    );
+    let mut outcomes = Vec::new();
+    Explorer::default()
+        .explore_full(&m, |_| {}, |tid, _, ret| {
+            if !outcomes.contains(&(tid, ret)) {
+                outcomes.push((tid, ret));
+            }
+        })
+        .unwrap();
+    assert!(outcomes.contains(&(0, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(0, DequeRet::Empty)));
+    assert!(outcomes.contains(&(1, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(1, DequeRet::Empty)));
+}
+
+#[test]
+fn pushes_collide_with_pending_dummy_deletes() {
+    let m = DummyMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight, DequeOp::PushRight(8)],
+            vec![DequeOp::PopLeft, DequeOp::PushLeft(9)],
+        ],
+        vec![5, 6],
+    );
+    let report = explore_ok(&m);
+    for f in &report.final_abstracts {
+        assert_eq!(f.len(), 2, "both pushed values must be present: {f:?}");
+    }
+}
+
+#[test]
+fn three_threads_single_element() {
+    let m = DummyMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight],
+            vec![DequeOp::PopLeft],
+            vec![DequeOp::PushRight(8)],
+        ],
+        vec![5],
+    );
+    explore_ok(&m);
+}
+
+#[test]
+fn lock_freedom_of_dummy_configurations() {
+    let configs = vec![
+        DummyMachine::with_initial(
+            vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+            vec![5, 6],
+        ),
+        DummyMachine::new(vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopRight],
+            vec![DequeOp::PushLeft(6)],
+        ]),
+        DummyMachine::with_initial(
+            vec![
+                vec![DequeOp::PopRight, DequeOp::PushRight(8)],
+                vec![DequeOp::PopLeft],
+            ],
+            vec![5, 6],
+        ),
+    ];
+    for m in &configs {
+        let report = Explorer::new(ExploreConfig { track_graph: true, ..Default::default() })
+            .explore(m, |_| {})
+            .unwrap();
+        check_lockfree(&report.graph).unwrap_or_else(|cycle| {
+            panic!("livelock cycle found: {cycle:?}");
+        });
+    }
+}
+
+#[test]
+fn exhaustive_small_configuration_sweep() {
+    for initial in 0..=2u64 {
+        let m = DummyMachine::with_initial(
+            vec![
+                vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+                vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+            ],
+            (0..initial).map(|k| 5 + k).collect(),
+        );
+        explore_ok(&m);
+    }
+}
+
+#[test]
+fn agrees_with_bit_variant_on_final_states() {
+    // Same scripts on both machines: identical sets of terminal abstract
+    // deque values.
+    use dcas_modelcheck::machines::ListMachine;
+    let scripts = vec![
+        vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+        vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+    ];
+    let bit = Explorer::default()
+        .explore(&ListMachine::with_initial(scripts.clone(), vec![5, 6]), |_| {})
+        .unwrap();
+    let dummy = Explorer::default()
+        .explore(&DummyMachine::with_initial(scripts, vec![5, 6]), |_| {})
+        .unwrap();
+    let mut a = bit.final_abstracts.clone();
+    let mut b = dummy.final_abstracts.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "variants disagree on reachable outcomes");
+}
+
+#[test]
+fn three_threads_mixed_two_ops() {
+    let m = DummyMachine::with_initial(
+        vec![
+            vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+            vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+            vec![DequeOp::PopLeft],
+        ],
+        vec![5, 6],
+    );
+    explore_ok(&m);
+}

@@ -1,0 +1,72 @@
+//! History-mode cross-check: the same configurations verified through
+//! linearization-point obligations are re-verified path-by-path with the
+//! Wing & Gong oracle — two independent notions of correctness that must
+//! agree.
+
+use dcas_linearize::DequeOp;
+use dcas_modelcheck::machines::{AbpMachine, ArrayMachine, DummyMachine, ListMachine};
+use dcas_modelcheck::Explorer;
+
+#[test]
+fn array_machine_histories() {
+    let m = ArrayMachine::new(3, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+        .with_initial(vec![7]);
+    let report = Explorer::default().explore_histories(&m, 1_000_000).unwrap();
+    assert!(report.paths > 10);
+}
+
+#[test]
+fn array_machine_push_race_histories() {
+    let m = ArrayMachine::new(
+        3,
+        vec![vec![DequeOp::PushRight(8)], vec![DequeOp::PushLeft(9)]],
+    )
+    .with_initial(vec![5, 6]);
+    Explorer::default().explore_histories(&m, 1_000_000).unwrap();
+}
+
+#[test]
+fn list_machine_histories() {
+    let m = ListMachine::with_initial(
+        vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        vec![5, 6],
+    );
+    Explorer::default().explore_histories(&m, 5_000_000).unwrap();
+}
+
+#[test]
+fn dummy_machine_histories() {
+    let m = DummyMachine::with_initial(
+        vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        vec![5],
+    );
+    Explorer::default().explore_histories(&m, 5_000_000).unwrap();
+}
+
+#[test]
+fn abp_machine_full_matrix() {
+    // The ABP machine is *only* verifiable this way (its linearization
+    // points are race-dependent); give it the deepest sweep.
+    let configs = vec![
+        AbpMachine::new(4, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+            .with_initial(vec![7]),
+        AbpMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PushRight(5), DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+            ],
+        ),
+        AbpMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PopRight, DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+            ],
+        )
+        .with_initial(vec![5, 6]),
+    ];
+    for m in &configs {
+        Explorer::default().explore_histories(m, 10_000_000).unwrap();
+    }
+}

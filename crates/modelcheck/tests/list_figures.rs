@@ -1,0 +1,274 @@
+//! Exhaustive model checking of the linked-list deque (Theorem 4.1) and
+//! reproduction of the Figure 9 / Figure 16 scenarios.
+
+use dcas_linearize::{DequeOp, DequeRet};
+use dcas_modelcheck::machines::list::{ListShared, NodeState};
+use dcas_modelcheck::machines::ListMachine;
+use dcas_modelcheck::{check_lockfree, ExploreConfig, Explorer};
+
+fn explore_ok(m: &ListMachine) -> dcas_modelcheck::Report<ListShared> {
+    Explorer::default()
+        .explore(m, |_| {})
+        .expect("proof obligations must hold on every reachable state")
+}
+
+#[test]
+fn fig16_contending_delete_left_and_delete_right() {
+    // Figure 16: a deque of two logically deleted nodes with deleteLeft
+    // and deleteRight racing. Both sentinel DCASes overlap on a sentinel
+    // pointer, so exactly one wins. Exhaustive exploration must reach:
+    //  * the pre-state: two null nodes, both deleted bits set (top of
+    //    Figure 16 == bottom of Figure 9);
+    //  * "left wins": one null node remains, right deleted bit still set
+    //    (bottom-left of Figure 16);
+    //  * "right wins": the empty two-sentinel deque (bottom-right).
+    let m = ListMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight, DequeOp::PopRight],
+            vec![DequeOp::PopLeft, DequeOp::PopLeft],
+        ],
+        vec![5, 6],
+    );
+    let mut saw_two_null = false;
+    let mut saw_left_wins = false;
+    let mut saw_empty = false;
+    Explorer::default()
+        .explore(&m, |sh: &ListShared| {
+            let chain = sh.chain().unwrap();
+            let nulls = chain.iter().filter(|&&id| sh.nodes[id].value == 0).count();
+            if chain.len() == 2 && nulls == 2 && sh.left_deleted() && sh.right_deleted() {
+                saw_two_null = true;
+            }
+            if chain.len() == 1 && nulls == 1 && sh.right_deleted() && !sh.left_deleted() {
+                saw_left_wins = true;
+            }
+            if chain.is_empty() && !sh.left_deleted() && !sh.right_deleted() {
+                saw_empty = true;
+            }
+        })
+        .unwrap();
+    assert!(saw_two_null, "Figure 16 pre-state not reached");
+    assert!(saw_left_wins, "Figure 16 'left wins' state not reached");
+    assert!(saw_empty, "Figure 16 'right wins' state not reached");
+}
+
+#[test]
+fn fig9_all_four_empty_states_reachable() {
+    // Figure 9: the four observable shapes of an empty deque, each driven
+    // by the script that produces it.
+    let observe = |m: &ListMachine| {
+        let mut shapes = Vec::new();
+        Explorer::default()
+            .explore(m, |sh: &ListShared| {
+                let chain = sh.chain().unwrap();
+                if chain.iter().all(|&id| sh.nodes[id].value == 0) {
+                    let shape = (chain.len(), sh.left_deleted(), sh.right_deleted());
+                    if !shapes.contains(&shape) {
+                        shapes.push(shape);
+                    }
+                }
+            })
+            .unwrap();
+        shapes
+    };
+
+    // Top: the pristine empty deque.
+    let shapes = observe(&ListMachine::new(vec![]));
+    assert!(shapes.contains(&(0, false, false)), "plain empty not seen: {shapes:?}");
+
+    // Second: one right-deleted cell.
+    let shapes = observe(&ListMachine::with_initial(vec![vec![DequeOp::PopRight]], vec![5]));
+    assert!(shapes.contains(&(1, false, true)), "right-deleted not seen: {shapes:?}");
+
+    // Third: one left-deleted cell.
+    let shapes = observe(&ListMachine::with_initial(vec![vec![DequeOp::PopLeft]], vec![5]));
+    assert!(shapes.contains(&(1, true, false)), "left-deleted not seen: {shapes:?}");
+
+    // Bottom: two deleted cells.
+    let shapes = observe(&ListMachine::with_initial(
+        vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        vec![5, 6],
+    ));
+    assert!(shapes.contains(&(2, true, true)), "two-deleted not seen: {shapes:?}");
+}
+
+#[test]
+fn fig6_analogue_steal_of_last_element() {
+    // The list-deque version of Figure 6: two pops race for one element.
+    let m = ListMachine::with_initial(
+        vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        vec![7],
+    );
+    let mut outcomes = Vec::new();
+    Explorer::default()
+        .explore_full(&m, |_| {}, |tid, _, ret| {
+            if !outcomes.contains(&(tid, ret)) {
+                outcomes.push((tid, ret));
+            }
+        })
+        .unwrap();
+    assert!(outcomes.contains(&(0, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(0, DequeRet::Empty)));
+    assert!(outcomes.contains(&(1, DequeRet::Value(7))));
+    assert!(outcomes.contains(&(1, DequeRet::Empty)));
+}
+
+#[test]
+fn theorem_4_1_push_pop_mix_two_threads() {
+    let m = ListMachine::new(vec![
+        vec![DequeOp::PushRight(5), DequeOp::PopLeft],
+        vec![DequeOp::PushLeft(6), DequeOp::PopRight],
+    ]);
+    let report = explore_ok(&m);
+    assert!(report.states > 30, "state space too small: {}", report.states);
+    for f in &report.final_abstracts {
+        for v in f {
+            assert!([5, 6].contains(v));
+        }
+    }
+}
+
+#[test]
+fn theorem_4_1_pushes_collide_with_pending_deletes() {
+    // Pops leave marked nodes; concurrent pushes on both sides must
+    // first complete the physical deletions (lines 7-8 of Figures 13/33).
+    let m = ListMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight, DequeOp::PushRight(8)],
+            vec![DequeOp::PopLeft, DequeOp::PushLeft(9)],
+        ],
+        vec![5, 6],
+    );
+    let report = explore_ok(&m);
+    // Terminal states: both values popped, both pushes landed.
+    for f in &report.final_abstracts {
+        assert_eq!(f.len(), 2, "both pushed values must be present: {f:?}");
+    }
+}
+
+#[test]
+fn theorem_4_1_three_threads_single_element() {
+    let m = ListMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight],
+            vec![DequeOp::PopLeft],
+            vec![DequeOp::PushRight(8)],
+        ],
+        vec![5],
+    );
+    explore_ok(&m);
+}
+
+#[test]
+fn physical_deletion_frees_exactly_the_popped_nodes() {
+    // After the full script runs, every interior node is freed and no
+    // node is freed twice (the arena model would panic on double-free by
+    // construction; here we check the terminal census).
+    let m = ListMachine::with_initial(
+        vec![
+            vec![DequeOp::PopRight, DequeOp::PopRight],
+            vec![DequeOp::PopLeft, DequeOp::PopLeft],
+        ],
+        vec![5, 6],
+    );
+    let report = explore_ok(&m);
+    for sh in &report.final_shared {
+        let freed = sh.nodes.iter().skip(2).filter(|n| n.state == NodeState::Freed).count();
+        let live = sh.nodes.iter().skip(2).filter(|n| n.state == NodeState::Live).count();
+        // Both values were popped; nodes may linger logically deleted
+        // (Live but null) until an op completes the physical delete, so
+        // freed + live == 2 and no live node holds a value.
+        assert_eq!(freed + live, 2);
+        for n in sh.nodes.iter().skip(2) {
+            if n.state == NodeState::Live {
+                assert_eq!(n.value, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn lock_freedom_of_list_configurations() {
+    // Section 5.2's subtler progress argument (deleteRight DCASes can
+    // succeed without completing any operation), mechanized.
+    let configs = vec![
+        ListMachine::with_initial(
+            vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]],
+            vec![5, 6],
+        ),
+        ListMachine::new(vec![
+            vec![DequeOp::PushRight(5), DequeOp::PopRight],
+            vec![DequeOp::PushLeft(6)],
+        ]),
+        ListMachine::with_initial(
+            vec![
+                vec![DequeOp::PopRight, DequeOp::PushRight(8)],
+                vec![DequeOp::PopLeft],
+            ],
+            vec![5, 6],
+        ),
+    ];
+    for m in &configs {
+        let report = Explorer::new(ExploreConfig { track_graph: true, ..Default::default() })
+            .explore(m, |_| {})
+            .unwrap();
+        check_lockfree(&report.graph).unwrap_or_else(|cycle| {
+            panic!("livelock cycle found: {cycle:?}");
+        });
+    }
+}
+
+#[test]
+fn exhaustive_small_configuration_sweep() {
+    for initial in 0..=2u64 {
+        let m = ListMachine::with_initial(
+            vec![
+                vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+                vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+            ],
+            (0..initial).map(|k| 5 + k).collect(),
+        );
+        explore_ok(&m);
+    }
+}
+
+#[test]
+fn random_walks_on_larger_configurations() {
+    let m = ListMachine::with_initial(
+        vec![
+            vec![
+                DequeOp::PushRight(10),
+                DequeOp::PopLeft,
+                DequeOp::PopRight,
+                DequeOp::PushRight(11),
+            ],
+            vec![
+                DequeOp::PushLeft(20),
+                DequeOp::PopRight,
+                DequeOp::PopLeft,
+                DequeOp::PushLeft(21),
+            ],
+            vec![DequeOp::PopRight, DequeOp::PopLeft, DequeOp::PushRight(30)],
+        ],
+        vec![5, 6],
+    );
+    let report = Explorer::default().random_walks(&m, 3_000, 0xBEEF).unwrap();
+    assert_eq!(report.walks, 3_000);
+    assert!(report.linearizations >= 3_000 * 11);
+}
+
+#[test]
+fn theorem_4_1_three_threads_mixed_two_ops() {
+    // The largest exhaustive list configuration in the suite: three
+    // threads, two operations each, mixing pushes and pops on both ends.
+    let m = ListMachine::with_initial(
+        vec![
+            vec![DequeOp::PushRight(10), DequeOp::PopLeft],
+            vec![DequeOp::PopRight, DequeOp::PushLeft(20)],
+            vec![DequeOp::PopLeft, DequeOp::PopRight],
+        ],
+        vec![5, 6],
+    );
+    let report = explore_ok(&m);
+    assert!(report.states > 1_000, "expected a large state space, got {}", report.states);
+}

@@ -1,0 +1,110 @@
+//! Systematic script-space sweep: instead of hand-picking interesting
+//! scenarios, enumerate **every** two-thread two-operation script pair
+//! over the full operation alphabet and exhaustively model-check each
+//! configuration. 256 script pairs × initial contents × machines — the
+//! closest thing to "all small test cases" the proof obligations can be
+//! run against.
+
+use dcas_linearize::DequeOp;
+use dcas_modelcheck::machines::{ArrayMachine, DummyMachine, LfrcMachine, ListMachine};
+use dcas_modelcheck::Explorer;
+
+/// The op alphabet; values are chosen unique per (thread, position) when
+/// instantiated.
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    PushRight,
+    PushLeft,
+    PopRight,
+    PopLeft,
+}
+
+const ALPHABET: [OpKind; 4] = [OpKind::PushRight, OpKind::PushLeft, OpKind::PopRight, OpKind::PopLeft];
+
+fn instantiate(kind: OpKind, unique: u64) -> DequeOp {
+    match kind {
+        OpKind::PushRight => DequeOp::PushRight(10 + unique * 4),
+        OpKind::PushLeft => DequeOp::PushLeft(10 + unique * 4),
+        OpKind::PopRight => DequeOp::PopRight,
+        OpKind::PopLeft => DequeOp::PopLeft,
+    }
+}
+
+/// All 256 two-thread scripts of two ops each.
+fn all_script_pairs() -> Vec<Vec<Vec<DequeOp>>> {
+    let mut out = Vec::new();
+    for a0 in ALPHABET {
+        for a1 in ALPHABET {
+            for b0 in ALPHABET {
+                for b1 in ALPHABET {
+                    out.push(vec![
+                        vec![instantiate(a0, 0), instantiate(a1, 1)],
+                        vec![instantiate(b0, 2), instantiate(b1, 3)],
+                    ]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn list_machine_full_script_space() {
+    for (i, scripts) in all_script_pairs().into_iter().enumerate() {
+        for initial in [0usize, 1] {
+            let m = ListMachine::with_initial(
+                scripts.clone(),
+                (0..initial as u64).map(|k| 5 + k * 4).collect(),
+            );
+            Explorer::default()
+                .explore(&m, |_| {})
+                .unwrap_or_else(|e| panic!("config {i} (initial {initial}): {e}"));
+        }
+    }
+}
+
+#[test]
+fn array_machine_full_script_space() {
+    for (i, scripts) in all_script_pairs().into_iter().enumerate() {
+        for (cap, initial) in [(1usize, 0usize), (2, 1), (3, 1)] {
+            let m = ArrayMachine::new(cap, scripts.clone())
+                .with_initial((0..initial as u64).map(|k| 5 + k * 4).collect());
+            Explorer::default()
+                .explore(&m, |_| {})
+                .unwrap_or_else(|e| panic!("config {i} (cap {cap}, initial {initial}): {e}"));
+        }
+    }
+}
+
+#[test]
+fn array_machine_minimal_config_full_script_space() {
+    // The weak-DCAS-only variant over the same space.
+    for (i, scripts) in all_script_pairs().into_iter().enumerate() {
+        let m = ArrayMachine::new(2, scripts).minimal().with_initial(vec![5]);
+        Explorer::default()
+            .explore(&m, |_| {})
+            .unwrap_or_else(|e| panic!("config {i}: {e}"));
+    }
+}
+
+#[test]
+fn lfrc_machine_full_script_space() {
+    // The GC-free variant with the exact reference-count audit active on
+    // every state of every configuration.
+    for (i, scripts) in all_script_pairs().into_iter().enumerate() {
+        let m = LfrcMachine::with_initial(scripts, vec![5]);
+        Explorer::default()
+            .explore(&m, |_| {})
+            .unwrap_or_else(|e| panic!("config {i}: {e}"));
+    }
+}
+
+#[test]
+fn dummy_machine_full_script_space() {
+    for (i, scripts) in all_script_pairs().into_iter().enumerate() {
+        let m = DummyMachine::with_initial(scripts, vec![5]);
+        Explorer::default()
+            .explore(&m, |_| {})
+            .unwrap_or_else(|e| panic!("config {i}: {e}"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The work-deque abstraction and its implementations.
+
+use dcas::HarrisMcas;
+use dcas_baselines::{AbpDeque, MutexDeque, Steal};
+use dcas_deque::value::{Boxed, WordValue};
+use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque};
+
+use crate::scheduler::Task;
+
+/// Result of a steal attempt.
+pub enum StealOutcome {
+    /// The victim's deque was observed empty.
+    Empty,
+    /// Lost a race; try another victim.
+    Retry,
+    /// A task was stolen.
+    Stolen(Task),
+}
+
+/// A per-worker deque of tasks. `push`/`pop` are called only by the
+/// owning worker; `steal` by anyone.
+pub trait WorkDeque: Send + Sync + 'static {
+    /// Creates a deque able to hold at least `capacity` tasks (bounded
+    /// implementations may refuse pushes beyond it).
+    fn with_capacity(capacity: usize) -> Self;
+    /// Owner: pushes a task; returns it back if the deque is full (the
+    /// caller then runs it inline).
+    fn push(&self, t: Task) -> Result<(), Task>;
+    /// Owner: pops the most recently pushed task (LIFO, for locality).
+    fn pop(&self) -> Option<Task>;
+    /// Thief: takes the oldest task (FIFO, largest work first).
+    fn steal(&self) -> StealOutcome;
+    /// Implementation name for reporting.
+    fn name() -> &'static str;
+}
+
+/// Work deque over the paper's unbounded linked-list deque.
+pub struct ListWorkDeque(ListDeque<Task, HarrisMcas>);
+
+impl WorkDeque for ListWorkDeque {
+    fn with_capacity(_capacity: usize) -> Self {
+        ListWorkDeque(ListDeque::new())
+    }
+
+    fn push(&self, t: Task) -> Result<(), Task> {
+        self.0.push_right(t).map_err(|e| e.into_inner())
+    }
+
+    fn pop(&self) -> Option<Task> {
+        self.0.pop_right()
+    }
+
+    fn steal(&self) -> StealOutcome {
+        match self.0.pop_left() {
+            Some(t) => StealOutcome::Stolen(t),
+            None => StealOutcome::Empty,
+        }
+    }
+
+    fn name() -> &'static str {
+        "list-dcas"
+    }
+}
+
+/// Work deque over the paper's bounded array deque.
+pub struct ArrayWorkDeque(ArrayDeque<Task, HarrisMcas>);
+
+impl WorkDeque for ArrayWorkDeque {
+    fn with_capacity(capacity: usize) -> Self {
+        ArrayWorkDeque(ArrayDeque::new(capacity.max(1)))
+    }
+
+    fn push(&self, t: Task) -> Result<(), Task> {
+        self.0.push_right(t).map_err(|e| e.into_inner())
+    }
+
+    fn pop(&self) -> Option<Task> {
+        self.0.pop_right()
+    }
+
+    fn steal(&self) -> StealOutcome {
+        match self.0.pop_left() {
+            Some(t) => StealOutcome::Stolen(t),
+            None => StealOutcome::Empty,
+        }
+    }
+
+    fn name() -> &'static str {
+        "array-dcas"
+    }
+}
+
+/// Work deque over the CAS-only ABP deque (the baseline built for this
+/// exact access pattern).
+pub struct AbpWorkDeque(AbpDeque);
+
+impl WorkDeque for AbpWorkDeque {
+    fn with_capacity(capacity: usize) -> Self {
+        AbpWorkDeque(AbpDeque::new(capacity.max(1)))
+    }
+
+    fn push(&self, t: Task) -> Result<(), Task> {
+        let w = Boxed::new(t).encode();
+        if self.0.push_bottom(w) {
+            Ok(())
+        } else {
+            // SAFETY: `w` was just encoded and rejected; we reclaim it.
+            Err(unsafe { Boxed::<Task>::decode(w) }.into_inner())
+        }
+    }
+
+    fn pop(&self) -> Option<Task> {
+        // SAFETY: words in the deque are exactly the `Boxed<Task>`
+        // encodings pushed above, consumed once.
+        self.0.pop_bottom().map(|w| unsafe { Boxed::<Task>::decode(w) }.into_inner())
+    }
+
+    fn steal(&self) -> StealOutcome {
+        match self.0.steal() {
+            // SAFETY: as above.
+            Steal::Success(w) => {
+                StealOutcome::Stolen(unsafe { Boxed::<Task>::decode(w) }.into_inner())
+            }
+            Steal::Empty => StealOutcome::Empty,
+            Steal::Abort => StealOutcome::Retry,
+        }
+    }
+
+    fn name() -> &'static str {
+        "abp-cas"
+    }
+}
+
+impl Drop for AbpWorkDeque {
+    fn drop(&mut self) {
+        // Reclaim any tasks left behind (scheduler aborts, panics).
+        while let Some(w) = self.0.pop_bottom() {
+            // SAFETY: as in `pop`.
+            drop(unsafe { Boxed::<Task>::decode(w) });
+        }
+    }
+}
+
+/// Work deque over the lock-based baseline.
+pub struct MutexWorkDeque(MutexDeque<Task>);
+
+impl WorkDeque for MutexWorkDeque {
+    fn with_capacity(_capacity: usize) -> Self {
+        MutexWorkDeque(MutexDeque::new())
+    }
+
+    fn push(&self, t: Task) -> Result<(), Task> {
+        ConcurrentDeque::push_right(&self.0, t).map_err(|e| e.into_inner())
+    }
+
+    fn pop(&self) -> Option<Task> {
+        ConcurrentDeque::pop_right(&self.0)
+    }
+
+    fn steal(&self) -> StealOutcome {
+        match ConcurrentDeque::pop_left(&self.0) {
+            Some(t) => StealOutcome::Stolen(t),
+            None => StealOutcome::Empty,
+        }
+    }
+
+    fn name() -> &'static str {
+        "mutex"
+    }
+}

@@ -1,0 +1,59 @@
+//! A fork-join work-stealing scheduler, generic over the deque.
+//!
+//! The paper motivates deques as the structure "currently used in load
+//! balancing algorithms \[4\]" (Arora–Blumofe–Plaxton). This crate builds
+//! that application: each worker owns a deque of tasks, pushes and pops
+//! spawned work at its *owner* end (LIFO, for locality), and steals from
+//! other workers' *thief* ends (FIFO, taking the oldest — largest —
+//! work first).
+//!
+//! The scheduler is generic over [`WorkDeque`], with implementations for:
+//!
+//! * the paper's [`ArrayDeque`](dcas_deque::ArrayDeque) and
+//!   [`ListDeque`](dcas_deque::ListDeque) (fully general deques used in
+//!   the restricted work-stealing pattern),
+//! * the CAS-only [`AbpDeque`](dcas_baselines::AbpDeque) baseline
+//!   (designed for exactly this pattern), and
+//! * the lock-based [`MutexDeque`](dcas_baselines::MutexDeque).
+//!
+//! Bench `e6_workstealing` compares them on fork-join workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use dcas_workstealing::{Scheduler, ListWorkDeque, WorkerHandle};
+//! use dcas_workstealing::Task;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // Count the leaves of a binary tree of depth 10 by forking a task per
+//! // node across 4 workers.
+//! fn count(
+//!     w: &WorkerHandle<'_, dcas_workstealing::DynDeque>,
+//!     depth: u32,
+//!     leaves: Arc<AtomicU64>,
+//! ) {
+//!     if depth == 0 {
+//!         leaves.fetch_add(1, Ordering::Relaxed);
+//!         return;
+//!     }
+//!     let l = leaves.clone();
+//!     w.spawn(move |w| count(w, depth - 1, l));
+//!     let r = leaves.clone();
+//!     w.spawn(move |w| count(w, depth - 1, r));
+//! }
+//!
+//! let leaves = Arc::new(AtomicU64::new(0));
+//! let sched: Scheduler<ListWorkDeque> = Scheduler::new(4);
+//! let root_leaves = leaves.clone();
+//! sched.run(move |w| count(w, 10, root_leaves));
+//! assert_eq!(leaves.load(Ordering::SeqCst), 1 << 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod deques;
+mod scheduler;
+
+pub use deques::{AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, StealOutcome, WorkDeque};
+pub use scheduler::{DynDeque, Scheduler, Task, WorkerHandle};

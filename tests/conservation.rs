@@ -1,0 +1,152 @@
+//! Large-scale conservation stress: every value pushed is popped exactly
+//! once, across all deque implementations, strategies, and thread mixes.
+//!
+//! Complements the linearizability tests (which keep histories short so
+//! the checker stays fast) with much longer runs checking a weaker —
+//! but still sharp — global property.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dcas::{GlobalSeqLock, HarrisMcas, StripedLock};
+use dcas_deques::baselines::GreenwaldDeque;
+use dcas_deques::deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, LfrcListDeque, ListDeque};
+
+/// Pushers feed unique values from both ends while poppers drain both
+/// ends; afterwards, the union of popped and remaining values must be
+/// exactly the set of successfully pushed values.
+fn conservation<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usize, per: u64) {
+    let deque = Arc::new(deque);
+    let done = Arc::new(AtomicBool::new(false));
+    let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let pushed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        let mut push_handles = Vec::new();
+        for p in 0..pushers {
+            let deque = Arc::clone(&deque);
+            let pushed = Arc::clone(&pushed);
+            push_handles.push(s.spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..per {
+                    let v = p as u64 * per + i;
+                    let res = if v.is_multiple_of(2) { deque.push_right(v) } else { deque.push_left(v) };
+                    if res.is_ok() {
+                        mine.push(v);
+                    }
+                }
+                pushed.lock().unwrap().extend(mine);
+            }));
+        }
+        for _ in 0..poppers {
+            let deque = Arc::clone(&deque);
+            let done = Arc::clone(&done);
+            let popped = Arc::clone(&popped);
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                let mut spin = 0u32;
+                loop {
+                    let v = if spin.is_multiple_of(2) { deque.pop_left() } else { deque.pop_right() };
+                    match v {
+                        Some(v) => mine.push(v),
+                        None => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                    spin = spin.wrapping_add(1);
+                }
+                popped.lock().unwrap().extend(mine);
+            });
+        }
+        for h in push_handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // Drain the residue.
+    let mut remaining = Vec::new();
+    while let Some(v) = deque.pop_left() {
+        remaining.push(v);
+    }
+
+    let pushed = pushed.lock().unwrap();
+    let popped = popped.lock().unwrap();
+    let mut seen: HashSet<u64> = HashSet::with_capacity(pushed.len());
+    for &v in popped.iter().chain(remaining.iter()) {
+        assert!(seen.insert(v), "{}: value {v} popped twice", deque.impl_name());
+    }
+    let expect: HashSet<u64> = pushed.iter().copied().collect();
+    assert_eq!(
+        seen.len(),
+        expect.len(),
+        "{}: {} values in, {} out",
+        deque.impl_name(),
+        expect.len(),
+        seen.len()
+    );
+    assert_eq!(seen, expect, "{}: value sets differ", deque.impl_name());
+}
+
+const PER: u64 = 8_000;
+
+#[test]
+fn list_deque_mcas() {
+    conservation(ListDeque::<u64, HarrisMcas>::new(), 3, 3, PER);
+}
+
+#[test]
+fn list_deque_seqlock() {
+    conservation(ListDeque::<u64, GlobalSeqLock>::new(), 3, 3, PER);
+}
+
+#[test]
+fn list_deque_striped() {
+    conservation(ListDeque::<u64, StripedLock>::new(), 3, 3, PER);
+}
+
+#[test]
+fn dummy_list_deque_mcas() {
+    conservation(DummyListDeque::<u64, HarrisMcas>::new(), 3, 3, PER);
+}
+
+#[test]
+fn lfrc_list_deque_mcas() {
+    conservation(LfrcListDeque::<u64, HarrisMcas>::new(), 3, 3, PER);
+}
+
+#[test]
+fn lfrc_list_deque_seqlock() {
+    conservation(LfrcListDeque::<u64, GlobalSeqLock>::new(), 3, 3, PER);
+}
+
+#[test]
+fn array_deque_mcas_large() {
+    conservation(ArrayDeque::<u64, HarrisMcas>::new(1 << 16), 3, 3, PER);
+}
+
+#[test]
+fn array_deque_seqlock_small_capacity() {
+    // Tiny capacity: most pushes bounce off "full", so the conservation
+    // argument also covers rejected pushes.
+    conservation(ArrayDeque::<u64, GlobalSeqLock>::new(8), 3, 3, PER);
+}
+
+#[test]
+fn greenwald_deque_mcas() {
+    conservation(GreenwaldDeque::<u64, HarrisMcas>::new(1 << 12), 2, 2, PER / 2);
+}
+
+#[test]
+fn single_pusher_single_popper_fifo_like() {
+    conservation(ListDeque::<u64, HarrisMcas>::new(), 1, 1, PER * 2);
+}
+
+#[test]
+fn many_threads_small_array() {
+    conservation(ArrayDeque::<u64, HarrisMcas>::new(4), 4, 4, PER / 2);
+}
