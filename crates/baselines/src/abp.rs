@@ -204,21 +204,26 @@ mod tests {
         let mut thieves = vec![];
         for _ in 0..3 {
             let (d, seen, stop) = (d.clone(), seen.clone(), stop.clone());
-            thieves.push(std::thread::spawn(move || loop {
-                match d.steal() {
-                    Steal::Success(v) => {
-                        seen[(v / 4) as usize].fetch_add(1, Ordering::SeqCst);
+            thieves.push(std::thread::spawn(move || {
+                let mut backoff = dcas::Backoff::new();
+                loop {
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            seen[(v / 4) as usize].fetch_add(1, Ordering::SeqCst);
+                            backoff.reset();
+                        }
+                        Steal::Empty if stop.load(Ordering::SeqCst) => return,
+                        _ => backoff.snooze(),
                     }
-                    Steal::Empty if stop.load(Ordering::SeqCst) => return,
-                    _ => std::hint::spin_loop(),
                 }
             }));
         }
 
         // Owner: pushes everything, popping a few along the way.
         for i in 0..N {
+            let mut backoff = dcas::Backoff::new();
             while !d.push_bottom(i * 4) {
-                std::hint::spin_loop();
+                backoff.snooze();
             }
             if i % 7 == 0 {
                 if let Some(v) = d.pop_bottom() {

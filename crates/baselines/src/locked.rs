@@ -78,12 +78,17 @@ impl SpinLock {
 
     #[inline]
     fn lock(&self) {
+        let mut backoff = dcas::Backoff::new();
         loop {
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
+            // Test-and-test-and-set: wait on the cheap load, with
+            // exponential backoff so waiters stop hammering the line (and
+            // eventually yield, which matters when the holder is
+            // preempted on an oversubscribed box).
             while self.locked.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                backoff.snooze();
             }
         }
     }

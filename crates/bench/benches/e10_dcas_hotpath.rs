@@ -1,0 +1,145 @@
+//! E10 — raw DCAS hot-path microbenchmark (descriptor pooling × backoff
+//! ablation).
+//!
+//! Unlike E1–E9 this target measures the [`dcas::DcasStrategy`] layer
+//! directly, with no deque on top: an uncontended phase in which every
+//! operation runs the full descriptor slow path, and contended phases
+//! (2/4/8 threads) in which all workers fight over one pair of words.
+//! The arms ablate the `McasConfig` knobs one at a time; `seed` is the
+//! pre-optimization behaviour (fresh `Box` per descriptor, no backoff,
+//! all-RDCSS installs) kept available via `McasConfig::seed_compat`, and
+//! `optimized` is the default configuration with every knob on.
+//!
+//! Runs as a plain binary (`harness = false`), prints a table, and
+//! writes the measurements to `BENCH_e10.json` at the workspace root so
+//! the perf trajectory of this path is tracked in-repo. Build with
+//! `--features stats` to append per-arm counter lines (descriptor reuse
+//! rate, helps) to the printout.
+
+use std::time::Duration;
+
+use dcas::{HarrisMcas, McasConfig};
+use dcas_bench::{format_stats, strategy_contended_phase, strategy_sequential_phase};
+
+const UNCONTENDED_OPS: u64 = 100_000;
+const CONTENDED_OPS_PER_THREAD: u64 = 20_000;
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+const REPEATS: usize = 9;
+
+struct Arm {
+    name: &'static str,
+    config: McasConfig,
+}
+
+struct Measurement {
+    arm: &'static str,
+    /// 0 = uncontended single thread.
+    threads: usize,
+    ops: u64,
+    nanos: u128,
+}
+
+impl Measurement {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+fn median(mut runs: Vec<Duration>) -> Duration {
+    runs.sort();
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let seed = McasConfig::seed_compat();
+    let arms = [
+        Arm { name: "seed", config: seed },
+        Arm { name: "pooled", config: McasConfig { pool_descriptors: true, ..seed } },
+        Arm { name: "backoff", config: McasConfig { backoff: true, ..seed } },
+        Arm { name: "fast-install", config: McasConfig { owner_fast_install: true, ..seed } },
+        Arm { name: "optimized", config: McasConfig::default() },
+    ];
+    let strategies: Vec<HarrisMcas> =
+        arms.iter().map(|a| HarrisMcas::with_config(a.config)).collect();
+
+    // Repeats are interleaved round-robin across arms (rather than
+    // measuring each arm to completion) so slow machine-wide drift —
+    // frequency scaling, co-tenant load — lands on every arm equally and
+    // cancels in the per-arm median.
+    let mut samples: Vec<Vec<Vec<Duration>>> = vec![vec![Vec::new(); 4]; arms.len()];
+    for _ in 0..REPEATS {
+        for (ai, strategy) in strategies.iter().enumerate() {
+            samples[ai][0].push(strategy_sequential_phase(strategy, UNCONTENDED_OPS));
+            for (pi, &threads) in THREAD_COUNTS.iter().enumerate() {
+                samples[ai][pi + 1].push(strategy_contended_phase(
+                    strategy,
+                    threads,
+                    CONTENDED_OPS_PER_THREAD,
+                ));
+            }
+        }
+    }
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for (ai, arm) in arms.iter().enumerate() {
+        results.push(Measurement {
+            arm: arm.name,
+            threads: 1,
+            ops: UNCONTENDED_OPS,
+            nanos: median(samples[ai][0].clone()).as_nanos(),
+        });
+        for (pi, &threads) in THREAD_COUNTS.iter().enumerate() {
+            results.push(Measurement {
+                arm: arm.name,
+                threads,
+                ops: CONTENDED_OPS_PER_THREAD * threads as u64,
+                nanos: median(samples[ai][pi + 1].clone()).as_nanos(),
+            });
+        }
+        println!("{}", format_stats(arm.name, &strategies[ai].stats()));
+    }
+
+    let baseline = |threads: usize| -> f64 {
+        results
+            .iter()
+            .find(|m| m.arm == "seed" && m.threads == threads)
+            .expect("seed arm measured first")
+            .ops_per_sec()
+    };
+
+    println!();
+    println!("{:<16} {:>8} {:>14} {:>12}", "arm", "threads", "ops/sec", "vs seed");
+    for m in &results {
+        println!(
+            "{:<16} {:>8} {:>14.0} {:>11.2}x",
+            m.arm,
+            m.threads,
+            m.ops_per_sec(),
+            m.ops_per_sec() / baseline(m.threads),
+        );
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde): one
+    // object per measurement, speedup precomputed for easy trending.
+    let rows: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"arm\": \"{}\", \"threads\": {}, \"ops\": {}, \"nanos\": {}, \"ops_per_sec\": {:.0}, \"speedup_vs_seed\": {:.3}}}",
+                m.arm,
+                m.threads,
+                m.ops,
+                m.nanos,
+                m.ops_per_sec(),
+                m.ops_per_sec() / baseline(m.threads),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e10_dcas_hotpath\",\n  \"uncontended_ops\": {UNCONTENDED_OPS},\n  \"contended_ops_per_thread\": {CONTENDED_OPS_PER_THREAD},\n  \"repeats\": {REPEATS},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e10.json");
+    std::fs::write(out, json).expect("write BENCH_e10.json");
+    println!("\nwrote {out}");
+}

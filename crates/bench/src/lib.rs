@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+use dcas::{DcasStrategy, DcasWord, StrategyStats};
 use dcas_deque::ConcurrentDeque;
 
 /// Balanced two-end workload: half the threads work the left end, half
@@ -138,4 +139,86 @@ pub fn sequential_churn<D: ConcurrentDeque<u64>>(deque: &D, ops: u64) {
         let _ = deque.pop_left();
     }
     while deque.pop_left().is_some() {}
+}
+
+/// Uncontended raw-strategy driver (E10): one thread performs `ops`
+/// *successful* DCASes on a fixed pair of words, so every iteration runs
+/// the full descriptor slow path (install, decide, resolve, retire) —
+/// precisely the path descriptor pooling targets.
+pub fn strategy_sequential_phase<S: DcasStrategy>(strategy: &S, ops: u64) -> Duration {
+    let a = DcasWord::new(0);
+    let b = DcasWord::new(4);
+    let start = Instant::now();
+    let mut x = 0u64;
+    for _ in 0..ops {
+        let ok = strategy.dcas(&a, &b, x, x + 4, x + 8, x + 12);
+        assert!(ok, "uncontended dcas must succeed");
+        x += 8;
+    }
+    start.elapsed()
+}
+
+/// Contended raw-strategy driver (E10): `threads` workers transfer value
+/// back and forth between the *same* two words; each completes `ops`
+/// transfers (a transfer may internally retry any number of failed
+/// DCASes). The single shared pair maximizes descriptor collisions and
+/// helping, which is what backoff targets. Returns the wall time for all
+/// `threads * ops` transfers.
+pub fn strategy_contended_phase<S: DcasStrategy + Sync>(
+    strategy: &S,
+    threads: usize,
+    ops: u64,
+) -> Duration {
+    // Large symmetric start values keep both words far from underflow for
+    // any plausible `ops` (net drift per transfer is ±4).
+    let a = DcasWord::new(1 << 30);
+    let b = DcasWord::new(1 << 30);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (barrier, a, b) = (&barrier, &a, &b);
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    loop {
+                        let v1 = strategy.load(a);
+                        let v2 = strategy.load(b);
+                        // Odd threads push value left-to-right, even ones
+                        // right-to-left, so the pair stays balanced.
+                        let (n1, n2) =
+                            if t % 2 == 0 { (v1 - 4, v2 + 4) } else { (v1 + 4, v2 - 4) };
+                        if strategy.dcas(a, b, v1, v2, n1, n2) {
+                            break;
+                        }
+                    }
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+/// Formats a [`StrategyStats`] snapshot as one compact log line for bench
+/// output. All-zero snapshots (crate built without `dcas/stats`) yield a
+/// note instead of misleading zeros.
+pub fn format_stats(label: &str, stats: &StrategyStats) -> String {
+    if *stats == StrategyStats::default() {
+        return format!("{label}: (stats feature disabled)");
+    }
+    format!(
+        "{label}: ops={} dcas={} failed={} helps={} desc_reuse={} desc_alloc={} reuse_rate={}",
+        stats.ops,
+        stats.dcas_ops,
+        stats.dcas_failures,
+        stats.helps,
+        stats.descriptor_reuses,
+        stats.descriptor_allocs,
+        stats
+            .reuse_rate()
+            .map_or_else(|| "n/a".to_owned(), |r| format!("{:.3}", r)),
+    )
 }

@@ -27,7 +27,11 @@
 //! All deques are **linearizable** and, when instantiated with the
 //! lock-free [`HarrisMcas`](dcas::HarrisMcas) strategy, **non-blocking**
 //! end-to-end. Each deque is generic over the DCAS emulation
-//! ([`dcas::DcasStrategy`]).
+//! ([`dcas::DcasStrategy`]). The lock-free strategy's hot-path knobs
+//! (descriptor pooling, exponential backoff, owner fast-path
+//! installation) are re-exported here as [`McasConfig`], and its
+//! feature-gated operation counters as [`StrategyStats`] (build with
+//! `dcas/stats` to enable them).
 //!
 //! # Quickstart
 //!
@@ -65,6 +69,11 @@ pub use list::ListDeque;
 pub use list_dummy::DummyListDeque;
 pub use list_lfrc::LfrcListDeque;
 pub use value::{Boxed, WordValue};
+
+// Strategy-level tuning and observability, re-exported so deque users can
+// configure the default lock-free DCAS emulation without depending on the
+// `dcas` crate directly.
+pub use dcas::{HarrisMcas, McasConfig, StrategyStats};
 
 /// The word constants the paper's algorithms distinguish from user values.
 pub mod reserved {

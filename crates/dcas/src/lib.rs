@@ -63,19 +63,24 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod backoff;
 mod delayed;
 mod global_lock;
 mod mcas;
+mod pool;
 mod seqlock;
+mod stats;
 mod striped;
 mod strategy;
 mod word;
 mod wrappers;
 
+pub use backoff::Backoff;
 pub use delayed::Delayed;
 pub use global_lock::GlobalLock;
-pub use mcas::HarrisMcas;
+pub use mcas::{HarrisMcas, HarrisMcasBoxed, McasConfig};
 pub use seqlock::GlobalSeqLock;
+pub use stats::StrategyStats;
 pub use striped::StripedLock;
 pub use strategy::DcasStrategy;
 pub use word::DcasWord;

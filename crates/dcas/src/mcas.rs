@@ -9,7 +9,7 @@
 //!
 //! # How it works
 //!
-//! A DCAS allocates a *descriptor* recording both (address, old, new)
+//! A DCAS acquires a *descriptor* recording both (address, old, new)
 //! entries plus a status word (`UNDECIDED` → `SUCCEEDED`/`FAILED`).
 //!
 //! * **Phase 1** installs a tagged pointer to the descriptor into each
@@ -25,22 +25,69 @@
 //! lock-free: a stalled thread's operation is finished by whoever trips
 //! over it.
 //!
+//! # Descriptor pooling
+//!
+//! The descriptor for each operation comes from a per-thread freelist
+//! ([`pool`](crate::pool)) rather than a fresh `Box`, so a steady-state
+//! `dcas`/`dcas_strong` performs **zero heap allocations** and *zero
+//! atomic operations* to manage descriptor memory (a miss — cold cache,
+//! or releases still aging through the grace period — falls back to
+//! `Box::new`, preserving lock-freedom). Because the RDCSS descriptor of
+//! each target word (`Entry`) is embedded in its parent `DcasDescriptor`,
+//! recycling the parent recycles the RDCSS descriptors with it. Pooling
+//! can be disabled per instance via [`McasConfig`] for ablation.
+//!
+//! # Owner fast-path installation
+//!
+//! RDCSS exists to stop a *helper* from (re)installing a descriptor
+//! after its status has been decided. The owner's very first
+//! installation needs no such guard: until that CAS lands, the
+//! descriptor is private — no other thread can have observed it, so no
+//! thread can have decided its status, which is therefore still
+//! `UNDECIDED` exactly as the owner wrote it. The owner may thus install
+//! the first (lowest-address) entry with one plain CAS instead of a full
+//! RDCSS (install CAS + status check + payload CAS), and when that CAS
+//! fails on a value mismatch the descriptor was *never published* and
+//! goes straight back to the freelist with no grace period. Helpers —
+//! and the second entry, installed after publication — always use RDCSS.
+//! Toggleable via [`McasConfig`]; the seed-compat arm keeps the seed's
+//! all-RDCSS install path.
+//!
+//! # Contention management
+//!
+//! Retry loops — helping chains in [`HarrisMcas::load`]-style reads, CAS
+//! conflicts in `store`/`cas`, install conflicts inside CASN, and the
+//! outer `dcas_strong` loop — apply [`Backoff`](crate::Backoff)
+//! (exponential spin, then yield) *after* first helping whichever
+//! operation was found in the way. Help-then-back-off keeps the protocol
+//! lock-free (the conflicting operation is driven forward before we
+//! sleep on it) while stopping retry storms from saturating the
+//! contended cache line. Also toggleable via [`McasConfig`].
+//!
 //! # Tagging and reclamation
 //!
 //! The two reserved low bits of every [`DcasWord`] distinguish payloads
 //! (`00`) from RDCSS descriptors (`01`) and DCAS descriptors (`10`).
-//! Descriptors are reclaimed with `crossbeam-epoch`: every public
+//! Descriptors are managed with `crossbeam-epoch`: every public
 //! operation runs inside one pinned epoch guard, and the descriptor is
 //! retired by its owner after phase 2. Transient re-installations by slow
 //! helpers are safe because a helper only acts within a pinned section
 //! whose guard predates the owner's retirement, so the epoch cannot
-//! advance far enough to free a descriptor while any thread can still
-//! observe a tagged pointer to it.
+//! advance far enough to *recycle* a descriptor while any thread can
+//! still observe a tagged pointer to it. Recycling is exactly as safe as
+//! the free it replaces: the epoch-deferred release runs only after the
+//! same grace period that previously justified `drop(Box::from_raw(d))`,
+//! at which point no thread can dereference the old incarnation — the
+//! new owner rewrites status and entries while the descriptor is still
+//! private and republishes it with the same SeqCst installation CAS.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_epoch as epoch;
 
+use crate::backoff::Backoff;
+use crate::pool;
+use crate::stats::{Counters, StrategyStats};
 use crate::strategy::validate_args;
 use crate::{DcasStrategy, DcasWord};
 
@@ -66,7 +113,8 @@ fn is_dcas(v: u64) -> bool {
 /// descriptor. A tagged pointer to an `Entry` doubles as the RDCSS
 /// descriptor for installing the parent into `addr`: all RDCSS fields
 /// (control address = parent status, expected control = `UNDECIDED`,
-/// new value = tagged parent) are derivable from it and immutable.
+/// new value = tagged parent) are derivable from it and immutable for
+/// the lifetime of the parent's publication.
 struct Entry {
     parent: *const DcasDescriptor,
     addr: *const DcasWord,
@@ -74,11 +122,28 @@ struct Entry {
     new: u64,
 }
 
+impl Entry {
+    /// Placeholder contents for a descriptor sitting in the pool.
+    const fn vacant() -> Self {
+        Entry { parent: std::ptr::null(), addr: std::ptr::null(), old: 0, new: 0 }
+    }
+}
+
 /// A two-entry CASN descriptor. Entries are sorted by target address.
+/// `pub(crate)` so the [`pool`](crate::pool) freelists can name the type.
 #[repr(align(8))]
-struct DcasDescriptor {
+pub(crate) struct DcasDescriptor {
     status: AtomicU64,
     entries: [Entry; 2],
+}
+
+impl DcasDescriptor {
+    pub(crate) fn vacant() -> Self {
+        DcasDescriptor {
+            status: AtomicU64::new(UNDECIDED),
+            entries: [Entry::vacant(), Entry::vacant()],
+        }
+    }
 }
 
 // The raw pointers inside a descriptor refer to (a) the descriptor itself
@@ -97,22 +162,132 @@ fn tagged_desc(d: *const DcasDescriptor) -> u64 {
     d as u64 | DCAS_TAG
 }
 
+/// Tuning knobs for [`HarrisMcas`], primarily for ablation benchmarks
+/// (`e10_dcas_hotpath` compares the defaults against
+/// [`McasConfig::seed_compat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McasConfig {
+    /// Recycle descriptors through per-thread freelists instead of
+    /// boxing/freeing one per operation. Default `true`.
+    pub pool_descriptors: bool,
+    /// Apply exponential [`Backoff`](crate::Backoff) on retry and
+    /// helping loops. Default `true`.
+    pub backoff: bool,
+    /// Install the first CASN entry with a plain CAS while the
+    /// descriptor is still private, instead of a full RDCSS (see the
+    /// module docs). Default `true`.
+    pub owner_fast_install: bool,
+}
+
+impl Default for McasConfig {
+    fn default() -> Self {
+        McasConfig { pool_descriptors: true, backoff: true, owner_fast_install: true }
+    }
+}
+
+impl McasConfig {
+    /// The seed behaviour: one `Box` per descriptor, no backoff, every
+    /// entry installed via RDCSS. Kept as the baseline arm of perf
+    /// comparisons.
+    pub const fn seed_compat() -> Self {
+        McasConfig { pool_descriptors: false, backoff: false, owner_fast_install: false }
+    }
+}
+
 /// Lock-free DCAS emulation (RDCSS + two-entry CASN).
 ///
 /// See the module-level documentation for the protocol. All public
-/// operations are lock-free; `dcas` performs one heap allocation per
-/// invocation that reaches the descriptor-installation slow path (a
-/// mismatch detected by a preliminary atomic read fails without
-/// allocating).
-#[derive(Default)]
+/// operations are lock-free. With the default [`McasConfig`], descriptors
+/// are pooled — a steady-state `dcas` performs **zero heap allocations**
+/// (a mismatch detected by the preliminary read fails without even
+/// touching the pool) — and retry/helping loops use exponential backoff.
 pub struct HarrisMcas {
-    _private: (),
+    config: McasConfig,
+    counters: Counters,
+}
+
+impl Default for HarrisMcas {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HarrisMcas {
-    /// Creates a fresh emulation instance.
+    /// Creates a fresh emulation instance with the default (pooled,
+    /// backed-off) configuration.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(McasConfig::default())
+    }
+
+    /// Creates an instance with an explicit configuration.
+    pub fn with_config(config: McasConfig) -> Self {
+        HarrisMcas { config, counters: Counters::default() }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> McasConfig {
+        self.config
+    }
+
+    /// Snapshot of this instance's operation counters. All-zero unless
+    /// the crate is built with the `stats` feature.
+    pub fn stats(&self) -> StrategyStats {
+        self.counters.snapshot()
+    }
+
+    /// Takes a descriptor for a new operation: recycled from the calling
+    /// thread's freelist when configured and available, freshly boxed
+    /// otherwise. The result is exclusively owned until published.
+    fn acquire_descriptor(&self) -> *mut DcasDescriptor {
+        if self.config.pool_descriptors {
+            if let Some(d) = pool::acquire() {
+                self.counters.inc_descriptor_reuse();
+                return d;
+            }
+        }
+        self.counters.inc_descriptor_alloc();
+        Box::into_raw(Box::new(DcasDescriptor::vacant()))
+    }
+
+    /// Retires a published descriptor after phase 2: back to a freelist
+    /// (or the allocator, in seed-compat mode) once the grace period
+    /// elapses. The deferred closure captures only the pointer, so it
+    /// stays on `crossbeam-epoch`'s inline (allocation-free) path.
+    ///
+    /// # Safety
+    ///
+    /// `d` must have been returned by [`Self::acquire_descriptor`] and be
+    /// retired exactly once (only the owner executes this).
+    unsafe fn retire_descriptor(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) {
+        if self.config.pool_descriptors {
+            // SAFETY (for the deferred body): the closure runs after the
+            // grace period, when `d` is unreachable from any live thread,
+            // so handing it to the freelist transfers exclusive ownership.
+            unsafe { guard.defer_unchecked(move || pool::release(d)) };
+        } else {
+            // SAFETY: `d` was created by `Box::new` (pooling off) and is
+            // freed exactly once, after the grace period.
+            unsafe { guard.defer_unchecked(move || drop(Box::from_raw(d))) };
+        }
+    }
+
+    /// Disposes of a descriptor that was **never published**: no thread
+    /// can have seen it, so it goes back to the freelist (or allocator)
+    /// immediately, with no grace period.
+    ///
+    /// # Safety
+    ///
+    /// `d` must have been returned by [`Self::acquire_descriptor`] and no
+    /// tagged pointer to it (or its entries) may ever have been stored in
+    /// a [`DcasWord`] since.
+    unsafe fn dispose_unpublished(&self, d: *mut DcasDescriptor) {
+        if self.config.pool_descriptors {
+            // SAFETY: `d` is still private, hence exclusively owned.
+            unsafe { pool::release(d) };
+        } else {
+            // SAFETY: as above; created by `Box::new` when pooling is off.
+            drop(unsafe { Box::from_raw(d) });
+        }
     }
 
     /// Completes (or reverts) a pending RDCSS installation.
@@ -151,6 +326,7 @@ impl HarrisMcas {
     unsafe fn rdcss(&self, e: &Entry) -> u64 {
         // SAFETY: per caller contract.
         let w = unsafe { &*e.addr };
+        let mut backoff = Backoff::new();
         loop {
             match w.raw_compare_exchange(e.old, tagged_entry(e), Ordering::SeqCst, Ordering::SeqCst)
             {
@@ -161,9 +337,13 @@ impl HarrisMcas {
                 }
                 Err(seen) if is_rdcss(seen) => {
                     // Help the conflicting RDCSS finish, then retry ours.
+                    self.counters.inc_help();
                     // SAFETY: `seen` was read under our pin.
                     let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
                     unsafe { self.rdcss_complete(other) };
+                    if self.config.backoff {
+                        backoff.snooze();
+                    }
                 }
                 Err(seen) => return seen,
             }
@@ -179,10 +359,25 @@ impl HarrisMcas {
     /// The current thread must be pinned and `d` must be alive (obtained
     /// either from the owner or from a tagged word read under the pin).
     unsafe fn casn_help(&self, d: &DcasDescriptor) -> bool {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.casn_run(d, 0) }
+    }
+
+    /// [`Self::casn_help`] with the first `skip` entries assumed already
+    /// installed — the owner passes 1 after a fast-path direct install
+    /// (helpers always pass 0). Phase 2 resolves *all* entries regardless.
+    ///
+    /// # Safety
+    ///
+    /// Same as [`Self::casn_help`]; additionally, for every skipped entry
+    /// the caller must have successfully stored `tagged_desc(d)` into the
+    /// entry's target word while `d.status` was `UNDECIDED`.
+    unsafe fn casn_run(&self, d: &DcasDescriptor, skip: usize) -> bool {
         if d.status.load(Ordering::SeqCst) == UNDECIDED {
             let me = tagged_desc(d as *const DcasDescriptor);
             let mut status = SUCCEEDED;
-            'install: for e in &d.entries {
+            let mut backoff = Backoff::new();
+            'install: for e in &d.entries[skip..] {
                 loop {
                     // SAFETY: pinned, d alive.
                     let val = unsafe { self.rdcss(e) };
@@ -192,10 +387,15 @@ impl HarrisMcas {
                         break;
                     }
                     if is_dcas(val) {
-                        // A different DCAS holds this word: help it first.
+                        // A different DCAS holds this word: help it first,
+                        // then back off before re-contending the line.
+                        self.counters.inc_help();
                         // SAFETY: `val` read under our pin.
                         let other = unsafe { &*((val & !TAG_MASK) as *const DcasDescriptor) };
                         unsafe { self.casn_help(other) };
+                        if self.config.backoff {
+                            backoff.snooze();
+                        }
                         continue;
                     }
                     status = FAILED;
@@ -224,19 +424,153 @@ impl HarrisMcas {
     ///
     /// The current thread must be pinned.
     unsafe fn read(&self, w: &DcasWord) -> u64 {
+        let mut backoff = Backoff::new();
         loop {
             let v = w.raw_load(Ordering::SeqCst);
             if is_rdcss(v) {
+                self.counters.inc_help();
                 // SAFETY: `v` read under our pin.
                 let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
                 unsafe { self.rdcss_complete(e) };
             } else if is_dcas(v) {
+                self.counters.inc_help();
                 // SAFETY: `v` read under our pin.
                 let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
                 unsafe { self.casn_help(d) };
             } else {
                 return v;
             }
+            if self.config.backoff {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// The descriptor slow path shared by `dcas` and the `dcas_strong`
+    /// snapshot: acquires a descriptor, runs both CASN phases, retires
+    /// it. No preliminary mismatch check — callers have already read the
+    /// pair.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin the current thread for the whole call.
+    unsafe fn dcas_publish(
+        &self,
+        guard: &epoch::Guard,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: u64,
+        o2: u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        // Entries sorted by address so concurrent DCAS operations help one
+        // another in a consistent order.
+        let ((w1, ov1, nv1), (w2, ov2, nv2)) = if a1.addr() < a2.addr() {
+            ((a1, o1, n1), (a2, o2, n2))
+        } else {
+            ((a2, o2, n2), (a1, o1, n1))
+        };
+        let d = self.acquire_descriptor();
+        // SAFETY: `d` is exclusively owned until `casn_help` publishes it;
+        // a recycled descriptor is past its grace period, so no helper of
+        // a previous incarnation can observe these plain writes.
+        unsafe {
+            (*d).status.store(UNDECIDED, Ordering::Relaxed);
+            (*d).entries = [
+                Entry { parent: d, addr: w1, old: ov1, new: nv1 },
+                Entry { parent: d, addr: w2, old: ov2, new: nv2 },
+            ];
+        }
+
+        if self.config.owner_fast_install {
+            // Publish by installing the first entry with one plain CAS:
+            // `d` is private until this CAS lands, so its status is
+            // provably still UNDECIDED and the RDCSS status guard is
+            // redundant (module docs, "Owner fast-path installation").
+            let me = tagged_desc(d);
+            let mut backoff = Backoff::new();
+            loop {
+                match w1.raw_compare_exchange(ov1, me, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(_) => break,
+                    Err(seen) if is_rdcss(seen) => {
+                        self.counters.inc_help();
+                        // SAFETY: `seen` read under our pin.
+                        let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
+                        unsafe { self.rdcss_complete(other) };
+                    }
+                    Err(seen) if is_dcas(seen) => {
+                        self.counters.inc_help();
+                        // SAFETY: `seen` read under our pin.
+                        let other = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
+                        unsafe { self.casn_help(other) };
+                    }
+                    Err(_) => {
+                        // Plain value mismatch: the DCAS fails without the
+                        // descriptor ever having been published — recycle
+                        // it immediately, no grace period needed.
+                        // SAFETY: `d` from `acquire_descriptor`, still
+                        // private.
+                        unsafe { self.dispose_unpublished(d) };
+                        return false;
+                    }
+                }
+                if self.config.backoff {
+                    backoff.snooze();
+                }
+            }
+
+            // SAFETY: pinned; `d` alive; entry 0 installed by the CAS
+            // above while the status was UNDECIDED.
+            let ok = unsafe { self.casn_run(&*d, 1) };
+            // SAFETY: `d` came from `acquire_descriptor` and only the
+            // owner executes this line.
+            unsafe { self.retire_descriptor(guard, d) };
+            return ok;
+        }
+
+        // SAFETY: pinned; `d` alive (owned by us until retirement below).
+        let ok = unsafe { self.casn_help(&*d) };
+
+        // Retire the descriptor. Helpers that can still observe a tagged
+        // pointer to it hold guards that predate this retirement.
+        // SAFETY: `d` came from `acquire_descriptor` and only the owner
+        // executes this line.
+        unsafe { self.retire_descriptor(guard, d) };
+        ok
+    }
+
+    /// Uncounted `dcas` body (also the forward arm of `dcas_strong`).
+    fn dcas_inner(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        let guard = epoch::pin();
+
+        // Fast path: a preliminary atomic read that observes a mismatch is
+        // a legal linearization of a failed DCAS and costs neither an
+        // allocation nor a pool access. The `||` short-circuits, covering
+        // both orderings: a first-word mismatch never touches the second.
+        // SAFETY: pinned.
+        if unsafe { self.read(a1) } != o1 || unsafe { self.read(a2) } != o2 {
+            return false;
+        }
+
+        // SAFETY: `guard` pins us for the whole call.
+        unsafe { self.dcas_publish(&guard, a1, a2, o1, o2, n1, n2) }
+    }
+
+    /// One snapshot attempt for `dcas_strong`: under a single pin, reads
+    /// the pair and certifies the observed values with an identity DCAS.
+    /// Returns the certified atomic view, or `None` if another thread's
+    /// successful operation invalidated it mid-certification.
+    fn snapshot(&self, a1: &DcasWord, a2: &DcasWord) -> Option<(u64, u64)> {
+        let guard = epoch::pin();
+        // SAFETY: pinned.
+        let v1 = unsafe { self.read(a1) };
+        let v2 = unsafe { self.read(a2) };
+        // SAFETY: `guard` pins us for the whole call.
+        if unsafe { self.dcas_publish(&guard, a1, a2, v1, v2, v1, v2) } {
+            Some((v1, v2))
+        } else {
+            None
         }
     }
 }
@@ -248,6 +582,7 @@ impl DcasStrategy for HarrisMcas {
 
     #[inline]
     fn load(&self, w: &DcasWord) -> u64 {
+        self.counters.inc_op();
         let _guard = epoch::pin();
         // SAFETY: pinned for the duration of the read.
         unsafe { self.read(w) }
@@ -255,7 +590,9 @@ impl DcasStrategy for HarrisMcas {
 
     fn store(&self, w: &DcasWord, v: u64) {
         debug_assert!(crate::is_valid_payload(v));
+        self.counters.inc_op();
         let _guard = epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             // SAFETY: pinned.
             let cur = unsafe { self.read(w) };
@@ -264,71 +601,47 @@ impl DcasStrategy for HarrisMcas {
             {
                 return;
             }
+            if self.config.backoff {
+                backoff.snooze();
+            }
         }
     }
 
     fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
         debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
+        self.counters.inc_op();
         let _guard = epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             match w.raw_compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return true,
                 Err(seen) if is_rdcss(seen) => {
+                    self.counters.inc_help();
                     // SAFETY: `seen` read under our pin.
                     let e = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
                     unsafe { self.rdcss_complete(e) };
                 }
                 Err(seen) if is_dcas(seen) => {
+                    self.counters.inc_help();
                     // SAFETY: `seen` read under our pin.
                     let d = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
                     unsafe { self.casn_help(d) };
                 }
                 Err(_) => return false,
             }
+            if self.config.backoff {
+                backoff.snooze();
+            }
         }
     }
 
     fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
         validate_args(a1, a2, &[o1, o2, n1, n2]);
-        let guard = epoch::pin();
-
-        // Fast path: a preliminary atomic read that observes a mismatch is
-        // a legal linearization of a failed DCAS and avoids allocating.
-        // SAFETY: pinned.
-        if unsafe { self.read(a1) } != o1 || unsafe { self.read(a2) } != o2 {
-            return false;
-        }
-
-        // Entries sorted by address so concurrent DCAS operations help one
-        // another in a consistent order.
-        let ((w1, ov1, nv1), (w2, ov2, nv2)) = if a1.addr() < a2.addr() {
-            ((a1, o1, n1), (a2, o2, n2))
-        } else {
-            ((a2, o2, n2), (a1, o1, n1))
-        };
-        let d = Box::into_raw(Box::new(DcasDescriptor {
-            status: AtomicU64::new(UNDECIDED),
-            entries: [
-                Entry { parent: std::ptr::null(), addr: w1, old: ov1, new: nv1 },
-                Entry { parent: std::ptr::null(), addr: w2, old: ov2, new: nv2 },
-            ],
-        }));
-        // Fix up the self-referential parent pointers.
-        // SAFETY: `d` is uniquely owned until `casn_help` publishes it.
-        unsafe {
-            (*d).entries[0].parent = d;
-            (*d).entries[1].parent = d;
-        }
-
-        // SAFETY: pinned; `d` alive (owned by us until retirement below).
-        let ok = unsafe { self.casn_help(&*d) };
-
-        // Retire the descriptor. Helpers that can still observe a tagged
-        // pointer to it hold guards that predate this retirement.
-        // SAFETY: `d` was allocated by `Box::new` above and is retired
-        // exactly once (only the owner executes this line).
-        unsafe {
-            guard.defer_unchecked(move || drop(Box::from_raw(d)));
+        self.counters.inc_op();
+        self.counters.inc_dcas();
+        let ok = self.dcas_inner(a1, a2, o1, o2, n1, n2);
+        if !ok {
+            self.counters.inc_dcas_failure();
         }
         ok
     }
@@ -348,24 +661,103 @@ impl DcasStrategy for HarrisMcas {
         // consistent view to report or discover the expected values are
         // back (in which case the outer swap is retried). Lock-free: every
         // inner retry is caused by another operation's successful DCAS.
+        //
+        // The forward attempt's preliminary read short-circuits on the
+        // first mismatching word (both orderings), so a doomed attempt
+        // builds no descriptor at all; the identity snapshots draw from
+        // the pool, so the whole failure path is allocation-free in the
+        // steady state.
+        self.counters.inc_op();
+        self.counters.inc_dcas();
+        let mut backoff = Backoff::new();
         loop {
-            if self.dcas(a1, a2, *o1, *o2, n1, n2) {
+            if self.dcas_inner(a1, a2, *o1, *o2, n1, n2) {
                 return true;
             }
             loop {
-                let v1 = self.load(a1);
-                let v2 = self.load(a2);
-                if v1 == *o1 && v2 == *o2 {
-                    // The expected pair is observable again; retry the swap.
-                    break;
-                }
-                if self.dcas(a1, a2, v1, v2, v1, v2) {
-                    *o1 = v1;
-                    *o2 = v2;
-                    return false;
+                match self.snapshot(a1, a2) {
+                    Some((v1, v2)) if v1 == *o1 && v2 == *o2 => {
+                        // The expected pair is observable again; retry the
+                        // swap.
+                        break;
+                    }
+                    Some((v1, v2)) => {
+                        *o1 = v1;
+                        *o2 = v2;
+                        self.counters.inc_dcas_failure();
+                        return false;
+                    }
+                    None => {
+                        // Lost the certification race to another writer.
+                        if self.config.backoff {
+                            backoff.snooze();
+                        }
+                    }
                 }
             }
+            if self.config.backoff {
+                backoff.snooze();
+            }
         }
+    }
+}
+
+/// [`HarrisMcas`] fixed to [`McasConfig::seed_compat`]: a fresh `Box` per
+/// descriptor, no backoff, all-RDCSS installation — the seed hot path.
+/// Exists as a distinct [`DcasStrategy`] type so
+/// test matrices and benchmarks can exercise the unpooled hot path
+/// side-by-side with the default.
+#[derive(Default)]
+pub struct HarrisMcasBoxed(HarrisMcas);
+
+impl HarrisMcasBoxed {
+    /// Creates a seed-compatible (unpooled, no-backoff) instance.
+    pub fn new() -> Self {
+        HarrisMcasBoxed(HarrisMcas::with_config(McasConfig::seed_compat()))
+    }
+
+    /// Snapshot of the inner instance's counters.
+    pub fn stats(&self) -> StrategyStats {
+        self.0.stats()
+    }
+}
+
+impl DcasStrategy for HarrisMcasBoxed {
+    const IS_LOCK_FREE: bool = true;
+    const HAS_CHEAP_STRONG: bool = false;
+    const NAME: &'static str = "harris-mcas-boxed";
+
+    #[inline]
+    fn load(&self, w: &DcasWord) -> u64 {
+        self.0.load(w)
+    }
+
+    #[inline]
+    fn store(&self, w: &DcasWord, v: u64) {
+        self.0.store(w, v)
+    }
+
+    #[inline]
+    fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
+        self.0.cas(w, old, new)
+    }
+
+    #[inline]
+    fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
+        self.0.dcas(a1, a2, o1, o2, n1, n2)
+    }
+
+    #[inline]
+    fn dcas_strong(
+        &self,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        o1: &mut u64,
+        o2: &mut u64,
+        n1: u64,
+        n2: u64,
+    ) -> bool {
+        self.0.dcas_strong(a1, a2, o1, o2, n1, n2)
     }
 }
 
@@ -383,6 +775,29 @@ mod tests {
         assert_eq!((s.load(&a), s.load(&b)), (8, 12));
         assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
         assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+    }
+
+    #[test]
+    fn basic_success_and_failure_all_configs() {
+        // Full 2^3 knob matrix: every combination must implement the same
+        // DCAS semantics.
+        for bits in 0..8u8 {
+            let config = McasConfig {
+                pool_descriptors: bits & 1 != 0,
+                backoff: bits & 2 != 0,
+                owner_fast_install: bits & 4 != 0,
+            };
+            let s = HarrisMcas::with_config(config);
+            let a = DcasWord::new(0);
+            let b = DcasWord::new(4);
+            assert!(s.dcas(&a, &b, 0, 4, 8, 12), "{config:?}");
+            assert_eq!((s.load(&a), s.load(&b)), (8, 12), "{config:?}");
+            assert!(!s.dcas(&a, &b, 0, 4, 16, 16), "{config:?}");
+            assert_eq!((s.load(&a), s.load(&b)), (8, 12), "{config:?}");
+            let (mut o1, mut o2) = (0, 0);
+            assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 16, 16), "{config:?}");
+            assert_eq!((o1, o2), (8, 12), "{config:?}");
+        }
     }
 
     #[test]
@@ -406,6 +821,18 @@ mod tests {
     #[test]
     fn strong_form_snapshot_on_failure() {
         let s = HarrisMcas::new();
+        let a = DcasWord::new(100);
+        let b = DcasWord::new(200);
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 4));
+        assert_eq!((o1, o2), (100, 200));
+        assert!(s.dcas_strong(&a, &b, &mut o1, &mut o2, 4, 8));
+        assert_eq!((s.load(&a), s.load(&b)), (4, 8));
+    }
+
+    #[test]
+    fn strong_form_snapshot_on_failure_boxed() {
+        let s = HarrisMcasBoxed::new();
         let a = DcasWord::new(100);
         let b = DcasWord::new(200);
         let (mut o1, mut o2) = (0, 0);
@@ -456,6 +883,38 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_counters_preserve_sum_seed_compat() {
+        // Same conservation check with pooling and backoff disabled, so
+        // the ablation arm keeps its own correctness coverage.
+        let s = Arc::new(HarrisMcas::with_config(McasConfig::seed_compat()));
+        let words = Arc::new((DcasWord::new(1 << 20), DcasWord::new(1 << 20)));
+        let total = (1u64 << 20) * 2;
+        let mut handles = vec![];
+        for t in 0..4 {
+            let (s, words) = (s.clone(), words.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    loop {
+                        let v1 = s.load(&words.0);
+                        let v2 = s.load(&words.1);
+                        let delta = 4 * ((i + t) % 64);
+                        if v1 < delta {
+                            break;
+                        }
+                        if s.dcas(&words.0, &words.1, v1, v2, v1 - delta, v2 + delta) {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.load(&words.0) + s.load(&words.1), total);
+    }
+
+    #[test]
     fn overlapping_pairs_stress() {
         // Three words, threads DCAS random adjacent pairs; checks the sum
         // invariant across overlapping DCAS pairs (the helping path).
@@ -484,5 +943,39 @@ mod tests {
         }
         let sum: u64 = (0..3).map(|i| s.load(&words[i])).sum();
         assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn pool_survives_instance_drop_with_inflight_garbage() {
+        // Dropping the strategy while epoch-deferred releases are still
+        // queued must be safe: the deferred closures capture only the
+        // descriptor pointer and release into the thread-global freelist,
+        // which owns nothing of the dropped instance.
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        for i in 0..64u64 {
+            assert!(s.dcas(&a, &b, i * 8, i * 8 + 4, (i + 1) * 8, (i + 1) * 8 + 4));
+        }
+        drop(s); // any queued releases now own the only pool references
+        epoch::pin().flush();
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stats_count_ops_and_failures() {
+        let s = HarrisMcas::new();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        let st = s.stats();
+        assert_eq!(st.dcas_ops, 2);
+        assert_eq!(st.dcas_failures, 1);
+        assert_eq!(st.ops, 2);
+        // The failed dcas exited on the preliminary read: exactly one
+        // descriptor was ever needed, and the pool was cold.
+        assert_eq!(st.descriptor_allocs, 1);
+        assert_eq!(st.descriptor_reuses, 0);
     }
 }

@@ -1,0 +1,161 @@
+//! Per-thread descriptor freelists for the lock-free DCAS strategy.
+//!
+//! The seed implementation of [`HarrisMcas`](crate::HarrisMcas) paid one
+//! `Box` allocation per `dcas` that reached the descriptor slow path and
+//! freed it through `crossbeam-epoch` after a grace period. Sundell &
+//! Tsigas identify exactly this per-operation allocator round-trip as one
+//! of the two dominant costs of software multi-word CAS (the other being
+//! retry storms; see [`backoff`](crate::backoff)). This module removes
+//! it: descriptors are *recycled* through the same epoch machinery
+//! instead of freed, so a steady-state `dcas` touches no allocator — and
+//! no atomic or lock — to obtain its descriptor.
+//!
+//! Because the RDCSS descriptor of each target word (an `Entry` record)
+//! is embedded inside its parent DCAS descriptor, pooling the parent
+//! pools the RDCSS descriptors with it — one freelist covers both
+//! descriptor kinds the protocol uses.
+//!
+//! # Why a thread-local freelist
+//!
+//! The cache is a plain `thread_local!` `Vec` of recycled descriptors,
+//! in the spirit of the `list_lfrc/pool.rs` node pool but specialized
+//! for the hot path: descriptor churn is symmetric (every retire is
+//! preceded by an acquire on the same thread, and epoch-deferred
+//! releases run on the thread that queued them when it next collects),
+//! so inventory naturally stays where it is consumed and no cross-thread
+//! freelist — with its locks or CAS loops — is needed. A miss (cold
+//! thread, or releases still sitting out a grace period) falls back to
+//! `Box::new`; an overflow past [`CACHE_CAP`] frees to the allocator, so
+//! idle memory per thread is bounded. Descriptors are interchangeable
+//! memory once recycled, so the cache is shared by all `HarrisMcas`
+//! instances on the thread; leftover inventory is freed by the TLS
+//! destructor at thread exit.
+//!
+//! The pool can never block and never loops: the strategy's
+//! *lock-freedom argument is unchanged*, and correctness never depends
+//! on a pool hit.
+//!
+//! # Why recycling is as safe as freeing
+//!
+//! The seed retired a descriptor with `guard.defer_unchecked(|| drop(box))`
+//! — the epoch collector guarantees the closure runs only after every
+//! thread that could still hold a tagged pointer to the descriptor has
+//! unpinned. Releasing the descriptor *into a freelist* at that same
+//! moment is strictly no more visible than freeing it: once the grace
+//! period has elapsed no thread can dereference the old incarnation, so
+//! the next [`acquire`] may overwrite the memory at will. The owner
+//! resets the status word and rewrites the entries while the descriptor
+//! is still private, and publication happens through the same SeqCst
+//! installation CAS as for a freshly boxed descriptor.
+
+use std::cell::RefCell;
+
+use crate::mcas::DcasDescriptor;
+
+/// Maximum idle descriptors retained per thread; releases beyond this are
+/// freed. 512 two-entry descriptors ≈ 40 KiB per thread — noise, while
+/// comfortably absorbing the ~2 epochs of in-flight retirements that are
+/// always aging toward release.
+const CACHE_CAP: usize = 512;
+
+/// The freelist, wrapped so the TLS destructor returns leftover
+/// inventory to the allocator.
+struct Cache(Vec<*mut DcasDescriptor>);
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        for p in self.0.drain(..) {
+            // SAFETY: every pointer in the cache came from `Box::into_raw`
+            // (release contract) and is exclusively owned by the cache.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<Cache> = const { RefCell::new(Cache(Vec::new())) };
+}
+
+/// Pops a recycled descriptor, exclusively owned by the caller. `None`
+/// on a cold cache (or during thread teardown).
+pub(crate) fn acquire() -> Option<*mut DcasDescriptor> {
+    CACHE.try_with(|c| c.borrow_mut().0.pop()).ok().flatten()
+}
+
+/// Returns a descriptor to the calling thread's freelist — or to the
+/// allocator, if the cache is full or already torn down.
+///
+/// # Safety
+///
+/// `p` must come from `Box::into_raw`, be exclusively owned by the
+/// caller, and never be released twice. For descriptor recycling this
+/// means: call either from an epoch-deferred closure (after the grace
+/// period for the descriptor's last publication) or with a descriptor
+/// that was never published.
+pub(crate) unsafe fn release(p: *mut DcasDescriptor) {
+    let pooled = CACHE
+        .try_with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.0.len() < CACHE_CAP {
+                cache.0.push(p);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    if !pooled {
+        // SAFETY: caller contract — `p` is an exclusively owned
+        // `Box::into_raw` allocation.
+        drop(unsafe { Box::from_raw(p) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> *mut DcasDescriptor {
+        Box::into_raw(Box::new(DcasDescriptor::vacant()))
+    }
+
+    #[test]
+    fn release_then_acquire_recycles_lifo() {
+        // Drain anything left by other tests on this thread first.
+        while acquire().is_some() {}
+        let (p1, p2) = (fresh(), fresh());
+        unsafe {
+            release(p1);
+            release(p2);
+        }
+        assert_eq!(acquire(), Some(p2));
+        assert_eq!(acquire(), Some(p1));
+        assert_eq!(acquire(), None);
+        drop(unsafe { Box::from_raw(p1) });
+        drop(unsafe { Box::from_raw(p2) });
+    }
+
+    #[test]
+    fn caches_are_per_thread() {
+        while acquire().is_some() {}
+        let p = fresh();
+        unsafe { release(p) };
+        // Another thread's cache is independent: it must miss.
+        std::thread::spawn(|| assert_eq!(acquire(), None)).join().unwrap();
+        assert_eq!(acquire(), Some(p));
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    #[test]
+    fn cap_overflow_frees_instead_of_growing() {
+        while acquire().is_some() {}
+        for _ in 0..(CACHE_CAP + 32) {
+            unsafe { release(fresh()) };
+        }
+        let mut n = 0;
+        while acquire().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, CACHE_CAP);
+    }
+}

@@ -1,0 +1,165 @@
+//! Feature-gated per-strategy operation counters.
+//!
+//! With the `stats` feature enabled, [`HarrisMcas`](crate::HarrisMcas)
+//! (and any other strategy that opts in) counts operations, DCAS
+//! failures, helping events, and descriptor pool traffic, exposed as a
+//! [`StrategyStats`] snapshot. With the feature disabled every counter
+//! method is an empty `#[inline]` body and the counter block is a
+//! zero-sized struct, so the hot path pays nothing.
+//!
+//! The counters use `Relaxed` increments: they are monotonic telemetry,
+//! not synchronization, and a torn *view* across fields is acceptable
+//! (a snapshot taken while threads run is approximate by nature).
+
+#[cfg(feature = "stats")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time snapshot of a strategy's counters.
+///
+/// All fields are zero when the `stats` feature is disabled, so callers
+/// (benches, diagnostics) can be written unconditionally.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StrategyStats {
+    /// Public operations started (`load` + `store` + `cas` + `dcas` +
+    /// `dcas_strong`).
+    pub ops: u64,
+    /// `dcas`/`dcas_strong` invocations.
+    pub dcas_ops: u64,
+    /// `dcas`/`dcas_strong` invocations that returned `false`.
+    pub dcas_failures: u64,
+    /// Times this strategy helped another thread's in-flight operation
+    /// (RDCSS completion or CASN help on a foreign descriptor).
+    pub helps: u64,
+    /// Descriptors taken from the pool freelist (recycled).
+    pub descriptor_reuses: u64,
+    /// Descriptors created with a fresh heap allocation (pool miss, or
+    /// pooling disabled).
+    pub descriptor_allocs: u64,
+}
+
+impl StrategyStats {
+    /// Fraction of descriptor acquisitions served by the freelist, in
+    /// `[0, 1]`; `1.0` means the steady state allocates nothing. `None`
+    /// when no descriptor was ever acquired.
+    pub fn reuse_rate(&self) -> Option<f64> {
+        let total = self.descriptor_reuses + self.descriptor_allocs;
+        (total != 0).then(|| self.descriptor_reuses as f64 / total as f64)
+    }
+
+    /// Fraction of failed DCAS invocations, in `[0, 1]`; `None` when no
+    /// DCAS ran.
+    pub fn failure_rate(&self) -> Option<f64> {
+        (self.dcas_ops != 0).then(|| self.dcas_failures as f64 / self.dcas_ops as f64)
+    }
+
+    /// Field-wise difference (`self - earlier`), for measuring a phase.
+    pub fn since(&self, earlier: &StrategyStats) -> StrategyStats {
+        StrategyStats {
+            ops: self.ops - earlier.ops,
+            dcas_ops: self.dcas_ops - earlier.dcas_ops,
+            dcas_failures: self.dcas_failures - earlier.dcas_failures,
+            helps: self.helps - earlier.helps,
+            descriptor_reuses: self.descriptor_reuses - earlier.descriptor_reuses,
+            descriptor_allocs: self.descriptor_allocs - earlier.descriptor_allocs,
+        }
+    }
+}
+
+/// Internal counter block embedded in a strategy. Zero-sized (and all
+/// methods no-ops) unless the `stats` feature is on.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    #[cfg(feature = "stats")]
+    ops: AtomicU64,
+    #[cfg(feature = "stats")]
+    dcas_ops: AtomicU64,
+    #[cfg(feature = "stats")]
+    dcas_failures: AtomicU64,
+    #[cfg(feature = "stats")]
+    helps: AtomicU64,
+    #[cfg(feature = "stats")]
+    descriptor_reuses: AtomicU64,
+    #[cfg(feature = "stats")]
+    descriptor_allocs: AtomicU64,
+}
+
+macro_rules! counter_inc {
+    ($(#[$doc:meta] $inc:ident => $field:ident;)*) => {$(
+        #[$doc]
+        #[inline]
+        pub(crate) fn $inc(&self) {
+            #[cfg(feature = "stats")]
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl Counters {
+    counter_inc! {
+        /// One public operation started.
+        inc_op => ops;
+        /// One `dcas`/`dcas_strong` invocation.
+        inc_dcas => dcas_ops;
+        /// One failed `dcas`/`dcas_strong`.
+        inc_dcas_failure => dcas_failures;
+        /// Helped a foreign in-flight operation.
+        inc_help => helps;
+        /// Descriptor served from the pool freelist.
+        inc_descriptor_reuse => descriptor_reuses;
+        /// Descriptor freshly heap-allocated.
+        inc_descriptor_alloc => descriptor_allocs;
+    }
+
+    /// Snapshot (all-zero without the `stats` feature).
+    pub(crate) fn snapshot(&self) -> StrategyStats {
+        #[cfg(feature = "stats")]
+        {
+            StrategyStats {
+                ops: self.ops.load(Ordering::Relaxed),
+                dcas_ops: self.dcas_ops.load(Ordering::Relaxed),
+                dcas_failures: self.dcas_failures.load(Ordering::Relaxed),
+                helps: self.helps.load(Ordering::Relaxed),
+                descriptor_reuses: self.descriptor_reuses.load(Ordering::Relaxed),
+                descriptor_allocs: self.descriptor_allocs.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        StrategyStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let c = Counters::default();
+        c.inc_op();
+        c.inc_dcas();
+        c.inc_dcas_failure();
+        c.inc_help();
+        c.inc_descriptor_reuse();
+        c.inc_descriptor_reuse();
+        c.inc_descriptor_alloc();
+        let s = c.snapshot();
+        #[cfg(feature = "stats")]
+        {
+            assert_eq!(s.ops, 1);
+            assert_eq!(s.dcas_ops, 1);
+            assert_eq!(s.dcas_failures, 1);
+            assert_eq!(s.helps, 1);
+            assert_eq!(s.descriptor_reuses, 2);
+            assert_eq!(s.descriptor_allocs, 1);
+            assert_eq!(s.reuse_rate(), Some(2.0 / 3.0));
+            assert_eq!(s.failure_rate(), Some(1.0));
+            let d = s.since(&StrategyStats { descriptor_reuses: 1, ..Default::default() });
+            assert_eq!(d.descriptor_reuses, 1);
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            assert_eq!(s, StrategyStats::default());
+            assert_eq!(s.reuse_rate(), None);
+        }
+    }
+}

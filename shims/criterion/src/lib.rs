@@ -1,0 +1,222 @@
+//! Offline vendored shim of `criterion` supporting the API subset this
+//! workspace's bench targets use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`] / [`Bencher::iter_custom`],
+//! [`BenchmarkId`], and [`black_box`].
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `criterion` to this path crate. Statistics are intentionally
+//! simple: per benchmark we warm up briefly, pick an iteration count
+//! targeting a fixed per-sample budget, collect `sample_size` samples,
+//! and report the median ns/iter on stdout in a stable
+//! `name/param time: X ns/iter` format. No plots, no saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget for one sample (before dividing by iterations).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things acceptable as a benchmark id (`BenchmarkId` or a string).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value passed through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_bench(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself (for phases that
+    /// include setup that must not be measured).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_one(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up and calibration: grow the iteration count until one
+    // sample costs at least ~1/4 of the budget, then scale to budget.
+    let mut iters: u64 = 1;
+    let mut once;
+    loop {
+        once = run_one(f, iters);
+        if once >= SAMPLE_BUDGET / 4 || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(4).max(1);
+    }
+    let per_iter = once.as_nanos().max(1) as u64 / iters.max(1);
+    let target = (SAMPLE_BUDGET.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1 << 24);
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| run_one(f, target).as_nanos() as f64 / target as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!("{name} time: {median:.1} ns/iter ({samples} samples x {target} iters)");
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // shim has no CLI, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut hits = 0u64;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+            hits += 1;
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(7u64);
+                }
+                t.elapsed()
+            })
+        });
+        g.finish();
+        assert!(hits >= 3);
+    }
+}

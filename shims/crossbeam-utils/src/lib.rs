@@ -1,0 +1,77 @@
+//! Offline vendored shim for the subset of `crossbeam-utils` used by this
+//! workspace. The build container has no access to crates.io, so the
+//! workspace patches `crossbeam-utils` to this path crate (see the root
+//! `Cargo.toml`). Only [`CachePadded`] is provided; the API and semantics
+//! match the upstream type.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing
+/// false sharing between adjacent atomics.
+///
+/// 128-byte alignment covers the spatial-prefetcher pairing on modern
+/// x86-64 parts (the same choice upstream makes there).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns `value` to a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_access() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of_val(&p), 128);
+        let mut p = p;
+        *p += 1;
+        assert_eq!(p.into_inner(), 8);
+    }
+}

@@ -6,7 +6,9 @@
 //! histories, and feeds them to the Wing & Gong checker against the
 //! paper's sequential specification.
 
-use dcas::{DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock, Yielding};
+use dcas::{
+    DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, HarrisMcasBoxed, StripedLock, Yielding,
+};
 use dcas_deques::baselines::{GreenwaldDeque, MutexDeque, SpinDeque};
 use dcas_deques::deque::{ArrayDeque, DummyListDeque, LfrcListDeque, ListDeque};
 use dcas_deques::linearize::{stress_and_check, StressConfig};
@@ -70,6 +72,14 @@ macro_rules! strategy_matrix {
             #[test]
             fn harris_mcas() {
                 $check::<HarrisMcas>();
+            }
+
+            #[test]
+            fn harris_mcas_boxed() {
+                // The seed-compat hot path (fresh Box per descriptor, no
+                // backoff, all-RDCSS installs) must stay linearizable too:
+                // it is the baseline arm of the e10 perf comparison.
+                $check::<HarrisMcasBoxed>();
             }
 
             #[test]
