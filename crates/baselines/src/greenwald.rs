@@ -19,7 +19,7 @@
 use std::marker::PhantomData;
 
 use crossbeam_utils::CachePadded;
-use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+use dcas::{Backoff, DcasStrategy, DcasWord, HarrisMcas};
 use dcas_deque::reserved::NULL;
 use dcas_deque::value::{Boxed, WordValue};
 use dcas_deque::{ConcurrentDeque, Full};
@@ -97,6 +97,7 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
     /// Pushes at the right end.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
         let val = v.encode();
+        let mut backoff = Backoff::new();
         loop {
             let old = self.strategy.load(&self.lr);
             let (l, r, count) = dec(old);
@@ -110,12 +111,14 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
             if self.strategy.dcas(&self.lr, &self.slots[r], old, NULL, new, val) {
                 return Ok(());
             }
+            backoff.snooze();
         }
     }
 
     /// Pushes at the left end.
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
         let val = v.encode();
+        let mut backoff = Backoff::new();
         loop {
             let old = self.strategy.load(&self.lr);
             let (l, r, count) = dec(old);
@@ -127,11 +130,13 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
             if self.strategy.dcas(&self.lr, &self.slots[l], old, NULL, new, val) {
                 return Ok(());
             }
+            backoff.snooze();
         }
     }
 
     /// Pops from the right end.
     pub fn pop_right(&self) -> Option<V> {
+        let mut backoff = Backoff::new();
         loop {
             let old = self.strategy.load(&self.lr);
             let (l, r, count) = dec(old);
@@ -141,18 +146,21 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
             let slot = self.sub1(r);
             let old_s = self.strategy.load(&self.slots[slot]);
             if old_s == NULL {
-                continue; // torn view; the DCAS would fail anyway
+                backoff.snooze(); // torn view; the DCAS would fail anyway
+                continue;
             }
             let new = enc(l, slot, count - 1);
             if self.strategy.dcas(&self.lr, &self.slots[slot], old, old_s, new, NULL) {
                 // SAFETY: successful DCAS transfers ownership.
                 return Some(unsafe { V::decode(old_s) });
             }
+            backoff.snooze();
         }
     }
 
     /// Pops from the left end.
     pub fn pop_left(&self) -> Option<V> {
+        let mut backoff = Backoff::new();
         loop {
             let old = self.strategy.load(&self.lr);
             let (l, r, count) = dec(old);
@@ -162,6 +170,7 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
             let slot = self.add1(l);
             let old_s = self.strategy.load(&self.slots[slot]);
             if old_s == NULL {
+                backoff.snooze();
                 continue;
             }
             let new = enc(slot, r, count - 1);
@@ -169,6 +178,7 @@ impl<V: WordValue, S: DcasStrategy> RawGreenwaldDeque<V, S> {
                 // SAFETY: as above.
                 return Some(unsafe { V::decode(old_s) });
             }
+            backoff.snooze();
         }
     }
 

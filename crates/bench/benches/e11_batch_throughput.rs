@@ -1,0 +1,384 @@
+//! E11 — batched operations, elimination backoff, and steal-half
+//! (the PR-2 throughput levers, measured end to end).
+//!
+//! Four phases:
+//!
+//! 1. **uncontended** — single thread moving elements through each deque
+//!    per-element vs in chunk-atomic batches of 2/4/8. Amortizing the
+//!    CASN/descriptor cost over `k` elements is the whole point of the
+//!    batch API; the acceptance bar is batch-8 ≥ 2× per-element.
+//! 2. **producer-consumer** — one pusher at the right end, one popper at
+//!    the left, per-element vs batch-8 on both sides (the disjoint-ends
+//!    scenario the paper optimizes; batching shrinks the hub-word
+//!    traffic per element).
+//! 3. **fork-join** — the E6 spawn-tree on the work-stealing scheduler,
+//!    whose thieves now use `steal_half` with a batched local re-push.
+//! 4. **elimination** — several threads hammering the *same* end, with
+//!    the per-end elimination arrays off vs on (`EndConfig`); paired
+//!    push/pop cancellations bypass the contended end words entirely.
+//!
+//! Runs as a plain binary (`harness = false`), prints a table, and —
+//! unless `E11_SMOKE` is set (the CI smoke mode, which shrinks every
+//! phase and skips the file write) — records the measurements in
+//! `BENCH_e11.json` at the workspace root. Build with `--features stats`
+//! to print the `dcas::stats` counter lines (CASN ops/failures,
+//! elimination hits/misses) after the relevant phases.
+//!
+//! Single-CPU caveat: in this container all threads share one core, so
+//! the contended phases measure algorithmic work (fewer atomic ops per
+//! element), not parallel speedup; see EXPERIMENTS.md §E11.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dcas::{HarrisMcas, Yielding};
+use dcas_bench::format_stats;
+use dcas_deque::{ArrayDeque, ConcurrentDeque, EndConfig, ListDeque};
+use dcas_workstealing::{
+    AbpWorkDeque, ArrayWorkDeque, DynDeque, ListWorkDeque, Scheduler, WorkDeque, WorkerHandle,
+};
+
+struct Measurement {
+    phase: &'static str,
+    arm: String,
+    threads: usize,
+    elems: u64,
+    nanos: u128,
+    /// Throughput relative to the phase's baseline arm (1.0 for the
+    /// baseline itself).
+    speedup: f64,
+}
+
+impl Measurement {
+    fn elems_per_sec(&self) -> f64 {
+        self.elems as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+fn median(mut runs: Vec<Duration>) -> Duration {
+    runs.sort();
+    runs[runs.len() / 2]
+}
+
+/// Phase 1 driver: moves `elems` values through the deque, `k` at a time
+/// (k = 1 uses the per-element entry points).
+fn uncontended<D: ConcurrentDeque<u64>>(deque: &D, elems: u64, k: usize) -> Duration {
+    let start = Instant::now();
+    let mut v = 0u64;
+    while v < elems {
+        if k == 1 {
+            let _ = deque.push_right(v);
+            std::hint::black_box(deque.pop_left());
+            v += 1;
+        } else {
+            let batch: Vec<u64> = (v..v + k as u64).collect();
+            let _ = deque.push_right_n(batch);
+            std::hint::black_box(deque.pop_left_n(k));
+            v += k as u64;
+        }
+    }
+    start.elapsed()
+}
+
+/// Phase 2 driver: right-end producer, left-end consumer, both working
+/// `k` elements per call; finishes when all `elems` values have crossed.
+fn producer_consumer<D: ConcurrentDeque<u64> + Sync>(deque: &D, elems: u64, k: usize) -> Duration {
+    let barrier = Barrier::new(3);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            barrier.wait();
+            let mut v = 0u64;
+            while v < elems {
+                if k == 1 {
+                    while deque.push_right(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                    v += 1;
+                } else {
+                    let mut batch: Vec<u64> = (v..v + k as u64).collect();
+                    v += k as u64;
+                    // Bounded deques accept a prefix and hand back the
+                    // tail; keep pushing the tail until it all fits.
+                    while let Err(tail) = deque.push_right_n(batch) {
+                        batch = tail.into_inner();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            barrier.wait();
+        });
+        s.spawn(|| {
+            barrier.wait();
+            let mut got = 0u64;
+            while got < elems {
+                if k == 1 {
+                    match deque.pop_left() {
+                        Some(_) => got += 1,
+                        None => std::thread::yield_now(),
+                    }
+                } else {
+                    let chunk = deque.pop_left_n(k);
+                    if chunk.is_empty() {
+                        std::thread::yield_now();
+                    } else {
+                        got += chunk.len() as u64;
+                    }
+                }
+            }
+            barrier.wait();
+        });
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+fn spawn_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, leaves: Arc<AtomicU64>) {
+    if depth == 0 {
+        leaves.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let l = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, l));
+    let r = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, r));
+}
+
+/// Phase 3 driver: fork-join spawn tree on the steal-half scheduler.
+fn fork_join<D: WorkDeque>(workers: usize, depth: u32) -> Duration {
+    let leaves = Arc::new(AtomicU64::new(0));
+    let sched: Scheduler<D> = Scheduler::with_capacity(workers, 1 << 14);
+    let l = leaves.clone();
+    let start = Instant::now();
+    sched.run(move |w| spawn_tree(w, depth, l));
+    let elapsed = start.elapsed();
+    assert_eq!(leaves.load(Ordering::SeqCst), 1u64 << depth);
+    elapsed
+}
+
+/// Phase 4 driver: `threads` workers all doing push/pop pairs at the
+/// *right* end — maximal same-end contention, the elimination arrays'
+/// target scenario.
+fn same_end_storm<D: ConcurrentDeque<u64> + Sync>(
+    deque: &D,
+    threads: usize,
+    pairs: u64,
+) -> Duration {
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..pairs {
+                    let _ = deque.push_right(i);
+                    std::hint::black_box(deque.pop_right());
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+fn print_elim_counters<F>(label: &str, elim_stats: F)
+where
+    F: Fn() -> Option<(dcas::StrategyStats, dcas::StrategyStats)>,
+{
+    if let Some((left, right)) = elim_stats() {
+        println!("{}", format_stats(&format!("{label}/elim-left"), &left));
+        println!("{}", format_stats(&format!("{label}/elim-right"), &right));
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("E11_SMOKE").is_some();
+    let repeats: usize = if smoke { 1 } else { 7 };
+    let uncontended_elems: u64 = if smoke { 8_000 } else { 200_000 };
+    let pc_elems: u64 = if smoke { 8_000 } else { 200_000 };
+    let fj_depth: u32 = if smoke { 7 } else { 11 };
+    let fj_workers = 4usize;
+    let elim_pairs: u64 = if smoke { 2_000 } else { 30_000 };
+    let elim_threads = 4usize;
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // ---- Phase 1: uncontended per-element vs batched -------------------
+    // Repeats are interleaved across arms (as in E10) so machine-wide
+    // drift lands on every arm equally and cancels in the medians.
+    {
+        let list: ListDeque<u64, HarrisMcas> = ListDeque::new();
+        let array: ArrayDeque<u64, HarrisMcas> = ArrayDeque::new(64);
+        const KS: [usize; 4] = [1, 2, 4, 8];
+        let mut list_runs: Vec<Vec<Duration>> = vec![Vec::new(); KS.len()];
+        let mut array_runs: Vec<Vec<Duration>> = vec![Vec::new(); KS.len()];
+        for _ in 0..repeats {
+            for (ki, &k) in KS.iter().enumerate() {
+                list_runs[ki].push(uncontended(&list, uncontended_elems, k));
+                array_runs[ki].push(uncontended(&array, uncontended_elems, k));
+            }
+        }
+        for (phase, runs) in
+            [("uncontended/list", list_runs), ("uncontended/array", array_runs)]
+        {
+            let base = median(runs[0].clone()).as_nanos();
+            for (ki, &k) in KS.iter().enumerate() {
+                let nanos = median(runs[ki].clone()).as_nanos();
+                let arm = if k == 1 { "per-element".to_owned() } else { format!("batch-{k}") };
+                results.push(Measurement {
+                    phase,
+                    arm,
+                    threads: 1,
+                    elems: uncontended_elems,
+                    nanos,
+                    speedup: base as f64 / nanos as f64,
+                });
+            }
+        }
+    }
+
+    // ---- Phase 2: producer-consumer, per-element vs batch-8 ------------
+    {
+        let list: ListDeque<u64, HarrisMcas> = ListDeque::new();
+        let array: ArrayDeque<u64, HarrisMcas> = ArrayDeque::new(1 << 10);
+        const KS: [usize; 2] = [1, 8];
+        let mut list_runs: Vec<Vec<Duration>> = vec![Vec::new(); KS.len()];
+        let mut array_runs: Vec<Vec<Duration>> = vec![Vec::new(); KS.len()];
+        for _ in 0..repeats {
+            for (ki, &k) in KS.iter().enumerate() {
+                list_runs[ki].push(producer_consumer(&list, pc_elems, k));
+                array_runs[ki].push(producer_consumer(&array, pc_elems, k));
+            }
+        }
+        for (phase, runs) in [("prod-cons/list", list_runs), ("prod-cons/array", array_runs)] {
+            let base = median(runs[0].clone()).as_nanos();
+            for (ki, &k) in KS.iter().enumerate() {
+                let nanos = median(runs[ki].clone()).as_nanos();
+                let arm = if k == 1 { "per-element".to_owned() } else { format!("batch-{k}") };
+                results.push(Measurement {
+                    phase,
+                    arm,
+                    threads: 2,
+                    elems: pc_elems,
+                    nanos,
+                    speedup: base as f64 / nanos as f64,
+                });
+            }
+        }
+    }
+
+    // ---- Phase 3: fork-join on the steal-half scheduler ----------------
+    {
+        let leaves = 1u64 << fj_depth;
+        let mut abp_runs = Vec::new();
+        let mut list_runs = Vec::new();
+        let mut array_runs = Vec::new();
+        for _ in 0..repeats {
+            abp_runs.push(fork_join::<AbpWorkDeque>(fj_workers, fj_depth));
+            list_runs.push(fork_join::<ListWorkDeque>(fj_workers, fj_depth));
+            array_runs.push(fork_join::<ArrayWorkDeque>(fj_workers, fj_depth));
+        }
+        let base = median(abp_runs.clone()).as_nanos();
+        for (arm, runs) in
+            [("abp-cas", abp_runs), ("list-dcas", list_runs), ("array-dcas", array_runs)]
+        {
+            let nanos = median(runs).as_nanos();
+            results.push(Measurement {
+                phase: "fork-join",
+                arm: arm.to_owned(),
+                threads: fj_workers,
+                elems: leaves,
+                nanos,
+                speedup: base as f64 / nanos as f64,
+            });
+        }
+    }
+
+    // ---- Phase 4: same-end storm, elimination off vs on ----------------
+    // The elimination arrays are consulted only on *retries*, and on a
+    // single CPU an un-preempted retry loop almost never loses a race —
+    // so, exactly as in the cross-end interference test, the `Yielding`
+    // wrapper forces a scheduler switch around every DCAS to make the
+    // contended interleavings (and thus the elimination traffic) occur
+    // deterministically. Both arms pay the same yielding tax; the
+    // comparison isolates what the elimination arrays buy under it.
+    {
+        let elim = EndConfig { elimination: true, elim_slots: 1, offer_spins: 16 };
+        let array_off: ArrayDeque<u64, Yielding<HarrisMcas>> = ArrayDeque::new(1 << 10);
+        let array_on: ArrayDeque<u64, Yielding<HarrisMcas>> =
+            ArrayDeque::with_end_config(1 << 10, elim);
+        let list_off: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::new();
+        let list_on: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::with_end_config(elim);
+        let elems = elim_pairs * elim_threads as u64;
+        let mut runs: [Vec<Duration>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..repeats {
+            runs[0].push(same_end_storm(&array_off, elim_threads, elim_pairs));
+            runs[1].push(same_end_storm(&array_on, elim_threads, elim_pairs));
+            runs[2].push(same_end_storm(&list_off, elim_threads, elim_pairs));
+            runs[3].push(same_end_storm(&list_on, elim_threads, elim_pairs));
+        }
+        for (deque, base_i, on_i) in [("array", 0usize, 1usize), ("list", 2, 3)] {
+            let base = median(runs[base_i].clone()).as_nanos();
+            for (arm, i) in [("elim-off", base_i), ("elim-on", on_i)] {
+                let nanos = median(runs[i].clone()).as_nanos();
+                results.push(Measurement {
+                    phase: if deque == "array" { "same-end/array" } else { "same-end/list" },
+                    arm: arm.to_owned(),
+                    threads: elim_threads,
+                    elems,
+                    nanos,
+                    speedup: base as f64 / nanos as f64,
+                });
+            }
+        }
+        print_elim_counters("same-end/array", || array_on.elim_stats());
+        print_elim_counters("same-end/list", || list_on.elim_stats());
+    }
+
+    println!();
+    println!("{:<20} {:<12} {:>8} {:>14} {:>12}", "phase", "arm", "threads", "elems/sec", "vs base");
+    for m in &results {
+        println!(
+            "{:<20} {:<12} {:>8} {:>14.0} {:>11.2}x",
+            m.phase,
+            m.arm,
+            m.threads,
+            m.elems_per_sec(),
+            m.speedup,
+        );
+    }
+
+    if smoke {
+        println!("\nE11_SMOKE set: skipping BENCH_e11.json");
+        return;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let rows: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"phase\": \"{}\", \"arm\": \"{}\", \"threads\": {}, \"elems\": {}, \"nanos\": {}, \"elems_per_sec\": {:.0}, \"speedup_vs_baseline\": {:.3}}}",
+                m.phase,
+                m.arm,
+                m.threads,
+                m.elems,
+                m.nanos,
+                m.elems_per_sec(),
+                m.speedup,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_batch_throughput\",\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e11.json");
+    std::fs::write(out, json).expect("write BENCH_e11.json");
+    println!("\nwrote {out}");
+}

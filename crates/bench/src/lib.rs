@@ -210,15 +210,23 @@ pub fn format_stats(label: &str, stats: &StrategyStats) -> String {
         return format!("{label}: (stats feature disabled)");
     }
     format!(
-        "{label}: ops={} dcas={} failed={} helps={} desc_reuse={} desc_alloc={} reuse_rate={}",
+        "{label}: ops={} dcas={} failed={} casn={} casn_failed={} helps={} desc_reuse={} \
+         desc_alloc={} reuse_rate={} elim_hits={} elim_misses={} elim_hit_rate={}",
         stats.ops,
         stats.dcas_ops,
         stats.dcas_failures,
+        stats.casn_ops,
+        stats.casn_failures,
         stats.helps,
         stats.descriptor_reuses,
         stats.descriptor_allocs,
         stats
             .reuse_rate()
+            .map_or_else(|| "n/a".to_owned(), |r| format!("{:.3}", r)),
+        stats.elim_hits,
+        stats.elim_misses,
+        stats
+            .elim_hit_rate()
             .map_or_else(|| "n/a".to_owned(), |r| format!("{:.3}", r)),
     )
 }

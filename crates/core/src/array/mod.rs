@@ -37,11 +37,11 @@
 use std::marker::PhantomData;
 
 use crossbeam_utils::CachePadded;
-use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas};
 
 use crate::reserved::NULL;
 use crate::value::{Boxed, WordValue};
-use crate::{ConcurrentDeque, Full};
+use crate::{ConcurrentDeque, Full, MAX_BATCH};
 
 #[cfg(test)]
 mod tests;
@@ -106,6 +106,11 @@ pub struct RawArrayDeque<V: WordValue, S: DcasStrategy> {
     l: CachePadded<DcasWord>,
     /// The circular array `S[0..length_S-1]`.
     slots: Box<[DcasWord]>,
+    /// Elimination array for the left end (present iff
+    /// [`EndConfig::elimination`] is on).
+    elim_left: Option<EliminationArray>,
+    /// Elimination array for the right end.
+    elim_right: Option<EliminationArray>,
     _marker: PhantomData<fn(V) -> V>,
 }
 
@@ -141,6 +146,21 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
 
     /// Creates a deque with an explicit optimization configuration.
     pub fn with_config(length: usize, config: ArrayConfig) -> Self {
+        Self::with_configs(length, config, EndConfig::default())
+    }
+
+    /// Creates a deque with the default [`ArrayConfig`] and an explicit
+    /// per-end configuration (elimination-array knobs).
+    pub fn with_end_config(length: usize, end: EndConfig) -> Self {
+        Self::with_configs(
+            length,
+            ArrayConfig { revalidate_index: true, strong_failure_check: S::HAS_CHEAP_STRONG },
+            end,
+        )
+    }
+
+    /// Creates a deque with both configurations explicit.
+    pub fn with_configs(length: usize, config: ArrayConfig, end: EndConfig) -> Self {
         assert!(length >= 1, "make_deque requires length_S >= 1");
         assert!(length <= u32::MAX as usize, "deque too large");
         let slots = (0..length).map(|_| DcasWord::new(NULL)).collect();
@@ -151,8 +171,17 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
             r: CachePadded::new(DcasWord::new(enc_idx(1 % length))),
             l: CachePadded::new(DcasWord::new(enc_idx(0))),
             slots,
+            elim_left: end.elimination.then(|| EliminationArray::new(&end)),
+            elim_right: end.elimination.then(|| EliminationArray::new(&end)),
             _marker: PhantomData,
         }
+    }
+
+    /// Per-end elimination-array counter snapshots `(left, right)`, or
+    /// `None` when elimination is off. Non-zero only with the
+    /// `dcas/stats` feature.
+    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
+        Some((self.elim_left.as_ref()?.stats(), self.elim_right.as_ref()?.stats()))
     }
 
     /// Capacity fixed at construction.
@@ -239,6 +268,16 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Some(unsafe { V::decode(old_s) });
                 }
             }
+            // Contended retry: a colliding pushRight may hand its value
+            // over directly (the push and this pop linearize
+            // back-to-back at the exchange instant).
+            if let Some(elim) = &self.elim_right {
+                if let Some(w) = elim.try_take() {
+                    // SAFETY: the eliminated word is an encoded value whose
+                    // ownership the offering pushRight transferred to us.
+                    return Some(unsafe { V::decode(w) });
+                }
+            }
         }
     }
 
@@ -299,6 +338,13 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Ok(());
                 }
             }
+            // Contended retry: hand the value to a colliding popRight if
+            // one is waiting (the pair linearizes at the exchange).
+            if let Some(elim) = &self.elim_right {
+                if elim.offer(val).is_ok() {
+                    return Ok(());
+                }
+            }
         }
     }
 
@@ -353,6 +399,13 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                 ) {
                     // SAFETY: as in `pop_right`.
                     return Some(unsafe { V::decode(old_s) });
+                }
+            }
+            // Contended retry: pair with a colliding pushLeft.
+            if let Some(elim) = &self.elim_left {
+                if let Some(w) = elim.try_take() {
+                    // SAFETY: as in `pop_right`'s elimination arm.
+                    return Some(unsafe { V::decode(w) });
                 }
             }
         }
@@ -410,7 +463,306 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Ok(());
                 }
             }
+            // Contended retry: hand the value to a colliding popLeft.
+            if let Some(elim) = &self.elim_left {
+                if elim.offer(val).is_ok() {
+                    return Ok(());
+                }
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched operations (not in the paper): each chunk of up to
+    // MAX_BATCH elements commits with one CASN over the end index and
+    // the chunk's cells, so the whole chunk appears/vanishes at a single
+    // linearization point. Soundness rests on the ring invariant the
+    // paper's Figure 8 discussion establishes: the free (null) cells
+    // always form one contiguous circular segment [R..L], and the
+    // occupied cells the complementary segment [L+1..R-1].
+    // ------------------------------------------------------------------
+
+    /// Pushes `words.len()` encoded values at the right end in one CASN:
+    /// `[R: r -> r+k]` plus `[S[r+i]: null -> w_i]` for each value.
+    /// Returns `false` when a confirmed-full state proves fewer than `k`
+    /// free cells exist at one instant (nothing is pushed).
+    ///
+    /// If all `k` cells are simultaneously null they are a prefix of the
+    /// free segment starting at `R`, so claiming them preserves
+    /// contiguity; conversely a non-null cell at offset `i` (while `R`
+    /// is unchanged, confirmed by an identity DCAS) proves the free
+    /// segment holds at most `i < k` cells.
+    fn push_chunk_right(&self, words: &[u64]) -> bool {
+        let len = self.slots.len();
+        let k = words.len();
+        debug_assert!(k >= 1 && k <= MAX_BATCH && k <= len);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_r = dec_idx(self.strategy.load(&self.r));
+            let occupied_at = (0..k)
+                .find(|i| self.strategy.load(&self.slots[(old_r + i) % len]) != NULL);
+            match occupied_at {
+                Some(i) => {
+                    // The window is too small; confirm atomically.
+                    let cell = (old_r + i) % len;
+                    let old_s = self.strategy.load(&self.slots[cell]);
+                    if old_s != NULL
+                        && self.strategy.dcas(
+                            &self.r,
+                            &self.slots[cell],
+                            enc_idx(old_r),
+                            old_s,
+                            enc_idx(old_r),
+                            old_s,
+                        )
+                    {
+                        return false; // "full" (for this chunk size)
+                    }
+                }
+                None => {
+                    let new_r = (old_r + k) % len;
+                    let mut entries = Vec::with_capacity(k + 1);
+                    entries.push(CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r)));
+                    for (i, &w) in words.iter().enumerate() {
+                        entries.push(CasnEntry::new(&self.slots[(old_r + i) % len], NULL, w));
+                    }
+                    if self.strategy.casn(&mut entries) {
+                        return true;
+                    }
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Mirror of [`push_chunk_right`](Self::push_chunk_right) for the
+    /// left end: cells `L, L-1, ..., L-k+1` are claimed and `L`
+    /// retreats by `k`.
+    fn push_chunk_left(&self, words: &[u64]) -> bool {
+        let len = self.slots.len();
+        let k = words.len();
+        debug_assert!(k >= 1 && k <= MAX_BATCH && k <= len);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_l = dec_idx(self.strategy.load(&self.l));
+            let occupied_at = (0..k)
+                .find(|i| self.strategy.load(&self.slots[(old_l + len - i) % len]) != NULL);
+            match occupied_at {
+                Some(i) => {
+                    let cell = (old_l + len - i) % len;
+                    let old_s = self.strategy.load(&self.slots[cell]);
+                    if old_s != NULL
+                        && self.strategy.dcas(
+                            &self.l,
+                            &self.slots[cell],
+                            enc_idx(old_l),
+                            old_s,
+                            enc_idx(old_l),
+                            old_s,
+                        )
+                    {
+                        return false;
+                    }
+                }
+                None => {
+                    let new_l = (old_l + len - k) % len;
+                    let mut entries = Vec::with_capacity(k + 1);
+                    entries.push(CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l)));
+                    for (i, &w) in words.iter().enumerate() {
+                        entries
+                            .push(CasnEntry::new(&self.slots[(old_l + len - i) % len], NULL, w));
+                    }
+                    if self.strategy.casn(&mut entries) {
+                        return true;
+                    }
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Pops up to `k` values from the left end in one CASN, returning
+    /// `(popped_words, exhausted)` where `exhausted` reports that the
+    /// deque held fewer than `k` values at the linearization instant.
+    ///
+    /// The CASN advances `L` past the `j` scanned values and nulls their
+    /// cells. When `j < k`, an **identity entry on the terminating null
+    /// cell** is included: at the CASN's instant the occupied segment
+    /// starts at `L+1` and ends before that null cell, certifying
+    /// `|deque| == j` — without it, returning a short batch would not be
+    /// linearizable as `k` pops (the deque might have held more).
+    fn pop_chunk_left(&self, k: usize) -> (Vec<u64>, bool) {
+        let len = self.slots.len();
+        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_l = dec_idx(self.strategy.load(&self.l));
+            let mut vals = Vec::with_capacity(k);
+            for i in 0..k.min(len) {
+                let w = self.strategy.load(&self.slots[(old_l + 1 + i) % len]);
+                if w == NULL {
+                    break;
+                }
+                vals.push(w);
+            }
+            let j = vals.len();
+            if j == 0 {
+                // Possibly empty; confirm exactly as the single pop does.
+                if self.strategy.dcas(
+                    &self.l,
+                    &self.slots[(old_l + 1) % len],
+                    enc_idx(old_l),
+                    NULL,
+                    enc_idx(old_l),
+                    NULL,
+                ) {
+                    return (vals, true);
+                }
+            } else {
+                let new_l = (old_l + j) % len;
+                let mut entries = Vec::with_capacity(j + 2);
+                entries.push(CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l)));
+                for (i, &w) in vals.iter().enumerate() {
+                    entries.push(CasnEntry::new(&self.slots[(old_l + 1 + i) % len], w, NULL));
+                }
+                if j < k && j < len {
+                    entries.push(CasnEntry::new(
+                        &self.slots[(old_l + 1 + j) % len],
+                        NULL,
+                        NULL,
+                    ));
+                }
+                if self.strategy.casn(&mut entries) {
+                    return (vals, j < k);
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Mirror of [`pop_chunk_left`](Self::pop_chunk_left) for the right
+    /// end: scans `R-1, R-2, ...` and retreats `R` by `j`.
+    fn pop_chunk_right(&self, k: usize) -> (Vec<u64>, bool) {
+        let len = self.slots.len();
+        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_r = dec_idx(self.strategy.load(&self.r));
+            let mut vals = Vec::with_capacity(k);
+            for i in 0..k.min(len) {
+                let w = self.strategy.load(&self.slots[(old_r + len - 1 - i) % len]);
+                if w == NULL {
+                    break;
+                }
+                vals.push(w);
+            }
+            let j = vals.len();
+            if j == 0 {
+                if self.strategy.dcas(
+                    &self.r,
+                    &self.slots[(old_r + len - 1) % len],
+                    enc_idx(old_r),
+                    NULL,
+                    enc_idx(old_r),
+                    NULL,
+                ) {
+                    return (vals, true);
+                }
+            } else {
+                let new_r = (old_r + len - j) % len;
+                let mut entries = Vec::with_capacity(j + 2);
+                entries.push(CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r)));
+                for (i, &w) in vals.iter().enumerate() {
+                    entries
+                        .push(CasnEntry::new(&self.slots[(old_r + len - 1 - i) % len], w, NULL));
+                }
+                if j < k && j < len {
+                    entries.push(CasnEntry::new(
+                        &self.slots[(old_r + len - 1 - j) % len],
+                        NULL,
+                        NULL,
+                    ));
+                }
+                if self.strategy.casn(&mut entries) {
+                    return (vals, j < k);
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Pushes all of `vals` at the right end, in order, in atomic chunks
+    /// of up to [`MAX_BATCH`] elements (each chunk one CASN). When the
+    /// deque cannot hold a whole chunk, the unpushed tail is returned in
+    /// `Full`; already-committed chunks stay pushed.
+    pub fn push_right_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
+        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+        let max = MAX_BATCH.min(self.slots.len());
+        let mut next = 0;
+        while next < words.len() {
+            let k = (words.len() - next).min(max);
+            if !self.push_chunk_right(&words[next..next + k]) {
+                // SAFETY: words[next..] were encoded above and never
+                // pushed; we re-take unique ownership.
+                let rest = words[next..].iter().map(|&w| unsafe { V::decode(w) }).collect();
+                return Err(Full(rest));
+            }
+            next += k;
+        }
+        Ok(())
+    }
+
+    /// Pushes all of `vals` at the left end, in order (the last element
+    /// ends up leftmost), in atomic chunks. See
+    /// [`push_right_n`](Self::push_right_n).
+    pub fn push_left_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
+        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+        let max = MAX_BATCH.min(self.slots.len());
+        let mut next = 0;
+        while next < words.len() {
+            let k = (words.len() - next).min(max);
+            if !self.push_chunk_left(&words[next..next + k]) {
+                // SAFETY: as in `push_right_n`.
+                let rest = words[next..].iter().map(|&w| unsafe { V::decode(w) }).collect();
+                return Err(Full(rest));
+            }
+            next += k;
+        }
+        Ok(())
+    }
+
+    /// Pops up to `n` values from the right end, rightmost first, in
+    /// atomic chunks of up to [`MAX_BATCH`]; stops early at a chunk that
+    /// certified the deque exhausted.
+    pub fn pop_right_n(&self, n: usize) -> Vec<V> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let k = (n - out.len()).min(MAX_BATCH);
+            let (words, exhausted) = self.pop_chunk_right(k);
+            // SAFETY: each word was moved out of its cell by our CASN; we
+            // are its unique owner.
+            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
+            if exhausted {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Pops up to `n` values from the left end, leftmost first, in
+    /// atomic chunks. See [`pop_right_n`](Self::pop_right_n).
+    pub fn pop_left_n(&self, n: usize) -> Vec<V> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let k = (n - out.len()).min(MAX_BATCH);
+            let (words, exhausted) = self.pop_chunk_left(k);
+            // SAFETY: as in `pop_right_n`.
+            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
+            if exhausted {
+                break;
+            }
+        }
+        out
     }
 
     /// Snapshot of `(L, R, occupancy)` for diagnostics and the
@@ -472,6 +824,18 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
         ArrayDeque { raw: RawArrayDeque::with_config(length, config) }
     }
 
+    /// Creates a deque with an explicit per-end configuration (the
+    /// elimination-array knobs; see [`EndConfig`]).
+    pub fn with_end_config(length: usize, end: EndConfig) -> Self {
+        ArrayDeque { raw: RawArrayDeque::with_end_config(length, end) }
+    }
+
+    /// Per-end elimination counter snapshots `(left, right)`; `None` when
+    /// elimination is off (see [`RawArrayDeque::elim_stats`]).
+    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
+        self.raw.elim_stats()
+    }
+
     /// Capacity fixed at construction.
     pub fn capacity(&self) -> usize {
         self.raw.capacity()
@@ -501,6 +865,34 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
         self.raw.pop_left().map(Boxed::into_inner)
     }
 
+    /// Pushes all of `vals` at the right end in atomic chunks of up to
+    /// [`MAX_BATCH`] elements (see [`RawArrayDeque::push_right_n`]).
+    pub fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        self.raw
+            .push_right_n(vals.into_iter().map(Boxed::new).collect())
+            .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
+    }
+
+    /// Pushes all of `vals` at the left end in atomic chunks (the last
+    /// element ends up leftmost).
+    pub fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        self.raw
+            .push_left_n(vals.into_iter().map(Boxed::new).collect())
+            .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
+    }
+
+    /// Pops up to `n` values from the right end, rightmost first, in
+    /// atomic chunks.
+    pub fn pop_right_n(&self, n: usize) -> Vec<T> {
+        self.raw.pop_right_n(n).into_iter().map(Boxed::into_inner).collect()
+    }
+
+    /// Pops up to `n` values from the left end, leftmost first, in atomic
+    /// chunks.
+    pub fn pop_left_n(&self, n: usize) -> Vec<T> {
+        self.raw.pop_left_n(n).into_iter().map(Boxed::into_inner).collect()
+    }
+
     /// Quiescent layout snapshot (see [`RawArrayDeque::layout`]).
     pub fn layout(&self) -> ArrayLayout {
         self.raw.layout()
@@ -522,6 +914,22 @@ impl<T: Send, S: DcasStrategy> ConcurrentDeque<T> for ArrayDeque<T, S> {
 
     fn pop_left(&self) -> Option<T> {
         ArrayDeque::pop_left(self)
+    }
+
+    fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        ArrayDeque::push_right_n(self, vals)
+    }
+
+    fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        ArrayDeque::push_left_n(self, vals)
+    }
+
+    fn pop_right_n(&self, n: usize) -> Vec<T> {
+        ArrayDeque::pop_right_n(self, n)
+    }
+
+    fn pop_left_n(&self, n: usize) -> Vec<T> {
+        ArrayDeque::pop_left_n(self, n)
     }
 
     fn impl_name(&self) -> &'static str {

@@ -3,7 +3,7 @@
 use dcas::{Counting, DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
 
 use super::{ArrayConfig, ArrayDeque, RawArrayDeque};
-use crate::Full;
+use crate::{Full, MAX_BATCH};
 
 fn configs() -> Vec<ArrayConfig> {
     vec![
@@ -427,4 +427,301 @@ mod properties {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Batched operations.
+// ---------------------------------------------------------------------
+
+fn for_all_strategies_batch(f: impl Fn(&dyn Fn(usize) -> BatchArray)) {
+    fn mk<S: DcasStrategy + 'static>() -> impl Fn(usize) -> BatchArray {
+        |n| Box::new(RawArrayDeque::<u32, S>::new(n))
+    }
+    f(&mk::<GlobalLock>());
+    f(&mk::<GlobalSeqLock>());
+    f(&mk::<StripedLock>());
+    f(&mk::<HarrisMcas>());
+}
+
+type BatchArray = Box<dyn DynBatchDeque>;
+
+/// Object-safe facade over the batched API.
+trait DynBatchDeque: Send + Sync {
+    fn push_right_n(&self, vals: Vec<u32>) -> Result<(), Vec<u32>>;
+    fn push_left_n(&self, vals: Vec<u32>) -> Result<(), Vec<u32>>;
+    fn pop_right_n(&self, n: usize) -> Vec<u32>;
+    fn pop_left_n(&self, n: usize) -> Vec<u32>;
+    fn push_right1(&self, v: u32) -> Result<(), u32>;
+    fn pop_left1(&self) -> Option<u32>;
+}
+
+impl<S: DcasStrategy> DynBatchDeque for RawArrayDeque<u32, S> {
+    fn push_right_n(&self, vals: Vec<u32>) -> Result<(), Vec<u32>> {
+        RawArrayDeque::push_right_n(self, vals).map_err(|Full(r)| r)
+    }
+    fn push_left_n(&self, vals: Vec<u32>) -> Result<(), Vec<u32>> {
+        RawArrayDeque::push_left_n(self, vals).map_err(|Full(r)| r)
+    }
+    fn pop_right_n(&self, n: usize) -> Vec<u32> {
+        RawArrayDeque::pop_right_n(self, n)
+    }
+    fn pop_left_n(&self, n: usize) -> Vec<u32> {
+        RawArrayDeque::pop_left_n(self, n)
+    }
+    fn push_right1(&self, v: u32) -> Result<(), u32> {
+        RawArrayDeque::push_right(self, v).map_err(|Full(v)| v)
+    }
+    fn pop_left1(&self) -> Option<u32> {
+        RawArrayDeque::pop_left(self)
+    }
+}
+
+#[test]
+fn batch_order_matches_repeated_singles() {
+    // push_right_n([1,2,3]) == three pushRights => <1,2,3>;
+    // push_left_n([4,5]) == two pushLefts => <5,4,1,2,3>.
+    for_all_strategies_batch(|mk| {
+        let d = mk(16);
+        d.push_right_n(vec![1, 2, 3]).unwrap();
+        d.push_left_n(vec![4, 5]).unwrap();
+        assert_eq!(d.pop_left_n(2), vec![5, 4]);
+        assert_eq!(d.pop_right_n(2), vec![3, 2]);
+        // Short pop returns what's there.
+        assert_eq!(d.pop_left_n(9), vec![1]);
+        assert_eq!(d.pop_left_n(4), Vec::<u32>::new());
+    });
+}
+
+#[test]
+fn batch_spans_multiple_chunks() {
+    for_all_strategies_batch(|mk| {
+        let d = mk(64);
+        let vals: Vec<u32> = (1..=30).collect();
+        d.push_right_n(vals.clone()).unwrap();
+        assert_eq!(d.pop_left_n(64), vals);
+        d.push_left_n(vals.clone()).unwrap();
+        let mut rev = vals.clone();
+        rev.reverse();
+        assert_eq!(d.pop_left_n(64), rev);
+    });
+}
+
+#[test]
+fn batch_full_hands_back_the_tail() {
+    for_all_strategies_batch(|mk| {
+        // Capacity 6: the ring holds at most 6 values.
+        let d = mk(6);
+        let res = d.push_right_n((1..=10).collect());
+        let rest = res.unwrap_err();
+        // Whatever was not pushed comes back, in order, and what was
+        // pushed is still there, in order.
+        let pushed = d.pop_left_n(10);
+        let mut all = pushed.clone();
+        all.extend(&rest);
+        assert_eq!(all, (1..=10).collect::<Vec<u32>>());
+        assert!(pushed.len() <= 6);
+    });
+}
+
+#[test]
+fn batch_on_capacity_one_deque() {
+    for_all_strategies_batch(|mk| {
+        let d = mk(1);
+        let rest = d.push_right_n(vec![1, 2, 3]).unwrap_err();
+        assert_eq!(rest, vec![2, 3]);
+        assert_eq!(d.pop_right_n(3), vec![1]);
+        assert_eq!(d.pop_left_n(1), Vec::<u32>::new());
+    });
+}
+
+#[test]
+fn batch_matches_vecdeque_model() {
+    use std::collections::VecDeque;
+    for_all_strategies_batch(|mk| {
+        let d = mk(32);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut x = 0xB00Fu64;
+        let mut nextv = 1u32;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = 1 + (x >> 18) as usize % 11;
+            match (x >> 60) % 4 {
+                0 => {
+                    let vals: Vec<u32> = (nextv..nextv + k as u32).collect();
+                    nextv += k as u32;
+                    match d.push_right_n(vals.clone()) {
+                        Ok(()) => model.extend(&vals),
+                        Err(rest) => {
+                            let pushed = vals.len() - rest.len();
+                            model.extend(&vals[..pushed]);
+                            assert_eq!(rest, vals[pushed..]);
+                        }
+                    }
+                }
+                1 => {
+                    let vals: Vec<u32> = (nextv..nextv + k as u32).collect();
+                    nextv += k as u32;
+                    match d.push_left_n(vals.clone()) {
+                        Ok(()) => vals.iter().for_each(|&v| model.push_front(v)),
+                        Err(rest) => {
+                            let pushed = vals.len() - rest.len();
+                            vals[..pushed].iter().for_each(|&v| model.push_front(v));
+                            assert_eq!(rest, vals[pushed..]);
+                        }
+                    }
+                }
+                2 => {
+                    let got = d.pop_right_n(k);
+                    let want: Vec<u32> =
+                        (0..k).filter_map(|_| model.pop_back()).collect();
+                    assert_eq!(got, want);
+                }
+                _ => {
+                    let got = d.pop_left_n(k);
+                    let want: Vec<u32> =
+                        (0..k).filter_map(|_| model.pop_front()).collect();
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn batch_concurrent_conservation() {
+    // Unique values flow through batched pushes and pops from many
+    // threads; every value must come out exactly once.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    for_all_strategies_batch(|mk| {
+        let d = mk(64);
+        let popped = Mutex::new(Vec::<u32>::new());
+        let produced = AtomicU64::new(0);
+        const PER: u32 = 3_000;
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let d = &d;
+                let produced = &produced;
+                s.spawn(move || {
+                    let mut v = t * PER + 1;
+                    let end = (t + 1) * PER;
+                    let mut k = 1usize;
+                    while v <= end {
+                        let hi = (v + k as u32 - 1).min(end);
+                        let mut batch: Vec<u32> = (v..=hi).collect();
+                        loop {
+                            match if t == 0 {
+                                d.push_right_n(batch)
+                            } else {
+                                d.push_left_n(batch)
+                            } {
+                                Ok(()) => break,
+                                Err(rest) => {
+                                    batch = rest;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        produced.fetch_add((hi - v + 1) as u64, Ordering::Relaxed);
+                        v = hi + 1;
+                        k = k % 9 + 1;
+                    }
+                });
+            }
+            for t in 0..2u32 {
+                let d = &d;
+                let popped = &popped;
+                let produced = &produced;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut k = 1usize;
+                    loop {
+                        let vals = if t == 0 { d.pop_left_n(k) } else { d.pop_right_n(k) };
+                        let drained = vals.is_empty();
+                        got.extend(vals);
+                        k = k % 9 + 1;
+                        if drained && produced.load(Ordering::Relaxed) == 2 * PER as u64 {
+                            // All pushes have committed; one final sweep of
+                            // both ends (keeping anything found) confirms
+                            // emptiness at a single linearization point.
+                            let l = d.pop_left_n(MAX_BATCH);
+                            let r = d.pop_right_n(MAX_BATCH);
+                            let done = l.is_empty() && r.is_empty();
+                            got.extend(l);
+                            got.extend(r);
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all.len(), 2 * PER as usize, "values lost or duplicated");
+        all.dedup();
+        assert_eq!(all.len(), 2 * PER as usize, "duplicate values popped");
+    });
+}
+
+#[test]
+fn elimination_deque_conserves_under_push_pop_races() {
+    use dcas::EndConfig;
+    use std::sync::Mutex;
+    // Same-end push/pop races with elimination enabled: every pushed
+    // value is popped exactly once, whether through the deque or through
+    // an elimination exchange.
+    let d = RawArrayDeque::<u32, HarrisMcas>::with_end_config(
+        8,
+        EndConfig { elimination: true, elim_slots: 2, offer_spins: 64 },
+    );
+    let popped = Mutex::new(Vec::<u32>::new());
+    const PER: u32 = 20_000;
+    std::thread::scope(|s| {
+        for t in 0..2u32 {
+            let d = &d;
+            s.spawn(move || {
+                for v in (t * PER + 1)..=(t + 1) * PER {
+                    let mut v = v;
+                    loop {
+                        match RawArrayDeque::push_right(d, v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let d = &d;
+            let popped = &popped;
+            s.spawn(move || {
+                let mut got = Vec::new();
+                let mut idle = 0;
+                while idle < 10_000 {
+                    match RawArrayDeque::pop_right(d) {
+                        Some(v) => {
+                            got.push(v);
+                            idle = 0;
+                        }
+                        None => idle += 1,
+                    }
+                }
+                popped.lock().unwrap().extend(got);
+            });
+        }
+    });
+    let mut rest = d.pop_left_n(16);
+    let mut all = popped.into_inner().unwrap();
+    all.append(&mut rest);
+    all.sort_unstable();
+    let before = all.len();
+    all.dedup();
+    assert_eq!(all.len(), before, "duplicate values popped");
+    assert_eq!(all.len(), 2 * PER as usize, "values lost");
 }

@@ -72,8 +72,21 @@ pub use value::{Boxed, WordValue};
 
 // Strategy-level tuning and observability, re-exported so deque users can
 // configure the default lock-free DCAS emulation without depending on the
-// `dcas` crate directly.
-pub use dcas::{HarrisMcas, McasConfig, StrategyStats};
+// `dcas` crate directly. `EndConfig` gates the per-end elimination arrays
+// consulted by the deque retry loops (off by default).
+pub use dcas::{EndConfig, HarrisMcas, McasConfig, StrategyStats};
+
+/// Maximum number of elements a batched deque operation moves in **one**
+/// atomic transition.
+///
+/// The batched operations ([`ConcurrentDeque::push_right_n`] and friends)
+/// accept any number of elements but split them into chunks of at most
+/// this many; each chunk commits with a single CASN built from the
+/// [`dcas`] substrate, so the chunk's elements appear (or vanish)
+/// together at one linearization point. The bound is set by
+/// [`dcas::MAX_CASN_WORDS`]: the widest chunk CASN (a batched list pop)
+/// needs `k + 3` words.
+pub const MAX_BATCH: usize = 8;
 
 /// The word constants the paper's algorithms distinguish from user values.
 pub mod reserved {
@@ -126,4 +139,72 @@ pub trait ConcurrentDeque<T>: Send + Sync {
     fn pop_left(&self) -> Option<T>;
     /// Short implementation name for reporting.
     fn impl_name(&self) -> &'static str;
+
+    /// Pushes every value of `vals` at the right end, in order — as if by
+    /// repeated [`push_right`](Self::push_right) calls. On a full bounded
+    /// deque the unpushed tail is handed back in `Full`.
+    ///
+    /// The default implementation is a per-element loop and therefore
+    /// **not** atomic: concurrent operations may interleave between
+    /// elements. The paper deques override it with chunk-atomic batches
+    /// of up to [`MAX_BATCH`] elements per transition.
+    fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        let mut it = vals.into_iter();
+        while let Some(v) = it.next() {
+            if let Err(Full(v)) = self.push_right(v) {
+                let mut rest = vec![v];
+                rest.extend(it);
+                return Err(Full(rest));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes every value of `vals` at the left end, in order — as if by
+    /// repeated [`push_left`](Self::push_left) calls (so the **last**
+    /// element of `vals` ends up leftmost). Same atomicity caveats and
+    /// overrides as [`push_right_n`](Self::push_right_n).
+    fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        let mut it = vals.into_iter();
+        while let Some(v) = it.next() {
+            if let Err(Full(v)) = self.push_left(v) {
+                let mut rest = vec![v];
+                rest.extend(it);
+                return Err(Full(rest));
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes up to `n` values from the right end, rightmost first — as
+    /// if by repeated [`pop_right`](Self::pop_right) calls, stopping early
+    /// when the deque is observed empty.
+    ///
+    /// The default implementation is a per-element loop; the paper deques
+    /// override it with chunk-atomic batches.
+    fn pop_right_n(&self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.pop_right() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Removes up to `n` values from the left end, leftmost first — as if
+    /// by repeated [`pop_left`](Self::pop_left) calls, stopping early when
+    /// the deque is observed empty. Same atomicity caveats and overrides
+    /// as [`pop_right_n`](Self::pop_right_n).
+    fn pop_left_n(&self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.pop_left() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
 }

@@ -47,11 +47,11 @@ use std::marker::PhantomData;
 
 use crossbeam_epoch::{self as epoch, Guard};
 use crossbeam_utils::CachePadded;
-use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas};
 
 use crate::reserved::{NULL, SENTL, SENTR};
 use crate::value::{Boxed, WordValue};
-use crate::{ConcurrentDeque, Full};
+use crate::{ConcurrentDeque, Full, MAX_BATCH};
 
 #[cfg(test)]
 mod tests;
@@ -137,6 +137,11 @@ pub struct RawListDeque<V: WordValue, S: DcasStrategy> {
     sl: Box<CachePadded<Node>>,
     /// Right sentinel (`SR`).
     sr: Box<CachePadded<Node>>,
+    /// Elimination array for the left end (present iff
+    /// [`EndConfig::elimination`] is on).
+    elim_left: Option<EliminationArray>,
+    /// Elimination array for the right end.
+    elim_right: Option<EliminationArray>,
     _marker: PhantomData<fn(V) -> V>,
 }
 
@@ -157,6 +162,12 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// Creates an empty deque (the paper's `make_deque` without a length:
     /// unbounded).
     pub fn new() -> Self {
+        Self::with_end_config(EndConfig::default())
+    }
+
+    /// Creates an empty deque with an explicit per-end configuration
+    /// (elimination-array knobs).
+    pub fn with_end_config(end: EndConfig) -> Self {
         let sl = Box::new(CachePadded::new(Node::new_blank()));
         let sr = Box::new(CachePadded::new(Node::new_blank()));
         let slp: *const Node = &**sl as *const Node;
@@ -167,7 +178,21 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         sr.value.init_store(SENTR);
         sl.r.init_store(pack(srp, false));
         sr.l.init_store(pack(slp, false));
-        RawListDeque { strategy: S::default(), sl, sr, _marker: PhantomData }
+        RawListDeque {
+            strategy: S::default(),
+            sl,
+            sr,
+            elim_left: end.elimination.then(|| EliminationArray::new(&end)),
+            elim_right: end.elimination.then(|| EliminationArray::new(&end)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Per-end elimination-array counter snapshots `(left, right)`, or
+    /// `None` when elimination is off. Non-zero only with the
+    /// `dcas/stats` feature.
+    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
+        Some((self.elim_left.as_ref()?.stats(), self.elim_right.as_ref()?.stats()))
     }
 
     #[inline]
@@ -249,6 +274,16 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     // out of the node; we are its unique owner.
                     return Some(unsafe { V::decode(v) });
                 }
+                // Contended retry: a colliding pushRight may hand its
+                // value over directly (the pair linearizes back-to-back
+                // at the exchange instant).
+                if let Some(elim) = &self.elim_right {
+                    if let Some(w) = elim.try_take() {
+                        // SAFETY: ownership of the encoded value was
+                        // transferred by the offering pushRight.
+                        return Some(unsafe { V::decode(w) });
+                    }
+                }
             }
         }
     }
@@ -292,6 +327,15 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 ) {
                     return Ok(()); // "okay"
                 }
+                // Contended retry: hand the value to a colliding popRight
+                // if one is waiting; the unpublished node is ours to free.
+                if let Some(elim) = &self.elim_right {
+                    if elim.offer(val).is_ok() {
+                        // SAFETY: `node` was never published.
+                        drop(unsafe { Box::from_raw(node) });
+                        return Ok(());
+                    }
+                }
             }
         }
     }
@@ -314,7 +358,10 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 // sentinel); splice out the null node by pointing SR and
                 // that neighbor at each other (Figure 15).
                 let old_llr = self.strategy.load(unsafe { &(*old_ll).r }); // line 7
-                if olp == ptr_of(old_llr) {
+                // A deleted bit on a neighbor's R pointer is a batch-pop
+                // tombstone: `old_ll` is retired, so the splice below must
+                // not resurrect it (re-read and take the other path).
+                if olp == ptr_of(old_llr) && !deleted_of(old_llr) {
                     // lines 8-13
                     let new_r = pack(self.srp(), false);
                     if self.strategy.dcas(
@@ -398,6 +445,13 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     // SAFETY: unique ownership via successful DCAS.
                     return Some(unsafe { V::decode(v) });
                 }
+                // Contended retry: pair with a colliding pushLeft.
+                if let Some(elim) = &self.elim_left {
+                    if let Some(w) = elim.try_take() {
+                        // SAFETY: as in `pop_right`'s elimination arm.
+                        return Some(unsafe { V::decode(w) });
+                    }
+                }
             }
         }
     }
@@ -432,6 +486,14 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 ) {
                     return Ok(());
                 }
+                // Contended retry: hand the value to a colliding popLeft.
+                if let Some(elim) = &self.elim_left {
+                    if elim.offer(val).is_ok() {
+                        // SAFETY: `node` was never published.
+                        drop(unsafe { Box::from_raw(node) });
+                        return Ok(());
+                    }
+                }
             }
         }
     }
@@ -449,7 +511,9 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             let v = self.strategy.load(unsafe { &(*old_rr).value }); // line 6
             if v != NULL {
                 let old_rrl = self.strategy.load(unsafe { &(*old_rr).l }); // line 7
-                if orp == ptr_of(old_rrl) {
+                // Deleted bit here = batch-pop tombstone on a retired
+                // node's L pointer; see `delete_right`.
+                if orp == ptr_of(old_rrl) && !deleted_of(old_rrl) {
                     // lines 8-14
                     let new_l = pack(self.slp(), false);
                     if self.strategy.dcas(
@@ -490,6 +554,344 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched operations (not in the paper). Pushes build a private
+    // chain of nodes and splice it with the same single DCAS the
+    // one-node push uses — batching is free on the push side. Pops
+    // combine the logical and physical deletion of up to MAX_BATCH
+    // leftmost/rightmost nodes into one CASN that validates the chain
+    // and nulls every popped value at a single linearization point.
+    // ------------------------------------------------------------------
+
+    /// Pushes all of `vals` at the right end in **one** DCAS, in order
+    /// (the last element ends up rightmost). Builds the private chain
+    /// `m_1 .. m_k` off-list, then splices it exactly like the one-node
+    /// push of Figure 13: `DCAS(SR->L, m_left_neighbor->R)`.
+    pub fn push_right_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
+        if vals.is_empty() {
+            return Ok(());
+        }
+        let guard = epoch::pin();
+        let nodes: Vec<*mut Node> =
+            (0..vals.len()).map(|_| Box::into_raw(Box::new(Node::new_blank()))).collect();
+        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+        // SAFETY: the chain is unpublished; we have exclusive access.
+        unsafe {
+            for (i, (&n, &w)) in nodes.iter().zip(&words).enumerate() {
+                (*n).value.init_store(w);
+                if i + 1 < nodes.len() {
+                    (*n).r.init_store(pack(nodes[i + 1], false));
+                } else {
+                    (*n).r.init_store(pack(self.srp(), false));
+                }
+                if i > 0 {
+                    (*n).l.init_store(pack(nodes[i - 1], false));
+                }
+            }
+        }
+        let first = nodes[0];
+        let last = *nodes.last().unwrap();
+        let mut backoff = Backoff::new();
+        loop {
+            let old_l = self.strategy.load(&self.sr.l);
+            if deleted_of(old_l) {
+                self.delete_right(&guard);
+            } else {
+                let olp = ptr_of(old_l);
+                // SAFETY: `first` is still unpublished.
+                unsafe { (*first).l.init_store(old_l) };
+                let old_lr = pack(self.srp(), false);
+                // SAFETY: `olp` reachable above, pinned.
+                if self.strategy.dcas(
+                    &self.sr.l,
+                    unsafe { &(*olp).r },
+                    old_l,
+                    old_lr,
+                    pack(last, false),
+                    pack(first, false),
+                ) {
+                    return Ok(());
+                }
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Pushes all of `vals` at the left end in **one** DCAS, in order
+    /// (the last element ends up leftmost). Mirror of
+    /// [`push_right_n`](Self::push_right_n).
+    pub fn push_left_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
+        if vals.is_empty() {
+            return Ok(());
+        }
+        let guard = epoch::pin();
+        let nodes: Vec<*mut Node> =
+            (0..vals.len()).map(|_| Box::into_raw(Box::new(Node::new_blank()))).collect();
+        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+        // Chain left-to-right holds the values in reverse push order, so
+        // that the sequence behaves like repeated pushLeft calls.
+        // SAFETY: the chain is unpublished.
+        unsafe {
+            for (i, &n) in nodes.iter().enumerate() {
+                (*n).value.init_store(words[nodes.len() - 1 - i]);
+                if i + 1 < nodes.len() {
+                    (*n).r.init_store(pack(nodes[i + 1], false));
+                }
+                if i > 0 {
+                    (*n).l.init_store(pack(nodes[i - 1], false));
+                } else {
+                    (*n).l.init_store(pack(self.slp(), false));
+                }
+            }
+        }
+        let first = nodes[0];
+        let last = *nodes.last().unwrap();
+        let mut backoff = Backoff::new();
+        loop {
+            let old_r = self.strategy.load(&self.sl.r);
+            if deleted_of(old_r) {
+                self.delete_left(&guard);
+            } else {
+                let orp = ptr_of(old_r);
+                // SAFETY: `last` is still unpublished.
+                unsafe { (*last).r.init_store(old_r) };
+                let old_rl = pack(self.slp(), false);
+                // SAFETY: `orp` reachable above, pinned.
+                if self.strategy.dcas(
+                    &self.sl.r,
+                    unsafe { &(*orp).l },
+                    old_r,
+                    old_rl,
+                    pack(first, false),
+                    pack(last, false),
+                ) {
+                    return Ok(());
+                }
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Pops up to `k` leftmost values in one CASN, returning
+    /// `(popped_words, exhausted)`. The CASN covers:
+    ///
+    /// * `SL->R`: swung directly past the `j` victims to their right
+    ///   neighbor `n_{j+1}` (logical + physical deletion fused);
+    /// * each victim's value word, swapped to null — without these a
+    ///   concurrent pop could return the same value twice;
+    /// * `n_j->R`, **tombstoned** (deleted bit set, pointer kept). This
+    ///   both validates that nothing was spliced in or out beyond `n_j`
+    ///   between our scan and the CASN, and — crucially — *changes* the
+    ///   word: a concurrent `delete_right` that captured
+    ///   `(SR->L, n_j->R)` as its DCAS expectations before our CASN
+    ///   would otherwise still succeed afterwards and re-link the
+    ///   retired `n_j` into `SR->L` (the delete helpers reject
+    ///   tombstoned neighbor pointers for the same reason);
+    /// * `n_{j+1}->L`, redirected to `SL`.
+    ///
+    /// Success with `j < k` certifies the deque held exactly `j` values
+    /// at the linearization instant (the chain `SL -> n_1 .. n_j ->
+    /// n_{j+1}` with `n_{j+1}` the sentinel or a logically-deleted null
+    /// node is pinned by the entries plus the fact that a value word
+    /// never leaves null once set).
+    fn pop_left_chunk(&self, k: usize, guard: &Guard) -> (Vec<u64>, bool) {
+        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_r = self.strategy.load(&self.sl.r);
+            if deleted_of(old_r) {
+                self.delete_left(guard);
+                continue;
+            }
+            let orp = ptr_of(old_r);
+            // SAFETY (this and subsequent derefs): nodes reached from a
+            // sentinel while pinned are not freed; stale pointers of
+            // retired-but-pinned nodes stay dereferenceable.
+            let v1 = self.strategy.load(unsafe { &(*orp).value });
+            if v1 == SENTR {
+                return (Vec::new(), true); // empty at the SL->R read
+            }
+            if v1 == NULL {
+                // Deleted from the right side; empty if nothing changed —
+                // confirm exactly as the single pop does.
+                if self.strategy.dcas(
+                    &self.sl.r,
+                    unsafe { &(*orp).value },
+                    old_r,
+                    NULL,
+                    old_r,
+                    NULL,
+                ) {
+                    return (Vec::new(), true);
+                }
+                backoff.snooze();
+                continue;
+            }
+            // Collect up to k live nodes left-to-right; `next` ends as
+            // n_{j+1} (SR, a null node, or the first node past the batch).
+            let mut nodes: Vec<*const Node> = vec![orp];
+            let mut vals: Vec<u64> = vec![v1];
+            let mut next = ptr_of(self.strategy.load(unsafe { &(*orp).r }));
+            while vals.len() < k {
+                let v = self.strategy.load(unsafe { &(*next).value });
+                if v == SENTR || v == NULL {
+                    break;
+                }
+                nodes.push(next);
+                vals.push(v);
+                next = ptr_of(self.strategy.load(unsafe { &(*next).r }));
+            }
+            // A stale traversal can in principle walk retired pointers;
+            // duplicate words in a CASN are invalid, so reject and retry.
+            if nodes.contains(&next)
+                || (1..nodes.len()).any(|i| nodes[..i].contains(&nodes[i]))
+            {
+                backoff.snooze();
+                continue;
+            }
+            let j = vals.len();
+            let n_j = nodes[j - 1];
+            let mut entries = Vec::with_capacity(j + 3);
+            entries.push(CasnEntry::new(&self.sl.r, old_r, pack(next, false)));
+            // SAFETY: `n_j` and `next` were reachable during the scan.
+            entries.push(CasnEntry::new(
+                unsafe { &(*n_j).r },
+                pack(next, false),
+                pack(next, true), // tombstone (see doc comment)
+            ));
+            entries.push(CasnEntry::new(
+                unsafe { &(*next).l },
+                pack(n_j, false),
+                pack(self.slp(), false),
+            ));
+            for (&n, &v) in nodes.iter().zip(&vals) {
+                entries.push(CasnEntry::new(unsafe { &(*n).value }, v, NULL));
+            }
+            if self.strategy.casn(&mut entries) {
+                for &n in &nodes {
+                    // SAFETY: our CASN unlinked the chain `n_1..n_j`.
+                    unsafe { self.retire(n, guard) };
+                }
+                return (vals, j < k);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Mirror of [`pop_left_chunk`](Self::pop_left_chunk) for the right
+    /// end: walks leftward from `SR->L`, returns rightmost first.
+    fn pop_right_chunk(&self, k: usize, guard: &Guard) -> (Vec<u64>, bool) {
+        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        let mut backoff = Backoff::new();
+        loop {
+            let old_l = self.strategy.load(&self.sr.l);
+            if deleted_of(old_l) {
+                self.delete_right(guard);
+                continue;
+            }
+            let olp = ptr_of(old_l);
+            // SAFETY: as in `pop_left_chunk`.
+            let v1 = self.strategy.load(unsafe { &(*olp).value });
+            if v1 == SENTL {
+                return (Vec::new(), true);
+            }
+            if v1 == NULL {
+                if self.strategy.dcas(
+                    &self.sr.l,
+                    unsafe { &(*olp).value },
+                    old_l,
+                    NULL,
+                    old_l,
+                    NULL,
+                ) {
+                    return (Vec::new(), true);
+                }
+                backoff.snooze();
+                continue;
+            }
+            let mut nodes: Vec<*const Node> = vec![olp];
+            let mut vals: Vec<u64> = vec![v1];
+            let mut next = ptr_of(self.strategy.load(unsafe { &(*olp).l }));
+            while vals.len() < k {
+                let v = self.strategy.load(unsafe { &(*next).value });
+                if v == SENTL || v == NULL {
+                    break;
+                }
+                nodes.push(next);
+                vals.push(v);
+                next = ptr_of(self.strategy.load(unsafe { &(*next).l }));
+            }
+            if nodes.contains(&next)
+                || (1..nodes.len()).any(|i| nodes[..i].contains(&nodes[i]))
+            {
+                backoff.snooze();
+                continue;
+            }
+            let j = vals.len();
+            let n_j = nodes[j - 1];
+            let mut entries = Vec::with_capacity(j + 3);
+            entries.push(CasnEntry::new(&self.sr.l, old_l, pack(next, false)));
+            // SAFETY: `n_j` and `next` were reachable during the scan.
+            entries.push(CasnEntry::new(
+                unsafe { &(*n_j).l },
+                pack(next, false),
+                pack(next, true), // tombstone (see `pop_left_chunk`)
+            ));
+            entries.push(CasnEntry::new(
+                unsafe { &(*next).r },
+                pack(n_j, false),
+                pack(self.srp(), false),
+            ));
+            for (&n, &v) in nodes.iter().zip(&vals) {
+                entries.push(CasnEntry::new(unsafe { &(*n).value }, v, NULL));
+            }
+            if self.strategy.casn(&mut entries) {
+                for &n in &nodes {
+                    // SAFETY: our CASN unlinked the chain.
+                    unsafe { self.retire(n, guard) };
+                }
+                return (vals, j < k);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Pops up to `n` values from the left end, leftmost first, in
+    /// atomic chunks of up to [`MAX_BATCH`]; stops early at a chunk that
+    /// certified the deque exhausted.
+    pub fn pop_left_n(&self, n: usize) -> Vec<V> {
+        let guard = epoch::pin();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let k = (n - out.len()).min(MAX_BATCH);
+            let (words, exhausted) = self.pop_left_chunk(k, &guard);
+            // SAFETY: each word was moved out of its node by our CASN; we
+            // are its unique owner.
+            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
+            if exhausted {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Pops up to `n` values from the right end, rightmost first, in
+    /// atomic chunks. See [`pop_left_n`](Self::pop_left_n).
+    pub fn pop_right_n(&self, n: usize) -> Vec<V> {
+        let guard = epoch::pin();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let k = (n - out.len()).min(MAX_BATCH);
+            let (words, exhausted) = self.pop_right_chunk(k, &guard);
+            // SAFETY: as in `pop_left_n`.
+            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
+            if exhausted {
+                break;
+            }
+        }
+        out
     }
 
     /// Quiescent snapshot of the list structure (see [`ListLayout`]).
@@ -557,6 +959,18 @@ impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
         ListDeque { raw: RawListDeque::new() }
     }
 
+    /// Creates an empty deque with an explicit per-end configuration
+    /// (the elimination-array knobs; see [`EndConfig`]).
+    pub fn with_end_config(end: EndConfig) -> Self {
+        ListDeque { raw: RawListDeque::with_end_config(end) }
+    }
+
+    /// Per-end elimination counter snapshots `(left, right)`; `None` when
+    /// elimination is off (see [`RawListDeque::elim_stats`]).
+    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
+        self.raw.elim_stats()
+    }
+
     /// Appends `v` at the right end. Never fails (the deque is unbounded).
     pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
         self.raw
@@ -581,6 +995,34 @@ impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
         self.raw.pop_left().map(Boxed::into_inner)
     }
 
+    /// Pushes all of `vals` at the right end in **one** DCAS splice (see
+    /// [`RawListDeque::push_right_n`]). Never fails.
+    pub fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        self.raw
+            .push_right_n(vals.into_iter().map(Boxed::new).collect())
+            .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
+    }
+
+    /// Pushes all of `vals` at the left end in **one** DCAS splice (the
+    /// last element ends up leftmost). Never fails.
+    pub fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        self.raw
+            .push_left_n(vals.into_iter().map(Boxed::new).collect())
+            .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
+    }
+
+    /// Pops up to `n` values from the right end, rightmost first, in
+    /// atomic chunks of up to [`MAX_BATCH`].
+    pub fn pop_right_n(&self, n: usize) -> Vec<T> {
+        self.raw.pop_right_n(n).into_iter().map(Boxed::into_inner).collect()
+    }
+
+    /// Pops up to `n` values from the left end, leftmost first, in atomic
+    /// chunks.
+    pub fn pop_left_n(&self, n: usize) -> Vec<T> {
+        self.raw.pop_left_n(n).into_iter().map(Boxed::into_inner).collect()
+    }
+
     /// Quiescent layout snapshot (see [`RawListDeque::layout`]).
     pub fn layout(&self) -> ListLayout {
         self.raw.layout()
@@ -602,6 +1044,22 @@ impl<T: Send, S: DcasStrategy> ConcurrentDeque<T> for ListDeque<T, S> {
 
     fn pop_left(&self) -> Option<T> {
         ListDeque::pop_left(self)
+    }
+
+    fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        ListDeque::push_right_n(self, vals)
+    }
+
+    fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        ListDeque::push_left_n(self, vals)
+    }
+
+    fn pop_right_n(&self, n: usize) -> Vec<T> {
+        ListDeque::pop_right_n(self, n)
+    }
+
+    fn pop_left_n(&self, n: usize) -> Vec<T> {
+        ListDeque::pop_left_n(self, n)
     }
 
     fn impl_name(&self) -> &'static str {

@@ -406,3 +406,250 @@ mod properties {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Batched operations.
+// ---------------------------------------------------------------------
+
+fn for_all_strategies_batch(f: impl Fn(Box<dyn Fn() -> Box<dyn DynBatchDeque>>)) {
+    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
+}
+
+/// Object-safe facade over the batched API (list pushes never fail).
+trait DynBatchDeque: Send + Sync {
+    fn push_right_n(&self, vals: Vec<u32>);
+    fn push_left_n(&self, vals: Vec<u32>);
+    fn pop_right_n(&self, n: usize) -> Vec<u32>;
+    fn pop_left_n(&self, n: usize) -> Vec<u32>;
+    fn pop_right1(&self) -> Option<u32>;
+    fn pop_left1(&self) -> Option<u32>;
+}
+
+impl<S: DcasStrategy> DynBatchDeque for RawListDeque<u32, S> {
+    fn push_right_n(&self, vals: Vec<u32>) {
+        RawListDeque::push_right_n(self, vals).unwrap();
+    }
+    fn push_left_n(&self, vals: Vec<u32>) {
+        RawListDeque::push_left_n(self, vals).unwrap();
+    }
+    fn pop_right_n(&self, n: usize) -> Vec<u32> {
+        RawListDeque::pop_right_n(self, n)
+    }
+    fn pop_left_n(&self, n: usize) -> Vec<u32> {
+        RawListDeque::pop_left_n(self, n)
+    }
+    fn pop_right1(&self) -> Option<u32> {
+        RawListDeque::pop_right(self)
+    }
+    fn pop_left1(&self) -> Option<u32> {
+        RawListDeque::pop_left(self)
+    }
+}
+
+#[test]
+fn batch_order_matches_repeated_singles() {
+    for_all_strategies_batch(|mk| {
+        let d = mk();
+        d.push_right_n(vec![1, 2, 3]); // <1,2,3>
+        d.push_left_n(vec![4, 5]); // <5,4,1,2,3>
+        assert_eq!(d.pop_left_n(2), vec![5, 4]);
+        assert_eq!(d.pop_right_n(2), vec![3, 2]);
+        assert_eq!(d.pop_left_n(9), vec![1]); // short pop
+        assert_eq!(d.pop_left_n(4), Vec::<u32>::new());
+        assert_eq!(d.pop_right_n(4), Vec::<u32>::new());
+    });
+}
+
+#[test]
+fn batch_spans_multiple_chunks() {
+    for_all_strategies_batch(|mk| {
+        let d = mk();
+        let vals: Vec<u32> = (1..=30).collect();
+        d.push_right_n(vals.clone());
+        assert_eq!(d.pop_left_n(64), vals);
+        d.push_left_n(vals.clone());
+        let mut rev = vals.clone();
+        rev.reverse();
+        assert_eq!(d.pop_left_n(64), rev);
+        // Batch pushes interleave correctly with single ops.
+        d.push_right_n(vec![1, 2]);
+        d.push_left_n(vec![3]);
+        assert_eq!(d.pop_right1(), Some(2));
+        assert_eq!(d.pop_left1(), Some(3));
+        assert_eq!(d.pop_right_n(5), vec![1]);
+    });
+}
+
+#[test]
+fn batch_pop_straddles_null_nodes() {
+    // A half-finished single pop (logically deleted, not yet spliced)
+    // never blocks a batch pop: pop_left leaves a null node adjacent to
+    // the sentinel which the chunk walk must step over via delete_left.
+    for_all_strategies_batch(|mk| {
+        let d = mk();
+        d.push_right_n((1..=6).collect());
+        assert_eq!(d.pop_left1(), Some(1));
+        assert_eq!(d.pop_left_n(3), vec![2, 3, 4]);
+        assert_eq!(d.pop_right1(), Some(6));
+        assert_eq!(d.pop_right_n(3), vec![5]);
+    });
+}
+
+#[test]
+fn batch_matches_vecdeque_model() {
+    use std::collections::VecDeque;
+    for_all_strategies_batch(|mk| {
+        let d = mk();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut x = 0xFEEDu64;
+        let mut nextv = 1u32;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = 1 + (x >> 18) as usize % 11;
+            match (x >> 60) % 4 {
+                0 => {
+                    let vals: Vec<u32> = (nextv..nextv + k as u32).collect();
+                    nextv += k as u32;
+                    d.push_right_n(vals.clone());
+                    model.extend(&vals);
+                }
+                1 => {
+                    let vals: Vec<u32> = (nextv..nextv + k as u32).collect();
+                    nextv += k as u32;
+                    d.push_left_n(vals.clone());
+                    vals.iter().for_each(|&v| model.push_front(v));
+                }
+                2 => {
+                    let got = d.pop_right_n(k);
+                    let want: Vec<u32> =
+                        (0..k).filter_map(|_| model.pop_back()).collect();
+                    assert_eq!(got, want);
+                }
+                _ => {
+                    let got = d.pop_left_n(k);
+                    let want: Vec<u32> =
+                        (0..k).filter_map(|_| model.pop_front()).collect();
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn batch_concurrent_conservation() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    for_all_strategies_batch(|mk| {
+        let d = mk();
+        let popped = Mutex::new(Vec::<u32>::new());
+        let produced = AtomicU64::new(0);
+        const PER: u32 = 3_000;
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let d = &d;
+                let produced = &produced;
+                s.spawn(move || {
+                    let mut v = t * PER + 1;
+                    let end = (t + 1) * PER;
+                    let mut k = 1usize;
+                    while v <= end {
+                        let hi = (v + k as u32 - 1).min(end);
+                        let batch: Vec<u32> = (v..=hi).collect();
+                        if t == 0 {
+                            d.push_right_n(batch);
+                        } else {
+                            d.push_left_n(batch);
+                        }
+                        produced.fetch_add((hi - v + 1) as u64, Ordering::Relaxed);
+                        v = hi + 1;
+                        k = k % 9 + 1;
+                    }
+                });
+            }
+            for t in 0..2u32 {
+                let d = &d;
+                let popped = &popped;
+                let produced = &produced;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut k = 1usize;
+                    loop {
+                        let vals = if t == 0 { d.pop_left_n(k) } else { d.pop_right_n(k) };
+                        let drained = vals.is_empty();
+                        got.extend(vals);
+                        k = k % 9 + 1;
+                        if drained && produced.load(Ordering::Relaxed) == 2 * PER as u64 {
+                            let l = d.pop_left_n(crate::MAX_BATCH);
+                            let r = d.pop_right_n(crate::MAX_BATCH);
+                            let done = l.is_empty() && r.is_empty();
+                            got.extend(l);
+                            got.extend(r);
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all.len(), 2 * PER as usize, "values lost or duplicated");
+        all.dedup();
+        assert_eq!(all.len(), 2 * PER as usize, "duplicate values popped");
+    });
+}
+
+#[test]
+fn elimination_deque_conserves_under_push_pop_races() {
+    use dcas::EndConfig;
+    use std::sync::Mutex;
+    let d = RawListDeque::<u32, HarrisMcas>::with_end_config(EndConfig {
+        elimination: true,
+        elim_slots: 2,
+        offer_spins: 64,
+    });
+    let popped = Mutex::new(Vec::<u32>::new());
+    const PER: u32 = 20_000;
+    std::thread::scope(|s| {
+        for t in 0..2u32 {
+            let d = &d;
+            s.spawn(move || {
+                for v in (t * PER + 1)..=(t + 1) * PER {
+                    RawListDeque::push_left(d, v).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let d = &d;
+            let popped = &popped;
+            s.spawn(move || {
+                let mut got = Vec::new();
+                let mut idle = 0;
+                while idle < 10_000 {
+                    match RawListDeque::pop_left(d) {
+                        Some(v) => {
+                            got.push(v);
+                            idle = 0;
+                        }
+                        None => idle += 1,
+                    }
+                }
+                popped.lock().unwrap().extend(got);
+            });
+        }
+    });
+    let mut rest = d.pop_right_n(2 * PER as usize);
+    let mut all = popped.into_inner().unwrap();
+    all.append(&mut rest);
+    all.sort_unstable();
+    let before = all.len();
+    all.dedup();
+    assert_eq!(all.len(), before, "duplicate values popped");
+    assert_eq!(all.len(), 2 * PER as usize, "values lost");
+}

@@ -10,7 +10,7 @@
 //! would hardware DCAS have to be for the DCAS deques to win?* (Bench
 //! `e9_latency_model`.)
 
-use crate::{DcasStrategy, DcasWord};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 /// Wraps `S`, spinning `DCAS_SPIN` iterations around every DCAS and
 /// `LOAD_SPIN` around every load/store. Spin iterations are
@@ -75,6 +75,13 @@ impl<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32> DcasStrategy
     ) -> bool {
         Self::spin(DCAS_SPIN);
         self.inner.dcas_strong(a1, a2, o1, o2, n1, n2)
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        // Scale the modeled latency with the entry count: a hypothetical
+        // hardware CASN would touch one cache line per word.
+        Self::spin(DCAS_SPIN / 2 * entries.len() as u32);
+        self.inner.casn(entries)
     }
 }
 

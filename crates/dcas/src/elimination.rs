@@ -1,0 +1,335 @@
+//! Elimination/backoff arrays: pairing colliding same-end pushes and
+//! pops instead of retrying against a hot word.
+//!
+//! When a `push_x` and a `pop_x` at the **same end** of a deque collide,
+//! retrying both against the end's index word only deepens the
+//! contention. Shavit & Touitou's elimination observation applies
+//! instead: two overlapping operations whose net effect on the deque is
+//! nil can exchange the value directly and both complete — linearized
+//! back-to-back at the instant of the exchange — without touching the
+//! deque at all. The deque retry loops consult an [`EliminationArray`]
+//! per end *after a failed DCAS* (i.e. as backoff), gated by
+//! [`EndConfig`]; with elimination off (the default, seed-compatible
+//! arm) nothing changes.
+//!
+//! Same-end pairing only: `push_right`/`pop_right` overlapping is a legal
+//! adjacent linearization (push then pop returns the pushed value
+//! regardless of the rest of the deque); a cross-end pair is **not**
+//! (`pop_left` must return the leftmost element, which a concurrent
+//! `push_right` supplies only when the deque is empty — unknowable
+//! without consulting it). Each deque therefore owns two arrays, one per
+//! end.
+//!
+//! # Slot protocol
+//!
+//! Each slot is a control word packing `(version << 2) | state` plus a
+//! value word. States: `EMPTY`, `CLAIMED` (a pusher is writing the
+//! value), `OFFER` (value visible, waiting for a taker). **Every**
+//! transition bumps the version, so a slow popper that read an offer
+//! cannot take a *recycled* incarnation of the slot by mistake (the
+//! classic ABA of unversioned exchanger slots):
+//!
+//! ```text
+//! EMPTY(v) --pusher CAS--> CLAIMED(v+1) --write value; publish-->
+//! OFFER(v+2) --taker CAS--> EMPTY(v+3)     (hit: popper owns value)
+//!            --pusher CAS--> EMPTY(v+3)    (miss: offer timed out)
+//! ```
+//!
+//! The value word is written only by the claiming pusher, only while the
+//! slot is `CLAIMED`; a popper that reads the value under `OFFER(v)` and
+//! then CASes the control word from exactly `OFFER(v)` has therefore read
+//! the offered value and owns it exclusively.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::stats::{Counters, StrategyStats};
+
+const STATE_MASK: u64 = 0b11;
+const EMPTY: u64 = 0;
+const CLAIMED: u64 = 1;
+const OFFER: u64 = 2;
+
+#[inline]
+fn next(word: u64, state: u64) -> u64 {
+    // Bump the version (high 62 bits) and set the new state:
+    // `(word | MASK) + 1` is `(ver + 1) << 2` for any current state.
+    (word | STATE_MASK).wrapping_add(1) | state
+}
+
+/// Per-end knobs for the deque retry loops. Lives next to
+/// [`McasConfig`](crate::McasConfig) in spirit: the default is the
+/// seed-compatible arm (no elimination), and benches ablate against
+/// [`EndConfig::eliminating`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndConfig {
+    /// Consult an elimination array in the retry loops. Default `false`
+    /// (seed-compatible: retries spin on the end words alone).
+    pub elimination: bool,
+    /// Slots per end array. More slots reduce pairing probability but
+    /// also pairing contention; a handful suffices for tens of threads.
+    pub elim_slots: usize,
+    /// Wait iterations a pusher spends on its published offer before
+    /// cancelling it (exponential spinning that decays into OS yields,
+    /// so waiting pushers do not starve their prospective partners).
+    pub offer_spins: u32,
+}
+
+impl Default for EndConfig {
+    fn default() -> Self {
+        EndConfig { elimination: false, elim_slots: 4, offer_spins: 256 }
+    }
+}
+
+impl EndConfig {
+    /// Elimination enabled with the default sizing.
+    pub fn eliminating() -> Self {
+        EndConfig { elimination: true, ..EndConfig::default() }
+    }
+}
+
+struct Slot {
+    /// `(version << 2) | state`.
+    control: AtomicU64,
+    value: AtomicU64,
+}
+
+/// One end's elimination array. See the module docs for the protocol.
+pub struct EliminationArray {
+    slots: Box<[CachePadded<Slot>]>,
+    offer_spins: u32,
+    counters: Counters,
+}
+
+thread_local! {
+    /// Per-thread probe cursor so concurrent threads start on different
+    /// slots instead of all piling onto slot 0.
+    static CURSOR: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn probe_index(len: usize) -> usize {
+    let raw = CURSOR.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        // First use: scatter by thread identity (address of the TLS cell
+        // is as good a per-thread nonce as any).
+        v.wrapping_add(c as *const _ as u64 >> 6)
+    });
+    (raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % len
+}
+
+impl EliminationArray {
+    /// Creates an array per `config` (`elim_slots` slots, rounded up to 1).
+    pub fn new(config: &EndConfig) -> Self {
+        let n = config.elim_slots.max(1);
+        EliminationArray {
+            slots: (0..n)
+                .map(|_| {
+                    CachePadded::new(Slot {
+                        control: AtomicU64::new(EMPTY),
+                        value: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            offer_spins: config.offer_spins,
+            counters: Counters::default(),
+        }
+    }
+
+    /// A pusher's elimination attempt: publish `value` as an offer and
+    /// wait briefly for a popper. `Ok(())` means a popper took the value
+    /// — the push is complete. `Err(value)` returns ownership to the
+    /// caller (no partner showed up).
+    pub fn offer(&self, value: u64) -> Result<(), u64> {
+        let slot = &self.slots[probe_index(self.slots.len())];
+        let ctl = slot.control.load(Ordering::SeqCst);
+        if ctl & STATE_MASK != EMPTY {
+            return Err(value);
+        }
+        let claimed = next(ctl, CLAIMED);
+        if slot
+            .control
+            .compare_exchange(ctl, claimed, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(value);
+        }
+        slot.value.store(value, Ordering::SeqCst);
+        let offered = next(claimed, OFFER);
+        slot.control.store(offered, Ordering::SeqCst);
+
+        // Exponential spin first, then OS yields: on a single CPU a pure
+        // spin wait would monopolize the core for the whole window, so no
+        // popper could ever run concurrently and take the offer.
+        let mut backoff = crate::Backoff::new();
+        for _ in 0..self.offer_spins {
+            if slot.control.load(Ordering::SeqCst) != offered {
+                // A popper moved the slot on: the exchange happened.
+                self.counters.inc_elim_hit();
+                return Ok(());
+            }
+            backoff.snooze();
+        }
+
+        // Timed out: withdraw the offer. Losing this CAS means a popper
+        // took the value at the last moment — still a hit.
+        match slot.control.compare_exchange(
+            offered,
+            next(offered, EMPTY),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                self.counters.inc_elim_miss();
+                Err(value)
+            }
+            Err(_) => {
+                self.counters.inc_elim_hit();
+                Ok(())
+            }
+        }
+    }
+
+    /// A popper's elimination attempt: take a pending same-end offer, if
+    /// any. `Some(value)` transfers ownership of the value to the caller.
+    pub fn try_take(&self) -> Option<u64> {
+        let slot = &self.slots[probe_index(self.slots.len())];
+        let ctl = slot.control.load(Ordering::SeqCst);
+        if ctl & STATE_MASK != OFFER {
+            return None;
+        }
+        // Stable while the control word stays `OFFER(ctl)`: only the
+        // claiming pusher writes the value, and only before publishing.
+        let value = slot.value.load(Ordering::SeqCst);
+        slot.control
+            .compare_exchange(ctl, next(ctl, EMPTY), Ordering::SeqCst, Ordering::SeqCst)
+            .ok()
+            .map(|_| value)
+        // Hits are counted by the pusher side (both sides observe every
+        // exchange; counting once keeps hit+miss == offers resolved).
+    }
+
+    /// Snapshot of this array's counters (only the `elim_*` fields are
+    /// populated). All-zero unless the crate is built with the `stats`
+    /// feature.
+    pub fn stats(&self) -> StrategyStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    fn eliminating(slots: usize, spins: u32) -> EliminationArray {
+        EliminationArray::new(&EndConfig {
+            elimination: true,
+            elim_slots: slots,
+            offer_spins: spins,
+        })
+    }
+
+    #[test]
+    fn version_bumps_and_state_packs() {
+        let w0 = EMPTY;
+        let w1 = next(w0, CLAIMED);
+        let w2 = next(w1, OFFER);
+        let w3 = next(w2, EMPTY);
+        assert_eq!(w1 & STATE_MASK, CLAIMED);
+        assert_eq!(w2 & STATE_MASK, OFFER);
+        assert_eq!(w3 & STATE_MASK, EMPTY);
+        // Versions strictly increase, so no control word ever repeats.
+        assert!(w1 >> 2 > w0 >> 2);
+        assert!(w2 >> 2 > w1 >> 2);
+        assert!(w3 >> 2 > w2 >> 2);
+    }
+
+    #[test]
+    fn unpaired_offer_times_out_and_returns_value() {
+        let a = eliminating(1, 8);
+        assert_eq!(a.offer(40), Err(40));
+        // The slot is EMPTY again: a popper finds nothing.
+        assert_eq!(a.try_take(), None);
+    }
+
+    #[test]
+    fn take_without_offer_is_none() {
+        let a = eliminating(4, 8);
+        assert_eq!(a.try_take(), None);
+    }
+
+    #[test]
+    fn concurrent_exchange_conserves_values() {
+        // Pushers offer unique values; poppers take. Every value must be
+        // accounted for exactly once: either exchanged (pusher Ok +
+        // popper got it) or returned to its pusher (Err).
+        let a = Arc::new(eliminating(2, 2_000));
+        let taken: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let kept: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let hits = Arc::new(StdAtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let (a, kept, hits) = (a.clone(), kept.clone(), hits.clone());
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..5_000u64 {
+                        let v = (t * 5_000 + i) * 4 + 4;
+                        match a.offer(v) {
+                            Ok(()) => {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(back) => {
+                                assert_eq!(back, v);
+                                mine.push(v);
+                            }
+                        }
+                    }
+                    kept.lock().unwrap().extend(mine);
+                });
+            }
+            for _ in 0..2 {
+                let (a, taken) = (a.clone(), taken.clone());
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    // Keep taking until the pushers are clearly done.
+                    let mut idle = 0u32;
+                    while idle < 50_000 {
+                        match a.try_take() {
+                            Some(v) => {
+                                mine.push(v);
+                                idle = 0;
+                            }
+                            None => idle += 1,
+                        }
+                    }
+                    taken.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let taken = taken.lock().unwrap();
+        let kept = kept.lock().unwrap();
+        // Exchanged exactly = pusher-side hits, and no value both kept
+        // and taken, none lost, none duplicated.
+        assert_eq!(taken.len() as u64, hits.load(Ordering::Relaxed));
+        let mut all: Vec<u64> = taken.iter().chain(kept.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 10_000, "values lost or duplicated");
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let a = eliminating(1, 4);
+        assert_eq!(a.offer(4), Err(4)); // miss
+        let s = a.stats();
+        assert_eq!(s.elim_misses, 1);
+        assert_eq!(s.elim_hits, 0);
+        assert_eq!(s.elim_hit_rate(), Some(0.0));
+    }
+}

@@ -4,8 +4,8 @@ use std::sync::atomic::Ordering;
 
 use parking_lot::Mutex;
 
-use crate::strategy::validate_args;
-use crate::{DcasStrategy, DcasWord};
+use crate::strategy::{validate_args, validate_casn};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 /// Blocking DCAS emulation that serializes every operation on a single
 /// process-wide mutex.
@@ -91,6 +91,18 @@ impl DcasStrategy for GlobalLock {
             *o2 = v2;
             false
         }
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        validate_casn(entries);
+        let _g = self.lock.lock();
+        if entries.iter().any(|e| e.word.raw_load(Ordering::SeqCst) != e.old) {
+            return false;
+        }
+        for e in entries.iter() {
+            e.word.raw_store(e.new, Ordering::SeqCst);
+        }
+        true
     }
 }
 

@@ -65,6 +65,7 @@
 
 mod backoff;
 mod delayed;
+pub mod elimination;
 mod global_lock;
 mod mcas;
 mod pool;
@@ -77,12 +78,13 @@ mod wrappers;
 
 pub use backoff::Backoff;
 pub use delayed::Delayed;
+pub use elimination::{EliminationArray, EndConfig};
 pub use global_lock::GlobalLock;
 pub use mcas::{HarrisMcas, HarrisMcasBoxed, McasConfig};
 pub use seqlock::GlobalSeqLock;
 pub use stats::StrategyStats;
 pub use striped::StripedLock;
-pub use strategy::DcasStrategy;
+pub use strategy::{CasnEntry, DcasStrategy, MAX_CASN_WORDS};
 pub use word::DcasWord;
 pub use wrappers::{Counting, DcasStats, Yielding};
 

@@ -88,8 +88,8 @@ use crossbeam_epoch as epoch;
 use crate::backoff::Backoff;
 use crate::pool;
 use crate::stats::{Counters, StrategyStats};
-use crate::strategy::validate_args;
-use crate::{DcasStrategy, DcasWord};
+use crate::strategy::{validate_args, validate_casn, MAX_CASN_WORDS};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 const TAG_MASK: u64 = 0b11;
 const RDCSS_TAG: u64 = 0b01;
@@ -129,19 +129,26 @@ impl Entry {
     }
 }
 
-/// A two-entry CASN descriptor. Entries are sorted by target address.
+/// A CASN descriptor holding up to [`MAX_CASN_WORDS`] entries, of which
+/// the first `len` are live for the current operation (a plain `dcas`
+/// uses 2; the deques' batch operations use up to the maximum). Live
+/// entries are sorted by target address. `len` is a plain field written
+/// while the descriptor is private and read by helpers only after they
+/// observe the publishing SeqCst CAS, exactly like the entry fields.
 /// `pub(crate)` so the [`pool`](crate::pool) freelists can name the type.
 #[repr(align(8))]
 pub(crate) struct DcasDescriptor {
     status: AtomicU64,
-    entries: [Entry; 2],
+    len: usize,
+    entries: [Entry; MAX_CASN_WORDS],
 }
 
 impl DcasDescriptor {
     pub(crate) fn vacant() -> Self {
         DcasDescriptor {
             status: AtomicU64::new(UNDECIDED),
-            entries: [Entry::vacant(), Entry::vacant()],
+            len: 0,
+            entries: std::array::from_fn(|_| Entry::vacant()),
         }
     }
 }
@@ -377,7 +384,7 @@ impl HarrisMcas {
             let me = tagged_desc(d as *const DcasDescriptor);
             let mut status = SUCCEEDED;
             let mut backoff = Backoff::new();
-            'install: for e in &d.entries[skip..] {
+            'install: for e in &d.entries[skip..d.len] {
                 loop {
                     // SAFETY: pinned, d alive.
                     let val = unsafe { self.rdcss(e) };
@@ -408,7 +415,7 @@ impl HarrisMcas {
         }
         let succeeded = d.status.load(Ordering::SeqCst) == SUCCEEDED;
         let me = tagged_desc(d as *const DcasDescriptor);
-        for e in &d.entries {
+        for e in &d.entries[..d.len] {
             let resolved = if succeeded { e.new } else { e.old };
             // SAFETY: `addr` outlives the operation.
             let w = unsafe { &*e.addr };
@@ -472,26 +479,44 @@ impl HarrisMcas {
             ((a2, o2, n2), (a1, o1, n1))
         };
         let d = self.acquire_descriptor();
-        // SAFETY: `d` is exclusively owned until `casn_help` publishes it;
-        // a recycled descriptor is past its grace period, so no helper of
-        // a previous incarnation can observe these plain writes.
+        // SAFETY: `d` is exclusively owned until published; a recycled
+        // descriptor is past its grace period, so no helper of a previous
+        // incarnation can observe these plain writes.
         unsafe {
             (*d).status.store(UNDECIDED, Ordering::Relaxed);
-            (*d).entries = [
-                Entry { parent: d, addr: w1, old: ov1, new: nv1 },
-                Entry { parent: d, addr: w2, old: ov2, new: nv2 },
-            ];
+            (*d).len = 2;
+            (*d).entries[0] = Entry { parent: d, addr: w1, old: ov1, new: nv1 };
+            (*d).entries[1] = Entry { parent: d, addr: w2, old: ov2, new: nv2 };
         }
+        // SAFETY: forwarded caller contract; entries and len written above.
+        unsafe { self.publish_run_retire(guard, d) }
+    }
 
+    /// Publishes a fully prepared descriptor (status `UNDECIDED`, `len`
+    /// live entries sorted by address), drives both CASN phases, and
+    /// retires it. Shared tail of `dcas_publish` and `casn`.
+    ///
+    /// With owner fast-path installation, entry 0 is installed by one
+    /// plain CAS while the descriptor is still private (module docs); a
+    /// plain-value mismatch there fails the operation with the descriptor
+    /// never published, so it is recycled with no grace period.
+    ///
+    /// # Safety
+    ///
+    /// `guard` must pin the current thread for the whole call; `d` must
+    /// come from [`Self::acquire_descriptor`] with its status, `len`, and
+    /// first `len` entries initialized, and never have been published.
+    unsafe fn publish_run_retire(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) -> bool {
         if self.config.owner_fast_install {
-            // Publish by installing the first entry with one plain CAS:
-            // `d` is private until this CAS lands, so its status is
-            // provably still UNDECIDED and the RDCSS status guard is
-            // redundant (module docs, "Owner fast-path installation").
+            // SAFETY: `d` is still private, so reading its entry is safe.
+            let (w0, ov0) = unsafe {
+                let e = &(*d).entries[0];
+                (&*e.addr, e.old)
+            };
             let me = tagged_desc(d);
             let mut backoff = Backoff::new();
             loop {
-                match w1.raw_compare_exchange(ov1, me, Ordering::SeqCst, Ordering::SeqCst) {
+                match w0.raw_compare_exchange(ov0, me, Ordering::SeqCst, Ordering::SeqCst) {
                     Ok(_) => break,
                     Err(seen) if is_rdcss(seen) => {
                         self.counters.inc_help();
@@ -506,9 +531,9 @@ impl HarrisMcas {
                         unsafe { self.casn_help(other) };
                     }
                     Err(_) => {
-                        // Plain value mismatch: the DCAS fails without the
-                        // descriptor ever having been published — recycle
-                        // it immediately, no grace period needed.
+                        // Plain value mismatch: the operation fails without
+                        // the descriptor ever having been published —
+                        // recycle it immediately, no grace period needed.
                         // SAFETY: `d` from `acquire_descriptor`, still
                         // private.
                         unsafe { self.dispose_unpublished(d) };
@@ -700,6 +725,46 @@ impl DcasStrategy for HarrisMcas {
             }
         }
     }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        validate_casn(entries);
+        self.counters.inc_op();
+        self.counters.inc_casn();
+        let guard = epoch::pin();
+
+        // Preliminary read fast path, as in `dcas_inner`: a mismatch seen
+        // by an atomic read is a legal linearization of the failed CASN
+        // and never touches the descriptor pool.
+        for e in entries.iter() {
+            // SAFETY: pinned.
+            if unsafe { self.read(e.word) } != e.old {
+                self.counters.inc_casn_failure();
+                return false;
+            }
+        }
+
+        // Sort by address so concurrent CASNs over overlapping word sets
+        // help one another in a consistent order (same argument as the
+        // two-entry case, extended to n).
+        entries.sort_unstable_by_key(|e| e.word.addr());
+
+        let d = self.acquire_descriptor();
+        // SAFETY: `d` is exclusively owned until published; a recycled
+        // descriptor is past its grace period (see `dcas_publish`).
+        unsafe {
+            (*d).status.store(UNDECIDED, Ordering::Relaxed);
+            (*d).len = entries.len();
+            for (i, e) in entries.iter().enumerate() {
+                (*d).entries[i] = Entry { parent: d, addr: e.word, old: e.old, new: e.new };
+            }
+        }
+        // SAFETY: `guard` pins us for the whole call; `d` prepared above.
+        let ok = unsafe { self.publish_run_retire(&guard, d) };
+        if !ok {
+            self.counters.inc_casn_failure();
+        }
+        ok
+    }
 }
 
 /// [`HarrisMcas`] fixed to [`McasConfig::seed_compat`]: a fresh `Box` per
@@ -758,6 +823,11 @@ impl DcasStrategy for HarrisMcasBoxed {
         n2: u64,
     ) -> bool {
         self.0.dcas_strong(a1, a2, o1, o2, n1, n2)
+    }
+
+    #[inline]
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        self.0.casn(entries)
     }
 }
 

@@ -53,9 +53,9 @@ use std::cell::RefCell;
 use crate::mcas::DcasDescriptor;
 
 /// Maximum idle descriptors retained per thread; releases beyond this are
-/// freed. 512 two-entry descriptors ≈ 40 KiB per thread — noise, while
-/// comfortably absorbing the ~2 epochs of in-flight retirements that are
-/// always aging toward release.
+/// freed. 512 [`MAX_CASN_WORDS`](crate::MAX_CASN_WORDS)-entry descriptors
+/// ≈ 200 KiB per thread — still noise, while comfortably absorbing the ~2
+/// epochs of in-flight retirements that are always aging toward release.
 const CACHE_CAP: usize = 512;
 
 /// The freelist, wrapped so the TLS destructor returns leftover

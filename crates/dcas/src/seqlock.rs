@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::strategy::validate_args;
-use crate::{DcasStrategy, DcasWord};
+use crate::strategy::{validate_args, validate_casn};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 /// Blocking DCAS emulation built on a single global sequence word.
 ///
@@ -124,6 +124,19 @@ impl DcasStrategy for GlobalSeqLock {
         } else {
             *o1 = v1;
             *o2 = v2;
+        }
+        self.release(s);
+        ok
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        validate_casn(entries);
+        let s = self.acquire();
+        let ok = entries.iter().all(|e| e.word.raw_load(Ordering::SeqCst) == e.old);
+        if ok {
+            for e in entries.iter() {
+                e.word.raw_store(e.new, Ordering::SeqCst);
+            }
         }
         self.release(s);
         ok

@@ -35,6 +35,15 @@ pub struct StrategyStats {
     /// Descriptors created with a fresh heap allocation (pool miss, or
     /// pooling disabled).
     pub descriptor_allocs: u64,
+    /// Multi-word `casn` invocations (the batch-operation primitive).
+    pub casn_ops: u64,
+    /// `casn` invocations that returned `false`.
+    pub casn_failures: u64,
+    /// Elimination-array exchanges that paired a push with a pop
+    /// (see [`elimination`](crate::elimination)).
+    pub elim_hits: u64,
+    /// Elimination-array attempts that timed out unpaired.
+    pub elim_misses: u64,
 }
 
 impl StrategyStats {
@@ -52,6 +61,13 @@ impl StrategyStats {
         (self.dcas_ops != 0).then(|| self.dcas_failures as f64 / self.dcas_ops as f64)
     }
 
+    /// Fraction of elimination attempts that paired with a partner, in
+    /// `[0, 1]`; `None` when the elimination array was never consulted.
+    pub fn elim_hit_rate(&self) -> Option<f64> {
+        let total = self.elim_hits + self.elim_misses;
+        (total != 0).then(|| self.elim_hits as f64 / total as f64)
+    }
+
     /// Field-wise difference (`self - earlier`), for measuring a phase.
     pub fn since(&self, earlier: &StrategyStats) -> StrategyStats {
         StrategyStats {
@@ -61,6 +77,10 @@ impl StrategyStats {
             helps: self.helps - earlier.helps,
             descriptor_reuses: self.descriptor_reuses - earlier.descriptor_reuses,
             descriptor_allocs: self.descriptor_allocs - earlier.descriptor_allocs,
+            casn_ops: self.casn_ops - earlier.casn_ops,
+            casn_failures: self.casn_failures - earlier.casn_failures,
+            elim_hits: self.elim_hits - earlier.elim_hits,
+            elim_misses: self.elim_misses - earlier.elim_misses,
         }
     }
 }
@@ -81,6 +101,14 @@ pub(crate) struct Counters {
     descriptor_reuses: AtomicU64,
     #[cfg(feature = "stats")]
     descriptor_allocs: AtomicU64,
+    #[cfg(feature = "stats")]
+    casn_ops: AtomicU64,
+    #[cfg(feature = "stats")]
+    casn_failures: AtomicU64,
+    #[cfg(feature = "stats")]
+    elim_hits: AtomicU64,
+    #[cfg(feature = "stats")]
+    elim_misses: AtomicU64,
 }
 
 macro_rules! counter_inc {
@@ -108,6 +136,14 @@ impl Counters {
         inc_descriptor_reuse => descriptor_reuses;
         /// Descriptor freshly heap-allocated.
         inc_descriptor_alloc => descriptor_allocs;
+        /// One multi-word `casn` invocation.
+        inc_casn => casn_ops;
+        /// One failed `casn`.
+        inc_casn_failure => casn_failures;
+        /// One elimination pairing (push and pop exchanged directly).
+        inc_elim_hit => elim_hits;
+        /// One elimination attempt that timed out unpaired.
+        inc_elim_miss => elim_misses;
     }
 
     /// Snapshot (all-zero without the `stats` feature).
@@ -121,6 +157,10 @@ impl Counters {
                 helps: self.helps.load(Ordering::Relaxed),
                 descriptor_reuses: self.descriptor_reuses.load(Ordering::Relaxed),
                 descriptor_allocs: self.descriptor_allocs.load(Ordering::Relaxed),
+                casn_ops: self.casn_ops.load(Ordering::Relaxed),
+                casn_failures: self.casn_failures.load(Ordering::Relaxed),
+                elim_hits: self.elim_hits.load(Ordering::Relaxed),
+                elim_misses: self.elim_misses.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "stats"))]

@@ -2,6 +2,31 @@
 
 use crate::DcasWord;
 
+/// Maximum number of target words a single [`DcasStrategy::casn`] may
+/// cover. Sized for the deques' batch operations: a batch of
+/// [`MAX_BATCH`](crate::elimination) elements plus the index/link/
+/// terminator words each algorithm adds.
+pub const MAX_CASN_WORDS: usize = 12;
+
+/// One target word of a multi-word CAS ([`DcasStrategy::casn`]).
+#[derive(Clone, Copy)]
+pub struct CasnEntry<'a> {
+    /// The word to compare and (on success) swap.
+    pub word: &'a DcasWord,
+    /// Expected current value.
+    pub old: u64,
+    /// Replacement value written iff every entry's comparison holds.
+    pub new: u64,
+}
+
+impl<'a> CasnEntry<'a> {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(word: &'a DcasWord, old: u64, new: u64) -> Self {
+        CasnEntry { word, old, new }
+    }
+}
+
 /// A software (or, hypothetically, hardware) implementation of DCAS.
 ///
 /// A strategy instance owns whatever auxiliary state its emulation needs
@@ -81,6 +106,20 @@ pub trait DcasStrategy: Send + Sync + Default + 'static {
         n1: u64,
         n2: u64,
     ) -> bool;
+
+    /// Multi-word CAS over `1..=MAX_CASN_WORDS` **distinct** words: iff
+    /// every entry's comparison holds simultaneously, every new value is
+    /// written, all at a single linearization point.
+    ///
+    /// This is the primitive behind the deques' batch operations: a
+    /// *k*-element push/pop is one CASN over the end index (or sentinel
+    /// link) plus the *k* affected cells. `dcas` remains the specialized
+    /// two-word fast path; `casn` generalizes the same protocol.
+    ///
+    /// Implementations may **reorder the `entries` slice** (lock-free
+    /// emulations sort by address to bound mutual helping); the values
+    /// are not otherwise modified.
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool;
 }
 
 /// Debug-mode validation shared by strategy implementations.
@@ -96,5 +135,33 @@ pub(crate) fn validate_args(a1: &DcasWord, a2: &DcasWord, vals: &[u64]) {
             crate::is_valid_payload(v),
             "DCAS payload {v:#x} has reserved low bits set"
         );
+    }
+}
+
+/// Validation shared by `casn` implementations. The entry-count bound is
+/// a hard assertion (descriptor capacity is fixed); the payload and
+/// distinctness checks are debug-only like [`validate_args`].
+#[inline]
+pub(crate) fn validate_casn(entries: &[CasnEntry<'_>]) {
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_CASN_WORDS,
+        "CASN takes 1..={MAX_CASN_WORDS} entries, got {}",
+        entries.len()
+    );
+    #[cfg(debug_assertions)]
+    {
+        for (i, e) in entries.iter().enumerate() {
+            debug_assert!(
+                crate::is_valid_payload(e.old) && crate::is_valid_payload(e.new),
+                "CASN payload has reserved low bits set"
+            );
+            for other in &entries[i + 1..] {
+                debug_assert_ne!(
+                    e.word.addr(),
+                    other.word.addr(),
+                    "CASN requires pairwise distinct memory words"
+                );
+            }
+        }
     }
 }

@@ -4,8 +4,8 @@ use std::sync::atomic::Ordering;
 
 use parking_lot::Mutex;
 
-use crate::strategy::validate_args;
-use crate::{DcasStrategy, DcasWord};
+use crate::strategy::{validate_args, validate_casn};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 /// Number of lock stripes. A power of two so the address hash is a mask.
 const STRIPES: usize = 64;
@@ -116,6 +116,34 @@ impl DcasStrategy for StripedLock {
             *o2 = v2;
             false
         }
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        validate_casn(entries);
+        // Lock the deduplicated stripe set of all target words in
+        // ascending index order (the same deadlock-freedom argument as
+        // the two-word case, extended to n).
+        let mut stripes: [usize; crate::MAX_CASN_WORDS] = [0; crate::MAX_CASN_WORDS];
+        for (i, e) in entries.iter().enumerate() {
+            stripes[i] = Self::stripe_of(e.word);
+        }
+        let stripes = &mut stripes[..entries.len()];
+        stripes.sort_unstable();
+        let mut guards = Vec::with_capacity(stripes.len());
+        let mut last = usize::MAX;
+        for &s in stripes.iter() {
+            if s != last {
+                guards.push(self.stripes[s].lock());
+                last = s;
+            }
+        }
+        if entries.iter().any(|e| e.word.raw_load(Ordering::SeqCst) != e.old) {
+            return false;
+        }
+        for e in entries.iter() {
+            e.word.raw_store(e.new, Ordering::SeqCst);
+        }
+        true
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{DcasStrategy, DcasWord};
+use crate::{CasnEntry, DcasStrategy, DcasWord};
 
 /// Operation counters collected by [`Counting`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -17,12 +17,21 @@ pub struct DcasStats {
     pub dcas_attempts: u64,
     /// Number of DCAS attempts that succeeded.
     pub dcas_successes: u64,
+    /// Number of multi-word `casn` attempts.
+    pub casn_attempts: u64,
+    /// Number of `casn` attempts that succeeded.
+    pub casn_successes: u64,
 }
 
 impl DcasStats {
     /// Failed attempts (attempts − successes).
     pub fn dcas_failures(&self) -> u64 {
         self.dcas_attempts - self.dcas_successes
+    }
+
+    /// Failed multi-word attempts (attempts − successes).
+    pub fn casn_failures(&self) -> u64 {
+        self.casn_attempts - self.casn_successes
     }
 }
 
@@ -40,6 +49,8 @@ pub struct Counting<S: DcasStrategy> {
     cas_attempts: AtomicU64,
     dcas_attempts: AtomicU64,
     dcas_successes: AtomicU64,
+    casn_attempts: AtomicU64,
+    casn_successes: AtomicU64,
 }
 
 impl<S: DcasStrategy> Counting<S> {
@@ -56,6 +67,8 @@ impl<S: DcasStrategy> Counting<S> {
             cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
             dcas_attempts: self.dcas_attempts.load(Ordering::Relaxed),
             dcas_successes: self.dcas_successes.load(Ordering::Relaxed),
+            casn_attempts: self.casn_attempts.load(Ordering::Relaxed),
+            casn_successes: self.casn_successes.load(Ordering::Relaxed),
         }
     }
 
@@ -66,6 +79,8 @@ impl<S: DcasStrategy> Counting<S> {
         self.cas_attempts.store(0, Ordering::Relaxed);
         self.dcas_attempts.store(0, Ordering::Relaxed);
         self.dcas_successes.store(0, Ordering::Relaxed);
+        self.casn_attempts.store(0, Ordering::Relaxed);
+        self.casn_successes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +126,15 @@ impl<S: DcasStrategy> DcasStrategy for Counting<S> {
         let ok = self.inner.dcas_strong(a1, a2, o1, o2, n1, n2);
         if ok {
             self.dcas_successes.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        self.casn_attempts.fetch_add(1, Ordering::Relaxed);
+        let ok = self.inner.casn(entries);
+        if ok {
+            self.casn_successes.fetch_add(1, Ordering::Relaxed);
         }
         ok
     }
@@ -169,6 +193,13 @@ impl<S: DcasStrategy> DcasStrategy for Yielding<S> {
     ) -> bool {
         std::thread::yield_now();
         let ok = self.inner.dcas_strong(a1, a2, o1, o2, n1, n2);
+        std::thread::yield_now();
+        ok
+    }
+
+    fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool {
+        std::thread::yield_now();
+        let ok = self.inner.casn(entries);
         std::thread::yield_now();
         ok
     }

@@ -31,6 +31,14 @@ pub struct StressConfig {
     pub capacity: Option<usize>,
     /// Percentage (0–100) of operations that are pushes.
     pub push_bias: u32,
+    /// Maximum size for batched operations (`pushRightN` & friends).
+    /// `0` disables batching (every operation is a single); otherwise a
+    /// quarter of the operations become batched with a random size in
+    /// `2..=max_batch` and are checked as one atomic multi-element
+    /// transition each. Capped at [`dcas_deque::MAX_BATCH`] so each
+    /// recorded operation maps to exactly one chunk of the
+    /// implementation.
+    pub max_batch: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -43,6 +51,7 @@ impl Default for StressConfig {
             rounds: 200,
             capacity: None,
             push_bias: 50,
+            max_batch: 0,
             seed: 0x5EED,
         }
     }
@@ -65,6 +74,48 @@ fn next_rand(x: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// Issues one batched operation (size `k`, chunk-atomic on the paper
+/// deques) and records it as a single history operation.
+fn batched_op<D: ConcurrentDeque<u64>>(
+    deque: &D,
+    log: &mut crate::history::ThreadRecorder<'_>,
+    value_base: u64,
+    k: usize,
+    is_push: bool,
+    is_right: bool,
+) {
+    use crate::spec::Batch;
+    if is_push {
+        let vals: Vec<u64> = (0..k as u64).map(|o| value_base + o).collect();
+        let batch = Batch::new(&vals);
+        let op = if is_right {
+            DequeOp::PushRightN(batch)
+        } else {
+            DequeOp::PushLeftN(batch)
+        };
+        log.invoke(op);
+        let res = if is_right {
+            deque.push_right_n(vals)
+        } else {
+            deque.push_left_n(vals)
+        };
+        log.respond(match res {
+            Ok(()) => DequeRet::Okay,
+            Err(_) => DequeRet::Full,
+        });
+    } else {
+        let op = if is_right {
+            DequeOp::PopRightN(k as u8)
+        } else {
+            DequeOp::PopLeftN(k as u8)
+        };
+        log.invoke(op);
+        let vals =
+            if is_right { deque.pop_right_n(k) } else { deque.pop_left_n(k) };
+        log.respond(DequeRet::Values(Batch::new(&vals)));
+    }
 }
 
 /// Runs the stress workload against `deque` and checks every round's
@@ -97,15 +148,27 @@ pub fn stress_and_check<D: ConcurrentDeque<u64>>(
                         .wrapping_add(round as u64)
                         .wrapping_mul(0x100000001B3)
                         .wrapping_add(t as u64);
+                    let max_batch = config.max_batch.min(dcas_deque::MAX_BATCH);
                     barrier.wait();
                     for i in 0..config.ops_per_thread {
-                        let value =
-                            (round * config.threads * config.ops_per_thread
-                                + t * config.ops_per_thread
-                                + i) as u64;
+                        // Each operation slot owns MAX_BATCH value IDs so
+                        // batched pushes stay globally unique.
+                        let value = ((round * config.threads * config.ops_per_thread
+                            + t * config.ops_per_thread
+                            + i)
+                            * dcas_deque::MAX_BATCH) as u64;
                         let r = next_rand(&mut rng);
                         let is_push = (r % 100) < config.push_bias as u64;
                         let is_right = (r >> 32).is_multiple_of(2);
+                        let batch_k = if max_batch >= 2 && (r >> 16) % 4 == 0 {
+                            Some(2 + ((r >> 40) as usize % (max_batch - 1)))
+                        } else {
+                            None
+                        };
+                        if let Some(k) = batch_k {
+                            batched_op(deque, &mut log, value, k, is_push, is_right);
+                            continue;
+                        }
                         match (is_push, is_right) {
                             (true, true) => {
                                 log.invoke(DequeOp::PushRight(value));
@@ -148,15 +211,31 @@ pub fn stress_and_check<D: ConcurrentDeque<u64>>(
         });
 
         // Drain sequentially so the round history pins down the final
-        // abstract state; recorded like any other operations.
+        // abstract state; recorded like any other operations. Batched
+        // workloads drain in chunks, both to exercise the batch-pop spec
+        // arm and to keep the drain within the checker's history cap
+        // (batched pushes can leave several elements per recorded op).
         let mut drain_log = recorder.thread(config.threads);
-        loop {
-            drain_log.invoke(DequeOp::PopLeft);
-            match deque.pop_left() {
-                Some(v) => drain_log.respond(DequeRet::Value(v)),
-                None => {
-                    drain_log.respond(DequeRet::Empty);
+        if config.max_batch >= 2 {
+            let k = config.max_batch.min(dcas_deque::MAX_BATCH);
+            loop {
+                drain_log.invoke(DequeOp::PopLeftN(k as u8));
+                let got = deque.pop_left_n(k);
+                let done = got.len() < k;
+                drain_log.respond(DequeRet::Values(crate::spec::Batch::new(&got)));
+                if done {
                     break;
+                }
+            }
+        } else {
+            loop {
+                drain_log.invoke(DequeOp::PopLeft);
+                match deque.pop_left() {
+                    Some(v) => drain_log.respond(DequeRet::Value(v)),
+                    None => {
+                        drain_log.respond(DequeRet::Empty);
+                        break;
+                    }
                 }
             }
         }
@@ -224,6 +303,34 @@ mod tests {
         fn impl_name(&self) -> &'static str {
             "locked-reference"
         }
+        // Atomic batch overrides (the trait defaults are per-element
+        // loops, which would be mis-recorded as one atomic op).
+        fn push_right_n(&self, vals: Vec<u64>) -> Result<(), Full<Vec<u64>>> {
+            let mut g = self.inner.lock().unwrap();
+            if self.cap.is_some_and(|c| g.len() + vals.len() > c) {
+                return Err(Full(vals));
+            }
+            g.extend(&vals);
+            Ok(())
+        }
+        fn push_left_n(&self, vals: Vec<u64>) -> Result<(), Full<Vec<u64>>> {
+            let mut g = self.inner.lock().unwrap();
+            if self.cap.is_some_and(|c| g.len() + vals.len() > c) {
+                return Err(Full(vals));
+            }
+            for v in vals {
+                g.push_front(v);
+            }
+            Ok(())
+        }
+        fn pop_right_n(&self, n: usize) -> Vec<u64> {
+            let mut g = self.inner.lock().unwrap();
+            (0..n).filter_map(|_| g.pop_back()).collect()
+        }
+        fn pop_left_n(&self, n: usize) -> Vec<u64> {
+            let mut g = self.inner.lock().unwrap();
+            (0..n).filter_map(|_| g.pop_front()).collect()
+        }
     }
 
     /// A deliberately broken deque: pop_right occasionally returns a
@@ -288,6 +395,81 @@ mod tests {
             },
         )
         .expect("bounded reference deque must be linearizable");
+    }
+
+    #[test]
+    fn locked_reference_batched_passes() {
+        let d = Locked { cap: None, inner: Mutex::new(VecDeque::new()) };
+        stress_and_check(
+            &d,
+            StressConfig { rounds: 50, max_batch: 4, ..StressConfig::default() },
+        )
+        .expect("atomic batched reference must be linearizable");
+        let d = Locked { cap: Some(8), inner: Mutex::new(VecDeque::new()) };
+        stress_and_check(
+            &d,
+            StressConfig {
+                rounds: 50,
+                capacity: Some(8),
+                push_bias: 70,
+                max_batch: 8,
+                ..StressConfig::default()
+            },
+        )
+        .expect("bounded atomic batched reference must be linearizable");
+    }
+
+    /// A deque whose batched pops return the right values in the wrong
+    /// order — the batch spec arms must reject it.
+    struct BrokenBatchOrder(Locked);
+
+    impl ConcurrentDeque<u64> for BrokenBatchOrder {
+        fn push_right(&self, v: u64) -> Result<(), Full<u64>> {
+            self.0.push_right(v)
+        }
+        fn push_left(&self, v: u64) -> Result<(), Full<u64>> {
+            self.0.push_left(v)
+        }
+        fn pop_right(&self) -> Option<u64> {
+            self.0.pop_right()
+        }
+        fn pop_left(&self) -> Option<u64> {
+            self.0.pop_left()
+        }
+        fn push_right_n(&self, vals: Vec<u64>) -> Result<(), Full<Vec<u64>>> {
+            self.0.push_right_n(vals)
+        }
+        fn push_left_n(&self, vals: Vec<u64>) -> Result<(), Full<Vec<u64>>> {
+            self.0.push_left_n(vals)
+        }
+        fn pop_right_n(&self, n: usize) -> Vec<u64> {
+            let mut v = self.0.pop_right_n(n);
+            v.reverse(); // wrong order!
+            v
+        }
+        fn pop_left_n(&self, n: usize) -> Vec<u64> {
+            let mut v = self.0.pop_left_n(n);
+            v.reverse(); // wrong order!
+            v
+        }
+        fn impl_name(&self) -> &'static str {
+            "broken-batch-order"
+        }
+    }
+
+    #[test]
+    fn misordered_batch_pop_is_caught() {
+        let d = BrokenBatchOrder(Locked { cap: None, inner: Mutex::new(VecDeque::new()) });
+        let res = stress_and_check(
+            &d,
+            StressConfig {
+                rounds: 100,
+                push_bias: 60,
+                max_batch: 4,
+                ..StressConfig::default()
+            },
+        );
+        assert!(res.is_err(), "misordered batch pops must fail the checker");
     }
 
     #[test]

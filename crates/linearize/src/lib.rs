@@ -28,4 +28,4 @@ pub mod spec;
 pub use checker::check_linearizable;
 pub use driver::{stress_and_check, StressConfig, StressReport};
 pub use history::{Completed, Event, EventKind, History, Recorder};
-pub use spec::{DequeOp, DequeRet, SeqDeque};
+pub use spec::{Batch, DequeOp, DequeRet, SeqDeque};

@@ -8,7 +8,49 @@
 
 use std::collections::VecDeque;
 
+use dcas_deque::MAX_BATCH;
+
+/// A fixed-capacity value sequence carried by batched operations (inputs
+/// of `pushRightN`/`pushLeftN`, outputs of `popRightN`/`popLeftN`).
+/// Fixed-size so operations stay `Copy` for the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Batch {
+    vals: [u64; MAX_BATCH],
+    len: u8,
+}
+
+impl Batch {
+    /// Builds a batch from up to [`MAX_BATCH`] values.
+    pub fn new(vals: &[u64]) -> Self {
+        assert!(vals.len() <= MAX_BATCH, "batch of {} exceeds MAX_BATCH", vals.len());
+        let mut b = Batch { vals: [0; MAX_BATCH], len: vals.len() as u8 };
+        b.vals[..vals.len()].copy_from_slice(vals);
+        b
+    }
+
+    /// The values, in operation order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the batch carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// An operation invocation on a deque, with its input if any.
+///
+/// The batched variants model one **chunk-atomic** transition of the
+/// batched deque operations: at most [`MAX_BATCH`] elements entering or
+/// leaving the sequence at a single linearization point. (The public
+/// `push_right_n`-style APIs split larger requests into such chunks, each
+/// an independent operation in the history.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DequeOp {
     /// `pushRight(v)`
@@ -19,6 +61,18 @@ pub enum DequeOp {
     PopRight,
     /// `popLeft()`
     PopLeft,
+    /// `pushRightN(vals)` — appends all values at the right end in order,
+    /// atomically; all-or-nothing against the capacity.
+    PushRightN(Batch),
+    /// `pushLeftN(vals)` — pushes all values at the left end in order
+    /// (the last value ends up leftmost), atomically; all-or-nothing.
+    PushLeftN(Batch),
+    /// `popRightN(k)` — removes `min(k, |S|)` values from the right end,
+    /// rightmost first, atomically.
+    PopRightN(u8),
+    /// `popLeftN(k)` — removes `min(k, |S|)` values from the left end,
+    /// leftmost first, atomically.
+    PopLeftN(u8),
 }
 
 /// An operation response.
@@ -32,6 +86,8 @@ pub enum DequeRet {
     Value(u64),
     /// A pop returned "empty".
     Empty,
+    /// A batched pop returned `min(k, |S|)` values (possibly zero).
+    Values(Batch),
 }
 
 /// The sequential deque state machine. `capacity == None` models the
@@ -111,6 +167,34 @@ impl SeqDeque {
                 Some(v) => DequeRet::Value(v),
                 None => DequeRet::Empty,
             },
+            DequeOp::PushRightN(b) => {
+                if self.capacity.is_some_and(|c| self.items.len() + b.len() > c) {
+                    DequeRet::Full
+                } else {
+                    self.items.extend(b.as_slice());
+                    DequeRet::Okay
+                }
+            }
+            DequeOp::PushLeftN(b) => {
+                if self.capacity.is_some_and(|c| self.items.len() + b.len() > c) {
+                    DequeRet::Full
+                } else {
+                    for &v in b.as_slice() {
+                        self.items.push_front(v);
+                    }
+                    DequeRet::Okay
+                }
+            }
+            DequeOp::PopRightN(k) => {
+                let popped: Vec<u64> =
+                    (0..k).filter_map(|_| self.items.pop_back()).collect();
+                DequeRet::Values(Batch::new(&popped))
+            }
+            DequeOp::PopLeftN(k) => {
+                let popped: Vec<u64> =
+                    (0..k).filter_map(|_| self.items.pop_front()).collect();
+                DequeRet::Values(Batch::new(&popped))
+            }
         }
     }
 
@@ -161,6 +245,57 @@ mod tests {
         }
         assert!(!d.is_full());
         assert_eq!(d.len(), 10_000);
+    }
+
+    #[test]
+    fn batch_ops_are_atomic_multi_element_transitions() {
+        let mut d = SeqDeque::bounded(6);
+        assert_eq!(d.apply(DequeOp::PushRightN(Batch::new(&[1, 2, 3]))), DequeRet::Okay);
+        assert_eq!(d.apply(DequeOp::PushLeftN(Batch::new(&[4, 5]))), DequeRet::Okay);
+        assert_eq!(d.items().collect::<Vec<_>>(), vec![5, 4, 1, 2, 3]);
+        // All-or-nothing against the capacity: 5 + 2 > 6.
+        assert_eq!(d.apply(DequeOp::PushRightN(Batch::new(&[6, 7]))), DequeRet::Full);
+        assert_eq!(d.len(), 5);
+        assert_eq!(
+            d.apply(DequeOp::PopLeftN(2)),
+            DequeRet::Values(Batch::new(&[5, 4]))
+        );
+        assert_eq!(
+            d.apply(DequeOp::PopRightN(8)),
+            DequeRet::Values(Batch::new(&[3, 2, 1]))
+        );
+        // Short batch pop on the now-empty deque yields zero values.
+        assert_eq!(d.apply(DequeOp::PopLeftN(3)), DequeRet::Values(Batch::new(&[])));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn batch_ops_match_repeated_singles() {
+        // A batched operation has exactly the cumulative effect of its
+        // per-element expansion (executed with no interleaving).
+        let mut batched = SeqDeque::unbounded();
+        let mut singles = SeqDeque::unbounded();
+        batched.apply(DequeOp::PushRightN(Batch::new(&[1, 2, 3, 4])));
+        for v in [1, 2, 3, 4] {
+            singles.apply(DequeOp::PushRight(v));
+        }
+        assert_eq!(batched, singles);
+        batched.apply(DequeOp::PushLeftN(Batch::new(&[5, 6])));
+        for v in [5, 6] {
+            singles.apply(DequeOp::PushLeft(v));
+        }
+        assert_eq!(batched, singles);
+        let DequeRet::Values(b) = batched.apply(DequeOp::PopLeftN(3)) else {
+            panic!("batch pop must return Values");
+        };
+        let s: Vec<u64> = (0..3)
+            .map(|_| match singles.apply(DequeOp::PopLeft) {
+                DequeRet::Value(v) => v,
+                r => panic!("unexpected {r:?}"),
+            })
+            .collect();
+        assert_eq!(b.as_slice(), &s[..]);
+        assert_eq!(batched, singles);
     }
 
     /// Figure 35 axioms, property-tested against the executable model. We

@@ -88,6 +88,7 @@ impl AbpMachine {
                         assert_ne!(tid, 0, "thieves are threads 1.. (owner uses popRight)");
                     }
                     DequeOp::PushLeft(_) => panic!("ABP has no pushLeft"),
+                    _ => panic!("batched ops are not modelled"),
                 }
             }
         }
@@ -159,6 +160,7 @@ impl System for AbpMachine {
                     StepEvent::Internal
                 }
                 DequeOp::PushLeft(_) => unreachable!(),
+                _ => unreachable!("batched ops rejected in new()"),
             },
 
             Pc::PushAdvance { v: _ } => {

@@ -1,9 +1,11 @@
 //! The work-deque abstraction and its implementations.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use dcas::HarrisMcas;
 use dcas_baselines::{AbpDeque, MutexDeque, Steal};
 use dcas_deque::value::{Boxed, WordValue};
-use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque};
+use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque, MAX_BATCH};
 
 use crate::scheduler::Task;
 
@@ -18,7 +20,7 @@ pub enum StealOutcome {
 }
 
 /// A per-worker deque of tasks. `push`/`pop` are called only by the
-/// owning worker; `steal` by anyone.
+/// owning worker; `steal`/`steal_half` by anyone.
 pub trait WorkDeque: Send + Sync + 'static {
     /// Creates a deque able to hold at least `capacity` tasks (bounded
     /// implementations may refuse pushes beyond it).
@@ -32,28 +34,121 @@ pub trait WorkDeque: Send + Sync + 'static {
     fn steal(&self) -> StealOutcome;
     /// Implementation name for reporting.
     fn name() -> &'static str;
+
+    /// Thief: takes up to roughly **half** of the victim's tasks, oldest
+    /// first, amortising the steal's synchronisation over several tasks
+    /// (the "steal-half" policy of Hendler & Shavit's non-blocking
+    /// steal-half work queues).
+    ///
+    /// Returns stolen tasks oldest-first; empty means nothing was taken
+    /// (empty victim or lost race). The default degenerates to a single
+    /// [`steal`](Self::steal); the batched deques override it with one
+    /// chunk-atomic multi-pop.
+    fn steal_half(&self) -> Vec<Task> {
+        match self.steal() {
+            StealOutcome::Stolen(t) => vec![t],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Owner: pushes a batch of tasks in order, returning any rejected
+    /// tail (bounded implementations at capacity; the caller runs those
+    /// inline). Used by the scheduler to re-queue the surplus of a
+    /// [`steal_half`](Self::steal_half).
+    fn push_batch(&self, tasks: Vec<Task>) -> Vec<Task> {
+        let mut it = tasks.into_iter();
+        let mut rejected = Vec::new();
+        while let Some(t) = it.next() {
+            if let Err(t) = self.push(t) {
+                rejected.push(t);
+                rejected.extend(it);
+                break;
+            }
+        }
+        rejected
+    }
+}
+
+/// Best-effort size hint maintained *outside* the deque: the owner and
+/// thieves bump it around their operations, so it lags reality by the
+/// operations in flight. That is fine — `steal_half` only needs an
+/// estimate to size its batch, and clamps to `1..=MAX_BATCH` anyway.
+struct LenHint(AtomicUsize);
+
+impl LenHint {
+    fn new() -> Self {
+        LenHint(AtomicUsize::new(0))
+    }
+
+    fn add(&self, n: usize) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: usize) {
+        // Saturating: a racing pop may decrement before the matching
+        // push's increment lands.
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+
+    /// Batch size for stealing about half the (estimated) content.
+    fn half_batch(&self) -> usize {
+        (self.0.load(Ordering::Relaxed) / 2).clamp(1, MAX_BATCH)
+    }
 }
 
 /// Work deque over the paper's unbounded linked-list deque.
-pub struct ListWorkDeque(ListDeque<Task, HarrisMcas>);
+pub struct ListWorkDeque {
+    inner: ListDeque<Task, HarrisMcas>,
+    len: LenHint,
+}
 
 impl WorkDeque for ListWorkDeque {
     fn with_capacity(_capacity: usize) -> Self {
-        ListWorkDeque(ListDeque::new())
+        ListWorkDeque { inner: ListDeque::new(), len: LenHint::new() }
     }
 
     fn push(&self, t: Task) -> Result<(), Task> {
-        self.0.push_right(t).map_err(|e| e.into_inner())
+        self.inner.push_right(t).map_err(|e| e.into_inner())?;
+        self.len.add(1);
+        Ok(())
     }
 
     fn pop(&self) -> Option<Task> {
-        self.0.pop_right()
+        let t = self.inner.pop_right()?;
+        self.len.sub(1);
+        Some(t)
     }
 
     fn steal(&self) -> StealOutcome {
-        match self.0.pop_left() {
-            Some(t) => StealOutcome::Stolen(t),
+        match self.inner.pop_left() {
+            Some(t) => {
+                self.len.sub(1);
+                StealOutcome::Stolen(t)
+            }
             None => StealOutcome::Empty,
+        }
+    }
+
+    fn steal_half(&self) -> Vec<Task> {
+        let tasks = self.inner.pop_left_n(self.len.half_batch());
+        self.len.sub(tasks.len());
+        tasks
+    }
+
+    fn push_batch(&self, tasks: Vec<Task>) -> Vec<Task> {
+        let n = tasks.len();
+        match self.inner.push_right_n(tasks) {
+            Ok(()) => {
+                self.len.add(n);
+                Vec::new()
+            }
+            Err(full) => {
+                let rest = full.into_inner();
+                self.len.add(n - rest.len());
+                rest
+            }
         }
     }
 
@@ -63,25 +158,56 @@ impl WorkDeque for ListWorkDeque {
 }
 
 /// Work deque over the paper's bounded array deque.
-pub struct ArrayWorkDeque(ArrayDeque<Task, HarrisMcas>);
+pub struct ArrayWorkDeque {
+    inner: ArrayDeque<Task, HarrisMcas>,
+    len: LenHint,
+}
 
 impl WorkDeque for ArrayWorkDeque {
     fn with_capacity(capacity: usize) -> Self {
-        ArrayWorkDeque(ArrayDeque::new(capacity.max(1)))
+        ArrayWorkDeque { inner: ArrayDeque::new(capacity.max(1)), len: LenHint::new() }
     }
 
     fn push(&self, t: Task) -> Result<(), Task> {
-        self.0.push_right(t).map_err(|e| e.into_inner())
+        self.inner.push_right(t).map_err(|e| e.into_inner())?;
+        self.len.add(1);
+        Ok(())
     }
 
     fn pop(&self) -> Option<Task> {
-        self.0.pop_right()
+        let t = self.inner.pop_right()?;
+        self.len.sub(1);
+        Some(t)
     }
 
     fn steal(&self) -> StealOutcome {
-        match self.0.pop_left() {
-            Some(t) => StealOutcome::Stolen(t),
+        match self.inner.pop_left() {
+            Some(t) => {
+                self.len.sub(1);
+                StealOutcome::Stolen(t)
+            }
             None => StealOutcome::Empty,
+        }
+    }
+
+    fn steal_half(&self) -> Vec<Task> {
+        let tasks = self.inner.pop_left_n(self.len.half_batch());
+        self.len.sub(tasks.len());
+        tasks
+    }
+
+    fn push_batch(&self, tasks: Vec<Task>) -> Vec<Task> {
+        let n = tasks.len();
+        match self.inner.push_right_n(tasks) {
+            Ok(()) => {
+                self.len.add(n);
+                Vec::new()
+            }
+            Err(full) => {
+                let rest = full.into_inner();
+                self.len.add(n - rest.len());
+                rest
+            }
         }
     }
 
@@ -166,5 +292,84 @@ impl WorkDeque for MutexWorkDeque {
 
     fn name() -> &'static str {
         "mutex"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> Task {
+        Box::new(|_| {})
+    }
+
+    /// All tasks pushed are retrieved exactly once through a mix of
+    /// `steal_half` and owner pops, across every implementation.
+    fn steal_half_conserves<D: WorkDeque>() {
+        let d = D::with_capacity(64);
+        for _ in 0..20 {
+            assert!(d.push(noop()).is_ok(), "{}", D::name());
+        }
+        let stolen = d.steal_half();
+        assert!(
+            !stolen.is_empty() && stolen.len() <= MAX_BATCH,
+            "{}: steal_half took {}",
+            D::name(),
+            stolen.len()
+        );
+        let mut total = stolen.len();
+        loop {
+            let s = d.steal_half();
+            if s.is_empty() {
+                break;
+            }
+            total += s.len();
+        }
+        while d.pop().is_some() {
+            total += 1;
+        }
+        assert_eq!(total, 20, "{}: tasks lost or duplicated", D::name());
+    }
+
+    #[test]
+    fn steal_half_conserves_all_impls() {
+        steal_half_conserves::<ListWorkDeque>();
+        steal_half_conserves::<ArrayWorkDeque>();
+        steal_half_conserves::<AbpWorkDeque>();
+        steal_half_conserves::<MutexWorkDeque>();
+    }
+
+    #[test]
+    fn push_batch_returns_overflow() {
+        let d = ArrayWorkDeque::with_capacity(16);
+        let rejected = d.push_batch((0..30).map(|_| noop()).collect());
+        let mut held = 0;
+        while d.pop().is_some() {
+            held += 1;
+        }
+        assert_eq!(held + rejected.len(), 30, "tasks lost in push_batch");
+        assert!(held <= 16);
+        // Unbounded list deque never rejects.
+        let d = ListWorkDeque::with_capacity(0);
+        assert!(d.push_batch((0..30).map(|_| noop()).collect()).is_empty());
+        let mut held = 0;
+        while d.pop().is_some() {
+            held += 1;
+        }
+        assert_eq!(held, 30);
+    }
+
+    #[test]
+    fn steal_half_scales_with_size_hint() {
+        let d = ListWorkDeque::with_capacity(0);
+        // Two tasks: half is one.
+        assert!(d.push(noop()).is_ok());
+        assert!(d.push(noop()).is_ok());
+        assert_eq!(d.steal_half().len(), 1);
+        // A big pile: half clamps to MAX_BATCH.
+        for _ in 0..100 {
+            assert!(d.push(noop()).is_ok());
+        }
+        assert_eq!(d.steal_half().len(), MAX_BATCH);
     }
 }

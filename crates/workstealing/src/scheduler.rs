@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::deques::{StealOutcome, WorkDeque};
+use crate::deques::WorkDeque;
 
 /// A unit of work. Tasks receive a [`WorkerHandle`] through which they
 /// spawn subtasks.
@@ -126,10 +126,26 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
         rng ^= rng << 17;
         let victim = (rng as usize) % n;
         if victim != id {
-            match shared.deques[victim].steal() {
-                StealOutcome::Stolen(task) => execute::<D>(id, &shared, task),
-                StealOutcome::Retry => {}
-                StealOutcome::Empty => std::hint::spin_loop(),
+            // Steal up to half the victim's tasks in one batch, run the
+            // oldest, and queue the surplus locally so the next pops (and
+            // rival thieves) find work without another steal.
+            let mut stolen = shared.deques[victim].steal_half().into_iter();
+            match stolen.next() {
+                None => std::hint::spin_loop(),
+                Some(first) => {
+                    let mut rest: Vec<Task> = stolen.collect();
+                    if !rest.is_empty() {
+                        // Reversed, so the owner's LIFO pops run the
+                        // re-queued tasks oldest-first (preserving the
+                        // FIFO order they were stolen in).
+                        rest.reverse();
+                        for overflow in shared.deques[id].push_batch(rest) {
+                            // Bounded deque full: run inline.
+                            execute::<D>(id, &shared, overflow);
+                        }
+                    }
+                    execute::<D>(id, &shared, first);
+                }
             }
         }
     }

@@ -29,5 +29,7 @@ pub use dcas_workstealing as workstealing;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use dcas::{DcasStrategy, DcasWord, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
-    pub use dcas_deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, Full, ListDeque};
+    pub use dcas_deque::{
+        ArrayDeque, ConcurrentDeque, DummyListDeque, EndConfig, Full, ListDeque, MAX_BATCH,
+    };
 }

@@ -150,3 +150,156 @@ fn single_pusher_single_popper_fifo_like() {
 fn many_threads_small_array() {
     conservation(ArrayDeque::<u64, HarrisMcas>::new(4), 4, 4, PER / 2);
 }
+
+// --- Batched operations (PR 2): same conservation property, but moving
+// values through the chunk-CASN batch paths with varying batch widths,
+// including partially-accepted pushes on the bounded deque.
+
+/// Like [`conservation`], but pushers submit `push_{left,right}_n`
+/// batches of cycling widths and poppers drain with `pop_{left,right}_n`.
+/// Rejected tails (bounded deques) are subtracted from the pushed set via
+/// the prefix-acceptance contract: `Err(tail)` means exactly
+/// `batch.len() - tail.len()` leading values went in.
+fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usize, per: u64) {
+    let deque = Arc::new(deque);
+    let done = Arc::new(AtomicBool::new(false));
+    let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let pushed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        let mut push_handles = Vec::new();
+        for p in 0..pushers {
+            let deque = Arc::clone(&deque);
+            let pushed = Arc::clone(&pushed);
+            push_handles.push(s.spawn(move || {
+                let mut mine: Vec<u64> = Vec::new();
+                let mut i = 0u64;
+                let mut width = 1usize;
+                while i < per {
+                    let k = width.min((per - i) as usize);
+                    let batch: Vec<u64> = (0..k as u64).map(|j| p as u64 * per + i + j).collect();
+                    let res = if width.is_multiple_of(2) {
+                        deque.push_right_n(batch.clone())
+                    } else {
+                        deque.push_left_n(batch.clone())
+                    };
+                    let accepted = match res {
+                        Ok(()) => k,
+                        Err(tail) => k - tail.into_inner().len(),
+                    };
+                    mine.extend(&batch[..accepted]);
+                    i += k as u64;
+                    width = width % 9 + 1; // cycle 1..=9: straddles MAX_BATCH
+                }
+                pushed.lock().unwrap().extend(mine);
+            }));
+        }
+        for _ in 0..poppers {
+            let deque = Arc::clone(&deque);
+            let done = Arc::clone(&done);
+            let popped = Arc::clone(&popped);
+            s.spawn(move || {
+                let mut mine: Vec<u64> = Vec::new();
+                let mut spin = 0u32;
+                loop {
+                    let k = (spin % 9 + 1) as usize;
+                    let got = if spin.is_multiple_of(2) {
+                        deque.pop_left_n(k)
+                    } else {
+                        deque.pop_right_n(k)
+                    };
+                    if got.is_empty() {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    } else {
+                        mine.extend(got);
+                    }
+                    spin = spin.wrapping_add(1);
+                }
+                popped.lock().unwrap().extend(mine);
+            });
+        }
+        for h in push_handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    let mut remaining = Vec::new();
+    loop {
+        let l = deque.pop_left_n(3);
+        let r = deque.pop_right_n(3);
+        if l.is_empty() && r.is_empty() {
+            break;
+        }
+        remaining.extend(l);
+        remaining.extend(r);
+    }
+
+    let pushed = pushed.lock().unwrap();
+    let popped = popped.lock().unwrap();
+    let mut seen: HashSet<u64> = HashSet::with_capacity(pushed.len());
+    for &v in popped.iter().chain(remaining.iter()) {
+        assert!(seen.insert(v), "{}: value {v} popped twice", deque.impl_name());
+    }
+    let expect: HashSet<u64> = pushed.iter().copied().collect();
+    assert_eq!(seen, expect, "{}: value sets differ", deque.impl_name());
+}
+
+#[test]
+fn batched_list_deque_mcas() {
+    conservation_batched(ListDeque::<u64, HarrisMcas>::new(), 3, 3, PER);
+}
+
+#[test]
+fn batched_list_deque_seqlock() {
+    conservation_batched(ListDeque::<u64, GlobalSeqLock>::new(), 3, 3, PER);
+}
+
+#[test]
+fn batched_array_deque_mcas_large() {
+    conservation_batched(ArrayDeque::<u64, HarrisMcas>::new(1 << 16), 3, 3, PER);
+}
+
+#[test]
+fn batched_array_deque_mcas_small_capacity() {
+    // Capacity below the widest batch: chunking clamps to the capacity
+    // and pushes are routinely part-accepted.
+    conservation_batched(ArrayDeque::<u64, HarrisMcas>::new(6), 3, 3, PER / 2);
+}
+
+#[test]
+fn batched_pushers_only_then_drain() {
+    // No concurrent poppers: everything lands in the deque and the final
+    // batched two-end drain must recover the exact pushed set.
+    conservation_batched(ListDeque::<u64, HarrisMcas>::new(), 3, 0, PER);
+}
+
+// --- Elimination backoff (PR 2): with the per-end elimination arrays on,
+// values may bypass the deque entirely (handed pusher-to-popper), so
+// conservation is exactly the property at risk.
+
+fn eliminating() -> dcas_deques::deque::EndConfig {
+    dcas_deques::deque::EndConfig {
+        elimination: true,
+        elim_slots: 2,
+        offer_spins: 64,
+    }
+}
+
+#[test]
+fn eliminating_array_deque_conserves() {
+    conservation(ArrayDeque::<u64, HarrisMcas>::with_end_config(1 << 10, eliminating()), 3, 3, PER);
+}
+
+#[test]
+fn eliminating_list_deque_conserves() {
+    conservation(ListDeque::<u64, HarrisMcas>::with_end_config(eliminating()), 3, 3, PER);
+}
+
+#[test]
+fn eliminating_list_deque_conserves_batched() {
+    conservation_batched(ListDeque::<u64, HarrisMcas>::with_end_config(eliminating()), 3, 3, PER);
+}

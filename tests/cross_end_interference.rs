@@ -110,3 +110,37 @@ fn cross_end_interference() {
          greenwald {gw_fail_rate}"
     );
 }
+
+#[test]
+fn batched_ops_do_not_interfere_across_ends() {
+    // PR 2: the chunk CASN of a batched operation touches one hub word
+    // plus k cells at *its own* end, so two threads doing opposite-end
+    // batched push/pop pairs on a half-full deque should see essentially
+    // no failed CASNs — the same disjointness argument as the
+    // single-element case, now over wider atomic footprints.
+    const K: usize = 4;
+    let ours = RawArrayDeque::<u32, Counting<Yielding<StripedLock>>>::new(CAP);
+    for i in 0..(CAP / 2) as u32 {
+        ours.push_right(i).unwrap();
+    }
+    ours.strategy().reset();
+    run_two_ends(
+        &ours,
+        |d, v| {
+            let _ = d.push_left_n((0..K as u32).map(|j| v + j).collect());
+        },
+        |d| d.pop_left_n(K).into_iter().next(),
+        |d, v| {
+            let _ = d.push_right_n((0..K as u32).map(|j| v + j).collect());
+        },
+        |d| d.pop_right_n(K).into_iter().next(),
+    );
+    let stats = ours.strategy().stats();
+    assert!(stats.casn_attempts > 0, "batched ops should go through the CASN primitive");
+    let fail_rate = stats.casn_failures() as f64 / stats.casn_attempts as f64;
+    println!("batched: {} CASN attempts, {:.4}% failed", stats.casn_attempts, fail_rate * 100.0);
+    assert!(
+        fail_rate < 0.001,
+        "unexpected cross-end interference between batched ops: {fail_rate}"
+    );
+}

@@ -21,6 +21,7 @@ fn config(capacity: Option<usize>) -> StressConfig {
         capacity,
         push_bias: 55,
         seed: 0xD0C5,
+        max_batch: 0,
     }
 }
 
@@ -143,4 +144,83 @@ fn push_heavy_workload_hits_full_paths() {
         StressConfig { push_bias: 80, rounds: 150, ..config(Some(3)) },
     )
     .unwrap();
+}
+
+// --- Batched operations (PR 2): one recorded `PushRightN`/`PopLeftN` op
+// maps onto exactly one chunk CASN, so the checker proves each batch is a
+// single atomic multi-element transition of the Section 2.2 machine.
+// Array capacity must be >= max_batch for that one-op-one-chunk mapping
+// (`push_right_n` splits batches wider than the capacity into chunks).
+
+#[test]
+fn array_deque_batched_ops_linearizable() {
+    let d: ArrayDeque<u64, HarrisMcas> = ArrayDeque::new(8);
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(Some(8)) }).unwrap();
+}
+
+#[test]
+fn array_deque_batched_ops_linearizable_with_yield_injection() {
+    let d: ArrayDeque<u64, Yielding<HarrisMcas>> = ArrayDeque::new(8);
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(Some(8)) }).unwrap();
+}
+
+#[test]
+fn array_deque_batched_full_paths_linearizable() {
+    // Push-heavy at exactly max_batch capacity: batched pushes routinely
+    // hit the all-or-nothing `Full` path mid-history.
+    let d: ArrayDeque<u64, HarrisMcas> = ArrayDeque::new(8);
+    stress_and_check(
+        &d,
+        StressConfig { push_bias: 80, max_batch: 8, ..config(Some(8)) },
+    )
+    .unwrap();
+}
+
+#[test]
+fn list_deque_batched_ops_linearizable() {
+    let d: ListDeque<u64, HarrisMcas> = ListDeque::new();
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(None) }).unwrap();
+}
+
+#[test]
+fn list_deque_batched_ops_linearizable_with_yield_injection() {
+    // Yields inside the multi-word CASN suspend batches between their
+    // logical and physical effects; helpers must keep them atomic.
+    let d: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::new();
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(None) }).unwrap();
+}
+
+// --- Elimination backoff (PR 2): pairing a colliding same-end push/pop in
+// the elimination array must look exactly like the push linearizing
+// immediately before the pop. `Yielding` widens the retry windows where
+// the arrays are consulted; tiny arrays force slot reuse (version churn).
+
+fn eliminating() -> dcas_deques::deque::EndConfig {
+    dcas_deques::deque::EndConfig {
+        elimination: true,
+        elim_slots: 2,
+        offer_spins: 64,
+    }
+}
+
+#[test]
+fn eliminating_array_deque_is_linearizable() {
+    let d: ArrayDeque<u64, Yielding<HarrisMcas>> = ArrayDeque::with_end_config(4, eliminating());
+    stress_and_check(&d, config(Some(4))).unwrap();
+}
+
+#[test]
+fn eliminating_list_deque_is_linearizable() {
+    let d: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::with_end_config(eliminating());
+    stress_and_check(&d, config(None)).unwrap();
+}
+
+#[test]
+fn eliminating_deques_with_batched_ops_are_linearizable() {
+    // Both PR-2 mechanisms at once: batched chunk CASNs racing eliminated
+    // single-element pairs.
+    let d: ArrayDeque<u64, Yielding<HarrisMcas>> = ArrayDeque::with_end_config(8, eliminating());
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(Some(8)) }).unwrap();
+    let d: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::with_end_config(eliminating());
+    stress_and_check(&d, StressConfig { max_batch: 8, ..config(None) }).unwrap();
 }

@@ -21,6 +21,18 @@ fn readme_quickstart_compiles_and_runs() {
     let d: ListDeque<i64, GlobalSeqLock> = ListDeque::new();
     drop(d);
 
+    // Batched operations: up to MAX_BATCH elements per transition, a
+    // full deque accepts a prefix and hands back the rejected tail.
+    assert_eq!(MAX_BATCH, 8);
+    let d: ArrayDeque<u64> = ArrayDeque::new(8);
+    d.push_right_n(vec![1, 2, 3, 4]).unwrap();
+    assert_eq!(d.pop_left_n(3), vec![1, 2, 3]);
+
+    // Elimination backoff is off by default and enabled per deque.
+    let d: ListDeque<u64> = ListDeque::with_end_config(EndConfig::eliminating());
+    d.push_right(7).unwrap();
+    assert_eq!(d.pop_right(), Some(7));
+
     // The worked example from the paper's Section 2.2, via the trait.
     let d: DummyListDeque<u32> = DummyListDeque::new();
     ConcurrentDeque::push_right(&d, 1).unwrap();
