@@ -13,9 +13,13 @@
 //!    traffic per element).
 //! 3. **fork-join** — the E6 spawn-tree on the work-stealing scheduler,
 //!    whose thieves now use `steal_half` with a batched local re-push.
-//! 4. **elimination** — several threads hammering the *same* end, with
-//!    the per-end elimination arrays off vs on (`EndConfig`); paired
-//!    push/pop cancellations bypass the contended end words entirely.
+//! 4. **elimination** — several threads hammering the *same* end of the
+//!    unbounded list deque, with the per-end elimination arrays off vs
+//!    on (`EndConfig`); paired push/pop cancellations bypass the
+//!    contended end words entirely. List deque only: the bounded array
+//!    deque has no elimination knob (an eliminated push cannot prove the
+//!    deque non-full at the exchange instant, which would break
+//!    linearizability).
 //!
 //! Runs as a plain binary (`harness = false`), prints a table, and —
 //! unless `E11_SMOKE` is set (the CI smoke mode, which shrinks every
@@ -309,34 +313,26 @@ fn main() {
     // comparison isolates what the elimination arrays buy under it.
     {
         let elim = EndConfig { elimination: true, elim_slots: 1, offer_spins: 16 };
-        let array_off: ArrayDeque<u64, Yielding<HarrisMcas>> = ArrayDeque::new(1 << 10);
-        let array_on: ArrayDeque<u64, Yielding<HarrisMcas>> =
-            ArrayDeque::with_end_config(1 << 10, elim);
         let list_off: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::new();
         let list_on: ListDeque<u64, Yielding<HarrisMcas>> = ListDeque::with_end_config(elim);
         let elems = elim_pairs * elim_threads as u64;
-        let mut runs: [Vec<Duration>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let mut runs: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
         for _ in 0..repeats {
-            runs[0].push(same_end_storm(&array_off, elim_threads, elim_pairs));
-            runs[1].push(same_end_storm(&array_on, elim_threads, elim_pairs));
-            runs[2].push(same_end_storm(&list_off, elim_threads, elim_pairs));
-            runs[3].push(same_end_storm(&list_on, elim_threads, elim_pairs));
+            runs[0].push(same_end_storm(&list_off, elim_threads, elim_pairs));
+            runs[1].push(same_end_storm(&list_on, elim_threads, elim_pairs));
         }
-        for (deque, base_i, on_i) in [("array", 0usize, 1usize), ("list", 2, 3)] {
-            let base = median(runs[base_i].clone()).as_nanos();
-            for (arm, i) in [("elim-off", base_i), ("elim-on", on_i)] {
-                let nanos = median(runs[i].clone()).as_nanos();
-                results.push(Measurement {
-                    phase: if deque == "array" { "same-end/array" } else { "same-end/list" },
-                    arm: arm.to_owned(),
-                    threads: elim_threads,
-                    elems,
-                    nanos,
-                    speedup: base as f64 / nanos as f64,
-                });
-            }
+        let base = median(runs[0].clone()).as_nanos();
+        for (arm, i) in [("elim-off", 0usize), ("elim-on", 1)] {
+            let nanos = median(runs[i].clone()).as_nanos();
+            results.push(Measurement {
+                phase: "same-end/list",
+                arm: arm.to_owned(),
+                threads: elim_threads,
+                elems,
+                nanos,
+                speedup: base as f64 / nanos as f64,
+            });
         }
-        print_elim_counters("same-end/array", || array_on.elim_stats());
         print_elim_counters("same-end/list", || list_on.elim_stats());
     }
 

@@ -29,6 +29,16 @@
 //! * lines 17–18 (use the *strong* DCAS that returns an atomic view on
 //!   failure, to detect "the deque became empty/full under me" without
 //!   retrying).
+//!
+//! Unlike the unbounded list deque, this deque deliberately has **no
+//! elimination-backoff knob** ([`dcas::EndConfig`]). Eliminating a
+//! same-end push/pop pair linearizes the push immediately before the pop
+//! at the exchange instant — legal only if the push could succeed there.
+//! On a bounded deque the exchanger cannot prove the deque is non-full at
+//! that instant, so an eliminated push could complete while the deque was
+//! full for the push's entire duration (it must return `Full` then):
+//! a non-linearizable history. On the list deque pushes never fail, so
+//! the pairing is unconditionally legal and the knob lives there.
 
 // The nested `if` structure deliberately mirrors the paper's line-numbered
 // listings (line 7 gates lines 8-10); do not collapse it.
@@ -37,7 +47,7 @@
 use std::marker::PhantomData;
 
 use crossbeam_utils::CachePadded;
-use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas};
+use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, HarrisMcas};
 
 use crate::reserved::NULL;
 use crate::value::{Boxed, WordValue};
@@ -106,12 +116,7 @@ pub struct RawArrayDeque<V: WordValue, S: DcasStrategy> {
     l: CachePadded<DcasWord>,
     /// The circular array `S[0..length_S-1]`.
     slots: Box<[DcasWord]>,
-    /// Elimination array for the left end (present iff
-    /// [`EndConfig::elimination`] is on).
-    elim_left: Option<EliminationArray>,
-    /// Elimination array for the right end.
-    elim_right: Option<EliminationArray>,
-    _marker: PhantomData<fn(V) -> V>,
+    _marker: PhantomData<fn(V) -> V>
 }
 
 #[inline]
@@ -146,21 +151,6 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
 
     /// Creates a deque with an explicit optimization configuration.
     pub fn with_config(length: usize, config: ArrayConfig) -> Self {
-        Self::with_configs(length, config, EndConfig::default())
-    }
-
-    /// Creates a deque with the default [`ArrayConfig`] and an explicit
-    /// per-end configuration (elimination-array knobs).
-    pub fn with_end_config(length: usize, end: EndConfig) -> Self {
-        Self::with_configs(
-            length,
-            ArrayConfig { revalidate_index: true, strong_failure_check: S::HAS_CHEAP_STRONG },
-            end,
-        )
-    }
-
-    /// Creates a deque with both configurations explicit.
-    pub fn with_configs(length: usize, config: ArrayConfig, end: EndConfig) -> Self {
         assert!(length >= 1, "make_deque requires length_S >= 1");
         assert!(length <= u32::MAX as usize, "deque too large");
         let slots = (0..length).map(|_| DcasWord::new(NULL)).collect();
@@ -171,17 +161,8 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
             r: CachePadded::new(DcasWord::new(enc_idx(1 % length))),
             l: CachePadded::new(DcasWord::new(enc_idx(0))),
             slots,
-            elim_left: end.elimination.then(|| EliminationArray::new(&end)),
-            elim_right: end.elimination.then(|| EliminationArray::new(&end)),
             _marker: PhantomData,
         }
-    }
-
-    /// Per-end elimination-array counter snapshots `(left, right)`, or
-    /// `None` when elimination is off. Non-zero only with the
-    /// `dcas/stats` feature.
-    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
-        Some((self.elim_left.as_ref()?.stats(), self.elim_right.as_ref()?.stats()))
     }
 
     /// Capacity fixed at construction.
@@ -268,16 +249,6 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Some(unsafe { V::decode(old_s) });
                 }
             }
-            // Contended retry: a colliding pushRight may hand its value
-            // over directly (the push and this pop linearize
-            // back-to-back at the exchange instant).
-            if let Some(elim) = &self.elim_right {
-                if let Some(w) = elim.try_take() {
-                    // SAFETY: the eliminated word is an encoded value whose
-                    // ownership the offering pushRight transferred to us.
-                    return Some(unsafe { V::decode(w) });
-                }
-            }
         }
     }
 
@@ -338,13 +309,6 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Ok(());
                 }
             }
-            // Contended retry: hand the value to a colliding popRight if
-            // one is waiting (the pair linearizes at the exchange).
-            if let Some(elim) = &self.elim_right {
-                if elim.offer(val).is_ok() {
-                    return Ok(());
-                }
-            }
         }
     }
 
@@ -399,13 +363,6 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                 ) {
                     // SAFETY: as in `pop_right`.
                     return Some(unsafe { V::decode(old_s) });
-                }
-            }
-            // Contended retry: pair with a colliding pushLeft.
-            if let Some(elim) = &self.elim_left {
-                if let Some(w) = elim.try_take() {
-                    // SAFETY: as in `pop_right`'s elimination arm.
-                    return Some(unsafe { V::decode(w) });
                 }
             }
         }
@@ -463,12 +420,6 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     return Ok(());
                 }
             }
-            // Contended retry: hand the value to a colliding popLeft.
-            if let Some(elim) = &self.elim_left {
-                if elim.offer(val).is_ok() {
-                    return Ok(());
-                }
-            }
         }
     }
 
@@ -521,12 +472,15 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                 }
                 None => {
                     let new_r = (old_r + k) % len;
-                    let mut entries = Vec::with_capacity(k + 1);
-                    entries.push(CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r)));
+                    // Entries live on the stack (k + 1 <= MAX_BATCH + 1):
+                    // a chunk commit allocates nothing.
+                    let mut entries = [CasnEntry::new(&self.r, NULL, NULL); MAX_BATCH + 2];
+                    entries[0] = CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r));
                     for (i, &w) in words.iter().enumerate() {
-                        entries.push(CasnEntry::new(&self.slots[(old_r + i) % len], NULL, w));
+                        entries[1 + i] =
+                            CasnEntry::new(&self.slots[(old_r + i) % len], NULL, w);
                     }
-                    if self.strategy.casn(&mut entries) {
+                    if self.strategy.casn(&mut entries[..k + 1]) {
                         return true;
                     }
                 }
@@ -566,13 +520,13 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                 }
                 None => {
                     let new_l = (old_l + len - k) % len;
-                    let mut entries = Vec::with_capacity(k + 1);
-                    entries.push(CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l)));
+                    let mut entries = [CasnEntry::new(&self.l, NULL, NULL); MAX_BATCH + 2];
+                    entries[0] = CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l));
                     for (i, &w) in words.iter().enumerate() {
-                        entries
-                            .push(CasnEntry::new(&self.slots[(old_l + len - i) % len], NULL, w));
+                        entries[1 + i] =
+                            CasnEntry::new(&self.slots[(old_l + len - i) % len], NULL, w);
                     }
-                    if self.strategy.casn(&mut entries) {
+                    if self.strategy.casn(&mut entries[..k + 1]) {
                         return true;
                     }
                 }
@@ -581,8 +535,8 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
         }
     }
 
-    /// Pops up to `k` values from the left end in one CASN, returning
-    /// `(popped_words, exhausted)` where `exhausted` reports that the
+    /// Pops up to `k` values from the left end in one CASN, appending the
+    /// decoded values to `out` and returning `exhausted`: whether the
     /// deque held fewer than `k` values at the linearization instant.
     ///
     /// The CASN advances `L` past the `j` scanned values and nulls their
@@ -591,21 +545,22 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     /// starts at `L+1` and ends before that null cell, certifying
     /// `|deque| == j` — without it, returning a short batch would not be
     /// linearizable as `k` pops (the deque might have held more).
-    fn pop_chunk_left(&self, k: usize) -> (Vec<u64>, bool) {
+    fn pop_chunk_left(&self, k: usize, out: &mut Vec<V>) -> bool {
         let len = self.slots.len();
         debug_assert!(k >= 1 && k <= MAX_BATCH);
         let mut backoff = Backoff::new();
         loop {
             let old_l = dec_idx(self.strategy.load(&self.l));
-            let mut vals = Vec::with_capacity(k);
-            for i in 0..k.min(len) {
-                let w = self.strategy.load(&self.slots[(old_l + 1 + i) % len]);
+            let mut words = [0u64; MAX_BATCH];
+            let mut j = 0;
+            while j < k.min(len) {
+                let w = self.strategy.load(&self.slots[(old_l + 1 + j) % len]);
                 if w == NULL {
                     break;
                 }
-                vals.push(w);
+                words[j] = w;
+                j += 1;
             }
-            let j = vals.len();
             if j == 0 {
                 // Possibly empty; confirm exactly as the single pop does.
                 if self.strategy.dcas(
@@ -616,24 +571,27 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     enc_idx(old_l),
                     NULL,
                 ) {
-                    return (vals, true);
+                    return true;
                 }
             } else {
                 let new_l = (old_l + j) % len;
-                let mut entries = Vec::with_capacity(j + 2);
-                entries.push(CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l)));
-                for (i, &w) in vals.iter().enumerate() {
-                    entries.push(CasnEntry::new(&self.slots[(old_l + 1 + i) % len], w, NULL));
+                let mut entries = [CasnEntry::new(&self.l, NULL, NULL); MAX_BATCH + 2];
+                entries[0] = CasnEntry::new(&self.l, enc_idx(old_l), enc_idx(new_l));
+                for (i, &w) in words[..j].iter().enumerate() {
+                    entries[1 + i] =
+                        CasnEntry::new(&self.slots[(old_l + 1 + i) % len], w, NULL);
                 }
+                let mut n = j + 1;
                 if j < k && j < len {
-                    entries.push(CasnEntry::new(
-                        &self.slots[(old_l + 1 + j) % len],
-                        NULL,
-                        NULL,
-                    ));
+                    entries[n] =
+                        CasnEntry::new(&self.slots[(old_l + 1 + j) % len], NULL, NULL);
+                    n += 1;
                 }
-                if self.strategy.casn(&mut entries) {
-                    return (vals, j < k);
+                if self.strategy.casn(&mut entries[..n]) {
+                    // SAFETY: each word was moved out of its cell by our
+                    // CASN; we are its unique owner.
+                    out.extend(words[..j].iter().map(|&w| unsafe { V::decode(w) }));
+                    return j < k;
                 }
             }
             backoff.snooze();
@@ -642,21 +600,22 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
 
     /// Mirror of [`pop_chunk_left`](Self::pop_chunk_left) for the right
     /// end: scans `R-1, R-2, ...` and retreats `R` by `j`.
-    fn pop_chunk_right(&self, k: usize) -> (Vec<u64>, bool) {
+    fn pop_chunk_right(&self, k: usize, out: &mut Vec<V>) -> bool {
         let len = self.slots.len();
         debug_assert!(k >= 1 && k <= MAX_BATCH);
         let mut backoff = Backoff::new();
         loop {
             let old_r = dec_idx(self.strategy.load(&self.r));
-            let mut vals = Vec::with_capacity(k);
-            for i in 0..k.min(len) {
-                let w = self.strategy.load(&self.slots[(old_r + len - 1 - i) % len]);
+            let mut words = [0u64; MAX_BATCH];
+            let mut j = 0;
+            while j < k.min(len) {
+                let w = self.strategy.load(&self.slots[(old_r + len - 1 - j) % len]);
                 if w == NULL {
                     break;
                 }
-                vals.push(w);
+                words[j] = w;
+                j += 1;
             }
-            let j = vals.len();
             if j == 0 {
                 if self.strategy.dcas(
                     &self.r,
@@ -666,25 +625,26 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     enc_idx(old_r),
                     NULL,
                 ) {
-                    return (vals, true);
+                    return true;
                 }
             } else {
                 let new_r = (old_r + len - j) % len;
-                let mut entries = Vec::with_capacity(j + 2);
-                entries.push(CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r)));
-                for (i, &w) in vals.iter().enumerate() {
-                    entries
-                        .push(CasnEntry::new(&self.slots[(old_r + len - 1 - i) % len], w, NULL));
+                let mut entries = [CasnEntry::new(&self.r, NULL, NULL); MAX_BATCH + 2];
+                entries[0] = CasnEntry::new(&self.r, enc_idx(old_r), enc_idx(new_r));
+                for (i, &w) in words[..j].iter().enumerate() {
+                    entries[1 + i] =
+                        CasnEntry::new(&self.slots[(old_r + len - 1 - i) % len], w, NULL);
                 }
+                let mut n = j + 1;
                 if j < k && j < len {
-                    entries.push(CasnEntry::new(
-                        &self.slots[(old_r + len - 1 - j) % len],
-                        NULL,
-                        NULL,
-                    ));
+                    entries[n] =
+                        CasnEntry::new(&self.slots[(old_r + len - 1 - j) % len], NULL, NULL);
+                    n += 1;
                 }
-                if self.strategy.casn(&mut entries) {
-                    return (vals, j < k);
+                if self.strategy.casn(&mut entries[..n]) {
+                    // SAFETY: as in `pop_chunk_left`.
+                    out.extend(words[..j].iter().map(|&w| unsafe { V::decode(w) }));
+                    return j < k;
                 }
             }
             backoff.snooze();
@@ -695,40 +655,79 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     /// of up to [`MAX_BATCH`] elements (each chunk one CASN). When the
     /// deque cannot hold a whole chunk, the unpushed tail is returned in
     /// `Full`; already-committed chunks stay pushed.
-    pub fn push_right_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
-        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+    ///
+    /// Takes any iterator so callers (e.g. the boxing [`ArrayDeque`]
+    /// wrapper) can stream values in without materializing an
+    /// intermediate `Vec`; each chunk is encoded into a stack buffer.
+    pub fn push_right_n<I>(&self, vals: I) -> Result<(), Full<Vec<V>>>
+    where
+        I: IntoIterator<Item = V>,
+    {
         let max = MAX_BATCH.min(self.slots.len());
-        let mut next = 0;
-        while next < words.len() {
-            let k = (words.len() - next).min(max);
-            if !self.push_chunk_right(&words[next..next + k]) {
-                // SAFETY: words[next..] were encoded above and never
-                // pushed; we re-take unique ownership.
-                let rest = words[next..].iter().map(|&w| unsafe { V::decode(w) }).collect();
+        let mut it = vals.into_iter();
+        let mut words = [0u64; MAX_BATCH];
+        loop {
+            let mut k = 0;
+            while k < max {
+                match it.next() {
+                    Some(v) => {
+                        words[k] = v.encode();
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            if k == 0 {
+                return Ok(());
+            }
+            if !self.push_chunk_right(&words[..k]) {
+                // SAFETY: words[..k] were encoded above and never pushed;
+                // we re-take unique ownership. The unconsumed iterator
+                // tail follows them in order.
+                let rest = words[..k]
+                    .iter()
+                    .map(|&w| unsafe { V::decode(w) })
+                    .chain(it)
+                    .collect();
                 return Err(Full(rest));
             }
-            next += k;
         }
-        Ok(())
     }
 
     /// Pushes all of `vals` at the left end, in order (the last element
     /// ends up leftmost), in atomic chunks. See
     /// [`push_right_n`](Self::push_right_n).
-    pub fn push_left_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
-        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
+    pub fn push_left_n<I>(&self, vals: I) -> Result<(), Full<Vec<V>>>
+    where
+        I: IntoIterator<Item = V>,
+    {
         let max = MAX_BATCH.min(self.slots.len());
-        let mut next = 0;
-        while next < words.len() {
-            let k = (words.len() - next).min(max);
-            if !self.push_chunk_left(&words[next..next + k]) {
+        let mut it = vals.into_iter();
+        let mut words = [0u64; MAX_BATCH];
+        loop {
+            let mut k = 0;
+            while k < max {
+                match it.next() {
+                    Some(v) => {
+                        words[k] = v.encode();
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            if k == 0 {
+                return Ok(());
+            }
+            if !self.push_chunk_left(&words[..k]) {
                 // SAFETY: as in `push_right_n`.
-                let rest = words[next..].iter().map(|&w| unsafe { V::decode(w) }).collect();
+                let rest = words[..k]
+                    .iter()
+                    .map(|&w| unsafe { V::decode(w) })
+                    .chain(it)
+                    .collect();
                 return Err(Full(rest));
             }
-            next += k;
         }
-        Ok(())
     }
 
     /// Pops up to `n` values from the right end, rightmost first, in
@@ -738,11 +737,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
-            let (words, exhausted) = self.pop_chunk_right(k);
-            // SAFETY: each word was moved out of its cell by our CASN; we
-            // are its unique owner.
-            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
-            if exhausted {
+            if self.pop_chunk_right(k, &mut out) {
                 break;
             }
         }
@@ -755,10 +750,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
-            let (words, exhausted) = self.pop_chunk_left(k);
-            // SAFETY: as in `pop_right_n`.
-            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
-            if exhausted {
+            if self.pop_chunk_left(k, &mut out) {
                 break;
             }
         }
@@ -824,18 +816,6 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
         ArrayDeque { raw: RawArrayDeque::with_config(length, config) }
     }
 
-    /// Creates a deque with an explicit per-end configuration (the
-    /// elimination-array knobs; see [`EndConfig`]).
-    pub fn with_end_config(length: usize, end: EndConfig) -> Self {
-        ArrayDeque { raw: RawArrayDeque::with_end_config(length, end) }
-    }
-
-    /// Per-end elimination counter snapshots `(left, right)`; `None` when
-    /// elimination is off (see [`RawArrayDeque::elim_stats`]).
-    pub fn elim_stats(&self) -> Option<(dcas::StrategyStats, dcas::StrategyStats)> {
-        self.raw.elim_stats()
-    }
-
     /// Capacity fixed at construction.
     pub fn capacity(&self) -> usize {
         self.raw.capacity()
@@ -869,7 +849,7 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
     /// [`MAX_BATCH`] elements (see [`RawArrayDeque::push_right_n`]).
     pub fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
         self.raw
-            .push_right_n(vals.into_iter().map(Boxed::new).collect())
+            .push_right_n(vals.into_iter().map(Boxed::new))
             .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
     }
 
@@ -877,7 +857,7 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
     /// element ends up leftmost).
     pub fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
         self.raw
-            .push_left_n(vals.into_iter().map(Boxed::new).collect())
+            .push_left_n(vals.into_iter().map(Boxed::new))
             .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
     }
 

@@ -73,7 +73,8 @@ pub use value::{Boxed, WordValue};
 // Strategy-level tuning and observability, re-exported so deque users can
 // configure the default lock-free DCAS emulation without depending on the
 // `dcas` crate directly. `EndConfig` gates the per-end elimination arrays
-// consulted by the deque retry loops (off by default).
+// consulted by the unbounded deques' retry loops (off by default; the
+// bounded array deque has no such knob — see its module docs).
 pub use dcas::{EndConfig, HarrisMcas, McasConfig, StrategyStats};
 
 /// Maximum number of elements a batched deque operation moves in **one**

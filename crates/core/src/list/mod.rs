@@ -569,30 +569,30 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// (the last element ends up rightmost). Builds the private chain
     /// `m_1 .. m_k` off-list, then splices it exactly like the one-node
     /// push of Figure 13: `DCAS(SR->L, m_left_neighbor->R)`.
-    pub fn push_right_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
-        if vals.is_empty() {
-            return Ok(());
-        }
+    pub fn push_right_n<I>(&self, vals: I) -> Result<(), Full<Vec<V>>>
+    where
+        I: IntoIterator<Item = V>,
+    {
+        let mut it = vals.into_iter();
+        let Some(v0) = it.next() else { return Ok(()) };
         let guard = epoch::pin();
-        let nodes: Vec<*mut Node> =
-            (0..vals.len()).map(|_| Box::into_raw(Box::new(Node::new_blank()))).collect();
-        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
-        // SAFETY: the chain is unpublished; we have exclusive access.
-        unsafe {
-            for (i, (&n, &w)) in nodes.iter().zip(&words).enumerate() {
-                (*n).value.init_store(w);
-                if i + 1 < nodes.len() {
-                    (*n).r.init_store(pack(nodes[i + 1], false));
-                } else {
-                    (*n).r.init_store(pack(self.srp(), false));
-                }
-                if i > 0 {
-                    (*n).l.init_store(pack(nodes[i - 1], false));
-                }
+        // Build the chain left-to-right in push order, linking each node
+        // as the iterator yields it — no intermediate buffers.
+        // SAFETY (this block and the loop): the chain is unpublished; we
+        // have exclusive access.
+        let first = Box::into_raw(Box::new(Node::new_blank()));
+        unsafe { (*first).value.init_store(v0.encode()) };
+        let mut last = first;
+        for v in it {
+            let n = Box::into_raw(Box::new(Node::new_blank()));
+            unsafe {
+                (*n).value.init_store(v.encode());
+                (*n).l.init_store(pack(last, false));
+                (*last).r.init_store(pack(n, false));
             }
+            last = n;
         }
-        let first = nodes[0];
-        let last = *nodes.last().unwrap();
+        unsafe { (*last).r.init_store(pack(self.srp(), false)) };
         let mut backoff = Backoff::new();
         loop {
             let old_l = self.strategy.load(&self.sr.l);
@@ -622,32 +622,31 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// Pushes all of `vals` at the left end in **one** DCAS, in order
     /// (the last element ends up leftmost). Mirror of
     /// [`push_right_n`](Self::push_right_n).
-    pub fn push_left_n(&self, vals: Vec<V>) -> Result<(), Full<Vec<V>>> {
-        if vals.is_empty() {
-            return Ok(());
-        }
+    pub fn push_left_n<I>(&self, vals: I) -> Result<(), Full<Vec<V>>>
+    where
+        I: IntoIterator<Item = V>,
+    {
+        let mut it = vals.into_iter();
+        let Some(v0) = it.next() else { return Ok(()) };
         let guard = epoch::pin();
-        let nodes: Vec<*mut Node> =
-            (0..vals.len()).map(|_| Box::into_raw(Box::new(Node::new_blank()))).collect();
-        let words: Vec<u64> = vals.into_iter().map(|v| v.encode()).collect();
         // Chain left-to-right holds the values in reverse push order, so
-        // that the sequence behaves like repeated pushLeft calls.
-        // SAFETY: the chain is unpublished.
-        unsafe {
-            for (i, &n) in nodes.iter().enumerate() {
-                (*n).value.init_store(words[nodes.len() - 1 - i]);
-                if i + 1 < nodes.len() {
-                    (*n).r.init_store(pack(nodes[i + 1], false));
-                }
-                if i > 0 {
-                    (*n).l.init_store(pack(nodes[i - 1], false));
-                } else {
-                    (*n).l.init_store(pack(self.slp(), false));
-                }
+        // that the sequence behaves like repeated pushLeft calls: each
+        // yielded value's node is *prepended* to the unpublished chain.
+        // SAFETY (this block and the loop): the chain is unpublished; we
+        // have exclusive access.
+        let last = Box::into_raw(Box::new(Node::new_blank()));
+        unsafe { (*last).value.init_store(v0.encode()) };
+        let mut first = last;
+        for v in it {
+            let n = Box::into_raw(Box::new(Node::new_blank()));
+            unsafe {
+                (*n).value.init_store(v.encode());
+                (*n).r.init_store(pack(first, false));
+                (*first).l.init_store(pack(n, false));
             }
+            first = n;
         }
-        let first = nodes[0];
-        let last = *nodes.last().unwrap();
+        unsafe { (*first).l.init_store(pack(self.slp(), false)) };
         let mut backoff = Backoff::new();
         loop {
             let old_r = self.strategy.load(&self.sl.r);
@@ -674,8 +673,9 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         }
     }
 
-    /// Pops up to `k` leftmost values in one CASN, returning
-    /// `(popped_words, exhausted)`. The CASN covers:
+    /// Pops up to `k` leftmost values in one CASN, appending them to
+    /// `out` and returning whether the deque was exhausted. The CASN
+    /// covers:
     ///
     /// * `SL->R`: swung directly past the `j` victims to their right
     ///   neighbor `n_{j+1}` (logical + physical deletion fused);
@@ -696,7 +696,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// n_{j+1}` with `n_{j+1}` the sentinel or a logically-deleted null
     /// node is pinned by the entries plus the fact that a value word
     /// never leaves null once set).
-    fn pop_left_chunk(&self, k: usize, guard: &Guard) -> (Vec<u64>, bool) {
+    fn pop_left_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
         debug_assert!(k >= 1 && k <= MAX_BATCH);
         let mut backoff = Backoff::new();
         loop {
@@ -711,7 +711,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             // retired-but-pinned nodes stay dereferenceable.
             let v1 = self.strategy.load(unsafe { &(*orp).value });
             if v1 == SENTR {
-                return (Vec::new(), true); // empty at the SL->R read
+                return true; // empty at the SL->R read
             }
             if v1 == NULL {
                 // Deleted from the right side; empty if nothing changed —
@@ -724,57 +724,64 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     old_r,
                     NULL,
                 ) {
-                    return (Vec::new(), true);
+                    return true;
                 }
                 backoff.snooze();
                 continue;
             }
             // Collect up to k live nodes left-to-right; `next` ends as
             // n_{j+1} (SR, a null node, or the first node past the batch).
-            let mut nodes: Vec<*const Node> = vec![orp];
-            let mut vals: Vec<u64> = vec![v1];
+            let mut nodes = [std::ptr::null::<Node>(); MAX_BATCH];
+            let mut vals = [0u64; MAX_BATCH];
+            nodes[0] = orp;
+            vals[0] = v1;
+            let mut j = 1;
             let mut next = ptr_of(self.strategy.load(unsafe { &(*orp).r }));
-            while vals.len() < k {
+            while j < k {
                 let v = self.strategy.load(unsafe { &(*next).value });
                 if v == SENTR || v == NULL {
                     break;
                 }
-                nodes.push(next);
-                vals.push(v);
+                nodes[j] = next;
+                vals[j] = v;
+                j += 1;
                 next = ptr_of(self.strategy.load(unsafe { &(*next).r }));
             }
             // A stale traversal can in principle walk retired pointers;
             // duplicate words in a CASN are invalid, so reject and retry.
-            if nodes.contains(&next)
-                || (1..nodes.len()).any(|i| nodes[..i].contains(&nodes[i]))
+            if nodes[..j].contains(&next)
+                || (1..j).any(|i| nodes[..i].contains(&nodes[i]))
             {
                 backoff.snooze();
                 continue;
             }
-            let j = vals.len();
             let n_j = nodes[j - 1];
-            let mut entries = Vec::with_capacity(j + 3);
-            entries.push(CasnEntry::new(&self.sl.r, old_r, pack(next, false)));
+            let mut entries = [CasnEntry::new(&self.sl.r, NULL, NULL); MAX_BATCH + 3];
+            entries[0] = CasnEntry::new(&self.sl.r, old_r, pack(next, false));
             // SAFETY: `n_j` and `next` were reachable during the scan.
-            entries.push(CasnEntry::new(
+            entries[1] = CasnEntry::new(
                 unsafe { &(*n_j).r },
                 pack(next, false),
                 pack(next, true), // tombstone (see doc comment)
-            ));
-            entries.push(CasnEntry::new(
+            );
+            entries[2] = CasnEntry::new(
                 unsafe { &(*next).l },
                 pack(n_j, false),
                 pack(self.slp(), false),
-            ));
-            for (&n, &v) in nodes.iter().zip(&vals) {
-                entries.push(CasnEntry::new(unsafe { &(*n).value }, v, NULL));
+            );
+            for i in 0..j {
+                entries[3 + i] =
+                    CasnEntry::new(unsafe { &(*nodes[i]).value }, vals[i], NULL);
             }
-            if self.strategy.casn(&mut entries) {
-                for &n in &nodes {
+            if self.strategy.casn(&mut entries[..j + 3]) {
+                for &n in &nodes[..j] {
                     // SAFETY: our CASN unlinked the chain `n_1..n_j`.
                     unsafe { self.retire(n, guard) };
                 }
-                return (vals, j < k);
+                // SAFETY: each word was moved out of its node by our
+                // CASN; we are its unique owner.
+                out.extend(vals[..j].iter().map(|&w| unsafe { V::decode(w) }));
+                return j < k;
             }
             backoff.snooze();
         }
@@ -782,7 +789,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// Mirror of [`pop_left_chunk`](Self::pop_left_chunk) for the right
     /// end: walks leftward from `SR->L`, returns rightmost first.
-    fn pop_right_chunk(&self, k: usize, guard: &Guard) -> (Vec<u64>, bool) {
+    fn pop_right_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
         debug_assert!(k >= 1 && k <= MAX_BATCH);
         let mut backoff = Backoff::new();
         loop {
@@ -795,7 +802,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             // SAFETY: as in `pop_left_chunk`.
             let v1 = self.strategy.load(unsafe { &(*olp).value });
             if v1 == SENTL {
-                return (Vec::new(), true);
+                return true;
             }
             if v1 == NULL {
                 if self.strategy.dcas(
@@ -806,53 +813,59 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     old_l,
                     NULL,
                 ) {
-                    return (Vec::new(), true);
+                    return true;
                 }
                 backoff.snooze();
                 continue;
             }
-            let mut nodes: Vec<*const Node> = vec![olp];
-            let mut vals: Vec<u64> = vec![v1];
+            let mut nodes = [std::ptr::null::<Node>(); MAX_BATCH];
+            let mut vals = [0u64; MAX_BATCH];
+            nodes[0] = olp;
+            vals[0] = v1;
+            let mut j = 1;
             let mut next = ptr_of(self.strategy.load(unsafe { &(*olp).l }));
-            while vals.len() < k {
+            while j < k {
                 let v = self.strategy.load(unsafe { &(*next).value });
                 if v == SENTL || v == NULL {
                     break;
                 }
-                nodes.push(next);
-                vals.push(v);
+                nodes[j] = next;
+                vals[j] = v;
+                j += 1;
                 next = ptr_of(self.strategy.load(unsafe { &(*next).l }));
             }
-            if nodes.contains(&next)
-                || (1..nodes.len()).any(|i| nodes[..i].contains(&nodes[i]))
+            if nodes[..j].contains(&next)
+                || (1..j).any(|i| nodes[..i].contains(&nodes[i]))
             {
                 backoff.snooze();
                 continue;
             }
-            let j = vals.len();
             let n_j = nodes[j - 1];
-            let mut entries = Vec::with_capacity(j + 3);
-            entries.push(CasnEntry::new(&self.sr.l, old_l, pack(next, false)));
+            let mut entries = [CasnEntry::new(&self.sr.l, NULL, NULL); MAX_BATCH + 3];
+            entries[0] = CasnEntry::new(&self.sr.l, old_l, pack(next, false));
             // SAFETY: `n_j` and `next` were reachable during the scan.
-            entries.push(CasnEntry::new(
+            entries[1] = CasnEntry::new(
                 unsafe { &(*n_j).l },
                 pack(next, false),
                 pack(next, true), // tombstone (see `pop_left_chunk`)
-            ));
-            entries.push(CasnEntry::new(
+            );
+            entries[2] = CasnEntry::new(
                 unsafe { &(*next).r },
                 pack(n_j, false),
                 pack(self.srp(), false),
-            ));
-            for (&n, &v) in nodes.iter().zip(&vals) {
-                entries.push(CasnEntry::new(unsafe { &(*n).value }, v, NULL));
+            );
+            for i in 0..j {
+                entries[3 + i] =
+                    CasnEntry::new(unsafe { &(*nodes[i]).value }, vals[i], NULL);
             }
-            if self.strategy.casn(&mut entries) {
-                for &n in &nodes {
+            if self.strategy.casn(&mut entries[..j + 3]) {
+                for &n in &nodes[..j] {
                     // SAFETY: our CASN unlinked the chain.
                     unsafe { self.retire(n, guard) };
                 }
-                return (vals, j < k);
+                // SAFETY: as in `pop_left_chunk`.
+                out.extend(vals[..j].iter().map(|&w| unsafe { V::decode(w) }));
+                return j < k;
             }
             backoff.snooze();
         }
@@ -866,11 +879,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
-            let (words, exhausted) = self.pop_left_chunk(k, &guard);
-            // SAFETY: each word was moved out of its node by our CASN; we
-            // are its unique owner.
-            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
-            if exhausted {
+            if self.pop_left_chunk(k, &mut out, &guard) {
                 break;
             }
         }
@@ -884,10 +893,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
-            let (words, exhausted) = self.pop_right_chunk(k, &guard);
-            // SAFETY: as in `pop_left_n`.
-            out.extend(words.into_iter().map(|w| unsafe { V::decode(w) }));
-            if exhausted {
+            if self.pop_right_chunk(k, &mut out, &guard) {
                 break;
             }
         }
@@ -997,17 +1003,23 @@ impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
 
     /// Pushes all of `vals` at the right end in **one** DCAS splice (see
     /// [`RawListDeque::push_right_n`]). Never fails.
-    pub fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+    pub fn push_right_n<I>(&self, vals: I) -> Result<(), Full<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
         self.raw
-            .push_right_n(vals.into_iter().map(Boxed::new).collect())
+            .push_right_n(vals.into_iter().map(Boxed::new))
             .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
     }
 
     /// Pushes all of `vals` at the left end in **one** DCAS splice (the
     /// last element ends up leftmost). Never fails.
-    pub fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+    pub fn push_left_n<I>(&self, vals: I) -> Result<(), Full<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
         self.raw
-            .push_left_n(vals.into_iter().map(Boxed::new).collect())
+            .push_left_n(vals.into_iter().map(Boxed::new))
             .map_err(|Full(rest)| Full(rest.into_iter().map(Boxed::into_inner).collect()))
     }
 

@@ -12,13 +12,21 @@
 //! [`EndConfig`]; with elimination off (the default, seed-compatible
 //! arm) nothing changes.
 //!
-//! Same-end pairing only: `push_right`/`pop_right` overlapping is a legal
-//! adjacent linearization (push then pop returns the pushed value
-//! regardless of the rest of the deque); a cross-end pair is **not**
-//! (`pop_left` must return the leftmost element, which a concurrent
-//! `push_right` supplies only when the deque is empty — unknowable
-//! without consulting it). Each deque therefore owns two arrays, one per
-//! end.
+//! Same-end pairing only, and **unbounded deques only**:
+//!
+//! * `push_right`/`pop_right` overlapping linearize adjacently (push
+//!   then pop returns the pushed value), but that is legal only where
+//!   the push could succeed at the exchange instant. On an unbounded
+//!   deque pushes never fail, so the pairing is unconditional; on a
+//!   *bounded* deque the exchanger cannot prove non-fullness at that
+//!   instant, and an eliminated push completing while the deque is full
+//!   (where it must report full) is non-linearizable. The bounded array
+//!   deque therefore exposes no elimination knob.
+//! * A cross-end pair is never legal (`pop_left` must return the
+//!   leftmost element, which a concurrent `push_right` supplies only
+//!   when the deque is empty — unknowable without consulting it).
+//!
+//! Each eliminating deque therefore owns two arrays, one per end.
 //!
 //! # Slot protocol
 //!
@@ -62,7 +70,9 @@ fn next(word: u64, state: u64) -> u64 {
 /// Per-end knobs for the deque retry loops. Lives next to
 /// [`McasConfig`](crate::McasConfig) in spirit: the default is the
 /// seed-compatible arm (no elimination), and benches ablate against
-/// [`EndConfig::eliminating`].
+/// [`EndConfig::eliminating`]. Honored by the *unbounded* deques only —
+/// see the module docs for why elimination on a bounded deque would
+/// break linearizability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EndConfig {
     /// Consult an elimination array in the retry loops. Default `false`

@@ -119,6 +119,12 @@ pub trait DcasStrategy: Send + Sync + Default + 'static {
     /// Implementations may **reorder the `entries` slice** (lock-free
     /// emulations sort by address to bound mutual helping); the values
     /// are not otherwise modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if `entries` is empty, exceeds
+    /// [`MAX_CASN_WORDS`], or names the same word twice — a duplicated
+    /// word would make the helping protocol self-conflict.
     fn casn(&self, entries: &mut [CasnEntry<'_>]) -> bool;
 }
 
@@ -138,9 +144,13 @@ pub(crate) fn validate_args(a1: &DcasWord, a2: &DcasWord, vals: &[u64]) {
     }
 }
 
-/// Validation shared by `casn` implementations. The entry-count bound is
-/// a hard assertion (descriptor capacity is fixed); the payload and
-/// distinctness checks are debug-only like [`validate_args`].
+/// Validation shared by `casn` implementations. The entry-count bound
+/// and pairwise distinctness are hard assertions: the descriptor
+/// capacity is fixed, and a duplicated word would make the sorted
+/// helping protocol install the same address twice and self-conflict
+/// (livelock or corrupted resolution) with no diagnostic — and at
+/// `MAX_CASN_WORDS` entries the O(n²) address scan is a handful of
+/// compares. The payload check stays debug-only like [`validate_args`].
 #[inline]
 pub(crate) fn validate_casn(entries: &[CasnEntry<'_>]) {
     assert!(
@@ -148,20 +158,17 @@ pub(crate) fn validate_casn(entries: &[CasnEntry<'_>]) {
         "CASN takes 1..={MAX_CASN_WORDS} entries, got {}",
         entries.len()
     );
-    #[cfg(debug_assertions)]
-    {
-        for (i, e) in entries.iter().enumerate() {
-            debug_assert!(
-                crate::is_valid_payload(e.old) && crate::is_valid_payload(e.new),
-                "CASN payload has reserved low bits set"
+    for (i, e) in entries.iter().enumerate() {
+        debug_assert!(
+            crate::is_valid_payload(e.old) && crate::is_valid_payload(e.new),
+            "CASN payload has reserved low bits set"
+        );
+        for other in &entries[i + 1..] {
+            assert_ne!(
+                e.word.addr(),
+                other.word.addr(),
+                "CASN requires pairwise distinct memory words"
             );
-            for other in &entries[i + 1..] {
-                debug_assert_ne!(
-                    e.word.addr(),
-                    other.word.addr(),
-                    "CASN requires pairwise distinct memory words"
-                );
-            }
         }
     }
 }

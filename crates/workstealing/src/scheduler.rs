@@ -134,17 +134,21 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
                 None => std::hint::spin_loop(),
                 Some(first) => {
                     let mut rest: Vec<Task> = stolen.collect();
+                    let mut overflow = Vec::new();
                     if !rest.is_empty() {
                         // Reversed, so the owner's LIFO pops run the
                         // re-queued tasks oldest-first (preserving the
                         // FIFO order they were stolen in).
                         rest.reverse();
-                        for overflow in shared.deques[id].push_batch(rest) {
-                            // Bounded deque full: run inline.
-                            execute::<D>(id, &shared, overflow);
-                        }
+                        overflow = shared.deques[id].push_batch(rest);
                     }
                     execute::<D>(id, &shared, first);
+                    // Bounded deque full: run the rejected tail inline,
+                    // after `first` and reversed back to oldest-first, so
+                    // the stolen half still executes oldest-first.
+                    for task in overflow.into_iter().rev() {
+                        execute::<D>(id, &shared, task);
+                    }
                 }
             }
         }

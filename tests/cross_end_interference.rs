@@ -127,11 +127,11 @@ fn batched_ops_do_not_interfere_across_ends() {
     run_two_ends(
         &ours,
         |d, v| {
-            let _ = d.push_left_n((0..K as u32).map(|j| v + j).collect());
+            let _ = d.push_left_n((0..K as u32).map(|j| v + j));
         },
         |d| d.pop_left_n(K).into_iter().next(),
         |d, v| {
-            let _ = d.push_right_n((0..K as u32).map(|j| v + j).collect());
+            let _ = d.push_right_n((0..K as u32).map(|j| v + j));
         },
         |d| d.pop_right_n(K).into_iter().next(),
     );
