@@ -49,6 +49,7 @@ use std::marker::PhantomData;
 use crossbeam_utils::CachePadded;
 use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, HarrisMcas};
 
+use crate::guard::{EncodedChunk, EncodedGuard};
 use crate::reserved::NULL;
 use crate::value::{Boxed, WordValue};
 use crate::{ConcurrentDeque, Full, MAX_BATCH};
@@ -254,7 +255,9 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
 
     /// `pushRight` — Figure 3.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
-        let val = v.encode();
+        // The guard owns the encoded word until the committing DCAS: an
+        // unwinding strategy call releases the value instead of leaking it.
+        let val = EncodedGuard::new(v);
         loop {
             let old_r = dec_idx(self.strategy.load(&self.r)); // line 3
             let new_r = self.add1(old_r); // line 4
@@ -272,9 +275,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                         enc_idx(old_r),
                         old_s,
                     ) {
-                        // SAFETY: `val` was produced by `encode` above and
-                        // has not been consumed.
-                        return Err(Full(unsafe { V::decode(val) })); // "full"
+                        return Err(Full(val.reclaim())); // "full"
                     }
                 }
             } else if self.config.strong_failure_check {
@@ -287,15 +288,15 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     &mut o1,
                     &mut o2,
                     enc_idx(new_r),
-                    val,
+                    val.word(),
                 ) {
+                    val.commit();
                     return Ok(()); // "okay"
                 } else if dec_idx(o1) == save_r {
                     // Lines 17-18: R unchanged, so the cell turned
                     // non-null: the deque is full. (Unlike pop, any
                     // non-null content means full.)
-                    // SAFETY: as above.
-                    return Err(Full(unsafe { V::decode(val) }));
+                    return Err(Full(val.reclaim()));
                 }
             } else {
                 if self.strategy.dcas(
@@ -304,8 +305,9 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     enc_idx(old_r),
                     NULL,
                     enc_idx(new_r),
-                    val,
+                    val.word(),
                 ) {
+                    val.commit();
                     return Ok(());
                 }
             }
@@ -370,7 +372,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
 
     /// `pushLeft` — Figure 31 (mirror image of `pushRight`).
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
-        let val = v.encode();
+        let val = EncodedGuard::new(v);
         loop {
             let old_l = dec_idx(self.strategy.load(&self.l)); // line 3
             let new_l = self.sub1(old_l); // line 4
@@ -387,8 +389,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                         enc_idx(old_l),
                         old_s,
                     ) {
-                        // SAFETY: as in `push_right`.
-                        return Err(Full(unsafe { V::decode(val) }));
+                        return Err(Full(val.reclaim()));
                     }
                 }
             } else if self.config.strong_failure_check {
@@ -401,12 +402,12 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     &mut o1,
                     &mut o2,
                     enc_idx(new_l),
-                    val,
+                    val.word(),
                 ) {
+                    val.commit();
                     return Ok(());
                 } else if dec_idx(o1) == save_l {
-                    // SAFETY: as in `push_right`.
-                    return Err(Full(unsafe { V::decode(val) }));
+                    return Err(Full(val.reclaim()));
                 }
             } else {
                 if self.strategy.dcas(
@@ -415,8 +416,9 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
                     enc_idx(old_l),
                     NULL,
                     enc_idx(new_l),
-                    val,
+                    val.word(),
                 ) {
+                    val.commit();
                     return Ok(());
                 }
             }
@@ -665,31 +667,27 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     {
         let max = MAX_BATCH.min(self.slots.len());
         let mut it = vals.into_iter();
-        let mut words = [0u64; MAX_BATCH];
         loop {
-            let mut k = 0;
-            while k < max {
+            // The chunk guard owns each encoded word from `encode` to
+            // the committing CASN: a panicking iterator (a throwing
+            // `Clone` mid-batch) or an unwinding strategy call releases
+            // the partial chunk instead of leaking it.
+            let mut chunk = EncodedChunk::new();
+            while chunk.len() < max {
                 match it.next() {
-                    Some(v) => {
-                        words[k] = v.encode();
-                        k += 1;
-                    }
+                    Some(v) => chunk.push(v),
                     None => break,
                 }
             }
-            if k == 0 {
+            if chunk.is_empty() {
                 return Ok(());
             }
-            if !self.push_chunk_right(&words[..k]) {
-                // SAFETY: words[..k] were encoded above and never pushed;
-                // we re-take unique ownership. The unconsumed iterator
-                // tail follows them in order.
-                let rest = words[..k]
-                    .iter()
-                    .map(|&w| unsafe { V::decode(w) })
-                    .chain(it)
-                    .collect();
-                return Err(Full(rest));
+            if self.push_chunk_right(chunk.words()) {
+                chunk.commit();
+            } else {
+                // The unpushed chunk values re-join the unconsumed
+                // iterator tail, in order.
+                return Err(Full(chunk.reclaim().into_iter().chain(it).collect()));
             }
         }
     }
@@ -703,29 +701,22 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     {
         let max = MAX_BATCH.min(self.slots.len());
         let mut it = vals.into_iter();
-        let mut words = [0u64; MAX_BATCH];
         loop {
-            let mut k = 0;
-            while k < max {
+            // Guarded exactly as in `push_right_n`.
+            let mut chunk = EncodedChunk::new();
+            while chunk.len() < max {
                 match it.next() {
-                    Some(v) => {
-                        words[k] = v.encode();
-                        k += 1;
-                    }
+                    Some(v) => chunk.push(v),
                     None => break,
                 }
             }
-            if k == 0 {
+            if chunk.is_empty() {
                 return Ok(());
             }
-            if !self.push_chunk_left(&words[..k]) {
-                // SAFETY: as in `push_right_n`.
-                let rest = words[..k]
-                    .iter()
-                    .map(|&w| unsafe { V::decode(w) })
-                    .chain(it)
-                    .collect();
-                return Err(Full(rest));
+            if self.push_chunk_left(chunk.words()) {
+                chunk.commit();
+            } else {
+                return Err(Full(chunk.reclaim().into_iter().chain(it).collect()));
             }
         }
     }

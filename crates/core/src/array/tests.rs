@@ -734,3 +734,73 @@ fn same_end_push_pop_races_conserve() {
     assert_eq!(all.len(), before, "duplicate values popped");
     assert_eq!(all.len(), 2 * PER as usize, "values lost");
 }
+
+#[test]
+fn batch_push_panicking_iterator_leaks_nothing() {
+    // A value iterator that panics mid-chunk (modeling a throwing
+    // `Clone`) must release every value it already encoded and leave
+    // the deque exactly as it was — no leaked boxes, no claimed cells.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicIsize, Ordering};
+    use std::sync::Arc;
+
+    use crate::value::Boxed;
+
+    struct Counted(Arc<AtomicIsize>);
+    impl Counted {
+        fn new(live: &Arc<AtomicIsize>) -> Self {
+            live.fetch_add(1, Ordering::SeqCst);
+            Counted(live.clone())
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    let live = Arc::new(AtomicIsize::new(0));
+    let d: RawArrayDeque<Boxed<Counted>, HarrisMcas> = RawArrayDeque::new(32);
+    for _ in 0..2 {
+        assert!(d.push_right(Boxed::new(Counted::new(&live))).is_ok());
+    }
+    assert_eq!(live.load(Ordering::SeqCst), 2);
+
+    // Panics while the first chunk is still being encoded: nothing from
+    // the batch may be pushed or leaked.
+    let l2 = live.clone();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        d.push_right_n((0..6).map(|i| {
+            if i == 4 {
+                panic!("mid-batch");
+            }
+            Boxed::new(Counted::new(&l2))
+        }))
+    }));
+    assert!(res.is_err());
+    assert_eq!(live.load(Ordering::SeqCst), 2, "encoded batch values leaked");
+    assert_eq!(d.len_quiescent(), 2, "partial chunk reached the deque");
+
+    // Panics after the first full chunk: that chunk committed (it is a
+    // prefix, exactly as if the iterator ended there), the partial
+    // second chunk is released.
+    let l3 = live.clone();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        d.push_left_n((0..MAX_BATCH + 3).map(|i| {
+            if i == MAX_BATCH + 2 {
+                panic!("cross-chunk");
+            }
+            Boxed::new(Counted::new(&l3))
+        }))
+    }));
+    assert!(res.is_err());
+    assert_eq!(live.load(Ordering::SeqCst), 2 + MAX_BATCH as isize);
+    assert_eq!(d.len_quiescent(), 2 + MAX_BATCH);
+
+    // The deque remains fully operational afterwards.
+    assert!(d.push_right(Boxed::new(Counted::new(&live))).is_ok());
+    while d.pop_left().is_some() {}
+    assert_eq!(d.len_quiescent(), 0);
+    drop(d);
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}

@@ -1,0 +1,175 @@
+//! Unwind-safety guards for encoded values in flight.
+//!
+//! A push encodes the caller's value into a payload word *before* the
+//! committing DCAS, and between those two instants the word is owned by
+//! nothing the compiler can see: if a strategy call unwinds (a
+//! fault-injected kill under the `dcas/fault-inject` feature) or a
+//! batch iterator panics mid-chunk (a throwing `Clone`), the encoded
+//! word — and the heap box behind a [`Boxed`](crate::value::Boxed)
+//! value — would leak. These guards pin that ownership: the word(s)
+//! are released by `Drop` unless explicitly committed to the deque.
+//!
+//! Soundness rests on the [`DcasStrategy`](dcas::DcasStrategy)
+//! unwinding contract: a strategy call that unwinds had **no effect**,
+//! so at every unwind point the deque does not yet reference the
+//! words and dropping them here is the unique release.
+
+use std::marker::PhantomData;
+use std::mem;
+
+use crate::value::WordValue;
+use crate::MAX_BATCH;
+
+/// One encoded value awaiting its committing DCAS.
+pub(crate) struct EncodedGuard<V: WordValue> {
+    word: u64,
+    _marker: PhantomData<V>,
+}
+
+impl<V: WordValue> EncodedGuard<V> {
+    pub(crate) fn new(v: V) -> Self {
+        EncodedGuard { word: v.encode(), _marker: PhantomData }
+    }
+
+    pub(crate) fn word(&self) -> u64 {
+        self.word
+    }
+
+    /// The committing DCAS succeeded: the deque owns the word now.
+    pub(crate) fn commit(self) {
+        mem::forget(self);
+    }
+
+    /// The push failed (bounded deque full): reconstitute the value.
+    pub(crate) fn reclaim(self) -> V {
+        let w = self.word;
+        mem::forget(self);
+        // SAFETY: `w` was produced by `encode` in `new` and — absent a
+        // `commit` — never consumed.
+        unsafe { V::decode(w) }
+    }
+}
+
+impl<V: WordValue> Drop for EncodedGuard<V> {
+    fn drop(&mut self) {
+        // Reached only by unwinding out of the push: no DCAS
+        // transferred the word to the deque (strategy unwinding
+        // contract), so this guard still uniquely owns it.
+        // SAFETY: as above.
+        unsafe { V::drop_encoded(self.word) };
+    }
+}
+
+/// Up to [`MAX_BATCH`] encoded values awaiting one chunk CASN.
+pub(crate) struct EncodedChunk<V: WordValue> {
+    words: [u64; MAX_BATCH],
+    len: usize,
+    _marker: PhantomData<V>,
+}
+
+impl<V: WordValue> EncodedChunk<V> {
+    pub(crate) fn new() -> Self {
+        EncodedChunk { words: [0; MAX_BATCH], len: 0, _marker: PhantomData }
+    }
+
+    pub(crate) fn push(&mut self, v: V) {
+        debug_assert!(self.len < MAX_BATCH);
+        self.words[self.len] = v.encode();
+        self.len += 1;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words[..self.len]
+    }
+
+    /// The chunk CASN succeeded: the deque owns every word now.
+    pub(crate) fn commit(self) {
+        mem::forget(self);
+    }
+
+    /// The chunk could not be pushed: reconstitute the values in order.
+    pub(crate) fn reclaim(self) -> Vec<V> {
+        let (words, len) = (self.words, self.len);
+        mem::forget(self);
+        // SAFETY: each word was encoded by `push` and never consumed.
+        words[..len].iter().map(|&w| unsafe { V::decode(w) }).collect()
+    }
+}
+
+impl<V: WordValue> Drop for EncodedChunk<V> {
+    fn drop(&mut self) {
+        for &w in &self.words[..self.len] {
+            // SAFETY: as in `reclaim`; reached only by unwinding before
+            // the chunk was committed.
+            unsafe { V::drop_encoded(w) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicIsize, Ordering};
+
+    static LIVE: AtomicIsize = AtomicIsize::new(0);
+
+    struct Probe;
+    impl Probe {
+        fn new() -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Probe
+        }
+    }
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dropped_guard_releases_value() {
+        let before = LIVE.load(Ordering::SeqCst);
+        let g = EncodedGuard::new(crate::value::Boxed::new(Probe::new()));
+        assert_eq!(LIVE.load(Ordering::SeqCst), before + 1);
+        drop(g);
+        assert_eq!(LIVE.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn reclaimed_guard_round_trips() {
+        let g = EncodedGuard::new(42u32);
+        assert_eq!(g.reclaim(), 42);
+    }
+
+    #[test]
+    fn dropped_chunk_releases_partial_batch() {
+        let before = LIVE.load(Ordering::SeqCst);
+        let mut c = EncodedChunk::new();
+        for _ in 0..3 {
+            c.push(crate::value::Boxed::new(Probe::new()));
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(LIVE.load(Ordering::SeqCst), before + 3);
+        drop(c);
+        assert_eq!(LIVE.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn reclaimed_chunk_preserves_order() {
+        let mut c = EncodedChunk::new();
+        for v in [7u32, 8, 9] {
+            c.push(v);
+        }
+        assert!(!c.is_empty());
+        assert_eq!(c.words().len(), 3);
+        assert_eq!(c.reclaim(), vec![7, 8, 9]);
+    }
+}

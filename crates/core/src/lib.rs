@@ -59,6 +59,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod array;
+pub(crate) mod guard;
 pub mod list;
 pub mod list_dummy;
 pub mod list_lfrc;

@@ -102,6 +102,124 @@ fn deleted_of(w: u64) -> bool {
     w & DELETED_BIT != 0
 }
 
+/// An unpublished node plus its encoded value, owned by a push from
+/// allocation to the splicing DCAS (or an elimination handoff).
+/// Dropping it — which happens only if a strategy call unwinds, e.g. a
+/// fault-injected kill — frees the node and releases the value; the
+/// strategy unwinding contract guarantees nothing was published.
+struct PendingNode<V: WordValue> {
+    node: *mut Node,
+    val: u64,
+    _marker: PhantomData<V>,
+}
+
+impl<V: WordValue> PendingNode<V> {
+    fn new(v: V) -> Self {
+        PendingNode {
+            node: Box::into_raw(Box::new(Node::new_blank())),
+            val: v.encode(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The splicing DCAS published the node (which holds the value).
+    fn published(self) {
+        std::mem::forget(self);
+    }
+
+    /// An elimination partner took the value; the never-published node
+    /// is freed.
+    fn eliminated(self) {
+        // SAFETY: unpublished, uniquely owned; the value word now
+        // belongs to the taker.
+        unsafe { drop(Box::from_raw(self.node)) };
+        std::mem::forget(self);
+    }
+}
+
+impl<V: WordValue> Drop for PendingNode<V> {
+    fn drop(&mut self) {
+        // SAFETY: reached only by unwinding before publication — the
+        // node is private and the encoded value unconsumed.
+        unsafe {
+            drop(Box::from_raw(self.node));
+            V::drop_encoded(self.val);
+        }
+    }
+}
+
+/// An unpublished chain of nodes built by a batched push, linked
+/// `first .. last` through their `l`/`r` words, owned until the single
+/// splicing DCAS succeeds. Dropping it (a panicking value iterator or
+/// an unwinding strategy call) walks the chain, freeing every node and
+/// releasing every encoded value.
+struct Chain<V: WordValue> {
+    first: *mut Node,
+    last: *mut Node,
+    _marker: PhantomData<V>,
+}
+
+impl<V: WordValue> Chain<V> {
+    fn new(v: V) -> Self {
+        let n = Box::into_raw(Box::new(Node::new_blank()));
+        // SAFETY: unpublished, exclusive access (and in the methods
+        // below likewise: the chain is private until `publish`).
+        unsafe { (*n).value.init_store(v.encode()) };
+        Chain { first: n, last: n, _marker: PhantomData }
+    }
+
+    /// Links `v`'s node after `last` (push-right order).
+    fn append(&mut self, v: V) {
+        let n = Box::into_raw(Box::new(Node::new_blank()));
+        // SAFETY: see `new`.
+        unsafe {
+            (*n).value.init_store(v.encode());
+            (*n).l.init_store(pack(self.last, false));
+            (*self.last).r.init_store(pack(n, false));
+        }
+        self.last = n;
+    }
+
+    /// Links `v`'s node before `first` (push-left order).
+    fn prepend(&mut self, v: V) {
+        let n = Box::into_raw(Box::new(Node::new_blank()));
+        // SAFETY: see `new`.
+        unsafe {
+            (*n).value.init_store(v.encode());
+            (*n).r.init_store(pack(self.first, false));
+            (*self.first).l.init_store(pack(n, false));
+        }
+        self.first = n;
+    }
+
+    /// The splicing DCAS linked `first..last` into the list.
+    fn publish(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl<V: WordValue> Drop for Chain<V> {
+    fn drop(&mut self) {
+        let mut cur = self.first;
+        loop {
+            let at_last = cur == self.last;
+            // SAFETY: reached only by unwinding before `publish`; the
+            // chain is private, every node holds an unconsumed encoded
+            // value, and interior `r` links (set by `append`/`prepend`)
+            // connect `first..last`.
+            unsafe {
+                let next = ptr_of((*cur).r.unsync_load_shared()) as *mut Node;
+                V::drop_encoded((*cur).value.unsync_load_shared());
+                drop(Box::from_raw(cur));
+                if at_last {
+                    break;
+                }
+                cur = next;
+            }
+        }
+    }
+}
+
 /// Quiescent snapshot of the list structure, for diagnostics and the
 /// Figure 9/12/14/15 reproduction tests. Only meaningful while no
 /// operations are in flight.
@@ -294,9 +412,11 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         // Lines 2-4: allocate the new node. (The paper returns "full" if
         // the allocator fails; Rust's global allocator aborts instead, so
         // the push path never reports full — matching the unbounded deque
-        // specification of Section 2.2.)
-        let node = Box::into_raw(Box::new(Node::new_blank()));
-        let val = v.encode();
+        // specification of Section 2.2.) The pending guard owns node and
+        // value until published or eliminated; an unwinding strategy call
+        // frees both.
+        let pending = PendingNode::<V>::new(v);
+        let (node, val) = (pending.node, pending.val);
         loop {
             let old_l = self.strategy.load(&self.sr.l); // line 6
             if deleted_of(old_l) {
@@ -325,14 +445,14 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     pack(node, false),
                     pack(node, false),
                 ) {
+                    pending.published();
                     return Ok(()); // "okay"
                 }
                 // Contended retry: hand the value to a colliding popRight
                 // if one is waiting; the unpublished node is ours to free.
                 if let Some(elim) = &self.elim_right {
                     if elim.offer(val).is_ok() {
-                        // SAFETY: `node` was never published.
-                        drop(unsafe { Box::from_raw(node) });
+                        pending.eliminated();
                         return Ok(());
                     }
                 }
@@ -460,8 +580,9 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// the new node's left pointer aims at `SL`, not `SR`).
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
         let guard = epoch::pin();
-        let node = Box::into_raw(Box::new(Node::new_blank()));
-        let val = v.encode();
+        // Guarded as in `push_right`.
+        let pending = PendingNode::<V>::new(v);
+        let (node, val) = (pending.node, pending.val);
         loop {
             let old_r = self.strategy.load(&self.sl.r); // line 6
             if deleted_of(old_r) {
@@ -484,13 +605,13 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     pack(node, false),
                     pack(node, false),
                 ) {
+                    pending.published();
                     return Ok(());
                 }
                 // Contended retry: hand the value to a colliding popLeft.
                 if let Some(elim) = &self.elim_left {
                     if elim.offer(val).is_ok() {
-                        // SAFETY: `node` was never published.
-                        drop(unsafe { Box::from_raw(node) });
+                        pending.eliminated();
                         return Ok(());
                     }
                 }
@@ -577,21 +698,16 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         let Some(v0) = it.next() else { return Ok(()) };
         let guard = epoch::pin();
         // Build the chain left-to-right in push order, linking each node
-        // as the iterator yields it — no intermediate buffers.
-        // SAFETY (this block and the loop): the chain is unpublished; we
-        // have exclusive access.
-        let first = Box::into_raw(Box::new(Node::new_blank()));
-        unsafe { (*first).value.init_store(v0.encode()) };
-        let mut last = first;
+        // as the iterator yields it — no intermediate buffers. The chain
+        // guard owns every node and value until the splice: a panicking
+        // iterator or an unwinding strategy call releases the partial
+        // chain instead of leaking it.
+        let mut chain = Chain::new(v0);
         for v in it {
-            let n = Box::into_raw(Box::new(Node::new_blank()));
-            unsafe {
-                (*n).value.init_store(v.encode());
-                (*n).l.init_store(pack(last, false));
-                (*last).r.init_store(pack(n, false));
-            }
-            last = n;
+            chain.append(v);
         }
+        let (first, last) = (chain.first, chain.last);
+        // SAFETY: the chain is unpublished; we have exclusive access.
         unsafe { (*last).r.init_store(pack(self.srp(), false)) };
         let mut backoff = Backoff::new();
         loop {
@@ -612,6 +728,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     pack(last, false),
                     pack(first, false),
                 ) {
+                    chain.publish();
                     return Ok(());
                 }
                 backoff.snooze();
@@ -632,20 +749,13 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         // Chain left-to-right holds the values in reverse push order, so
         // that the sequence behaves like repeated pushLeft calls: each
         // yielded value's node is *prepended* to the unpublished chain.
-        // SAFETY (this block and the loop): the chain is unpublished; we
-        // have exclusive access.
-        let last = Box::into_raw(Box::new(Node::new_blank()));
-        unsafe { (*last).value.init_store(v0.encode()) };
-        let mut first = last;
+        // Guarded as in `push_right_n`.
+        let mut chain = Chain::new(v0);
         for v in it {
-            let n = Box::into_raw(Box::new(Node::new_blank()));
-            unsafe {
-                (*n).value.init_store(v.encode());
-                (*n).r.init_store(pack(first, false));
-                (*first).l.init_store(pack(n, false));
-            }
-            first = n;
+            chain.prepend(v);
         }
+        let (first, last) = (chain.first, chain.last);
+        // SAFETY: the chain is unpublished; we have exclusive access.
         unsafe { (*first).l.init_store(pack(self.slp(), false)) };
         let mut backoff = Backoff::new();
         loop {
@@ -666,6 +776,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                     pack(first, false),
                     pack(last, false),
                 ) {
+                    chain.publish();
                     return Ok(());
                 }
                 backoff.snooze();

@@ -653,3 +653,63 @@ fn elimination_deque_conserves_under_push_pop_races() {
     assert_eq!(all.len(), before, "duplicate values popped");
     assert_eq!(all.len(), 2 * PER as usize, "values lost");
 }
+
+#[test]
+fn batch_push_panicking_iterator_leaks_nothing() {
+    // The batched list push builds its whole private chain before the
+    // single splicing DCAS; a value iterator that panics mid-chain
+    // (modeling a throwing `Clone`) must free every chain node and
+    // value, leaving the list untouched and fully operational.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicIsize, Ordering};
+    use std::sync::Arc;
+
+    use crate::value::Boxed;
+
+    struct Counted(Arc<AtomicIsize>);
+    impl Counted {
+        fn new(live: &Arc<AtomicIsize>) -> Self {
+            live.fetch_add(1, Ordering::SeqCst);
+            Counted(live.clone())
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    let live = Arc::new(AtomicIsize::new(0));
+    let d: RawListDeque<Boxed<Counted>, HarrisMcas> = RawListDeque::new();
+    for _ in 0..2 {
+        assert!(d.push_right(Boxed::new(Counted::new(&live))).is_ok());
+    }
+
+    for left in [false, true] {
+        let l2 = live.clone();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let vals = (0..10).map(|i| {
+                if i == 5 {
+                    panic!("mid-chain");
+                }
+                Boxed::new(Counted::new(&l2))
+            });
+            if left {
+                d.push_left_n(vals)
+            } else {
+                d.push_right_n(vals)
+            }
+        }));
+        assert!(res.is_err());
+        assert_eq!(live.load(Ordering::SeqCst), 2, "chain values leaked");
+        let layout = d.layout();
+        assert_eq!(layout.live_values(), 2, "partial chain reached the list");
+    }
+
+    // Still fully operational.
+    assert!(d.push_left(Boxed::new(Counted::new(&live))).is_ok());
+    assert_eq!(live.load(Ordering::SeqCst), 3);
+    while d.pop_right().is_some() {}
+    drop(d);
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}

@@ -72,6 +72,62 @@ fn node_of(w: u64) -> *const Node {
     w as *const Node
 }
 
+/// An unpublished node plus its encoded value, owned by a push until
+/// the splicing DCAS succeeds (the dummy-variant twin of the guard in
+/// [`list`](crate::list)). Dropping it — only possible by unwinding out
+/// of a strategy call, which per the strategy contract had no effect —
+/// frees the node and releases the value.
+struct PendingNode<V: WordValue> {
+    node: *mut Node,
+    val: u64,
+    _marker: PhantomData<V>,
+}
+
+impl<V: WordValue> PendingNode<V> {
+    fn new(v: V) -> Self {
+        PendingNode {
+            node: Box::into_raw(Box::new(Node::new_blank())),
+            val: v.encode(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn published(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl<V: WordValue> Drop for PendingNode<V> {
+    fn drop(&mut self) {
+        // SAFETY: reached only by unwinding before publication — the
+        // node is private and the encoded value unconsumed.
+        unsafe {
+            drop(Box::from_raw(self.node));
+            V::drop_encoded(self.val);
+        }
+    }
+}
+
+/// An unpublished dummy node, freed on drop unless the logical-deletion
+/// DCAS published it. Covers both the ordinary retry path (the DCAS
+/// lost a race) and an unwinding strategy call.
+struct PendingDummy {
+    node: *const Node,
+}
+
+impl PendingDummy {
+    fn published(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for PendingDummy {
+    fn drop(&mut self) {
+        // SAFETY: unpublished, uniquely owned; dummies hold no value.
+        unsafe { drop(Box::from_raw(self.node as *mut Node)) };
+    }
+}
+
 /// A sentinel pointer word resolved through at most one dummy node.
 struct Resolved {
     /// The real node pointed at (through the dummy if present).
@@ -200,22 +256,21 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                     return None;
                 }
             } else {
-                let dummy = self.make_dummy(r.real);
+                let dummy = PendingDummy { node: self.make_dummy(r.real) };
                 // SAFETY: as above.
                 if self.strategy.dcas(
                     &self.sr.l,
                     unsafe { &(*r.real).value },
                     old_l,
                     v,
-                    direct(dummy),
+                    direct(dummy.node),
                     NULL,
                 ) {
+                    dummy.published();
                     // SAFETY: successful DCAS transfers value ownership.
                     return Some(unsafe { V::decode(v) });
                 }
-                // The dummy was never published; free it directly.
-                // SAFETY: unpublished, uniquely owned.
-                unsafe { drop(Box::from_raw(dummy as *mut Node)) };
+                // Not published: `dummy` drops and frees the node.
             }
         }
     }
@@ -223,8 +278,10 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
     /// `pushRight` with dummy-node indirection.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
         let guard = epoch::pin();
-        let node = Box::into_raw(Box::new(Node::new_blank()));
-        let val = v.encode();
+        // The pending guard owns node and value until published; an
+        // unwinding strategy call frees both.
+        let pending = PendingNode::<V>::new(v);
+        let (node, val) = (pending.node, pending.val);
         loop {
             let old_l = self.strategy.load(&self.sr.l);
             // SAFETY: as in `pop_right`.
@@ -248,6 +305,7 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                     direct(node),
                     direct(node),
                 ) {
+                    pending.published();
                     return Ok(());
                 }
             }
@@ -339,21 +397,21 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                     return None;
                 }
             } else {
-                let dummy = self.make_dummy(l.real);
+                let dummy = PendingDummy { node: self.make_dummy(l.real) };
                 // SAFETY: as above.
                 if self.strategy.dcas(
                     &self.sl.r,
                     unsafe { &(*l.real).value },
                     old_r,
                     v,
-                    direct(dummy),
+                    direct(dummy.node),
                     NULL,
                 ) {
+                    dummy.published();
                     // SAFETY: as above.
                     return Some(unsafe { V::decode(v) });
                 }
-                // SAFETY: unpublished dummy.
-                unsafe { drop(Box::from_raw(dummy as *mut Node)) };
+                // Not published: `dummy` drops and frees the node.
             }
         }
     }
@@ -361,8 +419,9 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
     /// `pushLeft` with dummy-node indirection.
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
         let guard = epoch::pin();
-        let node = Box::into_raw(Box::new(Node::new_blank()));
-        let val = v.encode();
+        // Guarded as in `push_right`.
+        let pending = PendingNode::<V>::new(v);
+        let (node, val) = (pending.node, pending.val);
         loop {
             let old_r = self.strategy.load(&self.sl.r);
             // SAFETY: as in `pop_right`.
@@ -386,6 +445,7 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                     direct(node),
                     direct(node),
                 ) {
+                    pending.published();
                     return Ok(());
                 }
             }

@@ -332,6 +332,77 @@ mod tests {
         assert_eq!(all.len(), 10_000, "values lost or duplicated");
     }
 
+    #[test]
+    fn version_wraparound_has_no_aba_false_match() {
+        // The version counter lives in the high 62 bits of the control
+        // word. Near `u64::MAX` it wraps to 0; what matters is that no
+        // control word a slow thread captured *before* the wrap can
+        // spuriously match a recycled slot *after* it.
+        let a = eliminating(1, 50_000);
+        let slot = &a.slots[0];
+
+        // next() at the boundary: the version wraps, the state bits
+        // stay exact.
+        let max_empty = (u64::MAX & !STATE_MASK) | EMPTY;
+        let w1 = next(max_empty, CLAIMED);
+        assert_eq!(w1 >> 2, 0, "version wraps to 0, not saturates");
+        assert_eq!(w1 & STATE_MASK, CLAIMED);
+        let w2 = next(w1, OFFER);
+        assert_eq!((w2 >> 2, w2 & STATE_MASK), (1, OFFER));
+
+        // A real exchange whose CLAIMED -> OFFER -> EMPTY transitions
+        // cross the wraparound still hands over the value exactly once.
+        slot.control.store(max_empty, Ordering::SeqCst);
+        std::thread::scope(|s| {
+            let taker = s.spawn(|| loop {
+                if let Some(v) = a.try_take() {
+                    return v;
+                }
+                std::thread::yield_now();
+            });
+            assert_eq!(a.offer(44), Ok(()));
+            assert_eq!(taker.join().unwrap(), 44);
+        });
+        // The value was transferred once, not duplicated by the wrap.
+        assert_eq!(a.try_take(), None);
+
+        // The ABA scenario proper: a slow popper captured the pre-wrap
+        // OFFER word, the slot cycles through the wrap and is
+        // re-offered, and the popper's stale CAS must fail rather than
+        // steal the new offer.
+        let stale_offer = (u64::MAX & !STATE_MASK) | OFFER;
+        slot.control.store(stale_offer, Ordering::SeqCst);
+        slot.value.store(48, Ordering::SeqCst);
+        assert_eq!(a.try_take(), Some(48)); // legitimate take: version wraps
+        assert_eq!(slot.control.load(Ordering::SeqCst), next(stale_offer, EMPTY));
+        assert_eq!(slot.control.load(Ordering::SeqCst) & STATE_MASK, EMPTY);
+
+        // Recycle the slot exactly as a pusher would: claim, write the
+        // value, publish the offer.
+        let e = slot.control.load(Ordering::SeqCst);
+        let c = next(e, CLAIMED);
+        slot.control.store(c, Ordering::SeqCst);
+        slot.value.store(52, Ordering::SeqCst);
+        let o = next(c, OFFER);
+        slot.control.store(o, Ordering::SeqCst);
+
+        // The stale popper wakes up and retries with its pre-wrap
+        // word: the post-wrap offer has a restarted version, so the
+        // CAS fails — no false match, and the fresh offer stays intact
+        // for its rightful taker.
+        assert_ne!(o, stale_offer);
+        assert!(slot
+            .control
+            .compare_exchange(
+                stale_offer,
+                next(stale_offer, EMPTY),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err());
+        assert_eq!(a.try_take(), Some(52));
+    }
+
     #[cfg(feature = "stats")]
     #[test]
     fn stats_count_hits_and_misses() {

@@ -66,6 +66,8 @@
 mod backoff;
 mod delayed;
 pub mod elimination;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod global_lock;
 mod mcas;
 mod pool;
@@ -76,11 +78,30 @@ mod strategy;
 mod word;
 mod wrappers;
 
+/// Expands to a [`fault::hit`] call with the `fault-inject` feature on,
+/// and to nothing at all otherwise — the release hot path carries no
+/// trace of the hooks. The second argument asserts whether the
+/// in-flight operation is still *effect-free* at this point (no state
+/// published, no value ownership transferred); panic kills are only
+/// delivered at effect-free hits.
+macro_rules! fault_point {
+    ($point:ident, $effect_free:expr) => {
+        #[cfg(feature = "fault-inject")]
+        $crate::fault::hit($crate::fault::FaultPoint::$point, $effect_free);
+    };
+}
+pub(crate) use fault_point;
+
 pub use backoff::Backoff;
 pub use delayed::Delayed;
 pub use elimination::{EliminationArray, EndConfig};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultInjecting, FaultLog, FaultPlan, FaultPoint, Kill, KillKind, StallGate};
 pub use global_lock::GlobalLock;
 pub use mcas::{HarrisMcas, HarrisMcasBoxed, McasConfig};
+pub use pool::orphan_count;
+#[cfg(feature = "fault-inject")]
+pub use pool::{quarantine_inflight, quarantine_len};
 pub use seqlock::GlobalSeqLock;
 pub use stats::StrategyStats;
 pub use striped::StripedLock;

@@ -86,6 +86,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crossbeam_epoch as epoch;
 
 use crate::backoff::Backoff;
+use crate::fault_point;
 use crate::pool;
 use crate::stats::{Counters, StrategyStats};
 use crate::strategy::{validate_args, validate_casn, MAX_CASN_WORDS};
@@ -237,23 +238,43 @@ impl HarrisMcas {
     }
 
     /// Snapshot of this instance's operation counters. All-zero unless
-    /// the crate is built with the `stats` feature.
+    /// the crate is built with the `stats` feature — except
+    /// [`descriptor_orphans`](StrategyStats::descriptor_orphans), which
+    /// audits a correctness-relevant event (descriptors quarantined for
+    /// killed threads) and is reported unconditionally. It is
+    /// process-global, like the thread-local descriptor pools it
+    /// audits.
     pub fn stats(&self) -> StrategyStats {
-        self.counters.snapshot()
+        let mut s = self.counters.snapshot();
+        s.descriptor_orphans = pool::orphan_count();
+        s
     }
 
     /// Takes a descriptor for a new operation: recycled from the calling
     /// thread's freelist when configured and available, freshly boxed
     /// otherwise. The result is exclusively owned until published.
     fn acquire_descriptor(&self) -> *mut DcasDescriptor {
-        if self.config.pool_descriptors {
-            if let Some(d) = pool::acquire() {
+        let d = if self.config.pool_descriptors {
+            pool::acquire()
+        } else {
+            None
+        };
+        let d = match d {
+            Some(d) => {
                 self.counters.inc_descriptor_reuse();
-                return d;
+                d
             }
-        }
-        self.counters.inc_descriptor_alloc();
-        Box::into_raw(Box::new(DcasDescriptor::vacant()))
+            None => {
+                self.counters.inc_descriptor_alloc();
+                Box::into_raw(Box::new(DcasDescriptor::vacant()))
+            }
+        };
+        // Mark the descriptor as the one this thread would orphan if it
+        // died before the release paths below; a panic kill sweeps it
+        // into the quarantine instead of leaking or double-freeing it.
+        #[cfg(feature = "fault-inject")]
+        pool::track_inflight(d);
+        d
     }
 
     /// Retires a published descriptor after phase 2: back to a freelist
@@ -266,6 +287,8 @@ impl HarrisMcas {
     /// `d` must have been returned by [`Self::acquire_descriptor`] and be
     /// retired exactly once (only the owner executes this).
     unsafe fn retire_descriptor(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) {
+        #[cfg(feature = "fault-inject")]
+        pool::clear_inflight();
         if self.config.pool_descriptors {
             // SAFETY (for the deferred body): the closure runs after the
             // grace period, when `d` is unreachable from any live thread,
@@ -288,6 +311,8 @@ impl HarrisMcas {
     /// tagged pointer to it (or its entries) may ever have been stored in
     /// a [`DcasWord`] since.
     unsafe fn dispose_unpublished(&self, d: *mut DcasDescriptor) {
+        #[cfg(feature = "fault-inject")]
+        pool::clear_inflight();
         if self.config.pool_descriptors {
             // SAFETY: `d` is still private, hence exclusively owned.
             unsafe { pool::release(d) };
@@ -345,6 +370,9 @@ impl HarrisMcas {
                 Err(seen) if is_rdcss(seen) => {
                     // Help the conflicting RDCSS finish, then retry ours.
                     self.counters.inc_help();
+                    // Not effect-free: earlier entries of our own
+                    // descriptor may already be installed.
+                    fault_point!(MidHelping, false);
                     // SAFETY: `seen` was read under our pin.
                     let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
                     unsafe { self.rdcss_complete(other) };
@@ -397,6 +425,9 @@ impl HarrisMcas {
                         // A different DCAS holds this word: help it first,
                         // then back off before re-contending the line.
                         self.counters.inc_help();
+                        // Not effect-free: `d` may be our own descriptor
+                        // with earlier entries already installed.
+                        fault_point!(MidHelping, false);
                         // SAFETY: `val` read under our pin.
                         let other = unsafe { &*((val & !TAG_MASK) as *const DcasDescriptor) };
                         unsafe { self.casn_help(other) };
@@ -436,11 +467,15 @@ impl HarrisMcas {
             let v = w.raw_load(Ordering::SeqCst);
             if is_rdcss(v) {
                 self.counters.inc_help();
+                // Effect-free: a read owns nothing and has published
+                // nothing; unwinding here loses no state.
+                fault_point!(MidHelping, true);
                 // SAFETY: `v` read under our pin.
                 let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
                 unsafe { self.rdcss_complete(e) };
             } else if is_dcas(v) {
                 self.counters.inc_help();
+                fault_point!(MidHelping, true);
                 // SAFETY: `v` read under our pin.
                 let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
                 unsafe { self.casn_help(d) };
@@ -507,6 +542,9 @@ impl HarrisMcas {
     /// come from [`Self::acquire_descriptor`] with its status, `len`, and
     /// first `len` entries initialized, and never have been published.
     unsafe fn publish_run_retire(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) -> bool {
+        // Effect-free: `d` is still private — nobody has seen it, and a
+        // panic kill sweeps it into the quarantine.
+        fault_point!(PreInstall, true);
         if self.config.owner_fast_install {
             // SAFETY: `d` is still private, so reading its entry is safe.
             let (w0, ov0) = unsafe {
@@ -520,12 +558,16 @@ impl HarrisMcas {
                     Ok(_) => break,
                     Err(seen) if is_rdcss(seen) => {
                         self.counters.inc_help();
+                        // Effect-free: our own descriptor is still
+                        // private (the fast install did not land).
+                        fault_point!(MidHelping, true);
                         // SAFETY: `seen` read under our pin.
                         let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
                         unsafe { self.rdcss_complete(other) };
                     }
                     Err(seen) if is_dcas(seen) => {
                         self.counters.inc_help();
+                        fault_point!(MidHelping, true);
                         // SAFETY: `seen` read under our pin.
                         let other = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
                         unsafe { self.casn_help(other) };
@@ -534,6 +576,8 @@ impl HarrisMcas {
                         // Plain value mismatch: the operation fails without
                         // the descriptor ever having been published —
                         // recycle it immediately, no grace period needed.
+                        // Effect-free: unpublished, and the op failed.
+                        fault_point!(PreRelease, true);
                         // SAFETY: `d` from `acquire_descriptor`, still
                         // private.
                         unsafe { self.dispose_unpublished(d) };
@@ -548,6 +592,11 @@ impl HarrisMcas {
             // SAFETY: pinned; `d` alive; entry 0 installed by the CAS
             // above while the status was UNDECIDED.
             let ok = unsafe { self.casn_run(&*d, 1) };
+            // Effect-free only if the operation failed: on success the
+            // writes are committed and the caller owns their outcome, so
+            // a panic here would lose it (a freeze is fine — the thread
+            // resumes, retires, and returns normally).
+            fault_point!(PreRelease, !ok);
             // SAFETY: `d` came from `acquire_descriptor` and only the
             // owner executes this line.
             unsafe { self.retire_descriptor(guard, d) };
@@ -557,6 +606,7 @@ impl HarrisMcas {
         // SAFETY: pinned; `d` alive (owned by us until retirement below).
         let ok = unsafe { self.casn_help(&*d) };
 
+        fault_point!(PreRelease, !ok);
         // Retire the descriptor. Helpers that can still observe a tagged
         // pointer to it hold guards that predate this retirement.
         // SAFETY: `d` came from `acquire_descriptor` and only the owner
@@ -642,12 +692,15 @@ impl DcasStrategy for HarrisMcas {
                 Ok(_) => return true,
                 Err(seen) if is_rdcss(seen) => {
                     self.counters.inc_help();
+                    // Effect-free: our CAS has not landed.
+                    fault_point!(MidHelping, true);
                     // SAFETY: `seen` read under our pin.
                     let e = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
                     unsafe { self.rdcss_complete(e) };
                 }
                 Err(seen) if is_dcas(seen) => {
                     self.counters.inc_help();
+                    fault_point!(MidHelping, true);
                     // SAFETY: `seen` read under our pin.
                     let d = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
                     unsafe { self.casn_help(d) };

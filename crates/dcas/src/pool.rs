@@ -49,6 +49,7 @@
 //! installation CAS as for a freshly boxed descriptor.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::mcas::DcasDescriptor;
 
@@ -111,6 +112,87 @@ pub(crate) unsafe fn release(p: *mut DcasDescriptor) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Orphan accounting.
+//
+// A thread killed mid-operation (fault injection; in production, a
+// thread that dies inside a signal handler or is cancelled) never
+// reaches the epoch-deferred `release` of its in-flight descriptor.
+// Freeing that descriptor would be unsound — helpers may still hold
+// tagged pointers to it and probe its status word arbitrarily late —
+// and returning it to a freelist would be a use-after-recycle for the
+// same reason. The honest lock-free answer is *quarantine*: the
+// descriptor is parked forever (bounded by the number of kills, i.e.
+// one per dead thread), stays readable, and is counted so the harness
+// can audit that every orphan is accounted for rather than double-freed
+// or silently leaked into the freelist.
+// ---------------------------------------------------------------------
+
+/// Process-wide count of quarantined orphan descriptors. Reported as
+/// [`StrategyStats::descriptor_orphans`](crate::StrategyStats); global,
+/// like the thread-local pools it audits.
+static ORPHANS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of descriptors quarantined because their owning thread was
+/// killed mid-operation. Never decreases.
+pub fn orphan_count() -> u64 {
+    ORPHANS.load(Ordering::Relaxed)
+}
+
+#[cfg(feature = "fault-inject")]
+mod inflight {
+    use super::*;
+    use std::cell::Cell;
+    use std::ptr;
+    use std::sync::{Mutex, OnceLock};
+
+    thread_local! {
+        /// The descriptor the current operation would leak if the
+        /// thread died right now. At most one: operations do not nest.
+        static INFLIGHT: Cell<*mut DcasDescriptor> = const { Cell::new(ptr::null_mut()) };
+    }
+
+    /// Quarantined descriptors, kept (not freed — see module comment)
+    /// as addresses so the list is `Send` without further argument.
+    fn quarantine() -> &'static Mutex<Vec<usize>> {
+        static Q: OnceLock<Mutex<Vec<usize>>> = OnceLock::new();
+        Q.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Marks `p` as the calling thread's in-flight descriptor.
+    pub(crate) fn track_inflight(p: *mut DcasDescriptor) {
+        let _ = INFLIGHT.try_with(|c| c.set(p));
+    }
+
+    /// The in-flight descriptor reached its normal release path.
+    pub(crate) fn clear_inflight() {
+        let _ = INFLIGHT.try_with(|c| c.set(std::ptr::null_mut()));
+    }
+
+    /// Moves the calling thread's in-flight descriptor (if any) into
+    /// the permanent quarantine; called by the fault injector on the
+    /// way out of a panic kill. Returns whether one was quarantined.
+    pub fn quarantine_inflight() -> bool {
+        let p = INFLIGHT.try_with(|c| c.replace(ptr::null_mut())).unwrap_or(ptr::null_mut());
+        if p.is_null() {
+            return false;
+        }
+        quarantine().lock().unwrap().push(p as usize);
+        ORPHANS.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Quarantine length, for auditing against [`orphan_count`].
+    pub fn quarantine_len() -> usize {
+        quarantine().lock().unwrap().len()
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub(crate) use inflight::{clear_inflight, track_inflight};
+#[cfg(feature = "fault-inject")]
+pub use inflight::{quarantine_inflight, quarantine_len};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +226,68 @@ mod tests {
         std::thread::spawn(|| assert_eq!(acquire(), None)).join().unwrap();
         assert_eq!(acquire(), Some(p));
         drop(unsafe { Box::from_raw(p) });
+    }
+
+    /// A killed thread's in-flight descriptor lands in the quarantine —
+    /// not in the freelist, not in the allocator — and the freelist
+    /// keeps recycling consistently afterwards.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn pool_orphan() {
+        let orphans_before = orphan_count();
+        let quarantined = std::thread::spawn(|| {
+            let p = fresh();
+            track_inflight(p);
+            // Simulate the thread dying mid-operation: the descriptor
+            // is quarantined, never released.
+            assert!(quarantine_inflight());
+            // A second sweep finds nothing — no double-quarantine, and
+            // hence no path to a double-free.
+            assert!(!quarantine_inflight());
+            p as usize
+        })
+        .join()
+        .unwrap();
+        assert_eq!(orphan_count(), orphans_before + 1);
+        assert!(quarantine_len() as u64 >= orphan_count() - orphans_before);
+        // The freelist stays consistent: recycling on this thread never
+        // hands out the quarantined descriptor.
+        while acquire().is_some() {}
+        let (p1, p2) = (fresh(), fresh());
+        unsafe {
+            release(p1);
+            release(p2);
+        }
+        for _ in 0..3 {
+            let a = acquire().unwrap();
+            let b = acquire().unwrap();
+            assert_ne!(a as usize, quarantined);
+            assert_ne!(b as usize, quarantined);
+            assert_eq!(acquire(), None);
+            unsafe {
+                release(a);
+                release(b);
+            }
+        }
+        let (a, b) = (acquire().unwrap(), acquire().unwrap());
+        drop(unsafe { Box::from_raw(a) });
+        drop(unsafe { Box::from_raw(b) });
+    }
+
+    /// The normal release path of a tracked descriptor clears the
+    /// in-flight mark, so a later kill has nothing to quarantine.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn cleared_inflight_is_not_quarantined() {
+        std::thread::spawn(|| {
+            let p = fresh();
+            track_inflight(p);
+            clear_inflight();
+            assert!(!quarantine_inflight());
+            drop(unsafe { Box::from_raw(p) });
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct StrategyStats {
     pub elim_hits: u64,
     /// Elimination-array attempts that timed out unpaired.
     pub elim_misses: u64,
+    /// Descriptors quarantined because their owning thread was killed
+    /// mid-operation (see [`orphan_count`](crate::orphan_count)).
+    /// Process-global — like the thread-local descriptor pools it
+    /// audits — and reported regardless of the `stats` feature, since
+    /// it tracks a correctness-relevant event, not hot-path telemetry.
+    pub descriptor_orphans: u64,
 }
 
 impl StrategyStats {
@@ -81,6 +87,7 @@ impl StrategyStats {
             casn_failures: self.casn_failures - earlier.casn_failures,
             elim_hits: self.elim_hits - earlier.elim_hits,
             elim_misses: self.elim_misses - earlier.elim_misses,
+            descriptor_orphans: self.descriptor_orphans - earlier.descriptor_orphans,
         }
     }
 }
@@ -161,6 +168,9 @@ impl Counters {
                 casn_failures: self.casn_failures.load(Ordering::Relaxed),
                 elim_hits: self.elim_hits.load(Ordering::Relaxed),
                 elim_misses: self.elim_misses.load(Ordering::Relaxed),
+                // Global, not per-counter-block: filled in by the
+                // strategies that own pooled descriptors (`HarrisMcas`).
+                descriptor_orphans: 0,
             }
         }
         #[cfg(not(feature = "stats"))]

@@ -57,6 +57,17 @@ impl<'a> CasnEntry<'a> {
 /// * All operations are linearizable: every `load`, `store`, `dcas` and
 ///   `dcas_strong` appears to take effect atomically at some instant
 ///   between invocation and response.
+///
+/// # Unwinding
+///
+/// A strategy call that unwinds (panics) must guarantee the operation
+/// had **no effect**: no target word was modified and no value
+/// ownership was transferred, so an unwinding `dcas`/`casn` is
+/// indistinguishable from one that returned `false`. The deques rely on
+/// this to stay linearizable and leak-free under fault injection (the
+/// `fault-inject` feature's `FaultInjecting` wrapper and the
+/// `fault_point!` kill hooks honor it: panics are delivered only at
+/// effect-free points).
 pub trait DcasStrategy: Send + Sync + Default + 'static {
     /// `true` if the emulation is non-blocking (a stalled thread cannot
     /// prevent others from completing operations).

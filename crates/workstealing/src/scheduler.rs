@@ -1,7 +1,8 @@
 //! The fork-join scheduler.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crossbeam_utils::CachePadded;
 
@@ -57,6 +58,49 @@ struct Shared<D> {
     deques: Vec<CachePadded<D>>,
     /// Tasks spawned but not yet finished executing.
     pending: CachePadded<AtomicUsize>,
+    /// Tasks that panicked during this run.
+    panics: CachePadded<AtomicUsize>,
+    /// First panic payload, rethrown by [`Scheduler::run`].
+    first_panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<D> Shared<D> {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.panics.fetch_add(1, Ordering::AcqRel);
+        let mut slot = self.first_panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Outcome of a [`Scheduler::run_report`] call.
+pub struct RunReport {
+    /// Tasks that panicked. Each panic killed its worker thread; the
+    /// survivors finished the run (stealing from the dead worker's
+    /// deque as needed).
+    pub panics: usize,
+    /// Tasks dropped unexecuted because every worker had died. Always
+    /// zero while at least one worker survives.
+    pub dropped: usize,
+    first_panic: Option<Box<dyn Any + Send>>,
+}
+
+impl RunReport {
+    /// The payload of the first panic, if any (consumes the report; use
+    /// with [`std::panic::resume_unwind`] to rethrow).
+    pub fn into_first_panic(self) -> Option<Box<dyn Any + Send>> {
+        self.first_panic
+    }
+}
+
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("panics", &self.panics)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
 }
 
 impl<D: WorkDeque> Scheduler<D> {
@@ -80,7 +124,29 @@ impl<D: WorkDeque> Scheduler<D> {
     /// Runs `root` (plus everything it transitively spawns) to
     /// completion, then returns. Tasks still queued when the run drains
     /// are guaranteed executed.
+    ///
+    /// If any task panics, the panic is rethrown here after the run
+    /// finishes — the surviving workers first complete every remaining
+    /// task (see [`run_report`](Self::run_report) to observe panics
+    /// without unwinding).
     pub fn run<F>(&self, root: F)
+    where
+        F: for<'a> FnOnce(&WorkerHandle<'a, DynDeque>) + Send + 'static,
+    {
+        let report = self.run_report(root);
+        if let Some(payload) = report.into_first_panic() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Like [`run`](Self::run), but a panicking task kills only its own
+    /// worker: the panic is caught and recorded, the worker thread exits,
+    /// and the dead worker's deque remains stealable so survivors finish
+    /// the remaining work. Returns a [`RunReport`] instead of unwinding.
+    ///
+    /// Only when *every* worker has died are leftover tasks dropped
+    /// unexecuted (and counted in [`RunReport::dropped`]).
+    pub fn run_report<F>(&self, root: F) -> RunReport
     where
         F: for<'a> FnOnce(&WorkerHandle<'a, DynDeque>) + Send + 'static,
     {
@@ -89,6 +155,8 @@ impl<D: WorkDeque> Scheduler<D> {
                 .map(|_| CachePadded::new(D::with_capacity(self.capacity_per_worker)))
                 .collect(),
             pending: CachePadded::new(AtomicUsize::new(1)),
+            panics: CachePadded::new(AtomicUsize::new(0)),
+            first_panic: Mutex::new(None),
         });
         // Seed worker 0.
         let root: Task = Box::new(root);
@@ -105,7 +173,26 @@ impl<D: WorkDeque> Scheduler<D> {
                 s.spawn(move || worker_loop::<D>(id, shared));
             }
         });
-        debug_assert_eq!(shared.pending.load(Ordering::SeqCst), 0);
+
+        // If every worker died, tasks may be stranded in the deques.
+        // Drop them (the closures' captures still run their destructors)
+        // and account for them so `pending` balances.
+        let mut dropped = 0usize;
+        for d in &shared.deques {
+            while let Some(task) = d.pop() {
+                drop(task);
+                dropped += 1;
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let panics = shared.panics.load(Ordering::SeqCst);
+        debug_assert!(
+            panics > 0
+                || (dropped == 0 && shared.pending.load(Ordering::SeqCst) == 0),
+            "pending-task accounting drifted without any panic"
+        );
+        let first_panic = shared.first_panic.lock().unwrap().take();
+        RunReport { panics, dropped, first_panic }
     }
 }
 
@@ -113,9 +200,12 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
     let mut rng: u64 = 0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1) | 1;
     let n = shared.deques.len();
     loop {
-        // Drain own deque first (LIFO).
+        // Drain own deque first (LIFO). A panicking task poisons this
+        // worker: it exits immediately, leaving its deque for thieves.
         while let Some(task) = shared.deques[id].pop() {
-            execute::<D>(id, &shared, task);
+            if !execute::<D>(id, &shared, task) {
+                return;
+            }
         }
         // Steal from a random victim.
         if shared.pending.load(Ordering::Acquire) == 0 {
@@ -142,12 +232,18 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
                         rest.reverse();
                         overflow = shared.deques[id].push_batch(rest);
                     }
-                    execute::<D>(id, &shared, first);
+                    let mut alive = execute::<D>(id, &shared, first);
                     // Bounded deque full: run the rejected tail inline,
                     // after `first` and reversed back to oldest-first, so
-                    // the stolen half still executes oldest-first.
+                    // the stolen half still executes oldest-first. Even a
+                    // poisoned worker finishes the batch it already popped
+                    // — these tasks are in nobody's deque, so dying here
+                    // would silently drop them.
                     for task in overflow.into_iter().rev() {
-                        execute::<D>(id, &shared, task);
+                        alive &= execute::<D>(id, &shared, task);
+                    }
+                    if !alive {
+                        return;
                     }
                 }
             }
@@ -155,7 +251,33 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
     }
 }
 
-fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) {
+/// Runs one task, converting a panic into a recorded death. Returns
+/// `false` if the task panicked. `pending` is decremented either way:
+/// the task is *finished*, just not successfully.
+fn run_task<D>(
+    shared: &Shared<D>,
+    task: Task,
+    handle: &WorkerHandle<'_, DynDeque>,
+) -> bool {
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(handle)));
+    shared.pending.fetch_sub(1, Ordering::AcqRel);
+    match outcome {
+        Ok(()) => true,
+        Err(payload) => {
+            shared.record_panic(payload);
+            false
+        }
+    }
+}
+
+/// Executes `task` on worker `id`. Returns `false` if `task` — or any
+/// subtask it forced inline through a full bounded deque — panicked, in
+/// which case the caller must treat the worker as dead.
+fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool {
+    // Panics inside the nested inline spawners can't unwind out through
+    // the `&dyn Fn` boundary as a return value, so they latch this flag.
+    let poisoned = AtomicBool::new(false);
     let spawner = |t: Task| {
         shared.pending.fetch_add(1, Ordering::AcqRel);
         if let Err(t) = shared.deques[id].push(t) {
@@ -170,31 +292,37 @@ fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) {
                         Ok(()) => {}
                         Err(t2) => {
                             // Last resort: execute immediately.
-                            execute_inline::<D>(id, shared, t2);
+                            if !execute_inline::<D>(id, shared, t2) {
+                                poisoned.store(true, Ordering::Release);
+                            }
                         }
                     }
                 },
                 _marker: std::marker::PhantomData,
             };
-            t(&handle);
-            shared.pending.fetch_sub(1, Ordering::AcqRel);
+            if !run_task(shared, t, &handle) {
+                poisoned.store(true, Ordering::Release);
+            }
         }
     };
     let handle = WorkerHandle { id, spawner: &spawner, _marker: std::marker::PhantomData };
-    task(&handle);
-    shared.pending.fetch_sub(1, Ordering::AcqRel);
+    let ok = run_task(shared, task, &handle);
+    ok && !poisoned.load(Ordering::Acquire)
 }
 
-fn execute_inline<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) {
+fn execute_inline<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool {
+    let poisoned = AtomicBool::new(false);
     let spawner = |t: Task| {
         shared.pending.fetch_add(1, Ordering::AcqRel);
         if let Err(t) = shared.deques[id].push(t) {
-            execute_inline::<D>(id, shared, t);
+            if !execute_inline::<D>(id, shared, t) {
+                poisoned.store(true, Ordering::Release);
+            }
         }
     };
     let handle = WorkerHandle { id, spawner: &spawner, _marker: std::marker::PhantomData };
-    task(&handle);
-    shared.pending.fetch_sub(1, Ordering::AcqRel);
+    let ok = run_task(shared, task, &handle);
+    ok && !poisoned.load(Ordering::Acquire)
 }
 
 #[cfg(test)]
@@ -337,6 +465,92 @@ mod more_tests {
             }
         });
         assert_eq!(count.load(Ordering::SeqCst), 20_000);
+    }
+
+    #[test]
+    fn panicking_task_kills_only_its_worker() {
+        // One task panics; the survivors must still finish all other
+        // work, and run_report must count exactly one panic.
+        let count = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(4);
+        let c = count.clone();
+        let report = sched.run_report(move |w| {
+            for i in 0..2_000 {
+                let c = c.clone();
+                w.spawn(move |_| {
+                    if i == 700 {
+                        panic!("injected task panic");
+                    }
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(report.panics, 1);
+        assert_eq!(report.dropped, 0, "survivors must drain all work");
+        assert_eq!(count.load(Ordering::SeqCst), 1_999);
+        let payload = report.into_first_panic().expect("payload recorded");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "injected task panic");
+    }
+
+    #[test]
+    fn run_rethrows_first_panic() {
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sched.run(|w| {
+                w.spawn(|_| panic!("boom from task"));
+            });
+        }))
+        .expect_err("run must rethrow the task panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom from task");
+    }
+
+    #[test]
+    fn all_workers_dead_drops_remaining_tasks() {
+        // A single worker that panics on its first task strands the
+        // rest; run_report must count (and destruct) the strays rather
+        // than hang or leak.
+        let count = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(1);
+        let c = count.clone();
+        let report = sched.run_report(move |w| {
+            for _ in 0..10 {
+                let c = c.clone();
+                w.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            panic!("root dies after spawning");
+        });
+        assert_eq!(report.panics, 1);
+        // LIFO pops mean the 10 spawned tasks were still queued when the
+        // root panicked and the lone worker died.
+        assert_eq!(report.dropped, 10);
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn multiple_panics_all_counted() {
+        let count = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<AbpWorkDeque> = Scheduler::new(4);
+        let c = count.clone();
+        let report = sched.run_report(move |w| {
+            for i in 0..1_000 {
+                let c = c.clone();
+                w.spawn(move |_| {
+                    if i % 400 == 7 {
+                        panic!("recurring fault");
+                    }
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // i = 7, 407, 807 panic; up to 3 workers may die, but the fourth
+        // survives and completes everything else.
+        assert_eq!(report.panics, 3);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(count.load(Ordering::SeqCst), 997);
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! * [`modelcheck`] — exhaustive interleaving exploration with the
 //!   paper's proof obligations checked on every transition.
 //! * [`workstealing`] — the motivating load-balancing application.
+//! * [`harness`] — progress watchdog and replayable torture seeds shared
+//!   by the stress and fault-injection test suites.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction results.
+
+pub mod harness;
 
 pub use dcas;
 pub use dcas_baselines as baselines;

@@ -6,12 +6,34 @@
 //! but still sharp — global property.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use dcas::{GlobalSeqLock, HarrisMcas, StripedLock};
 use dcas_deques::baselines::GreenwaldDeque;
 use dcas_deques::deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, LfrcListDeque, ListDeque};
+use dcas_deques::harness::Watchdog;
+
+/// Arms the shared progress watchdog for one conservation run: if the
+/// run wedges (livelock, lost wakeup), the watchdog dumps the per-side
+/// progress counters and aborts instead of hanging the test runner.
+fn arm_watchdog(
+    deque_name: &'static str,
+    push_count: &Arc<AtomicU64>,
+    pop_count: &Arc<AtomicU64>,
+) -> Watchdog {
+    let dog = Watchdog::arm(deque_name, 0, Duration::from_secs(180));
+    let pushes = Arc::clone(push_count);
+    let pops = Arc::clone(pop_count);
+    dog.diagnostic("pushes completed", move || {
+        pushes.load(Ordering::Relaxed).to_string()
+    });
+    dog.diagnostic("pops completed", move || {
+        pops.load(Ordering::Relaxed).to_string()
+    });
+    dog
+}
 
 /// Pushers feed unique values from both ends while poppers drain both
 /// ends; afterwards, the union of popped and remaining values must be
@@ -21,12 +43,16 @@ fn conservation<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usiz
     let done = Arc::new(AtomicBool::new(false));
     let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let pushed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let push_count = Arc::new(AtomicU64::new(0));
+    let pop_count = Arc::new(AtomicU64::new(0));
+    let watchdog = arm_watchdog(deque.impl_name(), &push_count, &pop_count);
 
     std::thread::scope(|s| {
         let mut push_handles = Vec::new();
         for p in 0..pushers {
             let deque = Arc::clone(&deque);
             let pushed = Arc::clone(&pushed);
+            let push_count = Arc::clone(&push_count);
             push_handles.push(s.spawn(move || {
                 let mut mine = Vec::new();
                 for i in 0..per {
@@ -34,6 +60,7 @@ fn conservation<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usiz
                     let res = if v.is_multiple_of(2) { deque.push_right(v) } else { deque.push_left(v) };
                     if res.is_ok() {
                         mine.push(v);
+                        push_count.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 pushed.lock().unwrap().extend(mine);
@@ -43,13 +70,17 @@ fn conservation<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usiz
             let deque = Arc::clone(&deque);
             let done = Arc::clone(&done);
             let popped = Arc::clone(&popped);
+            let pop_count = Arc::clone(&pop_count);
             s.spawn(move || {
                 let mut mine = Vec::new();
                 let mut spin = 0u32;
                 loop {
                     let v = if spin.is_multiple_of(2) { deque.pop_left() } else { deque.pop_right() };
                     match v {
-                        Some(v) => mine.push(v),
+                        Some(v) => {
+                            mine.push(v);
+                            pop_count.fetch_add(1, Ordering::Relaxed);
+                        }
                         None => {
                             if done.load(Ordering::Acquire) {
                                 break;
@@ -90,6 +121,7 @@ fn conservation<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppers: usiz
         seen.len()
     );
     assert_eq!(seen, expect, "{}: value sets differ", deque.impl_name());
+    watchdog.disarm();
 }
 
 const PER: u64 = 8_000;
@@ -165,12 +197,16 @@ fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppe
     let done = Arc::new(AtomicBool::new(false));
     let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let pushed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let push_count = Arc::new(AtomicU64::new(0));
+    let pop_count = Arc::new(AtomicU64::new(0));
+    let watchdog = arm_watchdog(deque.impl_name(), &push_count, &pop_count);
 
     std::thread::scope(|s| {
         let mut push_handles = Vec::new();
         for p in 0..pushers {
             let deque = Arc::clone(&deque);
             let pushed = Arc::clone(&pushed);
+            let push_count = Arc::clone(&push_count);
             push_handles.push(s.spawn(move || {
                 let mut mine: Vec<u64> = Vec::new();
                 let mut i = 0u64;
@@ -188,6 +224,7 @@ fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppe
                         Err(tail) => k - tail.into_inner().len(),
                     };
                     mine.extend(&batch[..accepted]);
+                    push_count.fetch_add(accepted as u64, Ordering::Relaxed);
                     i += k as u64;
                     width = width % 9 + 1; // cycle 1..=9: straddles MAX_BATCH
                 }
@@ -198,6 +235,7 @@ fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppe
             let deque = Arc::clone(&deque);
             let done = Arc::clone(&done);
             let popped = Arc::clone(&popped);
+            let pop_count = Arc::clone(&pop_count);
             s.spawn(move || {
                 let mut mine: Vec<u64> = Vec::new();
                 let mut spin = 0u32;
@@ -214,6 +252,7 @@ fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppe
                         }
                         std::hint::spin_loop();
                     } else {
+                        pop_count.fetch_add(got.len() as u64, Ordering::Relaxed);
                         mine.extend(got);
                     }
                     spin = spin.wrapping_add(1);
@@ -246,6 +285,7 @@ fn conservation_batched<D: ConcurrentDeque<u64>>(deque: D, pushers: usize, poppe
     }
     let expect: HashSet<u64> = pushed.iter().copied().collect();
     assert_eq!(seen, expect, "{}: value sets differ", deque.impl_name());
+    watchdog.disarm();
 }
 
 #[test]
