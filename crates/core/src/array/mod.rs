@@ -812,6 +812,11 @@ impl<T: Send, S: DcasStrategy> ArrayDeque<T, S> {
         self.raw.capacity()
     }
 
+    /// The DCAS strategy instance (for counter snapshots).
+    pub fn strategy(&self) -> &S {
+        self.raw.strategy()
+    }
+
     /// Appends `v` at the right end; `Err(Full(v))` if the deque is full.
     pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
         self.raw

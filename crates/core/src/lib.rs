@@ -69,7 +69,7 @@ pub use array::ArrayDeque;
 pub use list::ListDeque;
 pub use list_dummy::DummyListDeque;
 pub use list_lfrc::LfrcListDeque;
-pub use value::{Boxed, WordValue};
+pub use value::{Boxed, TraceId, WordValue};
 
 // Strategy-level tuning and observability, re-exported so deque users can
 // configure the default lock-free DCAS emulation without depending on the

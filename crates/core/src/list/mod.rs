@@ -1088,6 +1088,11 @@ impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
         self.raw.elim_stats()
     }
 
+    /// The DCAS strategy instance (for counter snapshots).
+    pub fn strategy(&self) -> &S {
+        self.raw.strategy()
+    }
+
     /// Appends `v` at the right end. Never fails (the deque is unbounded).
     pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
         self.raw

@@ -581,6 +581,11 @@ impl<T: Send, S: DcasStrategy> DummyListDeque<T, S> {
         DummyListDeque { raw: RawDummyListDeque::new() }
     }
 
+    /// The DCAS strategy instance (for counter snapshots).
+    pub fn strategy(&self) -> &S {
+        self.raw.strategy()
+    }
+
     /// Appends `v` at the right end. Never fails.
     pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
         self.raw

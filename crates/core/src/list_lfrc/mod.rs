@@ -712,6 +712,11 @@ impl<T: Send, S: DcasStrategy> LfrcListDeque<T, S> {
         LfrcListDeque { raw: RawLfrcListDeque::new() }
     }
 
+    /// The DCAS strategy instance (for counter snapshots).
+    pub fn strategy(&self) -> &S {
+        self.raw.strategy()
+    }
+
     /// Appends `v` at the right end. Never fails.
     pub fn push_right(&self, v: T) -> Result<(), Full<T>> {
         self.raw

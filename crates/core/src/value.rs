@@ -54,6 +54,37 @@ pub unsafe trait WordValue: Send + Sized {
     }
 }
 
+/// A value that can report a stable `u64` identity for op tracing.
+///
+/// Observability wrappers (`dcas_obs::Recorded`) record the identity of
+/// every pushed and popped element so captured traces can be replayed
+/// against the sequential deque specification. The identity must be
+/// **stable across the push/pop round-trip** (popping the element yields
+/// the same id that was recorded at push time) and should be unique per
+/// live element for the audit to be meaningful — a deque holding two
+/// elements with equal ids still traces, but the linearizability verdict
+/// weakens to "some element with this id".
+///
+/// Unlike [`WordValue`] this trait is safe: ids are telemetry, never
+/// dereferenced.
+pub trait TraceId {
+    /// The value's trace identity.
+    fn trace_id(&self) -> u64;
+}
+
+macro_rules! trace_id_uint {
+    ($($t:ty),*) => {$(
+        impl TraceId for $t {
+            #[inline]
+            fn trace_id(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+trace_id_uint!(u8, u16, u32, u64, usize);
+
 /// Force 16-byte alignment so that boxed-value pointers leave the low four
 /// bits clear (two for the DCAS substrate, one for the deleted flag, one
 /// spare).
@@ -78,6 +109,12 @@ impl<T> Boxed<T> {
     /// Unwraps the inner value.
     pub fn into_inner(self) -> T {
         self.0 .0
+    }
+}
+
+impl<T: TraceId> TraceId for Boxed<T> {
+    fn trace_id(&self) -> u64 {
+        self.0 .0.trace_id()
     }
 }
 

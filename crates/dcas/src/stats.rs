@@ -74,6 +74,26 @@ impl StrategyStats {
         (total != 0).then(|| self.elim_hits as f64 / total as f64)
     }
 
+    /// Name/value pairs for every counter, in declaration order — the
+    /// stable iteration surface for exporters (e.g. `crates/obs`'
+    /// metrics registry), so adding a counter here automatically reaches
+    /// every report format.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("ops", self.ops),
+            ("dcas_ops", self.dcas_ops),
+            ("dcas_failures", self.dcas_failures),
+            ("helps", self.helps),
+            ("descriptor_reuses", self.descriptor_reuses),
+            ("descriptor_allocs", self.descriptor_allocs),
+            ("casn_ops", self.casn_ops),
+            ("casn_failures", self.casn_failures),
+            ("elim_hits", self.elim_hits),
+            ("elim_misses", self.elim_misses),
+            ("descriptor_orphans", self.descriptor_orphans),
+        ]
+    }
+
     /// Field-wise difference (`self - earlier`), for measuring a phase.
     pub fn since(&self, earlier: &StrategyStats) -> StrategyStats {
         StrategyStats {

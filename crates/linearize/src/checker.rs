@@ -106,6 +106,121 @@ pub fn check_linearizable(initial: SeqDeque, ops: &[Completed]) -> Result<(), Vi
     Err(Violation { deepest_prefix: deepest })
 }
 
+/// Enumerates **every** abstract state the sequential specification can be
+/// left in by a linearization of `ops`, starting from *any* of the
+/// `initials` states.
+///
+/// This is the carry primitive of the windowed (online) checking mode:
+/// when a long history is audited window by window, the state at a window
+/// boundary is generally not unique — e.g. two concurrent `pushLeft`s
+/// admit two witness orders with different final sequences — so the next
+/// window must be checked from the full set of reachable states, not the
+/// first witness found. Returns the deduplicated set (never empty) or the
+/// same [`Violation`] diagnostics as [`check_linearizable`] if **no**
+/// initial state admits a linearization.
+///
+/// Complexity: same memoized search as [`check_linearizable`], but
+/// without the early exit on the first witness; the memo table bounds the
+/// work by the number of distinct (linearized-set, state) pairs.
+pub fn linearization_final_states(
+    initials: &[SeqDeque],
+    ops: &[Completed],
+) -> Result<Vec<SeqDeque>, Violation> {
+    assert!(!initials.is_empty(), "need at least one initial state");
+    if ops.len() > 64 {
+        panic!("checker supports at most 64 operations per history, got {}", ops.len());
+    }
+    if ops.is_empty() {
+        let mut out: Vec<SeqDeque> = Vec::new();
+        for s in initials {
+            if !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+        return Ok(out);
+    }
+    let all_mask: u64 = if ops.len() == 64 { !0 } else { (1u64 << ops.len()) - 1 };
+
+    // Shared across initial states: a (mask, state) pair reached from two
+    // different initials has identical continuations.
+    let mut memo: HashSet<(u64, Vec<u64>)> = HashSet::new();
+    let mut finals: Vec<SeqDeque> = Vec::new();
+    let mut deepest: Vec<usize> = Vec::new();
+
+    struct Frame {
+        state: SeqDeque,
+        mask: u64,
+        next_candidate: usize,
+        chosen: Option<usize>,
+    }
+
+    for initial in initials {
+        let mut stack =
+            vec![Frame { state: initial.clone(), mask: 0, next_candidate: 0, chosen: None }];
+        let mut path: Vec<usize> = Vec::new();
+        while let Some(frame) = stack.last_mut() {
+            if frame.mask == all_mask {
+                if !finals.contains(&frame.state) {
+                    finals.push(frame.state.clone());
+                }
+                // Keep searching for other witnesses' final states.
+                if stack.pop().and_then(|f| f.chosen).is_some() {
+                    path.pop();
+                }
+                continue;
+            }
+            let min_resp = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| frame.mask & (1 << i) == 0)
+                .map(|(_, c)| c.respond_ts)
+                .min()
+                .expect("non-full mask has remaining ops");
+
+            let mut advanced = false;
+            while frame.next_candidate < ops.len() {
+                let i = frame.next_candidate;
+                frame.next_candidate += 1;
+                if frame.mask & (1 << i) != 0 {
+                    continue;
+                }
+                if ops[i].invoke_ts > min_resp {
+                    continue;
+                }
+                let (ret, next_state) = frame.state.peek_apply(ops[i].op);
+                if ret != ops[i].ret {
+                    continue;
+                }
+                let next_mask = frame.mask | (1 << i);
+                let key = (next_mask, next_state.items().collect::<Vec<_>>());
+                if !memo.insert(key) {
+                    continue;
+                }
+                path.push(i);
+                if path.len() > deepest.len() {
+                    deepest = path.clone();
+                }
+                stack.push(Frame {
+                    state: next_state,
+                    mask: next_mask,
+                    next_candidate: 0,
+                    chosen: Some(i),
+                });
+                advanced = true;
+                break;
+            }
+            if !advanced && stack.pop().and_then(|f| f.chosen).is_some() {
+                path.pop();
+            }
+        }
+    }
+    if finals.is_empty() {
+        Err(Violation { deepest_prefix: deepest })
+    } else {
+        Ok(finals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +332,55 @@ mod tests {
             op(3, 4, DequeOp::PopLeft, DequeRet::Value(9)),
         ];
         assert!(check_linearizable(SeqDeque::unbounded(), &ops).is_err());
+    }
+
+    #[test]
+    fn final_states_enumerates_all_witness_orders() {
+        // Two fully-concurrent pushLefts: both <1,2> and <2,1> are
+        // reachable, and a checker that carried only one of them would
+        // mis-judge a later window.
+        let ops = vec![
+            op(0, 10, DequeOp::PushLeft(1), DequeRet::Okay),
+            op(1, 9, DequeOp::PushLeft(2), DequeRet::Okay),
+        ];
+        let finals =
+            linearization_final_states(&[SeqDeque::unbounded()], &ops).unwrap();
+        let mut seqs: Vec<Vec<u64>> =
+            finals.iter().map(|s| s.items().collect()).collect();
+        seqs.sort();
+        assert_eq!(seqs, vec![vec![1, 2], vec![2, 1]]);
+    }
+
+    #[test]
+    fn final_states_from_multiple_initials() {
+        // popLeft -> 7 linearizes from the initial state <7> but not from
+        // <8>; the union keeps only the reachable outcome.
+        let mut with7 = SeqDeque::unbounded();
+        with7.apply(DequeOp::PushRight(7));
+        let mut with8 = SeqDeque::unbounded();
+        with8.apply(DequeOp::PushRight(8));
+        let ops = vec![op(0, 1, DequeOp::PopLeft, DequeRet::Value(7))];
+        let finals = linearization_final_states(&[with7, with8.clone()], &ops).unwrap();
+        assert_eq!(finals.len(), 1);
+        assert!(finals[0].is_empty());
+        // From <8> alone the history is a violation.
+        assert!(linearization_final_states(&[with8], &ops).is_err());
+    }
+
+    #[test]
+    fn final_states_empty_history_returns_initials() {
+        let a = SeqDeque::unbounded();
+        let finals = linearization_final_states(&[a.clone(), a], &[]).unwrap();
+        assert_eq!(finals.len(), 1);
+    }
+
+    #[test]
+    fn final_states_rejects_what_checker_rejects() {
+        let ops = vec![
+            op(0, 1, DequeOp::PushRight(5), DequeRet::Okay),
+            op(2, 3, DequeOp::PopLeft, DequeRet::Value(6)),
+        ];
+        assert!(linearization_final_states(&[SeqDeque::unbounded()], &ops).is_err());
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub struct History {
 }
 
 impl History {
+    /// Builds a history from externally captured per-thread event logs
+    /// (the ingestion point for `crates/obs`' ring-buffer traces). Each
+    /// inner vector must hold one thread's events in program order:
+    /// alternating `Invoke`/`Respond` pairs, as produced by a
+    /// [`ThreadRecorder`] or any equivalent capture mechanism.
+    pub fn from_thread_events(per_thread: Vec<Vec<Event>>) -> Self {
+        History { per_thread }
+    }
+
     /// Extracts the completed operations. Every invocation must have a
     /// matching response in program order on its thread (threads joined
     /// before extraction guarantee this).

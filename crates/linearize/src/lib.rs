@@ -14,6 +14,10 @@
 //! * [`checker`] — a Wing & Gong linearizability checker with Lowe-style
 //!   memoization: decides whether a recorded history has *some*
 //!   linearization consistent with its real-time order.
+//! * [`window`] — windowed checking for histories longer than the
+//!   monolithic checker's 64-op cap: splits at quiescent cuts and carries
+//!   the full set of reachable abstract states between windows, enabling
+//!   bounded *online* auditing of live runs.
 //! * [`driver`] — a stress driver that runs randomized mixed workloads
 //!   over any [`ConcurrentDeque`](dcas_deque::ConcurrentDeque), records
 //!   the history, and checks it.
@@ -24,8 +28,10 @@ pub mod checker;
 pub mod driver;
 pub mod history;
 pub mod spec;
+pub mod window;
 
-pub use checker::check_linearizable;
+pub use checker::{check_linearizable, linearization_final_states};
 pub use driver::{stress_and_check, StressConfig, StressReport};
 pub use history::{Completed, Event, EventKind, History, Recorder};
 pub use spec::{Batch, DequeOp, DequeRet, SeqDeque};
+pub use window::{check_windowed, WindowReport, WindowedChecker, WindowError};

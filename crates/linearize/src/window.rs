@@ -1,0 +1,348 @@
+//! Windowed (bounded, online-capable) linearizability checking.
+//!
+//! The Wing & Gong search of [`checker`](crate::checker) is exponential,
+//! so it caps histories at 64 operations. Long recorded runs — and *live*
+//! runs, audited while the deque is still being hammered — are instead
+//! checked window by window:
+//!
+//! 1. completed operations are buffered in invocation order;
+//! 2. the buffer is split at **quiescent cuts** — timestamps that no
+//!    operation's interval spans. Because every thread runs its
+//!    operations sequentially, at most `threads` operations are open at
+//!    any instant and such cuts occur constantly in practice;
+//! 3. each window of at most `max_window` operations is checked by
+//!    [`linearization_final_states`], carrying the **full set** of
+//!    abstract states reachable at the cut into the next window (a
+//!    single witness would make the split unsound: concurrent operations
+//!    inside a window can leave the deque in several distinct states).
+//!
+//! Splitting at quiescent cuts with full state-set carry is exact: the
+//! windowed check accepts a history **iff** the monolithic check does.
+//! The online caveat is operations still in flight — a cut is only taken
+//! below `safe_ts`, the caller's bound on the earliest timestamp a
+//! not-yet-buffered invocation might carry.
+
+use crate::checker::{linearization_final_states, Violation};
+use crate::history::Completed;
+use crate::spec::SeqDeque;
+
+/// Why a windowed check failed or could not proceed.
+#[derive(Debug)]
+pub enum WindowError {
+    /// A window admitted no linearization from any carried state.
+    Violation {
+        /// Zero-based index of the offending window.
+        window: usize,
+        /// The operations of the offending window.
+        ops: Vec<Completed>,
+        /// Diagnostics from the underlying checker.
+        violation: Violation,
+    },
+    /// More than `max_window` buffered operations accumulated without a
+    /// quiescent cut (pathological overlap chain); raise `max_window` or
+    /// lower the contention of the recorded run.
+    Overflow {
+        /// Operations buffered when the limit was hit.
+        buffered: usize,
+        /// The configured window limit.
+        max_window: usize,
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::Violation { window, ops, violation } => write!(
+                f,
+                "window {window} of {} ops is NOT linearizable (deepest prefix \
+                 {:?});\nops: {:#?}",
+                ops.len(),
+                violation.deepest_prefix,
+                ops
+            ),
+            WindowError::Overflow { buffered, max_window } => write!(
+                f,
+                "no quiescent cut within {buffered} buffered ops \
+                 (max_window {max_window})"
+            ),
+        }
+    }
+}
+
+/// Summary of a completed windowed check.
+#[derive(Debug)]
+pub struct WindowReport {
+    /// Windows checked.
+    pub windows: usize,
+    /// Total operations checked across all windows.
+    pub ops_checked: usize,
+    /// Abstract states reachable after the final window.
+    pub final_states: Vec<SeqDeque>,
+}
+
+/// Incremental windowed checker. Feed completed operations as they are
+/// observed; call [`advance`](WindowedChecker::advance) to check every
+/// window already closed by a quiescent cut, and
+/// [`finish`](WindowedChecker::finish) once the run is over.
+#[derive(Debug)]
+pub struct WindowedChecker {
+    states: Vec<SeqDeque>,
+    buf: Vec<Completed>,
+    max_window: usize,
+    windows: usize,
+    ops_checked: usize,
+}
+
+impl WindowedChecker {
+    /// Creates a checker starting from `initial` that checks windows of
+    /// at most `max_window` operations (capped at the underlying
+    /// checker's limit of 64).
+    pub fn new(initial: SeqDeque, max_window: usize) -> Self {
+        let max_window = max_window.clamp(1, 64);
+        WindowedChecker {
+            states: vec![initial],
+            buf: Vec::new(),
+            max_window,
+            windows: 0,
+            ops_checked: 0,
+        }
+    }
+
+    /// Buffers completed operations (any order; they are sorted by
+    /// invocation timestamp internally).
+    pub fn feed<I: IntoIterator<Item = Completed>>(&mut self, ops: I) {
+        self.buf.extend(ops);
+        self.buf.sort_by_key(|c| c.invoke_ts);
+    }
+
+    /// Operations buffered but not yet absorbed into a checked window.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Windows checked so far.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Operations checked so far.
+    pub fn ops_checked(&self) -> usize {
+        self.ops_checked
+    }
+
+    /// Checks every buffered window closed by a quiescent cut whose cut
+    /// timestamp lies strictly below `safe_ts`.
+    ///
+    /// `safe_ts` is the caller's guarantee that every operation *not yet
+    /// fed* (in flight, or completed but unread) has an invocation
+    /// timestamp `>= safe_ts`; pass the minimum invocation timestamp of
+    /// the currently pending operations, or `u64::MAX` after the run has
+    /// quiesced. Returns the number of windows checked by this call.
+    pub fn advance(&mut self, safe_ts: u64) -> Result<usize, WindowError> {
+        let mut checked = 0;
+        loop {
+            match self.find_cut(safe_ts)? {
+                None => return Ok(checked),
+                Some(end) => {
+                    self.check_window(end)?;
+                    checked += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes the checker after the run has quiesced (every operation
+    /// fed), checking all remaining buffered operations.
+    pub fn finish(mut self) -> Result<WindowReport, WindowError> {
+        loop {
+            match self.find_cut(u64::MAX)? {
+                None => break,
+                Some(end) => self.check_window(end)?,
+            }
+        }
+        Ok(WindowReport {
+            windows: self.windows,
+            ops_checked: self.ops_checked,
+            final_states: self.states,
+        })
+    }
+
+    /// Finds the smallest prefix `buf[..end]` closed by a quiescent cut:
+    /// every prefix operation responded before both (a) the next buffered
+    /// operation's invocation and (b) `safe_ts`. The `safe_ts` bound
+    /// alone closes the tail of the buffer — no yet-unseen operation can
+    /// overlap it.
+    ///
+    /// `Overflow` is only raised when a **certified** cutless stretch
+    /// exceeds the window: more than `max_window` operations all
+    /// responded below `safe_ts` with no cut among them. Buffered
+    /// operations at or beyond `safe_ts` never count toward overflow —
+    /// a still-unseen invocation may yet land between them and produce
+    /// a cut once `safe_ts` advances, so a live poll mid-burst merely
+    /// keeps buffering instead of failing spuriously.
+    fn find_cut(&self, safe_ts: u64) -> Result<Option<usize>, WindowError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        let mut max_respond = 0u64;
+        let scan = self.buf.len().min(self.max_window + 1);
+        let mut stable = 0usize;
+        for i in 0..scan {
+            max_respond = max_respond.max(self.buf[i].respond_ts);
+            if max_respond >= safe_ts {
+                break;
+            }
+            stable = i + 1;
+            let cut = self.buf.get(i + 1).map_or(true, |c| max_respond < c.invoke_ts);
+            if cut && i + 1 <= self.max_window {
+                return Ok(Some(i + 1));
+            }
+        }
+        if stable > self.max_window {
+            return Err(WindowError::Overflow {
+                buffered: self.buf.len(),
+                max_window: self.max_window,
+            });
+        }
+        Ok(None)
+    }
+
+    fn check_window(&mut self, end: usize) -> Result<(), WindowError> {
+        let window: Vec<Completed> = self.buf.drain(..end).collect();
+        match linearization_final_states(&self.states, &window) {
+            Ok(states) => {
+                self.states = states;
+                self.windows += 1;
+                self.ops_checked += window.len();
+                Ok(())
+            }
+            Err(violation) => Err(WindowError::Violation {
+                window: self.windows,
+                ops: window,
+                violation,
+            }),
+        }
+    }
+}
+
+/// One-shot convenience: windowed check of a complete history.
+pub fn check_windowed(
+    initial: SeqDeque,
+    ops: &[Completed],
+    max_window: usize,
+) -> Result<WindowReport, WindowError> {
+    let mut w = WindowedChecker::new(initial, max_window);
+    w.feed(ops.iter().copied());
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DequeOp, DequeRet};
+
+    fn op(invoke_ts: u64, respond_ts: u64, op: DequeOp, ret: DequeRet) -> Completed {
+        Completed { invoke_ts, respond_ts, op, ret }
+    }
+
+    #[test]
+    fn long_sequential_history_checks_in_many_windows() {
+        // 300 ops — far beyond the monolithic checker's 64-op cap.
+        let mut ops = Vec::new();
+        let mut ts = 0;
+        for i in 0..150u64 {
+            ops.push(op(ts, ts + 1, DequeOp::PushRight(i), DequeRet::Okay));
+            ts += 2;
+        }
+        for i in 0..150u64 {
+            ops.push(op(ts, ts + 1, DequeOp::PopLeft, DequeRet::Value(i)));
+            ts += 2;
+        }
+        let report = check_windowed(SeqDeque::unbounded(), &ops, 8).unwrap();
+        assert_eq!(report.ops_checked, 300);
+        assert!(report.windows >= 300 / 8);
+        assert_eq!(report.final_states.len(), 1);
+        assert!(report.final_states[0].is_empty());
+    }
+
+    #[test]
+    fn ambiguous_cut_state_is_carried_exactly() {
+        // Window 1: two concurrent pushLefts (final state <1,2> or
+        // <2,1>). Window 2 resolves the ambiguity to <2,1>: a checker
+        // carrying a single witness state would flag a false violation
+        // roughly half the time.
+        let ops = vec![
+            op(0, 10, DequeOp::PushLeft(1), DequeRet::Okay),
+            op(1, 9, DequeOp::PushLeft(2), DequeRet::Okay),
+            op(20, 21, DequeOp::PopLeft, DequeRet::Value(2)),
+            op(22, 23, DequeOp::PopLeft, DequeRet::Value(1)),
+            op(24, 25, DequeOp::PopLeft, DequeRet::Empty),
+        ];
+        // max_window 2 forces the cut between the push pair and the pops.
+        let report = check_windowed(SeqDeque::unbounded(), &ops, 2).unwrap();
+        assert!(report.windows >= 2);
+        assert_eq!(report.final_states.len(), 1);
+        assert!(report.final_states[0].is_empty());
+    }
+
+    #[test]
+    fn violation_in_a_late_window_is_reported() {
+        let mut ops = Vec::new();
+        let mut ts = 0;
+        for i in 0..40u64 {
+            ops.push(op(ts, ts + 1, DequeOp::PushRight(i), DequeRet::Okay));
+            ts += 2;
+        }
+        // Pop a value that was never pushed.
+        ops.push(op(ts, ts + 1, DequeOp::PopLeft, DequeRet::Value(999)));
+        let err = check_windowed(SeqDeque::unbounded(), &ops, 8).unwrap_err();
+        match err {
+            WindowError::Violation { window, .. } => assert!(window >= 4),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_without_quiescent_cut() {
+        // Five pairwise-overlapping ops with max_window 4: no cut exists.
+        let ops: Vec<Completed> = (0..5u64)
+            .map(|i| op(i, 100 + i, DequeOp::PushRight(i), DequeRet::Okay))
+            .collect();
+        let err = check_windowed(SeqDeque::unbounded(), &ops, 4).unwrap_err();
+        assert!(matches!(err, WindowError::Overflow { buffered: 5, max_window: 4 }));
+    }
+
+    #[test]
+    fn advance_respects_safe_ts() {
+        let mut w = WindowedChecker::new(SeqDeque::unbounded(), 8);
+        w.feed([op(0, 1, DequeOp::PushRight(1), DequeRet::Okay)]);
+        // An unread op may still carry invoke_ts >= 1: no cut usable.
+        assert_eq!(w.advance(1).unwrap(), 0);
+        assert_eq!(w.buffered(), 1);
+        // Once the caller vouches for ts < 10, the window closes.
+        assert_eq!(w.advance(10).unwrap(), 1);
+        assert_eq!(w.buffered(), 0);
+        let report = w.finish().unwrap();
+        assert_eq!(report.ops_checked, 1);
+    }
+
+    #[test]
+    fn windowed_agrees_with_monolithic_on_small_histories() {
+        use crate::checker::check_linearizable;
+        // The stolen-last-element shapes from the checker tests.
+        let good = vec![
+            op(0, 1, DequeOp::PushRight(7), DequeRet::Okay),
+            op(2, 5, DequeOp::PopRight, DequeRet::Empty),
+            op(3, 4, DequeOp::PopLeft, DequeRet::Value(7)),
+        ];
+        assert!(check_linearizable(SeqDeque::unbounded(), &good).is_ok());
+        assert!(check_windowed(SeqDeque::unbounded(), &good, 64).is_ok());
+        let bad = vec![
+            op(0, 1, DequeOp::PushRight(7), DequeRet::Okay),
+            op(2, 5, DequeOp::PopRight, DequeRet::Value(7)),
+            op(3, 4, DequeOp::PopLeft, DequeRet::Value(7)),
+        ];
+        assert!(check_linearizable(SeqDeque::unbounded(), &bad).is_err());
+        assert!(check_windowed(SeqDeque::unbounded(), &bad, 64).is_err());
+    }
+}

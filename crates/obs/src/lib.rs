@@ -1,0 +1,44 @@
+//! Record-and-verify observability for the DCAS deques.
+//!
+//! The paper's Section 5 correctness arguments are reproduced in this
+//! workspace over *abstract* machines (`crates/modelcheck`); this crate
+//! closes the gap to the **real** Rust implementations by recording what
+//! they actually do and checking it:
+//!
+//! * [`recorder`] — a lock-free, allocation-bounded per-thread op
+//!   recorder: fixed-capacity seqlock ring buffers, monotone per-thread
+//!   sequence numbers, one global logical clock for conservative
+//!   real-time intervals. Readable concurrently (auditors, watchdog
+//!   dumps) while writers run.
+//! * [`recorded`] — the [`Recorded`] wrapper that makes any
+//!   [`ConcurrentDeque`](dcas_deque::ConcurrentDeque) wear the recorder,
+//!   plus per-op-kind latency histograms.
+//! * [`metrics`] — a metrics registry (op counters, DCAS strategy
+//!   counters via [`dcas::StrategyStats`], scheduler counters via
+//!   [`dcas_workstealing::SchedStats`], log-bucketed latency histograms)
+//!   with a hand-rolled JSON exporter.
+//! * [`bridge`] — converts captured rings into `dcas-linearize`
+//!   histories and audits them: post-hoc over a whole run ([`audit`]),
+//!   or *online* in bounded windows while the run is still going
+//!   ([`OnlineAuditor`]), failing fast on the first non-linearizable
+//!   window.
+//!
+//! Everything here lives outside the deque hot paths: a deque used
+//! without the [`Recorded`] wrapper carries no hooks at all, which is
+//! what lets the umbrella crate expose this as a default feature at
+//! zero cost to unrecorded code.
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod metrics;
+pub mod recorded;
+pub mod recorder;
+
+pub use bridge::{
+    audit, completed_history, to_completed, AuditError, AuditReport, OnlineAuditor, PollReport,
+    TraceError, TraceStats,
+};
+pub use metrics::{HistogramSnapshot, Json, LogHistogram, MetricsRegistry};
+pub use recorded::{BatchTracing, OpMetrics, Recorded};
+pub use recorder::{OpKind, OpRecorder, Outcome, RecordedOp, SlotRead, ThreadRing};

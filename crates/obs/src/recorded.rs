@@ -1,0 +1,477 @@
+//! The recording deque wrapper.
+//!
+//! [`Recorded<D>`] implements [`ConcurrentDeque`] by delegating to the
+//! wrapped deque while logging every operation's invocation/response
+//! interval, traced value identities, and outcome into an
+//! [`OpRecorder`], plus wall-clock latency into per-kind
+//! [`LogHistogram`]s. The hooks live entirely in this wrapper: deques
+//! taken without it carry zero recording cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcas_deque::{ConcurrentDeque, Full, TraceId, MAX_BATCH};
+
+use crate::metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry};
+use crate::recorder::{OpKind, OpRecorder, Outcome};
+
+/// How the wrapper traces the batched (`*_n`) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchTracing {
+    /// Record each batched call as its per-element expansion, invoking
+    /// the inner deque's *single* push/pop once per element. Sound for
+    /// **every** deque — including those whose batch methods are
+    /// per-element loops ([`DummyListDeque`](dcas_deque::DummyListDeque),
+    /// [`LfrcListDeque`](dcas_deque::LfrcListDeque)), where a
+    /// multi-element op has no single linearization point to record.
+    PerElement,
+    /// Record batched calls in chunk-atomic units of up to
+    /// [`MAX_BATCH`]: one trace entry per chunk, delegated to the inner
+    /// deque's batch methods. Only sound for deques whose batch
+    /// operations commit each ≤[`MAX_BATCH`] chunk at a single
+    /// linearization point — the paper deques
+    /// ([`ArrayDeque`](dcas_deque::ArrayDeque) with capacity ≥
+    /// [`MAX_BATCH`], [`ListDeque`](dcas_deque::ListDeque)).
+    Atomic,
+}
+
+/// Per-kind op counters and latency histograms for one wrapped deque.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    counts: [AtomicU64; 8],
+    latency_ns: [LogHistogram; 8],
+}
+
+impl OpMetrics {
+    #[inline]
+    fn record(&self, kind: OpKind, elapsed_ns: u64) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.latency_ns[kind as usize].record(elapsed_ns);
+    }
+
+    /// Snapshot of `(kind name, op count, latency histogram)` for every
+    /// kind that ran at least once.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64, HistogramSnapshot)> {
+        const KINDS: [OpKind; 8] = [
+            OpKind::PushRight,
+            OpKind::PushLeft,
+            OpKind::PopRight,
+            OpKind::PopLeft,
+            OpKind::PushRightN,
+            OpKind::PushLeftN,
+            OpKind::PopRightN,
+            OpKind::PopLeftN,
+        ];
+        KINDS
+            .iter()
+            .filter_map(|&k| {
+                let c = self.counts[k as usize].load(Ordering::Relaxed);
+                (c != 0).then(|| (k.name(), c, self.latency_ns[k as usize].snapshot()))
+            })
+            .collect()
+    }
+
+    /// Registers an `ops` counter section and one latency section per
+    /// active op kind into `reg`.
+    pub fn register_into(&self, reg: &mut MetricsRegistry) {
+        let snap = self.snapshot();
+        let counts: Vec<(&str, u64)> = snap.iter().map(|(k, c, _)| (*k, *c)).collect();
+        reg.counters("ops", &counts);
+        for (kind, _, hist) in &snap {
+            reg.histogram(&format!("latency_ns/{kind}"), hist);
+        }
+    }
+}
+
+/// A deque wearing the observability layer: every operation is traced
+/// into a lock-free ring recorder and timed into latency histograms.
+///
+/// The wrapper is itself a [`ConcurrentDeque`]; element types must
+/// additionally implement [`TraceId`] so pushed/popped values can be
+/// identified in the trace.
+pub struct Recorded<D> {
+    inner: D,
+    rec: Arc<OpRecorder>,
+    batch: BatchTracing,
+    metrics: OpMetrics,
+}
+
+impl<D> Recorded<D> {
+    /// Wraps `inner` with a fresh recorder sized for `threads`
+    /// participating threads and `capacity_per_thread` trace slots each,
+    /// tracing batched calls per element (sound for every deque — see
+    /// [`BatchTracing`]).
+    pub fn new(inner: D, threads: usize, capacity_per_thread: usize) -> Self {
+        Self::with_batch_tracing(inner, threads, capacity_per_thread, BatchTracing::PerElement)
+    }
+
+    /// Like [`new`](Self::new), but traces batched calls as chunk-atomic
+    /// multi-element operations. Only use with deques whose batch
+    /// methods are chunk-atomic (see [`BatchTracing::Atomic`]).
+    pub fn with_atomic_batches(inner: D, threads: usize, capacity_per_thread: usize) -> Self {
+        Self::with_batch_tracing(inner, threads, capacity_per_thread, BatchTracing::Atomic)
+    }
+
+    /// Fully explicit constructor.
+    pub fn with_batch_tracing(
+        inner: D,
+        threads: usize,
+        capacity_per_thread: usize,
+        batch: BatchTracing,
+    ) -> Self {
+        Recorded {
+            inner,
+            rec: Arc::new(OpRecorder::new(threads, capacity_per_thread)),
+            batch,
+            metrics: OpMetrics::default(),
+        }
+    }
+
+    /// The trace recorder (clone the `Arc` to audit or dump from other
+    /// threads).
+    pub fn recorder(&self) -> &Arc<OpRecorder> {
+        &self.rec
+    }
+
+    /// The wrapped deque.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The per-kind op counters and latency histograms.
+    pub fn metrics(&self) -> &OpMetrics {
+        &self.metrics
+    }
+
+    /// Unwraps the inner deque, dropping the recording layer.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for Recorded<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorded")
+            .field("inner", &self.inner)
+            .field("recorder", &self.rec)
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+impl<D> Recorded<D> {
+    #[inline]
+    fn traced<R>(
+        &self,
+        kind: OpKind,
+        requested: u8,
+        input: &[u64],
+        op: impl FnOnce() -> R,
+        respond: impl FnOnce(&R) -> (Outcome, Vec<u64>),
+    ) -> R {
+        let t0 = Instant::now();
+        self.rec.begin(kind, requested, input);
+        let r = op();
+        let (outcome, result) = respond(&r);
+        self.rec.finish(outcome, &result);
+        self.metrics.record(kind, t0.elapsed().as_nanos() as u64);
+        r
+    }
+}
+
+impl<T, D> ConcurrentDeque<T> for Recorded<D>
+where
+    T: TraceId + Send,
+    D: ConcurrentDeque<T>,
+{
+    fn push_right(&self, v: T) -> Result<(), Full<T>> {
+        let id = v.trace_id();
+        self.traced(
+            OpKind::PushRight,
+            0,
+            &[id],
+            || self.inner.push_right(v),
+            |r| (if r.is_ok() { Outcome::Okay } else { Outcome::Full }, Vec::new()),
+        )
+    }
+
+    fn push_left(&self, v: T) -> Result<(), Full<T>> {
+        let id = v.trace_id();
+        self.traced(
+            OpKind::PushLeft,
+            0,
+            &[id],
+            || self.inner.push_left(v),
+            |r| (if r.is_ok() { Outcome::Okay } else { Outcome::Full }, Vec::new()),
+        )
+    }
+
+    fn pop_right(&self) -> Option<T> {
+        self.traced(
+            OpKind::PopRight,
+            0,
+            &[],
+            || self.inner.pop_right(),
+            |r| match r {
+                Some(v) => (Outcome::Okay, vec![v.trace_id()]),
+                None => (Outcome::Empty, Vec::new()),
+            },
+        )
+    }
+
+    fn pop_left(&self) -> Option<T> {
+        self.traced(
+            OpKind::PopLeft,
+            0,
+            &[],
+            || self.inner.pop_left(),
+            |r| match r {
+                Some(v) => (Outcome::Okay, vec![v.trace_id()]),
+                None => (Outcome::Empty, Vec::new()),
+            },
+        )
+    }
+
+    fn impl_name(&self) -> &'static str {
+        self.inner.impl_name()
+    }
+
+    fn push_right_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        match self.batch {
+            BatchTracing::PerElement => {
+                let mut it = vals.into_iter();
+                while let Some(v) = it.next() {
+                    if let Err(Full(v)) = self.push_right(v) {
+                        let mut rest = vec![v];
+                        rest.extend(it);
+                        return Err(Full(rest));
+                    }
+                }
+                Ok(())
+            }
+            BatchTracing::Atomic => {
+                let mut it = vals.into_iter();
+                loop {
+                    let chunk: Vec<T> = it.by_ref().take(MAX_BATCH).collect();
+                    if chunk.is_empty() {
+                        return Ok(());
+                    }
+                    let mut ids = [0u64; MAX_BATCH];
+                    for (i, v) in chunk.iter().enumerate() {
+                        ids[i] = v.trace_id();
+                    }
+                    let n = chunk.len();
+                    let res = self.traced(
+                        OpKind::PushRightN,
+                        0,
+                        &ids[..n],
+                        || self.inner.push_right_n(chunk),
+                        |r| (if r.is_ok() { Outcome::Okay } else { Outcome::Full }, Vec::new()),
+                    );
+                    if let Err(Full(rest)) = res {
+                        debug_assert_eq!(
+                            rest.len(),
+                            n,
+                            "chunk-atomic push must reject all-or-nothing"
+                        );
+                        return Err(Full(rest.into_iter().chain(it).collect()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_left_n(&self, vals: Vec<T>) -> Result<(), Full<Vec<T>>> {
+        match self.batch {
+            BatchTracing::PerElement => {
+                let mut it = vals.into_iter();
+                while let Some(v) = it.next() {
+                    if let Err(Full(v)) = self.push_left(v) {
+                        let mut rest = vec![v];
+                        rest.extend(it);
+                        return Err(Full(rest));
+                    }
+                }
+                Ok(())
+            }
+            BatchTracing::Atomic => {
+                let mut it = vals.into_iter();
+                loop {
+                    let chunk: Vec<T> = it.by_ref().take(MAX_BATCH).collect();
+                    if chunk.is_empty() {
+                        return Ok(());
+                    }
+                    let mut ids = [0u64; MAX_BATCH];
+                    for (i, v) in chunk.iter().enumerate() {
+                        ids[i] = v.trace_id();
+                    }
+                    let n = chunk.len();
+                    let res = self.traced(
+                        OpKind::PushLeftN,
+                        0,
+                        &ids[..n],
+                        || self.inner.push_left_n(chunk),
+                        |r| (if r.is_ok() { Outcome::Okay } else { Outcome::Full }, Vec::new()),
+                    );
+                    if let Err(Full(rest)) = res {
+                        debug_assert_eq!(
+                            rest.len(),
+                            n,
+                            "chunk-atomic push must reject all-or-nothing"
+                        );
+                        return Err(Full(rest.into_iter().chain(it).collect()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn pop_right_n(&self, n: usize) -> Vec<T> {
+        match self.batch {
+            BatchTracing::PerElement => {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match self.pop_right() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                out
+            }
+            BatchTracing::Atomic => {
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let k = (n - out.len()).min(MAX_BATCH);
+                    let got = self.traced(
+                        OpKind::PopRightN,
+                        k as u8,
+                        &[],
+                        || self.inner.pop_right_n(k),
+                        |r| (Outcome::Okay, r.iter().map(TraceId::trace_id).collect()),
+                    );
+                    let short = got.len() < k;
+                    out.extend(got);
+                    if short {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn pop_left_n(&self, n: usize) -> Vec<T> {
+        match self.batch {
+            BatchTracing::PerElement => {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match self.pop_left() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                out
+            }
+            BatchTracing::Atomic => {
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let k = (n - out.len()).min(MAX_BATCH);
+                    let got = self.traced(
+                        OpKind::PopLeftN,
+                        k as u8,
+                        &[],
+                        || self.inner.pop_left_n(k),
+                        |r| (Outcome::Okay, r.iter().map(TraceId::trace_id).collect()),
+                    );
+                    let short = got.len() < k;
+                    out.extend(got);
+                    if short {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::SlotRead;
+    use dcas_deque::{ArrayDeque, ListDeque};
+
+    #[test]
+    fn single_ops_trace_values_and_outcomes() {
+        let d: Recorded<ListDeque<u32>> = Recorded::new(ListDeque::new(), 1, 64);
+        d.push_right(7).unwrap();
+        d.push_left(8).unwrap();
+        assert_eq!(d.pop_right(), Some(7));
+        assert_eq!(d.pop_right(), Some(8));
+        assert_eq!(d.pop_left(), None);
+        let rec = d.recorder();
+        let tail = rec.tail(0, 10);
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail[0].kind, OpKind::PushRight);
+        assert_eq!(tail[0].vals(), &[7]);
+        assert_eq!(tail[2].kind, OpKind::PopRight);
+        assert_eq!(tail[2].vals(), &[7]);
+        assert_eq!(tail[4].outcome, Outcome::Empty);
+        let snap = d.metrics().snapshot();
+        let total: u64 = snap.iter().map(|(_, c, _)| c).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn full_bounded_push_traced() {
+        let d: Recorded<ArrayDeque<u32>> = Recorded::new(ArrayDeque::new(1), 1, 16);
+        d.push_right(1).unwrap();
+        assert!(d.push_right(2).is_err());
+        let SlotRead::Completed(op) = d.recorder().ring(0).read(0, 1) else { panic!() };
+        assert_eq!(op.outcome, Outcome::Full);
+    }
+
+    #[test]
+    fn atomic_batches_trace_chunks() {
+        let d: Recorded<ListDeque<u32>> =
+            Recorded::with_atomic_batches(ListDeque::new(), 1, 64);
+        d.push_right_n((0..11u32).collect()).unwrap();
+        let out = d.pop_left_n(11);
+        assert_eq!(out, (0..11u32).collect::<Vec<_>>());
+        let tail = d.recorder().tail(0, 16);
+        // 11 pushes → chunks of 8+3; 11 pops → chunks of 8+3.
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].kind, OpKind::PushRightN);
+        assert_eq!(tail[0].vals().len(), 8);
+        assert_eq!(tail[1].vals().len(), 3);
+        assert_eq!(tail[2].kind, OpKind::PopLeftN);
+        assert_eq!(tail[2].vals(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(tail[3].vals(), &[8, 9, 10]);
+    }
+
+    #[test]
+    fn per_element_batches_trace_singles() {
+        let d: Recorded<ListDeque<u32>> = Recorded::new(ListDeque::new(), 1, 64);
+        d.push_left_n(vec![1, 2, 3]).unwrap();
+        assert_eq!(d.pop_right_n(5), vec![1, 2, 3]);
+        let tail = d.recorder().tail(0, 16);
+        // 3 single pushes + 3 single pops + 1 empty pop.
+        assert_eq!(tail.len(), 7);
+        assert!(tail[..3].iter().all(|op| op.kind == OpKind::PushLeft));
+        assert!(tail[3..].iter().all(|op| op.kind == OpKind::PopRight));
+        assert_eq!(tail[6].outcome, Outcome::Empty);
+    }
+
+    #[test]
+    fn metrics_register_into_registry() {
+        let d: Recorded<ListDeque<u32>> = Recorded::new(ListDeque::new(), 1, 16);
+        d.push_right(1).unwrap();
+        d.pop_left();
+        let mut reg = MetricsRegistry::new();
+        d.metrics().register_into(&mut reg);
+        let json = reg.to_json();
+        assert!(json.contains("\"pushRight\": 1"));
+        assert!(json.contains("latency_ns/popLeft"));
+    }
+}

@@ -1,0 +1,673 @@
+//! Lock-free per-thread op recorder.
+//!
+//! An [`OpRecorder`] owns one fixed-capacity ring buffer per
+//! participating thread plus one global logical clock. Each deque
+//! operation occupies one ring slot holding its invocation timestamp,
+//! response timestamp, packed descriptor (kind, end, batch size,
+//! outcome) and up to [`MAX_BATCH`] traced value identities. Threads are
+//! assigned rings automatically on first use (thread-local cache), so
+//! the recording wrapper works with plain `&self` deque methods.
+//!
+//! # Concurrent reads
+//!
+//! Slots are written only by their owning thread but may be read at any
+//! time by an auditor or a watchdog dump. Each slot is a seqlock in the
+//! crossbeam `AtomicCell` style, with **two** stable phases per
+//! generation `s`:
+//!
+//! * `4s+1` — invocation fields being written (unstable);
+//! * `4s+2` — operation in flight: invocation fields readable;
+//! * `4s+3` — response fields being written (unstable);
+//! * `4s+4` — operation complete: all fields readable.
+//!
+//! A reader loads the state (Acquire), reads the payload (Relaxed
+//! atomics, so no torn reads are UB), issues an Acquire fence, and
+//! re-reads the state; an unchanged stable state certifies a consistent
+//! snapshot. Generations advance by the ring capacity between reuses of
+//! a slot, so a reader asking for operation `s` detects overwriting
+//! (state from a later generation) rather than mistaking recycled data
+//! for it.
+//!
+//! The recorder never allocates after construction: recording is two
+//! atomic clock increments, a handful of relaxed stores, and the seqlock
+//! transitions.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+use dcas_deque::MAX_BATCH;
+
+/// Operation kinds as stored in slot descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    /// `push_right(v)`
+    PushRight = 0,
+    /// `push_left(v)`
+    PushLeft = 1,
+    /// `pop_right()`
+    PopRight = 2,
+    /// `pop_left()`
+    PopLeft = 3,
+    /// One chunk-atomic `push_right_n` transition.
+    PushRightN = 4,
+    /// One chunk-atomic `push_left_n` transition.
+    PushLeftN = 5,
+    /// One chunk-atomic `pop_right_n` transition.
+    PopRightN = 6,
+    /// One chunk-atomic `pop_left_n` transition.
+    PopLeftN = 7,
+}
+
+impl OpKind {
+    fn from_bits(b: u64) -> OpKind {
+        match b & 0x7 {
+            0 => OpKind::PushRight,
+            1 => OpKind::PushLeft,
+            2 => OpKind::PopRight,
+            3 => OpKind::PopLeft,
+            4 => OpKind::PushRightN,
+            5 => OpKind::PushLeftN,
+            6 => OpKind::PopRightN,
+            _ => OpKind::PopLeftN,
+        }
+    }
+
+    /// Short display name (`pushRight`, `popLeftN`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::PushRight => "pushRight",
+            OpKind::PushLeft => "pushLeft",
+            OpKind::PopRight => "popRight",
+            OpKind::PopLeft => "popLeft",
+            OpKind::PushRightN => "pushRightN",
+            OpKind::PushLeftN => "pushLeftN",
+            OpKind::PopRightN => "popRightN",
+            OpKind::PopLeftN => "popLeftN",
+        }
+    }
+
+    /// Whether this kind carries its traced values at invocation (pushes)
+    /// rather than at response (pops).
+    pub fn is_push(self) -> bool {
+        matches!(
+            self,
+            OpKind::PushRight | OpKind::PushLeft | OpKind::PushRightN | OpKind::PushLeftN
+        )
+    }
+}
+
+/// Operation outcome as stored in slot descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Still in flight (no response recorded).
+    Pending,
+    /// Push succeeded / pop returned value(s).
+    Okay,
+    /// Push hit a full bounded deque.
+    Full,
+    /// Pop found the deque empty.
+    Empty,
+}
+
+impl Outcome {
+    fn to_bits(self) -> u64 {
+        match self {
+            Outcome::Pending => 0,
+            Outcome::Okay => 1,
+            Outcome::Full => 2,
+            Outcome::Empty => 3,
+        }
+    }
+
+    fn from_bits(b: u64) -> Outcome {
+        match b & 0x3 {
+            0 => Outcome::Pending,
+            1 => Outcome::Okay,
+            2 => Outcome::Full,
+            _ => Outcome::Empty,
+        }
+    }
+}
+
+// Descriptor word layout: kind in bits 0..3, requested batch size in
+// bits 4..8, value count in bits 8..12, outcome in bits 12..14.
+fn pack_desc(kind: OpKind, requested: u8, count: u8, outcome: Outcome) -> u64 {
+    debug_assert!(requested as usize <= MAX_BATCH && count as usize <= MAX_BATCH);
+    (kind as u64) | ((requested as u64) << 4) | ((count as u64) << 8) | (outcome.to_bits() << 12)
+}
+
+/// One decoded recorder entry.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordedOp {
+    /// Ring (thread) index.
+    pub thread: usize,
+    /// Per-thread monotone sequence number.
+    pub seq: u64,
+    /// Global-clock stamp taken immediately before invoking the inner
+    /// operation.
+    pub invoke_ts: u64,
+    /// Stamp taken immediately after it returned; `None` while in
+    /// flight.
+    pub respond_ts: Option<u64>,
+    /// What was invoked.
+    pub kind: OpKind,
+    /// Requested batch size (batched pops; 0 otherwise).
+    pub requested: u8,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Traced value identities: the pushed values for pushes, the popped
+    /// values for pops (empty while a pop is in flight).
+    pub vals: [u64; MAX_BATCH],
+    /// Number of live entries in `vals`.
+    pub count: u8,
+}
+
+impl RecordedOp {
+    /// The live prefix of [`vals`](Self::vals).
+    pub fn vals(&self) -> &[u64] {
+        &self.vals[..self.count as usize]
+    }
+}
+
+impl std::fmt::Display for RecordedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {}(", self.seq, self.kind.name())?;
+        if self.kind.is_push() {
+            for (i, v) in self.vals().iter().enumerate() {
+                write!(f, "{}{v}", if i == 0 { "" } else { "," })?;
+            }
+        } else if self.requested > 0 {
+            write!(f, "{}", self.requested)?;
+        }
+        write!(f, ") @[{},", self.invoke_ts)?;
+        match self.respond_ts {
+            None => write!(f, "…] IN-FLIGHT"),
+            Some(r) => {
+                write!(f, "{r}] -> ")?;
+                match self.outcome {
+                    Outcome::Pending => write!(f, "?"),
+                    Outcome::Full => write!(f, "full"),
+                    Outcome::Empty => write!(f, "empty"),
+                    Outcome::Okay if self.kind.is_push() => write!(f, "okay"),
+                    Outcome::Okay => {
+                        write!(f, "[")?;
+                        for (i, v) in self.vals().iter().enumerate() {
+                            write!(f, "{}{v}", if i == 0 { "" } else { "," })?;
+                        }
+                        write!(f, "]")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What a concurrent reader found at a given (thread, seq).
+#[derive(Debug, Clone, Copy)]
+pub enum SlotRead {
+    /// The operation completed; full record.
+    Completed(RecordedOp),
+    /// The operation is still executing; invocation-side record (for
+    /// pops, `vals` is empty until the response lands).
+    InFlight(RecordedOp),
+    /// The ring wrapped: this sequence number's slot was recycled before
+    /// it could be read.
+    Overwritten,
+    /// The sequence number has not been issued yet (or its slot is
+    /// mid-transition; retry).
+    NotYetStable,
+}
+
+struct Slot {
+    state: AtomicU64,
+    invoke_ts: AtomicU64,
+    respond_ts: AtomicU64,
+    desc: AtomicU64,
+    vals: [AtomicU64; MAX_BATCH],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            state: AtomicU64::new(0),
+            invoke_ts: AtomicU64::new(0),
+            respond_ts: AtomicU64::new(0),
+            desc: AtomicU64::new(0),
+            vals: Default::default(),
+        }
+    }
+}
+
+/// One thread's ring. Written only by the owning thread; read by anyone.
+pub struct ThreadRing {
+    /// Operations begun on this ring (`seq` of the next op). Published
+    /// with Release after the slot reaches its in-flight stable phase.
+    started: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    fn new(capacity: usize) -> ThreadRing {
+        ThreadRing {
+            started: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Operations begun on this ring so far.
+    pub fn started(&self) -> u64 {
+        self.started.load(Ordering::Acquire)
+    }
+
+    // Owner-side: begin op `seq` (= current `started`).
+    fn begin(&self, invoke_ts: u64, kind: OpKind, requested: u8, input: &[u64]) -> u64 {
+        let seq = self.started.load(Ordering::Relaxed);
+        let slot = &self.slots[(seq as usize) % self.slots.len()];
+        slot.state.swap(4 * seq + 1, Ordering::Acquire);
+        fence(Ordering::Release);
+        slot.invoke_ts.store(invoke_ts, Ordering::Relaxed);
+        slot.desc.store(
+            pack_desc(kind, requested, input.len() as u8, Outcome::Pending),
+            Ordering::Relaxed,
+        );
+        for (i, &v) in input.iter().enumerate() {
+            slot.vals[i].store(v, Ordering::Relaxed);
+        }
+        slot.state.store(4 * seq + 2, Ordering::Release);
+        self.started.store(seq + 1, Ordering::Release);
+        seq
+    }
+
+    // Owner-side: finish the in-flight op (`started - 1`).
+    fn finish(&self, respond_ts: u64, outcome: Outcome, result: &[u64]) {
+        let seq = self.started.load(Ordering::Relaxed) - 1;
+        let slot = &self.slots[(seq as usize) % self.slots.len()];
+        slot.state.swap(4 * seq + 3, Ordering::Acquire);
+        fence(Ordering::Release);
+        slot.respond_ts.store(respond_ts, Ordering::Relaxed);
+        let desc = slot.desc.load(Ordering::Relaxed);
+        let kind = OpKind::from_bits(desc);
+        let requested = ((desc >> 4) & 0xF) as u8;
+        let count = if kind.is_push() { ((desc >> 8) & 0xF) as u8 } else { result.len() as u8 };
+        if !kind.is_push() {
+            for (i, &v) in result.iter().enumerate() {
+                slot.vals[i].store(v, Ordering::Relaxed);
+            }
+        }
+        slot.desc.store(pack_desc(kind, requested, count, outcome), Ordering::Relaxed);
+        slot.state.store(4 * seq + 4, Ordering::Release);
+    }
+
+    /// Concurrent-safe read of operation `seq` on this ring.
+    pub fn read(&self, thread: usize, seq: u64) -> SlotRead {
+        if seq >= self.started() {
+            return SlotRead::NotYetStable;
+        }
+        let slot = &self.slots[(seq as usize) % self.slots.len()];
+        for _ in 0..64 {
+            let stamp = slot.state.load(Ordering::Acquire);
+            if stamp > 4 * seq + 4 {
+                return SlotRead::Overwritten;
+            }
+            if stamp != 4 * seq + 2 && stamp != 4 * seq + 4 {
+                // Mid-transition (the owning thread is inside begin or
+                // finish); spin briefly for stability.
+                std::hint::spin_loop();
+                continue;
+            }
+            let invoke_ts = slot.invoke_ts.load(Ordering::Relaxed);
+            let respond_ts = slot.respond_ts.load(Ordering::Relaxed);
+            let desc = slot.desc.load(Ordering::Relaxed);
+            let mut vals = [0u64; MAX_BATCH];
+            for (i, v) in slot.vals.iter().enumerate() {
+                vals[i] = v.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.state.load(Ordering::Relaxed) != stamp {
+                continue;
+            }
+            let op = RecordedOp {
+                thread,
+                seq,
+                invoke_ts,
+                respond_ts: (stamp == 4 * seq + 4).then_some(respond_ts),
+                kind: OpKind::from_bits(desc),
+                requested: ((desc >> 4) & 0xF) as u8,
+                outcome: Outcome::from_bits(desc >> 12),
+                count: ((desc >> 8) & 0xF) as u8,
+                vals,
+            };
+            // In-flight pops have no values yet regardless of the stale
+            // count field from a previous generation... which cannot
+            // happen: begin() rewrote desc with this generation's count.
+            return if stamp == 4 * seq + 4 {
+                SlotRead::Completed(op)
+            } else {
+                SlotRead::InFlight(op)
+            };
+        }
+        SlotRead::NotYetStable
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The recorder: one ring per participating thread, one global logical
+/// clock, automatic thread→ring assignment.
+pub struct OpRecorder {
+    id: u64,
+    clock: AtomicU64,
+    rings: Box<[ThreadRing]>,
+    next_ring: AtomicUsize,
+}
+
+thread_local! {
+    // (recorder id, ring index) of the most recently used recorder —
+    // the common case of one recorder per test hits this cache on every
+    // op after the first.
+    static RING_CACHE: std::cell::Cell<(u64, usize)> = const { std::cell::Cell::new((0, usize::MAX)) };
+    static RING_MAP: std::cell::RefCell<std::collections::HashMap<u64, usize>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+impl OpRecorder {
+    /// Creates a recorder for up to `threads` participating threads,
+    /// each with a ring of `capacity_per_thread` slots (rounded up to at
+    /// least 2).
+    pub fn new(threads: usize, capacity_per_thread: usize) -> OpRecorder {
+        assert!(threads >= 1);
+        let cap = capacity_per_thread.max(2);
+        OpRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            clock: AtomicU64::new(0),
+            rings: (0..threads).map(|_| ThreadRing::new(cap)).collect(),
+            next_ring: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of rings (maximum participating threads).
+    pub fn threads(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Rings assigned to a thread so far.
+    pub fn threads_used(&self) -> usize {
+        self.next_ring.load(Ordering::Acquire).min(self.rings.len())
+    }
+
+    /// Slots per ring.
+    pub fn capacity_per_thread(&self) -> usize {
+        self.rings[0].slots.len()
+    }
+
+    /// The ring of thread index `t` (assigned order, not OS thread id).
+    pub fn ring(&self, t: usize) -> &ThreadRing {
+        &self.rings[t]
+    }
+
+    /// Current logical clock value: every operation invoked after this
+    /// call observes a stamp `>=` the returned value (the safe-timestamp
+    /// bound for online auditing).
+    pub fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// This thread's ring index, assigned on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more distinct threads record than the recorder has
+    /// rings.
+    pub fn my_ring_index(&self) -> usize {
+        let cached = RING_CACHE.with(|c| c.get());
+        if cached.0 == self.id {
+            return cached.1;
+        }
+        let idx = RING_MAP.with(|m| {
+            let mut m = m.borrow_mut();
+            match m.get(&self.id) {
+                Some(&i) => i,
+                None => {
+                    let i = self.next_ring.fetch_add(1, Ordering::AcqRel);
+                    assert!(
+                        i < self.rings.len(),
+                        "OpRecorder sized for {} threads; a {}th thread started recording",
+                        self.rings.len(),
+                        i + 1
+                    );
+                    m.insert(self.id, i);
+                    i
+                }
+            }
+        });
+        RING_CACHE.with(|c| c.set((self.id, idx)));
+        idx
+    }
+
+    /// Records an invocation on the calling thread's ring. Returns the
+    /// per-thread sequence number. `input` carries the traced identities
+    /// of pushed values (empty for pops); `requested` the batch size of
+    /// batched pops.
+    #[inline]
+    pub fn begin(&self, kind: OpKind, requested: u8, input: &[u64]) -> u64 {
+        let ring = &self.rings[self.my_ring_index()];
+        let ts = self.stamp();
+        ring.begin(ts, kind, requested, input)
+    }
+
+    /// Records the response of the calling thread's in-flight operation.
+    /// `result` carries the traced identities of popped values (empty
+    /// for pushes).
+    #[inline]
+    pub fn finish(&self, outcome: Outcome, result: &[u64]) {
+        let ring = &self.rings[self.my_ring_index()];
+        let ts = self.stamp();
+        ring.finish(ts, outcome, result);
+    }
+
+    /// The last up-to-`k` operations of thread `t`, oldest first
+    /// (concurrent-safe; skips slots that are mid-transition).
+    pub fn tail(&self, t: usize, k: usize) -> Vec<RecordedOp> {
+        let ring = &self.rings[t];
+        let started = ring.started();
+        let from = started.saturating_sub(k as u64);
+        (from..started)
+            .filter_map(|seq| match ring.read(t, seq) {
+                SlotRead::Completed(op) | SlotRead::InFlight(op) => Some(op),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Multi-line dump of every ring's last `k` operations — the
+    /// watchdog's diagnostic payload.
+    pub fn dump_tails(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in 0..self.threads_used() {
+            let _ = writeln!(out, "thread {t} (ops started: {}):", self.rings[t].started());
+            for op in self.tail(t, k) {
+                let _ = writeln!(out, "  {op}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no operations recorded)\n");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for OpRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpRecorder")
+            .field("threads", &self.threads())
+            .field("capacity_per_thread", &self.capacity_per_thread())
+            .field("threads_used", &self.threads_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_and_read_back() {
+        let rec = OpRecorder::new(1, 8);
+        let s0 = rec.begin(OpKind::PushRight, 0, &[41]);
+        rec.finish(Outcome::Okay, &[]);
+        let s1 = rec.begin(OpKind::PopLeft, 0, &[]);
+        rec.finish(Outcome::Okay, &[41]);
+        assert_eq!((s0, s1), (0, 1));
+        let SlotRead::Completed(a) = rec.ring(0).read(0, 0) else {
+            panic!("op 0 must be complete");
+        };
+        assert_eq!(a.kind, OpKind::PushRight);
+        assert_eq!(a.vals(), &[41]);
+        assert_eq!(a.outcome, Outcome::Okay);
+        let SlotRead::Completed(b) = rec.ring(0).read(0, 1) else {
+            panic!("op 1 must be complete");
+        };
+        assert_eq!(b.kind, OpKind::PopLeft);
+        assert_eq!(b.vals(), &[41]);
+        assert!(a.invoke_ts < a.respond_ts.unwrap());
+        assert!(a.respond_ts.unwrap() < b.invoke_ts);
+    }
+
+    #[test]
+    fn in_flight_op_is_visible() {
+        let rec = OpRecorder::new(1, 8);
+        rec.begin(OpKind::PopRight, 0, &[]);
+        match rec.ring(0).read(0, 0) {
+            SlotRead::InFlight(op) => {
+                assert_eq!(op.kind, OpKind::PopRight);
+                assert_eq!(op.respond_ts, None);
+                assert_eq!(op.outcome, Outcome::Pending);
+            }
+            other => panic!("expected in-flight, got {other:?}"),
+        }
+        rec.finish(Outcome::Empty, &[]);
+        assert!(matches!(rec.ring(0).read(0, 0), SlotRead::Completed(_)));
+    }
+
+    #[test]
+    fn wrapped_slot_reports_overwritten() {
+        let rec = OpRecorder::new(1, 2);
+        for i in 0..5u64 {
+            rec.begin(OpKind::PushLeft, 0, &[i]);
+            rec.finish(Outcome::Okay, &[]);
+        }
+        assert!(matches!(rec.ring(0).read(0, 0), SlotRead::Overwritten));
+        assert!(matches!(rec.ring(0).read(0, 2), SlotRead::Overwritten));
+        assert!(matches!(rec.ring(0).read(0, 3), SlotRead::Completed(_)));
+        assert!(matches!(rec.ring(0).read(0, 4), SlotRead::Completed(_)));
+        assert!(matches!(rec.ring(0).read(0, 5), SlotRead::NotYetStable));
+    }
+
+    #[test]
+    fn batch_descriptor_roundtrip() {
+        let rec = OpRecorder::new(1, 8);
+        rec.begin(OpKind::PushRightN, 0, &[10, 11, 12]);
+        rec.finish(Outcome::Okay, &[]);
+        rec.begin(OpKind::PopLeftN, 3, &[]);
+        rec.finish(Outcome::Okay, &[10, 11]);
+        let SlotRead::Completed(push) = rec.ring(0).read(0, 0) else { panic!() };
+        assert_eq!(push.vals(), &[10, 11, 12]);
+        let SlotRead::Completed(pop) = rec.ring(0).read(0, 1) else { panic!() };
+        assert_eq!(pop.requested, 3);
+        assert_eq!(pop.vals(), &[10, 11]);
+    }
+
+    #[test]
+    fn threads_get_distinct_rings_and_unique_stamps() {
+        let rec = Arc::new(OpRecorder::new(4, 256));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        rec.begin(OpKind::PushRight, 0, &[i]);
+                        rec.finish(Outcome::Okay, &[]);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.threads_used(), 4);
+        let mut stamps = Vec::new();
+        for t in 0..4 {
+            assert_eq!(rec.ring(t).started(), 200);
+            for s in 0..200 {
+                let SlotRead::Completed(op) = rec.ring(t).read(t, s) else {
+                    panic!("thread {t} op {s} incomplete");
+                };
+                stamps.push(op.invoke_ts);
+                stamps.push(op.respond_ts.unwrap());
+            }
+        }
+        let n = stamps.len();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), n, "clock stamps must be unique");
+    }
+
+    #[test]
+    fn concurrent_tail_reads_do_not_wedge_writers() {
+        // A reader hammering the ring while the owner records; the
+        // seqlock must keep both sides making progress and every read
+        // either consistent or explicitly skipped.
+        let rec = Arc::new(OpRecorder::new(1, 16));
+        let writer = {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    rec.begin(OpKind::PushRight, 0, &[i + 1]);
+                    rec.finish(Outcome::Okay, &[]);
+                }
+            })
+        };
+        let mut consistent = 0u64;
+        while !writer.is_finished() {
+            for op in rec.tail(0, 8) {
+                // A consistent snapshot never mixes generations: a
+                // completed pushRight's value is its seq + 1.
+                if op.respond_ts.is_some() {
+                    assert_eq!(op.vals()[0], op.seq + 1, "torn read leaked through");
+                    consistent += 1;
+                }
+            }
+        }
+        writer.join().unwrap();
+        assert!(consistent > 0, "reader never observed a completed op");
+    }
+
+    #[test]
+    #[should_panic(expected = "a 2th thread started recording")]
+    fn too_many_threads_panics() {
+        let rec = Arc::new(OpRecorder::new(1, 8));
+        rec.begin(OpKind::PushRight, 0, &[1]);
+        rec.finish(Outcome::Okay, &[]);
+        let rec2 = rec.clone();
+        let res = std::thread::spawn(move || {
+            rec2.begin(OpKind::PushRight, 0, &[2]);
+        })
+        .join();
+        std::panic::resume_unwind(res.unwrap_err());
+    }
+
+    #[test]
+    fn dump_tails_renders() {
+        let rec = OpRecorder::new(2, 8);
+        rec.begin(OpKind::PushRightN, 0, &[1, 2]);
+        rec.finish(Outcome::Okay, &[]);
+        rec.begin(OpKind::PopLeft, 0, &[]);
+        let dump = rec.dump_tails(8);
+        assert!(dump.contains("pushRightN(1,2)"));
+        assert!(dump.contains("IN-FLIGHT"));
+    }
+}

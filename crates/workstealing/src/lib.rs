@@ -56,4 +56,4 @@ mod deques;
 mod scheduler;
 
 pub use deques::{AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, StealOutcome, WorkDeque};
-pub use scheduler::{DynDeque, RunReport, Scheduler, Task, WorkerHandle};
+pub use scheduler::{DynDeque, RunReport, SchedStats, Scheduler, Task, WorkerHandle};

@@ -54,6 +54,92 @@ pub struct Scheduler<D: WorkDeque> {
     _marker: std::marker::PhantomData<fn(&D)>,
 }
 
+/// Point-in-time scheduler telemetry, surfaced on [`RunReport::stats`].
+///
+/// All fields are zero unless the crate's `stats` feature is enabled —
+/// the counters compile to nothing otherwise, so release builds without
+/// the feature pay no cost in the worker loop.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks executed to completion or panic (includes inline overflow
+    /// execution).
+    pub tasks_executed: u64,
+    /// Successful steal attempts (at least one task taken).
+    pub steals: u64,
+    /// Total tasks transferred by successful steals (`steal_half`
+    /// batches).
+    pub stolen_tasks: u64,
+    /// Steal attempts that found the victim's deque empty.
+    pub steal_misses: u64,
+    /// Tasks executed inline because the worker's bounded deque was full.
+    pub overflow_inline: u64,
+}
+
+impl SchedStats {
+    /// Name/value pairs for every counter, in declaration order — the
+    /// stable iteration surface for exporters (e.g. `crates/obs`).
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("tasks_executed", self.tasks_executed),
+            ("steals", self.steals),
+            ("stolen_tasks", self.stolen_tasks),
+            ("steal_misses", self.steal_misses),
+            ("overflow_inline", self.overflow_inline),
+        ]
+    }
+}
+
+/// Internal counter block; zero-sized and all-no-op without `stats`.
+#[derive(Debug, Default)]
+struct SchedCounters {
+    #[cfg(feature = "stats")]
+    tasks_executed: std::sync::atomic::AtomicU64,
+    #[cfg(feature = "stats")]
+    steals: std::sync::atomic::AtomicU64,
+    #[cfg(feature = "stats")]
+    stolen_tasks: std::sync::atomic::AtomicU64,
+    #[cfg(feature = "stats")]
+    steal_misses: std::sync::atomic::AtomicU64,
+    #[cfg(feature = "stats")]
+    overflow_inline: std::sync::atomic::AtomicU64,
+}
+
+macro_rules! sched_counter_add {
+    ($($inc:ident => $field:ident;)*) => {$(
+        #[inline]
+        #[allow(unused_variables)]
+        fn $inc(&self, n: u64) {
+            #[cfg(feature = "stats")]
+            self.$field.fetch_add(n, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl SchedCounters {
+    sched_counter_add! {
+        add_task_executed => tasks_executed;
+        add_steal => steals;
+        add_stolen_tasks => stolen_tasks;
+        add_steal_miss => steal_misses;
+        add_overflow_inline => overflow_inline;
+    }
+
+    fn snapshot(&self) -> SchedStats {
+        #[cfg(feature = "stats")]
+        {
+            SchedStats {
+                tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+                steals: self.steals.load(Ordering::Relaxed),
+                stolen_tasks: self.stolen_tasks.load(Ordering::Relaxed),
+                steal_misses: self.steal_misses.load(Ordering::Relaxed),
+                overflow_inline: self.overflow_inline.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        SchedStats::default()
+    }
+}
+
 struct Shared<D> {
     deques: Vec<CachePadded<D>>,
     /// Tasks spawned but not yet finished executing.
@@ -62,6 +148,8 @@ struct Shared<D> {
     panics: CachePadded<AtomicUsize>,
     /// First panic payload, rethrown by [`Scheduler::run`].
     first_panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Telemetry counters (`stats` feature; zero-sized otherwise).
+    counters: SchedCounters,
 }
 
 impl<D> Shared<D> {
@@ -83,6 +171,9 @@ pub struct RunReport {
     /// Tasks dropped unexecuted because every worker had died. Always
     /// zero while at least one worker survives.
     pub dropped: usize,
+    /// Scheduler telemetry for the run (all zero unless the `stats`
+    /// feature is enabled).
+    pub stats: SchedStats,
     first_panic: Option<Box<dyn Any + Send>>,
 }
 
@@ -99,6 +190,7 @@ impl std::fmt::Debug for RunReport {
         f.debug_struct("RunReport")
             .field("panics", &self.panics)
             .field("dropped", &self.dropped)
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -157,6 +249,7 @@ impl<D: WorkDeque> Scheduler<D> {
             pending: CachePadded::new(AtomicUsize::new(1)),
             panics: CachePadded::new(AtomicUsize::new(0)),
             first_panic: Mutex::new(None),
+            counters: SchedCounters::default(),
         });
         // Seed worker 0.
         let root: Task = Box::new(root);
@@ -192,7 +285,8 @@ impl<D: WorkDeque> Scheduler<D> {
             "pending-task accounting drifted without any panic"
         );
         let first_panic = shared.first_panic.lock().unwrap().take();
-        RunReport { panics, dropped, first_panic }
+        let stats = shared.counters.snapshot();
+        RunReport { panics, dropped, stats, first_panic }
     }
 }
 
@@ -221,9 +315,14 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
             // rival thieves) find work without another steal.
             let mut stolen = shared.deques[victim].steal_half().into_iter();
             match stolen.next() {
-                None => std::hint::spin_loop(),
+                None => {
+                    shared.counters.add_steal_miss(1);
+                    std::hint::spin_loop();
+                }
                 Some(first) => {
                     let mut rest: Vec<Task> = stolen.collect();
+                    shared.counters.add_steal(1);
+                    shared.counters.add_stolen_tasks(1 + rest.len() as u64);
                     let mut overflow = Vec::new();
                     if !rest.is_empty() {
                         // Reversed, so the owner's LIFO pops run the
@@ -262,6 +361,7 @@ fn run_task<D>(
     let outcome =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(handle)));
     shared.pending.fetch_sub(1, Ordering::AcqRel);
+    shared.counters.add_task_executed(1);
     match outcome {
         Ok(()) => true,
         Err(payload) => {
@@ -292,6 +392,7 @@ fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool
                         Ok(()) => {}
                         Err(t2) => {
                             // Last resort: execute immediately.
+                            shared.counters.add_overflow_inline(1);
                             if !execute_inline::<D>(id, shared, t2) {
                                 poisoned.store(true, Ordering::Release);
                             }
@@ -300,6 +401,7 @@ fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool
                 },
                 _marker: std::marker::PhantomData,
             };
+            shared.counters.add_overflow_inline(1);
             if !run_task(shared, t, &handle) {
                 poisoned.store(true, Ordering::Release);
             }
@@ -315,6 +417,7 @@ fn execute_inline<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) 
     let spawner = |t: Task| {
         shared.pending.fetch_add(1, Ordering::AcqRel);
         if let Err(t) = shared.deques[id].push(t) {
+            shared.counters.add_overflow_inline(1);
             if !execute_inline::<D>(id, shared, t) {
                 poisoned.store(true, Ordering::Release);
             }
@@ -551,6 +654,28 @@ mod more_tests {
         assert_eq!(report.panics, 3);
         assert_eq!(report.dropped, 0);
         assert_eq!(count.load(Ordering::SeqCst), 997);
+    }
+
+    #[test]
+    fn run_report_stats_count_tasks() {
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(4);
+        let report = sched.run_report(|w| {
+            for _ in 0..500 {
+                w.spawn(|_| {});
+            }
+        });
+        assert_eq!(report.panics, 0);
+        #[cfg(feature = "stats")]
+        {
+            // Root + 500 spawned tasks, each executed exactly once.
+            assert_eq!(report.stats.tasks_executed, 501);
+            assert_eq!(
+                report.stats.fields()[0],
+                ("tasks_executed", report.stats.tasks_executed)
+            );
+        }
+        #[cfg(not(feature = "stats"))]
+        assert_eq!(report.stats, SchedStats::default());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! `TORTURE_SEED=… cargo test …` replay command, then aborts the whole
 //! process so the hang is loud and attributable.
 //!
-//! Seeds come from [`torture_seed`]: honoring a `TORTURE_SEED`
+//! Seeds come from [`torture_seed`] (or [`trace_seed`] for the
+//! record-and-verify suite): honoring a `TORTURE_SEED` / `TRACE_SEED`
 //! environment variable when set (exact replay), otherwise derived from
 //! the clock — and always echoed to stderr so *any* failure, watchdog or
 //! assertion, can be replayed deterministically.
@@ -46,6 +47,7 @@ pub struct Watchdog {
 
 struct Inner {
     name: String,
+    seed_var: &'static str,
     seed: u64,
     deadline: Duration,
     finished: AtomicBool,
@@ -56,8 +58,22 @@ impl Watchdog {
     /// Arms a watchdog named after the owning test. `seed` is echoed in
     /// the abort banner so the failure replays with `TORTURE_SEED=seed`.
     pub fn arm(name: &str, seed: u64, deadline: Duration) -> Watchdog {
+        Self::arm_with_seed_var(name, "TORTURE_SEED", seed, deadline)
+    }
+
+    /// Like [`Watchdog::arm`], but the abort banner's replay line names
+    /// `seed_var` instead of `TORTURE_SEED` — so tests seeded via
+    /// [`trace_seed`] print a `TRACE_SEED=… cargo test …` recipe that
+    /// matches the variable they actually read.
+    pub fn arm_with_seed_var(
+        name: &str,
+        seed_var: &'static str,
+        seed: u64,
+        deadline: Duration,
+    ) -> Watchdog {
         let inner = Arc::new(Inner {
             name: name.to_string(),
+            seed_var,
             seed,
             deadline,
             finished: AtomicBool::new(false),
@@ -94,6 +110,32 @@ impl Watchdog {
             .push((label.to_string(), Box::new(f)));
     }
 
+    /// Registers a diagnostic that dumps the last `k` recorded events of
+    /// every thread in `rec` — so a stalled recorded run shows *which
+    /// operations* each thread last completed (and any still in flight)
+    /// alongside the usual counters.
+    ///
+    /// Holds only a [`std::sync::Weak`]: the watchdog does not keep the
+    /// recorder (and its rings) alive past the test.
+    #[cfg(feature = "obs")]
+    pub fn attach_recorder(&self, rec: &Arc<dcas_obs::OpRecorder>, k: usize) {
+        let weak = Arc::downgrade(rec);
+        self.diagnostic("recorder tail", move || match weak.upgrade() {
+            Some(rec) => {
+                let dump = rec.dump_tails(k);
+                // Indent under the diagnostic label so the banner stays
+                // scannable.
+                let mut out = String::new();
+                for line in dump.lines() {
+                    out.push_str("\n    ");
+                    out.push_str(line);
+                }
+                out
+            }
+            None => "(recorder dropped)".to_string(),
+        });
+    }
+
     /// Explicitly disarms the watchdog (equivalent to dropping it).
     pub fn disarm(self) {}
 }
@@ -120,8 +162,8 @@ impl Inner {
             Err(_) => eprintln!("  (diagnostics poisoned)"),
         }
         eprintln!(
-            "  replay: TORTURE_SEED={} cargo test {}",
-            self.seed, self.name
+            "  replay: {}={} cargo test {}",
+            self.seed_var, self.seed, self.name
         );
         eprintln!("==== aborting process ====");
         std::process::abort();
@@ -133,11 +175,25 @@ impl Inner {
 /// prints the replay command to stderr, so any later failure — watchdog
 /// abort or plain assertion — carries its reproduction recipe.
 pub fn torture_seed(test: &str) -> u64 {
-    let seed = match std::env::var("TORTURE_SEED") {
+    seed_from_env("TORTURE_SEED", test)
+}
+
+/// Seed for the record-and-verify suite (`tests/recorded_*.rs`): same
+/// contract as [`torture_seed`] but reads/echoes `TRACE_SEED`, so replay
+/// recipes for trace-audit failures are distinguishable from torture
+/// ones.
+pub fn trace_seed(test: &str) -> u64 {
+    seed_from_env("TRACE_SEED", test)
+}
+
+/// Resolves a replayable seed from the named environment variable, or
+/// derives one from the clock, and echoes the replay command to stderr.
+pub fn seed_from_env(var: &str, test: &str) -> u64 {
+    let seed = match std::env::var(var) {
         Ok(s) => s
             .trim()
             .parse::<u64>()
-            .unwrap_or_else(|e| panic!("TORTURE_SEED={s:?} is not a u64: {e}")),
+            .unwrap_or_else(|e| panic!("{var}={s:?} is not a u64: {e}")),
         Err(_) => {
             let now = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -150,7 +206,7 @@ pub fn torture_seed(test: &str) -> u64 {
             z ^ (z >> 31)
         }
     };
-    eprintln!("{test}: TORTURE_SEED={seed} cargo test {test}   # replay");
+    eprintln!("{test}: {var}={seed} cargo test {test}   # replay");
     seed
 }
 
@@ -175,5 +231,38 @@ mod tests {
         // contract: no env var set -> nonzero clock-derived seed.
         let a = torture_seed("seed_env_roundtrip");
         assert!(std::env::var("TORTURE_SEED").is_ok() || a != 0);
+    }
+
+    #[test]
+    fn trace_seed_reads_its_own_var() {
+        let a = trace_seed("trace_seed_reads_its_own_var");
+        assert!(std::env::var("TRACE_SEED").is_ok() || a != 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attach_recorder_dumps_tail_without_keeping_recorder_alive() {
+        use dcas_obs::{OpKind, Outcome};
+        let rec = Arc::new(dcas_obs::OpRecorder::new(1, 8));
+        rec.begin(OpKind::PushRight, 1, &[7]);
+        rec.finish(Outcome::Okay, &[]);
+        let dog = Watchdog::arm_with_seed_var(
+            "attach_recorder_dumps_tail",
+            "TRACE_SEED",
+            1,
+            Duration::from_secs(60),
+        );
+        dog.attach_recorder(&rec, 4);
+        // The diagnostic must not extend the recorder's lifetime.
+        assert_eq!(Arc::strong_count(&rec), 1);
+        // Evaluate the registered closure directly (the watchdog only
+        // runs it on abort): it renders the tail while alive, and
+        // degrades gracefully once the recorder is gone.
+        let diags = dog.inner.diagnostics.lock().unwrap();
+        let (label, f) = &diags[0];
+        assert_eq!(label, "recorder tail");
+        assert!(f().contains("thread 0"));
+        drop(rec);
+        assert_eq!(f(), "(recorder dropped)");
     }
 }

@@ -15,6 +15,9 @@
 //! * [`modelcheck`] — exhaustive interleaving exploration with the
 //!   paper's proof obligations checked on every transition.
 //! * [`workstealing`] — the motivating load-balancing application.
+//! * [`obs`] (feature `obs`, on by default) — record-and-verify
+//!   observability: lock-free op tracing via the `Recorded` wrapper,
+//!   metrics export, and online linearizability auditing of live runs.
 //! * [`harness`] — progress watchdog and replayable torture seeds shared
 //!   by the stress and fault-injection test suites.
 //!
@@ -28,6 +31,8 @@ pub use dcas_baselines as baselines;
 pub use dcas_deque as deque;
 pub use dcas_linearize as linearize;
 pub use dcas_modelcheck as modelcheck;
+#[cfg(feature = "obs")]
+pub use dcas_obs as obs;
 pub use dcas_workstealing as workstealing;
 
 /// Convenience prelude for examples and downstream users.

@@ -1,0 +1,206 @@
+//! Property test: the batched deque operations agree with a sequential
+//! `VecDeque` oracle.
+//!
+//! Single-threaded random op sequences — singles and batches, both ends,
+//! batch sizes past [`MAX_BATCH`] so the chunking loops run — executed
+//! against the array, list, and dummy-list deques, comparing every
+//! return value (including `Full` tails and short pops) and the final
+//! drained contents against the oracle.
+//!
+//! The oracle mirrors the documented batch contracts:
+//!
+//! * pops: `pop_*_n(k)` removes `min(k, |S|)` values, end-first — same
+//!   as `k` repeated single pops, whatever the chunking;
+//! * unbounded pushes: never fail, order as repeated singles;
+//! * bounded (array) pushes: committed in all-or-nothing chunks of
+//!   `min(MAX_BATCH, capacity)` — when a whole chunk does not fit, the
+//!   chunk and the untouched tail come back in `Full`, and the
+//!   already-committed chunks stay.
+
+use std::collections::VecDeque;
+
+use dcas_deques::deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, ListDeque, MAX_BATCH};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    PushRight,
+    PushLeft,
+    PopRight,
+    PopLeft,
+    /// Batched ops carry the requested size (0..=2×MAX_BATCH, so the
+    /// multi-chunk path is exercised).
+    PushRightN(usize),
+    PushLeftN(usize),
+    PopRightN(usize),
+    PopLeftN(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let n = 0..2 * MAX_BATCH + 1;
+    prop_oneof![
+        Just(Op::PushRight),
+        Just(Op::PushLeft),
+        Just(Op::PopRight),
+        Just(Op::PopLeft),
+        n.clone().prop_map(Op::PushRightN),
+        n.clone().prop_map(Op::PushLeftN),
+        n.clone().prop_map(Op::PopRightN),
+        n.prop_map(Op::PopLeftN),
+    ]
+}
+
+/// The sequential oracle: a `VecDeque` plus the capacity/chunking rules.
+struct Oracle {
+    items: VecDeque<u64>,
+    capacity: Option<usize>,
+}
+
+impl Oracle {
+    fn push_right(&mut self, v: u64) -> Result<(), u64> {
+        if self.capacity.is_some_and(|c| self.items.len() >= c) {
+            return Err(v);
+        }
+        self.items.push_back(v);
+        Ok(())
+    }
+
+    fn push_left(&mut self, v: u64) -> Result<(), u64> {
+        if self.capacity.is_some_and(|c| self.items.len() >= c) {
+            return Err(v);
+        }
+        self.items.push_front(v);
+        Ok(())
+    }
+
+    /// Chunk-committed batch push; `right` selects the end. Returns the
+    /// unpushed tail on the first chunk that does not fit whole.
+    fn push_n(&mut self, vals: Vec<u64>, right: bool) -> Result<(), Vec<u64>> {
+        match self.capacity {
+            None => {
+                for v in vals {
+                    if right {
+                        self.items.push_back(v);
+                    } else {
+                        self.items.push_front(v);
+                    }
+                }
+                Ok(())
+            }
+            Some(cap) => {
+                let chunk_max = MAX_BATCH.min(cap);
+                let mut i = 0;
+                while i < vals.len() {
+                    let end = (i + chunk_max).min(vals.len());
+                    if self.items.len() + (end - i) > cap {
+                        return Err(vals[i..].to_vec());
+                    }
+                    for &v in &vals[i..end] {
+                        if right {
+                            self.items.push_back(v);
+                        } else {
+                            self.items.push_front(v);
+                        }
+                    }
+                    i = end;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn pop_n(&mut self, k: usize, right: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..k {
+            let v = if right { self.items.pop_back() } else { self.items.pop_front() };
+            match v {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Runs `ops` against `deque` and the oracle in lockstep, comparing
+/// every result, then drains both and compares the leftovers.
+fn check_against_oracle<D: ConcurrentDeque<u64>>(deque: &D, capacity: Option<usize>, ops: &[Op]) {
+    let mut oracle = Oracle { items: VecDeque::new(), capacity };
+    let mut next = 0u64;
+    let mut fresh = |n: usize| -> Vec<u64> {
+        let vals: Vec<u64> = (next..next + n as u64).collect();
+        next += n as u64;
+        vals
+    };
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::PushRight => {
+                let v = fresh(1)[0];
+                let got = deque.push_right(v).map_err(|f| f.into_inner());
+                prop_assert_eq!(got, oracle.push_right(v), "op {}: pushRight({})", i, v);
+            }
+            Op::PushLeft => {
+                let v = fresh(1)[0];
+                let got = deque.push_left(v).map_err(|f| f.into_inner());
+                prop_assert_eq!(got, oracle.push_left(v), "op {}: pushLeft({})", i, v);
+            }
+            Op::PopRight => {
+                prop_assert_eq!(deque.pop_right(), oracle.pop_n(1, true).pop(), "op {i}");
+            }
+            Op::PopLeft => {
+                prop_assert_eq!(deque.pop_left(), oracle.pop_n(1, false).pop(), "op {i}");
+            }
+            Op::PushRightN(n) => {
+                let vals = fresh(n);
+                let got = deque.push_right_n(vals.clone()).map_err(|f| f.into_inner());
+                prop_assert_eq!(got, oracle.push_n(vals, true), "op {}: pushRightN", i);
+            }
+            Op::PushLeftN(n) => {
+                let vals = fresh(n);
+                let got = deque.push_left_n(vals.clone()).map_err(|f| f.into_inner());
+                prop_assert_eq!(got, oracle.push_n(vals, false), "op {}: pushLeftN", i);
+            }
+            Op::PopRightN(n) => {
+                prop_assert_eq!(deque.pop_right_n(n), oracle.pop_n(n, true), "op {i}");
+            }
+            Op::PopLeftN(n) => {
+                prop_assert_eq!(deque.pop_left_n(n), oracle.pop_n(n, false), "op {i}");
+            }
+        }
+    }
+    // Final contents, left to right.
+    let mut leftovers = Vec::new();
+    while let Some(v) = deque.pop_left() {
+        leftovers.push(v);
+    }
+    let expect: Vec<u64> = oracle.items.into_iter().collect();
+    prop_assert_eq!(leftovers, expect, "final contents diverged");
+    prop_assert_eq!(deque.pop_right(), None, "deque not empty after drain");
+}
+
+proptest! {
+    #[test]
+    fn array_deque_batches_match_the_oracle(
+        capacity in 1usize..13,
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let deque = ArrayDeque::<u64>::new(capacity);
+        check_against_oracle(&deque, Some(capacity), &ops);
+    }
+
+    #[test]
+    fn list_deque_batches_match_the_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let deque = ListDeque::<u64>::new();
+        check_against_oracle(&deque, None, &ops);
+    }
+
+    #[test]
+    fn dummy_list_deque_batches_match_the_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let deque = DummyListDeque::<u64>::new();
+        check_against_oracle(&deque, None, &ops);
+    }
+}

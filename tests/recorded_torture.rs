@@ -1,0 +1,142 @@
+//! Recording and fault injection compose: a victim thread is panic-killed
+//! mid-operation while every operation is being traced, and the
+//! surviving trace still linearizes.
+//!
+//! This is the observability counterpart of `tests/torture.rs`. The
+//! victim hammers a recorded array deque under a seeded [`FaultPlan`]
+//! until a panic kill unwinds it out of an operation; the kill is
+//! effect-free (the unwind guards release any in-flight value before it
+//! reaches the deque), so the victim's pending trace record — invoked,
+//! never responded — is soundly excluded from the audited history as
+//! crashed. The survivors then run a pulsed quota of recorded
+//! operations, and the post-hoc audit must pass on what remains.
+
+#![cfg(feature = "obs")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use dcas::{fault, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas, KillKind};
+use dcas_deques::deque::{ArrayDeque, ConcurrentDeque};
+use dcas_deques::harness::{trace_seed, Watchdog};
+use dcas_deques::linearize::SeqDeque;
+use dcas_deques::obs::{audit, Recorded};
+
+type Fis = FaultInjecting<HarrisMcas>;
+
+const CAPACITY: usize = 8;
+const SURVIVORS: usize = 3;
+/// Pulsed post-kill rounds per survivor; each round is a handful of
+/// recorded ops, so every audit window stays small.
+const ROUNDS: usize = 30;
+const OPS_PER_ROUND: usize = 5;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn one_op<D: ConcurrentDeque<u64>>(deque: &D, rng: &mut u64, next: &mut u64) {
+    match splitmix64(rng) % 4 {
+        0 => {
+            let _ = deque.push_right(*next);
+            *next += 1;
+        }
+        1 => {
+            let _ = deque.push_left(*next);
+            *next += 1;
+        }
+        2 => {
+            let _ = deque.pop_right();
+        }
+        _ => {
+            let _ = deque.pop_left();
+        }
+    }
+}
+
+#[test]
+fn recorded_trace_survives_a_panic_kill() {
+    let test = "recorded_trace_survives_a_panic_kill";
+    let seed = trace_seed(test);
+    let dog = Watchdog::arm_with_seed_var(test, "TRACE_SEED", seed, Duration::from_secs(120));
+
+    let deque = Recorded::with_atomic_batches(
+        ArrayDeque::<u64, Fis>::new(CAPACITY),
+        1 + SURVIVORS,
+        4096,
+    );
+    dog.attach_recorder(deque.recorder(), 6);
+
+    // The victim runs *alone* until its kill lands (every gap between
+    // its sequential ops is a quiescent cut); only then do the pulsed
+    // survivors start, so the audit windows stay bounded throughout.
+    let killed = AtomicBool::new(false);
+    let barrier = Barrier::new(SURVIVORS);
+    std::thread::scope(|s| {
+        // Victim: armed with spurious CASN failures and a panic kill.
+        {
+            let deque = &deque;
+            let killed = &killed;
+            s.spawn(move || {
+                let plan = FaultPlan::new(seed)
+                    .spurious(40)
+                    .kill(FaultPoint::PreInstall, 3, KillKind::Panic);
+                let guard = fault::arm(&plan, 0);
+                let log = guard.log();
+                let mut rng = seed ^ 0xD1CE;
+                let mut next = 0u64;
+                while !log.is_killed() {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        one_op(&*deque, &mut rng, &mut next)
+                    }));
+                    if r.is_err() {
+                        break;
+                    }
+                }
+                assert!(log.is_panicked(), "victim finished without a panic kill");
+                killed.store(true, Ordering::Release);
+            });
+        }
+
+        // Survivors: wait out the kill, then a pulsed recorded quota.
+        for tid in 1..=SURVIVORS as u64 {
+            let deque = &deque;
+            let killed = &killed;
+            let barrier = &barrier;
+            s.spawn(move || {
+                while !killed.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                let mut rng = seed ^ (tid << 8);
+                let mut next = tid * 1_000_000;
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    for _ in 0..OPS_PER_ROUND {
+                        one_op(&*deque, &mut rng, &mut next);
+                    }
+                }
+            });
+        }
+    });
+
+    let report = audit(deque.recorder(), SeqDeque::bounded(CAPACITY), 48)
+        .expect("surviving trace must linearize");
+    assert!(
+        report.trace.in_flight_excluded <= 1,
+        "only the victim's killed op may be pending, got {}",
+        report.trace.in_flight_excluded
+    );
+    assert!(
+        report.window.ops_checked >= SURVIVORS * ROUNDS * OPS_PER_ROUND,
+        "survivors' ops missing from the audit: {}",
+        report.window.ops_checked
+    );
+    dog.disarm();
+}
