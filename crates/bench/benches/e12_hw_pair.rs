@@ -1,0 +1,335 @@
+//! E12 — hardware pair DCAS, padding ablation, and the two-level
+//! owner-biased scheduler deque (the PR-5 throughput levers).
+//!
+//! Three phases:
+//!
+//! 1. **pair-dcas** — single thread transferring value between the two
+//!    halves of a [`DcasPair`] through `HarrisMcas::dcas`, with the
+//!    hardware pair fast path off (full descriptor protocol: RDCSS
+//!    installs, helping, epoch-managed release) vs on (one
+//!    `cmpxchg16b`). The acceptance bar is hw-pair ≥ 3× descriptor.
+//! 2. **padding** — each of 4 threads hammering its *own* `AtomicU64`,
+//!    with the counters packed into one cache line vs `CachePadded`
+//!    apart. On a multi-core host this isolates false sharing; in this
+//!    single-CPU container threads never run concurrently, so the arm
+//!    mostly bounds the padding's instruction-path cost (see the
+//!    EXPERIMENTS.md §E12 caveat).
+//! 3. **fork-join** — the E6/E11 spawn tree on the work-stealing
+//!    scheduler, adding the tiered two-level deques
+//!    (`TieredListWorkDeque`/`TieredArrayWorkDeque`) next to the flat
+//!    adapters and the ABP baseline. The tiered arms keep the owner's
+//!    push/pop on a private ring and spill/refill the paper's deque in
+//!    chunk-atomic batches of 8, so the amortised DCAS cost per task
+//!    collapses; the acceptance bar is ≥ 10× the flat E11 dcas rows.
+//!
+//! Runs as a plain binary (`harness = false`), prints a table, and —
+//! unless `E12_SMOKE` is set (the CI smoke mode, which shrinks every
+//! phase and skips the file write) — records the measurements in
+//! `BENCH_e12.json` at the workspace root. Build with `--features
+//! stats` to print the `dcas::stats` counter lines (pair hits vs
+//! descriptor fallbacks) after phase 1.
+//!
+//! In both modes the binary enforces a generous perf guardrail: the
+//! tiered fork-join arms must stay above a small fraction of the ABP
+//! baseline (catching "the fast path silently stopped engaging"
+//! regressions, not chasing exact ratios), exiting nonzero with a
+//! replay command otherwise — that is what CI's `perf-smoke` job runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crossbeam_utils::CachePadded;
+use dcas::{DcasPair, DcasStrategy, HarrisMcas, McasConfig};
+use dcas_workstealing::{
+    AbpWorkDeque, ArrayWorkDeque, DynDeque, ListWorkDeque, Scheduler, TieredArrayWorkDeque,
+    TieredListWorkDeque, WorkDeque, WorkerHandle,
+};
+
+/// Flat dcas fork-join throughput recorded in BENCH_e11.json — the
+/// baseline the tiered arms must beat by 10×.
+const E11_LIST_EPS: f64 = 134_562.0;
+const E11_ARRAY_EPS: f64 = 145_900.0;
+
+/// Guardrail floor: tiered dcas arms as a fraction of abp-cas. E11's
+/// *flat* arms sat at 0.033×; anything below that means the two-level
+/// structure stopped working entirely.
+const GUARDRAIL_FLOOR: f64 = 0.02;
+
+struct Measurement {
+    phase: &'static str,
+    arm: String,
+    threads: usize,
+    elems: u64,
+    nanos: u128,
+    speedup: f64,
+}
+
+impl Measurement {
+    fn elems_per_sec(&self) -> f64 {
+        self.elems as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+fn median(mut runs: Vec<Duration>) -> Duration {
+    runs.sort();
+    runs[runs.len() / 2]
+}
+
+/// Phase 1 driver: `iters` successful two-word transfers between the
+/// halves of one pair (lo -= 4, hi += 4; payloads keep the reserved low
+/// bits clear). Single-threaded on purpose: it prices the *instruction
+/// path* of one DCAS — descriptor install + helping protocol + epoch
+/// traffic vs a single `cmpxchg16b`.
+fn pair_transfer(mcas: &HarrisMcas, iters: u64) -> Duration {
+    let pair = DcasPair::new(iters * 4, 0);
+    let start = Instant::now();
+    let (mut lo, mut hi) = (iters * 4, 0u64);
+    for _ in 0..iters {
+        assert!(mcas.dcas(pair.lo(), pair.hi(), lo, hi, lo - 4, hi + 4));
+        lo -= 4;
+        hi += 4;
+    }
+    let elapsed = start.elapsed();
+    assert_eq!((mcas.load(pair.lo()), mcas.load(pair.hi())), (0, iters * 4));
+    elapsed
+}
+
+/// Phase 2 driver: `threads` threads, each incrementing its own counter
+/// `incs` times; the two arms differ only in whether neighbouring
+/// counters share a cache line.
+fn counter_storm(padded: bool, threads: usize, incs: u64) -> Duration {
+    let packed: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let spaced: Vec<CachePadded<AtomicU64>> =
+        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (barrier, packed, spaced) = (&barrier, &packed, &spaced);
+            s.spawn(move || {
+                let counter: &AtomicU64 = if padded { &spaced[t] } else { &packed[t] };
+                barrier.wait();
+                for _ in 0..incs {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+fn spawn_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, leaves: Arc<AtomicU64>) {
+    if depth == 0 {
+        leaves.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let l = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, l));
+    let r = leaves.clone();
+    w.spawn(move |w| spawn_tree(w, depth - 1, r));
+}
+
+/// Phase 3 driver: fork-join spawn tree (identical to E11's so the rows
+/// are directly comparable).
+fn fork_join<D: WorkDeque>(workers: usize, depth: u32) -> Duration {
+    let leaves = Arc::new(AtomicU64::new(0));
+    let sched: Scheduler<D> = Scheduler::with_capacity(workers, 1 << 14);
+    let l = leaves.clone();
+    let start = Instant::now();
+    sched.run(move |w| spawn_tree(w, depth, l));
+    let elapsed = start.elapsed();
+    assert_eq!(leaves.load(Ordering::SeqCst), 1u64 << depth);
+    elapsed
+}
+
+fn main() {
+    let smoke = std::env::var_os("E12_SMOKE").is_some();
+    let repeats: usize = if smoke { 1 } else { 7 };
+    let pair_iters: u64 = if smoke { 20_000 } else { 500_000 };
+    let pad_incs: u64 = if smoke { 50_000 } else { 1_000_000 };
+    let pad_threads = 4usize;
+    let fj_depth: u32 = if smoke { 7 } else { 11 };
+    let fj_workers = 4usize;
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // ---- Phase 1: pair DCAS, descriptor protocol vs cmpxchg16b ---------
+    // Repeats are interleaved across arms (as in E10/E11) so machine-wide
+    // drift lands on every arm equally and cancels in the medians.
+    {
+        let descriptor =
+            HarrisMcas::with_config(McasConfig { hw_pair: false, ..Default::default() });
+        let hw = HarrisMcas::new();
+        let mut runs: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..repeats {
+            runs[0].push(pair_transfer(&descriptor, pair_iters));
+            runs[1].push(pair_transfer(&hw, pair_iters));
+        }
+        let base = median(runs[0].clone()).as_nanos();
+        for (arm, i) in [("descriptor", 0usize), ("hw-pair", 1)] {
+            let nanos = median(runs[i].clone()).as_nanos();
+            results.push(Measurement {
+                phase: "pair-dcas",
+                arm: arm.to_owned(),
+                threads: 1,
+                elems: pair_iters,
+                nanos,
+                speedup: base as f64 / nanos as f64,
+            });
+        }
+        #[cfg(feature = "stats")]
+        {
+            use dcas_bench::format_stats;
+            println!("{}", format_stats("pair-dcas/descriptor", &descriptor.stats()));
+            println!("{}", format_stats("pair-dcas/hw", &hw.stats()));
+            if let Some(rate) = hw.stats().pair_hit_rate() {
+                println!("pair-dcas/hw pair_hit_rate = {rate:.3}");
+            }
+        }
+    }
+
+    // ---- Phase 2: per-thread counters, packed vs padded ----------------
+    {
+        let mut runs: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..repeats {
+            runs[0].push(counter_storm(false, pad_threads, pad_incs));
+            runs[1].push(counter_storm(true, pad_threads, pad_incs));
+        }
+        let base = median(runs[0].clone()).as_nanos();
+        for (arm, i) in [("packed", 0usize), ("padded", 1)] {
+            let nanos = median(runs[i].clone()).as_nanos();
+            results.push(Measurement {
+                phase: "padding",
+                arm: arm.to_owned(),
+                threads: pad_threads,
+                elems: pad_incs * pad_threads as u64,
+                nanos,
+                speedup: base as f64 / nanos as f64,
+            });
+        }
+    }
+
+    // ---- Phase 3: fork-join, flat vs tiered deques ---------------------
+    {
+        let leaves = 1u64 << fj_depth;
+        let mut runs: [Vec<Duration>; 5] = Default::default();
+        for _ in 0..repeats {
+            runs[0].push(fork_join::<AbpWorkDeque>(fj_workers, fj_depth));
+            runs[1].push(fork_join::<ListWorkDeque>(fj_workers, fj_depth));
+            runs[2].push(fork_join::<ArrayWorkDeque>(fj_workers, fj_depth));
+            runs[3].push(fork_join::<TieredListWorkDeque>(fj_workers, fj_depth));
+            runs[4].push(fork_join::<TieredArrayWorkDeque>(fj_workers, fj_depth));
+        }
+        let base = median(runs[0].clone()).as_nanos();
+        let arms = [
+            "abp-cas",
+            "list-dcas",
+            "array-dcas",
+            "tiered-list-dcas",
+            "tiered-array-dcas",
+        ];
+        for (arm, r) in arms.iter().zip(runs.iter()) {
+            let nanos = median(r.clone()).as_nanos();
+            results.push(Measurement {
+                phase: "fork-join",
+                arm: (*arm).to_owned(),
+                threads: fj_workers,
+                elems: leaves,
+                nanos,
+                speedup: base as f64 / nanos as f64,
+            });
+        }
+    }
+
+    println!();
+    println!(
+        "{:<12} {:<18} {:>8} {:>14} {:>12}",
+        "phase", "arm", "threads", "elems/sec", "vs base"
+    );
+    for m in &results {
+        println!(
+            "{:<12} {:<18} {:>8} {:>14.0} {:>11.2}x",
+            m.phase,
+            m.arm,
+            m.threads,
+            m.elems_per_sec(),
+            m.speedup,
+        );
+    }
+
+    // Full-mode progress report against the E11 flat baselines (the
+    // smoke workload is too small for the numbers to mean anything).
+    if !smoke {
+        for (arm, e11) in
+            [("tiered-list-dcas", E11_LIST_EPS), ("tiered-array-dcas", E11_ARRAY_EPS)]
+        {
+            let m = results.iter().find(|m| m.arm == arm).unwrap();
+            println!(
+                "{arm}: {:.0} elems/s = {:.1}x the flat E11 row ({e11:.0})",
+                m.elems_per_sec(),
+                m.elems_per_sec() / e11
+            );
+        }
+    }
+
+    // Perf guardrail (both modes): the tiered arms must hold a generous
+    // floor relative to abp-cas. This is the check CI's perf-smoke job
+    // relies on.
+    let abp = results
+        .iter()
+        .find(|m| m.phase == "fork-join" && m.arm == "abp-cas")
+        .unwrap()
+        .elems_per_sec();
+    let mut guardrail_ok = true;
+    for arm in ["tiered-list-dcas", "tiered-array-dcas"] {
+        let m = results.iter().find(|m| m.arm == arm).unwrap();
+        let ratio = m.elems_per_sec() / abp;
+        if ratio < GUARDRAIL_FLOOR {
+            guardrail_ok = false;
+            eprintln!(
+                "PERF GUARDRAIL FAILED: fork-join/{arm} at {ratio:.4}x of abp-cas \
+                 (floor {GUARDRAIL_FLOOR}); replay with:\n  \
+                 E12_SMOKE=1 cargo bench -p dcas-bench --bench e12_hw_pair --features stats"
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nE12_SMOKE set: skipping BENCH_e12.json");
+        if !guardrail_ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let rows: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"phase\": \"{}\", \"arm\": \"{}\", \"threads\": {}, \"elems\": {}, \"nanos\": {}, \"elems_per_sec\": {:.0}, \"speedup_vs_baseline\": {:.3}}}",
+                m.phase,
+                m.arm,
+                m.threads,
+                m.elems,
+                m.nanos,
+                m.elems_per_sec(),
+                m.speedup,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e12_hw_pair\",\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e12.json");
+    std::fs::write(out, json).expect("write BENCH_e12.json");
+    println!("\nwrote {out}");
+    if !guardrail_ok {
+        std::process::exit(1);
+    }
+}

@@ -551,7 +551,13 @@ mod tests {
         let handle = std::thread::spawn(move || {
             let guard = arm(&plan, 0);
             tx.send(guard.log()).unwrap();
-            let s = HarrisMcas::default();
+            // `hw_pair` off: this test targets the descriptor protocol's
+            // PreInstall point, which the hardware pair path (taken when
+            // two stack locals happen to share a 16-byte slot) bypasses.
+            let s = HarrisMcas::with_config(crate::McasConfig {
+                hw_pair: false,
+                ..Default::default()
+            });
             let a = DcasWord::new(0);
             let b = DcasWord::new(4);
             // Reaches descriptor publication, hits PreInstall, parks.
@@ -577,7 +583,12 @@ mod tests {
         let (log, result) = std::thread::spawn(move || {
             let guard = arm(&plan, 0);
             let log = guard.log();
-            let s = HarrisMcas::default();
+            // `hw_pair` off, as in `freeze_parks_until_released`: the
+            // PreInstall kill only exists on the descriptor path.
+            let s = HarrisMcas::with_config(crate::McasConfig {
+                hw_pair: false,
+                ..Default::default()
+            });
             let a = DcasWord::new(0);
             let b = DcasWord::new(4);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

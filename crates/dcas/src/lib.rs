@@ -69,6 +69,7 @@ pub mod elimination;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod global_lock;
+pub mod hw;
 mod mcas;
 mod pool;
 mod seqlock;
@@ -98,6 +99,7 @@ pub use elimination::{EliminationArray, EndConfig};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultInjecting, FaultLog, FaultPlan, FaultPoint, Kill, KillKind, StallGate};
 pub use global_lock::GlobalLock;
+pub use hw::DcasPair;
 pub use mcas::{HarrisMcas, HarrisMcasBoxed, McasConfig};
 pub use pool::orphan_count;
 #[cfg(feature = "fault-inject")]

@@ -87,6 +87,7 @@ use crossbeam_epoch as epoch;
 
 use crate::backoff::Backoff;
 use crate::fault_point;
+use crate::hw;
 use crate::pool;
 use crate::stats::{Counters, StrategyStats};
 use crate::strategy::{validate_args, validate_casn, MAX_CASN_WORDS};
@@ -185,11 +186,21 @@ pub struct McasConfig {
     /// descriptor is still private, instead of a full RDCSS (see the
     /// module docs). Default `true`.
     pub owner_fast_install: bool,
+    /// Route a `dcas`/`dcas_strong` whose two targets share one
+    /// 16-byte [`DcasPair`](crate::DcasPair) slot to a single hardware
+    /// 128-bit CAS ([`hw`](crate::hw)) instead of the descriptor
+    /// protocol, when the CPU supports it. Default `true`.
+    pub hw_pair: bool,
 }
 
 impl Default for McasConfig {
     fn default() -> Self {
-        McasConfig { pool_descriptors: true, backoff: true, owner_fast_install: true }
+        McasConfig {
+            pool_descriptors: true,
+            backoff: true,
+            owner_fast_install: true,
+            hw_pair: true,
+        }
     }
 }
 
@@ -198,7 +209,12 @@ impl McasConfig {
     /// entry installed via RDCSS. Kept as the baseline arm of perf
     /// comparisons.
     pub const fn seed_compat() -> Self {
-        McasConfig { pool_descriptors: false, backoff: false, owner_fast_install: false }
+        McasConfig {
+            pool_descriptors: false,
+            backoff: false,
+            owner_fast_install: false,
+            hw_pair: false,
+        }
     }
 }
 
@@ -455,6 +471,39 @@ impl HarrisMcas {
         succeeded
     }
 
+    /// Helps the in-flight operation a tagged word value belongs to
+    /// (RDCSS completion or CASN help). Returns `false` when `v` is a
+    /// plain payload, i.e. there was nothing to help.
+    ///
+    /// Only for callers whose own operation is still effect-free — the
+    /// fault point here asserts as much.
+    ///
+    /// # Safety
+    ///
+    /// The current thread must be pinned and `v` must have been read
+    /// from a [`DcasWord`] under that pin.
+    unsafe fn help_tagged(&self, v: u64) -> bool {
+        if is_rdcss(v) {
+            self.counters.inc_help();
+            // Effect-free: the caller owns nothing published; unwinding
+            // here loses no state.
+            fault_point!(MidHelping, true);
+            // SAFETY: `v` read under the caller's pin.
+            let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
+            unsafe { self.rdcss_complete(e) };
+            true
+        } else if is_dcas(v) {
+            self.counters.inc_help();
+            fault_point!(MidHelping, true);
+            // SAFETY: `v` read under the caller's pin.
+            let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
+            unsafe { self.casn_help(d) };
+            true
+        } else {
+            false
+        }
+    }
+
     /// Descriptor-aware atomic read. Helps any operation found in-flight
     /// at `w` until a plain payload value is visible.
     ///
@@ -465,25 +514,67 @@ impl HarrisMcas {
         let mut backoff = Backoff::new();
         loop {
             let v = w.raw_load(Ordering::SeqCst);
-            if is_rdcss(v) {
-                self.counters.inc_help();
-                // Effect-free: a read owns nothing and has published
-                // nothing; unwinding here loses no state.
-                fault_point!(MidHelping, true);
-                // SAFETY: `v` read under our pin.
-                let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
-                unsafe { self.rdcss_complete(e) };
-            } else if is_dcas(v) {
-                self.counters.inc_help();
-                fault_point!(MidHelping, true);
-                // SAFETY: `v` read under our pin.
-                let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
-                unsafe { self.casn_help(d) };
-            } else {
+            // SAFETY: `v` read under the caller's pin.
+            if !unsafe { self.help_tagged(v) } {
                 return v;
             }
             if self.config.backoff {
                 backoff.snooze();
+            }
+        }
+    }
+
+    /// Hardware fast path shared by `dcas` and `dcas_strong`: both
+    /// target words live in one 16-byte slot, so the whole DCAS is one
+    /// 128-bit CAS. Returns `Ok` on success and the **atomic** plain
+    /// snapshot of the slot on failure.
+    ///
+    /// A failed 128-bit CAS that observed a descriptor tag in either
+    /// half must *not* report DCAS failure — the logical values might
+    /// still match once that operation resolves. Help it (keeping the
+    /// emulation's lock-freedom: the operation in the way is driven
+    /// forward) and retry; only a tag-free mismatch is a legal failure
+    /// linearization, and the instruction's own atomic read of the slot
+    /// is the certified view the strong form hands back.
+    #[cfg(target_arch = "x86_64")]
+    fn pair_hw(&self, slot: *mut u128, old: u128, new: u128) -> Result<(), u128> {
+        let mut backoff = Backoff::new();
+        loop {
+            // SAFETY: `slot` came from the adjacency probe (16-byte
+            // aligned, backed by two live `DcasWord`s) and the caller
+            // checked `hw::supported()`.
+            match unsafe { hw::cas_u128(slot, old, new) } {
+                Ok(()) => return Ok(()),
+                Err(seen) => {
+                    let (s_lo, s_hi) = hw::unpack(seen);
+                    if s_lo & TAG_MASK == 0 && s_hi & TAG_MASK == 0 {
+                        // Plain payload mismatch: a legal failed-DCAS
+                        // linearization point. No descriptor was (or will
+                        // be) dereferenced, so the whole uncontended call
+                        // — succeed or fail — runs without an epoch pin;
+                        // that pin costs more than the `cmpxchg16b`
+                        // itself and would erase most of the fast path's
+                        // advantage.
+                        return Err(seen);
+                    }
+                    // A descriptor is in flight on one of the halves.
+                    // Failing here would break linearizability (the
+                    // DCAS may be mid-flight and succeed), so help it
+                    // to completion — under a pin, taken only on this
+                    // contended branch — and retry.
+                    let guard = epoch::pin();
+                    // SAFETY: pinned; both halves read under the pin.
+                    // (`help_tagged` may find the tag already resolved
+                    // by another helper — fine, just retry.)
+                    unsafe {
+                        self.help_tagged(s_lo);
+                        self.help_tagged(s_hi);
+                    }
+                    drop(guard);
+                    if self.config.backoff {
+                        backoff.snooze();
+                    }
+                }
             }
         }
     }
@@ -690,21 +781,9 @@ impl DcasStrategy for HarrisMcas {
         loop {
             match w.raw_compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return true,
-                Err(seen) if is_rdcss(seen) => {
-                    self.counters.inc_help();
-                    // Effect-free: our CAS has not landed.
-                    fault_point!(MidHelping, true);
-                    // SAFETY: `seen` read under our pin.
-                    let e = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
-                    unsafe { self.rdcss_complete(e) };
-                }
-                Err(seen) if is_dcas(seen) => {
-                    self.counters.inc_help();
-                    fault_point!(MidHelping, true);
-                    // SAFETY: `seen` read under our pin.
-                    let d = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
-                    unsafe { self.casn_help(d) };
-                }
+                // Effect-free helping: our CAS has not landed.
+                // SAFETY: `seen` read under our pin.
+                Err(seen) if unsafe { self.help_tagged(seen) } => {}
                 Err(_) => return false,
             }
             if self.config.backoff {
@@ -717,6 +796,23 @@ impl DcasStrategy for HarrisMcas {
         validate_args(a1, a2, &[o1, o2, n1, n2]);
         self.counters.inc_op();
         self.counters.inc_dcas();
+        #[cfg(target_arch = "x86_64")]
+        if self.config.hw_pair && hw::supported() {
+            if let Some((slot, swapped)) = hw::adjacent_pair(a1, a2) {
+                self.counters.inc_pair_hit();
+                let (old, new) = if swapped {
+                    (hw::pack(o2, o1), hw::pack(n2, n1))
+                } else {
+                    (hw::pack(o1, o2), hw::pack(n1, n2))
+                };
+                let ok = self.pair_hw(slot, old, new).is_ok();
+                if !ok {
+                    self.counters.inc_dcas_failure();
+                }
+                return ok;
+            }
+        }
+        self.counters.inc_pair_fallback();
         let ok = self.dcas_inner(a1, a2, o1, o2, n1, n2);
         if !ok {
             self.counters.inc_dcas_failure();
@@ -747,6 +843,30 @@ impl DcasStrategy for HarrisMcas {
         // steady state.
         self.counters.inc_op();
         self.counters.inc_dcas();
+        #[cfg(target_arch = "x86_64")]
+        if self.config.hw_pair && hw::supported() {
+            if let Some((slot, swapped)) = hw::adjacent_pair(a1, a2) {
+                self.counters.inc_pair_hit();
+                let (old, new) = if swapped {
+                    (hw::pack(*o2, *o1), hw::pack(n2, n1))
+                } else {
+                    (hw::pack(*o1, *o2), hw::pack(n1, n2))
+                };
+                return match self.pair_hw(slot, old, new) {
+                    Ok(()) => true,
+                    Err(seen) => {
+                        // The failed 128-bit CAS read the slot atomically
+                        // and `pair_hw` already resolved any descriptor
+                        // tags, so this *is* the certified snapshot.
+                        let (s_lo, s_hi) = hw::unpack(seen);
+                        (*o1, *o2) = if swapped { (s_hi, s_lo) } else { (s_lo, s_hi) };
+                        self.counters.inc_dcas_failure();
+                        false
+                    }
+                };
+            }
+        }
+        self.counters.inc_pair_fallback();
         let mut backoff = Backoff::new();
         loop {
             if self.dcas_inner(a1, a2, *o1, *o2, n1, n2) {
@@ -902,13 +1022,14 @@ mod tests {
 
     #[test]
     fn basic_success_and_failure_all_configs() {
-        // Full 2^3 knob matrix: every combination must implement the same
+        // Full 2^4 knob matrix: every combination must implement the same
         // DCAS semantics.
-        for bits in 0..8u8 {
+        for bits in 0..16u8 {
             let config = McasConfig {
                 pool_descriptors: bits & 1 != 0,
                 backoff: bits & 2 != 0,
                 owner_fast_install: bits & 4 != 0,
+                hw_pair: bits & 8 != 0,
             };
             let s = HarrisMcas::with_config(config);
             let a = DcasWord::new(0);
@@ -1084,10 +1205,126 @@ mod tests {
         epoch::pin().flush();
     }
 
+    #[test]
+    fn adjacent_pair_fast_path_semantics_both_knobs() {
+        // DcasPair words routed through dcas/dcas_strong with the hw
+        // knob on and off: identical DCAS semantics either way (on this
+        // host the on-arm actually takes cmpxchg16b when available).
+        for hw_pair in [false, true] {
+            let s = HarrisMcas::with_config(McasConfig { hw_pair, ..Default::default() });
+            let p = crate::DcasPair::new(0, 4);
+            assert!(s.dcas(p.lo(), p.hi(), 0, 4, 8, 12), "hw_pair={hw_pair}");
+            assert!(!s.dcas(p.lo(), p.hi(), 0, 4, 16, 16), "hw_pair={hw_pair}");
+            assert_eq!((s.load(p.lo()), s.load(p.hi())), (8, 12), "hw_pair={hw_pair}");
+            // Swapped argument order must map onto the same slot.
+            assert!(s.dcas(p.hi(), p.lo(), 12, 8, 4, 0), "hw_pair={hw_pair}");
+            assert_eq!((s.load(p.lo()), s.load(p.hi())), (0, 4), "hw_pair={hw_pair}");
+            // Strong form: failure hands back the atomic snapshot.
+            let (mut o1, mut o2) = (8, 8);
+            assert!(!s.dcas_strong(p.lo(), p.hi(), &mut o1, &mut o2, 16, 16));
+            assert_eq!((o1, o2), (0, 4), "hw_pair={hw_pair}");
+            let (mut oh, mut ol) = (4, 0);
+            assert!(s.dcas_strong(p.hi(), p.lo(), &mut oh, &mut ol, 12, 8));
+            assert_eq!((s.load(p.lo()), s.load(p.hi())), (8, 12), "hw_pair={hw_pair}");
+        }
+    }
+
+    #[test]
+    fn pair_fast_path_races_descriptor_casn_conserving_sum() {
+        // The mix `crates/modelcheck` explores exhaustively, run on real
+        // silicon: hardware pair CAS racing descriptor-based CASN over
+        // the same two words (plus a third word, which keeps the CASN on
+        // the descriptor path) must stay atomic — a torn update or a
+        // spurious pair-CAS failure against an in-flight descriptor
+        // would break conservation or wedge a transfer loop.
+        struct Cell {
+            pair: crate::DcasPair,
+            extra: DcasWord,
+        }
+        let total = (1u64 << 20) * 3;
+        let cell = Arc::new(Cell {
+            pair: crate::DcasPair::new(1 << 20, 1 << 20),
+            extra: DcasWord::new(1 << 20),
+        });
+        let s = Arc::new(HarrisMcas::new());
+        let mut handles = vec![];
+        for t in 0..2u64 {
+            let (s, cell) = (s.clone(), cell.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..30_000u64 {
+                    loop {
+                        let lo = s.load(cell.pair.lo());
+                        let hi = s.load(cell.pair.hi());
+                        let delta = 4 * ((i + t) % 64);
+                        if lo < delta {
+                            break;
+                        }
+                        if s.dcas(cell.pair.lo(), cell.pair.hi(), lo, hi, lo - delta, hi + delta)
+                        {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for t in 0..2u64 {
+            let (s, cell) = (s.clone(), cell.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..30_000u64 {
+                    loop {
+                        let lo = s.load(cell.pair.lo());
+                        let hi = s.load(cell.pair.hi());
+                        let ex = s.load(&cell.extra);
+                        let delta = 4 * ((i + t) % 64);
+                        if hi < delta {
+                            break;
+                        }
+                        let mut entries = [
+                            crate::CasnEntry::new(cell.pair.lo(), lo, lo),
+                            crate::CasnEntry::new(cell.pair.hi(), hi, hi - delta),
+                            crate::CasnEntry::new(&cell.extra, ex, ex + delta),
+                        ];
+                        if s.casn(&mut entries) {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sum = s.load(cell.pair.lo()) + s.load(cell.pair.hi()) + s.load(&cell.extra);
+        assert_eq!(sum, total);
+    }
+
+    #[cfg(all(feature = "stats", target_arch = "x86_64"))]
+    #[test]
+    fn stats_count_pair_hits_and_fallbacks() {
+        if !hw::supported() {
+            return;
+        }
+        let s = HarrisMcas::new();
+        let p = crate::DcasPair::new(0, 4);
+        // 16 bytes apart: deterministically *not* slot-mates (two loose
+        // locals might be, depending on stack layout).
+        let words = [DcasWord::new(0), DcasWord::new(0), DcasWord::new(4)];
+        assert!(s.dcas(p.lo(), p.hi(), 0, 4, 8, 12)); // adjacent: hit
+        assert!(s.dcas(&words[0], &words[2], 0, 4, 8, 12)); // fallback
+        let st = s.stats();
+        assert_eq!(st.pair_hits, 1);
+        assert_eq!(st.pair_fallbacks, 1);
+        assert_eq!(st.pair_hit_rate(), Some(0.5));
+        // The hit never touched the descriptor pool.
+        assert_eq!(st.descriptor_allocs, 1);
+    }
+
     #[cfg(feature = "stats")]
     #[test]
     fn stats_count_ops_and_failures() {
-        let s = HarrisMcas::new();
+        // hw_pair off: the test asserts descriptor-pool behaviour, and
+        // two stack locals can land adjacent and take the hardware path.
+        let s = HarrisMcas::with_config(McasConfig { hw_pair: false, ..Default::default() });
         let a = DcasWord::new(0);
         let b = DcasWord::new(4);
         assert!(s.dcas(&a, &b, 0, 4, 8, 12));

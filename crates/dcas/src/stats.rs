@@ -10,9 +10,24 @@
 //! The counters use `Relaxed` increments: they are monotonic telemetry,
 //! not synchronization, and a torn *view* across fields is acceptable
 //! (a snapshot taken while threads run is approximate by nature).
+//!
+//! # Layout: striped, cache-line-padded lines
+//!
+//! A naive counter block is a single cache line that every thread's
+//! every hot-path op RMWs — enabling stats would *add* a globally
+//! contended line to the very operations being measured. The block is
+//! therefore split into [`COUNTER_STRIPES`] cache-line-padded lines;
+//! each thread hashes to one line and all its increments stay there, so
+//! threads on different stripes never share a counter cache line.
+//! [`Counters::snapshot`] sums across stripes. One line (twelve `u64`s)
+//! fits a single 128-byte padded slot, so the whole block is
+//! `COUNTER_STRIPES` lines regardless of how many counters exist.
 
 #[cfg(feature = "stats")]
 use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "stats")]
+use crossbeam_utils::CachePadded;
 
 /// Point-in-time snapshot of a strategy's counters.
 ///
@@ -27,6 +42,14 @@ pub struct StrategyStats {
     pub dcas_ops: u64,
     /// `dcas`/`dcas_strong` invocations that returned `false`.
     pub dcas_failures: u64,
+    /// `dcas`/`dcas_strong` invocations whose two targets shared one
+    /// 16-byte [`DcasPair`](crate::DcasPair) slot and were served by the
+    /// single-instruction hardware path (see [`hw`](crate::hw)).
+    pub pair_hits: u64,
+    /// `dcas`/`dcas_strong` invocations that took the descriptor
+    /// protocol instead: targets not adjacent, hardware DCAS
+    /// unsupported, or the `hw_pair` knob off.
+    pub pair_fallbacks: u64,
     /// Times this strategy helped another thread's in-flight operation
     /// (RDCSS completion or CASN help on a foreign descriptor).
     pub helps: u64,
@@ -74,15 +97,25 @@ impl StrategyStats {
         (total != 0).then(|| self.elim_hits as f64 / total as f64)
     }
 
+    /// Fraction of `dcas`/`dcas_strong` invocations served by the
+    /// single-instruction hardware pair path, in `[0, 1]`; `None` when
+    /// no DCAS ran (or stats are off).
+    pub fn pair_hit_rate(&self) -> Option<f64> {
+        let total = self.pair_hits + self.pair_fallbacks;
+        (total != 0).then(|| self.pair_hits as f64 / total as f64)
+    }
+
     /// Name/value pairs for every counter, in declaration order — the
     /// stable iteration surface for exporters (e.g. `crates/obs`'
     /// metrics registry), so adding a counter here automatically reaches
     /// every report format.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("ops", self.ops),
             ("dcas_ops", self.dcas_ops),
             ("dcas_failures", self.dcas_failures),
+            ("pair_hits", self.pair_hits),
+            ("pair_fallbacks", self.pair_fallbacks),
             ("helps", self.helps),
             ("descriptor_reuses", self.descriptor_reuses),
             ("descriptor_allocs", self.descriptor_allocs),
@@ -100,6 +133,8 @@ impl StrategyStats {
             ops: self.ops - earlier.ops,
             dcas_ops: self.dcas_ops - earlier.dcas_ops,
             dcas_failures: self.dcas_failures - earlier.dcas_failures,
+            pair_hits: self.pair_hits - earlier.pair_hits,
+            pair_fallbacks: self.pair_fallbacks - earlier.pair_fallbacks,
             helps: self.helps - earlier.helps,
             descriptor_reuses: self.descriptor_reuses - earlier.descriptor_reuses,
             descriptor_allocs: self.descriptor_allocs - earlier.descriptor_allocs,
@@ -112,30 +147,53 @@ impl StrategyStats {
     }
 }
 
+/// Number of cache-line-padded counter lines per [`Counters`] block. A
+/// power of two so the per-thread hash is a mask; eight lines keep the
+/// block at 1 KiB while making same-line collisions unlikely at the
+/// thread counts the benches run.
+#[cfg(feature = "stats")]
+const COUNTER_STRIPES: usize = 8;
+
+/// One stripe's worth of counters: twelve adjacent `u64`s, deliberately
+/// *within* a single padded line — only threads hashed to the same
+/// stripe share it.
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+struct CounterLine {
+    ops: AtomicU64,
+    dcas_ops: AtomicU64,
+    dcas_failures: AtomicU64,
+    pair_hits: AtomicU64,
+    pair_fallbacks: AtomicU64,
+    helps: AtomicU64,
+    descriptor_reuses: AtomicU64,
+    descriptor_allocs: AtomicU64,
+    casn_ops: AtomicU64,
+    casn_failures: AtomicU64,
+    elim_hits: AtomicU64,
+    elim_misses: AtomicU64,
+}
+
+/// Index of the calling thread's stripe: assigned round-robin on first
+/// use, so the first `COUNTER_STRIPES` threads get private lines.
+#[cfg(feature = "stats")]
+#[inline]
+fn stripe_index() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    IDX.with(|i| *i) & (COUNTER_STRIPES - 1)
+}
+
 /// Internal counter block embedded in a strategy. Zero-sized (and all
-/// methods no-ops) unless the `stats` feature is on.
+/// methods no-ops) unless the `stats` feature is on; with it, a striped
+/// array of cache-line-padded counter lines (module docs).
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     #[cfg(feature = "stats")]
-    ops: AtomicU64,
-    #[cfg(feature = "stats")]
-    dcas_ops: AtomicU64,
-    #[cfg(feature = "stats")]
-    dcas_failures: AtomicU64,
-    #[cfg(feature = "stats")]
-    helps: AtomicU64,
-    #[cfg(feature = "stats")]
-    descriptor_reuses: AtomicU64,
-    #[cfg(feature = "stats")]
-    descriptor_allocs: AtomicU64,
-    #[cfg(feature = "stats")]
-    casn_ops: AtomicU64,
-    #[cfg(feature = "stats")]
-    casn_failures: AtomicU64,
-    #[cfg(feature = "stats")]
-    elim_hits: AtomicU64,
-    #[cfg(feature = "stats")]
-    elim_misses: AtomicU64,
+    stripes: [CachePadded<CounterLine>; COUNTER_STRIPES],
 }
 
 macro_rules! counter_inc {
@@ -144,7 +202,7 @@ macro_rules! counter_inc {
         #[inline]
         pub(crate) fn $inc(&self) {
             #[cfg(feature = "stats")]
-            self.$field.fetch_add(1, Ordering::Relaxed);
+            self.stripes[stripe_index()].$field.fetch_add(1, Ordering::Relaxed);
         }
     )*};
 }
@@ -157,6 +215,10 @@ impl Counters {
         inc_dcas => dcas_ops;
         /// One failed `dcas`/`dcas_strong`.
         inc_dcas_failure => dcas_failures;
+        /// One `dcas`/`dcas_strong` served by the hardware pair path.
+        inc_pair_hit => pair_hits;
+        /// One `dcas`/`dcas_strong` that took the descriptor protocol.
+        inc_pair_fallback => pair_fallbacks;
         /// Helped a foreign in-flight operation.
         inc_help => helps;
         /// Descriptor served from the pool freelist.
@@ -173,25 +235,30 @@ impl Counters {
         inc_elim_miss => elim_misses;
     }
 
-    /// Snapshot (all-zero without the `stats` feature).
+    /// Snapshot (all-zero without the `stats` feature): the per-stripe
+    /// lines summed field-wise.
     pub(crate) fn snapshot(&self) -> StrategyStats {
         #[cfg(feature = "stats")]
         {
-            StrategyStats {
-                ops: self.ops.load(Ordering::Relaxed),
-                dcas_ops: self.dcas_ops.load(Ordering::Relaxed),
-                dcas_failures: self.dcas_failures.load(Ordering::Relaxed),
-                helps: self.helps.load(Ordering::Relaxed),
-                descriptor_reuses: self.descriptor_reuses.load(Ordering::Relaxed),
-                descriptor_allocs: self.descriptor_allocs.load(Ordering::Relaxed),
-                casn_ops: self.casn_ops.load(Ordering::Relaxed),
-                casn_failures: self.casn_failures.load(Ordering::Relaxed),
-                elim_hits: self.elim_hits.load(Ordering::Relaxed),
-                elim_misses: self.elim_misses.load(Ordering::Relaxed),
-                // Global, not per-counter-block: filled in by the
-                // strategies that own pooled descriptors (`HarrisMcas`).
-                descriptor_orphans: 0,
+            let mut s = StrategyStats::default();
+            for line in self.stripes.iter() {
+                s.ops += line.ops.load(Ordering::Relaxed);
+                s.dcas_ops += line.dcas_ops.load(Ordering::Relaxed);
+                s.dcas_failures += line.dcas_failures.load(Ordering::Relaxed);
+                s.pair_hits += line.pair_hits.load(Ordering::Relaxed);
+                s.pair_fallbacks += line.pair_fallbacks.load(Ordering::Relaxed);
+                s.helps += line.helps.load(Ordering::Relaxed);
+                s.descriptor_reuses += line.descriptor_reuses.load(Ordering::Relaxed);
+                s.descriptor_allocs += line.descriptor_allocs.load(Ordering::Relaxed);
+                s.casn_ops += line.casn_ops.load(Ordering::Relaxed);
+                s.casn_failures += line.casn_failures.load(Ordering::Relaxed);
+                s.elim_hits += line.elim_hits.load(Ordering::Relaxed);
+                s.elim_misses += line.elim_misses.load(Ordering::Relaxed);
             }
+            // descriptor_orphans is global, not per-counter-block: filled
+            // in by the strategies that own pooled descriptors
+            // (`HarrisMcas`).
+            s
         }
         #[cfg(not(feature = "stats"))]
         StrategyStats::default()
@@ -231,5 +298,47 @@ mod tests {
             assert_eq!(s, StrategyStats::default());
             assert_eq!(s.reuse_rate(), None);
         }
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stripes_sum_across_threads() {
+        // Increments from many threads land on (up to) as many stripes;
+        // the snapshot must see every one exactly once.
+        use std::sync::Arc;
+        let c = Arc::new(Counters::default());
+        let mut handles = vec![];
+        for _ in 0..2 * COUNTER_STRIPES {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc_op();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().ops, 2 * COUNTER_STRIPES as u64 * 1000);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counter_lines_are_padded_and_single_line() {
+        // Each stripe occupies its own 128-byte slot (no false sharing
+        // between stripes), and one line's counters all fit within it.
+        assert!(std::mem::size_of::<CounterLine>() <= 128);
+        assert_eq!(std::mem::size_of::<CachePadded<CounterLine>>(), 128);
+        assert_eq!(
+            std::mem::size_of::<Counters>(),
+            COUNTER_STRIPES * std::mem::size_of::<CachePadded<CounterLine>>()
+        );
+    }
+
+    #[test]
+    fn pair_hit_rate_math() {
+        let s = StrategyStats { pair_hits: 3, pair_fallbacks: 1, ..Default::default() };
+        assert_eq!(s.pair_hit_rate(), Some(0.75));
+        assert_eq!(StrategyStats::default().pair_hit_rate(), None);
     }
 }

@@ -2,17 +2,34 @@
 
 use std::sync::atomic::Ordering;
 
+use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::strategy::{validate_args, validate_casn};
 use crate::{CasnEntry, DcasStrategy, DcasWord};
 
-/// Number of lock stripes. A power of two so the address hash is a mask.
-const STRIPES: usize = 64;
+/// Floor for the stripe count: collision probability for a DCAS pair is
+/// ~`2/stripes`, so even a single-core host gets a table big enough
+/// that unrelated pairs rarely serialize.
+const MIN_STRIPES: usize = 64;
 
-/// Blocking DCAS emulation that hashes each word's address to one of 64
-/// stripe mutexes and acquires the (one or two) stripes covering a DCAS
-/// in ascending index order.
+/// Ceiling, to keep the padded table's footprint bounded (1024 stripes
+/// × 128 B = 128 KiB).
+const MAX_STRIPES: usize = 1024;
+
+/// Stripe count for this host: `16 × available_parallelism`, rounded up
+/// to a power of two (so the address hash reduces by shift/mask) and
+/// clamped to `[MIN_STRIPES, MAX_STRIPES]`. Oversubscribing the core
+/// count by 16× keeps the expected number of *threads* contending a
+/// stripe well below one even when every core runs in the lock.
+fn stripe_count() -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (threads * 16).next_power_of_two().clamp(MIN_STRIPES, MAX_STRIPES)
+}
+
+/// Blocking DCAS emulation that hashes each word's address to one of a
+/// table of stripe mutexes and acquires the (one or two) stripes
+/// covering a DCAS in ascending index order.
 ///
 /// Ordered acquisition makes the emulation deadlock-free; hashing distinct
 /// addresses to distinct stripes lets DCAS operations on disjoint parts of
@@ -20,14 +37,27 @@ const STRIPES: usize = 64;
 /// is exactly the concurrency the paper's algorithms are designed to
 /// exploit. Loads and stores lock the single stripe of their word so that
 /// they serialize against in-flight DCAS writes.
+///
+/// The table is sized from [`std::thread::available_parallelism`] at
+/// construction (not a compile-time constant), and each stripe is
+/// cache-line-padded: a `parking_lot` mutex is a single byte, so an
+/// unpadded table would pack ~64 stripes into one cache line and every
+/// "disjoint" acquisition would still ping-pong the same line — the
+/// striping would buy concurrency at the lock level and give it back at
+/// the coherence level.
 pub struct StripedLock {
-    stripes: Box<[Mutex<()>; STRIPES]>,
+    stripes: Box<[CachePadded<Mutex<()>>]>,
+    /// Right-shift that reduces the Fibonacci hash to a stripe index
+    /// (`64 - log2(stripes.len())`).
+    shift: u32,
 }
 
 impl Default for StripedLock {
     fn default() -> Self {
+        let n = stripe_count();
         StripedLock {
-            stripes: Box::new([const { Mutex::new(()) }; STRIPES]),
+            stripes: (0..n).map(|_| CachePadded::new(Mutex::new(()))).collect(),
+            shift: 64 - n.trailing_zeros(),
         }
     }
 }
@@ -39,11 +69,13 @@ impl StripedLock {
     }
 
     #[inline]
-    fn stripe_of(w: &DcasWord) -> usize {
+    fn stripe_of(&self, w: &DcasWord) -> usize {
         // Fibonacci hashing of the word address; words are 8-byte aligned
-        // so we discard the low 3 bits first.
+        // so we discard the low 3 bits first. The multiply spreads the
+        // address bits into the high word and the shift keeps exactly
+        // log2(stripes) of them.
         let a = (w.addr() >> 3) as u64;
-        (a.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (STRIPES - 1)
+        (a.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize & (self.stripes.len() - 1)
     }
 }
 
@@ -54,20 +86,20 @@ impl DcasStrategy for StripedLock {
 
     #[inline]
     fn load(&self, w: &DcasWord) -> u64 {
-        let _g = self.stripes[Self::stripe_of(w)].lock();
+        let _g = self.stripes[self.stripe_of(w)].lock();
         w.raw_load(Ordering::SeqCst)
     }
 
     #[inline]
     fn store(&self, w: &DcasWord, v: u64) {
         debug_assert!(crate::is_valid_payload(v));
-        let _g = self.stripes[Self::stripe_of(w)].lock();
+        let _g = self.stripes[self.stripe_of(w)].lock();
         w.raw_store(v, Ordering::SeqCst);
     }
 
     fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
         debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
-        let _g = self.stripes[Self::stripe_of(w)].lock();
+        let _g = self.stripes[self.stripe_of(w)].lock();
         if w.raw_load(Ordering::SeqCst) == old {
             w.raw_store(new, Ordering::SeqCst);
             true
@@ -78,7 +110,7 @@ impl DcasStrategy for StripedLock {
 
     fn dcas(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
         validate_args(a1, a2, &[o1, o2, n1, n2]);
-        let (s1, s2) = (Self::stripe_of(a1), Self::stripe_of(a2));
+        let (s1, s2) = (self.stripe_of(a1), self.stripe_of(a2));
         let (lo, hi) = (s1.min(s2), s1.max(s2));
         let _g1 = self.stripes[lo].lock();
         let _g2 = (lo != hi).then(|| self.stripes[hi].lock());
@@ -101,7 +133,7 @@ impl DcasStrategy for StripedLock {
         n2: u64,
     ) -> bool {
         validate_args(a1, a2, &[*o1, *o2, n1, n2]);
-        let (s1, s2) = (Self::stripe_of(a1), Self::stripe_of(a2));
+        let (s1, s2) = (self.stripe_of(a1), self.stripe_of(a2));
         let (lo, hi) = (s1.min(s2), s1.max(s2));
         let _g1 = self.stripes[lo].lock();
         let _g2 = (lo != hi).then(|| self.stripes[hi].lock());
@@ -125,7 +157,7 @@ impl DcasStrategy for StripedLock {
         // the two-word case, extended to n).
         let mut stripes: [usize; crate::MAX_CASN_WORDS] = [0; crate::MAX_CASN_WORDS];
         for (i, e) in entries.iter().enumerate() {
-            stripes[i] = Self::stripe_of(e.word);
+            stripes[i] = self.stripe_of(e.word);
         }
         let stripes = &mut stripes[..entries.len()];
         stripes.sort_unstable();
@@ -162,14 +194,32 @@ mod tests {
     }
 
     #[test]
+    fn table_is_pow2_padded_and_parallelism_derived() {
+        let s = StripedLock::new();
+        let n = s.stripes.len();
+        assert!(n.is_power_of_two());
+        assert!((MIN_STRIPES..=MAX_STRIPES).contains(&n));
+        assert_eq!(s.shift, 64 - n.trailing_zeros());
+        // Each stripe owns a full padded slot.
+        assert_eq!(std::mem::size_of::<CachePadded<Mutex<()>>>(), 128);
+        // Every word maps inside the table.
+        let words: Vec<DcasWord> = (0..256).map(|_| DcasWord::new(0)).collect();
+        for w in &words {
+            assert!(s.stripe_of(w) < n);
+        }
+    }
+
+    #[test]
     fn same_stripe_pair_works() {
         // Force the same-stripe path by DCAS-ing a word against itself
         // being illegal, use many words and find two mapping to one stripe.
-        let words: Vec<DcasWord> = (0..512).map(|_| DcasWord::new(0)).collect();
+        // (More words than stripes guarantees a collision exists.)
         let s = StripedLock::new();
+        let words: Vec<DcasWord> =
+            (0..2 * s.stripes.len()).map(|_| DcasWord::new(0)).collect();
         let mut by_stripe: std::collections::HashMap<usize, Vec<usize>> = Default::default();
         for (i, w) in words.iter().enumerate() {
-            by_stripe.entry(StripedLock::stripe_of(w)).or_default().push(i);
+            by_stripe.entry(s.stripe_of(w)).or_default().push(i);
         }
         let (_, idxs) = by_stripe.iter().find(|(_, v)| v.len() >= 2).expect("collision");
         let (i, j) = (idxs[0], idxs[1]);

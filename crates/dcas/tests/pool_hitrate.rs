@@ -26,7 +26,10 @@ fn warmup(s: &HarrisMcas, a: &DcasWord, b: &DcasWord, x: &mut u64, ops: u64) {
 
 #[test]
 fn steady_state_dcas_is_allocation_free() {
-    let s = HarrisMcas::new();
+    // `hw_pair` off: this test measures the *descriptor* hot path, and
+    // two stack locals can happen to share a 16-byte slot, in which case
+    // the hardware pair path would bypass the pool entirely.
+    let s = HarrisMcas::with_config(McasConfig { hw_pair: false, ..Default::default() });
     assert!(s.config().pool_descriptors);
     let a = DcasWord::new(0);
     let b = DcasWord::new(4);
@@ -56,7 +59,8 @@ fn steady_state_dcas_is_allocation_free() {
 fn steady_state_dcas_strong_failure_path_is_allocation_free() {
     // The strong form's failure path certifies an atomic view with an
     // identity DCAS; that descriptor must come from the pool too.
-    let s = HarrisMcas::new();
+    // (`hw_pair` off for the same reason as above.)
+    let s = HarrisMcas::with_config(McasConfig { hw_pair: false, ..Default::default() });
     let a = DcasWord::new(0);
     let b = DcasWord::new(4);
     let mut x = 0u64;

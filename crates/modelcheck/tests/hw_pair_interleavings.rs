@@ -1,0 +1,247 @@
+//! Exhaustive interleaving check for the hardware pair-DCAS fast path.
+//!
+//! `HarrisMcas::dcas` short-circuits a two-word DCAS on an adjacent
+//! [`dcas::DcasPair`] into one 128-bit compare-exchange, while other
+//! threads may be running the full descriptor protocol (RDCSS install →
+//! decide → resolve) over the *same two words*. The mixed-mode safety
+//! argument has exactly one delicate case: when the wide CAS fails
+//! because a half holds a descriptor *tag*, the fast path must **help
+//! the descriptor and retry** — it must not report DCAS failure, because
+//! the in-flight descriptor may still abort and restore values that
+//! match the fast path's expectations (failing there would be a
+//! linearization of `false` at a point where the abstract state
+//! matched).
+//!
+//! This test model-checks that argument the way `crates/modelcheck`
+//! checks the deques: a small step machine per thread, every
+//! interleaving enumerated, every terminal state compared against the
+//! legal sequential outcomes. Thread A is the fast path (its whole
+//! read-compare-swap is one atomic step — that is precisely what
+//! `cmpxchg16b` provides; helping is one descriptor phase per step,
+//! like the real helper loop). Thread B runs the descriptor protocol
+//! one shared-memory phase at a time, and *either* thread may advance
+//! the descriptor (helping races included). A negative control replaces
+//! help-and-retry with fail-on-tag and must produce an outcome no
+//! sequential order allows — demonstrating the check has teeth.
+
+use std::collections::HashSet;
+
+/// One of the pair's halves: a payload, or a tag marking an installed
+/// descriptor (the model's RDCSS/DCAS pointer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Half {
+    Val(u8),
+    Tagged,
+}
+
+/// The descriptor protocol's phase for thread B's DCAS, advanced
+/// atomically one shared-memory transition at a time by B or by a
+/// helping A.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Phase {
+    /// Try to tag `lo` (succeeds only on a matching, untagged payload).
+    Install1,
+    /// `lo` tagged; try to tag `hi`.
+    Install2,
+    /// Both halves resolved; untag `lo` to its outcome value.
+    Resolve1 { ok: bool },
+    /// Untag `hi` to its outcome value.
+    Resolve2 { ok: bool },
+    Done { ok: bool },
+}
+
+/// Full model state: the shared pair, B's descriptor phase, and A's
+/// pending/finished fast-path op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct State {
+    lo: Half,
+    hi: Half,
+    phase: Phase,
+    /// `None` while A's CAS is still pending; `Some(result)` after.
+    a_done: Option<bool>,
+}
+
+#[derive(Clone, Copy)]
+struct Op {
+    expect: (u8, u8),
+    new: (u8, u8),
+}
+
+/// Advances B's descriptor one phase. Idempotent per phase and callable
+/// by either thread — the model's equivalent of "any thread can help".
+fn advance_descriptor(mut s: State, b: Op) -> State {
+    match s.phase {
+        Phase::Install1 => {
+            if s.lo == Half::Val(b.expect.0) {
+                s.lo = Half::Tagged;
+                s.phase = Phase::Install2;
+            } else {
+                s.phase = Phase::Done { ok: false };
+            }
+        }
+        Phase::Install2 => {
+            if s.hi == Half::Val(b.expect.1) {
+                s.hi = Half::Tagged;
+                s.phase = Phase::Resolve1 { ok: true };
+            } else {
+                // Abort: undo the first install.
+                s.phase = Phase::Resolve1 { ok: false };
+            }
+        }
+        Phase::Resolve1 { ok } => {
+            debug_assert_eq!(s.lo, Half::Tagged);
+            s.lo = Half::Val(if ok { b.new.0 } else { b.expect.0 });
+            s.phase = if ok {
+                Phase::Resolve2 { ok }
+            } else {
+                // The failed DCAS never tagged `hi`; nothing to undo.
+                Phase::Done { ok }
+            };
+        }
+        Phase::Resolve2 { ok } => {
+            debug_assert_eq!(s.hi, Half::Tagged);
+            s.hi = Half::Val(b.new.1);
+            s.phase = Phase::Done { ok };
+        }
+        Phase::Done { .. } => {}
+    }
+    s
+}
+
+/// One step of thread A's fast path: a single atomic
+/// read-compare-exchange over both halves (the `cmpxchg16b`), plus the
+/// on-tag policy under test.
+fn step_a(mut s: State, a: Op, b: Op, fail_on_tag: bool) -> State {
+    debug_assert!(s.a_done.is_none());
+    if s.lo == Half::Tagged || s.hi == Half::Tagged {
+        if fail_on_tag {
+            // The buggy policy: treat a tag as a value mismatch.
+            s.a_done = Some(false);
+            return s;
+        }
+        // Correct policy: help the in-flight descriptor one phase and
+        // leave the op pending (the retry is a later step).
+        return advance_descriptor(s, b);
+    }
+    if s.lo == Half::Val(a.expect.0) && s.hi == Half::Val(a.expect.1) {
+        s.lo = Half::Val(a.new.0);
+        s.hi = Half::Val(a.new.1);
+        s.a_done = Some(true);
+    } else {
+        s.a_done = Some(false);
+    }
+    s
+}
+
+/// A terminal observation: both ops' results plus the final pair value.
+type Outcome = (bool, bool, u8, u8);
+
+/// Depth-first enumeration of every interleaving of A's fast path and
+/// B's descriptor protocol, collecting all terminal outcomes.
+fn explore(a: Op, b: Op, init: (u8, u8), fail_on_tag: bool) -> HashSet<Outcome> {
+    fn go(
+        s: State,
+        a: Op,
+        b: Op,
+        fail_on_tag: bool,
+        seen: &mut HashSet<State>,
+        out: &mut HashSet<Outcome>,
+    ) {
+        if !seen.insert(s) {
+            return;
+        }
+        let b_done = matches!(s.phase, Phase::Done { .. });
+        if let (Some(a_res), Phase::Done { ok: b_res }) = (s.a_done, s.phase) {
+            let (Half::Val(lo), Half::Val(hi)) = (s.lo, s.hi) else {
+                panic!("terminal state left a tag behind: {s:?}");
+            };
+            out.insert((a_res, b_res, lo, hi));
+            return;
+        }
+        if s.a_done.is_none() {
+            go(step_a(s, a, b, fail_on_tag), a, b, fail_on_tag, seen, out);
+        }
+        if !b_done {
+            go(advance_descriptor(s, b), a, b, fail_on_tag, seen, out);
+        }
+    }
+    let mut out = HashSet::new();
+    let mut seen = HashSet::new();
+    let init = State {
+        lo: Half::Val(init.0),
+        hi: Half::Val(init.1),
+        phase: Phase::Install1,
+        a_done: None,
+    };
+    go(init, a, b, fail_on_tag, &mut seen, &mut out);
+    out
+}
+
+/// The sequential specification: the set of outcomes some total order
+/// of the two DCAS operations produces.
+fn legal_outcomes(a: Op, b: Op, init: (u8, u8)) -> HashSet<Outcome> {
+    let apply = |state: (u8, u8), op: Op| -> ((u8, u8), bool) {
+        if state == op.expect {
+            (op.new, true)
+        } else {
+            (state, false)
+        }
+    };
+    let mut legal = HashSet::new();
+    // A then B.
+    let (s1, a_res) = apply(init, a);
+    let (s2, b_res) = apply(s1, b);
+    legal.insert((a_res, b_res, s2.0, s2.1));
+    // B then A.
+    let (s1, b_res) = apply(init, b);
+    let (s2, a_res) = apply(s1, a);
+    legal.insert((a_res, b_res, s2.0, s2.1));
+    legal
+}
+
+const INIT: (u8, u8) = (1, 2);
+/// Both ops expect the initial pair: whichever linearizes first wins.
+const A: Op = Op { expect: INIT, new: (3, 4) };
+const B_CONTENDING: Op = Op { expect: INIT, new: (5, 6) };
+/// B expects a stale `hi`: it must fail in *every* sequential order, so
+/// its descriptor installs on `lo` and then aborts — the exact window
+/// where fail-on-tag breaks linearizability.
+const B_DOOMED: Op = Op { expect: (1, 9), new: (5, 6) };
+
+#[test]
+fn pair_cas_racing_descriptor_stays_linearizable() {
+    for b in [B_CONTENDING, B_DOOMED] {
+        let outcomes = explore(A, b, INIT, false);
+        let legal = legal_outcomes(A, b, INIT);
+        assert!(
+            outcomes.is_subset(&legal),
+            "illegal outcomes: {:?} (legal: {legal:?})",
+            outcomes.difference(&legal).collect::<Vec<_>>()
+        );
+        assert!(!outcomes.is_empty());
+    }
+}
+
+#[test]
+fn contending_race_reaches_both_linearizations() {
+    // Sanity that the enumeration explores real races: with both orders
+    // possible, both sequential outcomes must be reachable.
+    let outcomes = explore(A, B_CONTENDING, INIT, false);
+    assert_eq!(outcomes, legal_outcomes(A, B_CONTENDING, INIT));
+}
+
+#[test]
+fn fail_on_tag_policy_is_refuted() {
+    // Negative control: the policy the implementation deliberately
+    // avoids. Against the doomed descriptor, every sequential order has
+    // A succeeding (B's abort restores A's expected values), so an
+    // A-failure outcome is unserializable — and the checker must find
+    // one, proving it can see this class of bug.
+    let outcomes = explore(A, B_DOOMED, INIT, true);
+    let legal = legal_outcomes(A, B_DOOMED, INIT);
+    assert!(
+        outcomes.iter().any(|o| !legal.contains(o)),
+        "buggy fail-on-tag policy produced only legal outcomes {outcomes:?}"
+    );
+    assert!(outcomes.iter().any(|&(a_res, ..)| !a_res), "expected a spurious A failure");
+}

@@ -67,6 +67,18 @@ pub trait WorkDeque: Send + Sync + 'static {
         }
         rejected
     }
+
+    /// Owner: publishes any privately buffered tasks into steal-visible
+    /// storage, returning the ones that could not be published (bounded
+    /// shared level at capacity; the caller must run those itself).
+    ///
+    /// Flat deques have no private buffer, so the default is a no-op; the
+    /// two-level [`TieredDeque`] wrappers override it. The scheduler
+    /// calls this when a worker dies so the tasks in its private ring
+    /// become stealable instead of stranding `pending` above zero.
+    fn flush_local(&self) -> Vec<Task> {
+        Vec::new()
+    }
 }
 
 /// Best-effort size hint maintained *outside* the deque: the owner and
@@ -216,6 +228,225 @@ impl WorkDeque for ArrayWorkDeque {
     }
 }
 
+/// Number of tasks the owner-private ring of a [`TieredDeque`] holds
+/// before spilling a batch into the shared level. Sized at 4×
+/// [`MAX_BATCH`] so the owner absorbs fork bursts privately and the
+/// spill/refill traffic moves whole chunk-atomic batches.
+pub const RING_CAP: usize = 4 * MAX_BATCH;
+
+/// Two-level owner-biased work deque: a private, synchronisation-free
+/// ring for the owner's `push`/`pop` hot path, backed by one of the
+/// paper's linearizable DCAS deques as the shared, steal-visible level.
+///
+/// The fork-join access pattern is overwhelmingly owner-local — a worker
+/// pushes a task and pops it back moments later — yet the flat adapters
+/// pay a full DCAS (descriptor install + helping protocol under the
+/// Harris substrate) for every one of those operations. Here the owner
+/// touches only a `VecDeque` behind an `UnsafeCell`: zero atomics until
+/// the ring fills ([`RING_CAP`]), at which point the **oldest**
+/// [`MAX_BATCH`] tasks spill into the shared deque's right end with a
+/// single chunk-atomic `push_right_n` CASN. Refill is symmetric: an
+/// empty ring pulls the newest [`MAX_BATCH`] tasks back with one
+/// `pop_right_n`. Thieves never see the ring — they steal oldest-first
+/// from the shared deque's left end exactly as before, so all
+/// inter-thread transfers still linearize through the paper's deque and
+/// the amortised DCAS cost per owner operation drops by ~`MAX_BATCH`×.
+///
+/// Ordering invariant: the shared deque (left→right) followed by the
+/// ring (front→back) is always oldest→newest, because spills move the
+/// ring's *oldest* prefix to the shared *right* end and refills take the
+/// shared *newest* suffix back. Owner pops remain globally LIFO and
+/// steals globally FIFO, same as the flat adapters.
+///
+/// # Safety contract
+///
+/// `push`/`pop`/`flush_local` are owner-only (the [`WorkDeque`]
+/// contract); the ring is therefore accessed by one thread at a time,
+/// with cross-thread ownership handoff (scheduler startup/teardown)
+/// synchronised by thread spawn/join. `steal`/`steal_half` touch only
+/// the shared level.
+pub struct TieredDeque<T, D> {
+    ring: std::cell::UnsafeCell<std::collections::VecDeque<T>>,
+    shared: D,
+    /// Size hint for the shared level only (the ring is owner-private
+    /// and never stolen from).
+    len: LenHint,
+}
+
+// SAFETY: the ring is owner-only per the `WorkDeque` contract (see the
+// type-level safety contract above); everything else is `Send + Sync`.
+unsafe impl<T: Send, D: Send + Sync> Send for TieredDeque<T, D> {}
+unsafe impl<T: Send, D: Send + Sync> Sync for TieredDeque<T, D> {}
+
+impl<T: Send, D: ConcurrentDeque<T>> TieredDeque<T, D> {
+    /// Wraps `shared` as the steal-visible level under a fresh private
+    /// ring.
+    pub fn new(shared: D) -> Self {
+        TieredDeque {
+            ring: std::cell::UnsafeCell::new(std::collections::VecDeque::with_capacity(
+                RING_CAP + 1,
+            )),
+            shared,
+            len: LenHint::new(),
+        }
+    }
+
+    /// The shared level (e.g. to read its recorder or stats).
+    pub fn shared(&self) -> &D {
+        &self.shared
+    }
+
+    /// Owner-only: the private ring.
+    #[allow(clippy::mut_from_ref)]
+    fn ring(&self) -> &mut std::collections::VecDeque<T> {
+        // SAFETY: owner-only methods are never called concurrently (see
+        // the type-level safety contract).
+        unsafe { &mut *self.ring.get() }
+    }
+
+    /// Owner-only: pushes a value, spilling the ring's oldest batch to
+    /// the shared level when full. `Err` hands the value back when the
+    /// shared level is bounded and at capacity.
+    pub fn push(&self, t: T) -> Result<(), T> {
+        let ring = self.ring();
+        if ring.len() >= RING_CAP {
+            // Spill the oldest batch to the shared right end (it is newer
+            // than everything already there, so global order holds).
+            let batch: Vec<T> = ring.drain(..MAX_BATCH).collect();
+            let n = batch.len();
+            if let Err(full) = self.shared.push_right_n(batch) {
+                // Bounded shared level at capacity: restore the unspilled
+                // tail to the ring front (order preserved) and reject the
+                // new task — the caller runs it inline, the standard
+                // overflow policy.
+                let rest = full.into_inner();
+                self.len.add(n - rest.len());
+                for t in rest.into_iter().rev() {
+                    ring.push_front(t);
+                }
+                return Err(t);
+            }
+            self.len.add(n);
+        }
+        ring.push_back(t);
+        Ok(())
+    }
+
+    /// Owner-only: pops the newest value (globally LIFO), refilling the
+    /// ring from the shared level's newest batch when empty.
+    pub fn pop(&self) -> Option<T> {
+        let ring = self.ring();
+        if let Some(t) = ring.pop_back() {
+            return Some(t);
+        }
+        // Ring empty: pull the newest shared batch back. `pop_right_n`
+        // returns rightmost (newest) first; reversed, the chunk extends
+        // the ring oldest→newest so the back stays the newest task.
+        let chunk = self.shared.pop_right_n(MAX_BATCH);
+        self.len.sub(chunk.len());
+        ring.extend(chunk.into_iter().rev());
+        ring.pop_back()
+    }
+
+    /// Thief: takes the globally oldest *published* value (the ring is
+    /// invisible to thieves by design).
+    pub fn steal(&self) -> Option<T> {
+        let t = self.shared.pop_left();
+        if t.is_some() {
+            self.len.sub(1);
+        }
+        t
+    }
+
+    /// Thief: takes about half of the shared level, oldest first.
+    pub fn steal_half(&self) -> Vec<T> {
+        let tasks = self.shared.pop_left_n(self.len.half_batch());
+        self.len.sub(tasks.len());
+        tasks
+    }
+
+    /// Owner-only: publishes the whole ring to the shared level,
+    /// returning whatever a bounded shared level rejects.
+    pub fn flush_local(&self) -> Vec<T> {
+        let ring = self.ring();
+        if ring.is_empty() {
+            return Vec::new();
+        }
+        let batch: Vec<T> = ring.drain(..).collect();
+        let n = batch.len();
+        match self.shared.push_right_n(batch) {
+            Ok(()) => {
+                self.len.add(n);
+                Vec::new()
+            }
+            Err(full) => {
+                let rest = full.into_inner();
+                self.len.add(n - rest.len());
+                rest
+            }
+        }
+    }
+}
+
+macro_rules! tiered_workdeque {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $ctor:expr, $label:literal) => {
+        $(#[$doc])*
+        pub struct $name(TieredDeque<Task, $inner>);
+
+        impl WorkDeque for $name {
+            fn with_capacity(capacity: usize) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                $name(TieredDeque::new(($ctor)(capacity)))
+            }
+
+            fn push(&self, t: Task) -> Result<(), Task> {
+                self.0.push(t)
+            }
+
+            fn pop(&self) -> Option<Task> {
+                self.0.pop()
+            }
+
+            fn steal(&self) -> StealOutcome {
+                match self.0.steal() {
+                    Some(t) => StealOutcome::Stolen(t),
+                    None => StealOutcome::Empty,
+                }
+            }
+
+            fn steal_half(&self) -> Vec<Task> {
+                self.0.steal_half()
+            }
+
+            fn flush_local(&self) -> Vec<Task> {
+                self.0.flush_local()
+            }
+
+            fn name() -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+tiered_workdeque!(
+    /// Two-level work deque over the paper's unbounded list deque.
+    TieredListWorkDeque,
+    ListDeque<Task, HarrisMcas>,
+    |_capacity| ListDeque::new(),
+    "tiered-list-dcas"
+);
+
+tiered_workdeque!(
+    /// Two-level work deque over the paper's bounded array deque. The
+    /// capacity bounds the shared level; the private ring adds up to
+    /// [`RING_CAP`] tasks of owner-side buffering on top.
+    TieredArrayWorkDeque,
+    ArrayDeque<Task, HarrisMcas>,
+    |capacity: usize| ArrayDeque::new(std::cmp::max(capacity, 1)),
+    "tiered-array-dcas"
+);
+
 /// Work deque over the CAS-only ABP deque (the baseline built for this
 /// exact access pattern).
 pub struct AbpWorkDeque(AbpDeque);
@@ -337,6 +568,123 @@ mod tests {
         steal_half_conserves::<ArrayWorkDeque>();
         steal_half_conserves::<AbpWorkDeque>();
         steal_half_conserves::<MutexWorkDeque>();
+    }
+
+    /// `steal_half` only sees the shared level, so a tiered deque with
+    /// fewer than `RING_CAP` tasks looks empty to thieves until the
+    /// owner spills — but `flush_local` + pops still conserve every
+    /// task.
+    fn tiered_conserves<D: WorkDeque>() {
+        let d = D::with_capacity(256);
+        const N: usize = 100;
+        for _ in 0..N {
+            assert!(d.push(noop()).is_ok(), "{}", D::name());
+        }
+        // 100 pushes spill floor((100 - RING_CAP) / MAX_BATCH + 1) —
+        // enough that thieves find work without the owner's help.
+        let mut total = 0;
+        loop {
+            let s = d.steal_half();
+            if s.is_empty() {
+                break;
+            }
+            assert!(s.len() <= MAX_BATCH);
+            total += s.len();
+        }
+        assert!(total > 0, "{}: spilled tasks must be stealable", D::name());
+        while d.pop().is_some() {
+            total += 1;
+        }
+        assert_eq!(total, N, "{}: tasks lost or duplicated", D::name());
+    }
+
+    #[test]
+    fn tiered_conserves_all_impls() {
+        tiered_conserves::<TieredListWorkDeque>();
+        tiered_conserves::<TieredArrayWorkDeque>();
+    }
+
+    #[test]
+    fn tiered_ring_is_private_until_spill() {
+        let d = TieredListWorkDeque::with_capacity(0);
+        // Below RING_CAP nothing is shared…
+        for _ in 0..RING_CAP {
+            assert!(d.push(noop()).is_ok());
+        }
+        assert!(matches!(d.steal(), StealOutcome::Empty));
+        // …the next push spills exactly one batch of the oldest tasks…
+        assert!(d.push(noop()).is_ok());
+        let stolen = d.steal_half();
+        assert!(!stolen.is_empty() && stolen.len() <= MAX_BATCH);
+        // …and flush_local publishes the rest of the ring.
+        let leftover = d.flush_local();
+        assert!(leftover.is_empty(), "unbounded shared level never rejects");
+        let mut total = stolen.len();
+        loop {
+            let s = d.steal_half();
+            if s.is_empty() {
+                break;
+            }
+            total += s.len();
+        }
+        assert_eq!(total, RING_CAP + 1);
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn tiered_pop_refills_from_shared_in_lifo_order() {
+        // Tasks are opaque closures, so order is observed through a
+        // drop-guard each task captures: popping and dropping a task
+        // appends its index to the log.
+        use std::sync::{Arc, Mutex};
+        struct Tag(usize, Arc<Mutex<Vec<usize>>>);
+        impl Drop for Tag {
+            fn drop(&mut self) {
+                self.1.lock().unwrap().push(self.0);
+            }
+        }
+        let log: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let tagged = |i: usize| -> Task {
+            let guard = Tag(i, log.clone());
+            Box::new(move |_| {
+                let _ = &guard;
+            })
+        };
+        let d = TieredListWorkDeque::with_capacity(0);
+        const N: usize = RING_CAP + 2 * MAX_BATCH;
+        for i in 0..N {
+            assert!(d.push(tagged(i)).is_ok());
+        }
+        // Owner pops must return newest-first across the spill boundary:
+        // the ring drains, then refills pull the spilled batches back.
+        while let Some(t) = d.pop() {
+            drop(t);
+        }
+        assert_eq!(*log.lock().unwrap(), (0..N).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiered_bounded_push_rejects_when_shared_full() {
+        // Shared capacity 8 + ring RING_CAP: after both fill, pushes
+        // must hand the task back instead of growing without bound.
+        let d = TieredArrayWorkDeque::with_capacity(MAX_BATCH);
+        let mut held = 0usize;
+        let mut rejected = 0usize;
+        for _ in 0..(RING_CAP + 3 * MAX_BATCH) {
+            match d.push(noop()) {
+                Ok(()) => held += 1,
+                Err(t) => {
+                    drop(t);
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(rejected > 0, "bounded tiered deque never rejected");
+        let mut drained = 0usize;
+        while d.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, held, "tasks lost in bounded tiered deque");
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //!   [`ListDeque`](dcas_deque::ListDeque) (fully general deques used in
 //!   the restricted work-stealing pattern),
 //! * the CAS-only [`AbpDeque`](dcas_baselines::AbpDeque) baseline
-//!   (designed for exactly this pattern), and
-//! * the lock-based [`MutexDeque`](dcas_baselines::MutexDeque).
+//!   (designed for exactly this pattern),
+//! * the lock-based [`MutexDeque`](dcas_baselines::MutexDeque), and
+//! * owner-biased two-level wrappers ([`TieredListWorkDeque`],
+//!   [`TieredArrayWorkDeque`]) that keep the owner's push/pop on a
+//!   private ring and move work to/from the paper's deques in
+//!   chunk-atomic batches, so thieves still steal through the
+//!   linearizable structure.
 //!
 //! Bench `e6_workstealing` compares them on fork-join workloads.
 //!
@@ -55,5 +60,8 @@
 mod deques;
 mod scheduler;
 
-pub use deques::{AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, StealOutcome, WorkDeque};
+pub use deques::{
+    AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, StealOutcome,
+    TieredArrayWorkDeque, TieredDeque, TieredListWorkDeque, WorkDeque, RING_CAP,
+};
 pub use scheduler::{DynDeque, RunReport, SchedStats, Scheduler, Task, WorkerHandle};

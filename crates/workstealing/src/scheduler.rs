@@ -89,19 +89,43 @@ impl SchedStats {
     }
 }
 
-/// Internal counter block; zero-sized and all-no-op without `stats`.
+/// Number of cache-line-padded counter lines in a [`SchedCounters`]
+/// block. Every worker's every task bumps `tasks_executed`, so a single
+/// shared line would put one guaranteed-contended cache line into the
+/// per-task hot path whenever stats are on; striping by thread keeps
+/// each worker's increments on its own line (same layout treatment as
+/// the DCAS strategy counters in `dcas::stats`).
+#[cfg(feature = "stats")]
+const SCHED_STRIPES: usize = 8;
+
+/// One stripe's counters (all five fit one padded line).
+#[cfg(feature = "stats")]
+#[derive(Debug, Default)]
+struct SchedCounterLine {
+    tasks_executed: std::sync::atomic::AtomicU64,
+    steals: std::sync::atomic::AtomicU64,
+    stolen_tasks: std::sync::atomic::AtomicU64,
+    steal_misses: std::sync::atomic::AtomicU64,
+    overflow_inline: std::sync::atomic::AtomicU64,
+}
+
+/// The calling thread's stripe, assigned round-robin on first use.
+#[cfg(feature = "stats")]
+#[inline]
+fn sched_stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.with(|i| *i) & (SCHED_STRIPES - 1)
+}
+
+/// Internal counter block; zero-sized and all-no-op without `stats`,
+/// a striped array of padded per-thread lines with it.
 #[derive(Debug, Default)]
 struct SchedCounters {
     #[cfg(feature = "stats")]
-    tasks_executed: std::sync::atomic::AtomicU64,
-    #[cfg(feature = "stats")]
-    steals: std::sync::atomic::AtomicU64,
-    #[cfg(feature = "stats")]
-    stolen_tasks: std::sync::atomic::AtomicU64,
-    #[cfg(feature = "stats")]
-    steal_misses: std::sync::atomic::AtomicU64,
-    #[cfg(feature = "stats")]
-    overflow_inline: std::sync::atomic::AtomicU64,
+    stripes: [CachePadded<SchedCounterLine>; SCHED_STRIPES],
 }
 
 macro_rules! sched_counter_add {
@@ -110,7 +134,7 @@ macro_rules! sched_counter_add {
         #[allow(unused_variables)]
         fn $inc(&self, n: u64) {
             #[cfg(feature = "stats")]
-            self.$field.fetch_add(n, Ordering::Relaxed);
+            self.stripes[sched_stripe_index()].$field.fetch_add(n, Ordering::Relaxed);
         }
     )*};
 }
@@ -127,13 +151,15 @@ impl SchedCounters {
     fn snapshot(&self) -> SchedStats {
         #[cfg(feature = "stats")]
         {
-            SchedStats {
-                tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
-                steals: self.steals.load(Ordering::Relaxed),
-                stolen_tasks: self.stolen_tasks.load(Ordering::Relaxed),
-                steal_misses: self.steal_misses.load(Ordering::Relaxed),
-                overflow_inline: self.overflow_inline.load(Ordering::Relaxed),
+            let mut s = SchedStats::default();
+            for line in self.stripes.iter() {
+                s.tasks_executed += line.tasks_executed.load(Ordering::Relaxed);
+                s.steals += line.steals.load(Ordering::Relaxed);
+                s.stolen_tasks += line.stolen_tasks.load(Ordering::Relaxed);
+                s.steal_misses += line.steal_misses.load(Ordering::Relaxed);
+                s.overflow_inline += line.overflow_inline.load(Ordering::Relaxed);
             }
+            s
         }
         #[cfg(not(feature = "stats"))]
         SchedStats::default()
@@ -298,6 +324,7 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
         // worker: it exits immediately, leaving its deque for thieves.
         while let Some(task) = shared.deques[id].pop() {
             if !execute::<D>(id, &shared, task) {
+                abandon::<D>(id, &shared);
                 return;
             }
         }
@@ -342,11 +369,25 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
                         alive &= execute::<D>(id, &shared, task);
                     }
                     if !alive {
+                        abandon::<D>(id, &shared);
                         return;
                     }
                 }
             }
         }
+    }
+}
+
+/// Publishes a dying worker's privately buffered tasks (two-level
+/// deques' rings) so survivors can steal them — otherwise `pending`
+/// never reaches zero and the other workers spin forever. Tasks the
+/// shared level rejects (bounded and full) are in nobody's deque, so
+/// even a poisoned worker must run them before exiting, mirroring the
+/// stolen-batch overflow policy above.
+fn abandon<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>) {
+    for task in shared.deques[id].flush_local() {
+        shared.counters.add_overflow_inline(1);
+        let _ = execute::<D>(id, shared, task);
     }
 }
 
@@ -431,7 +472,10 @@ fn execute_inline<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::deques::{AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque};
+    use crate::deques::{
+        AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, TieredArrayWorkDeque,
+        TieredListWorkDeque,
+    };
     use std::sync::atomic::AtomicU64;
 
     fn tree_count<D: WorkDeque>(workers: usize, depth: u32) -> u64 {
@@ -478,8 +522,55 @@ mod tests {
     }
 
     #[test]
+    fn tiered_list_deque_tree() {
+        assert_eq!(tree_count::<TieredListWorkDeque>(4, 12), 1 << 12);
+    }
+
+    #[test]
+    fn tiered_array_deque_tree() {
+        assert_eq!(tree_count::<TieredArrayWorkDeque>(4, 12), 1 << 12);
+    }
+
+    #[test]
     fn single_worker_runs_everything() {
         assert_eq!(tree_count::<ListWorkDeque>(1, 10), 1 << 10);
+    }
+
+    #[test]
+    fn tiered_single_worker_runs_everything() {
+        assert_eq!(tree_count::<TieredListWorkDeque>(1, 10), 1 << 10);
+    }
+
+    #[test]
+    fn tiered_tiny_bounded_shared_level_overflows_inline() {
+        // A capacity-2 shared level forces both the spill-rejection path
+        // in `TieredDeque::push` and the scheduler's inline-overflow
+        // path; every leaf must still be counted exactly once.
+        let leaves = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredArrayWorkDeque> = Scheduler::with_capacity(3, 2);
+        let l = leaves.clone();
+        sched.run(move |w| spawn_tree(w, 10, l));
+        assert_eq!(leaves.load(Ordering::SeqCst), 1 << 10);
+    }
+
+    #[test]
+    fn tiered_worker_death_publishes_ring() {
+        // Worker poisoning must not strand ring-buffered tasks: one task
+        // panics after forking a deep tree; the run still terminates and
+        // counts every remaining leaf. (Without the death-flush this
+        // hangs: `pending` can never reach zero.)
+        let leaves = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredListWorkDeque> = Scheduler::new(3);
+        let l = leaves.clone();
+        let report = sched.run_report(move |w| {
+            for _ in 0..4 {
+                let l = l.clone();
+                w.spawn(move |w| spawn_tree(w, 8, l));
+            }
+            w.spawn(|_| panic!("poison this worker"));
+        });
+        assert_eq!(report.panics, 1);
+        assert_eq!(leaves.load(Ordering::SeqCst), 4 << 8);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!    array deque driven by four threads,
 //! 2. the post-hoc linearizability audit of that same trace,
 //! 3. DCAS strategy counters ([`dcas::StrategyStats`]),
-//! 4. work-stealing scheduler counters from a small fork-join run.
+//! 4. the hardware pair-DCAS fast path: a `DcasPair` workload plus one
+//!    deliberately non-adjacent DCAS, surfacing `pair_hit_rate`,
+//! 5. work-stealing scheduler counters from small fork-join runs on the
+//!    flat and the two-level tiered deque.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,7 +22,7 @@ use std::sync::Arc;
 use dcas_deques::deque::{ArrayDeque, ConcurrentDeque};
 use dcas_deques::linearize::SeqDeque;
 use dcas_deques::obs::{audit, Json, MetricsRegistry, Recorded};
-use dcas_deques::workstealing::{ArrayWorkDeque, Scheduler};
+use dcas_deques::workstealing::{ArrayWorkDeque, Scheduler, TieredArrayWorkDeque};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: usize = 5_000;
@@ -40,6 +43,7 @@ fn main() {
     let deque = recorded_workload(&mut reg);
     audit_section(&deque, &mut reg);
     strategy_section(&deque, &mut reg);
+    pair_section(&mut reg);
     scheduler_section(&mut reg);
     overhead_section(&mut reg);
 
@@ -164,6 +168,33 @@ fn strategy_section(deque: &Recorded<ArrayDeque<u64>>, reg: &mut MetricsRegistry
     reg.strategy_stats("dcas_strategy", &deque.inner().strategy().stats());
 }
 
+/// The hardware pair-DCAS fast path, exercised directly: transfers
+/// between the halves of a 16-byte [`DcasPair`] take the single
+/// `cmpxchg16b` path (pair hits), while a DCAS on two deliberately
+/// separate words falls back to the descriptor protocol (pair
+/// fallback). With `--features obs-stats` the section shows the
+/// resulting `pair_hits`/`pair_fallbacks` counters and the derived
+/// `pair_hit_rate`; on hardware without a 16-byte CAS the same
+/// workload runs on the portable seqlock fallback with identical
+/// semantics.
+fn pair_section(reg: &mut MetricsRegistry) {
+    use dcas_deques::dcas::{DcasPair, DcasStrategy, DcasWord, HarrisMcas};
+
+    let mcas = HarrisMcas::new();
+    let pair = DcasPair::new(4_000, 0);
+    let (mut lo, mut hi) = (4_000u64, 0u64);
+    for _ in 0..1_000 {
+        assert!(mcas.dcas(pair.lo(), pair.hi(), lo, hi, lo - 4, hi + 4));
+        lo -= 4;
+        hi += 4;
+    }
+    // One non-adjacent DCAS: words 16 bytes apart can never share a
+    // pair slot, so this is a guaranteed descriptor-path fallback.
+    let words = [DcasWord::new(8), DcasWord::new(0), DcasWord::new(12)];
+    assert!(mcas.dcas(&words[0], &words[2], 8, 12, 16, 20));
+    reg.strategy_stats("pair_dcas", &mcas.stats());
+}
+
 /// A recursive fork-join sum on the work-stealing scheduler — the
 /// divide step leaves half the range stealable at every level, so the
 /// steal counters see real traffic. Live numbers need
@@ -201,4 +232,14 @@ fn scheduler_section(reg: &mut MetricsRegistry) {
     let report = scheduler.run_report(move |h| sum_range(h, 0, N, t2));
     assert_eq!(total.load(Ordering::SeqCst), N * (N - 1) / 2);
     reg.sched_stats("scheduler", &report.stats);
+
+    // The same run on the two-level tiered deque: owner traffic stays on
+    // the private ring, so `tasks_executed` matches but steals move only
+    // the batches that actually spilled to the shared level.
+    let total = Arc::new(AtomicU64::new(0));
+    let scheduler = Scheduler::<TieredArrayWorkDeque>::new(THREADS);
+    let t2 = Arc::clone(&total);
+    let report = scheduler.run_report(move |h| sum_range(h, 0, N, t2));
+    assert_eq!(total.load(Ordering::SeqCst), N * (N - 1) / 2);
+    reg.sched_stats("scheduler_tiered", &report.stats);
 }
