@@ -92,16 +92,23 @@ impl DcasPair {
     /// Must not be used while a descriptor-based strategy operation may
     /// be in flight on either word (it would observe a tagged pointer);
     /// use strategy loads for that. Intended for pair-API-only cells.
+    ///
+    /// # Read-side cost
+    ///
+    /// On AVX-capable x86-64 (everything since ~2011) this is a plain
+    /// aligned 16-byte load — a true read that leaves the cache line
+    /// shared. On older CPUs it degrades to `lock cmpxchg16b`, which is
+    /// a full RMW even when the comparison fails: every load then
+    /// contends for the line in exclusive state and performs a (locked,
+    /// value-preserving) write cycle, so on such hosts `load` is as
+    /// expensive as a failed `compare_exchange` and **must not** be
+    /// used on read-only mappings (the locked write faults regardless
+    /// of the comparison outcome).
     pub fn load(&self) -> (u64, u64) {
         if supported() {
-            // A 128-bit CAS with expected == new either confirms the
-            // guess or returns the actual value — both are atomic reads.
             // SAFETY: `slot()` is 16-byte aligned by the repr, and
             // native support was just verified.
-            match unsafe { cas_u128(self.slot(), 0, 0) } {
-                Ok(()) => (0, 0),
-                Err(seen) => unpack(seen),
-            }
+            unpack(unsafe { load_u128(self.slot()) })
         } else {
             unpack(fallback_load(self.slot()))
         }
@@ -224,6 +231,73 @@ pub(crate) unsafe fn cas_u128(dst: *mut u128, old: u128, new: u128) -> Result<()
         Ok(())
     } else {
         Err(pack(out_lo, out_hi))
+    }
+}
+
+/// Whether aligned 16-byte SSE loads are architecturally atomic on this
+/// CPU. Both Intel and AMD guarantee this for AVX-capable parts (and
+/// LLVM's own 16-byte atomic-load lowering relies on the same
+/// guarantee); pre-AVX silicon makes no such promise, so the load path
+/// falls back to `cmpxchg16b` there.
+#[cfg(target_arch = "x86_64")]
+fn avx_atomic_load_supported() -> bool {
+    // 0 = unknown, 1 = unsupported, 2 = supported.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let ok = std::arch::is_x86_feature_detected!("avx");
+            STATE.store(if ok { 2 } else { 1 }, Ordering::Relaxed);
+            ok
+        }
+        s => s == 2,
+    }
+}
+
+/// Atomic 128-bit load. A plain aligned `movdqa` where AVX guarantees
+/// its atomicity (a true read: shared line state, works on read-only
+/// mappings); a never-storing-new `cmpxchg16b` otherwise, with the
+/// locked-RMW cost documented on [`DcasPair::load`].
+///
+/// # Safety
+///
+/// `src` must be 16-byte aligned, valid for reads (and, pre-AVX, for
+/// writes — the locked fallback issues a write cycle even on comparison
+/// failure), and [`supported`] must have returned `true`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) unsafe fn load_u128(src: *mut u128) -> u128 {
+    debug_assert!(src as usize % 16 == 0);
+    if avx_atomic_load_supported() {
+        let lo: u64;
+        let hi: u64;
+        // Inline asm keeps the 16-byte access opaque to the compiler: a
+        // plain `*src` racing the locked writers would be UB in the
+        // abstract machine even though the instruction itself is atomic
+        // here. A plain x86 load already has acquire semantics, matching
+        // the SeqCst-failure read of the CAS fallback for this purpose.
+        // SAFETY: alignment per the caller contract; AVX (which implies
+        // the SSE4.1 `pextrq`) verified above.
+        unsafe {
+            std::arch::asm!(
+                "movdqa {x}, xmmword ptr [{ptr}]",
+                "movq {lo}, {x}",
+                "pextrq {hi}, {x}, 1",
+                x = out(xmm_reg) _,
+                ptr = in(reg) src,
+                lo = out(reg) lo,
+                hi = out(reg) hi,
+                options(nostack, readonly),
+            );
+        }
+        pack(lo, hi)
+    } else {
+        // Expected == new == 0: if the slot holds anything else the CAS
+        // fails and hands back the atomic snapshot; if it really holds
+        // (0, 0) the "successful" store writes the bytes already there.
+        // SAFETY: forwarded caller contract.
+        match unsafe { cas_u128(src, 0, 0) } {
+            Ok(()) => 0,
+            Err(seen) => seen,
+        }
     }
 }
 
@@ -383,6 +457,26 @@ mod tests {
         }
         let (lo, hi) = p.load();
         assert_eq!(lo + hi, total);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn atomic_load_paths_agree() {
+        if !supported() {
+            return;
+        }
+        // Whichever branch `load_u128` takes on this host (AVX `movdqa`
+        // or the `cmpxchg16b` fallback), it must see the same slot image
+        // as a failed wide CAS, and `load` must unpack it.
+        let p = DcasPair::new(8, 12);
+        assert_eq!(unsafe { load_u128(p.slot()) }, pack(8, 12));
+        assert_eq!(unsafe { cas_u128(p.slot(), pack(1, 1), pack(1, 1)) }, Err(pack(8, 12)));
+        assert_eq!(p.load(), (8, 12));
+        // The zero slot — the one value the CAS fallback "stores" — reads
+        // back unchanged too.
+        let z = DcasPair::new(0, 0);
+        assert_eq!(unsafe { load_u128(z.slot()) }, 0);
+        assert_eq!(z.load(), (0, 0));
     }
 
     #[cfg(target_arch = "x86_64")]

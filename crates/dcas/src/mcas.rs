@@ -536,13 +536,30 @@ impl HarrisMcas {
     /// forward) and retry; only a tag-free mismatch is a legal failure
     /// linearization, and the instruction's own atomic read of the slot
     /// is the certified view the strong form hands back.
+    ///
+    /// `a1`/`a2` are the two words backing `slot` (either order): the
+    /// CAS itself runs unpinned, so its failure snapshot is good for
+    /// tag *detection* only, never for dereferencing — by the time this
+    /// thread pins, the owner may have resolved and retired the
+    /// descriptor (pooling off frees it outright; pooling on can hand
+    /// it to another thread that re-initializes it). The contended
+    /// branch therefore pins first and helps only values re-read from
+    /// the words under that pin, which is what `help_tagged`'s
+    /// reclamation contract requires.
     #[cfg(target_arch = "x86_64")]
-    fn pair_hw(&self, slot: *mut u128, old: u128, new: u128) -> Result<(), u128> {
+    fn pair_hw(
+        &self,
+        slot: *mut u128,
+        a1: &DcasWord,
+        a2: &DcasWord,
+        old: u128,
+        new: u128,
+    ) -> Result<(), u128> {
         let mut backoff = Backoff::new();
         loop {
             // SAFETY: `slot` came from the adjacency probe (16-byte
-            // aligned, backed by two live `DcasWord`s) and the caller
-            // checked `hw::supported()`.
+            // aligned, backed by `a1` and `a2`, which are live) and the
+            // caller checked `hw::supported()`.
             match unsafe { hw::cas_u128(slot, old, new) } {
                 Ok(()) => return Ok(()),
                 Err(seen) => {
@@ -560,15 +577,19 @@ impl HarrisMcas {
                     // A descriptor is in flight on one of the halves.
                     // Failing here would break linearizability (the
                     // DCAS may be mid-flight and succeed), so help it
-                    // to completion — under a pin, taken only on this
-                    // contended branch — and retry.
+                    // to completion and retry. Pin *before* re-reading:
+                    // the stale `seen` halves must not be dereferenced
+                    // (see the doc comment above).
                     let guard = epoch::pin();
-                    // SAFETY: pinned; both halves read under the pin.
-                    // (`help_tagged` may find the tag already resolved
-                    // by another helper — fine, just retry.)
+                    let f1 = a1.raw_load(Ordering::SeqCst);
+                    let f2 = a2.raw_load(Ordering::SeqCst);
+                    // SAFETY: pinned; `f1`/`f2` read under the pin.
+                    // (The tags the failed CAS saw may be gone by now —
+                    // fine, `help_tagged` ignores plain values and the
+                    // loop just retries.)
                     unsafe {
-                        self.help_tagged(s_lo);
-                        self.help_tagged(s_hi);
+                        self.help_tagged(f1);
+                        self.help_tagged(f2);
                     }
                     drop(guard);
                     if self.config.backoff {
@@ -805,7 +826,7 @@ impl DcasStrategy for HarrisMcas {
                 } else {
                     (hw::pack(o1, o2), hw::pack(n1, n2))
                 };
-                let ok = self.pair_hw(slot, old, new).is_ok();
+                let ok = self.pair_hw(slot, a1, a2, old, new).is_ok();
                 if !ok {
                     self.counters.inc_dcas_failure();
                 }
@@ -852,7 +873,7 @@ impl DcasStrategy for HarrisMcas {
                 } else {
                     (hw::pack(*o1, *o2), hw::pack(n1, n2))
                 };
-                return match self.pair_hw(slot, old, new) {
+                return match self.pair_hw(slot, a1, a2, old, new) {
                     Ok(()) => true,
                     Err(seen) => {
                         // The failed 128-bit CAS read the slot atomically
@@ -1229,8 +1250,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn pair_fast_path_races_descriptor_casn_conserving_sum() {
+    fn race_pair_fast_path_against_descriptor_casn(config: McasConfig) {
         // The mix `crates/modelcheck` explores exhaustively, run on real
         // silicon: hardware pair CAS racing descriptor-based CASN over
         // the same two words (plus a third word, which keeps the CASN on
@@ -1246,7 +1266,7 @@ mod tests {
             pair: crate::DcasPair::new(1 << 20, 1 << 20),
             extra: DcasWord::new(1 << 20),
         });
-        let s = Arc::new(HarrisMcas::new());
+        let s = Arc::new(HarrisMcas::with_config(config));
         let mut handles = vec![];
         for t in 0..2u64 {
             let (s, cell) = (s.clone(), cell.clone());
@@ -1296,6 +1316,28 @@ mod tests {
         }
         let sum = s.load(cell.pair.lo()) + s.load(cell.pair.hi()) + s.load(&cell.extra);
         assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn pair_fast_path_races_descriptor_casn_conserving_sum() {
+        race_pair_fast_path_against_descriptor_casn(McasConfig::default());
+    }
+
+    #[test]
+    fn pair_fast_path_races_descriptor_casn_pooling_off() {
+        // Reclamation-race regression: the pair fast path's failed
+        // `cmpxchg16b` runs unpinned, so the descriptor pointers in its
+        // snapshot may already be retired by the time the helper pins —
+        // it must re-read the words under the pin and help only those
+        // fresh values. With pooling off a retired descriptor is
+        // `Box`-freed as soon as its grace period ends, turning any
+        // stale-snapshot dereference into a hard use-after-free this
+        // stress can actually trip (the pooled variant above would only
+        // see recycled-but-live memory).
+        race_pair_fast_path_against_descriptor_casn(McasConfig {
+            pool_descriptors: false,
+            ..Default::default()
+        });
     }
 
     #[cfg(all(feature = "stats", target_arch = "x86_64"))]

@@ -632,7 +632,11 @@ mod tests {
             })
         };
         let mut consistent = 0u64;
-        while !writer.is_finished() {
+        // One guaranteed pass after the writer finishes (in release the
+        // writer can complete all 20k ops before the first is_finished
+        // poll, and the tail of completed ops must still read cleanly).
+        loop {
+            let done = writer.is_finished();
             for op in rec.tail(0, 8) {
                 // A consistent snapshot never mixes generations: a
                 // completed pushRight's value is its seq + 1.
@@ -640,6 +644,9 @@ mod tests {
                     assert_eq!(op.vals()[0], op.seq + 1, "torn read leaked through");
                     consistent += 1;
                 }
+            }
+            if done {
+                break;
             }
         }
         writer.join().unwrap();
