@@ -153,7 +153,9 @@ fn main() {
     let pad_incs: u64 = if smoke { 50_000 } else { 1_000_000 };
     let pad_threads = 4usize;
     let fj_depth: u32 = if smoke { 7 } else { 11 };
-    let fj_workers = 4usize;
+    // At least the E12 reference width of 4 so historical rows stay
+    // comparable; wider hosts get their real parallelism.
+    let fj_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
 
     let mut results: Vec<Measurement> = Vec::new();
 

@@ -26,7 +26,10 @@ fn spawn_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, leaves: Arc<AtomicU64>
 fn bench_deque<D: WorkDeque>(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6/workstealing");
     g.sample_size(10);
-    for workers in [2usize, 4] {
+    // Contended (2) plus the host's full width (floored at the historical
+    // 4-worker arm so curves stay comparable across machines).
+    let max_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    for workers in [2usize, max_workers] {
         g.bench_with_input(
             BenchmarkId::new(D::name(), workers),
             &workers,

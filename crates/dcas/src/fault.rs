@@ -51,8 +51,10 @@ use crate::strategy::{validate_args, validate_casn};
 use crate::word::DcasWord;
 use crate::{CasnEntry, DcasStrategy};
 
-/// Named injection points inside the Harris MCAS protocol (the
-/// `fault_point!` hooks in `mcas.rs`).
+/// Named injection points: three inside the Harris MCAS protocol (the
+/// `fault_point!` hooks in `mcas.rs`) plus one scheduler-level point in
+/// the tiered work deque's spill path (hooked directly by
+/// `dcas-workstealing` behind its own `fault-inject` feature).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultPoint {
     /// On entry to descriptor publication, before phase 1 installs the
@@ -65,11 +67,26 @@ pub enum FaultPoint {
     /// After resolution, immediately before the operation releases or
     /// retires its descriptor.
     PreRelease,
+    /// In a tiered work deque's spill: the batch has been drained from
+    /// the owner-private tier into the staging buffer but not yet
+    /// pushed to the shared level — the death-flush recovery window.
+    SpillStaged,
 }
 
-/// All injection points, for iterating a torture matrix.
+/// The MCAS-protocol injection points, for iterating a torture matrix
+/// over strategy operations. [`FaultPoint::SpillStaged`] is deliberately
+/// excluded: it only fires inside the work-stealing spill path, so a
+/// matrix arm waiting for it during plain deque traffic would hang.
 pub const FAULT_POINTS: [FaultPoint; 3] =
     [FaultPoint::PreInstall, FaultPoint::MidHelping, FaultPoint::PreRelease];
+
+/// Every injection point, indexed by [`FaultPoint::index`].
+const ALL_POINTS: [FaultPoint; 4] = [
+    FaultPoint::PreInstall,
+    FaultPoint::MidHelping,
+    FaultPoint::PreRelease,
+    FaultPoint::SpillStaged,
+];
 
 impl FaultPoint {
     #[inline]
@@ -78,6 +95,7 @@ impl FaultPoint {
             FaultPoint::PreInstall => 0,
             FaultPoint::MidHelping => 1,
             FaultPoint::PreRelease => 2,
+            FaultPoint::SpillStaged => 3,
         }
     }
 
@@ -87,6 +105,7 @@ impl FaultPoint {
             FaultPoint::PreInstall => "pre-install",
             FaultPoint::MidHelping => "mid-helping",
             FaultPoint::PreRelease => "pre-release",
+            FaultPoint::SpillStaged => "spill-staged",
         }
     }
 }
@@ -195,7 +214,7 @@ impl FaultPlan {
 /// the watchdog reads it to produce a stuck-thread diagnostic.
 #[derive(Default)]
 pub struct FaultLog {
-    hits: [AtomicU64; 3],
+    hits: [AtomicU64; 4],
     /// `point.index() + 1` of the most recent hit; 0 = none yet.
     last_point: AtomicU64,
     spurious: AtomicU64,
@@ -219,7 +238,7 @@ impl FaultLog {
     pub fn last_point(&self) -> Option<FaultPoint> {
         match self.last_point.load(Ordering::Relaxed) {
             0 => None,
-            n => Some(FAULT_POINTS[n as usize - 1]),
+            n => Some(ALL_POINTS[n as usize - 1]),
         }
     }
 
@@ -251,12 +270,13 @@ impl FaultLog {
     /// One-line diagnostic summary for the watchdog dump.
     pub fn describe(&self) -> String {
         format!(
-            "last-point={} hits=[pre-install:{} mid-helping:{} pre-release:{}] \
+            "last-point={} hits=[pre-install:{} mid-helping:{} pre-release:{} spill-staged:{}] \
              spurious={} stalls={} frozen={} panicked={}",
             self.last_point().map_or("none", |p| p.name()),
             self.hits(FaultPoint::PreInstall),
             self.hits(FaultPoint::MidHelping),
             self.hits(FaultPoint::PreRelease),
+            self.hits(FaultPoint::SpillStaged),
             self.spurious_failures(),
             self.bounded_stalls(),
             self.is_frozen(),

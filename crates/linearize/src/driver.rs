@@ -264,6 +264,125 @@ pub fn stress_and_check<D: ConcurrentDeque<u64>>(
     Ok(StressReport { rounds: config.rounds, total_ops })
 }
 
+/// A deque with the work-stealing access discipline: one owner thread
+/// pushes and pops the bottom, any number of thieves take from the top.
+///
+/// This is the Chase–Lev shape (and the restricted pattern ABP is
+/// designed for): unlike [`ConcurrentDeque`], the bottom-end operations
+/// are *not* thread-safe against each other — the driver guarantees a
+/// single owner calls them. `steal_top` must resolve internal aborts
+/// itself (retry until a value is obtained or empty is observed), so
+/// its return maps cleanly onto `PopLeft`.
+pub trait OwnerStealDeque: Sync {
+    /// Owner-only: push at the bottom (records as `PushRight`).
+    fn push_bottom(&self, v: u64);
+    /// Owner-only: pop from the bottom (records as `PopRight`).
+    fn pop_bottom(&self) -> Option<u64>;
+    /// Any thread: steal from the top (records as `PopLeft`).
+    fn steal_top(&self) -> Option<u64>;
+    /// Implementation name for error messages.
+    fn impl_name(&self) -> &'static str;
+}
+
+/// Runs the owner/thief stress workload against `deque` and checks
+/// every round's history for linearizability against the sequential
+/// deque spec (owner = right end, thieves = left end).
+///
+/// Thread 0 is the owner: a randomized mix of `push_bottom` and
+/// `pop_bottom` (biased by `push_bias`). Threads `1..threads` are
+/// thieves issuing `steal_top`. After the workers join, the *owner*
+/// drains the deque (recorded as `PopRight`s) so the round history pins
+/// down the final abstract state.
+///
+/// # Errors
+///
+/// Returns a description of the first non-linearizable round found.
+pub fn stress_owner_steal<D: OwnerStealDeque>(
+    deque: &D,
+    config: StressConfig,
+) -> Result<StressReport, String> {
+    assert!(config.threads >= 2, "need an owner and at least one thief");
+    let mut total_ops = 0usize;
+    for round in 0..config.rounds {
+        let recorder = Recorder::new();
+        let barrier = Barrier::new(config.threads);
+        let logs = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..config.threads {
+                let recorder = &recorder;
+                let barrier = &barrier;
+                handles.push(s.spawn(move || {
+                    let mut log = recorder.thread(t);
+                    let mut rng = config
+                        .seed
+                        .wrapping_add(round as u64)
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add(t as u64);
+                    barrier.wait();
+                    for i in 0..config.ops_per_thread {
+                        if t == 0 {
+                            let value = (round * config.ops_per_thread + i) as u64;
+                            let r = next_rand(&mut rng);
+                            if (r % 100) < config.push_bias as u64 {
+                                log.invoke(DequeOp::PushRight(value));
+                                deque.push_bottom(value);
+                                log.respond(DequeRet::Okay);
+                            } else {
+                                log.invoke(DequeOp::PopRight);
+                                let ret = match deque.pop_bottom() {
+                                    Some(v) => DequeRet::Value(v),
+                                    None => DequeRet::Empty,
+                                };
+                                log.respond(ret);
+                            }
+                        } else {
+                            log.invoke(DequeOp::PopLeft);
+                            let ret = match deque.steal_top() {
+                                Some(v) => DequeRet::Value(v),
+                                None => DequeRet::Empty,
+                            };
+                            log.respond(ret);
+                        }
+                    }
+                    log
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        // Owner drains what the thieves left behind.
+        let mut drain_log = recorder.thread(config.threads);
+        loop {
+            drain_log.invoke(DequeOp::PopRight);
+            match deque.pop_bottom() {
+                Some(v) => drain_log.respond(DequeRet::Value(v)),
+                None => {
+                    drain_log.respond(DequeRet::Empty);
+                    break;
+                }
+            }
+        }
+
+        let mut all_logs = logs;
+        all_logs.push(drain_log);
+        let history = recorder.finish(all_logs);
+        let ops = history.completed();
+        total_ops += ops.len();
+
+        if let Err(v) = check_linearizable(SeqDeque::unbounded(), &ops) {
+            return Err(format!(
+                "round {round}: owner/steal history of {} ops on `{}` is NOT \
+                 linearizable (deepest prefix {:?});\nops: {:#?}",
+                ops.len(),
+                deque.impl_name(),
+                v.deepest_prefix,
+                ops
+            ));
+        }
+    }
+    Ok(StressReport { rounds: config.rounds, total_ops })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,5 +603,83 @@ mod tests {
             StressConfig { rounds: 100, push_bias: 60, ..StressConfig::default() },
         );
         assert!(res.is_err(), "duplicating deque must fail the checker");
+    }
+
+    /// Owner/steal view of the locked reference deque.
+    struct LockedOwner(Locked);
+
+    impl OwnerStealDeque for LockedOwner {
+        fn push_bottom(&self, v: u64) {
+            self.0.push_right(v).unwrap();
+        }
+        fn pop_bottom(&self) -> Option<u64> {
+            self.0.pop_right()
+        }
+        fn steal_top(&self) -> Option<u64> {
+            self.0.pop_left()
+        }
+        fn impl_name(&self) -> &'static str {
+            "locked-owner-steal"
+        }
+    }
+
+    #[test]
+    fn owner_steal_reference_passes() {
+        let d = LockedOwner(Locked { cap: None, inner: Mutex::new(VecDeque::new()) });
+        let report = stress_owner_steal(
+            &d,
+            StressConfig { rounds: 50, push_bias: 60, ..StressConfig::default() },
+        )
+        .expect("reference owner/steal deque must be linearizable");
+        assert_eq!(report.rounds, 50);
+        assert!(report.total_ops > 0);
+    }
+
+    /// Broken owner/steal deque: a steal occasionally re-delivers the
+    /// previously stolen value instead of removing a fresh one.
+    struct BrokenSteal {
+        inner: Locked,
+        last: Mutex<Option<u64>>,
+        hits: Mutex<u32>,
+    }
+
+    impl OwnerStealDeque for BrokenSteal {
+        fn push_bottom(&self, v: u64) {
+            self.inner.push_right(v).unwrap();
+        }
+        fn pop_bottom(&self) -> Option<u64> {
+            self.inner.pop_right()
+        }
+        fn steal_top(&self) -> Option<u64> {
+            let mut hits = self.hits.lock().unwrap();
+            *hits += 1;
+            if hits.is_multiple_of(4) {
+                if let Some(stale) = *self.last.lock().unwrap() {
+                    return Some(stale); // duplicate steal!
+                }
+            }
+            let v = self.inner.pop_left();
+            if let Some(v) = v {
+                *self.last.lock().unwrap() = Some(v);
+            }
+            v
+        }
+        fn impl_name(&self) -> &'static str {
+            "broken-duplicating-steal"
+        }
+    }
+
+    #[test]
+    fn duplicate_steal_is_caught() {
+        let d = BrokenSteal {
+            inner: Locked { cap: None, inner: Mutex::new(VecDeque::new()) },
+            last: Mutex::new(None),
+            hits: Mutex::new(0),
+        };
+        let res = stress_owner_steal(
+            &d,
+            StressConfig { rounds: 100, push_bias: 60, ..StressConfig::default() },
+        );
+        assert!(res.is_err(), "duplicating steal must fail the checker");
     }
 }

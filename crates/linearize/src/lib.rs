@@ -31,7 +31,9 @@ pub mod spec;
 pub mod window;
 
 pub use checker::{check_linearizable, linearization_final_states};
-pub use driver::{stress_and_check, StressConfig, StressReport};
+pub use driver::{
+    stress_and_check, stress_owner_steal, OwnerStealDeque, StressConfig, StressReport,
+};
 pub use history::{Completed, Event, EventKind, History, Recorder};
 pub use spec::{Batch, DequeOp, DequeRet, SeqDeque};
 pub use window::{check_windowed, WindowReport, WindowedChecker, WindowError};

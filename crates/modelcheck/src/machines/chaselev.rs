@@ -1,0 +1,424 @@
+//! Step machine for the growable Chase–Lev deque
+//! (`dcas-workstealing`'s `ChaseLev`, used as the stealable private
+//! tier of `TieredChaseLevWorkDeque`).
+//!
+//! Like ABP, Chase–Lev's linearization points are not fixed
+//! instructions — the owner's `pop` linearizes at different places
+//! depending on how the last-element race resolves — so the machine is
+//! verified through the explorer's **history mode**
+//! ([`Explorer::explore_histories`](crate::Explorer::explore_histories)),
+//! with `push = pushRight`, `pop = popRight`, `steal = popLeft`.
+//!
+//! The model keeps **every buffer generation ever published**, not just
+//! the current one, because that is the property worth checking: a
+//! thief snapshots the buffer pointer *before* its claiming CAS, so a
+//! concurrent `grow` can leave it reading its value out of a retired
+//! buffer. The implementation argues this stale read is harmless —
+//! the copy at grow time preserved every live slot, and the CAS on
+//! `top` fails if the slot was consumed — and here the explorer checks
+//! exactly that: each thief records which generation it read from, and
+//! every interleaving's history (including ones where the read
+//! generation is stale by the time the CAS succeeds) must remain
+//! linearizable.
+//!
+//! Thread 0 is the owner (`PushRight`/`PopRight`); all other threads
+//! are thieves (`PopLeft` only). An aborted steal retries from scratch,
+//! mirroring how the tiered deque's `steal` loops on `Steal::Retry`.
+
+use dcas_linearize::{DequeOp, DequeRet};
+
+use crate::explore::{StepEvent, System};
+
+/// One published buffer generation: a circular array of `cap` slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gen {
+    /// Slot count (power of two in the implementation; the model only
+    /// needs it nonzero).
+    pub cap: usize,
+    /// The slots, indexed circularly by `index % cap`.
+    pub slots: Vec<u64>,
+}
+
+impl Gen {
+    fn slot(&self, i: i64) -> u64 {
+        self.slots[(i as usize) % self.cap]
+    }
+}
+
+/// Shared state: all generations (last = current) plus the two indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClShared {
+    /// Every buffer ever published, oldest first. Retired generations
+    /// are retained verbatim — exactly like the implementation, which
+    /// defers freeing them so racing thieves can still read stale slots.
+    pub gens: Vec<Gen>,
+    /// Owner's end (next free slot). Goes to `top - 1` transiently
+    /// during an empty pop.
+    pub bottom: i64,
+    /// Thieves' end, advanced only by successful CASes.
+    pub top: i64,
+}
+
+impl ClShared {
+    fn current(&self) -> &Gen {
+        self.gens.last().expect("at least one generation")
+    }
+}
+
+/// Program counters, one step per shared-memory access.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    Start,
+    /// push: over-full; allocate, copy `[t, b)`, publish the new buffer.
+    PushGrow { v: u64, t: i64 },
+    /// push: write the slot at `bottom % cap` in the current buffer.
+    PushWrite { v: u64 },
+    /// push: release-publish `bottom + 1`.
+    PushAdvance,
+    /// pop: `bottom` already decremented to `b`; fence, then read `top`.
+    PopFence { b: i64 },
+    /// pop: last-element race; CAS `top: t -> t + 1`.
+    PopCas { b: i64, v: u64 },
+    /// pop: restore `bottom = b + 1` and report the CAS outcome.
+    PopRestore { b: i64, won: bool, v: u64 },
+    /// steal: `top` read as `t`; fence, then read `bottom`.
+    StealReadBot { t: i64 },
+    /// steal: acquire-read the buffer pointer (snapshot a generation).
+    StealSnapshot { t: i64 },
+    /// steal: speculative slot read from the snapshotted generation.
+    StealReadSlot { t: i64, gen: usize },
+    /// steal: the claiming CAS on `top`.
+    StealCas { t: i64, v: u64 },
+}
+
+/// Per-thread control state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClLocal {
+    tid: usize,
+    op_idx: usize,
+    pc: Pc,
+}
+
+/// The Chase–Lev machine.
+pub struct ChaseLevMachine {
+    /// Initial buffer capacity (kept tiny — 2 — to force growth).
+    pub initial_capacity: usize,
+    /// Thread 0: owner script; threads 1..: thief scripts (PopLeft only).
+    pub scripts: Vec<Vec<DequeOp>>,
+    /// Values present initially (owner pushed before the run).
+    pub initial_items: Vec<u64>,
+}
+
+impl ChaseLevMachine {
+    /// Builds a machine; validates the owner/thief role split.
+    pub fn new(initial_capacity: usize, scripts: Vec<Vec<DequeOp>>) -> Self {
+        assert!(initial_capacity >= 1);
+        for (tid, script) in scripts.iter().enumerate() {
+            for op in script {
+                match op {
+                    DequeOp::PushRight(_) | DequeOp::PopRight => {
+                        assert_eq!(tid, 0, "only thread 0 (the owner) may use the bottom end");
+                    }
+                    DequeOp::PopLeft => {
+                        assert_ne!(tid, 0, "thieves are threads 1.. (owner uses popRight)");
+                    }
+                    DequeOp::PushLeft(_) => panic!("Chase-Lev has no pushLeft"),
+                    _ => panic!("batched ops are not modelled"),
+                }
+            }
+        }
+        ChaseLevMachine { initial_capacity, scripts, initial_items: Vec::new() }
+    }
+
+    /// Adds initial content (must fit without triggering a grow).
+    pub fn with_initial(mut self, items: Vec<u64>) -> Self {
+        assert!(
+            items.len() < self.initial_capacity,
+            "initial items must leave the one-slot growth margin"
+        );
+        self.initial_items = items;
+        self
+    }
+}
+
+impl System for ChaseLevMachine {
+    type Shared = ClShared;
+    type Local = ClLocal;
+
+    fn initial_shared(&self) -> ClShared {
+        let mut slots = vec![0; self.initial_capacity];
+        for (i, &v) in self.initial_items.iter().enumerate() {
+            slots[i] = v;
+        }
+        ClShared {
+            gens: vec![Gen { cap: self.initial_capacity, slots }],
+            bottom: self.initial_items.len() as i64,
+            top: 0,
+        }
+    }
+
+    fn initial_locals(&self) -> Vec<ClLocal> {
+        (0..self.scripts.len())
+            .map(|tid| ClLocal { tid, op_idx: 0, pc: Pc::Start })
+            .collect()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn step(&self, sh: &mut ClShared, local: &mut ClLocal) -> Option<StepEvent> {
+        let op = *self.scripts[local.tid].get(local.op_idx)?;
+
+        let finish = |local: &mut ClLocal, ret: DequeRet| {
+            local.op_idx += 1;
+            local.pc = Pc::Start;
+            StepEvent::Linearize(op, ret)
+        };
+
+        Some(match std::mem::replace(&mut local.pc, Pc::Start) {
+            Pc::Start => match op {
+                DequeOp::PushRight(v) => {
+                    // Owner: read top (Acquire; bottom is owner-local
+                    // knowledge, folding its read here is sound because
+                    // only the owner writes it) and branch on fullness.
+                    let t = sh.top;
+                    if sh.bottom - t >= sh.current().cap as i64 - 1 {
+                        local.pc = Pc::PushGrow { v, t };
+                    } else {
+                        local.pc = Pc::PushWrite { v };
+                    }
+                    StepEvent::Internal
+                }
+                DequeOp::PopRight => {
+                    // localBot-- ; relaxed store (owner-only variable:
+                    // read-modify-write is one step for everyone else).
+                    sh.bottom -= 1;
+                    local.pc = Pc::PopFence { b: sh.bottom };
+                    StepEvent::Internal
+                }
+                DequeOp::PopLeft => {
+                    local.pc = Pc::StealReadBot { t: sh.top };
+                    StepEvent::Internal
+                }
+                DequeOp::PushLeft(_) => unreachable!(),
+                _ => unreachable!("batched ops rejected in new()"),
+            },
+
+            Pc::PushGrow { v, t } => {
+                // Allocate double, copy the live window [t, b) using the
+                // *earlier* top read (the implementation passes the
+                // caller's values into grow), publish with Release. The
+                // old generation stays in `gens`: retired, not freed.
+                let old = sh.current().clone();
+                let cap = old.cap * 2;
+                let mut next = Gen { cap, slots: vec![0; cap] };
+                let mut i = t;
+                while i < sh.bottom {
+                    next.slots[(i as usize) % cap] = old.slot(i);
+                    i += 1;
+                }
+                sh.gens.push(next);
+                local.pc = Pc::PushWrite { v };
+                StepEvent::Internal
+            }
+
+            Pc::PushWrite { v } => {
+                let b = sh.bottom;
+                let gen = sh.gens.last_mut().expect("at least one generation");
+                let cap = gen.cap;
+                gen.slots[(b as usize) % cap] = v;
+                local.pc = Pc::PushAdvance;
+                StepEvent::Internal
+            }
+
+            Pc::PushAdvance => {
+                // fence(Release); bottom = b + 1 — the publication point.
+                sh.bottom += 1;
+                finish(local, DequeRet::Okay)
+            }
+
+            Pc::PopFence { b } => {
+                // fence(SeqCst); read top.
+                let t = sh.top;
+                if t < b {
+                    // More than one element left: no thief can reach
+                    // index b (top is monotonic and a successful steal
+                    // of index i requires top == i), so the slot read
+                    // folds in and the pop is already secure.
+                    let v = sh.current().slot(b);
+                    finish(local, DequeRet::Value(v))
+                } else if t == b {
+                    // Last element: race the thieves via CAS on top.
+                    let v = sh.current().slot(b);
+                    local.pc = Pc::PopCas { b, v };
+                    StepEvent::Internal
+                } else {
+                    // Deque was empty; restore bottom and report.
+                    sh.bottom = b + 1;
+                    finish(local, DequeRet::Empty)
+                }
+            }
+
+            Pc::PopCas { b, v } => {
+                let won = sh.top == b;
+                if won {
+                    sh.top = b + 1;
+                }
+                local.pc = Pc::PopRestore { b, won, v };
+                StepEvent::Internal
+            }
+
+            Pc::PopRestore { b, won, v } => {
+                sh.bottom = b + 1;
+                if won {
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    finish(local, DequeRet::Empty)
+                }
+            }
+
+            Pc::StealReadBot { t } => {
+                // fence(SeqCst); read bottom (Acquire).
+                if sh.bottom - t <= 0 {
+                    finish(local, DequeRet::Empty)
+                } else {
+                    local.pc = Pc::StealSnapshot { t };
+                    StepEvent::Internal
+                }
+            }
+
+            Pc::StealSnapshot { t } => {
+                // Acquire-read of the buffer pointer: remember *which*
+                // generation, so a grow between here and the CAS makes
+                // the later slot read demonstrably stale.
+                local.pc = Pc::StealReadSlot { t, gen: sh.gens.len() - 1 };
+                StepEvent::Internal
+            }
+
+            Pc::StealReadSlot { t, gen } => {
+                // Speculative read — possibly from a retired generation.
+                let v = sh.gens[gen].slot(t);
+                local.pc = Pc::StealCas { t, v };
+                StepEvent::Internal
+            }
+
+            Pc::StealCas { t, v } => {
+                if sh.top == t {
+                    sh.top = t + 1;
+                    finish(local, DequeRet::Value(v))
+                } else {
+                    // Lost the race: retry the steal from scratch.
+                    local.pc = Pc::Start;
+                    StepEvent::Internal
+                }
+            }
+        })
+    }
+
+    /// Minimal sanity only: history mode carries the real obligation.
+    /// `bottom` may dip to `top - 1` transiently (empty pop) but never
+    /// below, and capacities must be monotone (each grow doubles).
+    fn rep_invariant(&self, sh: &ClShared) -> Result<(), String> {
+        if sh.bottom < sh.top - 1 {
+            return Err(format!("bottom {} below top {} - 1", sh.bottom, sh.top));
+        }
+        for pair in sh.gens.windows(2) {
+            if pair[1].cap <= pair[0].cap {
+                return Err(format!(
+                    "generation capacities not increasing: {} then {}",
+                    pair[0].cap, pair[1].cap
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn abstraction(&self, sh: &ClShared) -> Vec<u64> {
+        let gen = sh.current();
+        (sh.top.max(0)..sh.bottom.max(sh.top)).map(|i| gen.slot(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn owner_only_with_growth() {
+        // Capacity 2 grows on the third push; pops must drain in LIFO
+        // order across the growth boundary.
+        let m = ChaseLevMachine::new(
+            2,
+            vec![vec![
+                DequeOp::PushRight(5),
+                DequeOp::PushRight(6),
+                DequeOp::PushRight(7),
+                DequeOp::PopRight,
+                DequeOp::PopRight,
+                DequeOp::PopRight,
+                DequeOp::PopRight,
+            ]],
+        );
+        let report = Explorer::default().explore_histories(&m, 100).unwrap();
+        assert_eq!(report.paths, 1);
+        assert_eq!(report.operations, 7);
+    }
+
+    #[test]
+    fn owner_vs_one_thief_race_for_last() {
+        // The classic corner: one element, owner pops bottom while a
+        // thief steals the top. Exactly one of them gets the value on
+        // every path, and every path must be linearizable.
+        let m = ChaseLevMachine::new(4, vec![vec![DequeOp::PopRight], vec![DequeOp::PopLeft]])
+            .with_initial(vec![7]);
+        let report = Explorer::default().explore_histories(&m, 100_000).unwrap();
+        assert!(report.paths > 5, "expected several interleavings, got {}", report.paths);
+    }
+
+    #[test]
+    fn steal_spans_growth() {
+        // Capacity 2 with one resident element: the owner's two pushes
+        // force a grow while the thief's steal is in flight, so some
+        // interleavings have the thief's slot read hit the retired
+        // generation after the CAS point moved to the new one. All must
+        // linearize.
+        let m = ChaseLevMachine::new(
+            2,
+            vec![
+                vec![DequeOp::PushRight(6), DequeOp::PushRight(8), DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+            ],
+        )
+        .with_initial(vec![5]);
+        let report = Explorer::default().explore_histories(&m, 1_000_000).unwrap();
+        assert!(report.paths > 50, "growth race underexplored: {} paths", report.paths);
+    }
+
+    #[test]
+    fn two_thieves_and_owner() {
+        let m = ChaseLevMachine::new(
+            4,
+            vec![
+                vec![DequeOp::PopRight],
+                vec![DequeOp::PopLeft],
+                vec![DequeOp::PopLeft],
+            ],
+        )
+        .with_initial(vec![5, 6]);
+        Explorer::default().explore_histories(&m, 5_000_000).unwrap();
+    }
+
+    #[test]
+    fn push_races_thief_on_empty() {
+        // Push racing a steal on an initially empty deque: the thief
+        // either observes empty or takes the pushed value, never a
+        // garbage slot.
+        let m = ChaseLevMachine::new(
+            2,
+            vec![vec![DequeOp::PushRight(9), DequeOp::PopRight], vec![DequeOp::PopLeft]],
+        );
+        Explorer::default().explore_histories(&m, 1_000_000).unwrap();
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod abp;
 pub mod array;
+pub mod chaselev;
 pub mod dummy;
 pub mod greenwald;
 pub mod lfrc;
@@ -17,6 +18,7 @@ pub mod list;
 
 pub use abp::AbpMachine;
 pub use array::{ArrayMachine, Side};
+pub use chaselev::ChaseLevMachine;
 pub use dummy::DummyMachine;
 pub use greenwald::GreenwaldMachine;
 pub use lfrc::LfrcMachine;

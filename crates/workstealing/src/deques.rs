@@ -1,12 +1,13 @@
 //! The work-deque abstraction and its implementations.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use dcas::HarrisMcas;
 use dcas_baselines::{AbpDeque, MutexDeque, Steal};
 use dcas_deque::value::{Boxed, WordValue};
 use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque, MAX_BATCH};
 
+use crate::chaselev::{ChaseLev, Steal as ClSteal};
 use crate::scheduler::Task;
 
 /// Result of a steal attempt.
@@ -79,6 +80,13 @@ pub trait WorkDeque: Send + Sync + 'static {
     fn flush_local(&self) -> Vec<Task> {
         Vec::new()
     }
+
+    /// Steal provenance since construction: `(tasks thieves took from
+    /// the owner-private tier, tasks thieves took from the shared
+    /// level)`. Flat deques have a single level and report zeros.
+    fn tier_steals(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Best-effort size hint maintained *outside* the deque: the owner and
@@ -107,6 +115,14 @@ impl LenHint {
     /// Batch size for stealing about half the (estimated) content.
     fn half_batch(&self) -> usize {
         (self.0.load(Ordering::Relaxed) / 2).clamp(1, MAX_BATCH)
+    }
+
+    /// Whether the hinted size is zero. A hint, not truth: a stale
+    /// nonzero reading merely skips one restock (thieves can still
+    /// reach a stealable tier directly), a stale zero merely spills one
+    /// batch early.
+    fn is_empty_hint(&self) -> bool {
+        self.0.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -228,66 +244,248 @@ impl WorkDeque for ArrayWorkDeque {
     }
 }
 
-/// Number of tasks the owner-private ring of a [`TieredDeque`] holds
+/// Number of tasks the owner-private tier of a [`TieredDeque`] holds
 /// before spilling a batch into the shared level. Sized at 4×
 /// [`MAX_BATCH`] so the owner absorbs fork bursts privately and the
 /// spill/refill traffic moves whole chunk-atomic batches.
 pub const RING_CAP: usize = 4 * MAX_BATCH;
 
-/// Two-level owner-biased work deque: a private, synchronisation-free
-/// ring for the owner's `push`/`pop` hot path, backed by one of the
-/// paper's linearizable DCAS deques as the shared, steal-visible level.
+/// The owner-private level of a [`TieredDeque`].
+///
+/// Two implementations: [`VecRing`] (the original spill-only ring —
+/// zero atomics, completely invisible to thieves) and [`ChaseLevTier`]
+/// (a [`ChaseLev`] deque — owner ops pay one fence, and thieves may
+/// steal the tier's top directly instead of waiting for a spill).
+///
+/// # Safety contract
+///
+/// `push`, `pop`, `take_oldest` and `unspill` are owner-only (the
+/// [`WorkDeque`] contract); `steal` may be called by any thread, but
+/// must return `None` without touching unsynchronised state when
+/// [`STEALABLE`](Self::STEALABLE) is `false`.
+pub trait PrivateTier<T: Send>: Send + Sync {
+    /// Whether thieves may take from this tier directly.
+    const STEALABLE: bool;
+
+    /// An empty tier.
+    fn new() -> Self;
+    /// Owner-only: pushes at the newest end. Never fails (private tiers
+    /// are unbounded — growth or amortised reallocation).
+    fn push(&self, v: T);
+    /// Owner-only: pops the newest value.
+    fn pop(&self) -> Option<T>;
+    /// Number of elements; exact for the owner, a snapshot for thieves
+    /// (and only meaningful to thieves when [`STEALABLE`](Self::STEALABLE)).
+    fn len(&self) -> usize;
+    /// Owner-only: removes up to `n` of the **oldest** values,
+    /// oldest-first (the spill direction).
+    fn take_oldest(&self, n: usize) -> Vec<T>;
+    /// Owner-only: returns values a bounded shared level rejected from a
+    /// spill. [`VecRing`] restores them in place (exact order);
+    /// [`ChaseLevTier`] re-pushes at the bottom (order is a scheduling
+    /// heuristic, conservation is the invariant).
+    fn unspill(&self, rest: Vec<T>);
+    /// Thief: takes the tier's oldest value. Retries internal races, so
+    /// `None` means the tier was observed empty (or is not stealable).
+    fn steal(&self) -> Option<T>;
+}
+
+/// The original owner-private tier: a `VecDeque` behind an
+/// `UnsafeCell`. Zero atomics on the owner's hot path; thieves can only
+/// see work after a spill.
+pub struct VecRing<T>(std::cell::UnsafeCell<std::collections::VecDeque<T>>);
+
+// SAFETY: all &mut access goes through owner-only methods per the
+// `PrivateTier` safety contract; `steal` never touches the cell.
+unsafe impl<T: Send> Send for VecRing<T> {}
+unsafe impl<T: Send> Sync for VecRing<T> {}
+
+impl<T> VecRing<T> {
+    /// Owner-only: the ring itself.
+    #[allow(clippy::mut_from_ref)]
+    fn ring(&self) -> &mut std::collections::VecDeque<T> {
+        // SAFETY: owner-only methods are never called concurrently (see
+        // the trait-level safety contract).
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+impl<T: Send> PrivateTier<T> for VecRing<T> {
+    const STEALABLE: bool = false;
+
+    fn new() -> Self {
+        VecRing(std::cell::UnsafeCell::new(std::collections::VecDeque::with_capacity(
+            RING_CAP + 1,
+        )))
+    }
+
+    fn push(&self, v: T) {
+        self.ring().push_back(v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.ring().pop_back()
+    }
+
+    fn len(&self) -> usize {
+        self.ring().len()
+    }
+
+    fn take_oldest(&self, n: usize) -> Vec<T> {
+        let ring = self.ring();
+        let n = n.min(ring.len());
+        ring.drain(..n).collect()
+    }
+
+    fn unspill(&self, rest: Vec<T>) {
+        let ring = self.ring();
+        for v in rest.into_iter().rev() {
+            ring.push_front(v);
+        }
+    }
+
+    fn steal(&self) -> Option<T> {
+        None
+    }
+}
+
+/// A [`ChaseLev`] deque as the private tier: the owner pays one release
+/// fence per push (instead of zero atomics) and in exchange thieves can
+/// steal the tier's top directly — no waiting for the owner to spill.
+pub struct ChaseLevTier<T>(ChaseLev<T>);
+
+impl<T: Send> PrivateTier<T> for ChaseLevTier<T> {
+    const STEALABLE: bool = true;
+
+    fn new() -> Self {
+        ChaseLevTier(ChaseLev::new())
+    }
+
+    fn push(&self, v: T) {
+        self.0.push(v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.0.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn take_oldest(&self, n: usize) -> Vec<T> {
+        // The owner drains itself through the thief protocol (top end):
+        // `Retry` means a concurrent thief won an index — someone made
+        // progress — so looping is livelock-free.
+        let mut out = Vec::new();
+        while out.len() < n {
+            match self.0.steal() {
+                ClSteal::Stolen(v) => out.push(v),
+                ClSteal::Retry => continue,
+                ClSteal::Empty => break,
+            }
+        }
+        out
+    }
+
+    fn unspill(&self, rest: Vec<T>) {
+        // Rejected spill values re-enter at the bottom: their relative
+        // age is scrambled, but every value stays in the deque
+        // (conservation over ordering; see the trait docs).
+        for v in rest {
+            self.0.push(v);
+        }
+    }
+
+    fn steal(&self) -> Option<T> {
+        loop {
+            match self.0.steal() {
+                ClSteal::Stolen(v) => return Some(v),
+                ClSteal::Retry => std::hint::spin_loop(),
+                ClSteal::Empty => return None,
+            }
+        }
+    }
+}
+
+/// Two-level owner-biased work deque: a private tier for the owner's
+/// `push`/`pop` hot path, backed by one of the paper's linearizable
+/// DCAS deques as the shared level.
 ///
 /// The fork-join access pattern is overwhelmingly owner-local — a worker
 /// pushes a task and pops it back moments later — yet the flat adapters
 /// pay a full DCAS (descriptor install + helping protocol under the
 /// Harris substrate) for every one of those operations. Here the owner
-/// touches only a `VecDeque` behind an `UnsafeCell`: zero atomics until
-/// the ring fills ([`RING_CAP`]), at which point the **oldest**
-/// [`MAX_BATCH`] tasks spill into the shared deque's right end with a
-/// single chunk-atomic `push_right_n` CASN. Refill is symmetric: an
-/// empty ring pulls the newest [`MAX_BATCH`] tasks back with one
-/// `pop_right_n`. Thieves never see the ring — they steal oldest-first
-/// from the shared deque's left end exactly as before, so all
-/// inter-thread transfers still linearize through the paper's deque and
-/// the amortised DCAS cost per owner operation drops by ~`MAX_BATCH`×.
+/// touches only the private tier `P`: at most a release fence per
+/// operation until the tier fills ([`RING_CAP`]), at which point the
+/// **oldest** [`MAX_BATCH`] tasks spill into the shared deque's right
+/// end with a single chunk-atomic `push_right_n` CASN (for a stealable
+/// tier only when the shared level looks empty — see
+/// [`push`](Self::push) for the policy). Refill is
+/// symmetric: an empty tier pulls the newest [`MAX_BATCH`] tasks back
+/// with one `pop_right_n`. Thieves prefer the shared deque's left end
+/// (the globally oldest work); with a [`ChaseLevTier`] they can also
+/// take the private tier's top once the shared level runs dry, so a
+/// burst of forked work is stealable *before* the owner spills.
 ///
 /// Ordering invariant: the shared deque (left→right) followed by the
-/// ring (front→back) is always oldest→newest, because spills move the
-/// ring's *oldest* prefix to the shared *right* end and refills take the
-/// shared *newest* suffix back. Owner pops remain globally LIFO and
-/// steals globally FIFO, same as the flat adapters.
+/// private tier (oldest→newest) is always oldest→newest, because spills
+/// move the tier's *oldest* prefix to the shared *right* end and refills
+/// take the shared *newest* suffix back. Owner pops remain globally
+/// LIFO; steals drain globally FIFO through the shared level, then
+/// oldest-first from a stealable private tier.
+///
+/// Spills stage their chunk in an owner-private `staged` buffer between
+/// draining the tier and the shared-level push, so a worker killed
+/// mid-spill strands nothing: [`flush_local`](Self::flush_local)
+/// publishes `staged` along with the tier.
 ///
 /// # Safety contract
 ///
 /// `push`/`pop`/`flush_local` are owner-only (the [`WorkDeque`]
-/// contract); the ring is therefore accessed by one thread at a time,
-/// with cross-thread ownership handoff (scheduler startup/teardown)
-/// synchronised by thread spawn/join. `steal`/`steal_half` touch only
-/// the shared level.
-pub struct TieredDeque<T, D> {
-    ring: std::cell::UnsafeCell<std::collections::VecDeque<T>>,
+/// contract), with cross-thread ownership handoff (scheduler
+/// startup/teardown) synchronised by thread spawn/join.
+/// `steal`/`steal_half` touch only the shared level and (when
+/// `P::STEALABLE`) the private tier's thief-safe top end.
+pub struct TieredDeque<T, D, P = VecRing<T>> {
+    private: P,
+    /// Mid-spill staging: the chunk drained from the private tier but
+    /// not yet pushed to the shared level. Owner-only, like the tier.
+    staged: std::cell::UnsafeCell<Vec<T>>,
     shared: D,
-    /// Size hint for the shared level only (the ring is owner-private
-    /// and never stolen from).
+    /// Size hint for the shared level only.
     len: LenHint,
+    /// Steal provenance: tasks thieves took from the private tier vs
+    /// the shared level (relaxed counters, surfaced in `SchedStats`).
+    steals_private: AtomicU64,
+    steals_shared: AtomicU64,
 }
 
-// SAFETY: the ring is owner-only per the `WorkDeque` contract (see the
+// SAFETY: `staged` is owner-only per the `WorkDeque` contract (see the
 // type-level safety contract above); everything else is `Send + Sync`.
-unsafe impl<T: Send, D: Send + Sync> Send for TieredDeque<T, D> {}
-unsafe impl<T: Send, D: Send + Sync> Sync for TieredDeque<T, D> {}
+unsafe impl<T: Send, D: Send + Sync, P: Send + Sync> Send for TieredDeque<T, D, P> {}
+unsafe impl<T: Send, D: Send + Sync, P: Send + Sync> Sync for TieredDeque<T, D, P> {}
 
 impl<T: Send, D: ConcurrentDeque<T>> TieredDeque<T, D> {
     /// Wraps `shared` as the steal-visible level under a fresh private
-    /// ring.
+    /// [`VecRing`] (the spill-only tier). Use
+    /// [`with_tier`](TieredDeque::with_tier) to pick another tier.
     pub fn new(shared: D) -> Self {
+        Self::with_tier(shared)
+    }
+}
+
+impl<T: Send, D: ConcurrentDeque<T>, P: PrivateTier<T>> TieredDeque<T, D, P> {
+    /// Wraps `shared` as the steal-visible level under a fresh private
+    /// tier `P`.
+    pub fn with_tier(shared: D) -> Self {
         TieredDeque {
-            ring: std::cell::UnsafeCell::new(std::collections::VecDeque::with_capacity(
-                RING_CAP + 1,
-            )),
+            private: P::new(),
+            staged: std::cell::UnsafeCell::new(Vec::new()),
             shared,
             len: LenHint::new(),
+            steals_private: AtomicU64::new(0),
+            steals_shared: AtomicU64::new(0),
         }
     }
 
@@ -296,83 +494,160 @@ impl<T: Send, D: ConcurrentDeque<T>> TieredDeque<T, D> {
         &self.shared
     }
 
-    /// Owner-only: the private ring.
-    #[allow(clippy::mut_from_ref)]
-    fn ring(&self) -> &mut std::collections::VecDeque<T> {
-        // SAFETY: owner-only methods are never called concurrently (see
-        // the type-level safety contract).
-        unsafe { &mut *self.ring.get() }
+    /// Steal provenance counters: `(from the private tier, from the
+    /// shared level)`.
+    pub fn tier_steals(&self) -> (u64, u64) {
+        (
+            self.steals_private.load(Ordering::Relaxed),
+            self.steals_shared.load(Ordering::Relaxed),
+        )
     }
 
-    /// Owner-only: pushes a value, spilling the ring's oldest batch to
-    /// the shared level when full. `Err` hands the value back when the
-    /// shared level is bounded and at capacity.
-    pub fn push(&self, t: T) -> Result<(), T> {
-        let ring = self.ring();
-        if ring.len() >= RING_CAP {
-            // Spill the oldest batch to the shared right end (it is newer
-            // than everything already there, so global order holds).
-            let batch: Vec<T> = ring.drain(..MAX_BATCH).collect();
-            let n = batch.len();
-            if let Err(full) = self.shared.push_right_n(batch) {
-                // Bounded shared level at capacity: restore the unspilled
-                // tail to the ring front (order preserved) and reject the
-                // new task — the caller runs it inline, the standard
-                // overflow policy.
+    /// Owner-only: the mid-spill staging buffer.
+    #[allow(clippy::mut_from_ref)]
+    fn staged(&self) -> &mut Vec<T> {
+        // SAFETY: owner-only methods are never called concurrently (see
+        // the type-level safety contract).
+        unsafe { &mut *self.staged.get() }
+    }
+
+    /// Owner-only: spills the tier's oldest batch to the shared right
+    /// end (it is newer than everything already there, so global order
+    /// holds). `Err` returns what a bounded shared level rejected.
+    fn spill(&self) -> Result<(), Vec<T>> {
+        let staged = self.staged();
+        debug_assert!(staged.is_empty());
+        *staged = self.private.take_oldest(MAX_BATCH);
+        // Death-flush window: a worker killed between the drain above
+        // and the shared push below leaves the chunk in `staged`, which
+        // `flush_local` publishes — no task is stranded.
+        #[cfg(feature = "fault-inject")]
+        dcas::fault::hit(dcas::fault::FaultPoint::SpillStaged, true);
+        let batch = std::mem::take(staged);
+        let n = batch.len();
+        match self.shared.push_right_n(batch) {
+            Ok(()) => {
+                self.len.add(n);
+                Ok(())
+            }
+            Err(full) => {
                 let rest = full.into_inner();
                 self.len.add(n - rest.len());
-                for t in rest.into_iter().rev() {
-                    ring.push_front(t);
-                }
-                return Err(t);
+                Err(rest)
             }
-            self.len.add(n);
         }
-        ring.push_back(t);
+    }
+
+    /// Owner-only: pushes a value, spilling the tier's oldest batch to
+    /// the shared level when full. `Err` hands a task back when the
+    /// shared level is bounded and at capacity (normally the one just
+    /// pushed; under a thief race on a stealable tier, the newest
+    /// remaining one) — the caller runs it inline, the standard
+    /// overflow policy.
+    ///
+    /// Spill policy by tier: a non-stealable tier ([`VecRing`]) spills
+    /// whenever it exceeds [`RING_CAP`] — its work is invisible until
+    /// published. A stealable tier ([`ChaseLevTier`]) already exposes
+    /// every task to thieves, so the only job left for spilling is to
+    /// keep the shared linearizable level *stocked* as the preferred
+    /// steal channel: it spills only when the shared level is observed
+    /// empty. An owner-local burst therefore stays entirely in the
+    /// Chase-Lev arrays (which grow) instead of paying one DCAS
+    /// round-trip per [`MAX_BATCH`] pushes.
+    pub fn push(&self, t: T) -> Result<(), T> {
+        self.private.push(t);
+        if self.private.len() > RING_CAP && (!P::STEALABLE || self.len.is_empty_hint()) {
+            if let Err(rest) = self.spill() {
+                // Bounded shared level at capacity: reclaim the newest
+                // task for the caller to run inline and restore the
+                // unspilled tail to the tier.
+                let give_back = self.private.pop();
+                self.private.unspill(rest);
+                match give_back {
+                    Some(t) => return Err(t),
+                    // Thieves drained the tier past the value we just
+                    // pushed; it is already on its way to execution.
+                    None => return Ok(()),
+                }
+            }
+        }
         Ok(())
     }
 
     /// Owner-only: pops the newest value (globally LIFO), refilling the
-    /// ring from the shared level's newest batch when empty.
+    /// tier from the shared level's newest batch when empty.
     pub fn pop(&self) -> Option<T> {
-        let ring = self.ring();
-        if let Some(t) = ring.pop_back() {
+        if let Some(t) = self.private.pop() {
             return Some(t);
         }
-        // Ring empty: pull the newest shared batch back. `pop_right_n`
-        // returns rightmost (newest) first; reversed, the chunk extends
-        // the ring oldest→newest so the back stays the newest task.
+        // Tier empty: pull the newest shared batch back. `pop_right_n`
+        // returns rightmost (newest) first; reversed, the chunk enters
+        // the tier oldest→newest so its newest end stays the global
+        // newest task.
         let chunk = self.shared.pop_right_n(MAX_BATCH);
         self.len.sub(chunk.len());
-        ring.extend(chunk.into_iter().rev());
-        ring.pop_back()
-    }
-
-    /// Thief: takes the globally oldest *published* value (the ring is
-    /// invisible to thieves by design).
-    pub fn steal(&self) -> Option<T> {
-        let t = self.shared.pop_left();
-        if t.is_some() {
-            self.len.sub(1);
+        for v in chunk.into_iter().rev() {
+            self.private.push(v);
         }
-        t
+        // On a stealable tier the refilled tasks are immediately fair
+        // game, so this pop can still come back empty — the caller
+        // retries or steals elsewhere, same as any lost race.
+        self.private.pop()
     }
 
-    /// Thief: takes about half of the shared level, oldest first.
+    /// Thief: takes the globally oldest *published* value, falling back
+    /// to the top of a stealable private tier when the shared level is
+    /// empty.
+    pub fn steal(&self) -> Option<T> {
+        if let Some(t) = self.shared.pop_left() {
+            self.len.sub(1);
+            self.steals_shared.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        if P::STEALABLE {
+            if let Some(t) = self.private.steal() {
+                self.steals_private.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Thief: takes about half of the shared level, oldest first; when
+    /// that is empty, up to half of a stealable private tier.
     pub fn steal_half(&self) -> Vec<T> {
         let tasks = self.shared.pop_left_n(self.len.half_batch());
-        self.len.sub(tasks.len());
-        tasks
+        if !tasks.is_empty() {
+            self.len.sub(tasks.len());
+            self.steals_shared.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+            return tasks;
+        }
+        if P::STEALABLE {
+            let want = (self.private.len() / 2).clamp(1, MAX_BATCH);
+            let mut out = Vec::new();
+            while out.len() < want {
+                match self.private.steal() {
+                    Some(v) => out.push(v),
+                    None => break,
+                }
+            }
+            if !out.is_empty() {
+                self.steals_private.fetch_add(out.len() as u64, Ordering::Relaxed);
+            }
+            return out;
+        }
+        Vec::new()
     }
 
-    /// Owner-only: publishes the whole ring to the shared level,
-    /// returning whatever a bounded shared level rejects.
+    /// Owner-only: publishes any staged mid-spill chunk plus the whole
+    /// private tier to the shared level, returning whatever a bounded
+    /// shared level rejects.
     pub fn flush_local(&self) -> Vec<T> {
-        let ring = self.ring();
-        if ring.is_empty() {
+        let mut batch = std::mem::take(self.staged());
+        batch.extend(self.private.take_oldest(usize::MAX));
+        if batch.is_empty() {
             return Vec::new();
         }
-        let batch: Vec<T> = ring.drain(..).collect();
         let n = batch.len();
         match self.shared.push_right_n(batch) {
             Ok(()) => {
@@ -389,14 +664,14 @@ impl<T: Send, D: ConcurrentDeque<T>> TieredDeque<T, D> {
 }
 
 macro_rules! tiered_workdeque {
-    ($(#[$doc:meta])* $name:ident, $inner:ty, $ctor:expr, $label:literal) => {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $tier:ty, $ctor:expr, $label:literal) => {
         $(#[$doc])*
-        pub struct $name(TieredDeque<Task, $inner>);
+        pub struct $name(TieredDeque<Task, $inner, $tier>);
 
         impl WorkDeque for $name {
             fn with_capacity(capacity: usize) -> Self {
                 #[allow(clippy::redundant_closure_call)]
-                $name(TieredDeque::new(($ctor)(capacity)))
+                $name(TieredDeque::with_tier(($ctor)(capacity)))
             }
 
             fn push(&self, t: Task) -> Result<(), Task> {
@@ -422,6 +697,10 @@ macro_rules! tiered_workdeque {
                 self.0.flush_local()
             }
 
+            fn tier_steals(&self) -> (u64, u64) {
+                self.0.tier_steals()
+            }
+
             fn name() -> &'static str {
                 $label
             }
@@ -430,9 +709,11 @@ macro_rules! tiered_workdeque {
 }
 
 tiered_workdeque!(
-    /// Two-level work deque over the paper's unbounded list deque.
+    /// Two-level work deque over the paper's unbounded list deque, with
+    /// the spill-only [`VecRing`] private tier.
     TieredListWorkDeque,
     ListDeque<Task, HarrisMcas>,
+    VecRing<Task>,
     |_capacity| ListDeque::new(),
     "tiered-list-dcas"
 );
@@ -443,8 +724,23 @@ tiered_workdeque!(
     /// [`RING_CAP`] tasks of owner-side buffering on top.
     TieredArrayWorkDeque,
     ArrayDeque<Task, HarrisMcas>,
+    VecRing<Task>,
     |capacity: usize| ArrayDeque::new(std::cmp::max(capacity, 1)),
     "tiered-array-dcas"
+);
+
+tiered_workdeque!(
+    /// Two-level work deque with a [`ChaseLev`] private tier over the
+    /// paper's unbounded list deque: owner ops stay (nearly) free, and
+    /// thieves no longer wait for a spill — they steal the Chase–Lev
+    /// top directly once the shared level runs dry. Because the tier is
+    /// stealable, the owner spills only to restock an empty shared
+    /// level, not on every ring overflow.
+    TieredChaseLevWorkDeque,
+    ListDeque<Task, HarrisMcas>,
+    ChaseLevTier<Task>,
+    |_capacity| ListDeque::new(),
+    "tiered-chaselev"
 );
 
 /// Work deque over the CAS-only ABP deque (the baseline built for this
@@ -602,6 +898,48 @@ mod tests {
     fn tiered_conserves_all_impls() {
         tiered_conserves::<TieredListWorkDeque>();
         tiered_conserves::<TieredArrayWorkDeque>();
+        tiered_conserves::<TieredChaseLevWorkDeque>();
+    }
+
+    #[test]
+    fn chaselev_tier_is_stealable_before_any_spill() {
+        let d = TieredChaseLevWorkDeque::with_capacity(0);
+        for _ in 0..4 {
+            assert!(d.push(noop()).is_ok());
+        }
+        // Nothing has spilled (4 < RING_CAP), yet a thief finds work —
+        // the headline difference from the VecRing tier.
+        assert!(matches!(d.steal(), StealOutcome::Stolen(_)));
+        assert_eq!(d.tier_steals(), (1, 0));
+        let mut total = 1;
+        while d.pop().is_some() {
+            total += 1;
+        }
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn tiered_steal_provenance_counts_both_levels() {
+        let d = TieredChaseLevWorkDeque::with_capacity(0);
+        // Enough pushes to force at least one spill, with a remainder
+        // left in the private tier.
+        let n = RING_CAP + MAX_BATCH;
+        for _ in 0..n {
+            assert!(d.push(noop()).is_ok());
+        }
+        let mut stolen = 0usize;
+        loop {
+            let s = d.steal_half();
+            if s.is_empty() {
+                break;
+            }
+            stolen += s.len();
+        }
+        assert_eq!(stolen, n, "steals must drain both levels");
+        let (private, shared) = d.tier_steals();
+        assert_eq!(private + shared, stolen as u64);
+        assert!(shared > 0, "spilled tasks come from the shared level");
+        assert!(private > 0, "unspilled tasks come from the chaselev tier");
     }
 
     #[test]

@@ -19,9 +19,21 @@
 //!   [`TieredArrayWorkDeque`]) that keep the owner's push/pop on a
 //!   private ring and move work to/from the paper's deques in
 //!   chunk-atomic batches, so thieves still steal through the
-//!   linearizable structure.
+//!   linearizable structure, and
+//! * [`TieredChaseLevWorkDeque`], the same two-level shape with a
+//!   growable [`ChaseLev`] deque as the private tier, so thieves can
+//!   also steal the owner's top directly instead of waiting for a
+//!   spill.
 //!
-//! Bench `e6_workstealing` compares them on fork-join workloads.
+//! The scheduler is a real fork-join executor: tasks may
+//! [`spawn`](WorkerHandle::spawn) further tasks,
+//! [`join`](WorkerHandle::join) two closures with the joiner helping
+//! run other work while it waits, and chain dependencies with
+//! [`Continuation`] countdown counters — so fib, quicksort and
+//! tree-walk workloads run natively.
+//!
+//! Benches `e6_workstealing` and `e13_scaling` compare the deques on
+//! fork-join workloads across thread counts.
 //!
 //! # Example
 //!
@@ -57,11 +69,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaselev;
 mod deques;
 mod scheduler;
 
+pub use chaselev::{ChaseLev, Steal as ChaseLevSteal};
 pub use deques::{
-    AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, StealOutcome,
-    TieredArrayWorkDeque, TieredDeque, TieredListWorkDeque, WorkDeque, RING_CAP,
+    AbpWorkDeque, ArrayWorkDeque, ChaseLevTier, ListWorkDeque, MutexWorkDeque, PrivateTier,
+    StealOutcome, TieredArrayWorkDeque, TieredChaseLevWorkDeque, TieredDeque,
+    TieredListWorkDeque, VecRing, WorkDeque, RING_CAP,
 };
-pub use scheduler::{DynDeque, RunReport, SchedStats, Scheduler, Task, WorkerHandle};
+pub use scheduler::{
+    Continuation, DynDeque, RunReport, SchedStats, Scheduler, Task, WorkerHandle,
+};

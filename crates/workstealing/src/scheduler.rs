@@ -1,6 +1,7 @@
 //! The fork-join scheduler.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -9,7 +10,8 @@ use crossbeam_utils::CachePadded;
 use crate::deques::WorkDeque;
 
 /// A unit of work. Tasks receive a [`WorkerHandle`] through which they
-/// spawn subtasks.
+/// spawn subtasks, [`join`](WorkerHandle::join) forked pairs, and
+/// complete [`Continuation`]s.
 pub type Task = Box<dyn for<'a> FnOnce(&WorkerHandle<'a, DynDeque>) + Send>;
 
 /// Type-erasure point: the scheduler is generic over `D`, but tasks are
@@ -19,22 +21,41 @@ pub type Task = Box<dyn for<'a> FnOnce(&WorkerHandle<'a, DynDeque>) + Send>;
 pub struct DynDeque(());
 
 // The public scheduler is generic over D; internally tasks close over a
-// handle whose deque type is erased. To keep everything safe and simple,
-// the handle exposes only `spawn`, which does not depend on D's type at
-// the call site.
+// handle whose deque type is erased behind the `WorkerCtx` object: the
+// handle exposes only operations that do not depend on D's type at the
+// call site.
+
+/// What a running task can ask of its worker, with the deque type
+/// erased: queue a task, run other people's work while waiting, name
+/// the worker.
+trait WorkerCtx {
+    /// The executing worker's index.
+    fn worker_id(&self) -> usize;
+    /// Queues `t` on this worker's deque; a bounded deque at capacity
+    /// executes it inline instead (the standard overflow policy).
+    fn spawn_task(&self, t: Task);
+    /// Runs queued and stolen tasks until `done` reads `true` — the
+    /// joiner's side of [`WorkerHandle::join`]: instead of blocking, the
+    /// worker keeps the system busy (and may well execute the very task
+    /// it is waiting for).
+    fn help_until(&self, done: &AtomicBool);
+}
 
 /// Handle given to running tasks for spawning subtasks and inspecting the
 /// worker.
 pub struct WorkerHandle<'a, D: ?Sized> {
-    id: usize,
-    spawner: &'a dyn Fn(Task),
+    ctx: &'a dyn WorkerCtx,
     _marker: std::marker::PhantomData<fn(&D)>,
 }
 
 impl<'a, D: ?Sized> WorkerHandle<'a, D> {
+    fn new(ctx: &'a dyn WorkerCtx) -> WorkerHandle<'a, D> {
+        WorkerHandle { ctx, _marker: std::marker::PhantomData }
+    }
+
     /// The executing worker's index.
     pub fn worker_id(&self) -> usize {
-        self.id
+        self.ctx.worker_id()
     }
 
     /// Schedules `f` for execution (on this worker's deque; other workers
@@ -43,7 +64,147 @@ impl<'a, D: ?Sized> WorkerHandle<'a, D> {
     where
         F: for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + 'static,
     {
-        (self.spawner)(Box::new(f));
+        self.ctx.spawn_task(Box::new(f));
+    }
+
+    /// Runs `a` and `b`, potentially in parallel, and returns both
+    /// results — the fork-join primitive. `b` is forked onto this
+    /// worker's deque (so any worker may steal it) while `a` runs
+    /// inline; the joiner then *helps* — executing queued and stolen
+    /// tasks, very possibly `b` itself — until `b` has finished.
+    ///
+    /// Unlike [`spawn`](Self::spawn), the closures may borrow from the
+    /// caller's stack (`join` does not return until both are done, so
+    /// the borrows stay valid — the same contract as
+    /// `std::thread::scope`), which is what lets quicksort fork
+    /// `&mut` halves of a shared slice.
+    ///
+    /// If either closure panics, the panic propagates out of `join`
+    /// after **both** have come to rest (`a`'s panic wins if both
+    /// fail), so borrowed data is never touched by a task that outlives
+    /// its frame.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce(&WorkerHandle<'_, DynDeque>) -> RA + Send,
+        B: FnOnce(&WorkerHandle<'_, DynDeque>) -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        struct JoinSlot<R> {
+            done: AtomicBool,
+            result: Mutex<Option<std::thread::Result<R>>>,
+        }
+        /// Captured by value into the forked task: sets `done` when the
+        /// closure frame ends — or when the task is dropped unexecuted,
+        /// so the joiner can never hang on a task that will never run.
+        struct SignalOnDrop<'x>(&'x AtomicBool);
+        impl Drop for SignalOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+
+        let slot: JoinSlot<RB> =
+            JoinSlot { done: AtomicBool::new(false), result: Mutex::new(None) };
+        let slot_ref = &slot;
+        let signal = SignalOnDrop(&slot.done);
+        let task: Box<dyn for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + '_> =
+            Box::new(move |w| {
+                // `signal` is dropped last (reverse declaration order),
+                // after the result is stored.
+                let _signal = signal;
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b(w)));
+                *slot_ref.result.lock().unwrap() = Some(r);
+            });
+        // SAFETY: the task borrows `b` and `slot` from this frame, and
+        // `Task` demands 'static. The transmute only erases that
+        // lifetime, which is sound because this frame provably outlives
+        // the task: `help_until` below does not return until `done` is
+        // set, and `done` is set exactly when the task's closure frame
+        // ends (or the task is dropped unexecuted — `SignalOnDrop` is
+        // captured by value), after its last access to the borrows.
+        let task: Task = unsafe {
+            std::mem::transmute::<
+                Box<dyn for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + '_>,
+                Task,
+            >(task)
+        };
+        self.ctx.spawn_task(task);
+
+        // Run `a` inline; hold any panic until `b` is at rest, because
+        // unwinding now would invalidate `b`'s borrows while it may
+        // still be running on another worker.
+        let inline = WorkerHandle::new(self.ctx);
+        let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a(&inline)));
+        self.ctx.help_until(&slot.done);
+        let rb = slot.result.lock().unwrap().take();
+        let ra = match ra {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        match rb {
+            Some(Ok(v)) => (ra, v),
+            Some(Err(payload)) => std::panic::resume_unwind(payload),
+            None => panic!("join: forked task was dropped unexecuted"),
+        }
+    }
+
+}
+
+/// A countdown dependency: after `dependencies` calls to
+/// [`finish`](Continuation::finish), the stored task is spawned. This is
+/// the non-blocking way to express "run C once A and B are both done"
+/// without a worker parked in [`join`](WorkerHandle::join):
+///
+/// ```
+/// use dcas_workstealing::{Continuation, ListWorkDeque, Scheduler};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let total = Arc::new(AtomicU64::new(0));
+/// let sched: Scheduler<ListWorkDeque> = Scheduler::new(2);
+/// let t = total.clone();
+/// sched.run(move |w| {
+///     let t2 = t.clone();
+///     let cont = Continuation::new(2, move |_w| {
+///         t2.fetch_add(100, Ordering::Relaxed);
+///     });
+///     for _ in 0..2 {
+///         let (t, cont) = (t.clone(), cont.clone());
+///         w.spawn(move |w| {
+///             t.fetch_add(1, Ordering::Relaxed);
+///             cont.finish(w);
+///         });
+///     }
+/// });
+/// assert_eq!(total.load(Ordering::SeqCst), 102);
+/// ```
+pub struct Continuation {
+    remaining: AtomicUsize,
+    task: Mutex<Option<Task>>,
+}
+
+impl Continuation {
+    /// A continuation that spawns `f` after `dependencies` completions.
+    pub fn new<F>(dependencies: usize, f: F) -> Arc<Continuation>
+    where
+        F: for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + 'static,
+    {
+        assert!(dependencies >= 1, "a continuation needs at least one dependency");
+        Arc::new(Continuation {
+            remaining: AtomicUsize::new(dependencies),
+            task: Mutex::new(Some(Box::new(f))),
+        })
+    }
+
+    /// Records one dependency completion; the final one spawns the
+    /// stored task on `w`'s deque.
+    pub fn finish<D: ?Sized>(self: &Arc<Self>, w: &WorkerHandle<'_, D>) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let task =
+                self.task.lock().unwrap().take().expect("continuation finished too many times");
+            w.ctx.spawn_task(task);
+        }
     }
 }
 
@@ -56,9 +217,14 @@ pub struct Scheduler<D: WorkDeque> {
 
 /// Point-in-time scheduler telemetry, surfaced on [`RunReport::stats`].
 ///
-/// All fields are zero unless the crate's `stats` feature is enabled —
-/// the counters compile to nothing otherwise, so release builds without
-/// the feature pay no cost in the worker loop.
+/// The worker-loop counters (`tasks_executed` through
+/// `overflow_inline`) are zero unless the crate's `stats` feature is
+/// enabled — they compile to nothing otherwise, so release builds
+/// without the feature pay no cost in the worker loop. The two steal
+/// **provenance** counters are read from the deques themselves
+/// ([`WorkDeque::tier_steals`]) after the run and are live whenever the
+/// deque maintains them (the tiered deques always do; flat deques
+/// report zero).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SchedStats {
     /// Tasks executed to completion or panic (includes inline overflow
@@ -73,18 +239,26 @@ pub struct SchedStats {
     pub steal_misses: u64,
     /// Tasks executed inline because the worker's bounded deque was full.
     pub overflow_inline: u64,
+    /// Tasks thieves took directly from owners' private tiers (only a
+    /// stealable tier — the Chase–Lev one — can be nonzero here).
+    pub steals_private_tier: u64,
+    /// Tasks thieves took from the shared linearizable level of tiered
+    /// deques.
+    pub steals_shared_tier: u64,
 }
 
 impl SchedStats {
     /// Name/value pairs for every counter, in declaration order — the
     /// stable iteration surface for exporters (e.g. `crates/obs`).
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
         [
             ("tasks_executed", self.tasks_executed),
             ("steals", self.steals),
             ("stolen_tasks", self.stolen_tasks),
             ("steal_misses", self.steal_misses),
             ("overflow_inline", self.overflow_inline),
+            ("steals_private_tier", self.steals_private_tier),
+            ("steals_shared_tier", self.steals_shared_tier),
         ]
     }
 }
@@ -311,8 +485,99 @@ impl<D: WorkDeque> Scheduler<D> {
             "pending-task accounting drifted without any panic"
         );
         let first_panic = shared.first_panic.lock().unwrap().take();
-        let stats = shared.counters.snapshot();
+        let mut stats = shared.counters.snapshot();
+        // Steal provenance lives on the deques (always on — it is not a
+        // worker-loop hot-path counter), summed here across workers.
+        for d in shared.deques.iter() {
+            let (private, shared_level) = d.tier_steals();
+            stats.steals_private_tier += private;
+            stats.steals_shared_tier += shared_level;
+        }
         RunReport { panics, dropped, stats, first_panic }
+    }
+}
+
+/// The per-worker [`WorkerCtx`]: the deque type lives here, behind the
+/// trait object the handles carry. One `Ctx` exists per worker thread
+/// per `execute` frame; `poisoned` latches panics from tasks run
+/// *inside* the frame (inline overflow, help-loop work) that cannot
+/// unwind out through the `&dyn` boundary as a return value.
+struct Ctx<'s, D: WorkDeque> {
+    id: usize,
+    shared: &'s Shared<D>,
+    poisoned: &'s AtomicBool,
+    /// xorshift state for help-loop victim selection.
+    rng: Cell<u64>,
+}
+
+impl<D: WorkDeque> Ctx<'_, D> {
+    fn run_one(&self, task: Task) {
+        if !run_task(self.shared, task, &WorkerHandle::new(self)) {
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+impl<D: WorkDeque> WorkerCtx for Ctx<'_, D> {
+    fn worker_id(&self) -> usize {
+        self.id
+    }
+
+    fn spawn_task(&self, t: Task) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        if let Err(t) = self.shared.deques[self.id].push(t) {
+            // Bounded deque full: run inline (standard overflow policy).
+            // The inline task spawns through this same ctx, so its own
+            // children retry the deque first.
+            self.shared.counters.add_overflow_inline(1);
+            self.run_one(t);
+        }
+    }
+
+    fn help_until(&self, done: &AtomicBool) {
+        let n = self.shared.deques.len();
+        while !done.load(Ordering::Acquire) {
+            // Own deque first (LIFO) — the awaited task is most likely
+            // still right here.
+            if let Some(task) = self.shared.deques[self.id].pop() {
+                self.run_one(task);
+                continue;
+            }
+            // Otherwise steal, exactly like the worker loop's policy.
+            let mut rng = self.rng.get();
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            self.rng.set(rng);
+            let victim = (rng as usize) % n;
+            if victim == self.id {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut stolen = self.shared.deques[victim].steal_half().into_iter();
+            match stolen.next() {
+                None => {
+                    self.shared.counters.add_steal_miss(1);
+                    std::hint::spin_loop();
+                }
+                Some(first) => {
+                    let mut rest: Vec<Task> = stolen.collect();
+                    self.shared.counters.add_steal(1);
+                    self.shared.counters.add_stolen_tasks(1 + rest.len() as u64);
+                    let mut overflow = Vec::new();
+                    if !rest.is_empty() {
+                        rest.reverse();
+                        overflow = self.shared.deques[self.id].push_batch(rest);
+                    }
+                    self.run_one(first);
+                    // Rejected surplus is in nobody's deque: run it now,
+                    // reversed back to oldest-first, even if `done` flipped.
+                    for task in overflow.into_iter().rev() {
+                        self.run_one(task);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -379,11 +644,11 @@ fn worker_loop<D: WorkDeque>(id: usize, shared: Arc<Shared<D>>) {
 }
 
 /// Publishes a dying worker's privately buffered tasks (two-level
-/// deques' rings) so survivors can steal them — otherwise `pending`
-/// never reaches zero and the other workers spin forever. Tasks the
-/// shared level rejects (bounded and full) are in nobody's deque, so
-/// even a poisoned worker must run them before exiting, mirroring the
-/// stolen-batch overflow policy above.
+/// deques' tiers, plus any mid-spill staged chunk) so survivors can
+/// steal them — otherwise `pending` never reaches zero and the other
+/// workers spin forever. Tasks the shared level rejects (bounded and
+/// full) are in nobody's deque, so even a poisoned worker must run them
+/// before exiting, mirroring the stolen-batch overflow policy above.
 fn abandon<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>) {
     for task in shared.deques[id].flush_local() {
         shared.counters.add_overflow_inline(1);
@@ -413,59 +678,18 @@ fn run_task<D>(
 }
 
 /// Executes `task` on worker `id`. Returns `false` if `task` — or any
-/// subtask it forced inline through a full bounded deque — panicked, in
-/// which case the caller must treat the worker as dead.
+/// subtask it forced inline through a full bounded deque, or ran while
+/// helping a `join` — panicked, in which case the caller must treat the
+/// worker as dead.
 fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool {
-    // Panics inside the nested inline spawners can't unwind out through
-    // the `&dyn Fn` boundary as a return value, so they latch this flag.
     let poisoned = AtomicBool::new(false);
-    let spawner = |t: Task| {
-        shared.pending.fetch_add(1, Ordering::AcqRel);
-        if let Err(t) = shared.deques[id].push(t) {
-            // Bounded deque full: run inline (standard overflow policy).
-            let handle = WorkerHandle {
-                id,
-                spawner: &|t2: Task| {
-                    // Inline execution still needs a spawner; recurse via
-                    // the deque again (it may have drained) or inline.
-                    shared.pending.fetch_add(1, Ordering::AcqRel);
-                    match shared.deques[id].push(t2) {
-                        Ok(()) => {}
-                        Err(t2) => {
-                            // Last resort: execute immediately.
-                            shared.counters.add_overflow_inline(1);
-                            if !execute_inline::<D>(id, shared, t2) {
-                                poisoned.store(true, Ordering::Release);
-                            }
-                        }
-                    }
-                },
-                _marker: std::marker::PhantomData,
-            };
-            shared.counters.add_overflow_inline(1);
-            if !run_task(shared, t, &handle) {
-                poisoned.store(true, Ordering::Release);
-            }
-        }
+    let ctx = Ctx {
+        id,
+        shared,
+        poisoned: &poisoned,
+        rng: Cell::new(0x9E3779B97F4A7C15u64.wrapping_mul(id as u64 + 1) | 1),
     };
-    let handle = WorkerHandle { id, spawner: &spawner, _marker: std::marker::PhantomData };
-    let ok = run_task(shared, task, &handle);
-    ok && !poisoned.load(Ordering::Acquire)
-}
-
-fn execute_inline<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool {
-    let poisoned = AtomicBool::new(false);
-    let spawner = |t: Task| {
-        shared.pending.fetch_add(1, Ordering::AcqRel);
-        if let Err(t) = shared.deques[id].push(t) {
-            shared.counters.add_overflow_inline(1);
-            if !execute_inline::<D>(id, shared, t) {
-                poisoned.store(true, Ordering::Release);
-            }
-        }
-    };
-    let handle = WorkerHandle { id, spawner: &spawner, _marker: std::marker::PhantomData };
-    let ok = run_task(shared, task, &handle);
+    let ok = run_task(shared, task, &WorkerHandle::new(&ctx));
     ok && !poisoned.load(Ordering::Acquire)
 }
 
@@ -785,5 +1009,231 @@ mod more_tests {
             });
             assert_eq!(count.load(Ordering::SeqCst), 100, "round {round}");
         }
+    }
+}
+
+#[cfg(test)]
+mod forkjoin_tests {
+    use super::*;
+    use crate::deques::{ListWorkDeque, TieredChaseLevWorkDeque};
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 { n } else { fib_seq(n - 1) + fib_seq(n - 2) }
+    }
+
+    fn fib(w: &WorkerHandle<'_, DynDeque>, n: u64) -> u64 {
+        if n < 10 {
+            return fib_seq(n);
+        }
+        let (a, b) = w.join(|w| fib(w, n - 1), |w| fib(w, n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_fib_on_list_deque() {
+        let out = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(4);
+        let o = out.clone();
+        sched.run(move |w| {
+            o.store(fib(w, 20), Ordering::SeqCst);
+        });
+        assert_eq!(out.load(Ordering::SeqCst), 6765);
+    }
+
+    #[test]
+    fn join_fib_on_chaselev_tier() {
+        let out = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredChaseLevWorkDeque> = Scheduler::new(4);
+        let o = out.clone();
+        sched.run(move |w| {
+            o.store(fib(w, 22), Ordering::SeqCst);
+        });
+        assert_eq!(out.load(Ordering::SeqCst), 17711);
+    }
+
+    #[test]
+    fn chaselev_tier_tree() {
+        // The classic spawn-tree also runs on the Chase-Lev tier.
+        let leaves = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredChaseLevWorkDeque> = Scheduler::new(4);
+        let l = leaves.clone();
+        fn tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, l: Arc<AtomicU64>) {
+            if depth == 0 {
+                l.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let a = l.clone();
+            w.spawn(move |w| tree(w, depth - 1, a));
+            let b = l;
+            w.spawn(move |w| tree(w, depth - 1, b));
+        }
+        sched.run(move |w| tree(w, 12, l));
+        assert_eq!(leaves.load(Ordering::SeqCst), 1 << 12);
+    }
+
+    fn quicksort(w: &WorkerHandle<'_, DynDeque>, v: &mut [u64]) {
+        if v.len() <= 16 {
+            v.sort_unstable();
+            return;
+        }
+        let pivot = v[v.len() / 2];
+        // Lomuto partition: `[0, i)` < pivot, `[i, len)` >= pivot.
+        let mut i = 0;
+        for j in 0..v.len() {
+            if v[j] < pivot {
+                v.swap(i, j);
+                i += 1;
+            }
+        }
+        if i == 0 {
+            // Pivot is the minimum: park every copy of it at the front
+            // (already in final position) so the recursion shrinks.
+            for j in 0..v.len() {
+                if v[j] == pivot {
+                    v.swap(i, j);
+                    i += 1;
+                }
+            }
+            quicksort(w, &mut v[i..]);
+            return;
+        }
+        let (lo, hi) = v.split_at_mut(i);
+        w.join(|w| quicksort(w, lo), |w| quicksort(w, hi));
+    }
+
+    #[test]
+    fn join_quicksort_borrowed_slices() {
+        // join's scoped closures let the two halves borrow disjoint
+        // &mut sub-slices of one Vec — only the root task needs 'static,
+        // so the Vec rides in behind an Arc<Mutex<..>> and every split
+        // below it is a plain reborrow.
+        let v: Vec<u64> =
+            (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 32).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let data = Arc::new(std::sync::Mutex::new(v));
+        let sched: Scheduler<TieredChaseLevWorkDeque> = Scheduler::new(4);
+        let d = data.clone();
+        sched.run(move |w| {
+            let mut guard = d.lock().unwrap();
+            quicksort(w, &mut guard[..]);
+        });
+        assert_eq!(*data.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn join_runs_both_closures_once() {
+        let a_runs = Arc::new(AtomicUsize::new(0));
+        let b_runs = Arc::new(AtomicUsize::new(0));
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(2);
+        let (ar, br) = (a_runs.clone(), b_runs.clone());
+        sched.run(move |w| {
+            let (ra, rb) = w.join(
+                |_| {
+                    ar.fetch_add(1, Ordering::Relaxed);
+                    11u32
+                },
+                |_| {
+                    br.fetch_add(1, Ordering::Relaxed);
+                    22u32
+                },
+            );
+            assert_eq!((ra, rb), (11, 22));
+        });
+        assert_eq!(a_runs.load(Ordering::SeqCst), 1);
+        assert_eq!(b_runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_propagates_b_panic_to_joiner() {
+        // A panic in the forked side must surface in the joiner's task,
+        // not kill a random helper, and be counted exactly once.
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(3);
+        let report = sched.run_report(|w| {
+            let _ = w.join(|_| 1u32, |_| -> u32 { panic!("b dies") });
+            unreachable!("join must rethrow b's panic");
+        });
+        assert_eq!(report.panics, 1);
+    }
+
+    #[test]
+    fn join_prefers_a_panic_over_b() {
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(2);
+        let report = sched.run_report(|w| {
+            let _ = w.join(
+                |_| -> u32 { panic!("a dies") },
+                |_| -> u32 { panic!("b dies") },
+            );
+        });
+        // Exactly one task records a panic: b's unwinds into the join
+        // slot (never reaching the scheduler), and the joiner rethrows
+        // a's payload after waiting for b to come to rest.
+        assert_eq!(report.panics, 1);
+        let payload = report.into_first_panic().expect("payload recorded");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "a dies", "joiner must rethrow a's panic first");
+    }
+
+    #[test]
+    fn join_nested_under_dead_workers() {
+        // Poison two of four workers, then run a join-heavy workload on
+        // the survivors; it must still complete with the right answer.
+        let out = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredChaseLevWorkDeque> = Scheduler::new(4);
+        let o = out.clone();
+        let report = sched.run_report(move |w| {
+            w.spawn(|_| panic!("die 1"));
+            w.spawn(|_| panic!("die 2"));
+            let r = fib(w, 18);
+            o.store(r, Ordering::SeqCst);
+        });
+        assert_eq!(report.panics, 2);
+        assert_eq!(out.load(Ordering::SeqCst), 2584);
+    }
+
+    #[test]
+    fn continuation_diamond() {
+        // Diamond dependency: two parallel arms, a continuation that runs
+        // only after both finish.
+        let sum = Arc::new(AtomicU64::new(0));
+        let after = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<ListWorkDeque> = Scheduler::new(3);
+        let (s, a) = (sum.clone(), after.clone());
+        sched.run(move |w| {
+            let s2 = s.clone();
+            let a2 = a.clone();
+            let cont = Continuation::new(2, move |_| {
+                // Both arms are done: their sum is stable.
+                a2.store(s2.load(Ordering::SeqCst), Ordering::SeqCst);
+            });
+            for add in [3u64, 39] {
+                let s = s.clone();
+                let cont = cont.clone();
+                w.spawn(move |w| {
+                    s.fetch_add(add, Ordering::SeqCst);
+                    cont.finish(w);
+                });
+            }
+        });
+        assert_eq!(after.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn continuation_many_dependencies() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let sched: Scheduler<TieredChaseLevWorkDeque> = Scheduler::new(4);
+        let f = fired.clone();
+        sched.run(move |w| {
+            let f2 = f.clone();
+            let cont = Continuation::new(64, move |_| {
+                f2.fetch_add(1, Ordering::SeqCst);
+            });
+            for _ in 0..64 {
+                let cont = cont.clone();
+                w.spawn(move |w| cont.finish(w));
+            }
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 }

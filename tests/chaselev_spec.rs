@@ -1,0 +1,91 @@
+//! Linearizability stress for the Chase–Lev deque under its real access
+//! discipline: one owner on the bottom end, racing thieves on the top.
+//!
+//! The [`stress_owner_steal`] driver records the owner's pushes/pops as
+//! `PushRight`/`PopRight` and the thieves' steals as `PopLeft`, then
+//! checks every round's complete history against the sequential deque
+//! spec. This is the whole-structure complement to the modelcheck
+//! machine (`machines::chaselev`), which explores the same races
+//! exhaustively but only on tiny scripts: here the real implementation
+//! — fences, CAS loops, buffer growth and stale-buffer reads included —
+//! runs thousands of operations under genuine contention.
+//!
+//! The deque starts at its minimum capacity floor, so rounds with
+//! push-heavy mixes force growth while steals are in flight.
+
+use std::time::Duration;
+
+use dcas_deques::harness::{trace_seed, Watchdog};
+use dcas_deques::linearize::{stress_owner_steal, OwnerStealDeque, StressConfig};
+use dcas_deques::workstealing::{ChaseLev, ChaseLevSteal};
+
+/// [`OwnerStealDeque`] adapter: retries aborted steals, as a scheduler
+/// (and the tiered deque's `steal`) would.
+struct Cl(ChaseLev<u64>);
+
+impl OwnerStealDeque for Cl {
+    fn push_bottom(&self, v: u64) {
+        self.0.push(v);
+    }
+    fn pop_bottom(&self) -> Option<u64> {
+        self.0.pop()
+    }
+    fn steal_top(&self) -> Option<u64> {
+        loop {
+            match self.0.steal() {
+                ChaseLevSteal::Stolen(v) => return Some(v),
+                ChaseLevSteal::Empty => return None,
+                ChaseLevSteal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+    fn impl_name(&self) -> &'static str {
+        "chase-lev"
+    }
+}
+
+fn run(test: &str, threads: usize, push_bias: u32, rounds: usize) {
+    let seed = trace_seed(test);
+    let dog = Watchdog::arm_with_seed_var(test, "TRACE_SEED", seed, Duration::from_secs(120));
+    // Capacity floor 2: growth happens within the first few pushes of
+    // every push-heavy round.
+    let deque = Cl(ChaseLev::with_min_capacity(2));
+    let report = stress_owner_steal(
+        &deque,
+        StressConfig {
+            threads,
+            ops_per_thread: 8,
+            rounds,
+            push_bias,
+            seed,
+            ..StressConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{test}: {e}"));
+    assert_eq!(report.rounds, rounds);
+    dog.disarm();
+}
+
+#[test]
+fn owner_and_one_thief() {
+    run("chaselev_spec::owner_and_one_thief", 2, 60, 150);
+}
+
+#[test]
+fn owner_and_three_thieves() {
+    run("chaselev_spec::owner_and_three_thieves", 4, 60, 150);
+}
+
+#[test]
+fn steal_heavy_mix() {
+    // Pop-biased owner: the deque hovers near empty, maximizing
+    // last-element races between `pop` and `steal`.
+    run("chaselev_spec::steal_heavy_mix", 4, 40, 150);
+}
+
+#[test]
+fn push_flood_forces_growth_under_steals() {
+    // Push-heavy: each round grows the buffer several times while
+    // thieves are mid-steal, exercising stale-buffer reads.
+    run("chaselev_spec::push_flood_forces_growth_under_steals", 3, 85, 150);
+}

@@ -46,9 +46,7 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-#[test]
-fn tiered_spill_refill_and_steals_linearize() {
-    let test = "tiered_spill_refill_and_steals_linearize";
+fn run_tiered_recorded<P: dcas_deques::workstealing::PrivateTier<u64>>(test: &str) {
     let seed = trace_seed(test);
     let dog = Watchdog::arm_with_seed_var(test, "TRACE_SEED", seed, Duration::from_secs(120));
     for &thieves in &[1usize, 3] {
@@ -56,7 +54,7 @@ fn tiered_spill_refill_and_steals_linearize() {
         let shared: Recorded<ListDeque<u64>> =
             Recorded::with_atomic_batches(ListDeque::new(), threads, RING_CAPACITY);
         dog.attach_recorder(shared.recorder(), 6);
-        let tiered = TieredDeque::new(shared);
+        let tiered: TieredDeque<u64, _, P> = TieredDeque::with_tier(shared);
         let barrier = Barrier::new(threads);
         // Every value each thread removed, for end-to-end conservation.
         let taken: Mutex<Vec<u64>> = Mutex::new(Vec::new());
@@ -128,4 +126,24 @@ fn tiered_spill_refill_and_steals_linearize() {
         assert_eq!(report.trace.in_flight_excluded, 0, "x{threads}: ops left in flight");
     }
     dog.disarm();
+}
+
+#[test]
+fn tiered_spill_refill_and_steals_linearize() {
+    run_tiered_recorded::<dcas_deques::workstealing::VecRing<u64>>(
+        "tiered_spill_refill_and_steals_linearize",
+    );
+}
+
+/// Same audit over the Chase-Lev private tier. Thieves additionally
+/// steal straight from the owner's tier (traffic the recorder does not
+/// see, by design — it is not shared-level traffic), so the recorded
+/// history is a *subset* of the removals; the audit checks that the
+/// spill/refill/steal batches that do cross the shared level still
+/// linearize, and conservation is verified over both exits combined.
+#[test]
+fn tiered_chaselev_spill_refill_and_steals_linearize() {
+    run_tiered_recorded::<dcas_deques::workstealing::ChaseLevTier<u64>>(
+        "tiered_chaselev_spill_refill_and_steals_linearize",
+    );
 }

@@ -557,3 +557,177 @@ fn workstealing_scheduler_survives_dead_workers() {
     }
     watchdog.disarm();
 }
+
+// ---------------------------------------------------------------------
+// Mid-spill kills: the tiered deque's staged-chunk window
+// ---------------------------------------------------------------------
+
+/// Kills the owner of a [`TieredDeque`] *between* the private-tier drain
+/// and the shared-level publish — the `SpillStaged` fault point, where a
+/// batch of values lives only in the owner's staging buffer. The
+/// death-flush (`flush_local`, what the scheduler's `abandon` runs on a
+/// poisoned worker) must publish the partial chunk, and conservation
+/// must be exact to the element.
+fn tiered_mid_spill_run<P>(label: &str, seed: u64, with_thief: bool, skip_spills: u64)
+where
+    P: dcas_deques::workstealing::PrivateTier<Counted>,
+{
+    use dcas_deques::workstealing::{TieredDeque, RING_CAP};
+
+    let live = Arc::new(AtomicI64::new(0));
+    let deque: Arc<TieredDeque<Counted, ListDeque<Counted>, P>> =
+        Arc::new(TieredDeque::with_tier(ListDeque::new()));
+    let watchdog = Watchdog::arm(label, seed, Duration::from_secs(120));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pushed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let stolen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        if with_thief {
+            let deque = Arc::clone(&deque);
+            let stop = Arc::clone(&stop);
+            let stolen = Arc::clone(&stolen);
+            s.spawn(move || {
+                let mut haul = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    for c in deque.steal_half() {
+                        haul.push(c.v);
+                    }
+                    std::hint::spin_loop();
+                }
+                stolen.lock().unwrap().extend(haul);
+            });
+        }
+
+        // Owner: armed to die inside a spill's staging window after
+        // surviving `skip_spills` earlier spills.
+        let deque2 = Arc::clone(&deque);
+        let live2 = Arc::clone(&live);
+        let pushed2 = Arc::clone(&pushed);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let plan =
+                FaultPlan::new(seed).kill(FaultPoint::SpillStaged, skip_spills, KillKind::Panic);
+            let guard = fault::arm(&plan, 0);
+            let log = guard.log();
+            let mut my_pushed = Vec::new();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for v in 0..(6 * RING_CAP as u64) {
+                    // Recorded *before* the call: `push` inserts into the
+                    // private tier before it spills, so a value entering
+                    // `push` is conserved even when the spill kills us.
+                    my_pushed.push(v);
+                    let _ = deque2.push(Counted::new(v, &live2));
+                }
+            }));
+            assert!(outcome.is_err(), "{}: owner was never killed", "mid-spill");
+            assert!(log.is_panicked(), "wrong kill kind delivered");
+            // Death-flush, exactly as the scheduler's `abandon` would:
+            // publishes the staged chunk and the private tier remnant.
+            let rejects = deque2.flush_local();
+            assert!(rejects.is_empty(), "unbounded shared level rejected values");
+            stop2.store(true, Ordering::Release);
+            pushed2.lock().unwrap().extend(my_pushed);
+        });
+    });
+
+    // Everything the owner accepted must now be visible in the shared
+    // level (or already in the thief's haul) — exactly once each.
+    let mut drained = Vec::new();
+    while let Some(c) = deque.shared().pop_left() {
+        drained.push(c.v);
+    }
+    let pushed = pushed.lock().unwrap();
+    let stolen = stolen.lock().unwrap();
+    let mut seen: HashSet<u64> = HashSet::with_capacity(pushed.len());
+    for &v in stolen.iter().chain(drained.iter()) {
+        assert!(seen.insert(v), "{label}: value {v} surfaced twice");
+    }
+    let expect: HashSet<u64> = pushed.iter().copied().collect();
+    assert_eq!(
+        seen,
+        expect,
+        "{label}: mid-spill conservation violated ({} in, {} out)",
+        expect.len(),
+        seen.len()
+    );
+
+    let deque = Arc::try_unwrap(deque).unwrap_or_else(|_| panic!("{label}: deque still shared"));
+    drop(deque);
+    assert_eq!(live.load(Ordering::SeqCst), 0, "{label}: leak after mid-spill kill");
+    watchdog.disarm();
+}
+
+#[test]
+fn tiered_vecring_mid_spill_kill_conserves_values() {
+    use dcas_deques::workstealing::VecRing;
+    let test = "tiered_vecring_mid_spill_kill_conserves_values";
+    let seed = torture_seed(test);
+    // Survive two spills, die inside the third: deterministic for a
+    // VecRing tier, which spills on every ring overflow.
+    tiered_mid_spill_run::<VecRing<Counted>>(test, seed, false, 2);
+}
+
+#[test]
+fn tiered_chaselev_mid_spill_kill_conserves_values() {
+    use dcas_deques::workstealing::ChaseLevTier;
+    let test = "tiered_chaselev_mid_spill_kill_conserves_values";
+    let seed = torture_seed(test);
+    // A live thief steals from both levels while the owner dies
+    // mid-spill: the staged chunk is invisible to the thief (owner
+    // private), so the flush must still deliver it. Kill on the *first*
+    // spill — the stealable tier only restocks an empty shared level,
+    // so later spills depend on thief timing, but the first (shared
+    // level starts empty) always fires.
+    tiered_mid_spill_run::<ChaseLevTier<Counted>>(test, seed, true, 0);
+}
+
+/// The same window under the real scheduler: a worker dies *inside* a
+/// spill (tasks parked in the staging buffer), and the poisoned-worker
+/// death-flush must hand every already-spawned task to the survivors.
+#[test]
+fn tiered_scheduler_survives_mid_spill_kill() {
+    use dcas_deques::workstealing::{Scheduler, TieredListWorkDeque};
+
+    let test = "tiered_scheduler_survives_mid_spill_kill";
+    let base = torture_seed(test);
+    let watchdog = Watchdog::arm(test, base, Duration::from_secs(120));
+
+    for round in 0u64..3 {
+        let mut seed = base ^ round;
+        splitmix64(&mut seed);
+        let attempted = Arc::new(AtomicU64::new(0));
+        let completed = Arc::new(AtomicU64::new(0));
+        let sched: Scheduler<TieredListWorkDeque> = Scheduler::new(4);
+        let (a, c) = (Arc::clone(&attempted), Arc::clone(&completed));
+        let report = sched.run_report(move |w| {
+            // Arm on this worker's thread and leak the guard so the plan
+            // outlives the root task. With a VecRing tier the 33rd spawn
+            // deterministically overflows the ring (thieves cannot touch
+            // the private tier before the first spill), so the kill
+            // always lands.
+            let plan = FaultPlan::new(seed).kill(FaultPoint::SpillStaged, 1, KillKind::Panic);
+            std::mem::forget(fault::arm(&plan, 0));
+            for _ in 0..4_000u64 {
+                // Counted before the spawn: the task enters the private
+                // tier before the spill that kills us, so every counted
+                // attempt must eventually execute.
+                a.fetch_add(1, Ordering::Relaxed);
+                let c = Arc::clone(&c);
+                w.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            panic!("root must die inside a spill before spawning everything");
+        });
+        assert_eq!(report.panics, 1, "round {round}: wrong panic count");
+        assert_eq!(report.dropped, 0, "round {round}: tasks dropped");
+        let a = attempted.load(Ordering::SeqCst);
+        let c = completed.load(Ordering::SeqCst);
+        assert!(a >= 33, "round {round}: kill fired before the first spill?");
+        assert!(a < 4_000, "round {round}: kill never fired");
+        assert_eq!(c, a, "round {round}: spawned tasks lost in the staging window");
+    }
+    watchdog.disarm();
+}
