@@ -19,7 +19,10 @@
 use std::time::Duration;
 
 use dcas::{HarrisMcas, McasConfig};
-use dcas_bench::{format_stats, strategy_contended_phase, strategy_sequential_phase};
+use dcas_bench::{
+    format_stats, host_info_json, print_oversubscription_caveat, strategy_contended_phase,
+    strategy_sequential_phase,
+};
 
 const UNCONTENDED_OPS: u64 = 100_000;
 const CONTENDED_OPS_PER_THREAD: u64 = 20_000;
@@ -136,7 +139,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"e10_dcas_hotpath\",\n  \"uncontended_ops\": {UNCONTENDED_OPS},\n  \"contended_ops_per_thread\": {CONTENDED_OPS_PER_THREAD},\n  \"repeats\": {REPEATS},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"e10_dcas_hotpath\",\n  {},\n  \"oversubscribed\": {},\n  \"uncontended_ops\": {UNCONTENDED_OPS},\n  \"contended_ops_per_thread\": {CONTENDED_OPS_PER_THREAD},\n  \"repeats\": {REPEATS},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        host_info_json(),
+        print_oversubscription_caveat(*THREAD_COUNTS.iter().max().unwrap()),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e10.json");

@@ -37,7 +37,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use dcas::{HarrisMcas, Yielding};
-use dcas_bench::format_stats;
+use dcas_bench::{format_stats, host_info_json, print_oversubscription_caveat};
 use dcas_deque::{ArrayDeque, ConcurrentDeque, EndConfig, ListDeque};
 use dcas_workstealing::{
     AbpWorkDeque, ArrayWorkDeque, DynDeque, ListWorkDeque, Scheduler, WorkDeque, WorkerHandle,
@@ -371,7 +371,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"e11_batch_throughput\",\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"e11_batch_throughput\",\n  {},\n  \"oversubscribed\": {},\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        host_info_json(),
+        print_oversubscription_caveat(elim_threads.max(fj_workers)),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e11.json");

@@ -325,7 +325,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"e12_hw_pair\",\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"e12_hw_pair\",\n  {},\n  \"oversubscribed\": {},\n  \"repeats\": {repeats},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        dcas_bench::host_info_json(),
+        dcas_bench::print_oversubscription_caveat(pad_threads.max(fj_workers)),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e12.json");

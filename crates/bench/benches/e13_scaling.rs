@@ -392,7 +392,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"e13_scaling\",\n  \"repeats\": {repeats},\n  \"hw_threads\": {hw},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"e13_scaling\",\n  {},\n  \"oversubscribed\": {},\n  \"repeats\": {repeats},\n  \"hw_threads\": {hw},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        dcas_bench::host_info_json(),
+        dcas_bench::print_oversubscription_caveat(thread_counts.iter().copied().max().unwrap_or(1)),
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e13.json");

@@ -1,0 +1,216 @@
+//! Open-loop load generator for the sharded broker (E14).
+//!
+//! Closed-loop drivers (every prior bench) let the system set the pace:
+//! a slow response delays the *next* request, so measured latency
+//! suffers coordinated omission — the generator politely waits out
+//! exactly the moments that would have produced the worst samples. Here
+//! arrivals follow a **virtual-time schedule** fixed before the run:
+//! arrival `k` of a rate-`r` run is due at `k/r` seconds after start,
+//! whether or not the broker is keeping up. Each value carries its
+//! *scheduled* arrival time, so a consumer's latency sample
+//! `now - scheduled` includes any time the producer spent running
+//! behind schedule — the schedule slip is charged to the system, not
+//! silently absorbed by the generator.
+//!
+//! When the broker cannot absorb an arrival (bounded shards at
+//! capacity), the value is **shed** and counted — an open-loop
+//! generator must never block the schedule on backpressure, or it
+//! degenerates back into a closed loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dcas_broker::{BrokerShard, ShardedBroker};
+use dcas_obs::{HistogramSnapshot, LogHistogram};
+
+/// One open-loop run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopSpec {
+    /// Total arrival rate across all producers, per second. `None`
+    /// drives saturation: producers offer as fast as the broker
+    /// accepts (the schedule degenerates to "everything due now").
+    pub rate_per_sec: Option<u64>,
+    /// How long arrivals keep coming.
+    pub duration: Duration,
+    /// Producer threads. Arrival `k` belongs to producer
+    /// `k % producers`. For exclusive-shard brokers (tiered) this must
+    /// equal the shard count.
+    pub producers: usize,
+    /// Consumer threads.
+    pub consumers: usize,
+}
+
+/// What an open-loop run measured.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Arrivals the schedule produced.
+    pub offered: u64,
+    /// Arrivals the broker accepted.
+    pub accepted: u64,
+    /// Arrivals shed on backpressure (offered - accepted).
+    pub shed: u64,
+    /// Values consumers actually served.
+    pub completed: u64,
+    /// Wall time from first scheduled arrival to last consumed value.
+    pub elapsed: Duration,
+    /// Scheduled-arrival → consumption latency distribution
+    /// (nanoseconds; log₂ buckets, so quantiles are upper bounds
+    /// within a factor of two).
+    pub latency: HistogramSnapshot,
+}
+
+impl OpenLoopReport {
+    /// Values served per second over the whole run.
+    pub fn sustained_per_sec(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency quantile upper bound in nanoseconds (0 when nothing
+    /// completed).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.latency.quantile_bound(q).unwrap_or(0)
+    }
+
+    /// Fraction of offered arrivals that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Runs one open-loop phase against `broker`: `spec.producers` threads
+/// follow the virtual-time schedule, `spec.consumers` threads drain
+/// until the producers finish and the broker runs dry. Payloads are the
+/// scheduled arrival times in nanoseconds, so the broker must carry
+/// `u64` values.
+pub fn open_loop<S: BrokerShard<u64>>(
+    broker: &ShardedBroker<u64, S>,
+    spec: OpenLoopSpec,
+) -> OpenLoopReport {
+    assert!(spec.producers > 0 && spec.consumers > 0);
+    let hist = LogHistogram::new();
+    let live_producers = AtomicUsize::new(spec.producers);
+    let barrier = Barrier::new(spec.producers + spec.consumers + 1);
+    let duration_ns = spec.duration.as_nanos() as u64;
+
+    let (offered, accepted, completed, elapsed) = std::thread::scope(|s| {
+        let mut producer_handles = Vec::new();
+        let start = Arc::new(std::sync::OnceLock::<Instant>::new());
+        for p in 0..spec.producers {
+            let (barrier, live, start) = (&barrier, &live_producers, Arc::clone(&start));
+            producer_handles.push(s.spawn(move || {
+                let mut prod = broker.producer();
+                barrier.wait();
+                let start = *start.wait();
+                let mut offered = 0u64;
+                let mut shed = 0u64;
+                // Arrival k (k ≡ p mod producers) is due at k/rate.
+                let mut k = p as u64;
+                loop {
+                    let due_ns = match spec.rate_per_sec {
+                        Some(r) => k.saturating_mul(1_000_000_000) / r,
+                        None => start.elapsed().as_nanos() as u64,
+                    };
+                    if due_ns >= duration_ns {
+                        break;
+                    }
+                    let now = start.elapsed().as_nanos() as u64;
+                    if now < due_ns {
+                        // Ahead of schedule: publish what is buffered,
+                        // then wait out the gap (sleep coarse, spin the
+                        // last stretch — the schedule is the contract).
+                        if let Err(bp) = prod.flush() {
+                            shed += bp.len() as u64;
+                        }
+                        let wait = due_ns - now;
+                        if wait > 500_000 {
+                            std::thread::sleep(Duration::from_nanos(wait - 200_000));
+                        }
+                        while (start.elapsed().as_nanos() as u64) < due_ns {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    offered += 1;
+                    // Behind-schedule arrivals fire back-to-back here and
+                    // coalesce into chunk-atomic batches in the producer.
+                    if let Err(bp) = prod.send(due_ns) {
+                        shed += bp.len() as u64;
+                    }
+                    k += spec.producers as u64;
+                }
+                match prod.flush() {
+                    Ok(()) => {}
+                    Err(bp) => shed += bp.len() as u64,
+                }
+                drop(prod); // exclusive shards: owner death-flush
+                live.fetch_sub(1, Ordering::AcqRel);
+                (offered, shed)
+            }));
+        }
+
+        let mut consumer_handles = Vec::new();
+        for _ in 0..spec.consumers {
+            let (barrier, live, hist, start) =
+                (&barrier, &live_producers, &hist, Arc::clone(&start));
+            consumer_handles.push(s.spawn(move || {
+                let mut cons = broker.consumer();
+                barrier.wait();
+                let start = *start.wait();
+                let mut completed = 0u64;
+                let mut dry_after_done = 0u32;
+                loop {
+                    match cons.recv() {
+                        Some(scheduled_ns) => {
+                            dry_after_done = 0;
+                            let now = start.elapsed().as_nanos() as u64;
+                            hist.record(now.saturating_sub(scheduled_ns).max(1));
+                            completed += 1;
+                        }
+                        None => {
+                            if live.load(Ordering::Acquire) == 0 {
+                                // Producers are done; a couple of empty
+                                // sweeps over every shard means drained
+                                // (rescue can be mid-flight once).
+                                dry_after_done += 1;
+                                if dry_after_done >= 3 {
+                                    break;
+                                }
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                completed
+            }));
+        }
+
+        barrier.wait();
+        let t0 = Instant::now();
+        start.set(t0).unwrap();
+        let mut offered = 0u64;
+        let mut shed = 0u64;
+        for h in producer_handles {
+            let (o, sh) = h.join().unwrap();
+            offered += o;
+            shed += sh;
+        }
+        let mut completed = 0u64;
+        for h in consumer_handles {
+            completed += h.join().unwrap();
+        }
+        (offered, offered - shed, completed, t0.elapsed())
+    });
+
+    OpenLoopReport {
+        offered,
+        accepted,
+        shed: offered - accepted,
+        completed,
+        elapsed,
+        latency: hist.snapshot(),
+    }
+}

@@ -448,7 +448,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     fn push_chunk_right(&self, words: &[u64]) -> bool {
         let len = self.slots.len();
         let k = words.len();
-        debug_assert!(k >= 1 && k <= MAX_BATCH && k <= len);
+        debug_assert!((1..=MAX_BATCH).contains(&k) && k <= len);
         let mut backoff = Backoff::new();
         loop {
             let old_r = dec_idx(self.strategy.load(&self.r));
@@ -497,7 +497,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     fn push_chunk_left(&self, words: &[u64]) -> bool {
         let len = self.slots.len();
         let k = words.len();
-        debug_assert!(k >= 1 && k <= MAX_BATCH && k <= len);
+        debug_assert!((1..=MAX_BATCH).contains(&k) && k <= len);
         let mut backoff = Backoff::new();
         loop {
             let old_l = dec_idx(self.strategy.load(&self.l));
@@ -549,7 +549,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     /// linearizable as `k` pops (the deque might have held more).
     fn pop_chunk_left(&self, k: usize, out: &mut Vec<V>) -> bool {
         let len = self.slots.len();
-        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
             let old_l = dec_idx(self.strategy.load(&self.l));
@@ -604,7 +604,7 @@ impl<V: WordValue, S: DcasStrategy> RawArrayDeque<V, S> {
     /// end: scans `R-1, R-2, ...` and retreats `R` by `j`.
     fn pop_chunk_right(&self, k: usize, out: &mut Vec<V>) -> bool {
         let len = self.slots.len();
-        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
             let old_r = dec_idx(self.strategy.load(&self.r));

@@ -451,8 +451,6 @@ trait DynBatchDeque: Send + Sync {
     fn push_left_n(&self, vals: Vec<u32>) -> Result<(), Vec<u32>>;
     fn pop_right_n(&self, n: usize) -> Vec<u32>;
     fn pop_left_n(&self, n: usize) -> Vec<u32>;
-    fn push_right1(&self, v: u32) -> Result<(), u32>;
-    fn pop_left1(&self) -> Option<u32>;
 }
 
 impl<S: DcasStrategy> DynBatchDeque for RawArrayDeque<u32, S> {
@@ -467,12 +465,6 @@ impl<S: DcasStrategy> DynBatchDeque for RawArrayDeque<u32, S> {
     }
     fn pop_left_n(&self, n: usize) -> Vec<u32> {
         RawArrayDeque::pop_left_n(self, n)
-    }
-    fn push_right1(&self, v: u32) -> Result<(), u32> {
-        RawArrayDeque::push_right(self, v).map_err(|Full(v)| v)
-    }
-    fn pop_left1(&self) -> Option<u32> {
-        RawArrayDeque::pop_left(self)
     }
 }
 

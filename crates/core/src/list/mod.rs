@@ -808,7 +808,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// node is pinned by the entries plus the fact that a value word
     /// never leaves null once set).
     fn pop_left_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
-        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
             let old_r = self.strategy.load(&self.sl.r);
@@ -901,7 +901,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// Mirror of [`pop_left_chunk`](Self::pop_left_chunk) for the right
     /// end: walks leftward from `SR->L`, returns rightmost first.
     fn pop_right_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
-        debug_assert!(k >= 1 && k <= MAX_BATCH);
+        debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
             let old_l = self.strategy.load(&self.sr.l);

@@ -343,7 +343,7 @@ mod tests {
 
         // next() at the boundary: the version wraps, the state bits
         // stay exact.
-        let max_empty = (u64::MAX & !STATE_MASK) | EMPTY;
+        let max_empty = !STATE_MASK | EMPTY;
         let w1 = next(max_empty, CLAIMED);
         assert_eq!(w1 >> 2, 0, "version wraps to 0, not saturates");
         assert_eq!(w1 & STATE_MASK, CLAIMED);
@@ -370,7 +370,7 @@ mod tests {
         // OFFER word, the slot cycles through the wrap and is
         // re-offered, and the popper's stale CAS must fail rather than
         // steal the new offer.
-        let stale_offer = (u64::MAX & !STATE_MASK) | OFFER;
+        let stale_offer = !STATE_MASK | OFFER;
         slot.control.store(stale_offer, Ordering::SeqCst);
         slot.value.store(48, Ordering::SeqCst);
         assert_eq!(a.try_take(), Some(48)); // legitimate take: version wraps

@@ -202,7 +202,7 @@ pub(crate) fn adjacent_pair(a1: &DcasWord, a2: &DcasWord) -> Option<(*mut u128, 
 /// [`supported`] must have returned `true`.
 #[cfg(target_arch = "x86_64")]
 pub(crate) unsafe fn cas_u128(dst: *mut u128, old: u128, new: u128) -> Result<(), u128> {
-    debug_assert!(dst as usize % 16 == 0);
+    debug_assert!((dst as usize).is_multiple_of(16));
     let (old_lo, old_hi) = unpack(old);
     let (new_lo, new_hi) = unpack(new);
     let out_lo: u64;
@@ -265,7 +265,7 @@ fn avx_atomic_load_supported() -> bool {
 /// failure), and [`supported`] must have returned `true`.
 #[cfg(target_arch = "x86_64")]
 pub(crate) unsafe fn load_u128(src: *mut u128) -> u128 {
-    debug_assert!(src as usize % 16 == 0);
+    debug_assert!((src as usize).is_multiple_of(16));
     if avx_atomic_load_supported() {
         let lo: u64;
         let hi: u64;
@@ -334,7 +334,7 @@ fn fallback_acquire(seq: &AtomicU64) -> u64 {
     let mut backoff = crate::Backoff::new();
     loop {
         let s = seq.load(Ordering::Acquire);
-        if s % 2 == 0
+        if s.is_multiple_of(2)
             && seq.compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
         {
             return s;
@@ -349,7 +349,7 @@ fn fallback_load(dst: *mut u128) -> u128 {
     let mut backoff = crate::Backoff::new();
     loop {
         let s1 = seq.load(Ordering::Acquire);
-        if s1 % 2 == 0 {
+        if s1.is_multiple_of(2) {
             let v_lo = lo.load(Ordering::Acquire);
             let v_hi = hi.load(Ordering::Acquire);
             if seq.load(Ordering::Acquire) == s1 {

@@ -608,6 +608,7 @@ impl HarrisMcas {
     /// # Safety
     ///
     /// `guard` must pin the current thread for the whole call.
+    #[allow(clippy::too_many_arguments)]
     unsafe fn dcas_publish(
         &self,
         guard: &epoch::Guard,
@@ -1211,6 +1212,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::drop_non_drop)] // drop(s) marks where the strategy's lifetime must end
     fn pool_survives_instance_drop_with_inflight_garbage() {
         // Dropping the strategy while epoch-deferred releases are still
         // queued must be safe: the deferred closures capture only the

@@ -160,7 +160,7 @@ pub fn stress_and_check<D: ConcurrentDeque<u64>>(
                         let r = next_rand(&mut rng);
                         let is_push = (r % 100) < config.push_bias as u64;
                         let is_right = (r >> 32).is_multiple_of(2);
-                        let batch_k = if max_batch >= 2 && (r >> 16) % 4 == 0 {
+                        let batch_k = if max_batch >= 2 && (r >> 16).is_multiple_of(4) {
                             Some(2 + ((r >> 40) as usize % (max_batch - 1)))
                         } else {
                             None

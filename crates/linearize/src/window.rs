@@ -193,8 +193,8 @@ impl WindowedChecker {
                 break;
             }
             stable = i + 1;
-            let cut = self.buf.get(i + 1).map_or(true, |c| max_respond < c.invoke_ts);
-            if cut && i + 1 <= self.max_window {
+            let cut = self.buf.get(i + 1).is_none_or(|c| max_respond < c.invoke_ts);
+            if cut && i < self.max_window {
                 return Ok(Some(i + 1));
             }
         }

@@ -123,7 +123,9 @@ pub struct ChaseLev<T> {
     /// Current buffer generation. Replaced (Release) only by the owner.
     buf: AtomicPtr<Buffer<T>>,
     /// Retired generations, owner-private; freed on drop. Thieves may
-    /// still be reading these, so they must stay allocated.
+    /// still be reading these, so they must stay allocated — and boxed,
+    /// so each keeps a stable address when this list reallocates.
+    #[allow(clippy::vec_box)]
     retired: UnsafeCell<Vec<Box<Buffer<T>>>>,
 }
 
@@ -256,6 +258,27 @@ impl<T> ChaseLev<T> {
             // the (possibly torn) payload.
             Steal::Retry
         }
+    }
+
+    /// Current buffer capacity in slots. Exact for the owner; a thief
+    /// may observe the previous generation's capacity around a growth.
+    pub fn capacity(&self) -> usize {
+        // SAFETY: the pointer is always a live buffer — growth retires
+        // old generations instead of freeing them (see module docs).
+        unsafe { (*self.buf.load(Acquire)).cap() }
+    }
+
+    /// Owner: how many buffer generations growth has retired so far.
+    /// Retired buffers stay allocated until the deque drops, so after
+    /// `g` growths from initial capacity `c` the live buffer holds
+    /// `c << g` slots — tests audit reclamation against exactly that.
+    ///
+    /// # Safety contract (enforced by the owning wrapper)
+    /// Must only be called from the single owner thread (the retired
+    /// list is owner-private, like `grow`).
+    pub fn retired_buffers(&self) -> usize {
+        // SAFETY: owner-only access to the owner-private list.
+        unsafe { (*self.retired.get()).len() }
     }
 
     /// Owner: doubles the buffer, copying only the live window

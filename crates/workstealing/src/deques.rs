@@ -277,6 +277,10 @@ pub trait PrivateTier<T: Send>: Send + Sync {
     /// Number of elements; exact for the owner, a snapshot for thieves
     /// (and only meaningful to thieves when [`STEALABLE`](Self::STEALABLE)).
     fn len(&self) -> usize;
+    /// `len() == 0`, under the same staleness caveat.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Owner-only: removes up to `n` of the **oldest** values,
     /// oldest-first (the spill direction).
     fn take_oldest(&self, n: usize) -> Vec<T>;

@@ -14,6 +14,10 @@ use crate::deques::WorkDeque;
 /// complete [`Continuation`]s.
 pub type Task = Box<dyn for<'a> FnOnce(&WorkerHandle<'a, DynDeque>) + Send>;
 
+/// A [`Task`] whose closure may still borrow from the spawning frame;
+/// erased to `Task` only under `join`'s outlives proof.
+type ScopedTask<'x> = Box<dyn for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + 'x>;
+
 /// Type-erasure point: the scheduler is generic over `D`, but tasks are
 /// monomorphic over this alias so `Task` stays a simple boxed closure.
 /// `DynDeque` is substituted per scheduler instantiation via transmute-free
@@ -108,8 +112,7 @@ impl<'a, D: ?Sized> WorkerHandle<'a, D> {
             JoinSlot { done: AtomicBool::new(false), result: Mutex::new(None) };
         let slot_ref = &slot;
         let signal = SignalOnDrop(&slot.done);
-        let task: Box<dyn for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + '_> =
-            Box::new(move |w| {
+        let task: ScopedTask<'_> = Box::new(move |w| {
                 // `signal` is dropped last (reverse declaration order),
                 // after the result is stored.
                 let _signal = signal;
@@ -123,12 +126,7 @@ impl<'a, D: ?Sized> WorkerHandle<'a, D> {
         // set, and `done` is set exactly when the task's closure frame
         // ends (or the task is dropped unexecuted — `SignalOnDrop` is
         // captured by value), after its last access to the borrows.
-        let task: Task = unsafe {
-            std::mem::transmute::<
-                Box<dyn for<'b> FnOnce(&WorkerHandle<'b, DynDeque>) + Send + '_>,
-                Task,
-            >(task)
-        };
+        let task: Task = unsafe { std::mem::transmute::<ScopedTask<'_>, Task>(task) };
         self.ctx.spawn_task(task);
 
         // Run `a` inline; hold any panic until `b` is at rest, because

@@ -1,0 +1,98 @@
+//! Chase–Lev buffer growth under concurrent steals.
+//!
+//! The risky moment in a growable Chase–Lev deque is the buffer swap: a
+//! thief that loaded the old buffer pointer may still be mid-`read`
+//! while the owner publishes the doubled copy and retires the old
+//! generation. This test forces that window repeatedly — the deque
+//! starts at capacity 2 and the owner outruns the thieves in bursts, so
+//! growth fires many times while steals are in flight — then audits:
+//!
+//! * at least two growths actually happened under fire (a test that
+//!   never grows proves nothing),
+//! * the retired-buffer ledger matches the capacity arithmetic
+//!   (`initial << growths == final capacity` — nothing freed early,
+//!   nothing retired twice),
+//! * every pushed value comes out exactly once across thieves and
+//!   owner (no element lost to a torn copy or a stale-buffer read).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use dcas_workstealing::{ChaseLev, ChaseLevSteal as Steal};
+
+#[test]
+fn growth_under_concurrent_steal_conserves_and_retires() {
+    const TOTAL: u64 = 40_000;
+    const BURST: u64 = 512; // >> initial capacity, so bursts force growth
+    const THIEVES: usize = 2;
+    const INITIAL_CAP: usize = 2;
+
+    let d = ChaseLev::with_min_capacity(INITIAL_CAP);
+    let taken: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..THIEVES {
+            s.spawn(|| {
+                let mut got = Vec::new();
+                loop {
+                    match d.steal() {
+                        Steal::Stolen(v) => got.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                taken.lock().unwrap().extend(got);
+            });
+        }
+
+        // Owner: push in bursts that exceed the current capacity (so the
+        // live window [top, bottom) overflows and growth fires while the
+        // thieves are looping), with a sprinkle of owner pops to keep the
+        // bottom end contended too.
+        let mut kept = Vec::new();
+        let mut next = 0u64;
+        while next < TOTAL {
+            for _ in 0..BURST.min(TOTAL - next) {
+                d.push(next);
+                next += 1;
+            }
+            if let Some(v) = d.pop() {
+                kept.push(v);
+            }
+            // Let the thieves at the backlog between bursts.
+            std::thread::yield_now();
+        }
+        while let Some(v) = d.pop() {
+            kept.push(v);
+        }
+        done.store(true, Ordering::SeqCst);
+        taken.lock().unwrap().extend(kept);
+    });
+
+    // Retirement audit (owner side, now quiescent): growth must have
+    // fired at least twice under fire, and the retired ledger must
+    // account for every generation — after g doublings from INITIAL_CAP
+    // the live buffer holds exactly INITIAL_CAP << g slots.
+    let growths = d.retired_buffers();
+    assert!(growths >= 2, "only {growths} growths — burst never overflowed the buffer");
+    assert_eq!(
+        d.capacity(),
+        INITIAL_CAP << growths,
+        "capacity does not match {growths} retirements from {INITIAL_CAP}"
+    );
+
+    // Conservation: exactly 0..TOTAL, each value once.
+    let mut all = taken.into_inner().unwrap();
+    assert_eq!(all.len() as u64, TOTAL, "lost or duplicated values under growth");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, TOTAL, "duplicated values under growth");
+    assert_eq!(all.first(), Some(&0));
+    assert_eq!(all.last(), Some(&(TOTAL - 1)));
+}

@@ -1,0 +1,115 @@
+//! Sharded broker quickstart: one produce/consume API fanned across N
+//! deque shards, with batching, keyed routing, backpressure, and shard
+//! death all visible from the outside.
+//!
+//! Mirrored by `tests/broker_quickstart.rs` so the snippet can never
+//! drift from the real API. Run with
+//! `cargo run --release --example broker`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dcas_deques::prelude::*;
+
+fn main() {
+    // A broker over 4 unbounded list-deque shards. Values spread by
+    // per-producer round-robin in batches of MAX_BATCH (8).
+    let broker: ShardedBroker<u64, _> = ShardedBroker::unbounded_list(4);
+
+    let produced = AtomicU64::new(0);
+    let consumed = AtomicU64::new(0);
+    const TOTAL: u64 = 40_000;
+
+    std::thread::scope(|s| {
+        // Two producers: one round-robin, one keyed (all of a key's
+        // values land on one shard, so per-key order is the shard's
+        // FIFO order).
+        s.spawn(|| {
+            let mut p = broker.producer();
+            for v in 0..TOTAL / 2 {
+                p.send(v).expect("unbounded shards never backpressure");
+                produced.fetch_add(1, Ordering::Relaxed);
+            }
+            // Dropping the producer flushes its partial batches.
+        });
+        s.spawn(|| {
+            let mut p = broker.producer();
+            for v in TOTAL / 2..TOTAL {
+                p.send_keyed(v % 17, v).expect("unbounded");
+                produced.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // Two consumers: each prefers one home shard, rebalancing onto
+        // the others (steal_half provenance) when home runs dry.
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut c = broker.consumer();
+                loop {
+                    match c.recv() {
+                        Some(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if produced.load(Ordering::Acquire) == TOTAL
+                                && consumed.load(Ordering::Acquire) == TOTAL
+                            {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(consumed.load(Ordering::SeqCst), TOTAL);
+    let stats = broker.stats();
+    println!("flat broker: {TOTAL} values through 4 shards");
+    for (name, v) in stats.fields() {
+        println!("  {name:>22}: {v}");
+    }
+
+    // Bounded shards surface backpressure as a typed error carrying the
+    // rejected values — nothing is silently dropped.
+    let bounded: ShardedBroker<u64, _> = ShardedBroker::bounded_array(2, 8);
+    let mut p = bounded.producer();
+    let mut rejected = Vec::new();
+    for v in 0..200 {
+        if let Err(bp) = p.send(v) {
+            rejected.extend(bp.into_inner());
+        }
+    }
+    if let Err(bp) = p.flush() {
+        rejected.extend(bp.into_inner());
+    }
+    drop(p);
+    let accepted = bounded.drain_remaining().len();
+    assert_eq!(accepted + rejected.len(), 200, "backpressure conserved every value");
+    println!(
+        "\nbounded broker (2 shards x 8 cap): accepted {accepted}, \
+         backpressured {} — all 200 accounted for",
+        rejected.len()
+    );
+
+    // Shard death: kill a shard and the broker rescues its contents
+    // onto survivors and keeps serving.
+    let frail: ShardedBroker<u64, _> = ShardedBroker::unbounded_list(4);
+    let mut p = frail.producer();
+    for v in 0..64 {
+        p.send(v).unwrap();
+    }
+    drop(p);
+    let rescued = frail.kill_shard(1);
+    let mut c = frail.consumer();
+    let mut served = 0;
+    while c.recv().is_some() {
+        served += 1;
+    }
+    drop(c);
+    assert_eq!(served, 64, "shard death lost values");
+    println!(
+        "\nkilled shard 1 (rescued {rescued} values): all 64 served by the \
+         {} survivors",
+        frail.alive_shards()
+    );
+}

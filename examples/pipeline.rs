@@ -1,16 +1,16 @@
 //! A two-stage pipeline with requeueing — a workload that needs a real
-//! deque, not just a queue.
+//! deque, not just a queue — now run through the sharded broker.
 //!
-//! Producers push raw jobs at the left end; workers pop from the right.
-//! A job that isn't ready yet is pushed **back on the right** (retaining
-//! priority) instead of being sent to the back of the line — the
-//! double-ended access the paper's algorithms provide without locking
-//! either end.
+//! Producers feed jobs through the broker's batched round-robin path; a
+//! worker that finds a job not yet finished **requeues it at the front**
+//! of the shard it came from ([`Consumer::requeue`] rides the deque's
+//! left end), so an in-progress job retains its priority instead of
+//! going to the back of the line — the double-ended access the paper's
+//! algorithms provide without locking either end, fanned across shards.
 //!
 //! Run with `cargo run --release --example pipeline`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use dcas_deques::prelude::*;
 
@@ -24,67 +24,78 @@ struct Job {
 fn main() {
     const PRODUCERS: usize = 2;
     const WORKERS: usize = 4;
+    const SHARDS: usize = 4;
     const JOBS_PER_PRODUCER: u64 = 5_000;
+    const TOTAL: u64 = PRODUCERS as u64 * JOBS_PER_PRODUCER;
 
-    let deque: Arc<ListDeque<Job>> = Arc::new(ListDeque::new());
-    let produced = Arc::new(AtomicUsize::new(0));
-    let completed = Arc::new(AtomicU64::new(0));
-    let checksum = Arc::new(AtomicU64::new(0));
+    let broker: ShardedBroker<Job, _> = ShardedBroker::unbounded_list(SHARDS);
+    let produced = AtomicUsize::new(0);
+    let completed = AtomicU64::new(0);
+    let checksum = AtomicU64::new(0);
 
     std::thread::scope(|s| {
-        // Producers feed the left end.
+        // Producers feed the broker in chunk-atomic batches of
+        // MAX_BATCH, spread round-robin across the shards.
         for p in 0..PRODUCERS {
-            let deque = Arc::clone(&deque);
-            let produced = Arc::clone(&produced);
+            let (broker, produced) = (&broker, &produced);
             s.spawn(move || {
+                let mut prod = broker.producer();
                 for i in 0..JOBS_PER_PRODUCER {
                     let id = p as u64 * JOBS_PER_PRODUCER + i;
                     let passes_left = 1 + (id % 3) as u32;
-                    deque.push_left(Job { id, passes_left }).unwrap();
+                    prod.send(Job { id, passes_left })
+                        .expect("unbounded shards never backpressure");
                     produced.fetch_add(1, Ordering::Release);
                 }
+                // Drop flushes the final partial batch.
             });
         }
 
-        // Workers drain the right end, requeueing unfinished jobs at the
-        // right (front of service order).
+        // Workers drain the broker (home shard first, then rebalance),
+        // requeueing unfinished jobs at the *front* of the shard they
+        // were pulled from so they keep their place in line.
         for _ in 0..WORKERS {
-            let deque = Arc::clone(&deque);
-            let produced = Arc::clone(&produced);
-            let completed = Arc::clone(&completed);
-            let checksum = Arc::clone(&checksum);
-            s.spawn(move || loop {
-                match deque.pop_right() {
-                    Some(mut job) => {
-                        // One processing pass.
-                        job.passes_left -= 1;
-                        if job.passes_left == 0 {
-                            checksum.fetch_add(job.id, Ordering::Relaxed);
-                            completed.fetch_add(1, Ordering::Release);
-                        } else {
-                            deque.push_right(job).unwrap();
+            let (broker, produced, completed, checksum) =
+                (&broker, &produced, &completed, &checksum);
+            s.spawn(move || {
+                let mut cons = broker.consumer();
+                loop {
+                    match cons.recv() {
+                        Some(mut job) => {
+                            // One processing pass.
+                            job.passes_left -= 1;
+                            if job.passes_left == 0 {
+                                checksum.fetch_add(job.id, Ordering::Relaxed);
+                                completed.fetch_add(1, Ordering::Release);
+                            } else {
+                                cons.requeue(job);
+                            }
                         }
-                    }
-                    None => {
-                        let all_produced =
-                            produced.load(Ordering::Acquire) == PRODUCERS * JOBS_PER_PRODUCER as usize;
-                        let all_done = completed.load(Ordering::Acquire)
-                            == (PRODUCERS as u64) * JOBS_PER_PRODUCER;
-                        if all_produced && all_done {
-                            return;
+                        None => {
+                            let all_produced = produced.load(Ordering::Acquire)
+                                == PRODUCERS * JOBS_PER_PRODUCER as usize;
+                            let all_done =
+                                completed.load(Ordering::Acquire) == TOTAL;
+                            if all_produced && all_done {
+                                return;
+                            }
+                            std::hint::spin_loop();
                         }
-                        std::hint::spin_loop();
                     }
                 }
             });
         }
     });
 
-    let total = PRODUCERS as u64 * JOBS_PER_PRODUCER;
-    let expect: u64 = (0..total).sum();
+    let expect: u64 = (0..TOTAL).sum();
+    let stats = broker.stats();
     println!("jobs completed: {}", completed.load(Ordering::SeqCst));
     println!("checksum: {} (expected {expect})", checksum.load(Ordering::SeqCst));
-    assert_eq!(completed.load(Ordering::SeqCst), total);
+    println!(
+        "broker: {} sent, {} served from home shard, {} rebalanced, {} requeued",
+        stats.sent, stats.recv_home, stats.recv_rebalanced, stats.requeued
+    );
+    assert_eq!(completed.load(Ordering::SeqCst), TOTAL);
     assert_eq!(checksum.load(Ordering::SeqCst), expect);
     println!("pipeline drained: every job processed exactly once");
 }

@@ -1,8 +1,12 @@
 //! Work-stealing load balancing — the application that motivates deques
 //! in the paper's introduction (via Arora–Blumofe–Plaxton).
 //!
-//! Spawns an irregular fork-join task tree and runs it on the scheduler
-//! with each deque implementation, printing wall-clock comparisons.
+//! Builds an irregular task tree with the executor's fork-join API:
+//! each node forks its children through [`WorkerHandle::join`], which
+//! runs one side inline and publishes the other for theft, then *joins*
+//! the results — no shared accumulator, no `Arc`; values flow back up
+//! the tree like plain function returns. Runs the same tree on each
+//! deque implementation and prints wall-clock comparisons.
 //!
 //! Run with `cargo run --release --example work_stealing`.
 
@@ -15,34 +19,59 @@ use dcas_deques::workstealing::{
     WorkerHandle,
 };
 
-/// An irregular tree: each node does a little leaf work and spawns a
-/// skewed number of children, so load balancing actually matters.
-fn irregular_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, width_seed: u64, acc: Arc<AtomicU64>) {
+/// An irregular tree: each node does a little leaf work and forks a
+/// skewed number of children (1..=3), so load balancing actually
+/// matters. Returns the subtree checksum through `join` — the forked
+/// half's result comes back over the join slot, stolen or not.
+fn irregular_tree(w: &WorkerHandle<'_, DynDeque>, depth: u32, width_seed: u64) -> u64 {
     // Simulated leaf work: a short checksum loop.
     let mut x = width_seed | 1;
     for _ in 0..200 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
     }
-    acc.fetch_add(x & 0xFF, Ordering::Relaxed);
+    let leaf = x & 0xFF;
 
     if depth == 0 {
-        return;
+        return leaf;
     }
-    // Skewed fan-out: 1..=3 children.
+    // Skewed fan-out, joined as a fork tree: two children fork as a
+    // pair; a third nests inside the right branch.
     let children = 1 + (x % 3);
-    for c in 0..children {
-        let acc = acc.clone();
-        w.spawn(move |w| irregular_tree(w, depth - 1, x.wrapping_add(c), acc));
-    }
+    let below = match children {
+        1 => irregular_tree(w, depth - 1, x.wrapping_add(0)),
+        2 => {
+            let (a, b) = w.join(
+                |w| irregular_tree(w, depth - 1, x.wrapping_add(0)),
+                |w| irregular_tree(w, depth - 1, x.wrapping_add(1)),
+            );
+            a + b
+        }
+        _ => {
+            let (a, (b, c)) = w.join(
+                |w| irregular_tree(w, depth - 1, x.wrapping_add(0)),
+                |w| {
+                    w.join(
+                        |w| irregular_tree(w, depth - 1, x.wrapping_add(1)),
+                        |w| irregular_tree(w, depth - 1, x.wrapping_add(2)),
+                    )
+                },
+            );
+            a + b + c
+        }
+    };
+    leaf + below
 }
 
 fn run_one<D: WorkDeque>(workers: usize, depth: u32) -> (u64, std::time::Duration) {
-    let acc = Arc::new(AtomicU64::new(0));
+    let out = Arc::new(AtomicU64::new(0));
     let sched: Scheduler<D> = Scheduler::with_capacity(workers, 1 << 14);
-    let root_acc = acc.clone();
+    let root_out = Arc::clone(&out);
     let start = Instant::now();
-    sched.run(move |w| irregular_tree(w, depth, 42, root_acc));
-    (acc.load(Ordering::SeqCst), start.elapsed())
+    sched.run(move |w| {
+        let sum = irregular_tree(w, depth, 42);
+        root_out.store(sum, Ordering::SeqCst);
+    });
+    (out.load(Ordering::SeqCst), start.elapsed())
 }
 
 fn main() {

@@ -15,6 +15,8 @@
 //! assertion itself. Generation is deterministic per test (the RNG is
 //! seeded from the test's module path), so failures reproduce.
 
+#![allow(clippy::type_complexity)] // shim keeps signatures close to upstream
+
 #![warn(missing_docs)]
 
 use std::ops::Range;

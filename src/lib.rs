@@ -15,6 +15,9 @@
 //! * [`modelcheck`] — exhaustive interleaving exploration with the
 //!   paper's proof obligations checked on every transition.
 //! * [`workstealing`] — the motivating load-balancing application.
+//! * [`broker`] — the sharded job broker: N-shard fan-out with
+//!   Fibonacci-hashed routing, batch-8 ingestion, consumer-side
+//!   rebalance, typed backpressure, and fault-tolerant shard death.
 //! * [`obs`] (feature `obs`, on by default) — record-and-verify
 //!   observability: lock-free op tracing via the `Recorded` wrapper,
 //!   metrics export, and online linearizability auditing of live runs.
@@ -28,6 +31,7 @@ pub mod harness;
 
 pub use dcas;
 pub use dcas_baselines as baselines;
+pub use dcas_broker as broker;
 pub use dcas_deque as deque;
 pub use dcas_linearize as linearize;
 pub use dcas_modelcheck as modelcheck;
@@ -38,6 +42,7 @@ pub use dcas_workstealing as workstealing;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use dcas::{DcasStrategy, DcasWord, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+    pub use dcas_broker::{Backpressure, BrokerShard, ShardedBroker};
     pub use dcas_deque::{
         ArrayDeque, ConcurrentDeque, DummyListDeque, EndConfig, Full, ListDeque, MAX_BATCH,
     };

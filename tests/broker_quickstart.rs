@@ -1,0 +1,91 @@
+//! Keeps `examples/broker.rs` honest: this test mirrors the broker
+//! quickstart through the umbrella prelude — if the public API drifts,
+//! this fails before the example (or README) lies.
+
+use dcas_deques::prelude::*;
+
+#[test]
+fn broker_quickstart_compiles_and_runs() {
+    // Flat broker over unbounded list shards: round-robin + keyed sends,
+    // consumer rebalances across shards.
+    let broker: ShardedBroker<u64, _> = ShardedBroker::unbounded_list(4);
+    let mut p = broker.producer();
+    for v in 0..100u64 {
+        p.send(v).expect("unbounded shards never backpressure");
+    }
+    for v in 100..200u64 {
+        p.send_keyed(v % 17, v).expect("unbounded");
+    }
+    p.flush().expect("unbounded");
+    drop(p);
+
+    let mut c = broker.consumer();
+    let mut got = Vec::new();
+    while let Some(v) = c.recv() {
+        got.push(v);
+    }
+    drop(c);
+    got.sort_unstable();
+    assert_eq!(got, (0..200).collect::<Vec<u64>>());
+
+    // Bounded shards surface backpressure as a typed error carrying the
+    // rejected values — conservation is checkable from the outside.
+    let bounded: ShardedBroker<u64, _> = ShardedBroker::bounded_array(2, 8);
+    let mut p = bounded.producer();
+    let mut rejected = 0usize;
+    for v in 0..200 {
+        if let Err(bp) = p.send(v) {
+            assert!(!bp.is_empty());
+            rejected += bp.len();
+        }
+    }
+    if let Err(bp) = p.flush() {
+        rejected += bp.into_inner().len();
+    }
+    drop(p);
+    let accepted = bounded.drain_remaining().len();
+    assert_eq!(accepted + rejected, 200, "backpressure lost values");
+
+    // Shard death: contents of the killed shard are rescued onto
+    // survivors; the broker keeps serving.
+    let frail: ShardedBroker<u64, _> = ShardedBroker::unbounded_list(4);
+    let mut p = frail.producer();
+    for v in 0..64u64 {
+        p.send(v).unwrap();
+    }
+    drop(p);
+    frail.kill_shard(1);
+    assert_eq!(frail.alive_shards(), 3);
+    let mut c = frail.consumer();
+    let mut served = 0;
+    while c.recv().is_some() {
+        served += 1;
+    }
+    drop(c);
+    assert_eq!(served, 64, "shard death lost values");
+
+    // Tiered broker: one producer per shard (owner-exclusive push side),
+    // any number of stealing consumers.
+    let tiered: ShardedBroker<u64, _> = ShardedBroker::tiered_chaselev(2);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut p = tiered.producer();
+                for v in 0..50u64 {
+                    p.send(v).expect("unbounded tier");
+                }
+            });
+        }
+    });
+    let mut c = tiered.consumer();
+    let mut n = 0;
+    while c.recv().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 100);
+
+    // Broker stats expose the mechanism: batches, rebalances, rescues.
+    let stats = frail.stats();
+    assert_eq!(stats.shard_deaths, 1);
+    assert!(stats.sent >= 64);
+}

@@ -1,0 +1,112 @@
+//! Broker shard death through the *real* fault machinery: a consumer
+//! thread arms a PR 3 `FaultPlan` that panics out of an MCAS operation
+//! mid-consume, the broker's panic guard retires the shard it was
+//! touching, rescues its contents onto survivors, and the system keeps
+//! serving — with exact conservation provable from the outside.
+//!
+//! This is the organic version of the administrative `kill_shard` used
+//! by the E14 kill arm: nothing calls kill explicitly; the shard dies
+//! because a strategy operation genuinely unwound through it.
+//!
+//! The root package's dev-dependencies enable `dcas/fault-inject`, so
+//! the `ListDeque<_, HarrisMcas>` shards here carry live fault points.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcas::fault::{self, FaultLog};
+use dcas::{FaultPlan, FaultPoint, KillKind};
+use dcas_deques::prelude::*;
+
+const SHARDS: usize = 4;
+const TOTAL: u64 = 4_096;
+const CONSUMERS: usize = 2;
+
+#[test]
+fn faulted_consumer_retires_shard_and_conserves() {
+    let broker: ShardedBroker<u64, _> = ShardedBroker::unbounded_list(SHARDS);
+
+    // Fill all shards round-robin before any fault is armed, so the
+    // victim shard (whichever one the doomed consumer is touching when
+    // the kill fires) is guaranteed to hold rescuable values.
+    let mut p = broker.producer();
+    for v in 0..TOTAL {
+        p.send(v).expect("unbounded shards never backpressure");
+    }
+    drop(p); // flush the final partial batch
+
+    let consumed = AtomicU64::new(0);
+    let (values, kill_log) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..CONSUMERS as u64 {
+            let (broker, consumed) = (&broker, &consumed);
+            handles.push(s.spawn(move || {
+                // Thread 0 is doomed: after 40 effect-free PreInstall
+                // hits (a handful of consume batches), its next MCAS
+                // unwinds. The broker's guard catches the panic, marks
+                // the shard it was operating on dead, and rescues.
+                let plan = if tid == 0 {
+                    FaultPlan::new(0xB40C).kill(FaultPoint::PreInstall, 40, KillKind::Panic)
+                } else {
+                    FaultPlan::new(0xB40C)
+                };
+                let guard = fault::arm(&plan, tid);
+                let mut c = broker.consumer();
+                let mut got = Vec::new();
+                loop {
+                    match c.recv() {
+                        Some(v) => {
+                            got.push(v);
+                            consumed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            if consumed.load(Ordering::Acquire) == TOTAL {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                (got, guard.log())
+            }));
+        }
+        let mut values: Vec<u64> = Vec::new();
+        let mut kill_log: Option<Arc<FaultLog>> = None;
+        for (tid, h) in handles.into_iter().enumerate() {
+            let (got, log) = h.join().expect("consumer threads never unwind — the guard eats the kill");
+            values.extend(got);
+            if tid == 0 {
+                kill_log = Some(log);
+            }
+        }
+        (values, kill_log.unwrap())
+    });
+
+    // The kill actually fired and was delivered as a panic...
+    assert!(kill_log.is_panicked(), "fault plan never delivered: {}", kill_log.describe());
+    // ...and the broker translated it into exactly one shard death.
+    let stats = broker.stats();
+    assert_eq!(stats.shard_deaths, 1, "panic did not retire a shard");
+    assert_eq!(broker.alive_shards(), SHARDS - 1);
+
+    // Exact conservation across the death: every value exactly once.
+    assert_eq!(values.len() as u64, TOTAL, "lost or duplicated values across shard death");
+    let distinct: HashSet<u64> = values.iter().copied().collect();
+    assert_eq!(distinct.len() as u64, TOTAL, "duplicated values across shard death");
+    assert!(values.iter().all(|&v| v < TOTAL));
+
+    // Survivors keep serving: a fresh batch routes around the corpse.
+    let mut p = broker.producer();
+    for v in 0..64u64 {
+        p.send(TOTAL + v).expect("survivors must accept");
+    }
+    drop(p);
+    let mut c = broker.consumer();
+    let mut after = 0;
+    while c.recv().is_some() {
+        after += 1;
+    }
+    drop(c);
+    assert_eq!(after, 64, "survivors failed to serve after the death");
+}

@@ -86,6 +86,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// leak, no corruption; the leak audit still covers it) but not
 /// attributable, so the exact-conservation matrix sticks to single ops
 /// there.
+#[allow(clippy::too_many_arguments)]
 fn one_op<D: ConcurrentDeque<Counted>>(
     deque: &D,
     rng: &mut u64,
