@@ -1,0 +1,238 @@
+//! E15 — live garbage vs. op count under a frozen thread, per
+//! reclamation backend (`requires --features fault-inject`).
+//!
+//! The experiment behind ROADMAP item 3's "bounded memory" claim: a
+//! victim thread is frozen mid-MCAS (parked on a [`StallGate`] at the
+//! `PreInstall` fault point — the software analogue of a descheduled
+//! processor), and three workers then churn a linked-list deque,
+//! retiring one node per pop plus the CASN descriptors behind every
+//! operation. After each churn round the backend's live-garbage gauge
+//! is sampled:
+//!
+//! * **epoch** — the victim froze while pinned, the epoch cannot
+//!   advance, and the deferred queue grows linearly with the op count
+//!   (the curve this bench records is the leak you would ship).
+//! * **hazard** — the victim pins only its own announced slots, so the
+//!   curve is flat: the high-water mark must stay under the *static*
+//!   bound `registered_records × (SCAN_THRESHOLD + SLOTS × (1 +
+//!   MAX_CASN_WORDS))`.
+//!
+//! Runs as a plain binary (`harness = false`). Full mode writes both
+//! curves to `BENCH_e15.json`; `E15_SMOKE=1` shrinks the rounds and
+//! skips the file. **Both** modes exit nonzero if the hazard arm's
+//! high-water mark exceeds its static bound (CI's memory-bound-smoke
+//! job), and full mode additionally requires the epoch arm's final
+//! sample to double its first (i.e. the two arms measurably diverge).
+//!
+//! `tests/reclaim_torture.rs` asserts the same scenario as a pass/fail
+//! test; this bench records the numbers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use dcas::fault::{self};
+use dcas::{
+    DcasStrategy, EpochReclaimer, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas,
+    HarrisMcasHazard, HazardReclaimer, KillKind, Reclaimer, StallGate,
+};
+use dcas_deque::ListDeque;
+
+/// Worker threads churning the deque while the victim is frozen.
+const WORKERS: u64 = 3;
+
+struct Sample {
+    arm: &'static str,
+    /// Cumulative push+pop pairs across all workers at this checkpoint.
+    ops: u64,
+    live_garbage: u64,
+    high_water: u64,
+}
+
+/// Freezes a victim mid-MCAS on a fresh deque, runs `rounds` churn
+/// rounds of `ops_per_round` push/pop pairs per worker, sampling the
+/// backend gauges after each round. The victim is released and joined
+/// before returning.
+fn frozen_victim_curve<S>(
+    arm: &'static str,
+    seed: u64,
+    rounds: usize,
+    ops_per_round: u64,
+    gauges: fn() -> (u64, u64),
+) -> Vec<Sample>
+where
+    S: DcasStrategy + 'static,
+{
+    let deque: Arc<ListDeque<u64, FaultInjecting<S>>> = Arc::new(ListDeque::new());
+    let gate = StallGate::new();
+    let plan = FaultPlan::new(seed).kill(
+        FaultPoint::PreInstall,
+        3,
+        KillKind::Freeze(Arc::clone(&gate)),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut samples = Vec::with_capacity(rounds);
+
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let victim = {
+            let deque = Arc::clone(&deque);
+            let stop = Arc::clone(&stop);
+            let plan = plan.clone();
+            s.spawn(move || {
+                let guard = fault::arm(&plan, 0);
+                let log = guard.log();
+                tx.send(Arc::clone(&log)).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    deque.push_right(i << 3).unwrap();
+                    deque.pop_left();
+                    i += 1;
+                }
+                log
+            })
+        };
+        let log = rx.recv().unwrap();
+        while !log.is_killed() {
+            std::hint::spin_loop();
+        }
+
+        let barrier = Arc::new(Barrier::new(WORKERS as usize + 1));
+        let mut handles = Vec::new();
+        for t in 1..=WORKERS {
+            let deque = Arc::clone(&deque);
+            let barrier = Arc::clone(&barrier);
+            handles.push(s.spawn(move || {
+                let mut i = 0u64;
+                for _ in 0..rounds {
+                    for _ in 0..ops_per_round {
+                        deque.push_right((t << 48) | (i << 3)).unwrap();
+                        deque.pop_left();
+                        i += 1;
+                    }
+                    barrier.wait();
+                    // Main samples the gauges here.
+                    barrier.wait();
+                }
+            }));
+        }
+        for round in 0..rounds {
+            barrier.wait();
+            let (live_garbage, high_water) = gauges();
+            samples.push(Sample {
+                arm,
+                ops: (round as u64 + 1) * ops_per_round * WORKERS,
+                live_garbage,
+                high_water,
+            });
+            barrier.wait();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        stop.store(true, Ordering::Release);
+        gate.release();
+        let log = victim.join().unwrap();
+        assert!(log.is_frozen(), "{arm}: victim was never frozen");
+    });
+    samples
+}
+
+fn main() {
+    let smoke = std::env::var_os("E15_SMOKE").is_some();
+    let rounds: usize = if smoke { 3 } else { 6 };
+    let ops_per_round: u64 = if smoke { 1_000 } else { 4_000 };
+    let seed = 0x05EE_DE15_u64;
+
+    // Epoch arm first: its frozen pin stalls the process-global epoch,
+    // so it must be released and flushed before the hazard arm runs.
+    let stalled_before = EpochReclaimer::stalled_collections();
+    let mut samples = frozen_victim_curve::<HarrisMcas>("epoch", seed, rounds, ops_per_round, || {
+        (EpochReclaimer::live_garbage(), EpochReclaimer::garbage_high_water())
+    });
+    let epoch_stalled = EpochReclaimer::stalled_collections() - stalled_before;
+    for _ in 0..6 {
+        EpochReclaimer::flush();
+    }
+
+    samples.extend(frozen_victim_curve::<HarrisMcasHazard>(
+        "hazard",
+        seed ^ 0xA5A5,
+        rounds,
+        ops_per_round,
+        || (HazardReclaimer::live_garbage(), HazardReclaimer::garbage_high_water()),
+    ));
+
+    // The bound is computed after both arms, when every hazard record
+    // the run registered is counted.
+    let bound = dcas::reclaim::hazard::static_garbage_bound();
+    let records = dcas::reclaim::hazard::registered_records();
+
+    println!();
+    println!("{:<8} {:>10} {:>14} {:>12}", "arm", "ops", "live_garbage", "high_water");
+    for s in &samples {
+        println!("{:<8} {:>10} {:>14} {:>12}", s.arm, s.ops, s.live_garbage, s.high_water);
+    }
+    println!(
+        "\nhazard static bound: {bound} ({records} records); \
+         epoch stalled collections during churn: {epoch_stalled}"
+    );
+
+    // ---- Guardrails ----------------------------------------------------
+    let replay = "cargo bench -p dcas-bench --bench e15_reclaim --features fault-inject";
+    let mut ok = true;
+    let hazard_hwm =
+        samples.iter().filter(|s| s.arm == "hazard").map(|s| s.high_water).max().unwrap();
+    if hazard_hwm > bound {
+        ok = false;
+        eprintln!(
+            "MEMORY GUARDRAIL FAILED: hazard high-water {hazard_hwm} exceeds the \
+             static bound {bound}; replay with:\n  {replay}"
+        );
+    }
+    if !smoke {
+        let epoch: Vec<&Sample> = samples.iter().filter(|s| s.arm == "epoch").collect();
+        let (first, last) = (epoch[0].live_garbage, epoch[epoch.len() - 1].live_garbage);
+        if last < first.saturating_mul(2) {
+            ok = false;
+            eprintln!(
+                "E15 SANITY FAILED: epoch garbage did not grow under the frozen pin \
+                 ({first} -> {last}); replay with:\n  {replay}"
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nE15_SMOKE set: skipping BENCH_e15.json");
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"arm\": \"{}\", \"ops\": {}, \"live_garbage\": {}, \"high_water\": {}}}",
+                s.arm, s.ops, s.live_garbage, s.high_water
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_reclaim\",\n  {},\n  \"oversubscribed\": {},\n  \
+         \"workers\": {WORKERS},\n  \"frozen_victims\": 1,\n  \
+         \"hazard_static_garbage_bound\": {bound},\n  \"hazard_registered_records\": {records},\n  \
+         \"epoch_stalled_collections\": {epoch_stalled},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        dcas_bench::host_info_json(),
+        dcas_bench::print_oversubscription_caveat(1 + WORKERS as usize),
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15.json");
+    std::fs::write(out, json).expect("write BENCH_e15.json");
+    println!("\nwrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -29,12 +29,29 @@
 //! # Memory reclamation
 //!
 //! The paper assumes a garbage collector (its computation model is
-//! Lisp/Java). We substitute `crossbeam-epoch`: every operation runs
-//! pinned, and the thread whose DCAS physically splices a node out
-//! retires it; the node is freed only after every operation that might
-//! still hold a reference has finished. This preserves the property the
-//! algorithms need from GC — a node is never recycled while a processor
-//! can reach it — and therefore rules out ABA on node pointers.
+//! Lisp/Java). We substitute the strategy's pluggable reclamation
+//! backend ([`DcasStrategy::Reclaimer`]): every operation runs pinned,
+//! and the thread whose DCAS physically splices a node out retires it;
+//! the node is freed only once no operation can still hold a reference.
+//! This preserves the property the algorithms need from GC — a node is
+//! never recycled while a processor can reach it — and therefore rules
+//! out ABA on node pointers.
+//!
+//! Under the epoch backend (the default) pinning alone suffices. Under
+//! the hazard-pointer backend every traversal dereference follows the
+//! announce-and-validate protocol: announce a hazard on the candidate
+//! node, then re-read the word it was loaded from and retry on
+//! mismatch. Validation against a *sentinel* word is self-contained
+//! (sentinels never move). Validation one step out — a neighbor loaded
+//! from a protected node's link word — must also confirm the protected
+//! node itself is still in the list (its value word still live, or the
+//! sentinel word unchanged), because the link words of an
+//! already-spliced-out node are frozen and can keep naming a neighbor
+//! that has since been freed. Every removal that could free a walked-to
+//! node writes one of the validated words first (the splice DCASes
+//! rewrite the neighbor links; the batch CASNs null every victim's
+//! value and tombstone the boundary link), so a successful dual
+//! validation proves the announce landed before any such removal.
 //!
 //! # Corrected typos
 //!
@@ -45,9 +62,14 @@
 
 use std::marker::PhantomData;
 
-use crossbeam_epoch::{self as epoch, Guard};
 use crossbeam_utils::CachePadded;
-use dcas::{Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas};
+use dcas::{
+    Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas,
+    ReclaimGuard, Reclaimer,
+};
+
+/// The guard type of a strategy's reclamation backend.
+type GuardOf<S> = <<S as DcasStrategy>::Reclaimer as Reclaimer>::Guard;
 
 use crate::reserved::{NULL, SENTL, SENTR};
 use crate::value::{Boxed, WordValue};
@@ -266,7 +288,7 @@ pub struct RawListDeque<V: WordValue, S: DcasStrategy> {
 // SAFETY: the deque is a shared concurrent structure; all shared-word
 // accesses go through the `DcasStrategy`, values are transferred between
 // threads (hence `V: Send`, implied by `WordValue`), and the raw node
-// pointers are managed by epoch reclamation.
+// pointers are managed by the strategy's reclamation backend.
 unsafe impl<V: WordValue, S: DcasStrategy> Send for RawListDeque<V, S> {}
 unsafe impl<V: WordValue, S: DcasStrategy> Sync for RawListDeque<V, S> {}
 
@@ -328,31 +350,89 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         &self.strategy
     }
 
-    /// Retires a spliced-out node to the epoch collector.
+    /// `true` if the strategy's backend requires the announce-and-
+    /// validate protocol before dereferencing traversed nodes (hazard
+    /// pointers); `false` folds every protection to a no-op (epoch).
+    const NP: bool = <GuardOf<S> as ReclaimGuard>::NEEDS_PROTECT;
+
+    /// Retires a spliced-out node through the strategy's reclamation
+    /// backend.
     ///
     /// # Safety
     ///
     /// `node` must have been allocated by this deque's push path and must
     /// have just been physically unlinked by a successful DCAS performed
     /// by the calling thread (so it is retired exactly once).
-    unsafe fn retire(&self, node: *const Node, guard: &Guard) {
-        let node = node as *mut Node;
-        // SAFETY: the node is unreachable from the list, so no new
-        // operation can find it; operations that already hold a reference
-        // are pinned with guards at least as old as `guard`.
-        unsafe {
-            guard.defer_unchecked(move || drop(Box::from_raw(node)));
+    unsafe fn retire(&self, node: *const Node, guard: &GuardOf<S>) {
+        unsafe fn free_node(p: *mut u8) {
+            // SAFETY: `p` came from `Box::into_raw::<Node>` in a push
+            // path and runs exactly once, after the grace period /
+            // hazard scan.
+            drop(unsafe { Box::from_raw(p.cast::<Node>()) });
         }
+        // SAFETY: the node is unreachable from the list, so no new
+        // operation can find it; operations that already hold a
+        // reference are pinned (epoch) or have it announced (hazard).
+        unsafe {
+            guard.retire(node as *mut u8, std::mem::size_of::<Node>(), free_node);
+        }
+    }
+
+    /// Strategy load of a sentinel inward pointer (`SL->R` / `SR->L`)
+    /// that leaves the pointed-to node protected at `slot` before the
+    /// caller dereferences it. A sentinel word is a validation root:
+    /// a node is only retired after a splice rewrites the sentinel word
+    /// naming it (and retired nodes are never relinked), so announce +
+    /// unchanged re-read proves the node was live after the announce.
+    fn load_end_protected(&self, g: &GuardOf<S>, w: &DcasWord, slot: usize) -> u64 {
+        let mut v = self.strategy.load(w);
+        if Self::NP {
+            loop {
+                g.protect(slot, ptr_of(v) as u64);
+                let v2 = self.strategy.load(w);
+                if v2 == v {
+                    break;
+                }
+                v = v2;
+            }
+        }
+        v
+    }
+
+    /// One protected step of a chunk walk: loads `link` (the `r`/`l`
+    /// word of an already-protected node), announces hazard `slot` on
+    /// the next node, and validates both that the link still names it
+    /// and that the walked-from node is still in the list (`value`
+    /// still non-null — removals null it first, and a nulled value
+    /// never reverts). Returns `None` when a race is detected; the
+    /// caller restarts the scan.
+    fn protected_step(
+        &self,
+        g: &GuardOf<S>,
+        link: &DcasWord,
+        value: &DcasWord,
+        slot: usize,
+    ) -> Option<*const Node> {
+        let next = ptr_of(self.strategy.load(link));
+        if !Self::NP {
+            return Some(next);
+        }
+        g.protect(slot, next as u64);
+        if ptr_of(self.strategy.load(link)) != next || self.strategy.load(value) == NULL {
+            g.clear(slot);
+            return None;
+        }
+        Some(next)
     }
 
     /// `popRight` — Figure 11.
     pub fn pop_right(&self) -> Option<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         loop {
-            let old_l = self.strategy.load(&self.sr.l); // line 3
+            let old_l = self.load_end_protected(&guard, &self.sr.l, 0); // line 3
             let olp = ptr_of(old_l);
-            // SAFETY: `olp` was linked at line 3 and we are pinned, so the
-            // node cannot have been freed.
+            // SAFETY: `olp` was linked at line 3 and is pinned/protected,
+            // so the node cannot have been freed.
             let v = self.strategy.load(unsafe { &(*olp).value }); // line 4
             if v == SENTL {
                 return None; // line 5: "empty"
@@ -408,7 +488,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// `pushRight` — Figure 13.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // Lines 2-4: allocate the new node. (The paper returns "full" if
         // the allocator fails; Rust's global allocator aborts instead, so
         // the push path never reports full — matching the unbounded deque
@@ -418,7 +498,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         let pending = PendingNode::<V>::new(v);
         let (node, val) = (pending.node, pending.val);
         loop {
-            let old_l = self.strategy.load(&self.sr.l); // line 6
+            let old_l = self.load_end_protected(&guard, &self.sr.l, 0); // line 6
             if deleted_of(old_l) {
                 self.delete_right(&guard); // lines 7-8
             } else {
@@ -462,16 +542,31 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// `deleteRight` — Figure 17: completes a pending physical deletion on
     /// the right-hand side.
-    fn delete_right(&self, guard: &Guard) {
+    fn delete_right(&self, guard: &GuardOf<S>) {
         loop {
-            let old_l = self.strategy.load(&self.sr.l); // line 3
+            let old_l = self.load_end_protected(guard, &self.sr.l, 0); // line 3
             if !deleted_of(old_l) {
                 return; // line 4: someone else finished the deletion
             }
             let olp = ptr_of(old_l);
-            // SAFETY (this and subsequent derefs): nodes reachable from a
-            // sentinel while we are pinned are not freed; see module docs.
+            // SAFETY (this and subsequent derefs): `olp` is protected via
+            // the sentinel root above; `old_ll` via the dual validation
+            // below. See the module docs' reclamation section.
             let old_ll = ptr_of(self.strategy.load(unsafe { &(*olp).l })); // line 5
+            if Self::NP {
+                guard.protect(1, old_ll as u64);
+                // `olp`'s link words freeze once it is spliced out, so a
+                // link re-read alone cannot prove `old_ll` is alive; the
+                // sentinel re-read pins `olp` as still-linked (retired
+                // nodes are never relinked, so no ABA), and any removal
+                // of `old_ll` while `olp` is linked rewrites `olp->L`.
+                if ptr_of(self.strategy.load(unsafe { &(*olp).l })) != old_ll
+                    || self.strategy.load(&self.sr.l) != old_l
+                {
+                    guard.clear(1);
+                    continue;
+                }
+            }
             let v = self.strategy.load(unsafe { &(*old_ll).value }); // line 6
             if v != NULL {
                 // Lines 6-14: the left neighbor is live (or is the left
@@ -528,9 +623,9 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// `popLeft` — Figure 32 (with the paper's line-4 typo corrected).
     pub fn pop_left(&self) -> Option<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         loop {
-            let old_r = self.strategy.load(&self.sl.r); // line 3
+            let old_r = self.load_end_protected(&guard, &self.sl.r, 0); // line 3
             let orp = ptr_of(old_r);
             // SAFETY: as in `pop_right`.
             let v = self.strategy.load(unsafe { &(*orp).value }); // line 4 (corrected)
@@ -579,12 +674,12 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// `pushLeft` — Figure 33 (with the paper's line-10 typo corrected:
     /// the new node's left pointer aims at `SL`, not `SR`).
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // Guarded as in `push_right`.
         let pending = PendingNode::<V>::new(v);
         let (node, val) = (pending.node, pending.val);
         loop {
-            let old_r = self.strategy.load(&self.sl.r); // line 6
+            let old_r = self.load_end_protected(&guard, &self.sl.r, 0); // line 6
             if deleted_of(old_r) {
                 self.delete_left(&guard); // lines 7-8
             } else {
@@ -620,15 +715,24 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     }
 
     /// `deleteLeft` — Figure 34.
-    fn delete_left(&self, guard: &Guard) {
+    fn delete_left(&self, guard: &GuardOf<S>) {
         loop {
-            let old_r = self.strategy.load(&self.sl.r); // line 3
+            let old_r = self.load_end_protected(guard, &self.sl.r, 0); // line 3
             if !deleted_of(old_r) {
                 return; // line 4
             }
             let orp = ptr_of(old_r);
-            // SAFETY: as in `delete_right`.
+            // SAFETY: as in `delete_right` (mirrored dual validation).
             let old_rr = ptr_of(self.strategy.load(unsafe { &(*orp).r })); // line 5
+            if Self::NP {
+                guard.protect(1, old_rr as u64);
+                if ptr_of(self.strategy.load(unsafe { &(*orp).r })) != old_rr
+                    || self.strategy.load(&self.sl.r) != old_r
+                {
+                    guard.clear(1);
+                    continue;
+                }
+            }
             let v = self.strategy.load(unsafe { &(*old_rr).value }); // line 6
             if v != NULL {
                 let old_rrl = self.strategy.load(unsafe { &(*old_rr).l }); // line 7
@@ -696,7 +800,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     {
         let mut it = vals.into_iter();
         let Some(v0) = it.next() else { return Ok(()) };
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // Build the chain left-to-right in push order, linking each node
         // as the iterator yields it — no intermediate buffers. The chain
         // guard owns every node and value until the splice: a panicking
@@ -711,7 +815,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         unsafe { (*last).r.init_store(pack(self.srp(), false)) };
         let mut backoff = Backoff::new();
         loop {
-            let old_l = self.strategy.load(&self.sr.l);
+            let old_l = self.load_end_protected(&guard, &self.sr.l, 0);
             if deleted_of(old_l) {
                 self.delete_right(&guard);
             } else {
@@ -745,7 +849,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     {
         let mut it = vals.into_iter();
         let Some(v0) = it.next() else { return Ok(()) };
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // Chain left-to-right holds the values in reverse push order, so
         // that the sequence behaves like repeated pushLeft calls: each
         // yielded value's node is *prepended* to the unpublished chain.
@@ -759,7 +863,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         unsafe { (*first).l.init_store(pack(self.slp(), false)) };
         let mut backoff = Backoff::new();
         loop {
-            let old_r = self.strategy.load(&self.sl.r);
+            let old_r = self.load_end_protected(&guard, &self.sl.r, 0);
             if deleted_of(old_r) {
                 self.delete_left(&guard);
             } else {
@@ -807,19 +911,20 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// n_{j+1}` with `n_{j+1}` the sentinel or a logically-deleted null
     /// node is pinned by the entries plus the fact that a value word
     /// never leaves null once set).
-    fn pop_left_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
+    fn pop_left_chunk(&self, k: usize, out: &mut Vec<V>, guard: &GuardOf<S>) -> bool {
         debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
-            let old_r = self.strategy.load(&self.sl.r);
+            let old_r = self.load_end_protected(guard, &self.sl.r, 0);
             if deleted_of(old_r) {
                 self.delete_left(guard);
                 continue;
             }
             let orp = ptr_of(old_r);
-            // SAFETY (this and subsequent derefs): nodes reached from a
-            // sentinel while pinned are not freed; stale pointers of
-            // retired-but-pinned nodes stay dereferenceable.
+            // SAFETY (this and subsequent derefs): `orp` is protected via
+            // the sentinel root; every further node the walk reaches is
+            // protected by `protected_step` before it is dereferenced
+            // (node at walk position `i` holds slot `i`).
             let v1 = self.strategy.load(unsafe { &(*orp).value });
             if v1 == SENTR {
                 return true; // empty at the SL->R read
@@ -847,8 +952,20 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             nodes[0] = orp;
             vals[0] = v1;
             let mut j = 1;
-            let mut next = ptr_of(self.strategy.load(unsafe { &(*orp).r }));
+            // SAFETY: `orp` (and below, each `next` once stored into
+            // `nodes`) is protected; see the loop-head comment.
+            let Some(mut next) = self.protected_step(
+                guard,
+                unsafe { &(*orp).r },
+                unsafe { &(*orp).value },
+                1,
+            ) else {
+                backoff.snooze();
+                continue;
+            };
+            let mut raced = false;
             while j < k {
+                // SAFETY: `next` was protected by the step that found it.
                 let v = self.strategy.load(unsafe { &(*next).value });
                 if v == SENTR || v == NULL {
                     break;
@@ -856,7 +973,24 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 nodes[j] = next;
                 vals[j] = v;
                 j += 1;
-                next = ptr_of(self.strategy.load(unsafe { &(*next).r }));
+                // SAFETY: as above.
+                let step = self.protected_step(
+                    guard,
+                    unsafe { &(*next).r },
+                    unsafe { &(*next).value },
+                    j,
+                );
+                match step {
+                    Some(n) => next = n,
+                    None => {
+                        raced = true;
+                        break;
+                    }
+                }
+            }
+            if raced {
+                backoff.snooze();
+                continue;
             }
             // A stale traversal can in principle walk retired pointers;
             // duplicate words in a CASN are invalid, so reject and retry.
@@ -900,17 +1034,17 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// Mirror of [`pop_left_chunk`](Self::pop_left_chunk) for the right
     /// end: walks leftward from `SR->L`, returns rightmost first.
-    fn pop_right_chunk(&self, k: usize, out: &mut Vec<V>, guard: &Guard) -> bool {
+    fn pop_right_chunk(&self, k: usize, out: &mut Vec<V>, guard: &GuardOf<S>) -> bool {
         debug_assert!((1..=MAX_BATCH).contains(&k));
         let mut backoff = Backoff::new();
         loop {
-            let old_l = self.strategy.load(&self.sr.l);
+            let old_l = self.load_end_protected(guard, &self.sr.l, 0);
             if deleted_of(old_l) {
                 self.delete_right(guard);
                 continue;
             }
             let olp = ptr_of(old_l);
-            // SAFETY: as in `pop_left_chunk`.
+            // SAFETY: as in `pop_left_chunk` (protected walk, mirrored).
             let v1 = self.strategy.load(unsafe { &(*olp).value });
             if v1 == SENTL {
                 return true;
@@ -934,8 +1068,20 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             nodes[0] = olp;
             vals[0] = v1;
             let mut j = 1;
-            let mut next = ptr_of(self.strategy.load(unsafe { &(*olp).l }));
+            // SAFETY: `olp` and each stored `next` are protected; see
+            // `pop_left_chunk`.
+            let Some(mut next) = self.protected_step(
+                guard,
+                unsafe { &(*olp).l },
+                unsafe { &(*olp).value },
+                1,
+            ) else {
+                backoff.snooze();
+                continue;
+            };
+            let mut raced = false;
             while j < k {
+                // SAFETY: `next` was protected by the step that found it.
                 let v = self.strategy.load(unsafe { &(*next).value });
                 if v == SENTL || v == NULL {
                     break;
@@ -943,7 +1089,24 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
                 nodes[j] = next;
                 vals[j] = v;
                 j += 1;
-                next = ptr_of(self.strategy.load(unsafe { &(*next).l }));
+                // SAFETY: as above.
+                let step = self.protected_step(
+                    guard,
+                    unsafe { &(*next).l },
+                    unsafe { &(*next).value },
+                    j,
+                );
+                match step {
+                    Some(n) => next = n,
+                    None => {
+                        raced = true;
+                        break;
+                    }
+                }
+            }
+            if raced {
+                backoff.snooze();
+                continue;
             }
             if nodes[..j].contains(&next)
                 || (1..j).any(|i| nodes[..i].contains(&nodes[i]))
@@ -986,7 +1149,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// atomic chunks of up to [`MAX_BATCH`]; stops early at a chunk that
     /// certified the deque exhausted.
     pub fn pop_left_n(&self, n: usize) -> Vec<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
@@ -1000,7 +1163,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// Pops up to `n` values from the right end, rightmost first, in
     /// atomic chunks. See [`pop_left_n`](Self::pop_left_n).
     pub fn pop_right_n(&self, n: usize) -> Vec<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = (n - out.len()).min(MAX_BATCH);
@@ -1013,7 +1176,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
 
     /// Quiescent snapshot of the list structure (see [`ListLayout`]).
     pub fn layout(&self) -> ListLayout {
-        let _guard = epoch::pin();
+        let _guard = S::Reclaimer::pin();
         let mut cells = Vec::new();
         let mut cur = ptr_of(self.strategy.load(&self.sl.r));
         while cur != self.srp() {
@@ -1035,9 +1198,9 @@ impl<V: WordValue, S: DcasStrategy> Drop for RawListDeque<V, S> {
     fn drop(&mut self) {
         // Exclusive access: no operation in flight, no descriptors
         // installed. Walk the physical list, freeing interior nodes and
-        // any unconsumed values. Nodes already retired to the epoch
-        // collector are no longer linked and are freed by their deferred
-        // destructors.
+        // any unconsumed values. Nodes already retired to the
+        // reclamation backend are no longer linked and are freed by
+        // their queued destructors.
         // SAFETY: quiescence per `&mut self`.
         unsafe {
             let mut cur = ptr_of(self.sl.r.unsync_load_shared());

@@ -1,6 +1,8 @@
 //! Unit and figure-reproduction tests for the linked-list deque.
 
-use dcas::{Counting, DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+use dcas::{
+    Counting, DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, HarrisMcasHazard, StripedLock,
+};
 
 use super::{ListDeque, RawListDeque};
 
@@ -9,6 +11,7 @@ fn for_all_strategies(f: impl Fn(Box<dyn Fn() -> Box<dyn DynDeque>>)) {
     f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
     f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
     f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())));
 }
 
 trait DynDeque {
@@ -416,6 +419,7 @@ fn for_all_strategies_batch(f: impl Fn(Box<dyn Fn() -> Box<dyn DynBatchDeque>>))
     f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
     f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
     f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
+    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())));
 }
 
 /// Object-safe facade over the batched API (list pushes never fail).
@@ -712,4 +716,59 @@ fn batch_push_panicking_iterator_leaks_nothing() {
     while d.pop_right().is_some() {}
     drop(d);
     assert_eq!(live.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn reclaim_hazard_list_concurrent_mixed_ops_conserve_values() {
+    // Mixed single/batch traffic on the hazard-backed list: every
+    // pushed value is popped exactly once, and after a final flush the
+    // backend's live garbage sits under its static bound (nothing
+    // leaked into an unbounded queue).
+    use std::sync::Arc;
+
+    use dcas::{HazardReclaimer, Reclaimer};
+
+    let d: Arc<ListDeque<u64, HarrisMcasHazard>> = Arc::new(ListDeque::new());
+    let threads = 4u64;
+    let per = 300u64;
+    let mut handles = vec![];
+    for t in 0..threads {
+        let d = Arc::clone(&d);
+        handles.push(std::thread::spawn(move || {
+            let mut popped = 0usize;
+            for i in 0..per {
+                let v = t * per + i;
+                match i % 4 {
+                    0 => d.push_left(v).unwrap(),
+                    1 => d.push_right(v).unwrap(),
+                    2 => d.push_right_n([v, v, v]).unwrap(),
+                    _ => d.push_left_n([v, v]).unwrap(),
+                }
+                match i % 3 {
+                    0 => popped += usize::from(d.pop_left().is_some()),
+                    1 => popped += usize::from(d.pop_right().is_some()),
+                    _ => popped += d.pop_right_n(2).len(),
+                }
+            }
+            popped
+        }));
+    }
+    let popped: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let mut rest = 0usize;
+    while d.pop_left().is_some() {
+        rest += 1;
+    }
+    let pushed_per: usize = (0..per)
+        .map(|i| match i % 4 {
+            0 | 1 => 1,
+            2 => 3,
+            _ => 2,
+        })
+        .sum();
+    assert_eq!(popped + rest, threads as usize * pushed_per);
+    HazardReclaimer::flush();
+    assert!(
+        HazardReclaimer::live_garbage() <= dcas::reclaim::hazard::static_garbage_bound(),
+        "hazard live garbage exceeds the static bound after flush"
+    );
 }

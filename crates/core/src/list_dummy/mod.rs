@@ -30,13 +30,15 @@
 
 use std::marker::PhantomData;
 
-use crossbeam_epoch::{self as epoch, Guard};
 use crossbeam_utils::CachePadded;
-use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+use dcas::{DcasStrategy, DcasWord, HarrisMcas, ReclaimGuard, Reclaimer};
 
 use crate::reserved::{NULL, SENTL, SENTR};
 use crate::value::{Boxed, WordValue};
 use crate::{ConcurrentDeque, Full};
+
+/// The guard type of a strategy's reclamation backend.
+type GuardOf<S> = <<S as DcasStrategy>::Reclaimer as Reclaimer>::Guard;
 
 #[cfg(test)]
 mod tests;
@@ -150,7 +152,8 @@ pub struct RawDummyListDeque<V: WordValue, S: DcasStrategy> {
 }
 
 // SAFETY: as for `RawListDeque` — all shared accesses go through the
-// strategy and node lifetime is governed by epoch reclamation.
+// strategy and node lifetime is governed by the strategy's reclamation
+// backend.
 unsafe impl<V: WordValue, S: DcasStrategy> Send for RawDummyListDeque<V, S> {}
 unsafe impl<V: WordValue, S: DcasStrategy> Sync for RawDummyListDeque<V, S> {}
 
@@ -189,21 +192,62 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
         &self.strategy
     }
 
+    /// `true` if the strategy's backend requires announce-and-validate
+    /// protection before traversal dereferences (hazard pointers).
+    const NP: bool = <GuardOf<S> as ReclaimGuard>::NEEDS_PROTECT;
+
     /// Resolves a sentinel pointer word: a word aiming at a dummy node
     /// represents (target, deleted = true).
     ///
     /// # Safety
     ///
-    /// `w` must have been read from a live sentinel pointer while pinned.
+    /// Quiescent use only (`layout`, teardown): concurrent operations
+    /// must go through [`load_resolved`](Self::load_resolved), which
+    /// protects what it dereferences.
     unsafe fn resolve(&self, w: u64) -> Resolved {
         let n = node_of(w);
-        // SAFETY: node reachable from a sentinel under our pin.
+        // SAFETY: node reachable from a sentinel, quiescent per contract.
         if self.strategy.load(unsafe { &(*n).value }) == DUMMY {
             // SAFETY: dummy nodes are immutable after publication.
             let real = node_of(self.strategy.load(unsafe { &(*n).l }));
             Resolved { real, deleted: true }
         } else {
             Resolved { real: n, deleted: false }
+        }
+    }
+
+    /// Loads and resolves a sentinel pointer word, leaving the node the
+    /// word names protected at `slot` and (through a dummy) the real
+    /// target at `slot + 1`. Both announcements validate against a
+    /// re-read of `src`: the word names a node/dummy pair only until
+    /// the splice that retires them rewrites it (and retired nodes are
+    /// never relinked), and a dummy's target word is immutable, so an
+    /// unchanged sentinel proves both announces landed while the pair
+    /// was live.
+    fn load_resolved(&self, g: &GuardOf<S>, src: &DcasWord, slot: usize) -> (u64, Resolved) {
+        loop {
+            let w = self.strategy.load(src);
+            let n = node_of(w);
+            if Self::NP {
+                g.protect(slot, n as u64);
+                if self.strategy.load(src) != w {
+                    continue;
+                }
+            }
+            // SAFETY: `n` is protected (or epoch-pinned).
+            if self.strategy.load(unsafe { &(*n).value }) == DUMMY {
+                // SAFETY: as above; dummy targets are immutable.
+                let real = node_of(self.strategy.load(unsafe { &(*n).l }));
+                if Self::NP {
+                    g.protect(slot + 1, real as u64);
+                    if self.strategy.load(src) != w {
+                        g.clear(slot + 1);
+                        continue;
+                    }
+                }
+                return (w, Resolved { real, deleted: true });
+            }
+            return (w, Resolved { real: n, deleted: false });
         }
     }
 
@@ -221,22 +265,23 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
     /// # Safety
     ///
     /// As for `RawListDeque::retire`.
-    unsafe fn retire(&self, node: *const Node, guard: &Guard) {
-        let node = node as *mut Node;
+    unsafe fn retire(&self, node: *const Node, guard: &GuardOf<S>) {
+        unsafe fn free_node(p: *mut u8) {
+            // SAFETY: `p` came from `Box::into_raw::<Node>`; runs once.
+            drop(unsafe { Box::from_raw(p.cast::<Node>()) });
+        }
         // SAFETY: forwarded contract.
         unsafe {
-            guard.defer_unchecked(move || drop(Box::from_raw(node)));
+            guard.retire(node as *mut u8, std::mem::size_of::<Node>(), free_node);
         }
     }
 
     /// `popRight` with dummy-node indirection in place of the deleted bit.
     pub fn pop_right(&self) -> Option<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         loop {
-            let old_l = self.strategy.load(&self.sr.l);
-            // SAFETY: read from the sentinel under our pin.
-            let r = unsafe { self.resolve(old_l) };
-            // SAFETY: `r.real` reachable under our pin.
+            let (old_l, r) = self.load_resolved(&guard, &self.sr.l, 0);
+            // SAFETY: `r.real` is protected by `load_resolved`.
             let v = self.strategy.load(unsafe { &(*r.real).value });
             if v == SENTL {
                 return None;
@@ -277,15 +322,13 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
 
     /// `pushRight` with dummy-node indirection.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // The pending guard owns node and value until published; an
         // unwinding strategy call frees both.
         let pending = PendingNode::<V>::new(v);
         let (node, val) = (pending.node, pending.val);
         loop {
-            let old_l = self.strategy.load(&self.sr.l);
-            // SAFETY: as in `pop_right`.
-            let r = unsafe { self.resolve(old_l) };
+            let (old_l, r) = self.load_resolved(&guard, &self.sr.l, 0);
             if r.deleted {
                 self.delete_right(&guard);
             } else {
@@ -312,17 +355,28 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
         }
     }
 
-    fn delete_right(&self, guard: &Guard) {
+    fn delete_right(&self, guard: &GuardOf<S>) {
         loop {
-            let old_l = self.strategy.load(&self.sr.l);
-            // SAFETY: as in `pop_right`.
-            let r = unsafe { self.resolve(old_l) };
+            let (old_l, r) = self.load_resolved(guard, &self.sr.l, 0);
             if !r.deleted {
                 return;
             }
             let victim = r.real;
-            // SAFETY: `victim` reachable through the dummy under our pin.
+            // SAFETY: `victim` is protected by `load_resolved`; `old_ll`
+            // by the dual validation below (the victim's link words
+            // freeze once it is spliced out, so the sentinel re-read is
+            // needed to pin the victim as still-linked — see the
+            // deleted-bit variant's `delete_right`).
             let old_ll = node_of(self.strategy.load(unsafe { &(*victim).l }));
+            if Self::NP {
+                guard.protect(2, old_ll as u64);
+                if node_of(self.strategy.load(unsafe { &(*victim).l })) != old_ll
+                    || self.strategy.load(&self.sr.l) != old_l
+                {
+                    guard.clear(2);
+                    continue;
+                }
+            }
             let v = self.strategy.load(unsafe { &(*old_ll).value });
             if v != NULL {
                 let old_llr = self.strategy.load(unsafe { &(*old_ll).r });
@@ -345,9 +399,7 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                 }
             } else {
                 // Two null items: race the left side for the double splice.
-                let old_r = self.strategy.load(&self.sl.r);
-                // SAFETY: as above.
-                let l = unsafe { self.resolve(old_r) };
+                let (old_r, l) = self.load_resolved(guard, &self.sl.r, 3);
                 if l.deleted {
                     if self.strategy.dcas(
                         &self.sr.l,
@@ -373,11 +425,10 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
 
     /// `popLeft` with dummy-node indirection.
     pub fn pop_left(&self) -> Option<V> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         loop {
-            let old_r = self.strategy.load(&self.sl.r);
-            // SAFETY: as in `pop_right`.
-            let l = unsafe { self.resolve(old_r) };
+            let (old_r, l) = self.load_resolved(&guard, &self.sl.r, 0);
+            // SAFETY: `l.real` is protected by `load_resolved`.
             let v = self.strategy.load(unsafe { &(*l.real).value });
             if v == SENTR {
                 return None;
@@ -418,14 +469,12 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
 
     /// `pushLeft` with dummy-node indirection.
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
-        let guard = epoch::pin();
+        let guard = S::Reclaimer::pin();
         // Guarded as in `push_right`.
         let pending = PendingNode::<V>::new(v);
         let (node, val) = (pending.node, pending.val);
         loop {
-            let old_r = self.strategy.load(&self.sl.r);
-            // SAFETY: as in `pop_right`.
-            let l = unsafe { self.resolve(old_r) };
+            let (old_r, l) = self.load_resolved(&guard, &self.sl.r, 0);
             if l.deleted {
                 self.delete_left(&guard);
             } else {
@@ -452,17 +501,24 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
         }
     }
 
-    fn delete_left(&self, guard: &Guard) {
+    fn delete_left(&self, guard: &GuardOf<S>) {
         loop {
-            let old_r = self.strategy.load(&self.sl.r);
-            // SAFETY: as in `pop_right`.
-            let l = unsafe { self.resolve(old_r) };
+            let (old_r, l) = self.load_resolved(guard, &self.sl.r, 0);
             if !l.deleted {
                 return;
             }
             let victim = l.real;
-            // SAFETY: as in `delete_right`.
+            // SAFETY: as in `delete_right` (mirrored dual validation).
             let old_rr = node_of(self.strategy.load(unsafe { &(*victim).r }));
+            if Self::NP {
+                guard.protect(2, old_rr as u64);
+                if node_of(self.strategy.load(unsafe { &(*victim).r })) != old_rr
+                    || self.strategy.load(&self.sl.r) != old_r
+                {
+                    guard.clear(2);
+                    continue;
+                }
+            }
             let v = self.strategy.load(unsafe { &(*old_rr).value });
             if v != NULL {
                 let old_rrl = self.strategy.load(unsafe { &(*old_rr).l });
@@ -484,9 +540,7 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
                     }
                 }
             } else {
-                let old_l = self.strategy.load(&self.sr.l);
-                // SAFETY: as above.
-                let r = unsafe { self.resolve(old_l) };
+                let (old_l, r) = self.load_resolved(guard, &self.sr.l, 3);
                 if r.deleted {
                     if self.strategy.dcas(
                         &self.sl.r,
@@ -513,7 +567,7 @@ impl<V: WordValue, S: DcasStrategy> RawDummyListDeque<V, S> {
     /// Quiescent structural snapshot; dummies are resolved away so the
     /// layout is comparable with the deleted-bit variant's.
     pub fn layout(&self) -> DummyLayout {
-        let _guard = epoch::pin();
+        let _guard = S::Reclaimer::pin();
         // SAFETY: quiescent per the method contract.
         unsafe {
             let left = self.resolve(self.strategy.load(&self.sl.r));

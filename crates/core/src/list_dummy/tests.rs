@@ -152,3 +152,78 @@ fn value_encoding_visible_in_layout() {
     d.push_right(7).unwrap();
     assert_eq!(d.layout().cells, vec![Some(7u32.encode())]);
 }
+
+#[test]
+fn reclaim_hazard_dummy_variant_sequential_semantics() {
+    // The dummy variant under the hazard backend: same observable
+    // behaviour, including the dummy-resolution paths that the
+    // protected `load_resolved` guards.
+    let d = RawDummyListDeque::<u32, dcas::HarrisMcasHazard>::new();
+    for i in 0..40 {
+        d.push_right(i).unwrap();
+    }
+    for i in 0..20 {
+        assert_eq!(d.pop_left(), Some(i));
+    }
+    for i in (20..40).rev() {
+        assert_eq!(d.pop_right(), Some(i));
+    }
+    assert_eq!(d.pop_right(), None);
+    // Exercise the dummy-marked empty states.
+    for round in 0..30 {
+        d.push_left(round).unwrap();
+        assert_eq!(d.pop_right(), Some(round));
+        d.push_right(round).unwrap();
+        assert_eq!(d.pop_left(), Some(round));
+        assert_eq!(d.pop_left(), None);
+        assert_eq!(d.pop_right(), None);
+    }
+}
+
+#[test]
+fn reclaim_hazard_dummy_variant_concurrent_churn_conserves_values() {
+    // Concurrent boundary churn on the hazard-backed dummy variant —
+    // the hardest case for hazard validation, since every pop may have
+    // to chase a dummy indirection while the node it names is being
+    // retired. Value conservation plus the static garbage bound must
+    // both hold.
+    use std::sync::Arc;
+
+    use dcas::{HazardReclaimer, Reclaimer};
+
+    let d: Arc<DummyListDeque<u64, dcas::HarrisMcasHazard>> = Arc::new(DummyListDeque::new());
+    let threads = 4u64;
+    let per = 400u64;
+    let mut handles = vec![];
+    for t in 0..threads {
+        let d = Arc::clone(&d);
+        handles.push(std::thread::spawn(move || {
+            let mut popped = 0u64;
+            for i in 0..per {
+                let v = t * per + i;
+                if i % 2 == 0 {
+                    d.push_left(v).unwrap();
+                } else {
+                    d.push_right(v).unwrap();
+                }
+                if i % 3 == 0 {
+                    popped += u64::from(d.pop_right().is_some());
+                } else {
+                    popped += u64::from(d.pop_left().is_some());
+                }
+            }
+            popped
+        }));
+    }
+    let popped: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let mut rest = 0u64;
+    while d.pop_left().is_some() {
+        rest += 1;
+    }
+    assert_eq!(popped + rest, threads * per);
+    HazardReclaimer::flush();
+    assert!(
+        HazardReclaimer::live_garbage() <= dcas::reclaim::hazard::static_garbage_bound(),
+        "hazard live garbage exceeds the static bound after flush"
+    );
+}

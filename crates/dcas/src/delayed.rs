@@ -40,6 +40,7 @@ impl<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32>
 impl<S: DcasStrategy, const DCAS_SPIN: u32, const LOAD_SPIN: u32> DcasStrategy
     for Delayed<S, DCAS_SPIN, LOAD_SPIN>
 {
+    type Reclaimer = S::Reclaimer;
     const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
     const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
     const NAME: &'static str = "delayed";

@@ -455,6 +455,7 @@ impl<S: DcasStrategy> FaultInjecting<S> {
 }
 
 impl<S: DcasStrategy> DcasStrategy for FaultInjecting<S> {
+    type Reclaimer = S::Reclaimer;
     const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
     const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
     const NAME: &'static str = "fault-injecting";

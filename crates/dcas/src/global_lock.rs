@@ -29,6 +29,7 @@ impl GlobalLock {
 }
 
 impl DcasStrategy for GlobalLock {
+    type Reclaimer = crate::reclaim::EpochReclaimer;
     const IS_LOCK_FREE: bool = false;
     const HAS_CHEAP_STRONG: bool = true;
     const NAME: &'static str = "global-lock";

@@ -48,7 +48,7 @@
 //! ```
 //! use dcas::{DcasWord, DcasStrategy, HarrisMcas};
 //!
-//! let s = HarrisMcas::default();
+//! let s = HarrisMcas::new();
 //! let a = DcasWord::new(0);
 //! let b = DcasWord::new(4);
 //! // Swap both words atomically.
@@ -72,6 +72,7 @@ mod global_lock;
 pub mod hw;
 mod mcas;
 mod pool;
+pub mod reclaim;
 mod seqlock;
 mod stats;
 mod striped;
@@ -100,8 +101,10 @@ pub use elimination::{EliminationArray, EndConfig};
 pub use fault::{FaultInjecting, FaultLog, FaultPlan, FaultPoint, Kill, KillKind, StallGate};
 pub use global_lock::GlobalLock;
 pub use hw::DcasPair;
-pub use mcas::{HarrisMcas, HarrisMcasBoxed, McasConfig};
-pub use pool::orphan_count;
+pub use mcas::{HarrisMcas, HarrisMcasBoxed, HarrisMcasHazard, McasConfig};
+pub use pool::{live_descriptors, orphan_count};
+pub use reclaim::hazard::HazardReclaimer;
+pub use reclaim::{EpochReclaimer, ReclaimGuard, Reclaimer};
 #[cfg(feature = "fault-inject")]
 pub use pool::{quarantine_inflight, quarantine_len};
 pub use seqlock::GlobalSeqLock;

@@ -35,7 +35,8 @@
 //! `Box::new`, preserving lock-freedom). Because the RDCSS descriptor of
 //! each target word (`Entry`) is embedded in its parent `DcasDescriptor`,
 //! recycling the parent recycles the RDCSS descriptors with it. Pooling
-//! can be disabled per instance via [`McasConfig`] for ablation.
+//! can be disabled per instance via [`McasConfig`] for ablation (under
+//! the hazard backend the pool is always used — see below).
 //!
 //! # Owner fast-path installation
 //!
@@ -68,27 +69,47 @@
 //!
 //! The two reserved low bits of every [`DcasWord`] distinguish payloads
 //! (`00`) from RDCSS descriptors (`01`) and DCAS descriptors (`10`).
-//! Descriptors are managed with `crossbeam-epoch`: every public
-//! operation runs inside one pinned epoch guard, and the descriptor is
-//! retired by its owner after phase 2. Transient re-installations by slow
-//! helpers are safe because a helper only acts within a pinned section
-//! whose guard predates the owner's retirement, so the epoch cannot
-//! advance far enough to *recycle* a descriptor while any thread can
-//! still observe a tagged pointer to it. Recycling is exactly as safe as
-//! the free it replaces: the epoch-deferred release runs only after the
-//! same grace period that previously justified `drop(Box::from_raw(d))`,
-//! at which point no thread can dereference the old incarnation — the
-//! new owner rewrites status and entries while the descriptor is still
-//! private and republishes it with the same SeqCst installation CAS.
+//! Descriptor lifetime is managed by a pluggable
+//! [`Reclaimer`](crate::reclaim::Reclaimer) backend: `HarrisMcas<R>` is
+//! generic over it, with [`EpochReclaimer`] (the vendored
+//! `crossbeam-epoch` shim) as the default and
+//! [`HazardReclaimer`](crate::reclaim::hazard::HazardReclaimer) — alias
+//! [`HarrisMcasHazard`] — as the bounded-garbage alternative.
+//!
+//! Under epochs, every public operation runs inside one pinned guard and
+//! the descriptor is retired by its owner after phase 2; a helper only
+//! acts within a pinned section whose guard predates that retirement, so
+//! the epoch cannot advance far enough to recycle a descriptor while any
+//! thread can still observe a tagged pointer to it.
+//!
+//! Under hazard pointers (`NEEDS_PROTECT == true`), every dereference of
+//! a tagged value is preceded by an *announce-and-validate*: the pointer
+//! is stored in a hazard slot (with an
+//! [`EXPAND_DESC`](crate::reclaim::EXPAND_DESC)/
+//! [`EXPAND_ENTRY`](crate::reclaim::EXPAND_ENTRY) flag so the scanner
+//! also protects the descriptor's *target words*), then the source word
+//! is re-read; a mismatch means the announcement may be too late, and
+//! the caller retries from a fresh read. The owner additionally
+//! announces its own descriptor (slot 0) for the whole operation, so a
+//! thread frozen mid-operation keeps its target words protected — that
+//! self-hazard, plus validated helper hazards, is the induction that
+//! keeps every tagged pointer covered from publication to the last
+//! transient helper re-installation. Recycled descriptor memory is
+//! *immortal* (it returns to the [`pool`](crate::pool), never the
+//! allocator — see the pool docs), which is what makes the scanner's
+//! expansion reads and the single-phase announce/validate protocol
+//! memory-safe even against stale announcements.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crossbeam_epoch as epoch;
+use std::marker::PhantomData;
+use std::ptr::{self, addr_of_mut};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use crate::backoff::Backoff;
 use crate::fault_point;
 use crate::hw;
 use crate::pool;
+use crate::reclaim::hazard::HazardReclaimer;
+use crate::reclaim::{EpochReclaimer, ReclaimGuard, Reclaimer, EXPAND_DESC, EXPAND_ENTRY};
 use crate::stats::{Counters, StrategyStats};
 use crate::strategy::{validate_args, validate_casn, MAX_CASN_WORDS};
 use crate::{CasnEntry, DcasStrategy, DcasWord};
@@ -117,9 +138,16 @@ fn is_dcas(v: u64) -> bool {
 /// (control address = parent status, expected control = `UNDECIDED`,
 /// new value = tagged parent) are derivable from it and immutable for
 /// the lifetime of the parent's publication.
+///
+/// `addr` is atomic because the hazard scanner reads it from descriptors
+/// it knows only by address — possibly a recycled incarnation — so the
+/// read must never race with the next owner's (re-)initialization.
+/// `parent`/`old`/`new` stay plain: they are written while the
+/// descriptor is private and read only under a validated hazard or an
+/// epoch pin, both of which exclude recycling.
 struct Entry {
     parent: *const DcasDescriptor,
-    addr: *const DcasWord,
+    addr: AtomicPtr<DcasWord>,
     old: u64,
     new: u64,
 }
@@ -127,21 +155,26 @@ struct Entry {
 impl Entry {
     /// Placeholder contents for a descriptor sitting in the pool.
     const fn vacant() -> Self {
-        Entry { parent: std::ptr::null(), addr: std::ptr::null(), old: 0, new: 0 }
+        Entry {
+            parent: ptr::null(),
+            addr: AtomicPtr::new(ptr::null_mut()),
+            old: 0,
+            new: 0,
+        }
     }
 }
 
 /// A CASN descriptor holding up to [`MAX_CASN_WORDS`] entries, of which
 /// the first `len` are live for the current operation (a plain `dcas`
 /// uses 2; the deques' batch operations use up to the maximum). Live
-/// entries are sorted by target address. `len` is a plain field written
-/// while the descriptor is private and read by helpers only after they
-/// observe the publishing SeqCst CAS, exactly like the entry fields.
+/// entries are sorted by target address. `len` is atomic for the same
+/// scanner-vs-recycle reason as `Entry::addr`; helpers observe the
+/// owner's value via the publishing SeqCst CAS.
 /// `pub(crate)` so the [`pool`](crate::pool) freelists can name the type.
 #[repr(align(8))]
 pub(crate) struct DcasDescriptor {
     status: AtomicU64,
-    len: usize,
+    len: AtomicUsize,
     entries: [Entry; MAX_CASN_WORDS],
 }
 
@@ -149,7 +182,7 @@ impl DcasDescriptor {
     pub(crate) fn vacant() -> Self {
         DcasDescriptor {
             status: AtomicU64::new(UNDECIDED),
-            len: 0,
+            len: AtomicUsize::new(0),
             entries: std::array::from_fn(|_| Entry::vacant()),
         }
     }
@@ -161,9 +194,75 @@ impl DcasDescriptor {
 unsafe impl Send for DcasDescriptor {}
 unsafe impl Sync for DcasDescriptor {}
 
+/// Pushes the target-word addresses named by the descriptor at `d` into
+/// `out` — the hazard scanner's *expansion* of an
+/// [`EXPAND_DESC`]-flagged slot. Reads only the atomic fields (`len`,
+/// clamped, and each entry's `addr`), so a stale or recycled descriptor
+/// yields at worst conservative spurious hazards.
+///
+/// # Safety
+///
+/// `d` must point at a `DcasDescriptor` allocation that is still live —
+/// guaranteed for every once-published descriptor because descriptor
+/// memory is immortal under the hazard backend (pool docs).
+pub(crate) unsafe fn expand_descriptor_hazard(d: *const u8, out: &mut Vec<usize>) {
+    let d = d.cast::<DcasDescriptor>();
+    // SAFETY: live allocation per caller contract; atomic loads only.
+    let len = unsafe { (*d).len.load(Ordering::SeqCst) }.min(MAX_CASN_WORDS);
+    for i in 0..len {
+        // SAFETY: as above; `i < MAX_CASN_WORDS` by the clamp.
+        let a = unsafe { (*d).entries[i].addr.load(Ordering::SeqCst) };
+        if !a.is_null() {
+            out.push(a as usize);
+        }
+    }
+}
+
+/// [`expand_descriptor_hazard`] for a single [`EXPAND_ENTRY`]-flagged
+/// entry pointer: pushes just that entry's target-word address (the
+/// range check on the entry address itself already covers the parent
+/// descriptor's allocation, since entries are embedded in it).
+///
+/// # Safety
+///
+/// `e` must point into a live `DcasDescriptor` allocation (same
+/// immortality argument as [`expand_descriptor_hazard`]).
+pub(crate) unsafe fn expand_entry_hazard(e: *const u8, out: &mut Vec<usize>) {
+    let e = e.cast::<Entry>();
+    // SAFETY: live allocation per caller contract; atomic load only.
+    let a = unsafe { (*e).addr.load(Ordering::SeqCst) };
+    if !a.is_null() {
+        out.push(a as usize);
+    }
+}
+
+/// Initializes one live entry of a **private** (unpublished) descriptor
+/// field by field, never forming a reference to the `Entry` or the
+/// descriptor: hazard scanners may concurrently read the *atomic*
+/// fields of a recycled descriptor, and a `&mut` would assert exclusive
+/// access the scanner violates. The plain-field raw writes race with
+/// nothing (helpers hold validated protection, which excludes
+/// recycling; scanners read only atomics).
+///
+/// # Safety
+///
+/// `d` must be exclusively owned by the caller (acquired, not yet
+/// published) and `i < MAX_CASN_WORDS`.
+unsafe fn init_entry(d: *mut DcasDescriptor, i: usize, w: &DcasWord, old: u64, new: u64) {
+    // SAFETY: `d` private per caller contract; projections stay in
+    // bounds; no reference to non-atomic fields is ever shared.
+    unsafe {
+        let e = addr_of_mut!((*d).entries[i]);
+        addr_of_mut!((*e).parent).write(d);
+        addr_of_mut!((*e).old).write(old);
+        addr_of_mut!((*e).new).write(new);
+        (*e).addr.store(w as *const DcasWord as *mut DcasWord, Ordering::Relaxed);
+    }
+}
+
 #[inline]
-fn tagged_entry(e: &Entry) -> u64 {
-    e as *const Entry as u64 | RDCSS_TAG
+fn tagged_entry(e: *const Entry) -> u64 {
+    e as u64 | RDCSS_TAG
 }
 
 #[inline]
@@ -177,7 +276,9 @@ fn tagged_desc(d: *const DcasDescriptor) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McasConfig {
     /// Recycle descriptors through per-thread freelists instead of
-    /// boxing/freeing one per operation. Default `true`.
+    /// boxing/freeing one per operation. Default `true`. Ignored (always
+    /// on) under the hazard backend, whose scanner requires descriptor
+    /// memory to be immortal.
     pub pool_descriptors: bool,
     /// Apply exponential [`Backoff`](crate::Backoff) on retry and
     /// helping loops. Default `true`.
@@ -218,34 +319,54 @@ impl McasConfig {
     }
 }
 
-/// Lock-free DCAS emulation (RDCSS + two-entry CASN).
+/// Lock-free DCAS emulation (RDCSS + two-entry CASN), generic over the
+/// memory-reclamation backend `R`.
 ///
 /// See the module-level documentation for the protocol. All public
 /// operations are lock-free. With the default [`McasConfig`], descriptors
 /// are pooled — a steady-state `dcas` performs **zero heap allocations**
 /// (a mismatch detected by the preliminary read fails without even
 /// touching the pool) — and retry/helping loops use exponential backoff.
-pub struct HarrisMcas {
+///
+/// `HarrisMcas` (no parameter) is the epoch-backed default;
+/// [`HarrisMcasHazard`] is the same protocol over hazard pointers, whose
+/// garbage stays bounded even under frozen threads.
+pub struct HarrisMcas<R: Reclaimer = EpochReclaimer> {
     config: McasConfig,
     counters: Counters,
+    _backend: PhantomData<R>,
 }
 
-impl Default for HarrisMcas {
+impl<R: Reclaimer> Default for HarrisMcas<R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_config_in(McasConfig::default())
     }
 }
 
 impl HarrisMcas {
-    /// Creates a fresh emulation instance with the default (pooled,
+    /// Creates a fresh epoch-backed instance with the default (pooled,
     /// backed-off) configuration.
     pub fn new() -> Self {
         Self::with_config(McasConfig::default())
     }
 
-    /// Creates an instance with an explicit configuration.
+    /// Creates an epoch-backed instance with an explicit configuration.
     pub fn with_config(config: McasConfig) -> Self {
-        HarrisMcas { config, counters: Counters::default() }
+        Self::with_config_in(config)
+    }
+}
+
+impl<R: Reclaimer> HarrisMcas<R> {
+    /// Whether the backend requires announce-and-validate protection
+    /// (`true` for hazard pointers). Const, so the epoch instantiation
+    /// folds every validation re-read away.
+    const NP: bool = <R::Guard as ReclaimGuard>::NEEDS_PROTECT;
+
+    /// Creates an instance with an explicit configuration over the
+    /// backend `R` (the backend-generic form of
+    /// [`HarrisMcas::with_config`]).
+    pub fn with_config_in(config: McasConfig) -> Self {
+        HarrisMcas { config, counters: Counters::default(), _backend: PhantomData }
     }
 
     /// The configuration this instance was built with.
@@ -255,22 +376,35 @@ impl HarrisMcas {
 
     /// Snapshot of this instance's operation counters. All-zero unless
     /// the crate is built with the `stats` feature — except
-    /// [`descriptor_orphans`](StrategyStats::descriptor_orphans), which
-    /// audits a correctness-relevant event (descriptors quarantined for
-    /// killed threads) and is reported unconditionally. It is
-    /// process-global, like the thread-local descriptor pools it
-    /// audits.
+    /// [`descriptor_orphans`](StrategyStats::descriptor_orphans) and the
+    /// reclamation gauges
+    /// ([`live_descriptors`](StrategyStats::live_descriptors),
+    /// [`retired_pending`](StrategyStats::retired_pending),
+    /// [`garbage_high_water`](StrategyStats::garbage_high_water),
+    /// [`stalled_collections`](StrategyStats::stalled_collections)),
+    /// which audit correctness-relevant events and are reported
+    /// unconditionally. Those are process-global (per backend), like the
+    /// thread-local descriptor pools they audit.
     pub fn stats(&self) -> StrategyStats {
         let mut s = self.counters.snapshot();
         s.descriptor_orphans = pool::orphan_count();
+        s.live_descriptors = pool::live_descriptors();
+        s.retired_pending = R::live_garbage();
+        s.garbage_high_water = R::garbage_high_water();
+        s.stalled_collections = R::stalled_collections();
         s
     }
 
     /// Takes a descriptor for a new operation: recycled from the calling
     /// thread's freelist when configured and available, freshly boxed
-    /// otherwise. The result is exclusively owned until published.
+    /// otherwise. The result is exclusively owned until published. The
+    /// hazard backend always draws from the pool regardless of
+    /// configuration — its retirements always release back into it, and
+    /// bypassing acquisition would grow the immortal reserve without
+    /// bound.
     fn acquire_descriptor(&self) -> *mut DcasDescriptor {
-        let d = if self.config.pool_descriptors {
+        pool::note_alloc();
+        let d = if Self::NP || self.config.pool_descriptors {
             pool::acquire()
         } else {
             None
@@ -294,27 +428,38 @@ impl HarrisMcas {
     }
 
     /// Retires a published descriptor after phase 2: back to a freelist
-    /// (or the allocator, in seed-compat mode) once the grace period
-    /// elapses. The deferred closure captures only the pointer, so it
-    /// stays on `crossbeam-epoch`'s inline (allocation-free) path.
+    /// (or the allocator, in epoch-backed seed-compat mode) once the
+    /// backend's grace period / hazard drain elapses.
     ///
     /// # Safety
     ///
     /// `d` must have been returned by [`Self::acquire_descriptor`] and be
     /// retired exactly once (only the owner executes this).
-    unsafe fn retire_descriptor(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) {
+    unsafe fn retire_descriptor(&self, g: &R::Guard, d: *mut DcasDescriptor) {
         #[cfg(feature = "fault-inject")]
         pool::clear_inflight();
-        if self.config.pool_descriptors {
-            // SAFETY (for the deferred body): the closure runs after the
-            // grace period, when `d` is unreachable from any live thread,
-            // so handing it to the freelist transfers exclusive ownership.
-            unsafe { guard.defer_unchecked(move || pool::release(d)) };
-        } else {
-            // SAFETY: `d` was created by `Box::new` (pooling off) and is
-            // freed exactly once, after the grace period.
-            unsafe { guard.defer_unchecked(move || drop(Box::from_raw(d))) };
+        unsafe fn dtor_pool(p: *mut u8) {
+            // SAFETY: the retire contract hands the dtor exclusive
+            // ownership of the block.
+            unsafe { pool::release(p.cast()) };
         }
+        unsafe fn dtor_box(p: *mut u8) {
+            pool::note_free();
+            // SAFETY: created by `Box::new` (pooling off, epoch backend)
+            // and freed exactly once, after the grace period.
+            drop(unsafe { Box::from_raw(p.cast::<DcasDescriptor>()) });
+        }
+        let dtor: unsafe fn(*mut u8) = if Self::NP || self.config.pool_descriptors {
+            dtor_pool
+        } else {
+            dtor_box
+        };
+        // SAFETY: phase 2 removed every tagged pointer to `d` from the
+        // target words (transient helper re-installations are covered by
+        // the re-installer's own pin/validated hazard — module docs), so
+        // `d` is unreachable to threads that pin afterwards; the dtor
+        // runs once per the caller contract.
+        unsafe { g.retire(d.cast(), std::mem::size_of::<DcasDescriptor>(), dtor) };
     }
 
     /// Disposes of a descriptor that was **never published**: no thread
@@ -329,10 +474,11 @@ impl HarrisMcas {
     unsafe fn dispose_unpublished(&self, d: *mut DcasDescriptor) {
         #[cfg(feature = "fault-inject")]
         pool::clear_inflight();
-        if self.config.pool_descriptors {
+        if Self::NP || self.config.pool_descriptors {
             // SAFETY: `d` is still private, hence exclusively owned.
             unsafe { pool::release(d) };
         } else {
+            pool::note_free();
             // SAFETY: as above; created by `Box::new` when pooling is off.
             drop(unsafe { Box::from_raw(d) });
         }
@@ -342,21 +488,25 @@ impl HarrisMcas {
     ///
     /// # Safety
     ///
-    /// `e` must have been obtained from a tagged word read while the
-    /// current thread was continuously pinned.
-    unsafe fn rdcss_complete(&self, e: &Entry) {
-        // SAFETY: the parent descriptor is alive for as long as any tagged
-        // pointer to one of its entries can be observed (epoch argument in
-        // the module docs).
-        let d = unsafe { &*e.parent };
-        let new = if d.status.load(Ordering::SeqCst) == UNDECIDED {
-            tagged_desc(e.parent)
+    /// `e` must be protected for the whole call: under the epoch backend
+    /// a pin predating any possible retirement of the parent descriptor;
+    /// under the hazard backend a **validated** announcement covering
+    /// the parent's allocation (the entry itself via [`EXPAND_ENTRY`] —
+    /// the scanner's range check covers the parent — or the parent via
+    /// [`EXPAND_DESC`]). The entry's target word is dereferenceable for
+    /// the same reason: the announcement expands to it, and epoch pins
+    /// cover node grace periods.
+    unsafe fn rdcss_complete(&self, e: *const Entry) {
+        // SAFETY: `e` protected per the caller contract, so the parent
+        // cannot be recycled mid-read and the plain fields are stable.
+        let (parent, old, w) =
+            unsafe { ((*e).parent, (*e).old, &*(*e).addr.load(Ordering::Relaxed)) };
+        // SAFETY: `parent` alive under the same protection.
+        let new = if unsafe { &*parent }.status.load(Ordering::SeqCst) == UNDECIDED {
+            tagged_desc(parent)
         } else {
-            e.old
+            old
         };
-        // SAFETY: `addr` outlives the operation per the caller contract of
-        // `dcas`.
-        let w = unsafe { &*e.addr };
         let _ = w.raw_compare_exchange(tagged_entry(e), new, Ordering::SeqCst, Ordering::SeqCst);
     }
 
@@ -369,17 +519,19 @@ impl HarrisMcas {
     ///
     /// # Safety
     ///
-    /// Same as [`Self::rdcss_complete`]; additionally the current thread
-    /// must be pinned.
-    unsafe fn rdcss(&self, e: &Entry) -> u64 {
-        // SAFETY: per caller contract.
-        let w = unsafe { &*e.addr };
+    /// The parent descriptor of `e` must be protected per
+    /// [`Self::rdcss_complete`]; `slot` (and above) must be free scratch
+    /// slots of `g`'s window.
+    unsafe fn rdcss(&self, g: &R::Guard, e: &Entry, slot: usize) -> u64 {
+        // SAFETY: target word protected via the parent's hazard
+        // expansion / the epoch pin (caller contract).
+        let w = unsafe { &*e.addr.load(Ordering::Relaxed) };
         let mut backoff = Backoff::new();
         loop {
             match w.raw_compare_exchange(e.old, tagged_entry(e), Ordering::SeqCst, Ordering::SeqCst)
             {
                 Ok(_) => {
-                    // SAFETY: `e` observed tagged in memory under our pin.
+                    // SAFETY: our own entry, still protected by the caller.
                     unsafe { self.rdcss_complete(e) };
                     return e.old;
                 }
@@ -389,9 +541,18 @@ impl HarrisMcas {
                     // Not effect-free: earlier entries of our own
                     // descriptor may already be installed.
                     fault_point!(MidHelping, false);
-                    // SAFETY: `seen` was read under our pin.
-                    let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
+                    let other = (seen & !TAG_MASK) as *const Entry;
+                    g.protect(slot, other as u64 | EXPAND_ENTRY);
+                    if Self::NP && w.raw_load(Ordering::SeqCst) != seen {
+                        // Announced too late — the word moved on; retry
+                        // from a fresh read.
+                        g.clear(slot);
+                        continue;
+                    }
+                    // SAFETY: announced-and-validated (hazard) or pinned
+                    // (epoch) — `other`'s parent cannot be recycled.
                     unsafe { self.rdcss_complete(other) };
+                    g.clear(slot);
                     if self.config.backoff {
                         backoff.snooze();
                     }
@@ -407,11 +568,12 @@ impl HarrisMcas {
     ///
     /// # Safety
     ///
-    /// The current thread must be pinned and `d` must be alive (obtained
-    /// either from the owner or from a tagged word read under the pin).
-    unsafe fn casn_help(&self, d: &DcasDescriptor) -> bool {
+    /// `d` must be protected for the whole call (owner self-hazard, a
+    /// validated helper hazard at a slot below `slot`, or an epoch pin);
+    /// `slot` and above must be free scratch slots of `g`'s window.
+    unsafe fn casn_help(&self, g: &R::Guard, d: *const DcasDescriptor, slot: usize) -> bool {
         // SAFETY: forwarded caller contract.
-        unsafe { self.casn_run(d, 0) }
+        unsafe { self.casn_run(g, d, 0, slot) }
     }
 
     /// [`Self::casn_help`] with the first `skip` entries assumed already
@@ -423,15 +585,24 @@ impl HarrisMcas {
     /// Same as [`Self::casn_help`]; additionally, for every skipped entry
     /// the caller must have successfully stored `tagged_desc(d)` into the
     /// entry's target word while `d.status` was `UNDECIDED`.
-    unsafe fn casn_run(&self, d: &DcasDescriptor, skip: usize) -> bool {
-        if d.status.load(Ordering::SeqCst) == UNDECIDED {
-            let me = tagged_desc(d as *const DcasDescriptor);
+    unsafe fn casn_run(
+        &self,
+        g: &R::Guard,
+        d: *const DcasDescriptor,
+        skip: usize,
+        slot: usize,
+    ) -> bool {
+        // SAFETY: `d` protected per the caller contract.
+        let d_ref = unsafe { &*d };
+        let me = tagged_desc(d);
+        let len = d_ref.len.load(Ordering::SeqCst).min(MAX_CASN_WORDS);
+        if d_ref.status.load(Ordering::SeqCst) == UNDECIDED {
             let mut status = SUCCEEDED;
             let mut backoff = Backoff::new();
-            'install: for e in &d.entries[skip..d.len] {
+            'install: for e in &d_ref.entries[skip..len] {
                 loop {
-                    // SAFETY: pinned, d alive.
-                    let val = unsafe { self.rdcss(e) };
+                    // SAFETY: parent protected; `slot` free scratch.
+                    let val = unsafe { self.rdcss(g, e, slot) };
                     if val == me || val == e.old {
                         // Our descriptor is (or was, before the status got
                         // decided) installed in this word.
@@ -444,9 +615,22 @@ impl HarrisMcas {
                         // Not effect-free: `d` may be our own descriptor
                         // with earlier entries already installed.
                         fault_point!(MidHelping, false);
-                        // SAFETY: `val` read under our pin.
-                        let other = unsafe { &*((val & !TAG_MASK) as *const DcasDescriptor) };
-                        unsafe { self.casn_help(other) };
+                        let other = (val & !TAG_MASK) as *const DcasDescriptor;
+                        g.protect(slot, other as u64 | EXPAND_DESC);
+                        // SAFETY: target word protected via `d`'s own
+                        // expansion / the epoch pin.
+                        let w = unsafe { &*e.addr.load(Ordering::Relaxed) };
+                        if Self::NP && w.raw_load(Ordering::SeqCst) != val {
+                            // The conflicting descriptor already left the
+                            // word; re-read it via a fresh rdcss.
+                            g.clear(slot);
+                            continue;
+                        }
+                        // SAFETY: announced-and-validated / pinned; the
+                        // recursion scratches strictly above `slot`, so
+                        // our announcement of `other` stays standing.
+                        unsafe { self.casn_help(g, other, slot + 1) };
+                        g.clear(slot);
                         if self.config.backoff {
                             backoff.snooze();
                         }
@@ -456,16 +640,15 @@ impl HarrisMcas {
                     break 'install;
                 }
             }
-            let _ = d
+            let _ = d_ref
                 .status
                 .compare_exchange(UNDECIDED, status, Ordering::SeqCst, Ordering::SeqCst);
         }
-        let succeeded = d.status.load(Ordering::SeqCst) == SUCCEEDED;
-        let me = tagged_desc(d as *const DcasDescriptor);
-        for e in &d.entries[..d.len] {
+        let succeeded = d_ref.status.load(Ordering::SeqCst) == SUCCEEDED;
+        for e in &d_ref.entries[..len] {
             let resolved = if succeeded { e.new } else { e.old };
-            // SAFETY: `addr` outlives the operation.
-            let w = unsafe { &*e.addr };
+            // SAFETY: target word protected via `d`'s expansion / pin.
+            let w = unsafe { &*e.addr.load(Ordering::Relaxed) };
             let _ = w.raw_compare_exchange(me, resolved, Ordering::SeqCst, Ordering::SeqCst);
         }
         succeeded
@@ -473,31 +656,47 @@ impl HarrisMcas {
 
     /// Helps the in-flight operation a tagged word value belongs to
     /// (RDCSS completion or CASN help). Returns `false` when `v` is a
-    /// plain payload, i.e. there was nothing to help.
+    /// plain payload, i.e. there was nothing to help. A `true` return
+    /// means the caller must re-read the word — either the operation was
+    /// helped, or (hazard backend) the announcement failed validation
+    /// and the value is stale either way.
     ///
     /// Only for callers whose own operation is still effect-free — the
     /// fault point here asserts as much.
     ///
     /// # Safety
     ///
-    /// The current thread must be pinned and `v` must have been read
-    /// from a [`DcasWord`] under that pin.
-    unsafe fn help_tagged(&self, v: u64) -> bool {
+    /// `v` must have been read from `w` under `g`; `slot` and above must
+    /// be free scratch slots of `g`'s window.
+    unsafe fn help_tagged(&self, g: &R::Guard, w: &DcasWord, v: u64, slot: usize) -> bool {
         if is_rdcss(v) {
             self.counters.inc_help();
             // Effect-free: the caller owns nothing published; unwinding
             // here loses no state.
             fault_point!(MidHelping, true);
-            // SAFETY: `v` read under the caller's pin.
-            let e = unsafe { &*((v & !TAG_MASK) as *const Entry) };
+            let e = (v & !TAG_MASK) as *const Entry;
+            g.protect(slot, e as u64 | EXPAND_ENTRY);
+            if Self::NP && w.raw_load(Ordering::SeqCst) != v {
+                g.clear(slot);
+                return true;
+            }
+            // SAFETY: announced-and-validated / pinned.
             unsafe { self.rdcss_complete(e) };
+            g.clear(slot);
             true
         } else if is_dcas(v) {
             self.counters.inc_help();
             fault_point!(MidHelping, true);
-            // SAFETY: `v` read under the caller's pin.
-            let d = unsafe { &*((v & !TAG_MASK) as *const DcasDescriptor) };
-            unsafe { self.casn_help(d) };
+            let d = (v & !TAG_MASK) as *const DcasDescriptor;
+            g.protect(slot, d as u64 | EXPAND_DESC);
+            if Self::NP && w.raw_load(Ordering::SeqCst) != v {
+                g.clear(slot);
+                return true;
+            }
+            // SAFETY: announced-and-validated / pinned; recursion
+            // scratches above `slot`, keeping our announcement standing.
+            unsafe { self.casn_help(g, d, slot + 1) };
+            g.clear(slot);
             true
         } else {
             false
@@ -509,13 +708,13 @@ impl HarrisMcas {
     ///
     /// # Safety
     ///
-    /// The current thread must be pinned.
-    unsafe fn read(&self, w: &DcasWord) -> u64 {
+    /// `slot` and above must be free scratch slots of `g`'s window.
+    unsafe fn read(&self, g: &R::Guard, w: &DcasWord, slot: usize) -> u64 {
         let mut backoff = Backoff::new();
         loop {
             let v = w.raw_load(Ordering::SeqCst);
-            // SAFETY: `v` read under the caller's pin.
-            if !unsafe { self.help_tagged(v) } {
+            // SAFETY: `v` freshly read from `w` under `g`.
+            if !unsafe { self.help_tagged(g, w, v, slot) } {
                 return v;
             }
             if self.config.backoff {
@@ -538,14 +737,12 @@ impl HarrisMcas {
     /// is the certified view the strong form hands back.
     ///
     /// `a1`/`a2` are the two words backing `slot` (either order): the
-    /// CAS itself runs unpinned, so its failure snapshot is good for
+    /// CAS itself runs unguarded, so its failure snapshot is good for
     /// tag *detection* only, never for dereferencing — by the time this
     /// thread pins, the owner may have resolved and retired the
-    /// descriptor (pooling off frees it outright; pooling on can hand
-    /// it to another thread that re-initializes it). The contended
-    /// branch therefore pins first and helps only values re-read from
-    /// the words under that pin, which is what `help_tagged`'s
-    /// reclamation contract requires.
+    /// descriptor. The contended branch therefore pins first and helps
+    /// only values re-read from the words under that guard, which is
+    /// what `help_tagged`'s reclamation contract requires.
     #[cfg(target_arch = "x86_64")]
     fn pair_hw(
         &self,
@@ -568,10 +765,10 @@ impl HarrisMcas {
                         // Plain payload mismatch: a legal failed-DCAS
                         // linearization point. No descriptor was (or will
                         // be) dereferenced, so the whole uncontended call
-                        // — succeed or fail — runs without an epoch pin;
-                        // that pin costs more than the `cmpxchg16b`
-                        // itself and would erase most of the fast path's
-                        // advantage.
+                        // — succeed or fail — runs without a reclamation
+                        // guard; that guard costs more than the
+                        // `cmpxchg16b` itself and would erase most of the
+                        // fast path's advantage.
                         return Err(seen);
                     }
                     // A descriptor is in flight on one of the halves.
@@ -580,18 +777,18 @@ impl HarrisMcas {
                     // to completion and retry. Pin *before* re-reading:
                     // the stale `seen` halves must not be dereferenced
                     // (see the doc comment above).
-                    let guard = epoch::pin();
+                    let g = R::pin();
                     let f1 = a1.raw_load(Ordering::SeqCst);
                     let f2 = a2.raw_load(Ordering::SeqCst);
-                    // SAFETY: pinned; `f1`/`f2` read under the pin.
+                    // SAFETY: guarded; `f1`/`f2` read under the guard.
                     // (The tags the failed CAS saw may be gone by now —
                     // fine, `help_tagged` ignores plain values and the
                     // loop just retries.)
                     unsafe {
-                        self.help_tagged(f1);
-                        self.help_tagged(f2);
+                        self.help_tagged(&g, a1, f1, 0);
+                        self.help_tagged(&g, a2, f2, 0);
                     }
-                    drop(guard);
+                    drop(g);
                     if self.config.backoff {
                         backoff.snooze();
                     }
@@ -607,11 +804,12 @@ impl HarrisMcas {
     ///
     /// # Safety
     ///
-    /// `guard` must pin the current thread for the whole call.
+    /// `g` must guard the current thread for the whole call, with its
+    /// whole slot window free.
     #[allow(clippy::too_many_arguments)]
     unsafe fn dcas_publish(
         &self,
-        guard: &epoch::Guard,
+        g: &R::Guard,
         a1: &DcasWord,
         a2: &DcasWord,
         o1: u64,
@@ -628,16 +826,17 @@ impl HarrisMcas {
         };
         let d = self.acquire_descriptor();
         // SAFETY: `d` is exclusively owned until published; a recycled
-        // descriptor is past its grace period, so no helper of a previous
-        // incarnation can observe these plain writes.
+        // descriptor is past its grace period / hazard drain, so no
+        // helper of a previous incarnation can observe these writes
+        // (scanners read only the atomic fields, which stay sound).
         unsafe {
             (*d).status.store(UNDECIDED, Ordering::Relaxed);
-            (*d).len = 2;
-            (*d).entries[0] = Entry { parent: d, addr: w1, old: ov1, new: nv1 };
-            (*d).entries[1] = Entry { parent: d, addr: w2, old: ov2, new: nv2 };
+            (*d).len.store(2, Ordering::Relaxed);
+            init_entry(d, 0, w1, ov1, nv1);
+            init_entry(d, 1, w2, ov2, nv2);
         }
         // SAFETY: forwarded caller contract; entries and len written above.
-        unsafe { self.publish_run_retire(guard, d) }
+        unsafe { self.publish_run_retire(g, d) }
     }
 
     /// Publishes a fully prepared descriptor (status `UNDECIDED`, `len`
@@ -649,20 +848,29 @@ impl HarrisMcas {
     /// plain-value mismatch there fails the operation with the descriptor
     /// never published, so it is recycled with no grace period.
     ///
+    /// The owner announces its own descriptor in slot 0 (with target-word
+    /// expansion) for the whole operation — the base case of the hazard
+    /// protection induction, and what keeps a thread frozen anywhere in
+    /// here from stranding unprotected target words. Helping and the CASN
+    /// phases scratch from slot 1 up.
+    ///
     /// # Safety
     ///
-    /// `guard` must pin the current thread for the whole call; `d` must
-    /// come from [`Self::acquire_descriptor`] with its status, `len`, and
-    /// first `len` entries initialized, and never have been published.
-    unsafe fn publish_run_retire(&self, guard: &epoch::Guard, d: *mut DcasDescriptor) -> bool {
+    /// `g` must guard the current thread for the whole call with its slot
+    /// window free; `d` must come from [`Self::acquire_descriptor`] with
+    /// its status, `len`, and first `len` entries initialized, and never
+    /// have been published.
+    unsafe fn publish_run_retire(&self, g: &R::Guard, d: *mut DcasDescriptor) -> bool {
+        g.protect(0, d as u64 | EXPAND_DESC);
         // Effect-free: `d` is still private — nobody has seen it, and a
-        // panic kill sweeps it into the quarantine.
+        // panic kill sweeps it into the quarantine. (A freeze here holds
+        // the slot-0 self-announcement, which is the point.)
         fault_point!(PreInstall, true);
         if self.config.owner_fast_install {
             // SAFETY: `d` is still private, so reading its entry is safe.
             let (w0, ov0) = unsafe {
                 let e = &(*d).entries[0];
-                (&*e.addr, e.old)
+                (&*e.addr.load(Ordering::Relaxed), e.old)
             };
             let me = tagged_desc(d);
             let mut backoff = Backoff::new();
@@ -674,16 +882,29 @@ impl HarrisMcas {
                         // Effect-free: our own descriptor is still
                         // private (the fast install did not land).
                         fault_point!(MidHelping, true);
-                        // SAFETY: `seen` read under our pin.
-                        let other = unsafe { &*((seen & !TAG_MASK) as *const Entry) };
+                        let other = (seen & !TAG_MASK) as *const Entry;
+                        g.protect(1, other as u64 | EXPAND_ENTRY);
+                        if Self::NP && w0.raw_load(Ordering::SeqCst) != seen {
+                            g.clear(1);
+                            continue;
+                        }
+                        // SAFETY: announced-and-validated / pinned.
                         unsafe { self.rdcss_complete(other) };
+                        g.clear(1);
                     }
                     Err(seen) if is_dcas(seen) => {
                         self.counters.inc_help();
                         fault_point!(MidHelping, true);
-                        // SAFETY: `seen` read under our pin.
-                        let other = unsafe { &*((seen & !TAG_MASK) as *const DcasDescriptor) };
-                        unsafe { self.casn_help(other) };
+                        let other = (seen & !TAG_MASK) as *const DcasDescriptor;
+                        g.protect(1, other as u64 | EXPAND_DESC);
+                        if Self::NP && w0.raw_load(Ordering::SeqCst) != seen {
+                            g.clear(1);
+                            continue;
+                        }
+                        // SAFETY: announced-and-validated / pinned;
+                        // recursion scratches from slot 2.
+                        unsafe { self.casn_help(g, other, 2) };
+                        g.clear(1);
                     }
                     Err(_) => {
                         // Plain value mismatch: the operation fails without
@@ -691,6 +912,7 @@ impl HarrisMcas {
                         // recycle it immediately, no grace period needed.
                         // Effect-free: unpublished, and the op failed.
                         fault_point!(PreRelease, true);
+                        g.clear(0);
                         // SAFETY: `d` from `acquire_descriptor`, still
                         // private.
                         unsafe { self.dispose_unpublished(d) };
@@ -702,60 +924,67 @@ impl HarrisMcas {
                 }
             }
 
-            // SAFETY: pinned; `d` alive; entry 0 installed by the CAS
-            // above while the status was UNDECIDED.
-            let ok = unsafe { self.casn_run(&*d, 1) };
+            // SAFETY: guarded; `d` protected by our slot-0 announcement
+            // (owner-owned under epochs); entry 0 installed by the CAS
+            // above while the status was UNDECIDED; scratch from slot 1.
+            let ok = unsafe { self.casn_run(g, d, 1, 1) };
             // Effect-free only if the operation failed: on success the
             // writes are committed and the caller owns their outcome, so
             // a panic here would lose it (a freeze is fine — the thread
             // resumes, retires, and returns normally).
             fault_point!(PreRelease, !ok);
+            // Drop the self-announcement before retiring, so our own
+            // scan can free the descriptor once helpers are done.
+            g.clear(0);
             // SAFETY: `d` came from `acquire_descriptor` and only the
             // owner executes this line.
-            unsafe { self.retire_descriptor(guard, d) };
+            unsafe { self.retire_descriptor(g, d) };
             return ok;
         }
 
-        // SAFETY: pinned; `d` alive (owned by us until retirement below).
-        let ok = unsafe { self.casn_help(&*d) };
+        // SAFETY: guarded; `d` protected by our slot-0 announcement
+        // (owner-owned under epochs); scratch from slot 1.
+        let ok = unsafe { self.casn_run(g, d, 0, 1) };
 
         fault_point!(PreRelease, !ok);
+        g.clear(0);
         // Retire the descriptor. Helpers that can still observe a tagged
-        // pointer to it hold guards that predate this retirement.
+        // pointer to it hold guards (or validated hazards) that predate
+        // this retirement.
         // SAFETY: `d` came from `acquire_descriptor` and only the owner
         // executes this line.
-        unsafe { self.retire_descriptor(guard, d) };
+        unsafe { self.retire_descriptor(g, d) };
         ok
     }
 
     /// Uncounted `dcas` body (also the forward arm of `dcas_strong`).
     fn dcas_inner(&self, a1: &DcasWord, a2: &DcasWord, o1: u64, o2: u64, n1: u64, n2: u64) -> bool {
-        let guard = epoch::pin();
+        let g = R::pin();
 
         // Fast path: a preliminary atomic read that observes a mismatch is
         // a legal linearization of a failed DCAS and costs neither an
         // allocation nor a pool access. The `||` short-circuits, covering
         // both orderings: a first-word mismatch never touches the second.
-        // SAFETY: pinned.
-        if unsafe { self.read(a1) } != o1 || unsafe { self.read(a2) } != o2 {
+        // SAFETY: guarded; slot 0 free (help_tagged restores it).
+        if unsafe { self.read(&g, a1, 0) } != o1 || unsafe { self.read(&g, a2, 0) } != o2 {
             return false;
         }
 
-        // SAFETY: `guard` pins us for the whole call.
-        unsafe { self.dcas_publish(&guard, a1, a2, o1, o2, n1, n2) }
+        // SAFETY: `g` guards us for the whole call, window free again.
+        unsafe { self.dcas_publish(&g, a1, a2, o1, o2, n1, n2) }
     }
 
-    /// One snapshot attempt for `dcas_strong`: under a single pin, reads
+    /// One snapshot attempt for `dcas_strong`: under a single guard, reads
     /// the pair and certifies the observed values with an identity DCAS.
     /// Returns the certified atomic view, or `None` if another thread's
     /// successful operation invalidated it mid-certification.
     fn snapshot(&self, a1: &DcasWord, a2: &DcasWord) -> Option<(u64, u64)> {
-        let guard = epoch::pin();
-        // SAFETY: pinned.
-        let v1 = unsafe { self.read(a1) };
-        let v2 = unsafe { self.read(a2) };
-        // SAFETY: `guard` pins us for the whole call.
-        if unsafe { self.dcas_publish(&guard, a1, a2, v1, v2, v1, v2) } {
+        let g = R::pin();
+        // SAFETY: guarded.
+        let v1 = unsafe { self.read(&g, a1, 0) };
+        let v2 = unsafe { self.read(&g, a2, 0) };
+        // SAFETY: `g` guards us for the whole call.
+        if unsafe { self.dcas_publish(&g, a1, a2, v1, v2, v1, v2) } {
             Some((v1, v2))
         } else {
             None
@@ -763,27 +992,28 @@ impl HarrisMcas {
     }
 }
 
-impl DcasStrategy for HarrisMcas {
+impl<R: Reclaimer> DcasStrategy for HarrisMcas<R> {
+    type Reclaimer = R;
     const IS_LOCK_FREE: bool = true;
     const HAS_CHEAP_STRONG: bool = false;
-    const NAME: &'static str = "harris-mcas";
+    const NAME: &'static str = R::MCAS_NAME;
 
     #[inline]
     fn load(&self, w: &DcasWord) -> u64 {
         self.counters.inc_op();
-        let _guard = epoch::pin();
-        // SAFETY: pinned for the duration of the read.
-        unsafe { self.read(w) }
+        let g = R::pin();
+        // SAFETY: guarded for the duration of the read.
+        unsafe { self.read(&g, w, 0) }
     }
 
     fn store(&self, w: &DcasWord, v: u64) {
         debug_assert!(crate::is_valid_payload(v));
         self.counters.inc_op();
-        let _guard = epoch::pin();
+        let g = R::pin();
         let mut backoff = Backoff::new();
         loop {
-            // SAFETY: pinned.
-            let cur = unsafe { self.read(w) };
+            // SAFETY: guarded.
+            let cur = unsafe { self.read(&g, w, 0) };
             if w.raw_compare_exchange(cur, v, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
@@ -798,14 +1028,14 @@ impl DcasStrategy for HarrisMcas {
     fn cas(&self, w: &DcasWord, old: u64, new: u64) -> bool {
         debug_assert!(crate::is_valid_payload(old) && crate::is_valid_payload(new));
         self.counters.inc_op();
-        let _guard = epoch::pin();
+        let g = R::pin();
         let mut backoff = Backoff::new();
         loop {
             match w.raw_compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return true,
                 // Effect-free helping: our CAS has not landed.
-                // SAFETY: `seen` read under our pin.
-                Err(seen) if unsafe { self.help_tagged(seen) } => {}
+                // SAFETY: `seen` read from `w` under our guard.
+                Err(seen) if unsafe { self.help_tagged(&g, w, seen, 0) } => {}
                 Err(_) => return false,
             }
             if self.config.backoff {
@@ -925,14 +1155,14 @@ impl DcasStrategy for HarrisMcas {
         validate_casn(entries);
         self.counters.inc_op();
         self.counters.inc_casn();
-        let guard = epoch::pin();
+        let g = R::pin();
 
         // Preliminary read fast path, as in `dcas_inner`: a mismatch seen
         // by an atomic read is a legal linearization of the failed CASN
         // and never touches the descriptor pool.
         for e in entries.iter() {
-            // SAFETY: pinned.
-            if unsafe { self.read(e.word) } != e.old {
+            // SAFETY: guarded.
+            if unsafe { self.read(&g, e.word, 0) } != e.old {
                 self.counters.inc_casn_failure();
                 return false;
             }
@@ -945,22 +1175,31 @@ impl DcasStrategy for HarrisMcas {
 
         let d = self.acquire_descriptor();
         // SAFETY: `d` is exclusively owned until published; a recycled
-        // descriptor is past its grace period (see `dcas_publish`).
+        // descriptor is past its grace period / hazard drain (see
+        // `dcas_publish`).
         unsafe {
             (*d).status.store(UNDECIDED, Ordering::Relaxed);
-            (*d).len = entries.len();
+            (*d).len.store(entries.len(), Ordering::Relaxed);
             for (i, e) in entries.iter().enumerate() {
-                (*d).entries[i] = Entry { parent: d, addr: e.word, old: e.old, new: e.new };
+                init_entry(d, i, e.word, e.old, e.new);
             }
         }
-        // SAFETY: `guard` pins us for the whole call; `d` prepared above.
-        let ok = unsafe { self.publish_run_retire(&guard, d) };
+        // SAFETY: `g` guards us for the whole call; `d` prepared above.
+        let ok = unsafe { self.publish_run_retire(&g, d) };
         if !ok {
             self.counters.inc_casn_failure();
         }
         ok
     }
 }
+
+/// [`HarrisMcas`] over the hazard-pointer backend
+/// ([`HazardReclaimer`]): identical protocol and semantics, but retired
+/// garbage — descriptors here, nodes in the deque crates — stays under
+/// the static bound `reclaim::hazard::static_garbage_bound()` even while
+/// threads are frozen mid-operation, where the epoch default grows
+/// without bound. Reports [`DcasStrategy::NAME`] `"harris-mcas-hazard"`.
+pub type HarrisMcasHazard = HarrisMcas<HazardReclaimer>;
 
 /// [`HarrisMcas`] fixed to [`McasConfig::seed_compat`]: a fresh `Box` per
 /// descriptor, no backoff, all-RDCSS installation — the seed hot path.
@@ -983,6 +1222,7 @@ impl HarrisMcasBoxed {
 }
 
 impl DcasStrategy for HarrisMcasBoxed {
+    type Reclaimer = EpochReclaimer;
     const IS_LOCK_FREE: bool = true;
     const HAS_CHEAP_STRONG: bool = false;
     const NAME: &'static str = "harris-mcas-boxed";
@@ -1116,18 +1356,20 @@ mod tests {
         assert_eq!(s.load(&a), 12);
     }
 
-    #[test]
-    fn concurrent_counters_preserve_sum() {
+    fn conservation_under_transfers<R: Reclaimer>(
+        s: Arc<HarrisMcas<R>>,
+        threads: u64,
+        iters: u64,
+    ) {
         // Two words whose sum is invariant under transfer DCASes; a torn
         // or non-atomic DCAS would break conservation.
-        let s = Arc::new(HarrisMcas::new());
         let words = Arc::new((DcasWord::new(1 << 20), DcasWord::new(1 << 20)));
         let total = (1u64 << 20) * 2;
         let mut handles = vec![];
-        for t in 0..8 {
+        for t in 0..threads {
             let (s, words) = (s.clone(), words.clone());
             handles.push(std::thread::spawn(move || {
-                for i in 0..20_000u64 {
+                for i in 0..iters {
                     loop {
                         let v1 = s.load(&words.0);
                         let v2 = s.load(&words.1);
@@ -1149,35 +1391,19 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_counters_preserve_sum() {
+        conservation_under_transfers(Arc::new(HarrisMcas::new()), 8, 20_000);
+    }
+
+    #[test]
     fn concurrent_counters_preserve_sum_seed_compat() {
         // Same conservation check with pooling and backoff disabled, so
         // the ablation arm keeps its own correctness coverage.
-        let s = Arc::new(HarrisMcas::with_config(McasConfig::seed_compat()));
-        let words = Arc::new((DcasWord::new(1 << 20), DcasWord::new(1 << 20)));
-        let total = (1u64 << 20) * 2;
-        let mut handles = vec![];
-        for t in 0..4 {
-            let (s, words) = (s.clone(), words.clone());
-            handles.push(std::thread::spawn(move || {
-                for i in 0..10_000u64 {
-                    loop {
-                        let v1 = s.load(&words.0);
-                        let v2 = s.load(&words.1);
-                        let delta = 4 * ((i + t) % 64);
-                        if v1 < delta {
-                            break;
-                        }
-                        if s.dcas(&words.0, &words.1, v1, v2, v1 - delta, v2 + delta) {
-                            break;
-                        }
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(s.load(&words.0) + s.load(&words.1), total);
+        conservation_under_transfers(
+            Arc::new(HarrisMcas::with_config(McasConfig::seed_compat())),
+            4,
+            10_000,
+        );
     }
 
     #[test]
@@ -1225,7 +1451,7 @@ mod tests {
             assert!(s.dcas(&a, &b, i * 8, i * 8 + 4, (i + 1) * 8, (i + 1) * 8 + 4));
         }
         drop(s); // any queued releases now own the only pool references
-        epoch::pin().flush();
+        EpochReclaimer::flush();
     }
 
     #[test]
@@ -1252,7 +1478,7 @@ mod tests {
         }
     }
 
-    fn race_pair_fast_path_against_descriptor_casn(config: McasConfig) {
+    fn race_pair_fast_path_against_descriptor_casn<R: Reclaimer>(config: McasConfig) {
         // The mix `crates/modelcheck` explores exhaustively, run on real
         // silicon: hardware pair CAS racing descriptor-based CASN over
         // the same two words (plus a third word, which keeps the CASN on
@@ -1268,7 +1494,7 @@ mod tests {
             pair: crate::DcasPair::new(1 << 20, 1 << 20),
             extra: DcasWord::new(1 << 20),
         });
-        let s = Arc::new(HarrisMcas::with_config(config));
+        let s = Arc::new(HarrisMcas::<R>::with_config_in(config));
         let mut handles = vec![];
         for t in 0..2u64 {
             let (s, cell) = (s.clone(), cell.clone());
@@ -1322,7 +1548,7 @@ mod tests {
 
     #[test]
     fn pair_fast_path_races_descriptor_casn_conserving_sum() {
-        race_pair_fast_path_against_descriptor_casn(McasConfig::default());
+        race_pair_fast_path_against_descriptor_casn::<EpochReclaimer>(McasConfig::default());
     }
 
     #[test]
@@ -1336,10 +1562,90 @@ mod tests {
         // stale-snapshot dereference into a hard use-after-free this
         // stress can actually trip (the pooled variant above would only
         // see recycled-but-live memory).
-        race_pair_fast_path_against_descriptor_casn(McasConfig {
+        race_pair_fast_path_against_descriptor_casn::<EpochReclaimer>(McasConfig {
             pool_descriptors: false,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn reclaim_hazard_mcas_basic_semantics() {
+        let s = HarrisMcasHazard::default();
+        assert_eq!(<HarrisMcasHazard as DcasStrategy>::NAME, "harris-mcas-hazard");
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        assert!(s.dcas(&a, &b, 0, 4, 8, 12));
+        assert_eq!((s.load(&a), s.load(&b)), (8, 12));
+        assert!(!s.dcas(&a, &b, 0, 4, 16, 16));
+        let (mut o1, mut o2) = (0, 0);
+        assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 16, 16));
+        assert_eq!((o1, o2), (8, 12));
+        let c = DcasWord::new(16);
+        let mut entries = [
+            CasnEntry::new(&a, 8, 20),
+            CasnEntry::new(&b, 12, 24),
+            CasnEntry::new(&c, 16, 28),
+        ];
+        assert!(s.casn(&mut entries));
+        assert_eq!((s.load(&a), s.load(&b), s.load(&c)), (20, 24, 28));
+        s.store(&a, 4);
+        assert!(s.cas(&a, 4, 8));
+        assert_eq!(s.load(&a), 8);
+    }
+
+    #[test]
+    fn reclaim_hazard_mcas_all_configs() {
+        // The knob matrix again, under the hazard backend (pooling is
+        // forced on internally; the knob must still be harmless).
+        for bits in 0..16u8 {
+            let config = McasConfig {
+                pool_descriptors: bits & 1 != 0,
+                backoff: bits & 2 != 0,
+                owner_fast_install: bits & 4 != 0,
+                hw_pair: bits & 8 != 0,
+            };
+            let s = HarrisMcasHazard::with_config_in(config);
+            let a = DcasWord::new(0);
+            let b = DcasWord::new(4);
+            assert!(s.dcas(&a, &b, 0, 4, 8, 12), "{config:?}");
+            assert!(!s.dcas(&a, &b, 0, 4, 16, 16), "{config:?}");
+            assert_eq!((s.load(&a), s.load(&b)), (8, 12), "{config:?}");
+            let (mut o1, mut o2) = (0, 0);
+            assert!(!s.dcas_strong(&a, &b, &mut o1, &mut o2, 16, 16), "{config:?}");
+            assert_eq!((o1, o2), (8, 12), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn reclaim_hazard_mcas_concurrent_counters_preserve_sum() {
+        // The conservation stress on the hazard arm: exercises the
+        // announce/validate helping protocol (including descriptor
+        // recycling through the immortal pool) under real contention.
+        conservation_under_transfers(Arc::new(HarrisMcasHazard::default()), 4, 10_000);
+    }
+
+    #[test]
+    fn reclaim_hazard_mcas_race_pair_vs_casn() {
+        // The pair fast path's contended branch under the hazard
+        // backend: helps only values re-read under a fresh guard, with
+        // announce-and-validate instead of an epoch pin.
+        race_pair_fast_path_against_descriptor_casn::<HazardReclaimer>(McasConfig::default());
+    }
+
+    #[test]
+    fn reclaim_hazard_mcas_garbage_stays_bounded() {
+        // After descriptor churn on the hazard arm, live garbage must
+        // respect the static bound (the frozen-victim variant lives in
+        // tests/reclaim_torture.rs).
+        let s = HarrisMcasHazard::default();
+        let a = DcasWord::new(0);
+        let b = DcasWord::new(4);
+        for i in 0..2_000u64 {
+            assert!(s.dcas(&a, &b, i * 8, i * 8 + 4, (i + 1) * 8, (i + 1) * 8 + 4));
+        }
+        let bound = crate::reclaim::hazard::static_garbage_bound();
+        let live = HazardReclaimer::live_garbage();
+        assert!(live <= bound, "hazard live garbage {live} exceeds static bound {bound}");
     }
 
     #[cfg(all(feature = "stats", target_arch = "x86_64"))]
@@ -1359,8 +1665,10 @@ mod tests {
         assert_eq!(st.pair_hits, 1);
         assert_eq!(st.pair_fallbacks, 1);
         assert_eq!(st.pair_hit_rate(), Some(0.5));
-        // The hit never touched the descriptor pool.
-        assert_eq!(st.descriptor_allocs, 1);
+        // The hit never touched the descriptor pool (the fallback took
+        // exactly one descriptor — freshly boxed or recycled from the
+        // process-wide reserve, depending on sibling tests).
+        assert_eq!(st.descriptor_allocs + st.descriptor_reuses, 1);
     }
 
     #[cfg(feature = "stats")]
@@ -1378,8 +1686,8 @@ mod tests {
         assert_eq!(st.dcas_failures, 1);
         assert_eq!(st.ops, 2);
         // The failed dcas exited on the preliminary read: exactly one
-        // descriptor was ever needed, and the pool was cold.
-        assert_eq!(st.descriptor_allocs, 1);
-        assert_eq!(st.descriptor_reuses, 0);
+        // descriptor was ever needed (freshly boxed or drawn from the
+        // process-wide reserve, depending on sibling tests).
+        assert_eq!(st.descriptor_allocs + st.descriptor_reuses, 1);
     }
 }

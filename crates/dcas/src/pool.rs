@@ -33,7 +33,21 @@
 //!
 //! The pool can never block and never loops: the strategy's
 //! *lock-freedom argument is unchanged*, and correctness never depends
-//! on a pool hit.
+//! on a pool hit (the reserve refill below uses `try_lock` only).
+//!
+//! # Descriptor memory is immortal
+//!
+//! Overflow past [`CACHE_CAP`] and thread-exit leftovers spill into a
+//! process-wide *reserve* (drawn down by cold caches) instead of going
+//! back to the allocator. This is load-bearing for the hazard-pointer
+//! backend ([`reclaim::hazard`](crate::reclaim::hazard)): its scanner
+//! dereferences descriptor addresses taken from a point-in-time hazard
+//! snapshot, possibly after the announcing thread has already moved on
+//! — safe only if a once-published descriptor address points at a live
+//! `DcasDescriptor` allocation *forever*. Recycling through freelists
+//! preserves that; freeing would not. The memory cost is bounded by the
+//! peak number of simultaneously checked-out descriptors, which the
+//! [`live_descriptors`] gauge measures.
 //!
 //! # Why recycling is as safe as freeing
 //!
@@ -50,25 +64,27 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use crate::mcas::DcasDescriptor;
 
-/// Maximum idle descriptors retained per thread; releases beyond this are
-/// freed. 512 [`MAX_CASN_WORDS`](crate::MAX_CASN_WORDS)-entry descriptors
+/// Maximum idle descriptors retained per thread; releases beyond this
+/// spill to the global reserve. 512
+/// [`MAX_CASN_WORDS`](crate::MAX_CASN_WORDS)-entry descriptors
 /// ≈ 200 KiB per thread — still noise, while comfortably absorbing the ~2
 /// epochs of in-flight retirements that are always aging toward release.
 const CACHE_CAP: usize = 512;
 
-/// The freelist, wrapped so the TLS destructor returns leftover
-/// inventory to the allocator.
+/// The freelist, wrapped so the TLS destructor spills leftover
+/// inventory into the process-wide reserve (module docs: descriptor
+/// memory is immortal).
 struct Cache(Vec<*mut DcasDescriptor>);
 
 impl Drop for Cache {
     fn drop(&mut self) {
-        for p in self.0.drain(..) {
-            // SAFETY: every pointer in the cache came from `Box::into_raw`
-            // (release contract) and is exclusively owned by the cache.
-            drop(unsafe { Box::from_raw(p) });
+        if !self.0.is_empty() {
+            let mut reserve = reserve().lock().unwrap();
+            reserve.extend(self.0.drain(..).map(|p| p as usize));
         }
     }
 }
@@ -77,23 +93,39 @@ thread_local! {
     static CACHE: RefCell<Cache> = const { RefCell::new(Cache(Vec::new())) };
 }
 
+/// Process-wide overflow reserve, as addresses so the `Vec` is `Send`
+/// without further argument. Descriptors parked here are exclusively
+/// owned by the reserve until re-acquired.
+fn reserve() -> &'static Mutex<Vec<usize>> {
+    static RESERVE: OnceLock<Mutex<Vec<usize>>> = OnceLock::new();
+    RESERVE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 /// Pops a recycled descriptor, exclusively owned by the caller. `None`
-/// on a cold cache (or during thread teardown).
+/// on a cold cache (or during thread teardown). A cold cache first
+/// tries (without blocking) to draw from the global reserve.
 pub(crate) fn acquire() -> Option<*mut DcasDescriptor> {
-    CACHE.try_with(|c| c.borrow_mut().0.pop()).ok().flatten()
+    let local = CACHE.try_with(|c| c.borrow_mut().0.pop()).ok().flatten();
+    if local.is_some() {
+        return local;
+    }
+    let from_reserve = reserve().try_lock().ok().and_then(|mut r| r.pop());
+    from_reserve.map(|addr| addr as *mut DcasDescriptor)
 }
 
 /// Returns a descriptor to the calling thread's freelist — or to the
-/// allocator, if the cache is full or already torn down.
+/// global reserve, if the cache is full or already torn down. Never
+/// frees (module docs: descriptor memory is immortal).
 ///
 /// # Safety
 ///
 /// `p` must come from `Box::into_raw`, be exclusively owned by the
 /// caller, and never be released twice. For descriptor recycling this
-/// means: call either from an epoch-deferred closure (after the grace
-/// period for the descriptor's last publication) or with a descriptor
-/// that was never published.
+/// means: call either from a reclaimer-deferred destructor (after the
+/// grace period / hazard drain for the descriptor's last publication)
+/// or with a descriptor that was never published.
 pub(crate) unsafe fn release(p: *mut DcasDescriptor) {
+    note_free();
     let pooled = CACHE
         .try_with(|c| {
             let mut cache = c.borrow_mut();
@@ -106,10 +138,34 @@ pub(crate) unsafe fn release(p: *mut DcasDescriptor) {
         })
         .unwrap_or(false);
     if !pooled {
-        // SAFETY: caller contract — `p` is an exclusively owned
-        // `Box::into_raw` allocation.
-        drop(unsafe { Box::from_raw(p) });
+        reserve().lock().unwrap().push(p as usize);
     }
+}
+
+// ---------------------------------------------------------------------
+// Checked-out descriptor gauge.
+// ---------------------------------------------------------------------
+
+static ACQUIRED: AtomicU64 = AtomicU64::new(0);
+static RELEASED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one descriptor checked out to an operation (pool hit or
+/// fresh allocation alike).
+pub(crate) fn note_alloc() {
+    ACQUIRED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one descriptor returned (to a freelist, the reserve, or —
+/// seed-compat boxed mode — the allocator).
+pub(crate) fn note_free() {
+    RELEASED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Descriptors currently checked out to operations (or aging through a
+/// reclamation grace period), process-wide. Exported as
+/// [`StrategyStats::live_descriptors`](crate::StrategyStats).
+pub fn live_descriptors() -> u64 {
+    ACQUIRED.load(Ordering::Relaxed).saturating_sub(RELEASED.load(Ordering::Relaxed))
 }
 
 // ---------------------------------------------------------------------
@@ -201,31 +257,69 @@ mod tests {
         Box::into_raw(Box::new(DcasDescriptor::vacant()))
     }
 
+    /// Returns every descriptor in `ps` to the pool: once released, a
+    /// descriptor is immortal (module docs) and must never go back to
+    /// the allocator, even in tests.
+    fn give_back(ps: impl IntoIterator<Item = *mut DcasDescriptor>) {
+        for p in ps {
+            unsafe { release(p) };
+        }
+    }
+
     #[test]
     fn release_then_acquire_recycles_lifo() {
         // Drain anything left by other tests on this thread first.
-        while acquire().is_some() {}
+        let mut drained = vec![];
+        while let Some(p) = acquire() {
+            drained.push(p);
+        }
         let (p1, p2) = (fresh(), fresh());
         unsafe {
             release(p1);
             release(p2);
         }
+        // The local cache is LIFO; it is consulted before the shared
+        // reserve, so these two pops are deterministic even with other
+        // test threads spilling into the reserve concurrently.
         assert_eq!(acquire(), Some(p2));
         assert_eq!(acquire(), Some(p1));
-        assert_eq!(acquire(), None);
-        drop(unsafe { Box::from_raw(p1) });
-        drop(unsafe { Box::from_raw(p2) });
+        give_back([p1, p2]);
+        give_back(drained);
     }
 
     #[test]
     fn caches_are_per_thread() {
-        while acquire().is_some() {}
+        let mut drained = vec![];
+        while let Some(p) = acquire() {
+            drained.push(p);
+        }
         let p = fresh();
         unsafe { release(p) };
-        // Another thread's cache is independent: it must miss.
-        std::thread::spawn(|| assert_eq!(acquire(), None)).join().unwrap();
+        // Another thread's cache is independent: whatever it may pull
+        // from the shared reserve, it can never see our local `p`.
+        let ours = p as usize;
+        std::thread::spawn(move || {
+            let got = acquire();
+            assert_ne!(got.map(|q| q as usize), Some(ours));
+            give_back(got);
+        })
+        .join()
+        .unwrap();
         assert_eq!(acquire(), Some(p));
-        drop(unsafe { Box::from_raw(p) });
+        give_back([p]);
+        give_back(drained);
+    }
+
+    #[test]
+    fn live_descriptor_gauge_moves() {
+        let a0 = ACQUIRED.load(Ordering::Relaxed);
+        let r0 = RELEASED.load(Ordering::Relaxed);
+        note_alloc();
+        note_alloc();
+        note_free();
+        assert!(ACQUIRED.load(Ordering::Relaxed) >= a0 + 2);
+        assert!(RELEASED.load(Ordering::Relaxed) > r0);
+        let _ = live_descriptors(); // saturating — never panics
     }
 
     /// A killed thread's in-flight descriptor lands in the quarantine —
@@ -252,7 +346,6 @@ mod tests {
         assert!(quarantine_len() as u64 >= orphan_count() - orphans_before);
         // The freelist stays consistent: recycling on this thread never
         // hands out the quarantined descriptor.
-        while acquire().is_some() {}
         let (p1, p2) = (fresh(), fresh());
         unsafe {
             release(p1);
@@ -263,15 +356,11 @@ mod tests {
             let b = acquire().unwrap();
             assert_ne!(a as usize, quarantined);
             assert_ne!(b as usize, quarantined);
-            assert_eq!(acquire(), None);
             unsafe {
                 release(a);
                 release(b);
             }
         }
-        let (a, b) = (acquire().unwrap(), acquire().unwrap());
-        drop(unsafe { Box::from_raw(a) });
-        drop(unsafe { Box::from_raw(b) });
     }
 
     /// The normal release path of a tracked descriptor clears the
@@ -291,15 +380,25 @@ mod tests {
     }
 
     #[test]
-    fn cap_overflow_frees_instead_of_growing() {
-        while acquire().is_some() {}
+    fn cap_overflow_spills_to_reserve_instead_of_growing() {
+        // Overflow past CACHE_CAP goes to the shared reserve, never the
+        // allocator (module docs: immortality). The local cache stays
+        // capped, and at least the capped inventory is re-acquirable
+        // (the 32 reserve spills may be claimed by concurrent test
+        // threads — the reserve is process-global).
+        let mut drained = vec![];
+        while let Some(p) = acquire() {
+            drained.push(p);
+        }
         for _ in 0..(CACHE_CAP + 32) {
             unsafe { release(fresh()) };
         }
-        let mut n = 0;
-        while acquire().is_some() {
-            n += 1;
+        let mut got = vec![];
+        while let Some(p) = acquire() {
+            got.push(p);
         }
-        assert_eq!(n, CACHE_CAP);
+        assert!(got.len() >= CACHE_CAP, "capped inventory lost: {}", got.len());
+        give_back(got);
+        give_back(drained);
     }
 }

@@ -1,0 +1,344 @@
+//! Pluggable memory reclamation for the lock-free strategies.
+//!
+//! Every retirement in this workspace — DCAS descriptors in
+//! [`mcas`](crate::HarrisMcas), nodes in the `deque-core` linked deques —
+//! used to go straight to `crossbeam-epoch`. Epochs are fast, but a
+//! thread frozen inside a pinned section pins the global epoch forever
+//! and lets garbage grow **without bound** (exactly the adversary the
+//! `fault-inject` `Freeze` kill delivers). This module abstracts the
+//! scheme behind the [`Reclaimer`] trait so the same strategy and deque
+//! code runs against either backend:
+//!
+//! * [`EpochReclaimer`] — the existing epoch shim. Unbounded garbage
+//!   under a frozen thread, but no per-access announcement cost.
+//! * [`hazard::HazardReclaimer`] — Michael-style hazard pointers.
+//!   Garbage is bounded by `O(threads × slots)` even when a thread
+//!   stalls indefinitely, at the cost of a protect/validate store+load
+//!   per pointer traversal.
+//!
+//! Both backends meter themselves through a striped [`Gauge`]
+//! (retired/freed pairs on cache-line-padded stripes plus a high-water
+//! mark), so "how much garbage is live right now" is a measured
+//! quantity — per Aksenov et al., *Memory Bounds for Concurrent Bounded
+//! Queues* — rather than an assumption. `tests/reclaim_torture.rs` and
+//! the E15 bench freeze a victim thread and compare the two curves.
+//!
+//! # Guard protocol
+//!
+//! [`Reclaimer::pin`] returns a [`ReclaimGuard`]. For epochs the guard
+//! is the pin itself and [`ReclaimGuard::protect`] is a no-op
+//! (`NEEDS_PROTECT == false`, so callers' validation re-reads
+//! const-fold away). For hazard pointers the guard is a window of the
+//! calling thread's hazard-slot array: `protect(i, addr)` announces
+//! `addr` in the i-th slot of the window, and the caller must
+//! **validate** (re-read the word the pointer came from) before
+//! dereferencing — the announce/validate/deref dance documented at each
+//! call site. Guards nest strictly LIFO per thread.
+//!
+//! Descriptor hazards carry one of two low flag bits
+//! ([`EXPAND_DESC`]/[`EXPAND_ENTRY`]) telling the hazard scanner to
+//! *expand* the announcement to the descriptor's entry target words,
+//! which closes the helper-side phase-2 window (see
+//! `mcas::expand_descriptor_hazard`).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_epoch as epoch;
+
+pub mod hazard;
+
+/// Flag bit on a hazard-slot value: the protected address is a
+/// `DcasDescriptor`; the scanner also protects every entry target word
+/// the descriptor names. Descriptors are 8-aligned so the low bits are
+/// free.
+pub const EXPAND_DESC: u64 = 0b01;
+
+/// Flag bit on a hazard-slot value: the protected address is a single
+/// descriptor `Entry`; the scanner also protects that entry's target
+/// word (and the range check on the entry address itself covers the
+/// parent descriptor's allocation, since entries are embedded in it).
+pub const EXPAND_ENTRY: u64 = 0b10;
+
+/// Mask clearing both expansion flags off a hazard-slot value.
+pub const EXPAND_MASK: u64 = 0b11;
+
+/// A pluggable reclamation backend. All methods are static: backends
+/// are process-wide (per-thread state lives in TLS inside the backend),
+/// so strategies carry the backend as a type parameter, not a field.
+pub trait Reclaimer: Send + Sync + Default + 'static {
+    /// The pin/hazard guard type.
+    type Guard: ReclaimGuard;
+
+    /// Short backend name for benches and reports.
+    const BACKEND: &'static str;
+
+    /// The [`DcasStrategy::NAME`](crate::DcasStrategy::NAME) a
+    /// `HarrisMcas` parameterized by this backend reports, so test
+    /// matrices and bench tables distinguish the arms.
+    const MCAS_NAME: &'static str;
+
+    /// Pins the calling thread (epoch) or opens a hazard-slot window.
+    fn pin() -> Self::Guard;
+
+    /// Eagerly attempts to reclaim pending garbage (epoch: an
+    /// advance-and-collect cycle; hazard: an immediate scan). Test and
+    /// teardown convenience; never required for progress.
+    fn flush();
+
+    /// Blocks retired through this backend and not yet freed,
+    /// process-wide.
+    fn live_garbage() -> u64;
+
+    /// High-water mark of [`live_garbage`](Self::live_garbage) since
+    /// process start.
+    fn garbage_high_water() -> u64;
+
+    /// Collection attempts that could not advance (epoch: the global
+    /// epoch was stuck — the frozen-thread signature — while the local
+    /// queue was over threshold). Always `0` for backends without the
+    /// failure mode.
+    fn stalled_collections() -> u64 {
+        0
+    }
+}
+
+/// The per-operation guard of a [`Reclaimer`]. Dropping the guard ends
+/// the protected section (epoch: unpin; hazard: clear the slot window).
+pub trait ReclaimGuard {
+    /// `true` if traversals must announce-and-validate pointers before
+    /// dereferencing. `false` lets callers const-fold the protection
+    /// code away (epochs protect by pinning alone).
+    const NEEDS_PROTECT: bool;
+
+    /// Announces `addr` (with optional [`EXPAND_DESC`]/[`EXPAND_ENTRY`]
+    /// flag bits) in slot `slot` of this guard's window. The caller
+    /// must re-validate the source word before relying on the
+    /// protection. No-op when `NEEDS_PROTECT` is `false`.
+    fn protect(&self, slot: usize, addr: u64);
+
+    /// Clears slot `slot` of this guard's window.
+    fn clear(&self, slot: usize);
+
+    /// Retires a block: `dtor(ptr)` runs once no thread can still hold
+    /// a protected reference to any address in `[ptr, ptr + len)`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be unreachable to threads that pin afterwards (the
+    /// block was unlinked from every shared word), `dtor` must be safe
+    /// to run exactly once on `ptr` after the grace period / hazard
+    /// drain, including on a different thread, and `len` must be the
+    /// exact size of the allocation.
+    unsafe fn retire(&self, ptr: *mut u8, len: usize, dtor: unsafe fn(*mut u8));
+}
+
+// ---------------------------------------------------------------------
+// Striped retire/free gauges.
+// ---------------------------------------------------------------------
+
+const GAUGE_STRIPES: usize = 8;
+
+/// One gauge stripe on its own cache line, so concurrent retire-heavy
+/// threads don't serialize on a single counter line (same layout
+/// argument as the PR 5 striped stats).
+#[repr(align(128))]
+struct GaugeLine {
+    retired: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl GaugeLine {
+    const fn new() -> Self {
+        GaugeLine { retired: AtomicU64::new(0), freed: AtomicU64::new(0) }
+    }
+}
+
+/// Live-garbage gauge: striped retired/freed counters plus a high-water
+/// mark, one static instance per backend. `live()` is a racy sum — fine
+/// for telemetry and for the bounded-garbage assertions, which compare
+/// against bounds far above any torn-read error.
+pub(crate) struct Gauge {
+    stripes: [GaugeLine; GAUGE_STRIPES],
+    high_water: AtomicU64,
+}
+
+#[inline]
+fn gauge_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.try_with(|i| *i).unwrap_or(0) & (GAUGE_STRIPES - 1)
+}
+
+impl Gauge {
+    pub(crate) const fn new() -> Self {
+        Gauge {
+            stripes: [
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+                GaugeLine::new(),
+            ],
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one retired block and folds the new live count into the
+    /// high-water mark.
+    pub(crate) fn on_retire(&self) {
+        self.stripes[gauge_stripe()].retired.fetch_add(1, Ordering::Relaxed);
+        let live = self.live();
+        self.high_water.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Counts one freed block.
+    pub(crate) fn on_free(&self) {
+        self.stripes[gauge_stripe()].freed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retired-but-not-freed blocks right now (racy snapshot).
+    pub(crate) fn live(&self) -> u64 {
+        let (mut retired, mut freed) = (0u64, 0u64);
+        for s in &self.stripes {
+            retired += s.retired.load(Ordering::Relaxed);
+            freed += s.freed.load(Ordering::Relaxed);
+        }
+        retired.saturating_sub(freed)
+    }
+
+    /// Highest live count ever folded in by [`Self::on_retire`].
+    pub(crate) fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge for all epoch-backend retirements (descriptors and nodes).
+pub(crate) static EPOCH_GAUGE: Gauge = Gauge::new();
+
+// ---------------------------------------------------------------------
+// Epoch backend: the shim, adapted to the trait.
+// ---------------------------------------------------------------------
+
+/// The default backend: the vendored `crossbeam-epoch` shim. Fast (one
+/// pin per operation, no per-pointer announcements), but a frozen
+/// pinned thread stops the epoch and garbage grows with op count — the
+/// trade the hazard backend exists to close.
+#[derive(Default)]
+pub struct EpochReclaimer;
+
+/// An epoch pin. Protection is implicit (the pin blocks the grace
+/// period), so `protect`/`clear` are no-ops and `NEEDS_PROTECT` is
+/// `false`.
+pub struct EpochGuard {
+    guard: epoch::Guard,
+}
+
+impl Reclaimer for EpochReclaimer {
+    type Guard = EpochGuard;
+    const BACKEND: &'static str = "epoch";
+    const MCAS_NAME: &'static str = "harris-mcas";
+
+    #[inline]
+    fn pin() -> EpochGuard {
+        EpochGuard { guard: epoch::pin() }
+    }
+
+    fn flush() {
+        epoch::pin().flush();
+    }
+
+    fn live_garbage() -> u64 {
+        EPOCH_GAUGE.live()
+    }
+
+    fn garbage_high_water() -> u64 {
+        EPOCH_GAUGE.high_water()
+    }
+
+    fn stalled_collections() -> u64 {
+        epoch::stalled_collections()
+    }
+}
+
+impl ReclaimGuard for EpochGuard {
+    const NEEDS_PROTECT: bool = false;
+
+    #[inline]
+    fn protect(&self, _slot: usize, _addr: u64) {}
+
+    #[inline]
+    fn clear(&self, _slot: usize) {}
+
+    unsafe fn retire(&self, ptr: *mut u8, _len: usize, dtor: unsafe fn(*mut u8)) {
+        EPOCH_GAUGE.on_retire();
+        // The closure captures two words (ptr + fn pointer), staying on
+        // the shim's inline allocation-free path.
+        // SAFETY: forwarded caller contract — after the grace period the
+        // block is unreachable and `dtor` runs exactly once.
+        unsafe {
+            self.guard.defer_unchecked(move || {
+                dtor(ptr);
+                EPOCH_GAUGE.on_free();
+            })
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_epoch_until(cond: impl Fn() -> bool) {
+        for _ in 0..100_000 {
+            if cond() {
+                return;
+            }
+            EpochReclaimer::flush();
+            std::thread::yield_now();
+        }
+        panic!("epoch reclamation did not converge");
+    }
+
+    #[test]
+    fn reclaim_epoch_gauge_counts_retire_and_free() {
+        let before_hw = EpochReclaimer::garbage_high_water();
+        let g = EpochReclaimer::pin();
+        let b = Box::into_raw(Box::new(7u64));
+        unsafe fn free_u64(p: *mut u8) {
+            // SAFETY: `p` came from `Box::into_raw::<u64>` below.
+            drop(unsafe { Box::from_raw(p.cast::<u64>()) });
+        }
+        // SAFETY: `b` is unreachable to any other thread.
+        unsafe { g.retire(b.cast(), std::mem::size_of::<u64>(), free_u64) };
+        drop(g);
+        assert!(EpochReclaimer::garbage_high_water() >= before_hw.max(1));
+        // Other tests retire concurrently; all we can assert is
+        // convergence of our own block (tracked via the shared gauge
+        // reaching a freed state at some point).
+        drive_epoch_until(|| EpochReclaimer::live_garbage() == 0);
+    }
+
+    #[test]
+    fn reclaim_gauge_striped_sums() {
+        let g = Gauge::new();
+        g.on_retire();
+        g.on_retire();
+        assert_eq!(g.live(), 2);
+        g.on_free();
+        assert_eq!(g.live(), 1);
+        assert!(g.high_water() >= 2);
+    }
+
+    #[test]
+    fn reclaim_epoch_guard_needs_no_protect() {
+        const { assert!(!EpochGuard::NEEDS_PROTECT) };
+        let g = EpochReclaimer::pin();
+        g.protect(0, 0xdead_bee8);
+        g.clear(0);
+    }
+}

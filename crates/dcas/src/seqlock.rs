@@ -55,6 +55,7 @@ impl GlobalSeqLock {
 }
 
 impl DcasStrategy for GlobalSeqLock {
+    type Reclaimer = crate::reclaim::EpochReclaimer;
     const IS_LOCK_FREE: bool = false;
     const HAS_CHEAP_STRONG: bool = true;
     const NAME: &'static str = "global-seqlock";

@@ -73,6 +73,29 @@ pub struct StrategyStats {
     /// audits — and reported regardless of the `stats` feature, since
     /// it tracks a correctness-relevant event, not hot-path telemetry.
     pub descriptor_orphans: u64,
+    /// Descriptors currently checked out to operations (or aging through
+    /// a reclamation grace period / hazard drain). A snapshot-time gauge
+    /// read from the process-global pool accounting
+    /// ([`live_descriptors`](crate::live_descriptors)), reported
+    /// regardless of the `stats` feature.
+    pub live_descriptors: u64,
+    /// Blocks retired through this strategy's reclamation backend and
+    /// not yet freed (descriptors and client nodes alike). Snapshot-time
+    /// gauge, process-global per backend, reported regardless of the
+    /// `stats` feature.
+    pub retired_pending: u64,
+    /// High-water mark of [`retired_pending`](Self::retired_pending)
+    /// since process start — the number the bounded-memory audit
+    /// (`tests/reclaim_torture.rs`, bench E15) compares against the
+    /// hazard backend's static bound. Snapshot-time gauge, reported
+    /// regardless of the `stats` feature.
+    pub garbage_high_water: u64,
+    /// Collection attempts that found the backend stuck (epoch: the
+    /// global epoch could not advance while the local deferred queue was
+    /// over threshold — the frozen-thread signature). `0` for backends
+    /// without the failure mode. Snapshot-time gauge, reported
+    /// regardless of the `stats` feature.
+    pub stalled_collections: u64,
 }
 
 impl StrategyStats {
@@ -109,7 +132,7 @@ impl StrategyStats {
     /// stable iteration surface for exporters (e.g. `crates/obs`'
     /// metrics registry), so adding a counter here automatically reaches
     /// every report format.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
         [
             ("ops", self.ops),
             ("dcas_ops", self.dcas_ops),
@@ -124,10 +147,19 @@ impl StrategyStats {
             ("elim_hits", self.elim_hits),
             ("elim_misses", self.elim_misses),
             ("descriptor_orphans", self.descriptor_orphans),
+            ("live_descriptors", self.live_descriptors),
+            ("retired_pending", self.retired_pending),
+            ("garbage_high_water", self.garbage_high_water),
+            ("stalled_collections", self.stalled_collections),
         ]
     }
 
     /// Field-wise difference (`self - earlier`), for measuring a phase.
+    ///
+    /// The gauge fields (`live_descriptors`, `retired_pending`,
+    /// `garbage_high_water`, `stalled_collections`) are not monotonic
+    /// deltas like the counters, so their difference saturates at zero
+    /// rather than wrapping when the later snapshot is smaller.
     pub fn since(&self, earlier: &StrategyStats) -> StrategyStats {
         StrategyStats {
             ops: self.ops - earlier.ops,
@@ -143,6 +175,14 @@ impl StrategyStats {
             elim_hits: self.elim_hits - earlier.elim_hits,
             elim_misses: self.elim_misses - earlier.elim_misses,
             descriptor_orphans: self.descriptor_orphans - earlier.descriptor_orphans,
+            live_descriptors: self.live_descriptors.saturating_sub(earlier.live_descriptors),
+            retired_pending: self.retired_pending.saturating_sub(earlier.retired_pending),
+            garbage_high_water: self
+                .garbage_high_water
+                .saturating_sub(earlier.garbage_high_water),
+            stalled_collections: self
+                .stalled_collections
+                .saturating_sub(earlier.stalled_collections),
         }
     }
 }

@@ -69,6 +69,14 @@ impl<'a> CasnEntry<'a> {
 /// `fault_point!` kill hooks honor it: panics are delivered only at
 /// effect-free points).
 pub trait DcasStrategy: Send + Sync + Default + 'static {
+    /// The memory-reclamation backend this strategy retires through.
+    /// Clients that retire their own blocks (the linked deques retire
+    /// nodes) pin and retire via `Self::Reclaimer` so strategy and
+    /// client garbage share one scheme — and one garbage gauge — per
+    /// structure. Blocking strategies never retire anything and use the
+    /// epoch backend purely as the (cheap) default.
+    type Reclaimer: crate::reclaim::Reclaimer;
+
     /// `true` if the emulation is non-blocking (a stalled thread cannot
     /// prevent others from completing operations).
     const IS_LOCK_FREE: bool;

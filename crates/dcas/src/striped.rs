@@ -80,6 +80,7 @@ impl StripedLock {
 }
 
 impl DcasStrategy for StripedLock {
+    type Reclaimer = crate::reclaim::EpochReclaimer;
     const IS_LOCK_FREE: bool = false;
     const HAS_CHEAP_STRONG: bool = true;
     const NAME: &'static str = "striped-lock";

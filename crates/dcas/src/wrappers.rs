@@ -85,6 +85,7 @@ impl<S: DcasStrategy> Counting<S> {
 }
 
 impl<S: DcasStrategy> DcasStrategy for Counting<S> {
+    type Reclaimer = S::Reclaimer;
     const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
     const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
     const NAME: &'static str = S::NAME;
@@ -158,6 +159,7 @@ impl<S: DcasStrategy> Yielding<S> {
 }
 
 impl<S: DcasStrategy> DcasStrategy for Yielding<S> {
+    type Reclaimer = S::Reclaimer;
     const IS_LOCK_FREE: bool = S::IS_LOCK_FREE;
     const HAS_CHEAP_STRONG: bool = S::HAS_CHEAP_STRONG;
     const NAME: &'static str = S::NAME;

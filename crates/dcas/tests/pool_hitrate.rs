@@ -7,7 +7,7 @@
 //! acquisition shows up here as a nonzero `descriptor_allocs` delta.
 #![cfg(feature = "stats")]
 
-use dcas::{DcasStrategy, DcasWord, HarrisMcas, McasConfig};
+use dcas::{DcasStrategy, DcasWord, EpochReclaimer, HarrisMcas, McasConfig, Reclaimer};
 
 /// Primes the pool: runs `ops` successful DCASes (building inventory via
 /// fallback allocations), then flushes the epoch collector so every
@@ -17,10 +17,10 @@ fn warmup(s: &HarrisMcas, a: &DcasWord, b: &DcasWord, x: &mut u64, ops: u64) {
         assert!(s.dcas(a, b, *x, *x + 4, *x + 8, *x + 12));
         *x += 8;
     }
-    // Each flush attempts one epoch advance; three passes age every
+    // Each flush attempts one epoch advance; repeated passes age every
     // queued release past the two-epoch grace period and run it.
     for _ in 0..4 {
-        crossbeam_epoch::pin().flush();
+        EpochReclaimer::flush();
     }
 }
 
@@ -84,6 +84,40 @@ fn steady_state_dcas_strong_failure_path_is_allocation_free() {
         delta.descriptor_reuses, delta.descriptor_allocs
     );
     // Every op certified exactly one snapshot descriptor from the pool.
+    assert_eq!(delta.descriptor_reuses, STEADY_OPS);
+}
+
+#[test]
+fn reclaim_hazard_steady_state_dcas_is_allocation_free() {
+    // The hazard backend routes every descriptor through the pool
+    // (retire frees nothing to the allocator), so its steady state must
+    // be allocation-free too — the scan just delays a release until no
+    // hazard covers it.
+    use dcas::{HarrisMcasHazard, HazardReclaimer};
+    let s = HarrisMcasHazard::with_config_in(McasConfig { hw_pair: false, ..Default::default() });
+    let a = DcasWord::new(0);
+    let b = DcasWord::new(4);
+    let mut x = 0u64;
+    for _ in 0..1_000 {
+        assert!(s.dcas(&a, &b, x, x + 4, x + 8, x + 12));
+        x += 8;
+    }
+    HazardReclaimer::flush();
+
+    let before = s.stats();
+    const STEADY_OPS: u64 = 10_000;
+    for _ in 0..STEADY_OPS {
+        assert!(s.dcas(&a, &b, x, x + 4, x + 8, x + 12));
+        x += 8;
+    }
+    let delta = s.stats().since(&before);
+
+    assert_eq!(delta.dcas_ops, STEADY_OPS);
+    assert_eq!(
+        delta.descriptor_allocs, 0,
+        "hazard-backed steady-state dcas must not allocate (reuse={}, allocs={})",
+        delta.descriptor_reuses, delta.descriptor_allocs
+    );
     assert_eq!(delta.descriptor_reuses, STEADY_OPS);
 }
 

@@ -14,7 +14,11 @@
 //! 4. the hardware pair-DCAS fast path: a `DcasPair` workload plus one
 //!    deliberately non-adjacent DCAS, surfacing `pair_hit_rate`,
 //! 5. work-stealing scheduler counters from small fork-join runs on the
-//!    flat and the two-level tiered deque.
+//!    flat and the two-level tiered deque,
+//! 6. reclamation gauges: live/high-water garbage per backend (epoch vs
+//!    hazard pointers), the hazard backend's static garbage bound, and
+//!    the epoch shim's stalled-collection diagnostic. These are
+//!    snapshot-time gauges, reported with or without `obs-stats`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +52,7 @@ fn main() {
     pair_section(&mut reg);
     scheduler_section(&mut reg);
     overhead_section(&mut reg);
+    reclaim_section(&mut reg);
 
     println!("{}", reg.pretty());
     println!("--- JSON export ---");
@@ -195,6 +200,43 @@ fn pair_section(reg: &mut MetricsRegistry) {
     let words = [DcasWord::new(8), DcasWord::new(0), DcasWord::new(12)];
     assert!(mcas.dcas(&words[0], &words[2], 8, 12, 16, 20));
     reg.strategy_stats("pair_dcas", &mcas.stats());
+}
+
+/// Reclamation gauges per backend. A short list-deque churn on the
+/// hazard-backed strategy gives the hazard gauges real traffic (the
+/// epoch gauges already saw every other section's work); the hazard
+/// backend's `strategy_stats` row also lands in the registry, where the
+/// `live_descriptors` / `retired_pending` / `garbage_high_water` /
+/// `stalled_collections` gauge fields report regardless of features.
+fn reclaim_section(reg: &mut MetricsRegistry) {
+    use dcas_deques::dcas::{EpochReclaimer, HazardReclaimer, Reclaimer};
+    use dcas_deques::deque::ListDeque;
+
+    let deque: ListDeque<u64, dcas_deques::dcas::HarrisMcasHazard> = ListDeque::new();
+    for i in 0..2_000u64 {
+        deque.push_right(i).unwrap();
+        deque.pop_left();
+    }
+    reg.strategy_stats("dcas_strategy_hazard", &deque.strategy().stats());
+
+    reg.section(
+        "reclamation",
+        Json::Obj(vec![
+            ("epoch_live_garbage".into(), Json::U64(EpochReclaimer::live_garbage())),
+            ("epoch_garbage_high_water".into(), Json::U64(EpochReclaimer::garbage_high_water())),
+            (
+                "epoch_stalled_collections".into(),
+                Json::U64(EpochReclaimer::stalled_collections()),
+            ),
+            ("hazard_live_garbage".into(), Json::U64(HazardReclaimer::live_garbage())),
+            ("hazard_garbage_high_water".into(), Json::U64(HazardReclaimer::garbage_high_water())),
+            (
+                "hazard_static_garbage_bound".into(),
+                Json::U64(dcas_deques::dcas::reclaim::hazard::static_garbage_bound()),
+            ),
+            ("live_descriptors".into(), Json::U64(dcas_deques::dcas::live_descriptors())),
+        ]),
+    );
 }
 
 /// A recursive fork-join sum on the work-stealing scheduler — the

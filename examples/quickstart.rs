@@ -97,7 +97,7 @@ fn strategies() {
     let striped: ListDeque<u32, StripedLock> = ListDeque::new();
 
     for (name, d) in [
-        (HarrisMcas::NAME, &lock_free as &dyn ConcurrentDeque<u32>),
+        (<HarrisMcas>::NAME, &lock_free as &dyn ConcurrentDeque<u32>),
         (GlobalSeqLock::NAME, &seqlock),
         (GlobalLock::NAME, &coarse),
         (StripedLock::NAME, &striped),

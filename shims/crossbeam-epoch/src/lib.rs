@@ -43,6 +43,23 @@ use std::sync::{Arc, Mutex, OnceLock};
 const COLLECT_EVERY_DEFERS: u64 = 64;
 const PINS_BETWEEN_COLLECT: u64 = 128;
 
+/// Collections that found the scheme *stuck*: the global epoch could not
+/// advance (some thread is pinned at a stale epoch) while the collecting
+/// thread's own deferred queue was already over the
+/// [`COLLECT_EVERY_DEFERS`] threshold. A monotonically growing value here
+/// is the signature of a frozen/stalled pinned thread holding the whole
+/// process's garbage hostage — the unbounded-memory failure mode the
+/// hazard-pointer backend in `dcas::reclaim` exists to avoid.
+static STALLED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of collection attempts so far that were *stalled*: the epoch
+/// did not move even though the collecting thread had a full defer
+/// queue. Process-global, monotonic; exported through
+/// `dcas::StrategyStats::stalled_collections` for observability.
+pub fn stalled_collections() -> u64 {
+    STALLED.load(Ordering::Relaxed)
+}
+
 /// Inline closure words of a [`Deferred`]. Mirrors upstream: deferring a
 /// small closure (a pointer and a couple of words of context — every
 /// closure this workspace queues) must not itself allocate, since
@@ -278,7 +295,13 @@ fn drain_ripe(queue: &mut Vec<(u64, Deferred)>, epoch: u64) -> Vec<Deferred> {
 /// closures that are two epochs stale.
 fn collect(local: &Local) {
     let g = global();
+    let before = g.epoch.load(Ordering::SeqCst);
     let epoch = g.try_advance();
+    if epoch == before && local.garbage.borrow().len() >= COLLECT_EVERY_DEFERS as usize {
+        // The epoch is pinned in place while we sit on a full queue:
+        // record the stall so monitoring can tell "quiet" from "stuck".
+        STALLED.fetch_add(1, Ordering::Relaxed);
+    }
     let ripe = {
         let mut garbage = local.garbage.borrow_mut();
         drain_ripe(&mut garbage, epoch)
@@ -339,6 +362,15 @@ impl Drop for Guard {
         local.depth.set(depth - 1);
         if depth == 1 {
             local.state.store(0, Ordering::SeqCst);
+            // With the queue over threshold, try to collect *now* that
+            // our own pin no longer blocks the advance. Without this, a
+            // thread that stops calling defer_unchecked (its workload
+            // moved on) would strand a full queue until its next
+            // `PINS_BETWEEN_COLLECT`-th pin — or forever, if it never
+            // pins again on a structure using this collector.
+            if local.garbage.borrow().len() >= COLLECT_EVERY_DEFERS as usize {
+                collect(local);
+            }
         }
     }
 }
@@ -440,6 +472,75 @@ mod tests {
         .join()
         .unwrap();
         drive_until(|| DROPS.load(Ordering::SeqCst) == 1);
+    }
+
+    #[test]
+    fn stalled_collections_counts_stuck_epoch_with_full_queue() {
+        use std::sync::mpsc;
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        let (pinned_tx, pinned_rx) = mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let _g = pin();
+            pinned_tx.send(()).unwrap();
+            hold_rx.recv().unwrap();
+        });
+        pinned_rx.recv().unwrap();
+
+        let before = stalled_collections();
+        {
+            let g = pin();
+            for _ in 0..COLLECT_EVERY_DEFERS as usize + 8 {
+                unsafe { g.defer_unchecked(|| {}) };
+            }
+            // The holder pins an epoch the advance cannot leave behind,
+            // so with a full local queue each flush is a stalled
+            // collection. (The epoch may advance once past the holder's
+            // pin, hence several flushes.)
+            for _ in 0..4 {
+                g.flush();
+            }
+        }
+        assert!(
+            stalled_collections() > before,
+            "no stall recorded despite a frozen pin and a full queue"
+        );
+        hold_tx.send(()).unwrap();
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn unpin_collects_over_threshold_queue_without_explicit_flush() {
+        let freed = Arc::new(AtomicUsize::new(0));
+        let freed2 = freed.clone();
+        let n = COLLECT_EVERY_DEFERS as usize + 8;
+        std::thread::spawn(move || {
+            {
+                let g = pin();
+                for _ in 0..n {
+                    let f = freed2.clone();
+                    unsafe {
+                        g.defer_unchecked(move || {
+                            f.fetch_add(1, Ordering::SeqCst);
+                        })
+                    };
+                }
+            }
+            // Only bare pin/unpin cycles from here: the over-threshold
+            // queue must drain via the unpin-time collection (each drop
+            // attempts one epoch advance; two suffice absent
+            // interference, more under concurrent test pins).
+            for _ in 0..100_000 {
+                if freed2.load(Ordering::SeqCst) == n {
+                    return;
+                }
+                drop(pin());
+                std::thread::yield_now();
+            }
+            panic!("unpin-time collection never drained the queue");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(freed.load(Ordering::SeqCst), n);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Bounded-garbage audit under a frozen thread: the observable
+//! difference between the two reclamation backends.
+//!
+//! Both arms run the same scenario: a victim thread is frozen
+//! mid-operation (parked on a [`StallGate`] at the `PreInstall` fault
+//! point, like a descheduled processor) while worker threads churn a
+//! linked-list deque, retiring one node per pop plus the descriptors
+//! behind every CASN.
+//!
+//! * **Epoch arm** — the victim froze while *pinned*, so the global
+//!   epoch can never advance past it. Every retire after the freeze
+//!   stays deferred: live garbage grows linearly with the op count
+//!   (sampled at two checkpoints), and the shim's
+//!   `stalled_collections` diagnostic counter rises as collections
+//!   keep failing against a full queue.
+//! * **Hazard arm** — the frozen victim holds at most its own
+//!   announced hazard slots. Scans by the survivors skip only those
+//!   entries, so the high-water mark of live garbage stays under the
+//!   **static** bound `registered_records × (SCAN_THRESHOLD + SLOTS ×
+//!   (1 + MAX_CASN_WORDS))` no matter how many operations run.
+//!
+//! The arms share one `#[test]` because both the epoch state and the
+//! garbage gauges are process-global: the epoch arm must release its
+//! frozen pin and flush before the hazard arm starts measuring.
+//! `benches/e15_reclaim.rs` records the same two curves as data
+//! (BENCH_e15.json).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcas::fault::{self};
+use dcas::{
+    DcasStrategy, EpochReclaimer, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas,
+    HarrisMcasHazard, HazardReclaimer, KillKind, Reclaimer, StallGate,
+};
+use dcas_deques::deque::ListDeque;
+use dcas_deques::harness::{torture_seed, Watchdog};
+
+/// Worker threads churning the deque while the victim is frozen.
+const WORKERS: u64 = 3;
+/// Push+pop pairs per worker between the two epoch-arm checkpoints.
+const CHECKPOINT_OPS: u64 = 2_000;
+
+/// Freezes a victim mid-MCAS on `deque`, runs `rounds × CHECKPOINT_OPS`
+/// push/pop pairs per worker, sampling `garbage()` after each round.
+/// Returns the samples. The victim is released and joined before the
+/// function returns.
+fn frozen_victim_churn<S>(
+    label: &str,
+    deque: &Arc<ListDeque<u64, FaultInjecting<S>>>,
+    seed: u64,
+    rounds: usize,
+    garbage: fn() -> u64,
+) -> Vec<u64>
+where
+    S: DcasStrategy + 'static,
+{
+    let gate = StallGate::new();
+    let plan = FaultPlan::new(seed).kill(
+        FaultPoint::PreInstall,
+        3,
+        KillKind::Freeze(Arc::clone(&gate)),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut samples = Vec::with_capacity(rounds);
+
+    std::thread::scope(|s| {
+        // Victim: churns until the freeze lands mid-operation.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let victim = {
+            let deque = Arc::clone(deque);
+            let stop = Arc::clone(&stop);
+            let plan = plan.clone();
+            s.spawn(move || {
+                let guard = fault::arm(&plan, 0);
+                let log = guard.log();
+                tx.send(Arc::clone(&log)).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    deque.push_right(i << 3).unwrap();
+                    deque.pop_left();
+                    i += 1;
+                }
+                log
+            })
+        };
+
+        // Wait for the kill to land before measuring anything.
+        let log = rx.recv().unwrap();
+        while !log.is_killed() {
+            std::hint::spin_loop();
+        }
+
+        // Churn workers: all retirement traffic happens with the
+        // victim frozen.
+        let mut handles = Vec::new();
+        let done_rounds = Arc::new(std::sync::Barrier::new(WORKERS as usize + 1));
+        for t in 1..=WORKERS {
+            let deque = Arc::clone(deque);
+            let barrier = Arc::clone(&done_rounds);
+            handles.push(s.spawn(move || {
+                let mut i = 0u64;
+                for _ in 0..rounds {
+                    for _ in 0..CHECKPOINT_OPS {
+                        deque.push_right((t << 48) | (i << 3)).unwrap();
+                        deque.pop_left();
+                        i += 1;
+                    }
+                    barrier.wait();
+                    // Main samples the gauge here.
+                    barrier.wait();
+                }
+            }));
+        }
+        for _ in 0..rounds {
+            done_rounds.wait();
+            samples.push(garbage());
+            done_rounds.wait();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Tear down: release the frozen victim so it can finish its
+        // interrupted operation and exit.
+        stop.store(true, Ordering::Release);
+        gate.release();
+        let log = victim.join().unwrap();
+        assert!(log.is_frozen(), "{label}: victim was never frozen");
+    });
+    samples
+}
+
+#[test]
+fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
+    let test = "reclaim_frozen_victim_epoch_grows_hazard_bounded";
+    let seed = torture_seed(test);
+    let watchdog = Watchdog::arm(test, seed, Duration::from_secs(120));
+
+    // ---------------- Epoch arm ----------------
+    let stalled_before = EpochReclaimer::stalled_collections();
+    let epoch_deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcas>>> =
+        Arc::new(ListDeque::new());
+    let samples = frozen_victim_churn("epoch arm", &epoch_deque, seed, 4, || {
+        EpochReclaimer::live_garbage()
+    });
+    let (first, last) = (samples[0], *samples.last().unwrap());
+    // Linear growth: 4x the ops must hold at least ~3x the garbage of
+    // the first checkpoint (exact linearity is blurred by per-thread
+    // queues, so leave slack — the point is unbounded growth).
+    assert!(
+        last >= first.saturating_mul(2),
+        "epoch arm: garbage did not grow with op count under a frozen pin \
+         (samples: {samples:?})"
+    );
+    // ... and past the hazard backend's *static* bound, so the two
+    // arms are not just different constants.
+    assert!(
+        last > dcas::reclaim::hazard::static_garbage_bound(),
+        "epoch arm: garbage {last} never exceeded the hazard static bound \
+         {} — churn too small to discriminate",
+        dcas::reclaim::hazard::static_garbage_bound()
+    );
+    // The shim noticed it was spinning its wheels.
+    assert!(
+        EpochReclaimer::stalled_collections() > stalled_before,
+        "epoch arm: stalled_collections never fired with a stuck epoch"
+    );
+    // The victim is unfrozen now: repeated flushes age everything out.
+    for _ in 0..6 {
+        EpochReclaimer::flush();
+    }
+    drop(epoch_deque);
+
+    // ---------------- Hazard arm ----------------
+    let hazard_deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcasHazard>>> =
+        Arc::new(ListDeque::new());
+    let samples = frozen_victim_churn("hazard arm", &hazard_deque, seed ^ 0xA5A5, 4, || {
+        HazardReclaimer::live_garbage()
+    });
+    // The bound is computed *after* the run, when every record the run
+    // registered is counted.
+    let bound = dcas::reclaim::hazard::static_garbage_bound();
+    let hwm = HazardReclaimer::garbage_high_water();
+    assert!(
+        hwm <= bound,
+        "hazard arm: high-water {hwm} exceeded the static bound {bound} \
+         (samples: {samples:?})"
+    );
+    // Every per-round sample individually respects the bound too.
+    for (i, &g) in samples.iter().enumerate() {
+        assert!(g <= bound, "hazard arm: round {i} garbage {g} over bound {bound}");
+    }
+    HazardReclaimer::flush();
+    assert!(
+        HazardReclaimer::live_garbage() <= bound,
+        "hazard arm: post-flush garbage over bound"
+    );
+    watchdog.disarm();
+}

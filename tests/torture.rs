@@ -732,3 +732,53 @@ fn tiered_scheduler_survives_mid_spill_kill() {
     }
     watchdog.disarm();
 }
+
+// ---------------------------------------------------------------------
+// Reclamation-backend matrix: the same kill torture under hazard
+// pointers
+// ---------------------------------------------------------------------
+
+/// The fault-injecting strategy over the hazard-pointer-reclaimed MCAS.
+/// `McasConfig::default()` keeps `hw_pair: true`, so these runs also
+/// exercise the 16-byte hardware-pair fast path under the hazard
+/// backend.
+type FisH = FaultInjecting<dcas::HarrisMcasHazard>;
+
+#[test]
+fn list_deque_survives_panicked_thread_hazard_reclaim() {
+    // Same panic-kill matrix as the epoch-backed run: the PreInstall
+    // quarantine assertion (`dcas::orphan_count` grows) and the
+    // drop-count leak audit must hold regardless of which backend
+    // retires descriptors and nodes.
+    torture_matrix(
+        "list_deque_survives_panicked_thread_hazard_reclaim",
+        ListDeque::<Counted, FisH>::new,
+        || Kill::Panic,
+        true,
+    );
+}
+
+#[test]
+fn list_deque_survives_frozen_thread_hazard_reclaim() {
+    // A frozen victim parks while holding announced hazard slots; the
+    // survivors' scans simply skip whatever it protects, so progress
+    // and conservation are unaffected (the bounded-garbage claim for
+    // this scenario is measured separately in reclaim_torture.rs).
+    torture_matrix(
+        "list_deque_survives_frozen_thread_hazard_reclaim",
+        ListDeque::<Counted, FisH>::new,
+        || Kill::Freeze,
+        true,
+    );
+}
+
+#[test]
+fn dummy_list_deque_survives_panicked_thread_hazard_reclaim() {
+    torture_matrix(
+        "dummy_list_deque_survives_panicked_thread_hazard_reclaim",
+        DummyListDeque::<Counted, FisH>::new,
+        || Kill::Panic,
+        // Per-element default batch loops: not kill-attributable.
+        false,
+    );
+}
