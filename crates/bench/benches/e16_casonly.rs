@@ -1,0 +1,473 @@
+//! E16 — DCAS vs CAS: the Sundell–Tsigas CAS-only deque against the
+//! paper's DCAS deques on the same workloads.
+//!
+//! The paper's premise is that DCAS makes deques *simple*; the
+//! Sundell–Tsigas algorithm is the counter-argument that single-word
+//! CAS suffices if you pay in protocol complexity (mark bits, two-step
+//! insertion, helping). This experiment prices that trade:
+//!
+//! * **Scheduler grid** — the E13 matrix re-run with `sundell-cas` as
+//!   an arm: thread counts 1/2/4/8 (plus `available_parallelism` when
+//!   larger) × workloads flat/fib/quicksort, against `abp-cas`,
+//!   `list-dcas` (the flat DCAS deque it structurally mirrors) and
+//!   `tiered-chaselev` (the engineered fast path). One **sustained**
+//!   million-task run closes the grid.
+//! * **Mixed-ends contention** — the scheduler exercises deques
+//!   owner-LIFO/thief-FIFO, which never pits the two ends against each
+//!   other on purpose. This arm does: every thread round-robins
+//!   push-left/push-right/pop-left/pop-right on one shared deque,
+//!   `sundell-cas` vs `list-dcas` head-to-head (the only two arms with
+//!   a genuine two-ended [`ConcurrentDeque`] surface), with a value
+//!   conservation check doubling as a correctness guardrail.
+//!
+//! Runs as a plain binary (`harness = false`); unless `E16_SMOKE` is
+//! set (CI smoke: two thread counts, small workloads, no file write) it
+//! records everything in `BENCH_e16.json` at the workspace root.
+//!
+//! Guardrails (both modes exit nonzero on failure, printing a replay
+//! command):
+//!
+//! * **Conservation** — the mixed-ends arm must conserve values exactly
+//!   on every deque; a miscount is a correctness bug, never noise.
+//! * **Parity** — on the flat scheduler workload `sundell-cas` must
+//!   hold a floor fraction of `list-dcas`. The bar auto-degrades when
+//!   the thread count oversubscribes the host (single-CPU containers
+//!   measure contention overhead, not parallelism — see EXPERIMENTS.md
+//!   §E16), and smoke mode only checks a generous engagement floor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dcas_deque::{ConcurrentDeque, ListDeque, SundellDeque};
+use dcas_workstealing::{
+    AbpWorkDeque, DynDeque, ListWorkDeque, Scheduler, SundellWorkDeque, TieredChaseLevWorkDeque,
+    WorkDeque, WorkerHandle,
+};
+
+/// Full-mode parity floor: flat `sundell-cas` as a fraction of
+/// `list-dcas` when the thread count fits the host.
+const PARITY_FLOOR: f64 = 0.5;
+/// Degraded floor once the thread count oversubscribes the host: the
+/// scheduler curves then measure preemption luck as much as the deque
+/// (a descheduled thread mid-insertion forces every peer into the
+/// helping protocol), so the bar drops to "still makes progress".
+const PARITY_FLOOR_OVERSUBSCRIBED: f64 = 0.05;
+/// Smoke-mode engagement floor vs `list-dcas`.
+const SMOKE_FLOOR: f64 = 0.02;
+
+const FIB_CUTOFF: u64 = 10;
+const SORT_CUTOFF: usize = 64;
+
+struct Measurement {
+    workload: &'static str,
+    arm: &'static str,
+    threads: usize,
+    elems: u64,
+    nanos: u128,
+    /// elems/s relative to the list-dcas row of the same (workload,
+    /// threads) cell; 1.0 for list-dcas itself.
+    speedup_vs_list: f64,
+}
+
+impl Measurement {
+    fn elems_per_sec(&self) -> f64 {
+        self.elems as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+fn median(mut runs: Vec<Duration>) -> Duration {
+    runs.sort();
+    runs[runs.len() / 2]
+}
+
+// ---- Scheduler workload drivers (E13 conventions) ---------------------
+
+fn flat_tasklist<D: WorkDeque>(workers: usize, n: u64) -> Duration {
+    let done = Arc::new(AtomicU64::new(0));
+    let sched: Scheduler<D> = Scheduler::new(workers);
+    let d = done.clone();
+    let start = Instant::now();
+    sched.run(move |w| {
+        for _ in 0..n {
+            let d = d.clone();
+            w.spawn(move |_| {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(done.load(Ordering::SeqCst), n);
+    elapsed
+}
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn fib(w: &WorkerHandle<'_, DynDeque>, n: u64) -> u64 {
+    if n < FIB_CUTOFF {
+        return fib_seq(n);
+    }
+    let (a, b) = w.join(|w| fib(w, n - 1), |w| fib(w, n - 2));
+    a + b
+}
+
+fn fib_tasks(n: u64) -> u64 {
+    if n < FIB_CUTOFF {
+        0
+    } else {
+        1 + fib_tasks(n - 1) + fib_tasks(n - 2)
+    }
+}
+
+fn fib_forkjoin<D: WorkDeque>(workers: usize, n: u64) -> Duration {
+    let out = Arc::new(AtomicU64::new(0));
+    let sched: Scheduler<D> = Scheduler::new(workers);
+    let o = out.clone();
+    let start = Instant::now();
+    sched.run(move |w| {
+        o.store(fib(w, n), Ordering::SeqCst);
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(out.load(Ordering::SeqCst), fib_seq(n));
+    elapsed
+}
+
+fn quicksort(w: &WorkerHandle<'_, DynDeque>, v: &mut [u64]) {
+    if v.len() <= SORT_CUTOFF {
+        v.sort_unstable();
+        return;
+    }
+    let pivot = v[v.len() / 2];
+    let mut i = 0;
+    for j in 0..v.len() {
+        if v[j] < pivot {
+            v.swap(i, j);
+            i += 1;
+        }
+    }
+    if i == 0 {
+        for j in 0..v.len() {
+            if v[j] == pivot {
+                v.swap(i, j);
+                i += 1;
+            }
+        }
+        quicksort(w, &mut v[i..]);
+        return;
+    }
+    let (lo, hi) = v.split_at_mut(i);
+    w.join(|w| quicksort(w, lo), |w| quicksort(w, hi));
+}
+
+fn quicksort_forkjoin<D: WorkDeque>(workers: usize, len: usize) -> Duration {
+    let data: Vec<u64> =
+        (0..len as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16).collect();
+    let shared = Arc::new(Mutex::new(data));
+    let sched: Scheduler<D> = Scheduler::new(workers);
+    let s2 = shared.clone();
+    let start = Instant::now();
+    sched.run(move |w| {
+        let mut guard = s2.lock().unwrap();
+        quicksort(w, &mut guard[..]);
+    });
+    let elapsed = start.elapsed();
+    let sorted = shared.lock().unwrap();
+    assert!(sorted.windows(2).all(|p| p[0] <= p[1]), "quicksort produced unsorted output");
+    elapsed
+}
+
+// ---- Mixed-ends contention driver -------------------------------------
+
+/// Every thread round-robins all four operations on one shared deque.
+/// Returns the elapsed time; panics (→ nonzero exit) if values are not
+/// conserved: sum and count of pushed values must equal sum and count
+/// of popped-plus-drained values.
+fn mixed_ends<D>(arm: &str, make: fn() -> D, threads: usize, ops_per_thread: u64) -> Duration
+where
+    D: ConcurrentDeque<u64> + Send + Sync + 'static,
+{
+    let deque = Arc::new(make());
+    let start = Instant::now();
+    // (pushed_sum, pushed_n, popped_sum, popped_n) per thread.
+    let tallies: Vec<(u64, u64, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let deque = Arc::clone(&deque);
+                s.spawn(move || {
+                    let (mut ps, mut pn, mut os, mut on) = (0u64, 0u64, 0u64, 0u64);
+                    for i in 0..ops_per_thread {
+                        let v = ((t as u64) << 32) | (i + 1);
+                        match (i as usize + t) % 4 {
+                            0 => {
+                                deque.push_left(v).unwrap();
+                                ps += v;
+                                pn += 1;
+                            }
+                            1 => {
+                                if let Some(v) = deque.pop_right() {
+                                    os += v;
+                                    on += 1;
+                                }
+                            }
+                            2 => {
+                                deque.push_right(v).unwrap();
+                                ps += v;
+                                pn += 1;
+                            }
+                            _ => {
+                                if let Some(v) = deque.pop_left() {
+                                    os += v;
+                                    on += 1;
+                                }
+                            }
+                        }
+                    }
+                    (ps, pn, os, on)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let (mut push_sum, mut push_n, mut pop_sum, mut pop_n) = (0u64, 0u64, 0u64, 0u64);
+    for (ps, pn, os, on) in tallies {
+        push_sum += ps;
+        push_n += pn;
+        pop_sum += os;
+        pop_n += on;
+    }
+    while let Some(v) = deque.pop_left() {
+        pop_sum += v;
+        pop_n += 1;
+    }
+    if (push_sum, push_n) != (pop_sum, pop_n) {
+        eprintln!(
+            "CONSERVATION GUARDRAIL FAILED: mixed-ends/{arm} x{threads}: pushed \
+             ({push_n} values, sum {push_sum}) != popped ({pop_n} values, sum {pop_sum})"
+        );
+        std::process::exit(1);
+    }
+    elapsed
+}
+
+// ---- Matrix driver ----------------------------------------------------
+
+type Driver = fn(usize, u64) -> Duration;
+
+fn arm_driver<D: WorkDeque>(workload: &str) -> Driver {
+    match workload {
+        "flat" => |w, n| flat_tasklist::<D>(w, n),
+        "fib" => |w, n| fib_forkjoin::<D>(w, n),
+        "quicksort" => |w, n| quicksort_forkjoin::<D>(w, n as usize),
+        _ => unreachable!(),
+    }
+}
+
+/// `list-dcas` first: it is the speedup denominator.
+const ARMS: [&str; 4] = ["list-dcas", "sundell-cas", "abp-cas", "tiered-chaselev"];
+
+fn drivers_for(workload: &str) -> [Driver; 4] {
+    [
+        arm_driver::<ListWorkDeque>(workload),
+        arm_driver::<SundellWorkDeque>(workload),
+        arm_driver::<AbpWorkDeque>(workload),
+        arm_driver::<TieredChaseLevWorkDeque>(workload),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var_os("E16_SMOKE").is_some();
+    let repeats: usize = if smoke { 1 } else { 7 };
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut thread_counts: Vec<usize> = if smoke { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    if !smoke && hw > 8 {
+        thread_counts.push(hw);
+    }
+
+    let flat_n: u64 = if smoke { 4_000 } else { 65_536 };
+    let fib_n: u64 = if smoke { 16 } else { 24 };
+    let sort_len: u64 = if smoke { 4_096 } else { 65_536 };
+    let workloads: [(&'static str, u64, u64); 3] = [
+        ("flat", flat_n, flat_n),
+        ("fib", fib_n, fib_tasks(fib_n) + 1),
+        ("quicksort", sort_len, sort_len),
+    ];
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    for &(workload, param, elems) in &workloads {
+        let drivers = drivers_for(workload);
+        for &threads in &thread_counts {
+            // Interleaved repeats + adjacent same-arm warmup: the E13
+            // allocator-hygiene convention (see e13_scaling.rs).
+            let mut runs: [Vec<Duration>; 4] = Default::default();
+            for _ in 0..repeats {
+                for (i, drive) in drivers.iter().enumerate() {
+                    drive(threads, param);
+                    runs[i].push(drive(threads, param));
+                }
+            }
+            let list_nanos = median(runs[0].clone()).as_nanos();
+            for (i, arm) in ARMS.iter().enumerate() {
+                let nanos = median(runs[i].clone()).as_nanos();
+                results.push(Measurement {
+                    workload,
+                    arm,
+                    threads,
+                    elems,
+                    nanos,
+                    speedup_vs_list: list_nanos as f64 / nanos as f64,
+                });
+            }
+        }
+    }
+
+    // ---- Mixed-ends contention arm -------------------------------------
+    let mixed_ops: u64 = if smoke { 10_000 } else { 200_000 };
+    type MixedDriver = fn(&str, usize, u64) -> Duration;
+    let mixed: [(&str, MixedDriver); 2] = [
+        ("sundell-cas", |arm, t, n| mixed_ends(arm, SundellDeque::<u64>::new, t, n)),
+        ("list-dcas", |arm, t, n| mixed_ends(arm, ListDeque::<u64>::new, t, n)),
+    ];
+    for &threads in &thread_counts {
+        let mut cell: Vec<(usize, u128)> = Vec::new();
+        let mut runs: [Vec<Duration>; 2] = Default::default();
+        for _ in 0..repeats {
+            for (i, &(arm, drive)) in mixed.iter().enumerate() {
+                drive(arm, threads, mixed_ops);
+                runs[i].push(drive(arm, threads, mixed_ops));
+            }
+        }
+        for (i, _) in mixed.iter().enumerate() {
+            cell.push((i, median(runs[i].clone()).as_nanos()));
+        }
+        let list_nanos = cell.iter().find(|&&(i, _)| mixed[i].0 == "list-dcas").unwrap().1;
+        for (i, nanos) in cell {
+            results.push(Measurement {
+                workload: "mixed-ends",
+                arm: mixed[i].0,
+                threads,
+                elems: threads as u64 * mixed_ops,
+                nanos,
+                speedup_vs_list: list_nanos as f64 / nanos as f64,
+            });
+        }
+    }
+
+    // ---- Sustained million-task run (full mode only) -------------------
+    if !smoke {
+        let n = 1_000_000u64;
+        for (arm, run) in [
+            ("list-dcas", flat_tasklist::<ListWorkDeque> as Driver),
+            ("sundell-cas", flat_tasklist::<SundellWorkDeque> as Driver),
+        ] {
+            run(4, n / 10); // warmup
+            let d = run(4, n);
+            results.push(Measurement {
+                workload: "sustained-1M",
+                arm,
+                threads: 4,
+                elems: n,
+                nanos: d.as_nanos(),
+                speedup_vs_list: 1.0, // filled below
+            });
+        }
+        let list = results
+            .iter()
+            .find(|m| m.workload == "sustained-1M" && m.arm == "list-dcas")
+            .map(|m| m.nanos)
+            .unwrap();
+        for m in results.iter_mut().filter(|m| m.workload == "sustained-1M") {
+            m.speedup_vs_list = list as f64 / m.nanos as f64;
+        }
+    }
+
+    println!();
+    println!(
+        "{:<14} {:<18} {:>8} {:>14} {:>10}",
+        "workload", "arm", "threads", "elems/sec", "vs list"
+    );
+    for m in &results {
+        println!(
+            "{:<14} {:<18} {:>8} {:>14.0} {:>9.2}x",
+            m.workload,
+            m.arm,
+            m.threads,
+            m.elems_per_sec(),
+            m.speedup_vs_list,
+        );
+    }
+
+    // ---- Guardrails ----------------------------------------------------
+    // (Conservation already enforced inside `mixed_ends` — a failure
+    // exits before we get here.)
+    let replay = "cargo bench -p dcas-bench --bench e16_casonly";
+    let mut ok = true;
+    for &threads in &thread_counts {
+        let su = results
+            .iter()
+            .find(|m| m.workload == "flat" && m.arm == "sundell-cas" && m.threads == threads)
+            .unwrap();
+        let floor = if smoke {
+            SMOKE_FLOOR
+        } else if threads > hw {
+            PARITY_FLOOR_OVERSUBSCRIBED
+        } else {
+            PARITY_FLOOR
+        };
+        if su.speedup_vs_list < floor {
+            ok = false;
+            eprintln!(
+                "PERF GUARDRAIL FAILED: flat/sundell-cas x{threads} at {:.4}x of \
+                 list-dcas (floor {floor}{}); replay with:\n  {replay}",
+                su.speedup_vs_list,
+                if threads > hw { ", oversubscribed" } else { "" },
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nE16_SMOKE set: skipping BENCH_e16.json");
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let rows: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"workload\": \"{}\", \"arm\": \"{}\", \"threads\": {}, \"elems\": {}, \"nanos\": {}, \"elems_per_sec\": {:.0}, \"speedup_vs_list\": {:.3}}}",
+                m.workload,
+                m.arm,
+                m.threads,
+                m.elems,
+                m.nanos,
+                m.elems_per_sec(),
+                m.speedup_vs_list,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_casonly\",\n  {},\n  \"oversubscribed\": {},\n  \"repeats\": {repeats},\n  \"available_parallelism\": {hw},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        dcas_bench::host_info_json(),
+        dcas_bench::print_oversubscription_caveat(thread_counts.iter().copied().max().unwrap_or(1)),
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e16.json");
+    std::fs::write(out, json).expect("write BENCH_e16.json");
+    println!("\nwrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

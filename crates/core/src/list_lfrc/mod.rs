@@ -23,8 +23,7 @@
 //!   reference).
 //! * **`release` (LFRCDestroy)** — dropping a reference decrements with a
 //!   single CAS; the thread that takes the count to zero releases the
-//!   node's own outgoing references (recursively) and returns it to the
-//!   pool.
+//!   node's own outgoing references (recursively) and retires the node.
 //! * **DCASes that overwrite pointer slots** pre-increment the counts of
 //!   the new targets and, on success, decrement those of the overwritten
 //!   targets (LFRCDCAS).
@@ -35,36 +34,66 @@
 //! word obtained from `load_ptr` whose reference is still held at DCAS
 //! time.
 //!
-//! The node pool is type-stable (see the `pool` module): logically freed nodes are
-//! recycled as nodes but their memory is never released while the deque
-//! exists, so the speculative count-word access inside `load_ptr` is
-//! always a read of valid memory.
+//! # Where the pluggable [`Reclaimer`] comes in
+//!
+//! LFRC decides *when* a node is dead (count zero) without any epoch or
+//! hazard machinery — but `load_ptr` performs one **speculative** read
+//! of the candidate's count word before its validating DCAS, and that
+//! read must land on mapped memory even if the node just died. The
+//! original implementation bought this with a type-stable node pool
+//! that never returned memory to the allocator while the deque lived.
+//! This module now routes the end of a node's life through the
+//! strategy's pluggable [`Reclaimer`] instead: dead nodes are retired
+//! on the operation's guard and genuinely freed after the grace period
+//! (epoch backend) or hazard drain (hazard backend, where `load_ptr`
+//! announces and revalidates the candidate before the speculative
+//! read). The backend covers exactly that one-window access; every
+//! other dereference rides on a counted reference.
 //!
 //! Compared with the epoch-based [`ListDeque`](crate::ListDeque), pops
 //! and pushes execute extra count-maintenance CASes (measured in bench
 //! `e5_array_vs_list` and the `boundary_cases` example); the payoff is
-//! independence from any GC or epoch machinery — the paper's footnote 2
-//! caveat, discharged.
+//! that reclamation *decisions* are immediate and deterministic — the
+//! paper's footnote 2 caveat, discharged — while the allocator is a
+//! plain `Box` per node rather than a never-shrinking pool.
 
 // Nested `if`s mirror the paper's listing structure; do not collapse.
 #![allow(clippy::collapsible_if)]
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use dcas::{DcasStrategy, DcasWord, HarrisMcas};
+use dcas::{DcasStrategy, DcasWord, HarrisMcas, ReclaimGuard, Reclaimer};
 
 use crate::reserved::{NULL, SENTL, SENTR};
 use crate::value::{Boxed, WordValue};
 use crate::{ConcurrentDeque, Full};
 
-mod pool;
-use pool::NodePool;
-
 #[cfg(test)]
 mod tests;
 
-/// A node: the paper's three words plus the LFRC reference count.
+/// The reclaim guard type of a strategy's backend.
+type GuardOf<S> = <<S as DcasStrategy>::Reclaimer as Reclaimer>::Guard;
+
+/// Hazard slot used by [`RawLfrcListDeque::load_ptr`] for the
+/// speculative count-word access. Only one slot is ever live: every
+/// other dereference is backed by a counted reference, which blocks
+/// retirement outright.
+const SLOT_LOAD: usize = 0;
+
+/// Per-deque allocation audit. Every live (not yet freed) node holds
+/// one `Arc` reference, so `Arc::strong_count - 1` *is* the
+/// outstanding-node gauge — and keeps the audit block alive for
+/// retire dtors that run after the deque itself is dropped.
+struct NodeAudit {
+    /// Total nodes this deque ever allocated.
+    allocated: AtomicU64,
+}
+
+/// A node: the paper's three words plus the LFRC reference count and
+/// the audit backlink.
 #[repr(align(16))]
 pub(crate) struct Node {
     l: DcasWord,
@@ -72,6 +101,8 @@ pub(crate) struct Node {
     value: DcasWord,
     /// Reference count, stored shifted left by two (payload contract).
     rc: DcasWord,
+    /// Raw `Arc<NodeAudit>` handle, released when the node is freed.
+    audit: *const NodeAudit,
 }
 
 impl Node {
@@ -81,8 +112,24 @@ impl Node {
             r: DcasWord::new(0),
             value: DcasWord::new(NULL),
             rc: DcasWord::new(0),
+            audit: std::ptr::null(),
         }
     }
+}
+
+/// Frees a dead node: runs as the [`ReclaimGuard::retire`] dtor (on any
+/// thread, possibly after the deque is gone) and from `Drop` for nodes
+/// still linked at teardown.
+///
+/// # Safety
+///
+/// `p` must come from `Box::into_raw` in [`RawLfrcListDeque::alloc_node`]
+/// and be unreachable; runs exactly once per node.
+unsafe fn free_node(p: *mut u8) {
+    // SAFETY: per the function contract.
+    let node = unsafe { Box::from_raw(p.cast::<Node>()) };
+    // SAFETY: `audit` holds the strong reference `alloc_node` leaked.
+    unsafe { drop(Arc::from_raw(node.audit)) };
 }
 
 const DELETED_BIT: u64 = 0b100;
@@ -106,29 +153,32 @@ fn deleted_of(w: u64) -> bool {
     w & DELETED_BIT != 0
 }
 
-/// Diagnostics snapshot of the pool and counts.
+/// Diagnostics snapshot of the census and the reclamation audit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LfrcStats {
     /// Nodes currently linked in the deque (including logically deleted).
     pub linked: usize,
-    /// Nodes sitting on the freelist.
-    pub pool_free: usize,
-    /// Total nodes the pool ever allocated.
-    pub pool_total: usize,
+    /// Total nodes ever allocated by this deque.
+    pub allocated: u64,
+    /// Nodes allocated but not yet freed: linked nodes plus retirements
+    /// the backend has not drained yet. Zero after drain + flush means
+    /// the drop-count audit balances.
+    pub outstanding: u64,
 }
 
 /// Word-level LFRC deque; use [`LfrcListDeque`] for arbitrary element
 /// types.
 pub struct RawLfrcListDeque<V: WordValue, S: DcasStrategy> {
     strategy: S,
-    pool: NodePool,
+    audit: Arc<NodeAudit>,
     sl: Box<CachePadded<Node>>,
     sr: Box<CachePadded<Node>>,
     _marker: PhantomData<fn(V) -> V>,
 }
 
 // SAFETY: shared-word accesses go through the strategy; node lifetime is
-// governed by the reference-counting protocol over a type-stable pool.
+// governed by the reference-counting protocol, with the speculative
+// window covered by the strategy's reclaim guard.
 unsafe impl<V: WordValue, S: DcasStrategy> Send for RawLfrcListDeque<V, S> {}
 unsafe impl<V: WordValue, S: DcasStrategy> Sync for RawLfrcListDeque<V, S> {}
 
@@ -139,6 +189,10 @@ impl<V: WordValue, S: DcasStrategy> Default for RawLfrcListDeque<V, S> {
 }
 
 impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
+    /// Const-folds to `false` for the epoch backend, where pinning alone
+    /// protects the speculative count-word read.
+    const NP: bool = <GuardOf<S> as ReclaimGuard>::NEEDS_PROTECT;
+
     /// Creates an empty deque.
     pub fn new() -> Self {
         let sl = Box::new(CachePadded::new(Node::new_blank()));
@@ -155,7 +209,7 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
         sr.rc.init_store(ONE);
         RawLfrcListDeque {
             strategy: S::default(),
-            pool: NodePool::new(),
+            audit: Arc::new(NodeAudit { allocated: AtomicU64::new(0) }),
             sl,
             sr,
             _marker: PhantomData,
@@ -182,6 +236,15 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
         &self.strategy
     }
 
+    /// Allocates a blank node carrying a strong audit reference.
+    fn alloc_node(&self) -> *mut Node {
+        self.audit.allocated.fetch_add(1, Ordering::Relaxed);
+        let n = Box::into_raw(Box::new(Node::new_blank()));
+        // SAFETY: fresh allocation, unpublished.
+        unsafe { (*n).audit = Arc::into_raw(Arc::clone(&self.audit)) };
+        n
+    }
+
     /// LFRC *addToRC*: takes one additional reference to the target of
     /// `w`. The caller must already hold a reference to that target (or
     /// it must be a sentinel).
@@ -201,9 +264,9 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
     }
 
     /// LFRC *LFRCDestroy*: drops one reference to the target of `w`; the
-    /// dropper of the last reference recycles the node and releases its
-    /// outgoing links.
-    fn release(&self, w: u64) {
+    /// dropper of the last reference releases the node's outgoing links
+    /// and retires it on `g` (freed after the backend's grace period).
+    fn release(&self, g: &GuardOf<S>, w: u64) {
         let mut stack = vec![w];
         while let Some(w) = stack.pop() {
             let n = ptr_of(w);
@@ -218,8 +281,10 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                 if self.strategy.cas(unsafe { &(*n).rc }, rc, rc - ONE) {
                     if rc == ONE {
                         // Last reference: no slot points here and no
-                        // operation holds it. Release children, recycle.
-                        // SAFETY: exclusive access now.
+                        // operation holds it. Release children, retire.
+                        // SAFETY: exclusive access now; stale `load_ptr`
+                        // snoops of the count word are covered by their
+                        // own guards until the dtor actually runs.
                         unsafe {
                             debug_assert_eq!(
                                 (*n).value.unsync_load_shared(),
@@ -228,10 +293,11 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                             );
                             stack.push((*n).l.unsync_load_shared());
                             stack.push((*n).r.unsync_load_shared());
-                            (*n).l.init_store(0);
-                            (*n).r.init_store(0);
-                            (*n).value.init_store(NULL);
-                            self.pool.dealloc(n as *mut Node);
+                            g.retire(
+                                n as *mut Node as *mut u8,
+                                std::mem::size_of::<Node>(),
+                                free_node,
+                            );
                         }
                     }
                     break;
@@ -244,27 +310,43 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
     /// reference to its target. Returns the word read; the caller owns
     /// one reference to `ptr_of(word)` and must `release` it.
     ///
+    /// The count-word access before the validating DCAS is speculative:
+    /// the node may have died after `a` was read. The epoch backend
+    /// covers it by pinning; the hazard backend announces the candidate
+    /// at [`SLOT_LOAD`] and revalidates `a` first, and the DCAS then
+    /// fails if the slot moved on. Once the DCAS lands, the acquired
+    /// count itself blocks retirement, so the slot is cleared.
+    ///
     /// # Safety
     ///
     /// `a` must be a live pointer slot of this deque (a sentinel inward
     /// word, or a link field of a node the caller holds a reference to).
-    unsafe fn load_ptr(&self, a: &DcasWord) -> u64 {
+    unsafe fn load_ptr(&self, g: &GuardOf<S>, a: &DcasWord) -> u64 {
         loop {
             let w = self.strategy.load(a);
             let n = ptr_of(w);
             if n.is_null() || self.is_sentinel(n) {
                 return w;
             }
-            // Speculative read of the count word: valid memory even if
-            // the node was just recycled (type-stable pool); the DCAS
-            // below then fails because `a` no longer holds `w`.
-            // SAFETY: pool memory is never unmapped while `self` lives.
+            if Self::NP {
+                g.protect(SLOT_LOAD, n as u64);
+                if self.strategy.load(a) != w {
+                    // Announcement not validated: the slot moved on, so
+                    // the hazard may have raced the scanner. Start over.
+                    continue;
+                }
+            }
+            // SAFETY: pinned (epoch) or announced-and-validated
+            // (hazard) — the count word is readable even if `n` died.
             let rc = self.strategy.load(unsafe { &(*n).rc });
-            if rc >= ONE
+            let ok = rc >= ONE
                 && self
                     .strategy
-                    .dcas(a, unsafe { &(*n).rc }, w, rc, w, rc + ONE)
-            {
+                    .dcas(a, unsafe { &(*n).rc }, w, rc, w, rc + ONE);
+            if Self::NP {
+                g.clear(SLOT_LOAD);
+            }
+            if ok {
                 return w;
             }
         }
@@ -272,19 +354,20 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
 
     /// `popRight`, LFRC-transformed.
     pub fn pop_right(&self) -> Option<V> {
+        let g = S::Reclaimer::pin();
         loop {
             // SAFETY: the sentinel word is always live.
-            let old_l = unsafe { self.load_ptr(&self.sr.l) }; // ref: olp
+            let old_l = unsafe { self.load_ptr(&g, &self.sr.l) }; // ref: olp
             let olp = ptr_of(old_l);
             // SAFETY: reference held.
             let v = self.strategy.load(unsafe { &(*olp).value });
             if v == SENTL {
-                self.release(old_l);
+                self.release(&g, old_l);
                 return None;
             }
             if deleted_of(old_l) {
-                self.delete_right();
-                self.release(old_l);
+                self.delete_right(&g);
+                self.release(&g, old_l);
                 continue;
             }
             if v == NULL {
@@ -298,7 +381,7 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                     old_l,
                     v,
                 );
-                self.release(old_l);
+                self.release(&g, old_l);
                 if ok {
                     return None;
                 }
@@ -315,7 +398,7 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                 pack(olp, true),
                 NULL,
             );
-            self.release(old_l);
+            self.release(&g, old_l);
             if ok {
                 // SAFETY: the DCAS moved the value out; unique ownership.
                 return Some(unsafe { V::decode(v) });
@@ -325,17 +408,18 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
 
     /// `pushRight`, LFRC-transformed.
     pub fn push_right(&self, v: V) -> Result<(), Full<V>> {
-        let node = self.pool.alloc();
+        let g = S::Reclaimer::pin();
+        let node = self.alloc_node();
         let val = v.encode();
         // Creator's local reference.
-        // SAFETY: fresh/recycled node, unpublished: exclusive access.
+        // SAFETY: fresh node, unpublished: exclusive access.
         unsafe { (*node).rc.init_store(ONE) };
         loop {
             // SAFETY: sentinel word.
-            let old_l = unsafe { self.load_ptr(&self.sr.l) }; // ref: olp
+            let old_l = unsafe { self.load_ptr(&g, &self.sr.l) }; // ref: olp
             if deleted_of(old_l) {
-                self.delete_right();
-                self.release(old_l);
+                self.delete_right(&g);
+                self.release(&g, old_l);
                 continue;
             }
             let olp = ptr_of(old_l);
@@ -362,38 +446,38 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
             ) {
                 // Overwritten slots: SR->L targeted olp (release); olp.r
                 // targeted SR (sentinel, no-op).
-                self.release(pack(olp, false));
+                self.release(&g, pack(olp, false));
                 // Creator's local reference to the now-published node.
-                self.release(nw);
-                self.release(old_l);
+                self.release(&g, nw);
+                self.release(&g, old_l);
                 return Ok(());
             }
             // Undo the prospective counts and retry.
-            self.release(nw);
-            self.release(nw);
-            self.release(pack(olp, false));
-            self.release(old_l);
+            self.release(&g, nw);
+            self.release(&g, nw);
+            self.release(&g, pack(olp, false));
+            self.release(&g, old_l);
         }
     }
 
     /// `deleteRight`, LFRC-transformed.
-    fn delete_right(&self) {
+    fn delete_right(&self, g: &GuardOf<S>) {
         loop {
             // SAFETY: sentinel word.
-            let old_l = unsafe { self.load_ptr(&self.sr.l) }; // ref: olp
+            let old_l = unsafe { self.load_ptr(g, &self.sr.l) }; // ref: olp
             if !deleted_of(old_l) {
-                self.release(old_l);
+                self.release(g, old_l);
                 return;
             }
             let olp = ptr_of(old_l);
             // SAFETY: reference to olp held; its link field is live.
-            let old_ll_w = unsafe { self.load_ptr(&(*olp).l) }; // ref: oll
+            let old_ll_w = unsafe { self.load_ptr(g, &(*olp).l) }; // ref: oll
             let oll = ptr_of(old_ll_w);
             // SAFETY: reference to oll held.
             let v = self.strategy.load(unsafe { &(*oll).value });
             if v != NULL {
                 // SAFETY: reference to oll held.
-                let old_llr = unsafe { self.load_ptr(&(*oll).r) }; // ref: t
+                let old_llr = unsafe { self.load_ptr(g, &(*oll).r) }; // ref: t
                 if ptr_of(old_llr) == olp {
                     // Splice: SR->L -> oll (new counted slot), oll.r -> SR
                     // (sentinel).
@@ -408,22 +492,22 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                         pack(self.srp(), false),
                     ) {
                         // Overwritten slots both targeted olp.
-                        self.release(pack(olp, false));
-                        self.release(pack(olp, false));
-                        self.release(old_llr); // local (t == olp)
-                        self.release(old_ll_w);
-                        self.release(old_l);
+                        self.release(g, pack(olp, false));
+                        self.release(g, pack(olp, false));
+                        self.release(g, old_llr); // local (t == olp)
+                        self.release(g, old_ll_w);
+                        self.release(g, old_l);
                         return;
                     }
-                    self.release(pack(oll, false)); // undo
+                    self.release(g, pack(oll, false)); // undo
                 }
-                self.release(old_llr);
-                self.release(old_ll_w);
-                self.release(old_l);
+                self.release(g, old_llr);
+                self.release(g, old_ll_w);
+                self.release(g, old_l);
             } else {
                 // Two null nodes: double splice toward the sentinels.
                 // SAFETY: sentinel word.
-                let old_r = unsafe { self.load_ptr(&self.sl.r) }; // ref: orp
+                let old_r = unsafe { self.load_ptr(g, &self.sl.r) }; // ref: orp
                 let orp = ptr_of(old_r);
                 if deleted_of(old_r) {
                     // New slot targets are both sentinels: no pre-counts.
@@ -441,20 +525,20 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                         // breaks it by retargeting the dead links at the
                         // (always-valid, uncounted) sentinels — harmless
                         // for stale readers, which revalidate with DCAS.
-                        self.break_cycle(olp, orp);
+                        self.break_cycle(g, olp, orp);
                         // Overwritten: SR->L targeted olp, SL->R targeted
                         // orp.
-                        self.release(pack(olp, false));
-                        self.release(pack(orp, false));
-                        self.release(old_r);
-                        self.release(old_ll_w);
-                        self.release(old_l);
+                        self.release(g, pack(olp, false));
+                        self.release(g, pack(orp, false));
+                        self.release(g, old_r);
+                        self.release(g, old_ll_w);
+                        self.release(g, old_l);
                         return;
                     }
                 }
-                self.release(old_r);
-                self.release(old_ll_w);
-                self.release(old_l);
+                self.release(g, old_r);
+                self.release(g, old_ll_w);
+                self.release(g, old_l);
             }
         }
     }
@@ -466,37 +550,38 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
     /// thread that won the double-splice DCAS calls this, and both nodes
     /// are already unreachable from the structure, so each link is
     /// rewritten at most once.
-    fn break_cycle(&self, right: *const Node, left: *const Node) {
+    fn break_cycle(&self, g: &GuardOf<S>, right: *const Node, left: *const Node) {
         // SAFETY: we hold references to both nodes (caller's locals).
         unsafe {
             let rl = self.strategy.load(&(*right).l);
             if ptr_of(rl) == left && self.strategy.cas(&(*right).l, rl, pack(self.slp(), false))
             {
-                self.release(rl);
+                self.release(g, rl);
             }
             let lr = self.strategy.load(&(*left).r);
             if ptr_of(lr) == right && self.strategy.cas(&(*left).r, lr, pack(self.srp(), false))
             {
-                self.release(lr);
+                self.release(g, lr);
             }
         }
     }
 
     /// `popLeft`, LFRC-transformed (mirror of `pop_right`).
     pub fn pop_left(&self) -> Option<V> {
+        let g = S::Reclaimer::pin();
         loop {
             // SAFETY: sentinel word.
-            let old_r = unsafe { self.load_ptr(&self.sl.r) }; // ref: orp
+            let old_r = unsafe { self.load_ptr(&g, &self.sl.r) }; // ref: orp
             let orp = ptr_of(old_r);
             // SAFETY: reference held.
             let v = self.strategy.load(unsafe { &(*orp).value });
             if v == SENTR {
-                self.release(old_r);
+                self.release(&g, old_r);
                 return None;
             }
             if deleted_of(old_r) {
-                self.delete_left();
-                self.release(old_r);
+                self.delete_left(&g);
+                self.release(&g, old_r);
                 continue;
             }
             if v == NULL {
@@ -509,7 +594,7 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                     old_r,
                     v,
                 );
-                self.release(old_r);
+                self.release(&g, old_r);
                 if ok {
                     return None;
                 }
@@ -524,7 +609,7 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                 pack(orp, true),
                 NULL,
             );
-            self.release(old_r);
+            self.release(&g, old_r);
             if ok {
                 // SAFETY: unique ownership via the DCAS.
                 return Some(unsafe { V::decode(v) });
@@ -534,16 +619,17 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
 
     /// `pushLeft`, LFRC-transformed (mirror of `push_right`).
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
-        let node = self.pool.alloc();
+        let g = S::Reclaimer::pin();
+        let node = self.alloc_node();
         let val = v.encode();
         // SAFETY: unpublished node.
         unsafe { (*node).rc.init_store(ONE) };
         loop {
             // SAFETY: sentinel word.
-            let old_r = unsafe { self.load_ptr(&self.sl.r) }; // ref: orp
+            let old_r = unsafe { self.load_ptr(&g, &self.sl.r) }; // ref: orp
             if deleted_of(old_r) {
-                self.delete_left();
-                self.release(old_r);
+                self.delete_left(&g);
+                self.release(&g, old_r);
                 continue;
             }
             let orp = ptr_of(old_r);
@@ -566,36 +652,36 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                 nw,
                 nw,
             ) {
-                self.release(pack(orp, false));
-                self.release(nw);
-                self.release(old_r);
+                self.release(&g, pack(orp, false));
+                self.release(&g, nw);
+                self.release(&g, old_r);
                 return Ok(());
             }
-            self.release(nw);
-            self.release(nw);
-            self.release(pack(orp, false));
-            self.release(old_r);
+            self.release(&g, nw);
+            self.release(&g, nw);
+            self.release(&g, pack(orp, false));
+            self.release(&g, old_r);
         }
     }
 
     /// `deleteLeft`, LFRC-transformed (mirror of `delete_right`).
-    fn delete_left(&self) {
+    fn delete_left(&self, g: &GuardOf<S>) {
         loop {
             // SAFETY: sentinel word.
-            let old_r = unsafe { self.load_ptr(&self.sl.r) }; // ref: orp
+            let old_r = unsafe { self.load_ptr(g, &self.sl.r) }; // ref: orp
             if !deleted_of(old_r) {
-                self.release(old_r);
+                self.release(g, old_r);
                 return;
             }
             let orp = ptr_of(old_r);
             // SAFETY: reference held.
-            let old_rr_w = unsafe { self.load_ptr(&(*orp).r) }; // ref: orr
+            let old_rr_w = unsafe { self.load_ptr(g, &(*orp).r) }; // ref: orr
             let orr = ptr_of(old_rr_w);
             // SAFETY: reference held.
             let v = self.strategy.load(unsafe { &(*orr).value });
             if v != NULL {
                 // SAFETY: reference held.
-                let old_rrl = unsafe { self.load_ptr(&(*orr).l) }; // ref: t
+                let old_rrl = unsafe { self.load_ptr(g, &(*orr).l) }; // ref: t
                 if ptr_of(old_rrl) == orp {
                     self.add_ref(pack(orr, false));
                     // SAFETY: references held.
@@ -607,21 +693,21 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                         pack(orr, false),
                         pack(self.slp(), false),
                     ) {
-                        self.release(pack(orp, false));
-                        self.release(pack(orp, false));
-                        self.release(old_rrl);
-                        self.release(old_rr_w);
-                        self.release(old_r);
+                        self.release(g, pack(orp, false));
+                        self.release(g, pack(orp, false));
+                        self.release(g, old_rrl);
+                        self.release(g, old_rr_w);
+                        self.release(g, old_r);
                         return;
                     }
-                    self.release(pack(orr, false));
+                    self.release(g, pack(orr, false));
                 }
-                self.release(old_rrl);
-                self.release(old_rr_w);
-                self.release(old_r);
+                self.release(g, old_rrl);
+                self.release(g, old_rr_w);
+                self.release(g, old_r);
             } else {
                 // SAFETY: sentinel word.
-                let old_l = unsafe { self.load_ptr(&self.sr.l) }; // ref: olp
+                let old_l = unsafe { self.load_ptr(g, &self.sr.l) }; // ref: olp
                 let olp = ptr_of(old_l);
                 if deleted_of(old_l) {
                     if self.strategy.dcas(
@@ -632,18 +718,18 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
                         pack(self.srp(), false),
                         pack(self.slp(), false),
                     ) {
-                        self.break_cycle(olp, orp);
-                        self.release(pack(orp, false));
-                        self.release(pack(olp, false));
-                        self.release(old_l);
-                        self.release(old_rr_w);
-                        self.release(old_r);
+                        self.break_cycle(g, olp, orp);
+                        self.release(g, pack(orp, false));
+                        self.release(g, pack(olp, false));
+                        self.release(g, old_l);
+                        self.release(g, old_rr_w);
+                        self.release(g, old_r);
                         return;
                     }
                 }
-                self.release(old_l);
-                self.release(old_rr_w);
-                self.release(old_r);
+                self.release(g, old_l);
+                self.release(g, old_rr_w);
+                self.release(g, old_r);
             }
         }
     }
@@ -666,29 +752,34 @@ impl<V: WordValue, S: DcasStrategy> RawLfrcListDeque<V, S> {
         }
     }
 
-    /// Pool/census diagnostics (quiescent).
+    /// Census and reclamation-audit diagnostics (quiescent).
     pub fn stats(&self) -> LfrcStats {
         LfrcStats {
             linked: self.layout().cells.len(),
-            pool_free: self.pool.free_count(),
-            pool_total: self.pool.total_count(),
+            allocated: self.audit.allocated.load(Ordering::Relaxed),
+            // The deque's own handle is the `- 1`.
+            outstanding: Arc::strong_count(&self.audit) as u64 - 1,
         }
     }
 }
 
 impl<V: WordValue, S: DcasStrategy> Drop for RawLfrcListDeque<V, S> {
     fn drop(&mut self) {
-        // Exclusive access: free values of still-linked nodes. Node
-        // memory itself is owned by the pool's chunks.
+        // Exclusive access: free still-linked nodes (and their values)
+        // directly. Nodes already dead went through `retire` and are
+        // freed by the backend — their dtors only touch the node box
+        // and the `Arc`-kept audit block, both of which outlive us.
         // SAFETY: quiescence.
         unsafe {
             let mut cur = ptr_of(self.sl.r.unsync_load_shared());
             while cur != self.srp() {
+                let next = ptr_of((*cur).r.unsync_load_shared());
                 let v = (*cur).value.unsync_load_shared();
                 if v != NULL {
                     V::drop_encoded(v);
                 }
-                cur = ptr_of((*cur).r.unsync_load_shared());
+                free_node(cur as *mut Node as *mut u8);
+                cur = next;
             }
         }
     }
@@ -746,7 +837,7 @@ impl<T: Send, S: DcasStrategy> LfrcListDeque<T, S> {
         self.raw.layout()
     }
 
-    /// Pool/census diagnostics.
+    /// Census and reclamation-audit diagnostics.
     pub fn stats(&self) -> LfrcStats {
         self.raw.stats()
     }

@@ -1,12 +1,29 @@
 //! Tests for the LFRC (GC-free) list deque. Beyond functional
 //! correctness, these verify the reference-counting discipline itself:
-//! after draining to quiescence, every node must have been recycled to
-//! the pool (no leaks, including the two-null mutual-reference cycle).
+//! after draining to quiescence and flushing the reclamation backend,
+//! every node ever allocated must have been freed (drop-count audit
+//! balances — no leaks, including the two-null mutual-reference cycle).
 
-use dcas::{GlobalLock, GlobalSeqLock, HarrisMcas, StripedLock};
+use dcas::{GlobalLock, GlobalSeqLock, HarrisMcas, HarrisMcasHazard, Reclaimer, StripedLock};
 
 use super::{LfrcListDeque, RawLfrcListDeque};
 use crate::value::WordValue;
+
+/// Flushes the strategy's reclamation backend until the deque's
+/// drop-count audit balances (`outstanding - linked == 0` among
+/// reclaimable nodes; here callers have drained, so `outstanding == 0`).
+/// Panics if it never does.
+fn assert_audit_balances<V: WordValue, S: dcas::DcasStrategy>(d: &RawLfrcListDeque<V, S>) {
+    for _ in 0..1_000 {
+        let stats = d.stats();
+        if stats.outstanding == 0 {
+            return;
+        }
+        S::Reclaimer::flush();
+        std::thread::yield_now();
+    }
+    panic!("drop-count audit never balanced: {:?}", d.stats());
+}
 
 #[test]
 fn paper_running_example() {
@@ -39,6 +56,7 @@ fn fifo_lifo_semantics_all_strategies() {
     run::<GlobalSeqLock>();
     run::<StripedLock>();
     run::<HarrisMcas>();
+    run::<HarrisMcasHazard>();
 }
 
 #[test]
@@ -57,21 +75,18 @@ fn nodes_are_recycled_not_leaked() {
     }
     let stats = d.stats();
     assert_eq!(stats.linked, 0);
-    // Every allocated node is back on the freelist: counts balanced.
-    assert_eq!(
-        stats.pool_free, stats.pool_total,
-        "leaked {} nodes",
-        stats.pool_total - stats.pool_free
-    );
-    // Reuse happened: 1000 pushes served by a small pool.
-    assert!(stats.pool_total < 1000, "pool grew to {}", stats.pool_total);
+    // Allocation happens exactly once per push (outside the retry loop).
+    assert_eq!(stats.allocated, 1000);
+    // Every allocated node reaches the backend and is freed: the
+    // drop-count audit balances.
+    assert_audit_balances(&d);
 }
 
 #[test]
 fn two_null_cycle_is_broken_and_reclaimed() {
     // The regression test for the dead two-node reference cycle: pop one
     // element from each side of a two-element deque, trigger the double
-    // splice, and verify both nodes return to the pool.
+    // splice, and verify both nodes are retired and freed.
     let d = RawLfrcListDeque::<u32, GlobalLock>::new();
     for _ in 0..100 {
         d.push_left(1).unwrap();
@@ -83,8 +98,8 @@ fn two_null_cycle_is_broken_and_reclaimed() {
         assert_eq!(d.pop_right(), None);
         assert_eq!(d.layout().cells, vec![]);
     }
-    let stats = d.stats();
-    assert_eq!(stats.pool_free, stats.pool_total, "cycle leak: {stats:?}");
+    assert_eq!(d.stats().allocated, 200);
+    assert_audit_balances(&d);
 }
 
 #[test]
@@ -114,70 +129,77 @@ fn layout_matches_epoch_variant() {
     }
 }
 
+/// The ISSUE-mandated regression for the reclamation migration: under
+/// concurrent churn on each MCAS backend (epoch-pinned and hazard),
+/// popped values are conserved AND the drop-count audit balances — every
+/// node the deque ever allocated is freed by the pluggable [`Reclaimer`]
+/// once the backend drains, with nothing left outstanding.
 #[test]
-fn concurrent_conservation_and_recycling() {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-    let d = Arc::new(RawLfrcListDeque::<u32, HarrisMcas>::new());
-    let done = Arc::new(AtomicBool::new(false));
-    let total: u64 = 4 * 5_000;
+fn reclaimer_audit_balances_across_backends() {
+    fn churn<S: dcas::DcasStrategy>() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let d = Arc::new(RawLfrcListDeque::<u32, S>::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let pushes_per_thread = 2_000u32;
+        let pushers = 2u32;
 
-    let popped_sum = std::thread::scope(|s| {
-        // Poppers drain both ends until the pushers are done and the
-        // deque reads empty.
-        let mut handles = Vec::new();
-        for t in 0..2 {
-            let d = Arc::clone(&d);
-            let done = Arc::clone(&done);
-            handles.push(s.spawn(move || {
-                let mut sum = 0u64;
-                loop {
-                    let v = if t == 0 { d.pop_left() } else { d.pop_right() };
-                    match v {
-                        Some(v) => sum += v as u64,
-                        None => {
-                            if done.load(Ordering::Acquire) {
-                                return sum;
-                            }
-                            std::hint::spin_loop();
-                        }
-                    }
-                }
-            }));
-        }
-        // Pushers run in an inner scope so they are joined before `done`
-        // is raised.
-        std::thread::scope(|inner| {
-            for t in 0..4u32 {
+        let popped_sum = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..2 {
                 let d = Arc::clone(&d);
-                inner.spawn(move || {
-                    for i in 0..5_000u32 {
-                        let v = t * 5_000 + i;
-                        if v % 2 == 0 {
-                            d.push_right(v).unwrap();
-                        } else {
-                            d.push_left(v).unwrap();
+                let done = Arc::clone(&done);
+                handles.push(s.spawn(move || {
+                    let mut sum = 0u64;
+                    loop {
+                        let v = if t == 0 { d.pop_left() } else { d.pop_right() };
+                        match v {
+                            Some(v) => sum += v as u64,
+                            None => {
+                                if done.load(Ordering::Acquire) {
+                                    return sum;
+                                }
+                                std::hint::spin_loop();
+                            }
                         }
                     }
-                });
+                }));
             }
+            std::thread::scope(|inner| {
+                for t in 0..pushers {
+                    let d = Arc::clone(&d);
+                    inner.spawn(move || {
+                        for i in 0..pushes_per_thread {
+                            let v = t * pushes_per_thread + i;
+                            if v.is_multiple_of(2) {
+                                d.push_right(v).unwrap();
+                            } else {
+                                d.push_left(v).unwrap();
+                            }
+                        }
+                    });
+                }
+            });
+            done.store(true, Ordering::Release);
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         });
-        done.store(true, Ordering::Release);
-        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
-    });
 
-    // Drain any residue (in case the waiter fired early).
-    let mut residue = 0u64;
-    while let Some(v) = d.pop_left() {
-        residue += v as u64;
+        let mut residue = 0u64;
+        while let Some(v) = d.pop_left() {
+            residue += v as u64;
+        }
+        let total = u64::from(pushers * pushes_per_thread);
+        assert_eq!(popped_sum + residue, (0..total).sum::<u64>(), "{}", S::NAME);
+        // Quiesce (flush logically-deleted stragglers) and audit.
+        assert_eq!(d.pop_left(), None);
+        assert_eq!(d.pop_right(), None);
+        let stats = d.stats();
+        assert_eq!(stats.linked, 0, "{}", S::NAME);
+        assert_eq!(stats.allocated, total, "{}", S::NAME);
+        assert_audit_balances(&d);
     }
-    let expect: u64 = (0..total).sum();
-    assert_eq!(popped_sum + residue, expect);
-    // Quiesce and verify full recycling.
-    assert_eq!(d.pop_left(), None);
-    assert_eq!(d.pop_right(), None);
-    let stats = d.stats();
-    assert_eq!(stats.pool_free, stats.pool_total, "leak: {stats:?}");
+    churn::<HarrisMcas>();
+    churn::<HarrisMcasHazard>();
 }
 
 #[test]
@@ -261,10 +283,11 @@ mod properties {
             ops in proptest::collection::vec(op_strategy(), 0..150),
         ) {
             let d = RawLfrcListDeque::<u32, GlobalLock>::new();
+            let mut pushes = 0u64;
             for op in &ops {
                 match *op {
-                    Op::PushRight(v) => { d.push_right(v).unwrap(); }
-                    Op::PushLeft(v) => { d.push_left(v).unwrap(); }
+                    Op::PushRight(v) => { d.push_right(v).unwrap(); pushes += 1; }
+                    Op::PushLeft(v) => { d.push_left(v).unwrap(); pushes += 1; }
                     Op::PopRight => { d.pop_right(); }
                     Op::PopLeft => { d.pop_left(); }
                 }
@@ -275,10 +298,8 @@ mod properties {
             let _ = d.pop_left();
             let stats = d.stats();
             prop_assert_eq!(stats.linked, 0);
-            prop_assert_eq!(
-                stats.pool_free, stats.pool_total,
-                "leaked nodes: {:?}", stats
-            );
+            prop_assert_eq!(stats.allocated, pushes);
+            assert_audit_balances(&d);
         }
     }
 }

@@ -15,6 +15,7 @@ pub mod dummy;
 pub mod greenwald;
 pub mod lfrc;
 pub mod list;
+pub mod sundell;
 
 pub use abp::AbpMachine;
 pub use array::{ArrayMachine, Side};
@@ -23,3 +24,4 @@ pub use dummy::DummyMachine;
 pub use greenwald::GreenwaldMachine;
 pub use lfrc::LfrcMachine;
 pub use list::ListMachine;
+pub use sundell::SundellMachine;

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use dcas::HarrisMcas;
 use dcas_baselines::{AbpDeque, MutexDeque, Steal};
 use dcas_deque::value::{Boxed, WordValue};
-use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque, MAX_BATCH};
+use dcas_deque::{ArrayDeque, ConcurrentDeque, ListDeque, SundellDeque, MAX_BATCH};
 
 use crate::chaselev::{ChaseLev, Steal as ClSteal};
 use crate::scheduler::Task;
@@ -747,6 +747,65 @@ tiered_workdeque!(
     "tiered-chaselev"
 );
 
+/// Work deque over the CAS-only Sundell–Tsigas deque: like
+/// [`ListWorkDeque`] it is unbounded and two-ended (owner LIFO at the
+/// right, thieves FIFO at the left), but every operation is built from
+/// single-word CAS instead of DCAS — the scheduler-level half of the
+/// E16 DCAS-vs-CAS comparison.
+pub struct SundellWorkDeque {
+    inner: SundellDeque<Task>,
+    len: LenHint,
+}
+
+impl WorkDeque for SundellWorkDeque {
+    fn with_capacity(_capacity: usize) -> Self {
+        SundellWorkDeque { inner: SundellDeque::new(), len: LenHint::new() }
+    }
+
+    fn push(&self, t: Task) -> Result<(), Task> {
+        self.inner.push_right(t).map_err(|e| e.into_inner())?;
+        self.len.add(1);
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Task> {
+        let t = self.inner.pop_right()?;
+        self.len.sub(1);
+        Some(t)
+    }
+
+    fn steal(&self) -> StealOutcome {
+        match self.inner.pop_left() {
+            Some(t) => {
+                self.len.sub(1);
+                StealOutcome::Stolen(t)
+            }
+            None => StealOutcome::Empty,
+        }
+    }
+
+    fn steal_half(&self) -> Vec<Task> {
+        // No chunk-atomic multi-pop without DCAS: amortise the steal by
+        // looping single `pop_left`s up to the half-batch estimate.
+        // Each element is individually linearizable; conservation holds,
+        // only the chunk-atomicity of the DCAS deques is lost.
+        let want = self.len.half_batch();
+        let mut out = Vec::new();
+        while out.len() < want {
+            match self.inner.pop_left() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        self.len.sub(out.len());
+        out
+    }
+
+    fn name() -> &'static str {
+        "sundell-cas"
+    }
+}
+
 /// Work deque over the CAS-only ABP deque (the baseline built for this
 /// exact access pattern).
 pub struct AbpWorkDeque(AbpDeque);
@@ -866,6 +925,7 @@ mod tests {
     fn steal_half_conserves_all_impls() {
         steal_half_conserves::<ListWorkDeque>();
         steal_half_conserves::<ArrayWorkDeque>();
+        steal_half_conserves::<SundellWorkDeque>();
         steal_half_conserves::<AbpWorkDeque>();
         steal_half_conserves::<MutexWorkDeque>();
     }

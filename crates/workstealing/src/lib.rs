@@ -76,7 +76,7 @@ mod scheduler;
 pub use chaselev::{ChaseLev, Steal as ChaseLevSteal};
 pub use deques::{
     AbpWorkDeque, ArrayWorkDeque, ChaseLevTier, ListWorkDeque, MutexWorkDeque, PrivateTier,
-    StealOutcome, TieredArrayWorkDeque, TieredChaseLevWorkDeque, TieredDeque,
+    StealOutcome, SundellWorkDeque, TieredArrayWorkDeque, TieredChaseLevWorkDeque, TieredDeque,
     TieredListWorkDeque, VecRing, WorkDeque, RING_CAP,
 };
 pub use scheduler::{

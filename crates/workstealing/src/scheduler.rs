@@ -695,7 +695,8 @@ fn execute<D: WorkDeque>(id: usize, shared: &Arc<Shared<D>>, task: Task) -> bool
 mod tests {
     use super::*;
     use crate::deques::{
-        AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, TieredArrayWorkDeque,
+        AbpWorkDeque, ArrayWorkDeque, ListWorkDeque, MutexWorkDeque, SundellWorkDeque,
+        TieredArrayWorkDeque,
         TieredListWorkDeque,
     };
     use std::sync::atomic::AtomicU64;
@@ -731,6 +732,11 @@ mod tests {
     #[test]
     fn array_deque_tree() {
         assert_eq!(tree_count::<ArrayWorkDeque>(4, 12), 1 << 12);
+    }
+
+    #[test]
+    fn sundell_deque_tree() {
+        assert_eq!(tree_count::<SundellWorkDeque>(4, 12), 1 << 12);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The GC-free deque: Section 4's algorithm under the Lock-Free
 //! Reference Counting (LFRC) transformation the authors describe in
-//! Section 1.1 — no garbage collector, no epochs, every node recycled
-//! through a type-stable pool the moment its count drops to zero.
+//! Section 1.1 — reclamation *decisions* made by reference counts the
+//! moment a node's count drops to zero (no epochs involved in the
+//! decision), with the freed memory routed through the strategy's
+//! pluggable `Reclaimer` backend.
 //!
 //! Run with `cargo run --release --example gc_free`.
 
 use std::sync::Arc;
 
-use dcas::GlobalSeqLock;
+use dcas::{DcasStrategy, GlobalSeqLock, HarrisMcas, Reclaimer};
 use dcas_deques::deque::list_lfrc::RawLfrcListDeque;
 use dcas_deques::deque::LfrcListDeque;
 
@@ -17,8 +19,25 @@ fn main() {
     cycle_demo();
 }
 
+/// Flushes the reclamation backend until every dead node has actually
+/// been freed, then returns the outstanding count (must be zero at
+/// quiescence with the deque drained).
+fn drain_backend<S: DcasStrategy>(d: &RawLfrcListDeque<u32, S>) -> u64 {
+    for _ in 0..1_000 {
+        if d.stats().outstanding == 0 {
+            break;
+        }
+        S::Reclaimer::flush();
+        // Recently-exited threads may still be migrating their retirement
+        // queues to the collector (scope() returns before TLS teardown
+        // finishes); yielding lets them get there.
+        std::thread::yield_now();
+    }
+    d.stats().outstanding
+}
+
 fn recycling_demo() {
-    println!("=== Node recycling through the type-stable pool ===");
+    println!("=== Immediate death, deferred free: the allocation audit ===");
     let d = RawLfrcListDeque::<u32, GlobalSeqLock>::new();
     for round in 0..5 {
         for i in 0..1000 {
@@ -30,17 +49,17 @@ fn recycling_demo() {
         // Quiesce: flush logically-deleted stragglers.
         assert_eq!(d.pop_left(), None);
         assert_eq!(d.pop_right(), None);
+        let outstanding = drain_backend(&d);
         let s = d.stats();
         println!(
-            "round {round}: 1000 pushes served; pool total {} nodes, {} free (all recycled: {})",
-            s.pool_total,
-            s.pool_free,
-            s.pool_free == s.pool_total
+            "round {round}: {} nodes allocated so far, {outstanding} still unfreed \
+             (audit balanced: {})",
+            s.allocated,
+            outstanding == 0
         );
     }
-    let s = d.stats();
-    assert_eq!(s.pool_free, s.pool_total, "leak detected");
-    println!("5000 pushes were served by only {} ever-allocated nodes\n", s.pool_total);
+    assert_eq!(drain_backend(&d), 0, "leak detected");
+    println!("every one of the {} allocated nodes was freed\n", d.stats().allocated);
 }
 
 fn concurrent_demo() {
@@ -52,7 +71,7 @@ fn concurrent_demo() {
             s.spawn(move || {
                 for i in 0..10_000u64 {
                     let v = t * 10_000 + i;
-                    if v % 2 == 0 {
+                    if v.is_multiple_of(2) {
                         d.push_right(v).unwrap();
                     } else {
                         d.push_left(v).unwrap();
@@ -71,14 +90,24 @@ fn concurrent_demo() {
     }
     let _ = d.pop_right();
     let _ = d.pop_left();
-    let s = d.stats();
+    let mut s = d.stats();
+    for _ in 0..1_000 {
+        if s.outstanding == 0 {
+            break;
+        }
+        <HarrisMcas as DcasStrategy>::Reclaimer::flush();
+        // See drain_backend: give exiting worker threads a chance to
+        // hand their retirement queues to the collector.
+        std::thread::yield_now();
+        s = d.stats();
+    }
     println!(
-        "drained {drained} leftovers; pool: {}/{} free — counts balanced: {}\n",
-        s.pool_free,
-        s.pool_total,
-        s.pool_free == s.pool_total
+        "drained {drained} leftovers; {} allocated, {} outstanding — audit balanced: {}\n",
+        s.allocated,
+        s.outstanding,
+        s.outstanding == 0
     );
-    assert_eq!(s.pool_free, s.pool_total);
+    assert_eq!(s.outstanding, 0);
 }
 
 fn cycle_demo() {
@@ -96,10 +125,11 @@ fn cycle_demo() {
         assert_eq!(d.pop_right(), None); // triggers the double splice
         let _ = round;
     }
+    let outstanding = drain_backend(&d);
     let s = d.stats();
     println!(
-        "10000 two-null rounds: pool grew to only {} nodes, {} free — no cycle leak",
-        s.pool_total, s.pool_free
+        "10000 two-null rounds: {} nodes allocated, {outstanding} unfreed — no cycle leak",
+        s.allocated
     );
-    assert_eq!(s.pool_free, s.pool_total);
+    assert_eq!(outstanding, 0);
 }

@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use dcas::{GlobalSeqLock, HarrisMcas};
 use dcas_deques::baselines::{GreenwaldDeque, MutexDeque, SpinDeque};
-use dcas_deques::deque::{ArrayDeque, DummyListDeque, LfrcListDeque, ListDeque};
+use dcas_deques::deque::{ArrayDeque, DummyListDeque, LfrcListDeque, ListDeque, SundellDeque};
 use dcas_deques::prelude::ConcurrentDeque;
 
 const CAP: usize = 8;
@@ -29,6 +29,8 @@ fn unbounded_impls() -> Vec<Box<dyn ConcurrentDeque<u64>>> {
         Box::new(ListDeque::<u64, GlobalSeqLock>::new()),
         Box::new(DummyListDeque::<u64, HarrisMcas>::new()),
         Box::new(LfrcListDeque::<u64, HarrisMcas>::new()),
+        Box::new(SundellDeque::<u64, HarrisMcas>::new()),
+        Box::new(SundellDeque::<u64, dcas::HarrisMcasHazard>::new()),
         Box::new(MutexDeque::<u64>::new()),
         Box::new(SpinDeque::<u64>::new()),
     ]

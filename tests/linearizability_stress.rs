@@ -10,7 +10,7 @@ use dcas::{
     DcasStrategy, GlobalLock, GlobalSeqLock, HarrisMcas, HarrisMcasBoxed, StripedLock, Yielding,
 };
 use dcas_deques::baselines::{GreenwaldDeque, MutexDeque, SpinDeque};
-use dcas_deques::deque::{ArrayDeque, DummyListDeque, LfrcListDeque, ListDeque};
+use dcas_deques::deque::{ArrayDeque, DummyListDeque, LfrcListDeque, ListDeque, SundellDeque};
 use dcas_deques::linearize::{stress_and_check, StressConfig};
 
 fn config(capacity: Option<usize>) -> StressConfig {
@@ -42,6 +42,11 @@ fn check_dummy_list<S: DcasStrategy>() {
 
 fn check_lfrc_list<S: DcasStrategy>() {
     let d: LfrcListDeque<u64, S> = LfrcListDeque::new();
+    stress_and_check(&d, config(None)).unwrap_or_else(|e| panic!("{}: {e}", S::NAME));
+}
+
+fn check_sundell<S: DcasStrategy>() {
+    let d: SundellDeque<u64, S> = SundellDeque::new();
     stress_and_check(&d, config(None)).unwrap_or_else(|e| panic!("{}: {e}", S::NAME));
 }
 
@@ -98,7 +103,28 @@ strategy_matrix!(array_deque, check_array);
 strategy_matrix!(list_deque, check_list);
 strategy_matrix!(dummy_list_deque, check_dummy_list);
 strategy_matrix!(lfrc_list_deque, check_lfrc_list);
+strategy_matrix!(sundell_deque, check_sundell);
 strategy_matrix!(greenwald_deque, check_greenwald);
+
+#[test]
+fn sundell_deque_hazard_backend_is_linearizable() {
+    // The CAS-only deque under the hazard-pointer reclaimer: every
+    // traversal runs the announce-and-validate protocol mid-history.
+    let d: SundellDeque<u64, dcas::HarrisMcasHazard> = SundellDeque::new();
+    stress_and_check(&d, config(None)).unwrap();
+}
+
+#[test]
+fn sundell_pop_heavy_workload_hits_empty_paths() {
+    // Pop-biased traffic exercises the empty-observation returns and the
+    // helping paths that race a half-finished deletion at each end.
+    let d: SundellDeque<u64, HarrisMcas> = SundellDeque::new();
+    stress_and_check(
+        &d,
+        StressConfig { push_bias: 25, rounds: 150, ..config(None) },
+    )
+    .unwrap();
+}
 
 #[test]
 fn array_deque_minimal_config_is_linearizable() {

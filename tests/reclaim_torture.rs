@@ -31,10 +31,10 @@ use std::time::Duration;
 
 use dcas::fault::{self};
 use dcas::{
-    DcasStrategy, EpochReclaimer, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas,
-    HarrisMcasHazard, HazardReclaimer, KillKind, Reclaimer, StallGate,
+    EpochReclaimer, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas, HarrisMcasHazard,
+    HazardReclaimer, KillKind, Reclaimer, StallGate,
 };
-use dcas_deques::deque::ListDeque;
+use dcas_deques::deque::{ConcurrentDeque, ListDeque, SundellDeque};
 use dcas_deques::harness::{torture_seed, Watchdog};
 
 /// Worker threads churning the deque while the victim is frozen.
@@ -42,19 +42,21 @@ const WORKERS: u64 = 3;
 /// Push+pop pairs per worker between the two epoch-arm checkpoints.
 const CHECKPOINT_OPS: u64 = 2_000;
 
-/// Freezes a victim mid-MCAS on `deque`, runs `rounds × CHECKPOINT_OPS`
-/// push/pop pairs per worker, sampling `garbage()` after each round.
-/// Returns the samples. The victim is released and joined before the
-/// function returns.
-fn frozen_victim_churn<S>(
+/// Freezes a victim mid-operation on `deque` (at the `PreInstall` fault
+/// point — inside the MCAS protocol for the DCAS deques, at the top of a
+/// push retry loop for the CAS-only sundell deque), runs `rounds ×
+/// CHECKPOINT_OPS` push/pop pairs per worker, sampling `garbage()` after
+/// each round. Returns the samples. The victim is released and joined
+/// before the function returns.
+fn frozen_victim_churn<D>(
     label: &str,
-    deque: &Arc<ListDeque<u64, FaultInjecting<S>>>,
+    deque: &Arc<D>,
     seed: u64,
     rounds: usize,
     garbage: fn() -> u64,
 ) -> Vec<u64>
 where
-    S: DcasStrategy + 'static,
+    D: ConcurrentDeque<u64> + 'static,
 {
     let gate = StallGate::new();
     let plan = FaultPlan::new(seed).kill(
@@ -136,7 +138,7 @@ where
 fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     let test = "reclaim_frozen_victim_epoch_grows_hazard_bounded";
     let seed = torture_seed(test);
-    let watchdog = Watchdog::arm(test, seed, Duration::from_secs(120));
+    let watchdog = Watchdog::arm(test, seed, Duration::from_secs(240));
 
     // ---------------- Epoch arm ----------------
     let stalled_before = EpochReclaimer::stalled_collections();
@@ -196,6 +198,55 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     assert!(
         HazardReclaimer::live_garbage() <= bound,
         "hazard arm: post-flush garbage over bound"
+    );
+
+    // ---------------- Sundell rows ----------------
+    // The CAS-only deque retires one node per pop through the same
+    // pluggable backends (no descriptors at all), so the two claims must
+    // replay on it: a frozen pin makes epoch garbage grow without bound,
+    // while the hazard backend stays under its static bound. Runs in
+    // this same `#[test]` because the gauges are process-global.
+    let epoch_before = EpochReclaimer::live_garbage();
+    let sundell_epoch: Arc<SundellDeque<u64, FaultInjecting<HarrisMcas>>> =
+        Arc::new(SundellDeque::new());
+    let samples =
+        frozen_victim_churn("sundell epoch arm", &sundell_epoch, seed ^ 0x5D11, 4, || {
+            EpochReclaimer::live_garbage()
+        });
+    let (first, last) = (samples[0], *samples.last().unwrap());
+    assert!(
+        last >= first.saturating_mul(2) && last > epoch_before,
+        "sundell epoch arm: garbage did not grow with op count under a \
+         frozen pin (samples: {samples:?})"
+    );
+    for _ in 0..6 {
+        EpochReclaimer::flush();
+    }
+    drop(sundell_epoch);
+
+    let sundell_hazard: Arc<SundellDeque<u64, FaultInjecting<HarrisMcasHazard>>> =
+        Arc::new(SundellDeque::new());
+    let samples =
+        frozen_victim_churn("sundell hazard arm", &sundell_hazard, seed ^ 0x7A2A, 4, || {
+            HazardReclaimer::live_garbage()
+        });
+    let bound = dcas::reclaim::hazard::static_garbage_bound();
+    let hwm = HazardReclaimer::garbage_high_water();
+    assert!(
+        hwm <= bound,
+        "sundell hazard arm: high-water {hwm} exceeded the static bound \
+         {bound} (samples: {samples:?})"
+    );
+    for (i, &g) in samples.iter().enumerate() {
+        assert!(
+            g <= bound,
+            "sundell hazard arm: round {i} garbage {g} over bound {bound}"
+        );
+    }
+    HazardReclaimer::flush();
+    assert!(
+        HazardReclaimer::live_garbage() <= bound,
+        "sundell hazard arm: post-flush garbage over bound"
     );
     watchdog.disarm();
 }

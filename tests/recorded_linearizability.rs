@@ -30,7 +30,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use dcas_deques::deque::{
-    ArrayDeque, ConcurrentDeque, DummyListDeque, LfrcListDeque, ListDeque, MAX_BATCH,
+    ArrayDeque, ConcurrentDeque, DummyListDeque, LfrcListDeque, ListDeque, SundellDeque, MAX_BATCH,
 };
 use dcas_deques::harness::{trace_seed, Watchdog};
 use dcas_deques::linearize::{SeqDeque, WindowedChecker};
@@ -251,6 +251,43 @@ fn lfrc_list_deque_batched_ops_linearize() {
     );
 }
 
+#[test]
+fn sundell_deque_single_ops_linearize() {
+    matrix(
+        "sundell_deque_single_ops_linearize",
+        SundellDeque::<u64>::new,
+        SeqDeque::unbounded,
+        BatchTracing::PerElement,
+        false,
+    );
+}
+
+#[test]
+fn sundell_deque_batched_ops_linearize() {
+    // The CAS-only deque has no multi-word transition, so its batches
+    // run the per-element default loops and trace element-by-element.
+    matrix(
+        "sundell_deque_batched_ops_linearize",
+        SundellDeque::<u64>::new,
+        SeqDeque::unbounded,
+        BatchTracing::PerElement,
+        true,
+    );
+}
+
+#[test]
+fn sundell_deque_hazard_single_ops_linearize() {
+    // Same audit with the hazard-pointer reclaimer underneath: the
+    // announce-and-validate traversals must not perturb linearizability.
+    matrix(
+        "sundell_deque_hazard_single_ops_linearize",
+        SundellDeque::<u64, dcas::HarrisMcasHazard>::new,
+        SeqDeque::unbounded,
+        BatchTracing::PerElement,
+        false,
+    );
+}
+
 /// The online auditor runs *while* the workload does, closing windows
 /// as quiescent cuts appear — a violation would surface mid-run.
 #[test]
@@ -306,6 +343,61 @@ fn online_auditor_follows_a_live_run() {
     // running; on a very fast machine the whole run can land between
     // two polls, so it is reported but not asserted.
     eprintln!("{test}: {live_windows} windows closed live, {} total", report.window.windows);
+    dog.disarm();
+}
+
+/// The online auditor against the CAS-only deque: windows close live
+/// while pushes/pops race the helping protocol.
+#[test]
+fn online_auditor_follows_a_live_sundell_run() {
+    let test = "online_auditor_follows_a_live_sundell_run";
+    let seed = trace_seed(test);
+    let dog = Watchdog::arm_with_seed_var(test, "TRACE_SEED", seed, Duration::from_secs(120));
+
+    let threads = 4usize;
+    let deque = Recorded::with_batch_tracing(
+        SundellDeque::<u64>::new(),
+        threads,
+        RING_CAPACITY,
+        BatchTracing::PerElement,
+    );
+    dog.attach_recorder(deque.recorder(), 6);
+    let budget = MAX_WINDOW / threads;
+    let barrier = Barrier::new(threads);
+    let done = AtomicBool::new(false);
+
+    let report = std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for t in 0..threads as u64 {
+            let deque = &deque;
+            let barrier = &barrier;
+            workers.push(s.spawn(move || pulsed_worker(deque, barrier, seed, t, budget, true)));
+        }
+        let auditor = {
+            let rec = Arc::clone(deque.recorder());
+            let done = &done;
+            s.spawn(move || {
+                let mut auditor = OnlineAuditor::new(rec, SeqDeque::unbounded(), MAX_WINDOW);
+                while !done.load(Ordering::Acquire) {
+                    auditor.poll().expect("live sundell trace must stay linearizable");
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                auditor.finish().expect("final sundell audit must pass")
+            })
+        };
+        for w in workers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        auditor.join().unwrap()
+    });
+
+    assert!(
+        report.window.ops_checked >= threads * ROUNDS,
+        "only {} ops audited",
+        report.window.ops_checked
+    );
+    assert!(report.window.windows > 0, "auditor never closed a window");
     dog.disarm();
 }
 

@@ -38,7 +38,9 @@ use std::time::Duration;
 
 use dcas::fault::{self, FaultLog, FAULT_POINTS};
 use dcas::{FaultInjecting, FaultPlan, FaultPoint, HarrisMcas, KillKind, StallGate};
-use dcas_deques::deque::{ArrayDeque, ConcurrentDeque, DummyListDeque, EndConfig, ListDeque};
+use dcas_deques::deque::{
+    ArrayDeque, ConcurrentDeque, DummyListDeque, EndConfig, ListDeque, SundellDeque,
+};
 use dcas_deques::harness::{torture_seed, Watchdog};
 
 type Fis = FaultInjecting<HarrisMcas>;
@@ -150,6 +152,28 @@ enum Kill {
     Panic,
 }
 
+/// Per-deque knobs for [`torture_matrix`].
+#[derive(Clone, Copy)]
+struct MatrixOpts {
+    /// Whether batched ops are chunk-atomic CASN overrides (exact under
+    /// a mid-op kill) rather than the per-element default loops.
+    atomic_batches: bool,
+    /// Whether the deque's ops run the MCAS descriptor protocol, so a
+    /// `PreInstall` panic must grow the orphan quarantine. The
+    /// CAS-only sundell deque never allocates a descriptor — its
+    /// `PreInstall` hook fires in its own push loop — so the assertion
+    /// does not apply there.
+    descriptor_quarantine: bool,
+}
+
+impl MatrixOpts {
+    const DCAS: MatrixOpts = MatrixOpts { atomic_batches: true, descriptor_quarantine: true };
+    const DCAS_SINGLES: MatrixOpts =
+        MatrixOpts { atomic_batches: false, descriptor_quarantine: true };
+    const CAS_ONLY: MatrixOpts =
+        MatrixOpts { atomic_batches: false, descriptor_quarantine: false };
+}
+
 /// Ops each survivor must complete *after* the victim's kill lands.
 const QUOTA: u64 = 600;
 
@@ -161,7 +185,7 @@ fn torture_run<D, F>(
     point: FaultPoint,
     kill: Kill,
     seed: u64,
-    atomic_batches: bool,
+    opts: MatrixOpts,
 )
 where
     D: ConcurrentDeque<Counted> + 'static,
@@ -232,7 +256,7 @@ where
                             &live,
                             &mut my_pushed,
                             &mut my_popped,
-                            atomic_batches,
+                            opts.atomic_batches,
                         )
                     }));
                     if r.is_err() {
@@ -277,7 +301,7 @@ where
                         &live,
                         &mut my_pushed,
                         &mut my_popped,
-                        atomic_batches,
+                        opts.atomic_batches,
                     );
                     if log.is_killed() {
                         post_kill += 1;
@@ -309,7 +333,7 @@ where
             // A panic at PreInstall always interrupts a private
             // in-flight descriptor; it must be quarantined, never
             // recycled (helpers may still hold tagged pointers to it).
-            if point == FaultPoint::PreInstall {
+            if opts.descriptor_quarantine && point == FaultPoint::PreInstall {
                 assert!(
                     dcas::orphan_count() > orphans_before,
                     "{label}: killed descriptor was not quarantined"
@@ -352,7 +376,7 @@ where
 
 /// Runs the full 3-point matrix for one deque and kill kind, with a
 /// per-run seed derived from the printed base seed.
-fn torture_matrix<D, F>(test: &str, make_deque: F, kill: fn() -> Kill, atomic_batches: bool)
+fn torture_matrix<D, F>(test: &str, make_deque: F, kill: fn() -> Kill, opts: MatrixOpts)
 where
     D: ConcurrentDeque<Counted> + 'static,
     F: Fn() -> D,
@@ -362,7 +386,7 @@ where
         let label = format!("{test}[{}]", point.name());
         let mut seed = base ^ (i as u64) << 32;
         splitmix64(&mut seed);
-        torture_run(&label, &make_deque, *point, kill(), seed, atomic_batches);
+        torture_run(&label, &make_deque, *point, kill(), seed, opts);
     }
 }
 
@@ -375,7 +399,7 @@ fn array_deque_survives_frozen_thread() {
         "array_deque_survives_frozen_thread",
         || ArrayDeque::<Counted, Fis>::new(8),
         || Kill::Freeze,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -385,7 +409,7 @@ fn array_deque_survives_panicked_thread() {
         "array_deque_survives_panicked_thread",
         || ArrayDeque::<Counted, Fis>::new(8),
         || Kill::Panic,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -395,7 +419,7 @@ fn list_deque_survives_frozen_thread() {
         "list_deque_survives_frozen_thread",
         ListDeque::<Counted, Fis>::new,
         || Kill::Freeze,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -405,7 +429,7 @@ fn list_deque_survives_panicked_thread() {
         "list_deque_survives_panicked_thread",
         ListDeque::<Counted, Fis>::new,
         || Kill::Panic,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -416,7 +440,7 @@ fn dummy_list_deque_survives_frozen_thread() {
         DummyListDeque::<Counted, Fis>::new,
         || Kill::Freeze,
         // Per-element default batch loops: not kill-attributable.
-        false,
+        MatrixOpts::DCAS_SINGLES,
     );
 }
 
@@ -426,7 +450,7 @@ fn dummy_list_deque_survives_panicked_thread() {
         "dummy_list_deque_survives_panicked_thread",
         DummyListDeque::<Counted, Fis>::new,
         || Kill::Panic,
-        false,
+        MatrixOpts::DCAS_SINGLES,
     );
 }
 
@@ -754,7 +778,7 @@ fn list_deque_survives_panicked_thread_hazard_reclaim() {
         "list_deque_survives_panicked_thread_hazard_reclaim",
         ListDeque::<Counted, FisH>::new,
         || Kill::Panic,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -768,7 +792,7 @@ fn list_deque_survives_frozen_thread_hazard_reclaim() {
         "list_deque_survives_frozen_thread_hazard_reclaim",
         ListDeque::<Counted, FisH>::new,
         || Kill::Freeze,
-        true,
+        MatrixOpts::DCAS,
     );
 }
 
@@ -779,6 +803,66 @@ fn dummy_list_deque_survives_panicked_thread_hazard_reclaim() {
         DummyListDeque::<Counted, FisH>::new,
         || Kill::Panic,
         // Per-element default batch loops: not kill-attributable.
-        false,
+        MatrixOpts::DCAS_SINGLES,
+    );
+}
+
+// ---------------------------------------------------------------------
+// The CAS-only competitor: the Sundell–Tsigas deque under the same kill
+// matrix, on both reclamation backends
+// ---------------------------------------------------------------------
+//
+// The sundell deque never enters the MCAS protocol (single-word CAS
+// only), so the kill lands at the deque's *own* fault hooks: `PreInstall`
+// at the top of each push's retry loop, `MidHelping` inside the pop and
+// helping loops, `PreRelease` at op exit. Panic kills fire only at
+// effect-free hits — before the publish CAS, before a mark CAS, or after
+// all side effects — so exact value conservation must survive them; the
+// drop-count audit additionally proves the unwound `Pending` node and
+// value were freed. There is no descriptor to quarantine
+// (`MatrixOpts::CAS_ONLY`).
+
+#[test]
+fn sundell_deque_survives_frozen_thread() {
+    torture_matrix(
+        "sundell_deque_survives_frozen_thread",
+        SundellDeque::<Counted, Fis>::new,
+        || Kill::Freeze,
+        MatrixOpts::CAS_ONLY,
+    );
+}
+
+#[test]
+fn sundell_deque_survives_panicked_thread() {
+    torture_matrix(
+        "sundell_deque_survives_panicked_thread",
+        SundellDeque::<Counted, Fis>::new,
+        || Kill::Panic,
+        MatrixOpts::CAS_ONLY,
+    );
+}
+
+#[test]
+fn sundell_deque_survives_frozen_thread_hazard_reclaim() {
+    // Freezing mid-traversal parks the victim with hazard slots
+    // announced and possibly a link-count reservation held; survivors'
+    // scans skip those nodes and every other node keeps being reclaimed
+    // (the garbage bound for this scenario is measured in
+    // reclaim_torture.rs).
+    torture_matrix(
+        "sundell_deque_survives_frozen_thread_hazard_reclaim",
+        SundellDeque::<Counted, FisH>::new,
+        || Kill::Freeze,
+        MatrixOpts::CAS_ONLY,
+    );
+}
+
+#[test]
+fn sundell_deque_survives_panicked_thread_hazard_reclaim() {
+    torture_matrix(
+        "sundell_deque_survives_panicked_thread_hazard_reclaim",
+        SundellDeque::<Counted, FisH>::new,
+        || Kill::Panic,
+        MatrixOpts::CAS_ONLY,
     );
 }
