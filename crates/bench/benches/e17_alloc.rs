@@ -1,0 +1,787 @@
+//! E17 — page-pool node allocation vs. `Box` churn, per deque family
+//! and reclamation backend (`requires --features fault-inject`).
+//!
+//! PR 1 made the MCAS *descriptors* allocation-free; this experiment
+//! measures retiring the last malloc on the hot path — the deque nodes
+//! themselves. Both allocation arms live in one binary (the runtime
+//! [`NodeAlloc`](dcas::NodeAlloc) handle, forced per row via each
+//! module's `node_alloc(pooled)`), so every cell is a true A/B:
+//!
+//! * **rows** — per-element push/pop cost for `list-dcas` and
+//!   `sundell-cas` under both reclaimers, on four churn shapes:
+//!   `flat` (single-threaded depth-1 push/pop pairs — the uncontended
+//!   baseline), `burst-4k` (single-threaded FIFO bursts of [`BURST`]
+//!   nodes, so frees land in large deferred batches), `mixed-ends`
+//!   (opposed ends, so pops free nodes a *different* thread allocated —
+//!   the remote-free MPSC path), and `sustained-1m` (a bounded-window
+//!   producer/consumer pipeline streaming 10⁶ elements). A fifth shape,
+//!   `reclaim-churn-256k`, strips the deque ops away and times the bare
+//!   node lifecycle — allocate, publish one word, retire through the
+//!   epoch reclaimer, deferred dtor — around a [`CHURN_WINDOW`]-node
+//!   live ring through each family's real pool. Deque ops cost
+//!   400–1000 ns/element, so a ~20 ns/node allocator difference is
+//!   invisible in the end-to-end rows on a single-CPU host; this row is
+//!   where the allocator claim is actually testable: the boxed arm's
+//!   deferred dtor sweep pays a `free()` per chunk while the pooled
+//!   arm's dtor is a page-local slab push.
+//! * **audit** — the Aksenov-style bounded-memory check (PAPERS.md):
+//!   pool pages are never unmapped, so `pages_allocated` growth during
+//!   churn is the live-memory high-water mark. A victim thread is
+//!   frozen and three workers churn; page growth must stay under a
+//!   static bound. Under the **hazard** backend the victim freezes
+//!   mid-MCAS (the E15 scenario) and the bound derives from the
+//!   backend's `static_garbage_bound`. Under **epoch** the victim
+//!   freezes at a *quiescent* point (unpinned) — E15 already proves a
+//!   pinned-frozen victim makes epoch garbage (and hence pages)
+//!   unbounded, which is a reclaimer property, not an allocator one.
+//!
+//! Runs as a plain binary (`harness = false`). Full mode writes
+//! `BENCH_e17.json`; `E17_SMOKE=1` shrinks the cells and skips the
+//! file. **Both** modes exit nonzero if an audit arm's page growth
+//! exceeds its bound or a family's best pooled row is slower than the
+//! Box arm; full mode raises the per-family bar to the acceptance
+//! threshold (≥ 1.15× on at least one churn row).
+//!
+//! Replay: `cargo bench -p dcas-bench --bench e17_alloc --features
+//! fault-inject` (add `E17_SMOKE=1` for the CI shape).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dcas::fault::{self};
+use dcas::{
+    EpochReclaimer, FaultInjecting, FaultPlan, FaultPoint, HarrisMcas, HarrisMcasHazard, KillKind,
+    NodePool, Reclaimer, StallGate,
+};
+use dcas_deque::{list, sundell, ConcurrentDeque, ListDeque, SundellDeque};
+
+/// Churn threads for the mixed-ends and sustained rows (and audit
+/// workers; the audit adds a frozen victim on top). The flat row is
+/// single-threaded: it is the uncontended per-element baseline, where
+/// the allocation cost is not buried under retry/helping noise — on an
+/// oversubscribed host the multi-thread rows mostly measure
+/// time-slicing (the E13 caveat).
+const THREADS: u64 = 2;
+const AUDIT_WORKERS: u64 = 3;
+
+/// Producer→consumer in-flight window of the sustained row, in
+/// elements. Bounds the row's live-node footprint, which is what makes
+/// its page growth auditable.
+const SUSTAIN_WINDOW: u64 = 10_000;
+
+/// Static allowance, in nodes, for garbage the *epoch* backend may
+/// accumulate between collections while nobody is frozen-pinned
+/// (per-thread deferred queues plus collect lag). The hazard arm uses
+/// the backend's own `static_garbage_bound` instead.
+const EPOCH_ALLOWANCE_NODES: u64 = 16_384;
+
+/// Burst depth of the burst row, in nodes. Each round allocates this
+/// many live nodes before freeing any, so the frees land on the
+/// reclaimer in large deferred batches: the boxed arm's dtor sweep
+/// walks malloc-scattered chunks while the pooled arm's slots stay
+/// page-sequential in allocation (= traversal) order.
+const BURST: u64 = 4_096;
+
+/// Live-ring size of the reclaim-churn row, in nodes. Large enough that
+/// the ring cycles every pool page (~2100 pages) each lap, so neither
+/// arm can sit in a handful of hot cache lines.
+const CHURN_WINDOW: u64 = 262_144;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pattern {
+    Flat,
+    Burst,
+    Mixed,
+    Sustained,
+}
+
+impl Pattern {
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::Flat => "flat",
+            Pattern::Burst => "burst-4k",
+            Pattern::Mixed => "mixed-ends",
+            Pattern::Sustained => "sustained-1m",
+        }
+    }
+}
+
+/// Box-arm stand-in for a deque node in the reclaim-churn row: both
+/// linked families' nodes are 32 bytes at 16-byte alignment (three
+/// `DcasWord`s / two links + value + refcount), and `Box<Node>` goes
+/// through the same `Global → malloc` path as this does.
+#[repr(align(16))]
+// The words are only ever read through raw-pointer casts (as the
+// deques read their nodes), which dead_code cannot see.
+struct RawNode(#[allow(dead_code)] [AtomicU64; 4]);
+
+/// Times the bare node lifecycle around a [`CHURN_WINDOW`]-node live
+/// ring: allocate (family pool vs `Box`), publish one word, and on each
+/// step retire the oldest node through an epoch guard exactly as the
+/// deques do, leaving the actual free to the deferred dtor sweep.
+fn time_node_churn(pool: &'static NodePool, pooled: bool, window: u64, total: u64) -> Duration {
+    use dcas::ReclaimGuard;
+    use std::collections::VecDeque;
+    unsafe fn pool_dtor(p: *mut u8) {
+        unsafe { NodePool::dealloc(p) }
+    }
+    unsafe fn box_dtor(p: *mut u8) {
+        drop(unsafe { Box::from_raw(p.cast::<RawNode>()) })
+    }
+    let alloc_one = |i: u64| -> *mut u8 {
+        let p = if pooled {
+            pool.alloc()
+        } else {
+            Box::into_raw(Box::new(RawNode([
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ])))
+            .cast::<u8>()
+        };
+        unsafe { &*p.cast::<AtomicU64>() }.store(i << 3, Ordering::Release);
+        p
+    };
+    let mut sum = 0u64;
+    let mut retire_one = |p: *mut u8| {
+        sum += unsafe { &*p.cast::<AtomicU64>() }.load(Ordering::Acquire);
+        let guard = EpochReclaimer::pin();
+        let dtor = if pooled { pool_dtor } else { box_dtor };
+        unsafe { guard.retire(p, pool.stride(), dtor) };
+    };
+    let mut live = VecDeque::with_capacity(window as usize + 1);
+    for i in 0..window {
+        live.push_back(alloc_one(i));
+    }
+    let start = Instant::now();
+    for i in 0..total {
+        live.push_back(alloc_one(window + i));
+        retire_one(live.pop_front().unwrap());
+    }
+    let elapsed = start.elapsed();
+    while let Some(p) = live.pop_front() {
+        retire_one(p);
+    }
+    std::hint::black_box(sum);
+    elapsed
+}
+
+/// Measures the reclaim-churn row for one family: `reps` interleaved
+/// boxed/pooled rings, medians, same flush discipline as
+/// [`measure_row`].
+fn measure_reclaim_churn(
+    family: &'static str,
+    pool: &'static NodePool,
+    elements: u64,
+    window: u64,
+    reps: usize,
+) -> Row {
+    let flush = || {
+        for _ in 0..4 {
+            EpochReclaimer::flush();
+        }
+    };
+    let pages_before = pool.pages_allocated();
+    let (mut boxed, mut pooled) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        for arm_pooled in [false, true] {
+            if rep == 0 {
+                time_node_churn(pool, arm_pooled, window, elements / 5);
+                flush();
+            }
+            let elapsed = time_node_churn(pool, arm_pooled, window, elements);
+            let ns = elapsed.as_nanos() as f64 / elements as f64;
+            if arm_pooled {
+                pooled.push(ns)
+            } else {
+                boxed.push(ns)
+            }
+            flush();
+        }
+    }
+    let row = Row {
+        family,
+        reclaimer: "epoch",
+        pattern: "reclaim-churn-256k",
+        elements,
+        boxed_ns: median(boxed),
+        pooled_ns: median(pooled),
+        pooled_pages_grown: pool.pages_allocated() - pages_before,
+    };
+    println!(
+        "{:<12} {:<7} {:<13} {:>9} elems  boxed {:>8.1} ns/elem  pooled {:>8.1} ns/elem  \
+         speedup {:>5.2}x  pages +{}",
+        row.family,
+        row.reclaimer,
+        row.pattern,
+        row.elements,
+        row.boxed_ns,
+        row.pooled_ns,
+        row.speedup(),
+        row.pooled_pages_grown
+    );
+    row
+}
+
+/// One measured A/B cell (medians over the interleaved repeats).
+struct Row {
+    family: &'static str,
+    reclaimer: &'static str,
+    pattern: &'static str,
+    elements: u64,
+    boxed_ns: f64,
+    pooled_ns: f64,
+    /// Pool pages grown across the row's pooled runs (never shrinks, so
+    /// later rows mostly reuse earlier rows' pages and report 0).
+    pooled_pages_grown: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.boxed_ns / self.pooled_ns
+    }
+}
+
+/// Times `pairs_per_thread` push/pop pairs on each of [`THREADS`]
+/// threads. `Flat` keeps each thread on one end (frees are
+/// overwhelmingly same-thread); `Mixed` opposes the ends so elements —
+/// and their nodes — migrate between threads (the remote-free path).
+fn time_churn<D: ConcurrentDeque<u64>>(
+    deque: &D,
+    pattern: Pattern,
+    pairs_per_thread: u64,
+) -> Duration {
+    let threads = if pattern == Pattern::Flat { 1 } else { THREADS };
+    let barrier = Barrier::new(threads as usize + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (deque, barrier) = (&deque, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..pairs_per_thread {
+                    let v = (t << 48) | (i << 3);
+                    match pattern {
+                        Pattern::Flat => {
+                            deque.push_right(v).unwrap();
+                            while deque.pop_right().is_none() {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        _ if t % 2 == 0 => {
+                            deque.push_right(v).unwrap();
+                            while deque.pop_left().is_none() {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        _ => {
+                            deque.push_left(v).unwrap();
+                            while deque.pop_right().is_none() {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+/// Times single-threaded FIFO bursts: [`BURST`] pushes on the right,
+/// then [`BURST`] pops off the left, repeated until `total` elements
+/// have flowed through. Every round churns a full burst of nodes
+/// through allocate → retire → free with the frees batched, which is
+/// the page-pool's target workload (the allocator never shows up in
+/// the depth-1 flat row once both arms reach steady state).
+fn time_burst<D: ConcurrentDeque<u64>>(deque: &D, total: u64) -> Duration {
+    let start = Instant::now();
+    let mut pushed = 0;
+    while pushed < total {
+        let n = BURST.min(total - pushed);
+        for i in 0..n {
+            deque.push_right((pushed + i) << 3).unwrap();
+        }
+        for _ in 0..n {
+            deque.pop_left().unwrap();
+        }
+        pushed += n;
+    }
+    start.elapsed()
+}
+
+/// Times a producer/consumer pipeline streaming `total` elements
+/// left-to-right through the deque, the producer throttled to keep at
+/// most [`SUSTAIN_WINDOW`] elements in flight.
+fn time_sustained<D: ConcurrentDeque<u64>>(deque: &D, total: u64) -> Duration {
+    let consumed = AtomicU64::new(0);
+    let barrier = Barrier::new(3);
+    std::thread::scope(|s| {
+        {
+            let (deque, barrier, consumed) = (&deque, &barrier, &consumed);
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..total {
+                    while i - consumed.load(Ordering::Relaxed) > SUSTAIN_WINDOW {
+                        std::hint::spin_loop();
+                    }
+                    deque.push_right(i << 3).unwrap();
+                }
+                barrier.wait();
+            });
+            s.spawn(move || {
+                barrier.wait();
+                while consumed.load(Ordering::Relaxed) < total {
+                    if deque.pop_left().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
+}
+
+fn run_once<D: ConcurrentDeque<u64>>(deque: &D, pattern: Pattern, elements: u64) -> Duration {
+    match pattern {
+        Pattern::Sustained => time_sustained(deque, elements),
+        Pattern::Burst => time_burst(deque, elements),
+        Pattern::Flat => time_churn(deque, pattern, elements),
+        _ => time_churn(deque, pattern, elements / THREADS),
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Measures one `family × reclaimer × pattern` cell: `reps` interleaved
+/// boxed/pooled runs (fresh deque each), medians of ns-per-element.
+/// The epoch backend is flushed between runs so each arm starts with
+/// its predecessors' nodes actually freed.
+fn measure_row<D, F>(
+    family: &'static str,
+    reclaimer: &'static str,
+    pool: &'static NodePool,
+    make: F,
+    pattern: Pattern,
+    elements: u64,
+    reps: usize,
+) -> Row
+where
+    D: ConcurrentDeque<u64>,
+    F: Fn(bool) -> D,
+{
+    let flush = || {
+        for _ in 0..4 {
+            EpochReclaimer::flush();
+        }
+    };
+    let pages_before = pool.pages_allocated();
+    let (mut boxed, mut pooled) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        for arm_pooled in [false, true] {
+            let deque = make(arm_pooled);
+            if rep == 0 {
+                // Warm-up: fault in pages / heap arenas outside the clock.
+                run_once(&deque, pattern, elements / 5);
+            }
+            let elapsed = run_once(&deque, pattern, elements);
+            let ns = elapsed.as_nanos() as f64 / elements as f64;
+            if arm_pooled {
+                pooled.push(ns)
+            } else {
+                boxed.push(ns)
+            }
+            drop(deque);
+            flush();
+        }
+    }
+    let row = Row {
+        family,
+        reclaimer,
+        pattern: pattern.name(),
+        elements,
+        boxed_ns: median(boxed),
+        pooled_ns: median(pooled),
+        pooled_pages_grown: pool.pages_allocated() - pages_before,
+    };
+    println!(
+        "{:<12} {:<7} {:<13} {:>9} elems  boxed {:>8.1} ns/elem  pooled {:>8.1} ns/elem  \
+         speedup {:>5.2}x  pages +{}",
+        row.family,
+        row.reclaimer,
+        row.pattern,
+        row.elements,
+        row.boxed_ns,
+        row.pooled_ns,
+        row.speedup(),
+        row.pooled_pages_grown
+    );
+    row
+}
+
+/// One bounded-pages audit result.
+struct Audit {
+    backend: &'static str,
+    freeze_point: &'static str,
+    ops: u64,
+    pages_before: u64,
+    pages_grown: u64,
+    bound_pages: u64,
+    remote_frees_grown: u64,
+}
+
+/// Page bound for an audit arm: the backend may hold `garbage_nodes` of
+/// retired-but-unfreed nodes, each participating thread can strand a
+/// partially used page in its local cache, plus fixed slack for the
+/// batch-grab granularity.
+fn pages_bound(garbage_nodes: u64, per_page: u64, threads: u64) -> u64 {
+    garbage_nodes.div_ceil(per_page) + threads * 2 + 8
+}
+
+/// Hazard arm: the E15 scenario — victim frozen *mid-MCAS* on a pooled
+/// list deque, workers churning — but the sampled gauge is the list
+/// pool's page count, not the garbage gauge. Bounded garbage (hazard's
+/// static bound) must translate into bounded pages.
+fn audit_hazard_frozen(rounds: usize, ops_per_round: u64) -> Audit {
+    let pool = list::node_alloc(true).pool();
+    let pages_before = pool.pages_allocated();
+    let remote_before = pool.remote_frees();
+    let deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcasHazard>>> =
+        Arc::new(ListDeque::with_node_alloc(list::node_alloc(true)));
+    let gate = StallGate::new();
+    let plan = FaultPlan::new(0x05EE_DE17).kill(
+        FaultPoint::PreInstall,
+        3,
+        KillKind::Freeze(Arc::clone(&gate)),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let victim = {
+            let deque = Arc::clone(&deque);
+            let stop = Arc::clone(&stop);
+            let plan = plan.clone();
+            s.spawn(move || {
+                let guard = fault::arm(&plan, 0);
+                let log = guard.log();
+                tx.send(Arc::clone(&log)).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    deque.push_right(i << 3).unwrap();
+                    deque.pop_left();
+                    i += 1;
+                }
+                log
+            })
+        };
+        let log = rx.recv().unwrap();
+        while !log.is_killed() {
+            std::hint::spin_loop();
+        }
+
+        let mut handles = Vec::new();
+        for t in 1..=AUDIT_WORKERS {
+            let deque = Arc::clone(&deque);
+            handles.push(s.spawn(move || {
+                let mut i = 0u64;
+                for _ in 0..rounds {
+                    for _ in 0..ops_per_round {
+                        deque.push_right((t << 48) | (i << 3)).unwrap();
+                        deque.pop_left();
+                        i += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        gate.release();
+        let log = victim.join().unwrap();
+        assert!(log.is_frozen(), "hazard audit: victim was never frozen");
+    });
+
+    let garbage = dcas::reclaim::hazard::static_garbage_bound();
+    Audit {
+        backend: "hazard",
+        freeze_point: "mid-mcas",
+        ops: rounds as u64 * ops_per_round * AUDIT_WORKERS,
+        pages_before,
+        pages_grown: pool.pages_allocated() - pages_before,
+        bound_pages: pages_bound(garbage, pool.nodes_per_page(), AUDIT_WORKERS + 2),
+        remote_frees_grown: pool.remote_frees() - remote_before,
+    }
+}
+
+/// Epoch arm: the victim churns briefly, then freezes at a *quiescent*
+/// point — it blocks unpinned, holding no guard — while the workers
+/// churn. (A victim frozen while pinned makes epoch garbage unbounded —
+/// that curve is E15's, and no allocator can bound pages under it.)
+fn audit_epoch_quiescent(rounds: usize, ops_per_round: u64) -> Audit {
+    let pool = list::node_alloc(true).pool();
+    let pages_before = pool.pages_allocated();
+    let remote_before = pool.remote_frees();
+    let deque: Arc<ListDeque<u64, HarrisMcas>> =
+        Arc::new(ListDeque::with_node_alloc(list::node_alloc(true)));
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+
+    std::thread::scope(|s| {
+        let frozen = Arc::new(AtomicBool::new(false));
+        {
+            let deque = Arc::clone(&deque);
+            let frozen = Arc::clone(&frozen);
+            s.spawn(move || {
+                for i in 0..512u64 {
+                    deque.push_right(i << 3).unwrap();
+                    deque.pop_left();
+                }
+                frozen.store(true, Ordering::Release);
+                // Quiescent freeze: blocked between operations, unpinned.
+                let _ = release_rx.recv();
+            });
+        }
+        while !frozen.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+
+        let mut handles = Vec::new();
+        for t in 1..=AUDIT_WORKERS {
+            let deque = Arc::clone(&deque);
+            handles.push(s.spawn(move || {
+                let mut i = 0u64;
+                for _ in 0..rounds {
+                    for _ in 0..ops_per_round {
+                        deque.push_right((t << 48) | (i << 3)).unwrap();
+                        deque.pop_left();
+                        i += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        release_tx.send(()).unwrap();
+    });
+
+    Audit {
+        backend: "epoch",
+        freeze_point: "quiescent",
+        ops: rounds as u64 * ops_per_round * AUDIT_WORKERS,
+        pages_before,
+        pages_grown: pool.pages_allocated() - pages_before,
+        bound_pages: pages_bound(
+            EPOCH_ALLOWANCE_NODES,
+            pool.nodes_per_page(),
+            AUDIT_WORKERS + 2,
+        ),
+        remote_frees_grown: pool.remote_frees() - remote_before,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("E17_SMOKE").is_some();
+    let reps = if smoke { 1 } else { 3 };
+    let churn_elems: u64 = if smoke { 20_000 } else { 200_000 };
+    let sustained_elems: u64 = if smoke { 40_000 } else { 1_000_000 };
+    let (audit_rounds, audit_ops) = if smoke { (3, 2_000) } else { (6, 8_000) };
+
+    println!(
+        "E17: node allocation A/B — {} threads/row, {} workers + frozen victim in audit\n",
+        THREADS, AUDIT_WORKERS
+    );
+
+    let mut rows = Vec::new();
+    for pattern in [
+        Pattern::Flat,
+        Pattern::Burst,
+        Pattern::Mixed,
+        Pattern::Sustained,
+    ] {
+        let elements = if pattern == Pattern::Sustained {
+            sustained_elems
+        } else {
+            churn_elems
+        };
+        rows.push(measure_row(
+            "list-dcas",
+            "epoch",
+            list::node_alloc(true).pool(),
+            |p| ListDeque::<u64, HarrisMcas>::with_node_alloc(list::node_alloc(p)),
+            pattern,
+            elements,
+            reps,
+        ));
+        rows.push(measure_row(
+            "list-dcas",
+            "hazard",
+            list::node_alloc(true).pool(),
+            |p| ListDeque::<u64, HarrisMcasHazard>::with_node_alloc(list::node_alloc(p)),
+            pattern,
+            elements,
+            reps,
+        ));
+        rows.push(measure_row(
+            "sundell-cas",
+            "epoch",
+            sundell::node_alloc(true).pool(),
+            |p| SundellDeque::<u64, HarrisMcas>::with_node_alloc(sundell::node_alloc(p)),
+            pattern,
+            elements,
+            reps,
+        ));
+        rows.push(measure_row(
+            "sundell-cas",
+            "hazard",
+            sundell::node_alloc(true).pool(),
+            |p| SundellDeque::<u64, HarrisMcasHazard>::with_node_alloc(sundell::node_alloc(p)),
+            pattern,
+            elements,
+            reps,
+        ));
+    }
+
+    let churn_total = if smoke { 200_000 } else { 2_000_000 };
+    let churn_window = if smoke { 32_768 } else { CHURN_WINDOW };
+    rows.push(measure_reclaim_churn(
+        "list-dcas",
+        list::node_alloc(true).pool(),
+        churn_total,
+        churn_window,
+        reps,
+    ));
+    rows.push(measure_reclaim_churn(
+        "sundell-cas",
+        sundell::node_alloc(true).pool(),
+        churn_total,
+        churn_window,
+        reps,
+    ));
+
+    // Audits after the rows: earlier churn pre-grew the pool, so the
+    // audited growth is the steady-state increment, which is the claim.
+    let audits = vec![
+        audit_hazard_frozen(audit_rounds, audit_ops),
+        audit_epoch_quiescent(audit_rounds, audit_ops),
+    ];
+    println!();
+    for a in &audits {
+        println!(
+            "audit {:<7} ({:<9} freeze): {:>8} ops, pages {} -> +{} (bound {}), \
+             remote frees +{}",
+            a.backend,
+            a.freeze_point,
+            a.ops,
+            a.pages_before,
+            a.pages_grown,
+            a.bound_pages,
+            a.remote_frees_grown
+        );
+    }
+
+    // ---- Guardrails ----------------------------------------------------
+    let replay = "cargo bench -p dcas-bench --bench e17_alloc --features fault-inject";
+    let mut ok = true;
+    for a in &audits {
+        if a.pages_grown > a.bound_pages {
+            ok = false;
+            eprintln!(
+                "PAGES GUARDRAIL FAILED: {} arm grew {} pages, bound {}; replay with:\n  {replay}",
+                a.backend, a.pages_grown, a.bound_pages
+            );
+        }
+    }
+    let bar = if smoke { 1.0 } else { 1.15 };
+    for family in ["list-dcas", "sundell-cas"] {
+        let best = rows
+            .iter()
+            .filter(|r| r.family == family)
+            .map(|r| r.speedup())
+            .fold(f64::MIN, f64::max);
+        println!("{family}: best pooled speedup {best:.2}x (bar {bar:.2}x)");
+        if best < bar {
+            ok = false;
+            eprintln!(
+                "ALLOC GUARDRAIL FAILED: {family} best pooled speedup {best:.2}x is below \
+                 {bar:.2}x; replay with:\n  {replay}"
+            );
+        }
+    }
+
+    if smoke {
+        println!("\nE17_SMOKE set: skipping BENCH_e17.json");
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"family\": \"{}\", \"reclaimer\": \"{}\", \"pattern\": \"{}\", \
+                 \"elements\": {}, \"boxed_ns_per_elem\": {:.2}, \"pooled_ns_per_elem\": {:.2}, \
+                 \"speedup\": {:.3}, \"pooled_pages_grown\": {}}}",
+                r.family,
+                r.reclaimer,
+                r.pattern,
+                r.elements,
+                r.boxed_ns,
+                r.pooled_ns,
+                r.speedup(),
+                r.pooled_pages_grown
+            )
+        })
+        .collect();
+    let audit_json: Vec<String> = audits
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\"backend\": \"{}\", \"freeze_point\": \"{}\", \"ops\": {}, \
+                 \"pages_before\": {}, \"pages_grown\": {}, \"bound_pages\": {}, \
+                 \"remote_frees_grown\": {}}}",
+                a.backend,
+                a.freeze_point,
+                a.ops,
+                a.pages_before,
+                a.pages_grown,
+                a.bound_pages,
+                a.remote_frees_grown
+            )
+        })
+        .collect();
+    let per_page = list::node_alloc(true).pool().nodes_per_page();
+    let json = format!(
+        "{{\n  \"experiment\": \"e17_alloc\",\n  {},\n  \"oversubscribed\": {},\n  \
+         \"threads_per_row\": {THREADS},\n  \"sustain_window\": {SUSTAIN_WINDOW},\n  \
+         \"nodes_per_page\": {per_page},\n  \"rows\": [\n{}\n  ],\n  \"audit\": [\n{}\n  ]\n}}\n",
+        dcas_bench::host_info_json(),
+        dcas_bench::print_oversubscription_caveat(THREADS as usize),
+        row_json.join(",\n"),
+        audit_json.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e17.json");
+    std::fs::write(out, json).expect("write BENCH_e17.json");
+    println!("\nwrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -65,7 +65,7 @@ use std::marker::PhantomData;
 use crossbeam_utils::CachePadded;
 use dcas::{
     Backoff, CasnEntry, DcasStrategy, DcasWord, EliminationArray, EndConfig, HarrisMcas,
-    ReclaimGuard, Reclaimer,
+    NodeAlloc, NodePool, ReclaimGuard, Reclaimer,
 };
 
 /// The guard type of a strategy's reclamation backend.
@@ -101,6 +101,81 @@ impl Node {
     }
 }
 
+/// Page pool for this module's nodes (sentinels stay boxed: they live
+/// for the deque's lifetime and want their `CachePadded` wrapper).
+static NODE_POOL: NodePool = NodePool::new("list", std::mem::size_of::<Node>(), 16);
+
+/// Builds a [`NodeAlloc`] handle for this module's node pool:
+/// `pooled = true` selects the page-pool arm, `false` the boxed
+/// seed-compat arm (for A/B comparisons inside one binary).
+pub fn node_alloc(pooled: bool) -> NodeAlloc {
+    if pooled {
+        NodeAlloc::pooled(&NODE_POOL)
+    } else {
+        NodeAlloc::boxed(&NODE_POOL)
+    }
+}
+
+/// The allocation mode a plain constructor picks: the page pool, unless
+/// the `box-nodes` seed-compat feature flips the default. Benches force
+/// either arm explicitly via `with_node_alloc`.
+fn default_node_alloc() -> NodeAlloc {
+    if cfg!(feature = "box-nodes") {
+        NodeAlloc::boxed(&NODE_POOL)
+    } else {
+        NodeAlloc::pooled(&NODE_POOL)
+    }
+}
+
+/// Allocates a blank node through `alloc`'s arm.
+fn alloc_node(alloc: NodeAlloc) -> *mut Node {
+    if alloc.is_pooled() {
+        let n = alloc.pool().alloc().cast::<Node>();
+        // SAFETY: pool slots are type-stable Node memory; per the pool's
+        // quarantine contract a recycled slot is reinitialized through
+        // the node's atomic fields (`init_store` is a relaxed atomic
+        // store), so a stale validator's probe never races non-atomically.
+        unsafe {
+            (*n).l.init_store(0);
+            (*n).r.init_store(0);
+            (*n).value.init_store(NULL);
+        }
+        n
+    } else {
+        Box::into_raw(Box::new(Node::new_blank()))
+    }
+}
+
+/// Immediately frees a node through `alloc`'s arm (unpublished or
+/// quiescent nodes only — concurrent frees go through `retire`).
+///
+/// # Safety
+///
+/// `n` must have come from [`alloc_node`] with the same `alloc` mode,
+/// be freed exactly once, and be unreachable by other threads.
+unsafe fn free_node_now(alloc: NodeAlloc, n: *mut Node) {
+    if alloc.is_pooled() {
+        unsafe { NodePool::dealloc(n.cast()) };
+    } else {
+        drop(unsafe { Box::from_raw(n) });
+    }
+}
+
+/// Reclaimer dtor for pooled nodes (chosen at `retire` time, where the
+/// deque's mode is in scope — the dtor itself is context-free).
+unsafe fn free_node_pooled(p: *mut u8) {
+    // SAFETY: `p` came from the node pool and runs exactly once, after
+    // the grace period / hazard scan.
+    unsafe { NodePool::dealloc(p) };
+}
+
+/// Reclaimer dtor for the boxed seed-compat arm.
+unsafe fn free_node_boxed(p: *mut u8) {
+    // SAFETY: `p` came from `Box::into_raw::<Node>` in a push path and
+    // runs exactly once, after the grace period / hazard scan.
+    drop(unsafe { Box::from_raw(p.cast::<Node>()) });
+}
+
 /// Bit 2 of a pointer word marks the pointed-to node as logically deleted
 /// (bits 0–1 are reserved for the DCAS substrate).
 const DELETED_BIT: u64 = 0b100;
@@ -132,14 +207,16 @@ fn deleted_of(w: u64) -> bool {
 struct PendingNode<V: WordValue> {
     node: *mut Node,
     val: u64,
+    alloc: NodeAlloc,
     _marker: PhantomData<V>,
 }
 
 impl<V: WordValue> PendingNode<V> {
-    fn new(v: V) -> Self {
+    fn new(v: V, alloc: NodeAlloc) -> Self {
         PendingNode {
-            node: Box::into_raw(Box::new(Node::new_blank())),
+            node: alloc_node(alloc),
             val: v.encode(),
+            alloc,
             _marker: PhantomData,
         }
     }
@@ -154,7 +231,7 @@ impl<V: WordValue> PendingNode<V> {
     fn eliminated(self) {
         // SAFETY: unpublished, uniquely owned; the value word now
         // belongs to the taker.
-        unsafe { drop(Box::from_raw(self.node)) };
+        unsafe { free_node_now(self.alloc, self.node) };
         std::mem::forget(self);
     }
 }
@@ -164,7 +241,7 @@ impl<V: WordValue> Drop for PendingNode<V> {
         // SAFETY: reached only by unwinding before publication — the
         // node is private and the encoded value unconsumed.
         unsafe {
-            drop(Box::from_raw(self.node));
+            free_node_now(self.alloc, self.node);
             V::drop_encoded(self.val);
         }
     }
@@ -178,21 +255,22 @@ impl<V: WordValue> Drop for PendingNode<V> {
 struct Chain<V: WordValue> {
     first: *mut Node,
     last: *mut Node,
+    alloc: NodeAlloc,
     _marker: PhantomData<V>,
 }
 
 impl<V: WordValue> Chain<V> {
-    fn new(v: V) -> Self {
-        let n = Box::into_raw(Box::new(Node::new_blank()));
+    fn new(v: V, alloc: NodeAlloc) -> Self {
+        let n = alloc_node(alloc);
         // SAFETY: unpublished, exclusive access (and in the methods
         // below likewise: the chain is private until `publish`).
         unsafe { (*n).value.init_store(v.encode()) };
-        Chain { first: n, last: n, _marker: PhantomData }
+        Chain { first: n, last: n, alloc, _marker: PhantomData }
     }
 
     /// Links `v`'s node after `last` (push-right order).
     fn append(&mut self, v: V) {
-        let n = Box::into_raw(Box::new(Node::new_blank()));
+        let n = alloc_node(self.alloc);
         // SAFETY: see `new`.
         unsafe {
             (*n).value.init_store(v.encode());
@@ -204,7 +282,7 @@ impl<V: WordValue> Chain<V> {
 
     /// Links `v`'s node before `first` (push-left order).
     fn prepend(&mut self, v: V) {
-        let n = Box::into_raw(Box::new(Node::new_blank()));
+        let n = alloc_node(self.alloc);
         // SAFETY: see `new`.
         unsafe {
             (*n).value.init_store(v.encode());
@@ -232,7 +310,7 @@ impl<V: WordValue> Drop for Chain<V> {
             unsafe {
                 let next = ptr_of((*cur).r.unsync_load_shared()) as *mut Node;
                 V::drop_encoded((*cur).value.unsync_load_shared());
-                drop(Box::from_raw(cur));
+                free_node_now(self.alloc, cur);
                 if at_last {
                     break;
                 }
@@ -282,6 +360,9 @@ pub struct RawListDeque<V: WordValue, S: DcasStrategy> {
     elim_left: Option<EliminationArray>,
     /// Elimination array for the right end.
     elim_right: Option<EliminationArray>,
+    /// Node-allocation arm: the page pool (default) or the boxed
+    /// seed-compat arm.
+    alloc: NodeAlloc,
     _marker: PhantomData<fn(V) -> V>,
 }
 
@@ -308,6 +389,17 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// Creates an empty deque with an explicit per-end configuration
     /// (elimination-array knobs).
     pub fn with_end_config(end: EndConfig) -> Self {
+        Self::with_config(end, default_node_alloc())
+    }
+
+    /// Creates an empty deque with an explicit node-allocation arm (the
+    /// E17 bench compares both arms inside one binary).
+    pub fn with_node_alloc(alloc: NodeAlloc) -> Self {
+        Self::with_config(EndConfig::default(), alloc)
+    }
+
+    /// Creates an empty deque with explicit end and allocation configs.
+    pub fn with_config(end: EndConfig, alloc: NodeAlloc) -> Self {
         let sl = Box::new(CachePadded::new(Node::new_blank()));
         let sr = Box::new(CachePadded::new(Node::new_blank()));
         let slp: *const Node = &**sl as *const Node;
@@ -324,8 +416,14 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
             sr,
             elim_left: end.elimination.then(|| EliminationArray::new(&end)),
             elim_right: end.elimination.then(|| EliminationArray::new(&end)),
+            alloc,
             _marker: PhantomData,
         }
+    }
+
+    /// The node-allocation arm this deque was built with.
+    pub fn node_alloc(&self) -> NodeAlloc {
+        self.alloc
     }
 
     /// Per-end elimination-array counter snapshots `(left, right)`, or
@@ -364,17 +462,12 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     /// have just been physically unlinked by a successful DCAS performed
     /// by the calling thread (so it is retired exactly once).
     unsafe fn retire(&self, node: *const Node, guard: &GuardOf<S>) {
-        unsafe fn free_node(p: *mut u8) {
-            // SAFETY: `p` came from `Box::into_raw::<Node>` in a push
-            // path and runs exactly once, after the grace period /
-            // hazard scan.
-            drop(unsafe { Box::from_raw(p.cast::<Node>()) });
-        }
+        let dtor = if self.alloc.is_pooled() { free_node_pooled } else { free_node_boxed };
         // SAFETY: the node is unreachable from the list, so no new
         // operation can find it; operations that already hold a
         // reference are pinned (epoch) or have it announced (hazard).
         unsafe {
-            guard.retire(node as *mut u8, std::mem::size_of::<Node>(), free_node);
+            guard.retire(node as *mut u8, std::mem::size_of::<Node>(), dtor);
         }
     }
 
@@ -495,7 +588,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         // specification of Section 2.2.) The pending guard owns node and
         // value until published or eliminated; an unwinding strategy call
         // frees both.
-        let pending = PendingNode::<V>::new(v);
+        let pending = PendingNode::<V>::new(v, self.alloc);
         let (node, val) = (pending.node, pending.val);
         loop {
             let old_l = self.load_end_protected(&guard, &self.sr.l, 0); // line 6
@@ -676,7 +769,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
     pub fn push_left(&self, v: V) -> Result<(), Full<V>> {
         let guard = S::Reclaimer::pin();
         // Guarded as in `push_right`.
-        let pending = PendingNode::<V>::new(v);
+        let pending = PendingNode::<V>::new(v, self.alloc);
         let (node, val) = (pending.node, pending.val);
         loop {
             let old_r = self.load_end_protected(&guard, &self.sl.r, 0); // line 6
@@ -806,7 +899,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         // guard owns every node and value until the splice: a panicking
         // iterator or an unwinding strategy call releases the partial
         // chain instead of leaking it.
-        let mut chain = Chain::new(v0);
+        let mut chain = Chain::new(v0, self.alloc);
         for v in it {
             chain.append(v);
         }
@@ -854,7 +947,7 @@ impl<V: WordValue, S: DcasStrategy> RawListDeque<V, S> {
         // that the sequence behaves like repeated pushLeft calls: each
         // yielded value's node is *prepended* to the unpublished chain.
         // Guarded as in `push_right_n`.
-        let mut chain = Chain::new(v0);
+        let mut chain = Chain::new(v0, self.alloc);
         for v in it {
             chain.prepend(v);
         }
@@ -1211,7 +1304,7 @@ impl<V: WordValue, S: DcasStrategy> Drop for RawListDeque<V, S> {
                     V::drop_encoded(v);
                 }
                 cur = ptr_of((*node).r.unsync_load_shared());
-                drop(Box::from_raw(node));
+                free_node_now(self.alloc, node);
             }
         }
     }
@@ -1243,6 +1336,11 @@ impl<T: Send, S: DcasStrategy> ListDeque<T, S> {
     /// (the elimination-array knobs; see [`EndConfig`]).
     pub fn with_end_config(end: EndConfig) -> Self {
         ListDeque { raw: RawListDeque::with_end_config(end) }
+    }
+
+    /// Creates an empty deque with an explicit node-allocation arm.
+    pub fn with_node_alloc(alloc: NodeAlloc) -> Self {
+        ListDeque { raw: RawListDeque::with_node_alloc(alloc) }
     }
 
     /// Per-end elimination counter snapshots `(left, right)`; `None` when

@@ -7,11 +7,21 @@ use dcas::{
 use super::{ListDeque, RawListDeque};
 
 fn for_all_strategies(f: impl Fn(Box<dyn Fn() -> Box<dyn DynDeque>>)) {
-    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())));
+    f(Box::new(
+        || Box::new(RawListDeque::<u32, GlobalLock>::new()),
+    ));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, GlobalSeqLock>::new())
+    }));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, StripedLock>::new())
+    }));
+    f(Box::new(
+        || Box::new(RawListDeque::<u32, HarrisMcas>::new()),
+    ));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())
+    }));
 }
 
 trait DynDeque {
@@ -415,11 +425,21 @@ mod properties {
 // ---------------------------------------------------------------------
 
 fn for_all_strategies_batch(f: impl Fn(Box<dyn Fn() -> Box<dyn DynBatchDeque>>)) {
-    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, GlobalSeqLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, StripedLock>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcas>::new())));
-    f(Box::new(|| Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())));
+    f(Box::new(
+        || Box::new(RawListDeque::<u32, GlobalLock>::new()),
+    ));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, GlobalSeqLock>::new())
+    }));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, StripedLock>::new())
+    }));
+    f(Box::new(
+        || Box::new(RawListDeque::<u32, HarrisMcas>::new()),
+    ));
+    f(Box::new(|| {
+        Box::new(RawListDeque::<u32, HarrisMcasHazard>::new())
+    }));
 }
 
 /// Object-safe facade over the batched API (list pushes never fail).
@@ -511,7 +531,9 @@ fn batch_matches_vecdeque_model() {
         let mut x = 0xFEEDu64;
         let mut nextv = 1u32;
         for _ in 0..2_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = 1 + (x >> 18) as usize % 11;
             match (x >> 60) % 4 {
                 0 => {
@@ -528,14 +550,12 @@ fn batch_matches_vecdeque_model() {
                 }
                 2 => {
                     let got = d.pop_right_n(k);
-                    let want: Vec<u32> =
-                        (0..k).filter_map(|_| model.pop_back()).collect();
+                    let want: Vec<u32> = (0..k).filter_map(|_| model.pop_back()).collect();
                     assert_eq!(got, want);
                 }
                 _ => {
                     let got = d.pop_left_n(k);
-                    let want: Vec<u32> =
-                        (0..k).filter_map(|_| model.pop_front()).collect();
+                    let want: Vec<u32> = (0..k).filter_map(|_| model.pop_front()).collect();
                     assert_eq!(got, want);
                 }
             }
@@ -582,7 +602,11 @@ fn batch_concurrent_conservation() {
                     let mut got = Vec::new();
                     let mut k = 1usize;
                     loop {
-                        let vals = if t == 0 { d.pop_left_n(k) } else { d.pop_right_n(k) };
+                        let vals = if t == 0 {
+                            d.pop_left_n(k)
+                        } else {
+                            d.pop_right_n(k)
+                        };
                         let drained = vals.is_empty();
                         got.extend(vals);
                         k = k % 9 + 1;
@@ -771,4 +795,27 @@ fn reclaim_hazard_list_concurrent_mixed_ops_conserve_values() {
         HazardReclaimer::live_garbage() <= dcas::reclaim::hazard::static_garbage_bound(),
         "hazard live garbage exceeds the static bound after flush"
     );
+}
+
+/// Both node-allocation arms (page pool and seed-compatible `Box`)
+/// behind the same deque semantics: interleaved two-ended traffic
+/// drains to the exact push count on each arm. Named `pooled_` so CI's
+/// allocator suite can select the per-family A/B units.
+#[test]
+fn pooled_and_boxed_arms_agree() {
+    for pooled in [false, true] {
+        let d = ListDeque::<u32>::with_node_alloc(super::node_alloc(pooled));
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                d.push_right(i).unwrap();
+            } else {
+                d.push_left(i).unwrap();
+            }
+        }
+        let mut got = 0;
+        while d.pop_left().is_some() || d.pop_right().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 200, "pooled={pooled}");
+    }
 }

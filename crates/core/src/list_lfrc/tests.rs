@@ -107,7 +107,17 @@ fn layout_matches_epoch_variant() {
     let a = crate::list::RawListDeque::<u32, GlobalLock>::new();
     let b = RawLfrcListDeque::<u32, GlobalLock>::new();
     let ops: Vec<(u8, u32)> = vec![
-        (0, 1), (1, 2), (0, 3), (2, 0), (3, 0), (1, 4), (2, 0), (2, 0), (3, 0), (3, 0), (0, 5),
+        (0, 1),
+        (1, 2),
+        (0, 3),
+        (2, 0),
+        (3, 0),
+        (1, 4),
+        (2, 0),
+        (2, 0),
+        (3, 0),
+        (3, 0),
+        (0, 5),
     ];
     for (op, v) in ops {
         match op {
@@ -301,5 +311,28 @@ mod properties {
             prop_assert_eq!(stats.allocated, pushes);
             assert_audit_balances(&d);
         }
+    }
+}
+
+/// Both node-allocation arms (page pool and seed-compatible `Box`)
+/// behind the same deque semantics: interleaved two-ended traffic
+/// drains to the exact push count on each arm. Named `pooled_` so CI's
+/// allocator suite can select the per-family A/B units.
+#[test]
+fn pooled_and_boxed_arms_agree() {
+    for pooled in [false, true] {
+        let d = LfrcListDeque::<u32>::with_node_alloc(super::node_alloc(pooled));
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                d.push_right(i).unwrap();
+            } else {
+                d.push_left(i).unwrap();
+            }
+        }
+        let mut got = 0;
+        while d.pop_left().is_some() || d.pop_right().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 200, "pooled={pooled}");
     }
 }

@@ -10,12 +10,18 @@ use dcas::{
 use super::{RawSundellDeque, SundellDeque};
 
 fn for_all_strategies(f: impl Fn(Box<dyn Fn() -> Box<dyn DynDeque>>)) {
-    f(Box::new(|| Box::new(RawSundellDeque::<u32, GlobalLock>::new())));
+    f(Box::new(|| {
+        Box::new(RawSundellDeque::<u32, GlobalLock>::new())
+    }));
     f(Box::new(|| {
         Box::new(RawSundellDeque::<u32, GlobalSeqLock>::new())
     }));
-    f(Box::new(|| Box::new(RawSundellDeque::<u32, StripedLock>::new())));
-    f(Box::new(|| Box::new(RawSundellDeque::<u32, HarrisMcas>::new())));
+    f(Box::new(|| {
+        Box::new(RawSundellDeque::<u32, StripedLock>::new())
+    }));
+    f(Box::new(|| {
+        Box::new(RawSundellDeque::<u32, HarrisMcas>::new())
+    }));
     f(Box::new(|| {
         Box::new(RawSundellDeque::<u32, HarrisMcasHazard>::new())
     }));
@@ -317,4 +323,27 @@ fn concurrent_conservation_hazard() {
 #[test]
 fn concurrent_conservation_locked() {
     concurrent_conservation::<StripedLock>();
+}
+
+/// Both node-allocation arms (page pool and seed-compatible `Box`)
+/// behind the same deque semantics: interleaved two-ended traffic
+/// drains to the exact push count on each arm. Named `pooled_` so CI's
+/// allocator suite can select the per-family A/B units.
+#[test]
+fn pooled_and_boxed_arms_agree() {
+    for pooled in [false, true] {
+        let d = SundellDeque::<u32>::with_node_alloc(super::node_alloc(pooled));
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                d.push_right(i).unwrap();
+            } else {
+                d.push_left(i).unwrap();
+            }
+        }
+        let mut got = 0;
+        while d.pop_left().is_some() || d.pop_right().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 200, "pooled={pooled}");
+    }
 }

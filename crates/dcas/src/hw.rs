@@ -203,34 +203,33 @@ pub(crate) fn adjacent_pair(a1: &DcasWord, a2: &DcasWord) -> Option<(*mut u128, 
 #[cfg(target_arch = "x86_64")]
 pub(crate) unsafe fn cas_u128(dst: *mut u128, old: u128, new: u128) -> Result<(), u128> {
     debug_assert!((dst as usize).is_multiple_of(16));
-    let (old_lo, old_hi) = unpack(old);
-    let (new_lo, new_hi) = unpack(new);
-    let out_lo: u64;
-    let out_hi: u64;
-    // LLVM reserves rbx (and `cmpxchg16b` hardwires rcx:rbx as the new
-    // value), so the new low word travels in a scratch register and is
-    // swapped into rbx just around the instruction.
-    // SAFETY: alignment and validity per the caller contract.
+    // SAFETY: alignment and validity per the caller contract; the
+    // `cmpxchg16b` target feature is present per `supported()`.
+    let seen = unsafe { cmpxchg16b_seqcst(dst, old, new) };
+    // The instruction returns the observed slot image; an observed value
+    // equal to the expected one always succeeds, so the comparison below
+    // cannot misclassify.
+    if seen == old { Ok(()) } else { Err(seen) }
+}
+
+/// The `core::arch` `cmpxchg16b` intrinsic pinned to SeqCst (the `lock`
+/// prefix is a full fence on x86-64 anyway), in a `#[target_feature]`
+/// wrapper so the compiler may assume the instruction exists. The
+/// intrinsic replaces the hand-written `xchg rbx` asm dance this module
+/// used to carry: LLVM now does the rbx bookkeeping itself.
+///
+/// # Safety
+///
+/// `dst` must be 16-byte aligned and valid for reads and writes, and the
+/// caller must have verified the `cmpxchg16b` CPU feature (see
+/// [`supported`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "cmpxchg16b")]
+unsafe fn cmpxchg16b_seqcst(dst: *mut u128, old: u128, new: u128) -> u128 {
+    // SAFETY: forwarded caller contract; the feature is enabled on this
+    // function, satisfying the intrinsic's availability requirement.
     unsafe {
-        std::arch::asm!(
-            "xchg {nl}, rbx",
-            "lock cmpxchg16b [{ptr}]",
-            "mov rbx, {nl}",
-            nl = inout(reg) new_lo => _,
-            ptr = in(reg) dst,
-            inout("rax") old_lo => out_lo,
-            inout("rdx") old_hi => out_hi,
-            in("rcx") new_hi,
-            options(nostack),
-        );
-    }
-    // On success the instruction leaves rdx:rax == expected; an observed
-    // value equal to the expected one always succeeds, so the comparison
-    // below cannot misclassify.
-    if out_lo == old_lo && out_hi == old_hi {
-        Ok(())
-    } else {
-        Err(pack(out_lo, out_hi))
+        core::arch::x86_64::cmpxchg16b(dst, old, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 }
 

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod alloc;
 mod backoff;
 mod delayed;
 pub mod elimination;
@@ -94,6 +95,7 @@ macro_rules! fault_point {
 }
 pub(crate) use fault_point;
 
+pub use alloc::{NodeAlloc, NodePool};
 pub use backoff::Backoff;
 pub use delayed::Delayed;
 pub use elimination::{EliminationArray, EndConfig};

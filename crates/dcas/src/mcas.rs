@@ -384,7 +384,12 @@ impl<R: Reclaimer> HarrisMcas<R> {
     /// [`stalled_collections`](StrategyStats::stalled_collections)),
     /// which audit correctness-relevant events and are reported
     /// unconditionally. Those are process-global (per backend), like the
-    /// thread-local descriptor pools they audit.
+    /// thread-local descriptor pools they audit. The node-pool census
+    /// gauges ([`pool_pages`](StrategyStats::pool_pages),
+    /// [`pool_nodes_outstanding`](StrategyStats::pool_nodes_outstanding),
+    /// [`pool_remote_frees`](StrategyStats::pool_remote_frees)) are
+    /// likewise unconditional and process-global, summed over every
+    /// registered [`NodePool`](crate::NodePool).
     pub fn stats(&self) -> StrategyStats {
         let mut s = self.counters.snapshot();
         s.descriptor_orphans = pool::orphan_count();
@@ -392,6 +397,9 @@ impl<R: Reclaimer> HarrisMcas<R> {
         s.retired_pending = R::live_garbage();
         s.garbage_high_water = R::garbage_high_water();
         s.stalled_collections = R::stalled_collections();
+        s.pool_pages = crate::alloc::pages_allocated();
+        s.pool_nodes_outstanding = crate::alloc::nodes_outstanding();
+        s.pool_remote_frees = crate::alloc::remote_frees();
         s
     }
 

@@ -96,6 +96,21 @@ pub struct StrategyStats {
     /// without the failure mode. Snapshot-time gauge, reported
     /// regardless of the `stats` feature.
     pub stalled_collections: u64,
+    /// Pages currently held by the node page pool
+    /// ([`alloc`](crate::alloc)), summed over every registered pool.
+    /// Pages are never unmapped (type stability), so this is also the
+    /// pool-memory high-water mark. Snapshot-time gauge, process-global,
+    /// reported regardless of the `stats` feature.
+    pub pool_pages: u64,
+    /// Pool node slots handed out and not yet returned (allocs minus
+    /// frees across every pool). Snapshot-time gauge, process-global,
+    /// reported regardless of the `stats` feature.
+    pub pool_nodes_outstanding: u64,
+    /// Node frees that landed on a foreign page's MPSC return stack
+    /// (the popper retired a node the pusher's thread allocated).
+    /// Monotonic, process-global, reported regardless of the `stats`
+    /// feature.
+    pub pool_remote_frees: u64,
 }
 
 impl StrategyStats {
@@ -132,7 +147,7 @@ impl StrategyStats {
     /// stable iteration surface for exporters (e.g. `crates/obs`'
     /// metrics registry), so adding a counter here automatically reaches
     /// every report format.
-    pub fn fields(&self) -> [(&'static str, u64); 17] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("ops", self.ops),
             ("dcas_ops", self.dcas_ops),
@@ -151,6 +166,9 @@ impl StrategyStats {
             ("retired_pending", self.retired_pending),
             ("garbage_high_water", self.garbage_high_water),
             ("stalled_collections", self.stalled_collections),
+            ("pool_pages", self.pool_pages),
+            ("pool_nodes_outstanding", self.pool_nodes_outstanding),
+            ("pool_remote_frees", self.pool_remote_frees),
         ]
     }
 
@@ -183,6 +201,11 @@ impl StrategyStats {
             stalled_collections: self
                 .stalled_collections
                 .saturating_sub(earlier.stalled_collections),
+            pool_pages: self.pool_pages.saturating_sub(earlier.pool_pages),
+            pool_nodes_outstanding: self
+                .pool_nodes_outstanding
+                .saturating_sub(earlier.pool_nodes_outstanding),
+            pool_remote_frees: self.pool_remote_frees - earlier.pool_remote_frees,
         }
     }
 }

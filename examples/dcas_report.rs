@@ -53,6 +53,7 @@ fn main() {
     scheduler_section(&mut reg);
     overhead_section(&mut reg);
     reclaim_section(&mut reg);
+    alloc_section(&mut reg);
 
     println!("{}", reg.pretty());
     println!("--- JSON export ---");
@@ -90,7 +91,10 @@ fn overhead_section(reg: &mut MetricsRegistry) {
         Json::Obj(vec![
             ("plain_ns_per_op".into(), Json::F64(plain_ns)),
             ("recorded_ns_per_op".into(), Json::F64(recorded_ns)),
-            ("overhead_ns_per_op".into(), Json::F64(recorded_ns - plain_ns)),
+            (
+                "overhead_ns_per_op".into(),
+                Json::F64(recorded_ns - plain_ns),
+            ),
         ]),
     );
 }
@@ -99,8 +103,11 @@ fn overhead_section(reg: &mut MetricsRegistry) {
 /// and chunk-atomic batches from both ends) and registers its op
 /// counters and latency histograms.
 fn recorded_workload(reg: &mut MetricsRegistry) -> Recorded<ArrayDeque<u64>> {
-    let deque =
-        Recorded::with_atomic_batches(ArrayDeque::<u64>::new(CAPACITY), THREADS, 2 * OPS_PER_THREAD);
+    let deque = Recorded::with_atomic_batches(
+        ArrayDeque::<u64>::new(CAPACITY),
+        THREADS,
+        2 * OPS_PER_THREAD,
+    );
 
     // Unique values: thread t contributes t * 1e6 + i. (Uniqueness is
     // not required by the checker, but makes violations crisp.)
@@ -160,9 +167,15 @@ fn audit_section(deque: &Recorded<ArrayDeque<u64>>, reg: &mut MetricsRegistry) {
     reg.section(
         "linearizability_audit",
         Json::Obj(vec![
-            ("ops_checked".into(), Json::U64(report.window.ops_checked as u64)),
+            (
+                "ops_checked".into(),
+                Json::U64(report.window.ops_checked as u64),
+            ),
             ("windows".into(), Json::U64(report.window.windows as u64)),
-            ("in_flight_excluded".into(), Json::U64(report.trace.in_flight_excluded as u64)),
+            (
+                "in_flight_excluded".into(),
+                Json::U64(report.trace.in_flight_excluded as u64),
+            ),
             ("verdict".into(), Json::Str("linearizable".into())),
         ]),
     );
@@ -222,19 +235,71 @@ fn reclaim_section(reg: &mut MetricsRegistry) {
     reg.section(
         "reclamation",
         Json::Obj(vec![
-            ("epoch_live_garbage".into(), Json::U64(EpochReclaimer::live_garbage())),
-            ("epoch_garbage_high_water".into(), Json::U64(EpochReclaimer::garbage_high_water())),
+            (
+                "epoch_live_garbage".into(),
+                Json::U64(EpochReclaimer::live_garbage()),
+            ),
+            (
+                "epoch_garbage_high_water".into(),
+                Json::U64(EpochReclaimer::garbage_high_water()),
+            ),
             (
                 "epoch_stalled_collections".into(),
                 Json::U64(EpochReclaimer::stalled_collections()),
             ),
-            ("hazard_live_garbage".into(), Json::U64(HazardReclaimer::live_garbage())),
-            ("hazard_garbage_high_water".into(), Json::U64(HazardReclaimer::garbage_high_water())),
+            (
+                "hazard_live_garbage".into(),
+                Json::U64(HazardReclaimer::live_garbage()),
+            ),
+            (
+                "hazard_garbage_high_water".into(),
+                Json::U64(HazardReclaimer::garbage_high_water()),
+            ),
             (
                 "hazard_static_garbage_bound".into(),
                 Json::U64(dcas_deques::dcas::reclaim::hazard::static_garbage_bound()),
             ),
-            ("live_descriptors".into(), Json::U64(dcas_deques::dcas::live_descriptors())),
+            (
+                "live_descriptors".into(),
+                Json::U64(dcas_deques::dcas::live_descriptors()),
+            ),
+        ]),
+    );
+}
+
+/// Node-allocator census: the aggregate page-pool gauges plus one row
+/// per registered pool (every linked deque family the report touched).
+/// Pages are immortal, so `pages_allocated` is simultaneously the
+/// resident-memory figure and its high-water mark; `nodes_outstanding`
+/// is the alloc/free balance the reclamation section's gauges feed.
+fn alloc_section(reg: &mut MetricsRegistry) {
+    use dcas_deques::dcas::alloc;
+
+    let pools = alloc::census()
+        .into_iter()
+        .map(|(name, pages, outstanding, remote_frees)| {
+            Json::Obj(vec![
+                ("pool".into(), Json::Str(name.into())),
+                ("pages".into(), Json::U64(pages)),
+                ("resident_kib".into(), Json::U64(pages * 4)),
+                ("nodes_outstanding".into(), Json::U64(outstanding)),
+                ("remote_frees".into(), Json::U64(remote_frees)),
+            ])
+        })
+        .collect();
+    reg.section(
+        "node_alloc",
+        Json::Obj(vec![
+            (
+                "pages_allocated".into(),
+                Json::U64(alloc::pages_allocated()),
+            ),
+            (
+                "nodes_outstanding".into(),
+                Json::U64(alloc::nodes_outstanding()),
+            ),
+            ("remote_frees".into(), Json::U64(alloc::remote_frees())),
+            ("pools".into(), Json::Arr(pools)),
         ]),
     );
 }

@@ -17,6 +17,28 @@ fn main() {
     recycling_demo();
     concurrent_demo();
     cycle_demo();
+    census_demo();
+}
+
+/// The allocator's own view of everything the demos above churned: the
+/// LFRC counts decide *when* a node dies, but the memory itself cycles
+/// through the per-family page pools, and their gauges must agree with
+/// the deque-level audits — every page still resident, zero slots
+/// outstanding at quiescence.
+fn census_demo() {
+    println!("\n=== Node-pool census ===");
+    for (name, pages, outstanding, remote_frees) in dcas::alloc::census() {
+        println!(
+            "pool {name:<12} pages {pages:>5} ({:>6} KiB resident)  \
+             outstanding {outstanding:>6}  remote frees {remote_frees:>8}",
+            pages * 4
+        );
+    }
+    assert_eq!(
+        dcas::alloc::nodes_outstanding(),
+        0,
+        "pool census disagrees with the deque audits"
+    );
 }
 
 /// Flushes the reclamation backend until every dead node has actually
@@ -59,7 +81,10 @@ fn recycling_demo() {
         );
     }
     assert_eq!(drain_backend(&d), 0, "leak detected");
-    println!("every one of the {} allocated nodes was freed\n", d.stats().allocated);
+    println!(
+        "every one of the {} allocated nodes was freed\n",
+        d.stats().allocated
+    );
 }
 
 fn concurrent_demo() {

@@ -134,16 +134,31 @@ where
     samples
 }
 
+/// Page allowance on top of a garbage bound: each participating thread
+/// (workers, victim, main) can strand a partially-used page in its
+/// local cache or carve window, plus fixed slack for batch granularity.
+fn pages_bound(garbage_nodes: u64) -> u64 {
+    let per_page = dcas_deques::deque::list::node_alloc(true)
+        .pool()
+        .nodes_per_page();
+    garbage_nodes.div_ceil(per_page) + (WORKERS + 2) * 2 + 8
+}
+
 #[test]
 fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     let test = "reclaim_frozen_victim_epoch_grows_hazard_bounded";
     let seed = torture_seed(test);
     let watchdog = Watchdog::arm(test, seed, Duration::from_secs(240));
 
+    // Pool-page gauges for the allocator-facing claims below. Pages are
+    // never unmapped, so `pages_allocated` is a live-memory high-water
+    // mark; `nodes_outstanding` is the alloc/free balance.
+    let pages_start = dcas::alloc::pages_allocated();
+    let outstanding_start = dcas::alloc::nodes_outstanding();
+
     // ---------------- Epoch arm ----------------
     let stalled_before = EpochReclaimer::stalled_collections();
-    let epoch_deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcas>>> =
-        Arc::new(ListDeque::new());
+    let epoch_deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcas>>> = Arc::new(ListDeque::new());
     let samples = frozen_victim_churn("epoch arm", &epoch_deque, seed, 4, || {
         EpochReclaimer::live_garbage()
     });
@@ -169,6 +184,14 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
         EpochReclaimer::stalled_collections() > stalled_before,
         "epoch arm: stalled_collections never fired with a stuck epoch"
     );
+    // Unbounded epoch garbage is unbounded *pages*: the nodes the stuck
+    // pin kept live could not be recycled, so the pool had to grow.
+    assert!(
+        dcas::alloc::pages_allocated() > pages_start,
+        "epoch arm: frozen pin held garbage but pool pages never grew \
+         (pages {pages_start} -> {})",
+        dcas::alloc::pages_allocated()
+    );
     // The victim is unfrozen now: repeated flushes age everything out.
     for _ in 0..6 {
         EpochReclaimer::flush();
@@ -176,6 +199,10 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     drop(epoch_deque);
 
     // ---------------- Hazard arm ----------------
+    // Bounded hazard garbage must translate into bounded pool-page
+    // growth — and the epoch arm's flushed pages must be recycled, not
+    // leaked, so the hazard arm's growth stays under the static bound.
+    let pages_before_hazard = dcas::alloc::pages_allocated();
     let hazard_deque: Arc<ListDeque<u64, FaultInjecting<HarrisMcasHazard>>> =
         Arc::new(ListDeque::new());
     let samples = frozen_victim_churn("hazard arm", &hazard_deque, seed ^ 0xA5A5, 4, || {
@@ -192,12 +219,23 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     );
     // Every per-round sample individually respects the bound too.
     for (i, &g) in samples.iter().enumerate() {
-        assert!(g <= bound, "hazard arm: round {i} garbage {g} over bound {bound}");
+        assert!(
+            g <= bound,
+            "hazard arm: round {i} garbage {g} over bound {bound}"
+        );
     }
     HazardReclaimer::flush();
     assert!(
         HazardReclaimer::live_garbage() <= bound,
         "hazard arm: post-flush garbage over bound"
+    );
+    let hazard_pages_grown = dcas::alloc::pages_allocated() - pages_before_hazard;
+    assert!(
+        hazard_pages_grown <= pages_bound(bound),
+        "hazard arm: pool grew {hazard_pages_grown} pages under a frozen \
+         victim, over the {} page bound — recycled epoch-arm pages were \
+         not reused",
+        pages_bound(bound)
     );
 
     // ---------------- Sundell rows ----------------
@@ -209,10 +247,13 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     let epoch_before = EpochReclaimer::live_garbage();
     let sundell_epoch: Arc<SundellDeque<u64, FaultInjecting<HarrisMcas>>> =
         Arc::new(SundellDeque::new());
-    let samples =
-        frozen_victim_churn("sundell epoch arm", &sundell_epoch, seed ^ 0x5D11, 4, || {
-            EpochReclaimer::live_garbage()
-        });
+    let samples = frozen_victim_churn(
+        "sundell epoch arm",
+        &sundell_epoch,
+        seed ^ 0x5D11,
+        4,
+        || EpochReclaimer::live_garbage(),
+    );
     let (first, last) = (samples[0], *samples.last().unwrap());
     assert!(
         last >= first.saturating_mul(2) && last > epoch_before,
@@ -224,12 +265,16 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     }
     drop(sundell_epoch);
 
+    let pages_before_sundell_hazard = dcas::alloc::pages_allocated();
     let sundell_hazard: Arc<SundellDeque<u64, FaultInjecting<HarrisMcasHazard>>> =
         Arc::new(SundellDeque::new());
-    let samples =
-        frozen_victim_churn("sundell hazard arm", &sundell_hazard, seed ^ 0x7A2A, 4, || {
-            HazardReclaimer::live_garbage()
-        });
+    let samples = frozen_victim_churn(
+        "sundell hazard arm",
+        &sundell_hazard,
+        seed ^ 0x7A2A,
+        4,
+        || HazardReclaimer::live_garbage(),
+    );
     let bound = dcas::reclaim::hazard::static_garbage_bound();
     let hwm = HazardReclaimer::garbage_high_water();
     assert!(
@@ -247,6 +292,31 @@ fn reclaim_frozen_victim_epoch_grows_hazard_bounded() {
     assert!(
         HazardReclaimer::live_garbage() <= bound,
         "sundell hazard arm: post-flush garbage over bound"
+    );
+    let sundell_pages_grown = dcas::alloc::pages_allocated() - pages_before_sundell_hazard;
+    assert!(
+        sundell_pages_grown <= pages_bound(bound),
+        "sundell hazard arm: pool grew {sundell_pages_grown} pages under a \
+         frozen victim, over the {} page bound",
+        pages_bound(bound)
+    );
+
+    // ---------------- Alloc/free balance ----------------
+    // With every deque dropped and both backends flushed, every node
+    // the whole test churned must be back in the pool: outstanding
+    // returns to the baseline (small slack for deferred-queue
+    // stragglers another thread sealed but nothing ever collected).
+    drop(hazard_deque);
+    drop(sundell_hazard);
+    for _ in 0..6 {
+        EpochReclaimer::flush();
+        HazardReclaimer::flush();
+    }
+    let outstanding_end = dcas::alloc::nodes_outstanding();
+    assert!(
+        outstanding_end <= outstanding_start + 256,
+        "alloc balance: {outstanding_end} nodes still outstanding after \
+         teardown (started at {outstanding_start}) — pooled frees were lost"
     );
     watchdog.disarm();
 }
